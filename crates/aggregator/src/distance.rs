@@ -1,0 +1,204 @@
+//! Weighted distances between aggregate representations and the Equation-1
+//! distance lower bound used to prune dirty cells.
+
+use serde::{Deserialize, Serialize};
+
+/// The distance metric applied to (weighted) feature-vector differences.
+///
+/// The paper presents the weighted L1 distance and notes that other metrics
+/// such as L2 are straightforward substitutes; both are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceMetric {
+    /// Weighted Manhattan distance `Σ w_i · |a_i − b_i|` (the paper's
+    /// default, Definition 4).
+    #[default]
+    L1,
+    /// Weighted Euclidean distance `sqrt(Σ w_i · (a_i − b_i)²)`.
+    L2,
+}
+
+/// Computes the weighted distance between two representations.
+///
+/// # Panics
+///
+/// Panics when the three slices do not share the same length.
+pub fn weighted_distance(a: &[f64], b: &[f64], weights: &[f64], metric: DistanceMetric) -> f64 {
+    assert_eq!(a.len(), b.len(), "representation dimensionality mismatch");
+    assert_eq!(a.len(), weights.len(), "weight dimensionality mismatch");
+    match metric {
+        DistanceMetric::L1 => a
+            .iter()
+            .zip(b)
+            .zip(weights)
+            .map(|((x, y), w)| w * (x - y).abs())
+            .sum(),
+        DistanceMetric::L2 => a
+            .iter()
+            .zip(b)
+            .zip(weights)
+            .map(|((x, y), w)| w * (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt(),
+    }
+}
+
+/// The Equation-1 lower bound: the smallest weighted distance any
+/// representation `v` with `lower[i] ≤ v[i] ≤ upper[i]` can have to the
+/// query representation.
+///
+/// For each dimension the closest admissible value to the query is used
+/// (clamping the query into `[lower_i, upper_i]`), which generalises the
+/// paper's per-dimension case analysis and works for both metrics.
+///
+/// # Panics
+///
+/// Panics when the slices do not share the same length.
+pub fn distance_lower_bound(
+    query: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    weights: &[f64],
+    metric: DistanceMetric,
+) -> f64 {
+    assert_eq!(query.len(), lower.len(), "lower bound dimensionality mismatch");
+    assert_eq!(query.len(), upper.len(), "upper bound dimensionality mismatch");
+    assert_eq!(query.len(), weights.len(), "weight dimensionality mismatch");
+    match metric {
+        DistanceMetric::L1 => query
+            .iter()
+            .zip(lower.iter().zip(upper))
+            .zip(weights)
+            .map(|((q, (lo, hi)), w)| {
+                if q > hi {
+                    w * (q - hi)
+                } else if q < lo {
+                    w * (lo - q)
+                } else {
+                    0.0
+                }
+            })
+            .sum(),
+        DistanceMetric::L2 => query
+            .iter()
+            .zip(lower.iter().zip(upper))
+            .zip(weights)
+            .map(|((q, (lo, hi)), w)| {
+                let gap = if q > hi {
+                    q - hi
+                } else if q < lo {
+                    lo - q
+                } else {
+                    0.0
+                };
+                w * gap * gap
+            })
+            .sum::<f64>()
+            .sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_distance_matches_paper_example_4() {
+        // F(r_q) = (2,1,1,1,1.75), F(r_1) = (3,1,1,1,1.6), w = 1 ⇒ 1.15.
+        let rq = [2.0, 1.0, 1.0, 1.0, 1.75];
+        let r1 = [3.0, 1.0, 1.0, 1.0, 1.6];
+        let r2 = [2.0, 0.0, 2.0, 0.0, 2.9];
+        let w = [1.0; 5];
+        let d1 = weighted_distance(&rq, &r1, &w, DistanceMetric::L1);
+        let d2 = weighted_distance(&rq, &r2, &w, DistanceMetric::L1);
+        assert!((d1 - 1.15).abs() < 1e-9);
+        assert!((d2 - 4.15).abs() < 1e-9);
+        assert!(d1 < d2);
+    }
+
+    #[test]
+    fn weights_scale_dimensions() {
+        let a = [1.0, 1.0];
+        let b = [0.0, 0.0];
+        let w = [2.0, 0.5];
+        assert_eq!(weighted_distance(&a, &b, &w, DistanceMetric::L1), 2.5);
+    }
+
+    #[test]
+    fn l2_distance_is_euclidean_when_weights_are_one() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        let w = [1.0, 1.0];
+        assert!((weighted_distance(&a, &b, &w, DistanceMetric::L2) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = [1.5, -2.0, 7.0];
+        let w = [1.0, 2.0, 3.0];
+        assert_eq!(weighted_distance(&a, &a, &w, DistanceMetric::L1), 0.0);
+        assert_eq!(weighted_distance(&a, &a, &w, DistanceMetric::L2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn mismatched_lengths_panic() {
+        weighted_distance(&[1.0], &[1.0, 2.0], &[1.0, 1.0], DistanceMetric::L1);
+    }
+
+    #[test]
+    fn lower_bound_matches_paper_example_7() {
+        // Query representation (1, 1), weight (1, 1).
+        let q = [1.0, 1.0];
+        let w = [1.0, 1.0];
+        // Cell g_{2,1}: v̄ = (2, 0), v̲ = (0, 0) ⇒ lb = 0 + 1 = 1.
+        let lb = distance_lower_bound(&q, &[0.0, 0.0], &[2.0, 0.0], &w, DistanceMetric::L1);
+        assert_eq!(lb, 1.0);
+        // Cell g_{5,1}: v̄ = (2, 1), v̲ = (0, 1) ⇒ lb = 0.
+        let lb = distance_lower_bound(&q, &[0.0, 1.0], &[2.0, 1.0], &w, DistanceMetric::L1);
+        assert_eq!(lb, 0.0);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_actual_distance() {
+        // Any v with lower ≤ v ≤ upper must have distance ≥ lb.
+        let q = [3.0, -1.0, 0.5];
+        let lower = [0.0, -2.0, 0.0];
+        let upper = [2.0, 4.0, 1.0];
+        let w = [1.0, 0.5, 2.0];
+        for metric in [DistanceMetric::L1, DistanceMetric::L2] {
+            let lb = distance_lower_bound(&q, &lower, &upper, &w, metric);
+            // Sample a few admissible vectors, including the corners.
+            let candidates = [
+                [0.0, -2.0, 0.0],
+                [2.0, 4.0, 1.0],
+                [1.0, 0.0, 0.5],
+                [2.0, -2.0, 1.0],
+            ];
+            for v in candidates {
+                assert!(
+                    weighted_distance(&q, &v, &w, metric) + 1e-12 >= lb,
+                    "lb {lb} must not exceed distance for {v:?} under {metric:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_zero_when_query_is_inside_the_box() {
+        let q = [1.0, 2.0];
+        let lb = distance_lower_bound(&q, &[0.0, 0.0], &[5.0, 5.0], &[1.0, 1.0], DistanceMetric::L1);
+        assert_eq!(lb, 0.0);
+    }
+
+    #[test]
+    fn lower_bound_is_exact_when_bounds_collapse() {
+        let q = [1.0, 2.0];
+        let v = [4.0, 0.0];
+        let w = [1.0, 3.0];
+        for metric in [DistanceMetric::L1, DistanceMetric::L2] {
+            let lb = distance_lower_bound(&q, &v, &v, &w, metric);
+            let d = weighted_distance(&q, &v, &w, metric);
+            assert!((lb - d).abs() < 1e-12);
+        }
+    }
+}

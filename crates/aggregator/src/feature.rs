@@ -1,0 +1,178 @@
+//! Feature vectors (aggregate representations) and dimension weights.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Deref, Index};
+
+/// The aggregate representation `F(r)` of a region: the concatenation of
+/// the outputs of every aggregator of a composite aggregator
+/// (Definition 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FeatureVector(pub Vec<f64>);
+
+impl FeatureVector {
+    /// Creates a feature vector from raw values.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self(values)
+    }
+
+    /// A zero vector of the given dimensionality.
+    pub fn zeros(dim: usize) -> Self {
+        Self(vec![0.0; dim])
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Consumes the vector and returns the raw values.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Returns `true` when every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Deref for FeatureVector {
+    type Target = [f64];
+
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl Index<usize> for FeatureVector {
+    type Output = f64;
+
+    fn index(&self, idx: usize) -> &f64 {
+        &self.0[idx]
+    }
+}
+
+impl From<Vec<f64>> for FeatureVector {
+    fn from(values: Vec<f64>) -> Self {
+        Self(values)
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Per-dimension weights `w` used when computing the distance between two
+/// aggregate representations (Definition 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights(pub Vec<f64>);
+
+impl Weights {
+    /// Creates a weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any weight is negative or non-finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self(weights)
+    }
+
+    /// Uniform weights of 1 for `dim` dimensions.
+    pub fn uniform(dim: usize) -> Self {
+        Self(vec![1.0; dim])
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl Deref for Weights {
+    type Target = [f64];
+
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl From<Vec<f64>> for Weights {
+    fn from(weights: Vec<f64>) -> Self {
+        Self::new(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_basics() {
+        let v = FeatureVector::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+        assert!(v.is_finite());
+        assert_eq!(FeatureVector::zeros(2).as_slice(), &[0.0, 0.0]);
+        assert_eq!(v.clone().into_inner(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn feature_vector_detects_non_finite() {
+        assert!(!FeatureVector::new(vec![1.0, f64::NAN]).is_finite());
+    }
+
+    #[test]
+    fn feature_vector_display() {
+        assert_eq!(
+            format!("{}", FeatureVector::new(vec![1.0, 2.5])),
+            "(1.0000, 2.5000)"
+        );
+    }
+
+    #[test]
+    fn weights_uniform_and_from() {
+        assert_eq!(Weights::uniform(3).as_slice(), &[1.0, 1.0, 1.0]);
+        let w: Weights = vec![0.5, 0.25].into();
+        assert_eq!(w.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weights_reject_negative() {
+        Weights::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn deref_allows_iteration() {
+        let v = FeatureVector::new(vec![1.0, 2.0]);
+        let sum: f64 = v.iter().sum();
+        assert_eq!(sum, 3.0);
+        let w = Weights::uniform(4);
+        assert_eq!(w.len(), 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! The individual aggregators `f_D`, `f_A`, `f_S` (Section 3.2) plus a
+//! count aggregator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a single aggregator within a composite aggregator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregatorKind {
+    /// `f_D`: the distribution of selected objects over the domain of a
+    /// categorical attribute.  Produces `|dom(A)|` feature dimensions.
+    Distribution {
+        /// Index of the categorical attribute.
+        attr: usize,
+    },
+    /// `f_A`: the average of a numeric attribute over the selected objects
+    /// (0 when no object is selected).  Produces one feature dimension.
+    Average {
+        /// Index of the numeric attribute.
+        attr: usize,
+    },
+    /// `f_S`: the sum of a numeric attribute over the selected objects.
+    /// Produces one feature dimension.
+    Sum {
+        /// Index of the numeric attribute.
+        attr: usize,
+    },
+    /// The number of selected objects.  Not one of the paper's three named
+    /// aggregators but expressible in its framework (a sum of the constant
+    /// 1); it is the scoring function of the MaxRS special case
+    /// (Section 7.5).
+    Count,
+}
+
+impl AggregatorKind {
+    /// The attribute the aggregator reads, if any.
+    pub fn attr(&self) -> Option<usize> {
+        match self {
+            AggregatorKind::Distribution { attr }
+            | AggregatorKind::Average { attr }
+            | AggregatorKind::Sum { attr } => Some(*attr),
+            AggregatorKind::Count => None,
+        }
+    }
+
+    /// Short human-readable name of the aggregator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregatorKind::Distribution { .. } => "distribution",
+            AggregatorKind::Average { .. } => "average",
+            AggregatorKind::Sum { .. } => "sum",
+            AggregatorKind::Count => "count",
+        }
+    }
+}
+
+impl fmt::Display for AggregatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.attr() {
+            Some(a) => write!(f, "{}(attr{})", self.name(), a),
+            None => write!(f, "{}()", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_accessor() {
+        assert_eq!(AggregatorKind::Distribution { attr: 2 }.attr(), Some(2));
+        assert_eq!(AggregatorKind::Average { attr: 0 }.attr(), Some(0));
+        assert_eq!(AggregatorKind::Sum { attr: 1 }.attr(), Some(1));
+        assert_eq!(AggregatorKind::Count.attr(), None);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(AggregatorKind::Count.name(), "count");
+        assert_eq!(
+            format!("{}", AggregatorKind::Distribution { attr: 3 }),
+            "distribution(attr3)"
+        );
+        assert_eq!(format!("{}", AggregatorKind::Count), "count()");
+    }
+}

@@ -1,0 +1,42 @@
+//! Composite aggregators, feature vectors and distance machinery for the
+//! ASRS reproduction (Section 3.2 / 3.3 of the paper).
+//!
+//! A *composite aggregator* `F = ((f_1, A_1, γ_1), …, (f_k, A_k, γ_k))`
+//! turns the set of spatial objects inside a region into a fixed-length
+//! *aggregate representation* (feature vector).  The ASRS problem then
+//! minimises a weighted L1 distance between the representation of a
+//! candidate region and that of the query region.
+//!
+//! The crate provides:
+//!
+//! * [`Selection`] — the selection functions γ (all objects, objects with a
+//!   given categorical value, objects whose numeric attribute falls in a
+//!   range).
+//! * [`AggregatorKind`] — the aggregators `f_D` (distribution), `f_A`
+//!   (average), `f_S` (sum) from the paper plus a `count` aggregator used by
+//!   the MaxRS adaptation.
+//! * [`CompositeAggregator`] — the composite aggregator, resolved against a
+//!   dataset [`Schema`].  It also defines the *statistics layout*: an
+//!   additive vector representation of partially aggregated data that makes
+//!   the aggregator compatible with difference-array discretisation
+//!   (Section 4.3) and with the grid index's attribute summary tables
+//!   (Section 5.2).
+//! * [`FeatureVector`], [`Weights`], [`DistanceMetric`] and the Equation-1
+//!   distance lower bound used to prune dirty cells.
+//!
+//! [`Schema`]: asrs_data::Schema
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod composite;
+mod distance;
+mod feature;
+mod kind;
+mod selection;
+
+pub use composite::{AggregatorError, AggregatorSpec, CompositeAggregator, CompositeBuilder};
+pub use distance::{distance_lower_bound, weighted_distance, DistanceMetric};
+pub use feature::{FeatureVector, Weights};
+pub use kind::AggregatorKind;
+pub use selection::Selection;

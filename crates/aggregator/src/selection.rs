@@ -1,0 +1,161 @@
+//! Selection functions γ (Definition 1 of the paper).
+
+use asrs_data::SpatialObject;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A selection function: decides which objects of a region contribute to an
+/// aggregator.
+///
+/// The paper's examples use γ_all (all objects) and γ_apt (objects whose
+/// category is "Apartment"); the enum covers those plus numeric-range
+/// selections, which are handy for queries such as "apartments below a
+/// price threshold".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum Selection {
+    /// Selects every object (γ_all).
+    #[default]
+    All,
+    /// Selects objects whose categorical attribute `attr` equals `value`.
+    CatEquals {
+        /// Attribute index in the schema.
+        attr: usize,
+        /// Required categorical value.
+        value: u32,
+    },
+    /// Selects objects whose categorical attribute `attr` is one of
+    /// `values`.
+    CatIn {
+        /// Attribute index in the schema.
+        attr: usize,
+        /// Accepted categorical values.
+        values: Vec<u32>,
+    },
+    /// Selects objects whose numeric attribute `attr` lies in
+    /// `[min, max]` (inclusive).
+    NumRange {
+        /// Attribute index in the schema.
+        attr: usize,
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+}
+
+impl Selection {
+    /// Convenience constructor for [`Selection::CatEquals`].
+    pub fn cat_equals(attr: usize, value: u32) -> Self {
+        Selection::CatEquals { attr, value }
+    }
+
+    /// Convenience constructor for [`Selection::CatIn`].
+    pub fn cat_in(attr: usize, values: Vec<u32>) -> Self {
+        Selection::CatIn { attr, values }
+    }
+
+    /// Convenience constructor for [`Selection::NumRange`].
+    pub fn num_range(attr: usize, min: f64, max: f64) -> Self {
+        Selection::NumRange { attr, min, max }
+    }
+
+    /// Returns `true` when the object satisfies the selection.
+    pub fn accepts(&self, object: &SpatialObject) -> bool {
+        match self {
+            Selection::All => true,
+            Selection::CatEquals { attr, value } => object.cat_value(*attr) == Some(*value),
+            Selection::CatIn { attr, values } => object
+                .cat_value(*attr)
+                .map(|v| values.contains(&v))
+                .unwrap_or(false),
+            Selection::NumRange { attr, min, max } => object
+                .num_value(*attr)
+                .map(|v| v >= *min && v <= *max)
+                .unwrap_or(false),
+        }
+    }
+
+    /// The highest attribute index referenced by the selection, if any.
+    /// Used for schema validation.
+    pub fn referenced_attr(&self) -> Option<usize> {
+        match self {
+            Selection::All => None,
+            Selection::CatEquals { attr, .. }
+            | Selection::CatIn { attr, .. }
+            | Selection::NumRange { attr, .. } => Some(*attr),
+        }
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selection::All => write!(f, "all"),
+            Selection::CatEquals { attr, value } => write!(f, "attr{attr}=={value}"),
+            Selection::CatIn { attr, values } => write!(f, "attr{attr} in {values:?}"),
+            Selection::NumRange { attr, min, max } => write!(f, "attr{attr} in [{min}, {max}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_data::AttrValue;
+    use asrs_geo::Point;
+
+    fn obj(cat: u32, num: f64) -> SpatialObject {
+        SpatialObject::new(
+            0,
+            Point::origin(),
+            vec![AttrValue::Cat(cat), AttrValue::Num(num)],
+        )
+    }
+
+    #[test]
+    fn all_accepts_everything() {
+        assert!(Selection::All.accepts(&obj(0, 0.0)));
+        assert!(Selection::default().accepts(&obj(5, -3.0)));
+    }
+
+    #[test]
+    fn cat_equals_matches_exact_value() {
+        let sel = Selection::cat_equals(0, 2);
+        assert!(sel.accepts(&obj(2, 0.0)));
+        assert!(!sel.accepts(&obj(1, 0.0)));
+        // Wrong attribute kind is never accepted.
+        assert!(!Selection::cat_equals(1, 2).accepts(&obj(2, 2.0)));
+    }
+
+    #[test]
+    fn cat_in_matches_any_listed_value() {
+        let sel = Selection::cat_in(0, vec![1, 3]);
+        assert!(sel.accepts(&obj(1, 0.0)));
+        assert!(sel.accepts(&obj(3, 0.0)));
+        assert!(!sel.accepts(&obj(2, 0.0)));
+    }
+
+    #[test]
+    fn num_range_is_inclusive() {
+        let sel = Selection::num_range(1, 1.0, 2.0);
+        assert!(sel.accepts(&obj(0, 1.0)));
+        assert!(sel.accepts(&obj(0, 2.0)));
+        assert!(sel.accepts(&obj(0, 1.5)));
+        assert!(!sel.accepts(&obj(0, 2.5)));
+        // Categorical attribute never satisfies a numeric range.
+        assert!(!Selection::num_range(0, 0.0, 10.0).accepts(&obj(5, 5.0)));
+    }
+
+    #[test]
+    fn referenced_attr_reports_dependency() {
+        assert_eq!(Selection::All.referenced_attr(), None);
+        assert_eq!(Selection::cat_equals(3, 0).referenced_attr(), Some(3));
+        assert_eq!(Selection::num_range(2, 0.0, 1.0).referenced_attr(), Some(2));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", Selection::All), "all");
+        assert_eq!(format!("{}", Selection::cat_equals(0, 3)), "attr0==3");
+    }
+}

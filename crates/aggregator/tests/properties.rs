@@ -1,0 +1,150 @@
+//! Property-based tests for the aggregation machinery: additivity of the
+//! statistics layout, soundness of the feature bounds and of the Equation-1
+//! distance lower bound.
+
+use asrs_aggregator::{
+    distance_lower_bound, weighted_distance, CompositeAggregator, DistanceMetric, Selection,
+    Weights,
+};
+use asrs_data::{AttrValue, AttributeDef, AttributeKind, Schema, SpatialObject};
+use asrs_geo::Point;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        AttributeDef::new("category", AttributeKind::categorical(5)),
+        AttributeDef::new("value", AttributeKind::numeric(-20.0, 20.0)),
+    ])
+}
+
+fn aggregator() -> CompositeAggregator {
+    CompositeAggregator::builder(&schema())
+        .distribution("category", Selection::All)
+        .average("value", Selection::All)
+        .sum("value", Selection::cat_in(0, vec![0, 1, 2]))
+        .count(Selection::cat_equals(0, 3))
+        .build()
+        .expect("aggregator builds")
+}
+
+fn arb_object() -> impl Strategy<Value = SpatialObject> {
+    (0u32..5, -20.0..20.0f64, -100.0..100.0f64, -100.0..100.0f64).prop_map(|(cat, val, x, y)| {
+        SpatialObject::new(
+            0,
+            Point::new(x, y),
+            vec![AttrValue::Cat(cat), AttrValue::Num(val)],
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn stats_are_additive_over_partitions(
+        objects in prop::collection::vec(arb_object(), 0..40),
+        split in 0usize..40,
+    ) {
+        let agg = aggregator();
+        let split = split.min(objects.len());
+        let all = agg.stats_of(objects.iter());
+        let left = agg.stats_of(objects.iter().take(split));
+        let right = agg.stats_of(objects.iter().skip(split));
+        for ((a, l), r) in all.iter().zip(&left).zip(&right) {
+            prop_assert!((a - (l + r)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feature_bounds_are_sound_for_random_supersets(
+        mandatory in prop::collection::vec(arb_object(), 0..10),
+        optional in prop::collection::vec(arb_object(), 0..8),
+        mask in 0u32..256,
+    ) {
+        let agg = aggregator();
+        let lower_stats = agg.stats_of(mandatory.iter());
+        let upper_stats = agg.stats_of(mandatory.iter().chain(optional.iter()));
+        let (lo, hi) = agg.feature_bounds(&lower_stats, &upper_stats);
+        // Pick an arbitrary admissible subset via the mask.
+        let chosen: Vec<&SpatialObject> = mandatory
+            .iter()
+            .chain(
+                optional
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << (i % 32)) != 0)
+                    .map(|(_, o)| o),
+            )
+            .collect();
+        let rep = agg.aggregate(chosen.into_iter());
+        for d in 0..agg.feature_dim() {
+            prop_assert!(
+                lo[d] - 1e-9 <= rep[d] && rep[d] <= hi[d] + 1e-9,
+                "dimension {} value {} escapes bounds [{}, {}]",
+                d, rep[d], lo[d], hi[d]
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_distance_of_admissible_sets(
+        mandatory in prop::collection::vec(arb_object(), 0..8),
+        optional in prop::collection::vec(arb_object(), 0..6),
+        query_objects in prop::collection::vec(arb_object(), 0..10),
+        mask in 0u32..64,
+    ) {
+        let agg = aggregator();
+        let query = agg.aggregate(query_objects.iter());
+        let weights = Weights::uniform(agg.feature_dim());
+        let lower_stats = agg.stats_of(mandatory.iter());
+        let upper_stats = agg.stats_of(mandatory.iter().chain(optional.iter()));
+        for metric in [DistanceMetric::L1, DistanceMetric::L2] {
+            let lb = agg.lower_bound_distance(&query, &lower_stats, &upper_stats, &weights, metric);
+            let chosen: Vec<&SpatialObject> = mandatory
+                .iter()
+                .chain(
+                    optional
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << (i % 32)) != 0)
+                        .map(|(_, o)| o),
+                )
+                .collect();
+            let rep = agg.aggregate(chosen.into_iter());
+            let d = weighted_distance(&rep, &query, &weights, metric);
+            prop_assert!(lb <= d + 1e-9, "lb {lb} exceeds distance {d} under {metric:?}");
+        }
+    }
+
+    #[test]
+    fn distance_metric_axioms(
+        a in prop::collection::vec(-50.0..50.0f64, 1..12),
+        b_seed in prop::collection::vec(-50.0..50.0f64, 1..12),
+    ) {
+        let dim = a.len().min(b_seed.len());
+        let a = &a[..dim];
+        let b = &b_seed[..dim];
+        let w = vec![1.0; dim];
+        for metric in [DistanceMetric::L1, DistanceMetric::L2] {
+            let dab = weighted_distance(a, b, &w, metric);
+            let dba = weighted_distance(b, a, &w, metric);
+            prop_assert!((dab - dba).abs() < 1e-9, "symmetry");
+            prop_assert!(dab >= 0.0, "non-negativity");
+            prop_assert!(weighted_distance(a, a, &w, metric).abs() < 1e-12, "identity");
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_tight_when_bounds_collapse(
+        v in prop::collection::vec(-10.0..10.0f64, 1..8),
+        q in prop::collection::vec(-10.0..10.0f64, 1..8),
+    ) {
+        let dim = v.len().min(q.len());
+        let v = &v[..dim];
+        let q = &q[..dim];
+        let w = vec![1.0; dim];
+        for metric in [DistanceMetric::L1, DistanceMetric::L2] {
+            let lb = distance_lower_bound(q, v, v, &w, metric);
+            let d = weighted_distance(q, v, &w, metric);
+            prop_assert!((lb - d).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! A segment tree with lazy range addition and range/global maximum
+//! queries.
+//!
+//! This is the data-structure substrate of the Optimal Enclosure (OE)
+//! sweep-line algorithm for MaxRS \[21, 5\]: the elementary y-intervals of
+//! the rectangle arrangement are the leaves; every rectangle start event
+//! adds +1 over the leaves its y-extent covers and every end event adds −1;
+//! the global maximum tracks the best coverage count seen so far.
+
+/// Segment tree over `n` leaves supporting `range_add` and maximum queries
+/// with argmax recovery.
+#[derive(Debug, Clone)]
+pub struct MaxAddSegmentTree {
+    n: usize,
+    /// Max value within the node's range (including pending lazy additions
+    /// of ancestors *not* yet applied — the invariant is that `max[node]`
+    /// is correct relative to its own subtree's lazy values).
+    max: Vec<f64>,
+    /// Index of a leaf attaining the maximum within the node's range.
+    argmax: Vec<usize>,
+    /// Pending addition to every leaf of the node's range.
+    lazy: Vec<f64>,
+}
+
+impl MaxAddSegmentTree {
+    /// Creates a tree over `n` leaves, all initialised to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "segment tree needs at least one leaf");
+        let size = 4 * n;
+        let mut tree = Self {
+            n,
+            max: vec![0.0; size],
+            argmax: vec![0; size],
+            lazy: vec![0.0; size],
+        };
+        tree.build(1, 0, n - 1);
+        tree
+    }
+
+    fn build(&mut self, node: usize, lo: usize, hi: usize) {
+        self.argmax[node] = lo;
+        if lo == hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.build(2 * node, lo, mid);
+        self.build(2 * node + 1, mid + 1, hi);
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when the tree has no leaves (never true — kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `delta` to every leaf in the half-open range `[l, r)`.
+    pub fn range_add(&mut self, l: usize, r: usize, delta: f64) {
+        if l >= r || l >= self.n {
+            return;
+        }
+        let r = r.min(self.n);
+        self.add_rec(1, 0, self.n - 1, l, r - 1, delta);
+    }
+
+    fn add_rec(&mut self, node: usize, lo: usize, hi: usize, l: usize, r: usize, delta: f64) {
+        if r < lo || hi < l {
+            return;
+        }
+        if l <= lo && hi <= r {
+            self.max[node] += delta;
+            self.lazy[node] += delta;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.add_rec(2 * node, lo, mid, l, r, delta);
+        self.add_rec(2 * node + 1, mid + 1, hi, l, r, delta);
+        let (left, right) = (2 * node, 2 * node + 1);
+        if self.max[left] >= self.max[right] {
+            self.max[node] = self.max[left] + self.lazy[node];
+            self.argmax[node] = self.argmax[left];
+        } else {
+            self.max[node] = self.max[right] + self.lazy[node];
+            self.argmax[node] = self.argmax[right];
+        }
+    }
+
+    /// The global maximum and the index of a leaf attaining it.
+    pub fn global_max(&self) -> (f64, usize) {
+        (self.max[1], self.argmax[1])
+    }
+
+    /// The value stored at a single leaf (mainly for tests).
+    pub fn leaf_value(&self, idx: usize) -> f64 {
+        assert!(idx < self.n, "leaf index out of range");
+        self.leaf_rec(1, 0, self.n - 1, idx)
+    }
+
+    fn leaf_rec(&self, node: usize, lo: usize, hi: usize, idx: usize) -> f64 {
+        if lo == hi {
+            return self.max[node];
+        }
+        let mid = (lo + hi) / 2;
+        let child = if idx <= mid {
+            self.leaf_rec(2 * node, lo, mid, idx)
+        } else {
+            self.leaf_rec(2 * node + 1, mid + 1, hi, idx)
+        };
+        child + self.lazy[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference used to validate the tree.
+    struct Reference(Vec<f64>);
+
+    impl Reference {
+        fn range_add(&mut self, l: usize, r: usize, delta: f64) {
+            let end = r.min(self.0.len());
+            for v in &mut self.0[l..end] {
+                *v += delta;
+            }
+        }
+        fn global_max(&self) -> f64 {
+            self.0.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn zero_leaves_rejected() {
+        MaxAddSegmentTree::new(0);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut t = MaxAddSegmentTree::new(1);
+        assert_eq!(t.global_max(), (0.0, 0));
+        t.range_add(0, 1, 3.0);
+        assert_eq!(t.global_max(), (3.0, 0));
+        assert_eq!(t.leaf_value(0), 3.0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn overlapping_adds_accumulate() {
+        let mut t = MaxAddSegmentTree::new(8);
+        t.range_add(0, 4, 1.0);
+        t.range_add(2, 6, 1.0);
+        t.range_add(3, 8, 1.0);
+        // Leaf 3 is covered by all three additions.
+        let (max, arg) = t.global_max();
+        assert_eq!(max, 3.0);
+        assert_eq!(arg, 3);
+        assert_eq!(t.leaf_value(3), 3.0);
+        assert_eq!(t.leaf_value(0), 1.0);
+        assert_eq!(t.leaf_value(7), 1.0);
+    }
+
+    #[test]
+    fn negative_adds_reverse_positive_ones() {
+        let mut t = MaxAddSegmentTree::new(16);
+        t.range_add(4, 12, 2.0);
+        t.range_add(4, 12, -2.0);
+        assert_eq!(t.global_max().0, 0.0);
+        for i in 0..16 {
+            assert_eq!(t.leaf_value(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_adds_are_ignored() {
+        let mut t = MaxAddSegmentTree::new(4);
+        t.range_add(3, 3, 5.0);
+        t.range_add(10, 20, 5.0);
+        assert_eq!(t.global_max().0, 0.0);
+        t.range_add(2, 100, 1.0);
+        assert_eq!(t.global_max().0, 1.0);
+    }
+
+    #[test]
+    fn randomised_against_reference() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..60);
+            let mut tree = MaxAddSegmentTree::new(n);
+            let mut reference = Reference(vec![0.0; n]);
+            for _ in 0..200 {
+                let l = rng.gen_range(0..n);
+                let r = rng.gen_range(l..=n);
+                let delta = rng.gen_range(-3i32..=3) as f64;
+                tree.range_add(l, r, delta);
+                reference.range_add(l, r, delta);
+                let (max, arg) = tree.global_max();
+                assert!((max - reference.global_max()).abs() < 1e-9);
+                assert!((reference.0[arg] - max).abs() < 1e-9, "argmax must attain the max");
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 8: runtime vs query rectangle size (q, 4q, 7q, 10q) for
+//! DS-Search and the sweep-line baseline, on the Tweet and POISyn
+//! analogues.
+//!
+//! The paper uses 1M objects; the Criterion bench uses a reduced
+//! cardinality so that the O(n²) baseline remains measurable.  The
+//! `experiments` binary runs the same sweep at larger sizes.
+
+use asrs_baseline::SweepBase;
+use asrs_bench::Workload;
+use asrs_core::DsSearch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const N: usize = 3_000;
+
+fn bench_fig08(c: &mut Criterion) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let dataset = workload.dataset(N, 42);
+        let aggregator = workload.aggregator(&dataset);
+        let mut group = c.benchmark_group(format!("fig08/{}-{}k", workload.name(), N / 1000));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for k in [1.0, 4.0, 7.0, 10.0] {
+            let query = workload.query(&dataset, k);
+            group.bench_with_input(BenchmarkId::new("DS-Search", k as u64), &query, |b, q| {
+                let solver = DsSearch::new(&dataset, &aggregator);
+                b.iter(|| solver.search(q));
+            });
+            group.bench_with_input(BenchmarkId::new("Base", k as u64), &query, |b, q| {
+                let solver = SweepBase::new(&dataset, &aggregator);
+                b.iter(|| solver.search(q));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig08);
+criterion_main!(benches);

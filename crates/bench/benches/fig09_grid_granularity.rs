@@ -1,0 +1,39 @@
+//! Figure 9: DS-Search runtime as a function of the discretisation grid
+//! granularity `n_col = n_row ∈ {10, 20, 30, 40, 50}`.
+
+use asrs_bench::Workload;
+use asrs_core::{DsSearch, SearchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const N: usize = 20_000;
+
+fn bench_fig09(c: &mut Criterion) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let dataset = workload.dataset(N, 7);
+        let aggregator = workload.aggregator(&dataset);
+        let mut group = c.benchmark_group(format!("fig09/{}-{}k", workload.name(), N / 1000));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for k in [1.0, 10.0] {
+            let query = workload.query(&dataset, k);
+            for granularity in [10usize, 20, 30, 40, 50] {
+                let config = SearchConfig::new().with_grid(granularity, granularity);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}q", k as u64), granularity),
+                    &query,
+                    |b, q| {
+                        let solver = DsSearch::with_config(&dataset, &aggregator, config.clone());
+                        b.iter(|| solver.search(q));
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig09);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 10: scalability of DS-Search vs the sweep-line baseline with the
+//! dataset cardinality (query size 10q).
+//!
+//! The baseline is quadratic, so it is only benchmarked up to 5k objects
+//! here; the `experiments` binary extends the sweep with single runs.
+
+use asrs_baseline::SweepBase;
+use asrs_bench::Workload;
+use asrs_core::DsSearch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig10(c: &mut Criterion) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let mut group = c.benchmark_group(format!("fig10/{}", workload.name()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for n in [1_000usize, 2_500, 5_000, 10_000, 20_000] {
+            let dataset = workload.dataset(n, 11);
+            let aggregator = workload.aggregator(&dataset);
+            let query = workload.query(&dataset, 10.0);
+            group.bench_with_input(BenchmarkId::new("DS-Search", n), &query, |b, q| {
+                let solver = DsSearch::new(&dataset, &aggregator);
+                b.iter(|| solver.search(q));
+            });
+            if n <= 5_000 {
+                group.bench_with_input(BenchmarkId::new("Base", n), &query, |b, q| {
+                    let solver = SweepBase::new(&dataset, &aggregator);
+                    b.iter(|| solver.search(q));
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

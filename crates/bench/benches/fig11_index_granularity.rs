@@ -1,0 +1,51 @@
+//! Figure 11: GI-DS with grid-index granularities 64, 128 and 256 compared
+//! against plain DS-Search, as a function of the query rectangle size.
+
+use asrs_bench::Workload;
+use asrs_core::{DsSearch, GiDsSearch, GridIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const N: usize = 30_000;
+
+fn bench_fig11(c: &mut Criterion) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let dataset = workload.dataset(N, 3);
+        let aggregator = workload.aggregator(&dataset);
+        let indexes: Vec<(usize, GridIndex)> = [64usize, 128, 256]
+            .iter()
+            .map(|&g| {
+                (
+                    g,
+                    GridIndex::build(&dataset, &aggregator, g, g).expect("non-empty dataset"),
+                )
+            })
+            .collect();
+        let mut group = c.benchmark_group(format!("fig11/{}-{}k", workload.name(), N / 1000));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for k in [1.0, 4.0, 7.0, 10.0] {
+            let query = workload.query(&dataset, k);
+            group.bench_with_input(BenchmarkId::new("DS-Search", k as u64), &query, |b, q| {
+                let solver = DsSearch::new(&dataset, &aggregator);
+                b.iter(|| solver.search(q));
+            });
+            for (granularity, index) in &indexes {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{granularity}-GI-DS"), k as u64),
+                    &query,
+                    |b, q| {
+                        let solver = GiDsSearch::new(&dataset, &aggregator, index);
+                        b.iter(|| solver.search(q));
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

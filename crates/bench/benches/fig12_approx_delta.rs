@@ -1,0 +1,38 @@
+//! Figure 12: runtime of the (1+δ)-approximate solution (app-GIDS) as a
+//! function of δ and the dataset cardinality, for both composite
+//! aggregators F1 and F2.
+
+use asrs_bench::Workload;
+use asrs_core::{GiDsSearch, GridIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig12(c: &mut Criterion) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let mut group = c.benchmark_group(format!("fig12/{}", workload.name()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
+        for n in [20_000usize, 40_000] {
+            let dataset = workload.dataset(n, 5);
+            let aggregator = workload.aggregator(&dataset);
+            let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty dataset");
+            let query = workload.query(&dataset, 10.0);
+            for delta in [0.1, 0.2, 0.3, 0.4] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("n={n}"), format!("delta={delta}")),
+                    &query,
+                    |b, q| {
+                        let solver = GiDsSearch::new(&dataset, &aggregator, &index);
+                        b.iter(|| solver.search_approx(q, delta));
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

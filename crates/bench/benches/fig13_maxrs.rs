@@ -1,0 +1,51 @@
+//! Figure 13: the MaxRS adaptation of DS-Search compared against the
+//! Optimal Enclosure (OE) sweep-line algorithm — (a) effect of the query
+//! rectangle size, (b) scalability with the cardinality.
+
+use asrs_baseline::OptimalEnclosure;
+use asrs_bench::{tweet_dataset, unit_query_size};
+use asrs_core::MaxRsSearch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_fig13a(c: &mut Criterion) {
+    let dataset = tweet_dataset(30_000, 17);
+    let unit = unit_query_size(&dataset);
+    let mut group = c.benchmark_group("fig13a/rect-size-30k");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for k in [1.0, 10.0, 20.0, 30.0] {
+        let size = unit.scaled(k);
+        group.bench_with_input(BenchmarkId::new("DS-Search", k as u64), &size, |b, s| {
+            b.iter(|| MaxRsSearch::new(&dataset, *s).search());
+        });
+        group.bench_with_input(BenchmarkId::new("OE", k as u64), &size, |b, s| {
+            b.iter(|| OptimalEnclosure::new(&dataset, *s).search());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig13b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13b/scalability");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for n in [10_000usize, 25_000, 50_000] {
+        let dataset = tweet_dataset(n, 29);
+        let size = unit_query_size(&dataset).scaled(10.0);
+        group.bench_with_input(BenchmarkId::new("DS-Search", n), &size, |b, s| {
+            b.iter(|| MaxRsSearch::new(&dataset, *s).search());
+        });
+        group.bench_with_input(BenchmarkId::new("OE", n), &size, |b, s| {
+            b.iter(|| OptimalEnclosure::new(&dataset, *s).search());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13a, bench_fig13b);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! The case study of Section 7.6 (Figures 14 and 15) on the synthetic
+//! city: category profiles of the three districts, their pairwise
+//! distances, and the region DS-Search retrieves for the "Orchard" query.
+//!
+//! Run with `cargo run --release -p asrs-bench --bin casestudy`.
+
+use asrs_aggregator::{weighted_distance, CompositeAggregator, DistanceMetric, Selection, Weights};
+use asrs_bench::Table;
+use asrs_core::{AsrsQuery, DsSearch};
+use asrs_data::gen::{CityGenerator, CITY_CATEGORIES};
+
+fn main() {
+    let city = CityGenerator::default().generate(2019);
+    let dataset = &city.dataset;
+    let aggregator = CompositeAggregator::builder(dataset.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .expect("category attribute exists");
+
+    println!(
+        "# Case study (Section 7.6): {} POIs, {} districts\n",
+        dataset.len(),
+        city.districts.len()
+    );
+
+    // Figure 14b analogue: the category distribution of each district.
+    let mut header: Vec<&str> = vec!["district"];
+    header.extend(CITY_CATEGORIES.iter());
+    let mut profile_table = Table::new("Figure 14b: category distribution per district", &header);
+    let mut reps = Vec::new();
+    for name in ["Orchard", "Marina Bay", "Bugis"] {
+        let district = city.district(name).expect("district exists");
+        let rep = aggregator.aggregate_region(dataset, &district.rect);
+        let mut row = vec![name.to_string()];
+        row.extend(rep.iter().map(|v| format!("{v:.0}")));
+        profile_table.row(row);
+        reps.push((name, rep));
+    }
+    profile_table.print();
+
+    // Figure 15 analogue: pairwise distances show Marina Bay is the match.
+    let weights = Weights::uniform(aggregator.feature_dim());
+    let mut distance_table = Table::new(
+        "Figure 15: weighted L1 distance to the Orchard query region",
+        &["candidate district", "distance"],
+    );
+    let orchard_rep = reps[0].1.clone();
+    for (name, rep) in reps.iter().skip(1) {
+        let d = weighted_distance(&orchard_rep, rep, &weights, DistanceMetric::L1);
+        distance_table.row(vec![name.to_string(), format!("{d:.1}")]);
+    }
+    distance_table.print();
+
+    // The actual search with Orchard as the query-by-example region.
+    let orchard = city.district("Orchard").expect("district exists").rect;
+    let query = AsrsQuery::from_example_region(dataset, &aggregator, &orchard)
+        .expect("district rectangles are non-degenerate");
+    let result = DsSearch::new(dataset, &aggregator).search(&query);
+    println!(
+        "DS-Search retrieved region {} at distance {:.2} in {:?}",
+        result.region, result.distance, result.stats.elapsed
+    );
+    let marina = city.district("Marina Bay").expect("district exists").rect;
+    println!(
+        "that region overlaps Marina Bay: {} (the query region itself always matches perfectly)",
+        result.region.intersects(&marina)
+    );
+}

@@ -1,0 +1,316 @@
+//! Text-mode experiment runner: regenerates every table and figure of the
+//! paper's evaluation (Section 7) as plain-text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p asrs-bench --bin experiments -- [--all] [--fig8] [--fig9]
+//!     [--fig10] [--fig11] [--table1] [--fig12] [--table2] [--fig13] [--scale <f>]
+//! ```
+//!
+//! With no flags, every experiment runs at its default (laptop-friendly)
+//! cardinality.  `--scale` multiplies every cardinality, so the sweeps can
+//! be pushed towards the paper's sizes on bigger machines.
+
+use asrs_baseline::{OptimalEnclosure, SweepBase};
+use asrs_bench::{format_duration, unit_query_size, Table, Workload};
+use asrs_core::{DsSearch, GiDsSearch, GridIndex, MaxRsSearch, SearchConfig};
+use std::time::Instant;
+
+struct Options {
+    scale: f64,
+    run: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut scale = 1.0;
+    let mut run = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a numeric argument");
+            }
+            "--all" => run.push("all".to_string()),
+            flag if flag.starts_with("--") => run.push(flag.trim_start_matches("--").to_string()),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    Options { scale, run }
+}
+
+fn enabled(opts: &Options, name: &str) -> bool {
+    opts.run.is_empty()
+        || opts.run.iter().any(|r| r == "all")
+        || opts.run.iter().any(|r| r == name)
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(100)
+}
+
+/// Figure 8: runtime vs query rectangle size, DS-Search vs Base.
+fn fig8(scale: f64) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let n = scaled(20_000, scale);
+        let base_n = scaled(5_000, scale);
+        let dataset = workload.dataset(n, 42);
+        let base_dataset = workload.dataset(base_n, 42);
+        let aggregator = workload.aggregator(&dataset);
+        let base_aggregator = workload.aggregator(&base_dataset);
+        let mut table = Table::new(
+            &format!(
+                "Figure 8 ({}): runtime vs query rectangle size (DS-Search at n={n}, Base at n={base_n})",
+                workload.name()
+            ),
+            &["query size", "DS-Search", "Base (sweep line)"],
+        );
+        for k in [1.0, 4.0, 7.0, 10.0] {
+            let query = workload.query(&dataset, k);
+            let started = Instant::now();
+            DsSearch::new(&dataset, &aggregator).search(&query);
+            let ds_time = started.elapsed();
+            let base_query = workload.query(&base_dataset, k);
+            let started = Instant::now();
+            SweepBase::new(&base_dataset, &base_aggregator).search(&base_query);
+            let base_time = started.elapsed();
+            table.row(vec![
+                format!("{}q", k as u64),
+                format_duration(ds_time),
+                format_duration(base_time),
+            ]);
+        }
+        table.print();
+    }
+}
+
+/// Figure 9: DS-Search runtime vs n_col = n_row.
+fn fig9(scale: f64) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let n = scaled(20_000, scale);
+        let dataset = workload.dataset(n, 7);
+        let aggregator = workload.aggregator(&dataset);
+        let mut table = Table::new(
+            &format!("Figure 9 ({}): DS-Search runtime vs grid granularity (n={n})", workload.name()),
+            &["n_col = n_row", "q", "4q", "7q", "10q"],
+        );
+        for granularity in [10usize, 20, 30, 40, 50] {
+            let mut cells = vec![granularity.to_string()];
+            for k in [1.0, 4.0, 7.0, 10.0] {
+                let query = workload.query(&dataset, k);
+                let config = SearchConfig::new().with_grid(granularity, granularity);
+                let started = Instant::now();
+                DsSearch::with_config(&dataset, &aggregator, config).search(&query);
+                cells.push(format_duration(started.elapsed()));
+            }
+            table.row(cells);
+        }
+        table.print();
+    }
+}
+
+/// Figure 10: scalability of DS-Search vs Base (query size 10q).
+fn fig10(scale: f64) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let mut table = Table::new(
+            &format!("Figure 10 ({}): runtime vs number of objects (query size 10q)", workload.name()),
+            &["objects", "DS-Search", "Base (sweep line)"],
+        );
+        for base_n in [1_000usize, 4_000, 7_000, 10_000] {
+            let n = scaled(base_n, scale);
+            let dataset = workload.dataset(n, 11);
+            let aggregator = workload.aggregator(&dataset);
+            let query = workload.query(&dataset, 10.0);
+            let started = Instant::now();
+            DsSearch::new(&dataset, &aggregator).search(&query);
+            let ds_time = started.elapsed();
+            let started = Instant::now();
+            SweepBase::new(&dataset, &aggregator).search(&query);
+            let base_time = started.elapsed();
+            table.row(vec![
+                n.to_string(),
+                format_duration(ds_time),
+                format_duration(base_time),
+            ]);
+        }
+        table.print();
+    }
+}
+
+/// Figure 11 + Table 1: GI-DS vs DS-Search across index granularities,
+/// plus the fraction of index cells searched and the index sizes.
+fn fig11_table1(scale: f64) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let n = scaled(100_000, scale);
+        let dataset = workload.dataset(n, 3);
+        let aggregator = workload.aggregator(&dataset);
+        let mut runtime_table = Table::new(
+            &format!("Figure 11 ({}): runtime vs grid-index granularity (n={n})", workload.name()),
+            &["query size", "DS-Search", "64-GI-DS", "128-GI-DS", "256-GI-DS"],
+        );
+        let mut ratio_table = Table::new(
+            &format!("Table 1 ({}): ratio of index cells searched and index size (n={n})", workload.name()),
+            &["granularity", "q", "4q", "7q", "10q", "index size"],
+        );
+        let indexes: Vec<(usize, GridIndex)> = [64usize, 128, 256]
+            .iter()
+            .map(|&g| (g, GridIndex::build(&dataset, &aggregator, g, g).expect("non-empty")))
+            .collect();
+        let mut ratios: Vec<Vec<String>> = indexes
+            .iter()
+            .map(|(g, idx)| {
+                vec![
+                    format!("{g}x{g}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    format!("{:.1} MB", idx.memory_bytes() as f64 / (1024.0 * 1024.0)),
+                ]
+            })
+            .collect();
+        for (ki, k) in [1.0, 4.0, 7.0, 10.0].iter().enumerate() {
+            let query = workload.query(&dataset, *k);
+            let started = Instant::now();
+            DsSearch::new(&dataset, &aggregator).search(&query);
+            let mut row = vec![format!("{}q", *k as u64), format_duration(started.elapsed())];
+            for (ii, (_, index)) in indexes.iter().enumerate() {
+                let started = Instant::now();
+                let result = GiDsSearch::new(&dataset, &aggregator, index).search(&query);
+                row.push(format_duration(started.elapsed()));
+                let ratio = result.stats.index_search_ratio().unwrap_or(0.0);
+                ratios[ii][ki + 1] = format!("{:.1}%", ratio * 100.0);
+            }
+            runtime_table.row(row);
+        }
+        for row in ratios {
+            ratio_table.row(row);
+        }
+        runtime_table.print();
+        ratio_table.print();
+    }
+}
+
+/// Figure 12 + Table 2: the approximate solution — runtime vs δ and
+/// cardinality, and the approximation quality d_app / d_opt.
+fn fig12_table2(scale: f64) {
+    for workload in [Workload::Tweet, Workload::PoiSyn] {
+        let mut runtime_table = Table::new(
+            &format!(
+                "Figure 12 ({}): runtime of the approximate solution vs delta",
+                workload.name()
+            ),
+            &["objects", "delta=0.1", "delta=0.2", "delta=0.3", "delta=0.4"],
+        );
+        let mut quality_table = Table::new(
+            &format!("Table 2 ({}): approximation quality d_app / d_opt", workload.name()),
+            &["objects", "delta=0.1", "delta=0.2", "delta=0.3", "delta=0.4"],
+        );
+        for base_n in [50_000usize, 100_000, 150_000] {
+            let n = scaled(base_n, scale);
+            let dataset = workload.dataset(n, 5);
+            let aggregator = workload.aggregator(&dataset);
+            let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty");
+            let solver = GiDsSearch::new(&dataset, &aggregator, &index);
+            let query = workload.query(&dataset, 10.0);
+            let exact = solver.search(&query);
+            let mut runtime_row = vec![n.to_string()];
+            let mut quality_row = vec![n.to_string()];
+            for delta in [0.1, 0.2, 0.3, 0.4] {
+                let started = Instant::now();
+                let approx = solver.search_approx(&query, delta);
+                runtime_row.push(format_duration(started.elapsed()));
+                let quality = if exact.distance > 0.0 {
+                    approx.distance / exact.distance
+                } else {
+                    1.0
+                };
+                quality_row.push(format!("{quality:.5}"));
+            }
+            runtime_table.row(runtime_row);
+            quality_table.row(quality_row);
+        }
+        runtime_table.print();
+        quality_table.print();
+    }
+}
+
+/// Figure 13: MaxRS — DS-Search adaptation vs Optimal Enclosure.
+fn fig13(scale: f64) {
+    let n = scaled(100_000, scale);
+    let dataset = asrs_bench::tweet_dataset(n, 17);
+    let unit = unit_query_size(&dataset);
+    let mut size_table = Table::new(
+        &format!("Figure 13a: MaxRS runtime vs query rectangle size (n={n})"),
+        &["query size", "DS-Search", "OE"],
+    );
+    for k in [1.0, 10.0, 20.0, 30.0] {
+        let size = unit.scaled(k);
+        let started = Instant::now();
+        let ds = MaxRsSearch::new(&dataset, size).search();
+        let ds_time = started.elapsed();
+        let started = Instant::now();
+        let oe = OptimalEnclosure::new(&dataset, size).search();
+        let oe_time = started.elapsed();
+        assert_eq!(ds.count, oe.count, "both MaxRS solvers must agree");
+        size_table.row(vec![
+            format!("{}q", k as u64),
+            format_duration(ds_time),
+            format_duration(oe_time),
+        ]);
+    }
+    size_table.print();
+
+    let mut scale_table = Table::new(
+        "Figure 13b: MaxRS runtime vs number of objects (query size 10q)",
+        &["objects", "DS-Search", "OE"],
+    );
+    for base_n in [25_000usize, 50_000, 100_000, 200_000] {
+        let n = scaled(base_n, scale);
+        let dataset = asrs_bench::tweet_dataset(n, 29);
+        let size = unit_query_size(&dataset).scaled(10.0);
+        let started = Instant::now();
+        let ds = MaxRsSearch::new(&dataset, size).search();
+        let ds_time = started.elapsed();
+        let started = Instant::now();
+        let oe = OptimalEnclosure::new(&dataset, size).search();
+        let oe_time = started.elapsed();
+        assert_eq!(ds.count, oe.count);
+        scale_table.row(vec![
+            n.to_string(),
+            format_duration(ds_time),
+            format_duration(oe_time),
+        ]);
+    }
+    scale_table.print();
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "# ASRS experiment runner (scale factor {:.2})\n",
+        opts.scale
+    );
+    if enabled(&opts, "fig8") {
+        fig8(opts.scale);
+    }
+    if enabled(&opts, "fig9") {
+        fig9(opts.scale);
+    }
+    if enabled(&opts, "fig10") {
+        fig10(opts.scale);
+    }
+    if enabled(&opts, "fig11") || enabled(&opts, "table1") {
+        fig11_table1(opts.scale);
+    }
+    if enabled(&opts, "fig12") || enabled(&opts, "table2") {
+        fig12_table2(opts.scale);
+    }
+    if enabled(&opts, "fig13") {
+        fig13(opts.scale);
+    }
+    println!("done.");
+}

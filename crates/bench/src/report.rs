@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the `experiments` binary.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Formats a duration as milliseconds with a sensible precision.
+pub fn format_duration(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1000.0;
+    if ms >= 100.0 {
+        format!("{ms:.0} ms")
+    } else if ms >= 1.0 {
+        format!("{ms:.1} ms")
+    } else {
+        format!("{:.0} µs", ms * 1000.0)
+    }
+}
+
+/// A simple fixed-column text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut line = String::new();
+        for (h, w) in self.header.iter().zip(&widths) {
+            let _ = write!(line, "| {h:w$} ");
+        }
+        let _ = writeln!(out, "{line}|");
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}|");
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = row.get(i).unwrap_or(&empty);
+                let _ = write!(line, "| {cell:w$} ");
+            }
+            let _ = writeln!(out, "{line}|");
+        }
+        out
+    }
+
+    /// Renders and prints the table.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(250)), "250 ms");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.5 ms");
+        assert_eq!(format_duration(Duration::from_micros(20)), "20 µs");
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_headers() {
+        let mut t = Table::new("Demo", &["a", "long header", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["xxxx".into(), "y".into(), "z".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("## Demo"));
+        assert!(rendered.contains("long header"));
+        assert!(rendered.contains("xxxx"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new("Sparse", &["a", "b"]);
+        t.row(vec!["only".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("only"));
+    }
+}

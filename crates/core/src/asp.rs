@@ -1,0 +1,240 @@
+//! The ASRS → ASP reduction (Section 4.1).
+//!
+//! For every spatial object `o` we generate a rectangle object of size
+//! `a × b` whose *top-right* corner sits at `o.ρ`.  Lemma 1 shows that a
+//! rectangle covers a location `p` (strictly) iff the corresponding object
+//! lies strictly inside the `a × b` region whose bottom-left corner is `p`;
+//! Theorem 1 then lets us answer the ASRS query by finding the best point in
+//! the reduced instance.
+
+use asrs_data::Dataset;
+use asrs_geo::{Accuracy, Point, Rect, RegionSize};
+
+/// A rectangle object of the reduced ASP instance: the geometric rectangle
+/// plus the index of the originating spatial object (whose attributes it
+/// carries, Definition 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectObject {
+    /// The rectangle of size `a × b` with its top-right corner at the
+    /// originating object's location.
+    pub rect: Rect,
+    /// Index of the originating object in the dataset.
+    pub object_idx: u32,
+}
+
+impl RectObject {
+    /// Returns `true` when the rectangle strictly covers `p` (Lemma 1).
+    #[inline]
+    pub fn covers(&self, p: &Point) -> bool {
+        self.rect.strictly_contains_point(p)
+    }
+}
+
+/// The reduced ASP instance: the rectangle objects plus the space in which
+/// the answer point may lie and the instance's coordinate accuracy.
+#[derive(Debug, Clone)]
+pub struct AspInstance {
+    rects: Vec<RectObject>,
+    space: Option<Rect>,
+    accuracy: Accuracy,
+    size: RegionSize,
+}
+
+impl AspInstance {
+    /// Builds the ASP instance for `dataset` and query size `size`.
+    ///
+    /// `accuracy_override` forces a specific (ΔX, ΔY); otherwise the
+    /// accuracy is estimated from the rectangle edge coordinates
+    /// (Definition 7) with `accuracy_floor` as the smallest admissible
+    /// value.
+    pub fn build(
+        dataset: &Dataset,
+        size: RegionSize,
+        accuracy_override: Option<Accuracy>,
+        accuracy_floor: f64,
+    ) -> Self {
+        let rects: Vec<RectObject> = dataset
+            .objects()
+            .iter()
+            .enumerate()
+            .map(|(idx, o)| RectObject {
+                rect: Rect::from_top_right(o.location, size),
+                object_idx: idx as u32,
+            })
+            .collect();
+        let space = Rect::mbr_of(rects.iter().map(|r| r.rect));
+        let accuracy = match accuracy_override {
+            Some(acc) => acc,
+            None => {
+                let mut xs = Vec::with_capacity(rects.len() * 2);
+                let mut ys = Vec::with_capacity(rects.len() * 2);
+                for r in &rects {
+                    xs.push(r.rect.min_x);
+                    xs.push(r.rect.max_x);
+                    ys.push(r.rect.min_y);
+                    ys.push(r.rect.max_y);
+                }
+                let floor = Accuracy::new(accuracy_floor.max(f64::MIN_POSITIVE), accuracy_floor.max(f64::MIN_POSITIVE));
+                Accuracy::from_edge_coordinates(&xs, &ys, floor)
+            }
+        };
+        Self {
+            rects,
+            space,
+            accuracy,
+            size,
+        }
+    }
+
+    /// The rectangle objects.
+    #[inline]
+    pub fn rects(&self) -> &[RectObject] {
+        &self.rects
+    }
+
+    /// The bounding box of all rectangle objects — the space in which a
+    /// covered answer point can lie.  `None` for an empty dataset.
+    #[inline]
+    pub fn space(&self) -> Option<Rect> {
+        self.space
+    }
+
+    /// The instance's coordinate accuracy (ΔX, ΔY).
+    #[inline]
+    pub fn accuracy(&self) -> Accuracy {
+        self.accuracy
+    }
+
+    /// The query region size.
+    #[inline]
+    pub fn size(&self) -> RegionSize {
+        self.size
+    }
+
+    /// Indices of the rectangles whose closed extent intersects `area`.
+    pub fn rects_intersecting(&self, area: &Rect) -> Vec<u32> {
+        self.rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.rect.intersects(area))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// All rectangle indices.
+    pub fn all_rect_indices(&self) -> Vec<u32> {
+        (0..self.rects.len() as u32).collect()
+    }
+
+    /// Indices of the objects whose rectangle strictly covers `p` — by
+    /// Lemma 1 these are exactly the objects strictly inside the candidate
+    /// region anchored at `p`.
+    pub fn objects_covering(&self, p: &Point, candidates: &[u32]) -> Vec<u32> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| self.rects[i as usize].covers(p))
+            .map(|i| self.rects[i as usize].object_idx)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_data::{DatasetBuilder, Schema};
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new(Schema::empty());
+        b.push(2.0, 2.0, vec![]);
+        b.push(5.0, 4.0, vec![]);
+        b.push(9.0, 1.0, vec![]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rectangles_have_top_right_corner_on_objects() {
+        let ds = dataset();
+        let size = RegionSize::new(2.0, 1.0);
+        let asp = AspInstance::build(&ds, size, None, 1e-12);
+        assert_eq!(asp.rects().len(), 3);
+        for (r, o) in asp.rects().iter().zip(ds.objects()) {
+            assert_eq!(r.rect.top_right(), o.location);
+            assert!((r.rect.width() - 2.0).abs() < 1e-12);
+            assert!((r.rect.height() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma_1_cover_iff_object_inside_region() {
+        // A rectangle covers p iff the object lies strictly inside the
+        // region with bottom-left corner p.
+        let ds = dataset();
+        let size = RegionSize::new(3.0, 3.0);
+        let asp = AspInstance::build(&ds, size, None, 1e-12);
+        let candidates = asp.all_rect_indices();
+        let probes = [
+            Point::new(1.5, 1.5),
+            Point::new(4.0, 2.0),
+            Point::new(6.5, 0.5),
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 0.9),
+        ];
+        for p in probes {
+            let covered = asp.objects_covering(&p, &candidates);
+            let region = Rect::from_bottom_left(p, size);
+            let inside: Vec<u32> = ds
+                .objects()
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| region.strictly_contains_point(&o.location))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(covered, inside, "mismatch at probe {p}");
+        }
+    }
+
+    #[test]
+    fn space_is_union_of_rectangles() {
+        let ds = dataset();
+        let asp = AspInstance::build(&ds, RegionSize::new(2.0, 2.0), None, 1e-12);
+        let space = asp.space().unwrap();
+        assert_eq!(space, Rect::new(0.0, -1.0, 9.0, 4.0));
+    }
+
+    #[test]
+    fn empty_dataset_has_no_space() {
+        let ds = Dataset::new_unchecked(Schema::empty(), vec![]);
+        let asp = AspInstance::build(&ds, RegionSize::new(1.0, 1.0), None, 1e-12);
+        assert!(asp.space().is_none());
+        assert!(asp.rects().is_empty());
+    }
+
+    #[test]
+    fn accuracy_is_estimated_from_edges() {
+        let ds = dataset();
+        // Objects at x = 2, 5, 9 and a = 2 give edge xs {0,2,3,5,7,9}; the
+        // minimum gap is 1 (between 2 and 3).
+        let asp = AspInstance::build(&ds, RegionSize::new(2.0, 2.0), None, 1e-12);
+        assert!((asp.accuracy().dx - 1.0).abs() < 1e-12);
+        // Override wins.
+        let asp = AspInstance::build(
+            &ds,
+            RegionSize::new(2.0, 2.0),
+            Some(Accuracy::new(0.5, 0.5)),
+            1e-12,
+        );
+        assert_eq!(asp.accuracy(), Accuracy::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn rects_intersecting_filters_by_area() {
+        let ds = dataset();
+        let asp = AspInstance::build(&ds, RegionSize::new(1.0, 1.0), None, 1e-12);
+        let area = Rect::new(1.0, 1.0, 2.5, 2.5);
+        let hits = asp.rects_intersecting(&area);
+        assert_eq!(hits, vec![0]);
+        let everything = asp.rects_intersecting(&asp.space().unwrap());
+        assert_eq!(everything.len(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Search configuration.
+
+use asrs_geo::Accuracy;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs of DS-Search and GI-DS.
+///
+/// The defaults follow the paper's experimental setup: a 30 × 30
+/// discretisation grid (the best setting in Fig. 9) and exact search
+/// (`delta = 0`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Number of grid columns used by the `Discretize` procedure (`n_col`).
+    pub ncols: usize,
+    /// Number of grid rows used by the `Discretize` procedure (`n_row`).
+    pub nrows: usize,
+    /// Optional explicit GPS accuracy (ΔX, ΔY).  When `None`, the accuracy
+    /// is estimated from the rectangle edge coordinates of the reduced ASP
+    /// instance (Definition 7), with [`SearchConfig::accuracy_floor`] as a
+    /// lower bound.
+    pub accuracy: Option<Accuracy>,
+    /// Lower bound applied to the estimated accuracy.  Prevents
+    /// pathologically deep recursions when two coordinates are separated by
+    /// numerical noise only.
+    pub accuracy_floor: f64,
+    /// Approximation parameter δ of the (1+δ)-approximate ASRS problem
+    /// (Section 6).  `0.0` gives the exact algorithm.
+    pub delta: f64,
+    /// Maximum depth of the discretize–split recursion.  Spaces deeper than
+    /// this are resolved exactly by enumerating the remaining candidate
+    /// points instead of splitting further; this is a termination safety
+    /// valve that does not affect correctness.
+    pub max_depth: u32,
+    /// Dirty cells crossed by at most this many rectangles are resolved
+    /// exactly (one probe per arrangement piece inside the cell) instead of
+    /// being split further.  This keeps the discretize–split recursion from
+    /// chasing cells along the optimal region's boundary whose real-valued
+    /// lower bounds stay marginally below the optimum.
+    pub resolve_crossing_threshold: u32,
+    /// Maximum number of sub-spaces processed before the search switches to
+    /// exact per-cell resolution for everything that remains.  A safety
+    /// valve against pathological inputs; it does not affect correctness.
+    pub max_spaces: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            ncols: 30,
+            nrows: 30,
+            accuracy: None,
+            accuracy_floor: 1e-12,
+            delta: 0.0,
+            max_depth: 64,
+            resolve_crossing_threshold: 24,
+            max_spaces: 1_000_000,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the discretisation grid granularity (`n_col × n_row`).
+    pub fn with_grid(mut self, ncols: usize, nrows: usize) -> Self {
+        assert!(ncols >= 2 && nrows >= 2, "grid must be at least 2 x 2");
+        self.ncols = ncols;
+        self.nrows = nrows;
+        self
+    }
+
+    /// Sets an explicit GPS accuracy.
+    pub fn with_accuracy(mut self, accuracy: Accuracy) -> Self {
+        self.accuracy = Some(accuracy);
+        self
+    }
+
+    /// Sets the approximation parameter δ (0 = exact).
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        assert!(delta >= 0.0 && delta.is_finite(), "delta must be non-negative");
+        self.delta = delta;
+        self
+    }
+
+    /// The pruning factor `1 + δ`.
+    pub(crate) fn prune_factor(&self) -> f64 {
+        1.0 + self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = SearchConfig::default();
+        assert_eq!(c.ncols, 30);
+        assert_eq!(c.nrows, 30);
+        assert_eq!(c.delta, 0.0);
+        assert_eq!(c.prune_factor(), 1.0);
+        assert!(c.accuracy.is_none());
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SearchConfig::new()
+            .with_grid(10, 20)
+            .with_delta(0.3)
+            .with_accuracy(Accuracy::new(0.5, 0.25));
+        assert_eq!(c.ncols, 10);
+        assert_eq!(c.nrows, 20);
+        assert_eq!(c.prune_factor(), 1.3);
+        assert_eq!(c.accuracy, Some(Accuracy::new(0.5, 0.25)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 x 2")]
+    fn grid_must_be_nontrivial() {
+        SearchConfig::new().with_grid(1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn delta_must_be_non_negative() {
+        SearchConfig::new().with_delta(-0.1);
+    }
+}

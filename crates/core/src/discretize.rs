@@ -1,0 +1,524 @@
+//! Function `Discretize` (Section 4.3).
+//!
+//! The space under consideration is discretised into an `n_col × n_row`
+//! grid.  Cells are classified into *clean* cells (no rectangle partially
+//! covers them — every point of the cell is covered by exactly the same set
+//! of rectangles) and *dirty* cells.  Clean cells are evaluated exactly and
+//! refine the intermediate result; dirty cells get an Equation-1 distance
+//! lower bound and are pruned when the bound cannot beat the intermediate
+//! result.
+//!
+//! The per-cell statistics are accumulated with 2-D difference arrays: each
+//! rectangle adds its additive statistics contribution over the range of
+//! cells it overlaps (upper accumulator) and over the range it fully covers
+//! (lower accumulator) in O(1) array updates; a single prefix-sum pass then
+//! materialises per-cell statistics.  This keeps `Discretize` at
+//! `O(n + n_col · n_row · d)` as required by the paper's complexity analysis
+//! (Lemma 6).
+
+use crate::asp::AspInstance;
+use crate::query::AsrsQuery;
+use asrs_aggregator::{CompositeAggregator, FeatureVector};
+use asrs_data::Dataset;
+use asrs_geo::{GridSpec, Point, Rect};
+
+/// A dirty cell retained for further splitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DirtyCell {
+    /// Column of the cell in the discretisation grid.
+    pub col: usize,
+    /// Row of the cell in the discretisation grid.
+    pub row: usize,
+    /// Equation-1 lower bound on the distance of any point in the cell.
+    pub lb: f64,
+    /// Number of rectangles that partially cover the cell.
+    pub partials: u32,
+}
+
+/// The best candidate point found among the clean cells of one
+/// discretisation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BestCandidate {
+    pub point: Point,
+    pub distance: f64,
+    pub representation: FeatureVector,
+}
+
+/// Outcome of one `Discretize` invocation.
+#[derive(Debug, Clone)]
+pub(crate) struct DiscretizeOutcome {
+    /// The grid that was laid over the space.
+    pub grid: GridSpec,
+    /// Best clean-cell candidate found in this space (if any improves on
+    /// the caller's current best).
+    pub best: Option<BestCandidate>,
+    /// Dirty cells whose lower bound is below the pruning threshold.
+    pub retained_dirty: Vec<DirtyCell>,
+    /// Number of clean cells.
+    pub clean_cells: u64,
+    /// Number of dirty cells.
+    pub dirty_cells: u64,
+    /// Number of dirty cells pruned by the lower bound.
+    pub pruned_dirty: u64,
+}
+
+/// A pair of 2-D difference arrays (lower = fully-covering contributions,
+/// upper = fully-or-partially-covering contributions) plus a partial-cover
+/// counter, all over an `(cols + 1) × (rows + 1)` corner lattice.
+struct DiffArrays {
+    cols: usize,
+    rows: usize,
+    dims: usize,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    partial: Vec<f64>,
+}
+
+impl DiffArrays {
+    fn new(cols: usize, rows: usize, dims: usize) -> Self {
+        let n = (cols + 1) * (rows + 1);
+        Self {
+            cols,
+            rows,
+            dims,
+            lower: vec![0.0; n * dims],
+            upper: vec![0.0; n * dims],
+            partial: vec![0.0; n],
+        }
+    }
+
+    #[inline]
+    fn corner(&self, col: usize, row: usize) -> usize {
+        row * (self.cols + 1) + col
+    }
+
+    /// Adds `contrib` over the half-open cell range to a stats array.
+    fn add_range_stats(
+        arr: &mut [f64],
+        dims: usize,
+        cols: usize,
+        contrib: &[f64],
+        c0: usize,
+        c1: usize,
+        r0: usize,
+        r1: usize,
+    ) {
+        let corner = |col: usize, row: usize| (row * (cols + 1) + col) * dims;
+        for (k, v) in contrib.iter().enumerate() {
+            if *v == 0.0 {
+                continue;
+            }
+            arr[corner(c0, r0) + k] += v;
+            arr[corner(c1, r0) + k] -= v;
+            arr[corner(c0, r1) + k] -= v;
+            arr[corner(c1, r1) + k] += v;
+        }
+    }
+
+    /// Adds a scalar over the half-open cell range to the partial counter.
+    fn add_range_partial(&mut self, value: f64, c0: usize, c1: usize, r0: usize, r1: usize) {
+        let i00 = self.corner(c0, r0);
+        let i10 = self.corner(c1, r0);
+        let i01 = self.corner(c0, r1);
+        let i11 = self.corner(c1, r1);
+        self.partial[i00] += value;
+        self.partial[i10] -= value;
+        self.partial[i01] -= value;
+        self.partial[i11] += value;
+    }
+
+    /// Turns the difference arrays into per-cell values via 2-D prefix sums.
+    fn materialize(&mut self) {
+        let cols = self.cols;
+        let rows = self.rows;
+        let dims = self.dims;
+        let width = cols + 1;
+        // Prefix along columns then rows, for the stats arrays.
+        for arr in [&mut self.lower, &mut self.upper] {
+            for row in 0..=rows {
+                for col in 1..=cols {
+                    let cur = (row * width + col) * dims;
+                    let prev = (row * width + col - 1) * dims;
+                    for k in 0..dims {
+                        arr[cur + k] += arr[prev + k];
+                    }
+                }
+            }
+            for row in 1..=rows {
+                for col in 0..=cols {
+                    let cur = (row * width + col) * dims;
+                    let prev = ((row - 1) * width + col) * dims;
+                    for k in 0..dims {
+                        arr[cur + k] += arr[prev + k];
+                    }
+                }
+            }
+        }
+        for row in 0..=rows {
+            for col in 1..=cols {
+                self.partial[row * width + col] += self.partial[row * width + col - 1];
+            }
+        }
+        for row in 1..=rows {
+            for col in 0..=cols {
+                self.partial[row * width + col] += self.partial[(row - 1) * width + col];
+            }
+        }
+    }
+
+    #[inline]
+    fn cell_stats<'s>(&'s self, arr: &'s [f64], col: usize, row: usize) -> &'s [f64] {
+        let idx = (row * (self.cols + 1) + col) * self.dims;
+        &arr[idx..idx + self.dims]
+    }
+
+    #[inline]
+    fn cell_partial(&self, col: usize, row: usize) -> f64 {
+        self.partial[row * (self.cols + 1) + col]
+    }
+}
+
+/// Runs Function `Discretize` over `space`.
+///
+/// `candidates` are the indices of the ASP rectangles that overlap `space`;
+/// `current_best` is the caller's current minimum distance `d_opt`, and
+/// `prune_factor` is `1 + δ` (1 for the exact algorithm).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn discretize(
+    space: &Rect,
+    ncols: usize,
+    nrows: usize,
+    asp: &AspInstance,
+    candidates: &[u32],
+    dataset: &Dataset,
+    aggregator: &CompositeAggregator,
+    query: &AsrsQuery,
+    current_best: f64,
+    prune_factor: f64,
+) -> DiscretizeOutcome {
+    let grid = GridSpec::new(*space, ncols, nrows);
+    let dims = aggregator.stats_dim();
+    let mut arrays = DiffArrays::new(ncols, nrows, dims);
+    let mut contrib = vec![0.0; dims];
+
+    for &idx in candidates {
+        let rect_obj = &asp.rects()[idx as usize];
+        let overlap = grid.cells_overlapping(&rect_obj.rect);
+        if overlap.is_empty() {
+            continue;
+        }
+        contrib.iter_mut().for_each(|v| *v = 0.0);
+        aggregator.accumulate_object(dataset.object(rect_obj.object_idx as usize), &mut contrib);
+        DiffArrays::add_range_stats(
+            &mut arrays.upper,
+            dims,
+            ncols,
+            &contrib,
+            overlap.col_start,
+            overlap.col_end,
+            overlap.row_start,
+            overlap.row_end,
+        );
+        arrays.add_range_partial(
+            1.0,
+            overlap.col_start,
+            overlap.col_end,
+            overlap.row_start,
+            overlap.row_end,
+        );
+        let full = grid.cells_contained(&rect_obj.rect);
+        if !full.is_empty() {
+            DiffArrays::add_range_stats(
+                &mut arrays.lower,
+                dims,
+                ncols,
+                &contrib,
+                full.col_start,
+                full.col_end,
+                full.row_start,
+                full.row_end,
+            );
+            arrays.add_range_partial(
+                -1.0,
+                full.col_start,
+                full.col_end,
+                full.row_start,
+                full.row_end,
+            );
+        }
+    }
+
+    arrays.materialize();
+
+    let mut best: Option<BestCandidate> = None;
+    let mut best_distance = current_best;
+    let mut clean_cells = 0u64;
+    let mut dirty_cells = 0u64;
+    let mut pruned_dirty = 0u64;
+    let mut provisional_dirty: Vec<DirtyCell> = Vec::new();
+
+    // First pass: clean cells refine the intermediate result.
+    for row in 0..nrows {
+        for col in 0..ncols {
+            let partial = arrays.cell_partial(col, row);
+            if partial < 0.5 {
+                clean_cells += 1;
+                let stats = arrays.cell_stats(&arrays.upper, col, row);
+                let representation = aggregator.stats_to_features(stats);
+                let distance = aggregator.distance(
+                    &representation,
+                    &query.target,
+                    &query.weights,
+                    query.metric,
+                );
+                if distance < best_distance {
+                    best_distance = distance;
+                    best = Some(BestCandidate {
+                        point: grid.cell_rect(col, row).center(),
+                        distance,
+                        representation,
+                    });
+                }
+            } else {
+                dirty_cells += 1;
+                let lower = arrays.cell_stats(&arrays.lower, col, row);
+                let upper = arrays.cell_stats(&arrays.upper, col, row);
+                let lb = aggregator.lower_bound_distance(
+                    &query.target,
+                    lower,
+                    upper,
+                    &query.weights,
+                    query.metric,
+                );
+                provisional_dirty.push(DirtyCell {
+                    col,
+                    row,
+                    lb,
+                    partials: partial.round() as u32,
+                });
+            }
+        }
+    }
+
+    // Second pass: prune dirty cells against the (possibly improved) best
+    // distance, divided by (1 + δ) for the approximate variant.
+    let threshold = best_distance / prune_factor;
+    let mut retained_dirty = Vec::with_capacity(provisional_dirty.len());
+    for cell in provisional_dirty {
+        if cell.lb < threshold {
+            retained_dirty.push(cell);
+        } else {
+            pruned_dirty += 1;
+        }
+    }
+
+    DiscretizeOutcome {
+        grid,
+        best,
+        retained_dirty,
+        clean_cells,
+        dirty_cells,
+        pruned_dirty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::AsrsQuery;
+    use asrs_aggregator::{CompositeAggregator, FeatureVector, Selection, Weights};
+    use asrs_data::{AttrValue, AttributeDef, AttributeKind, Dataset, DatasetBuilder, Schema};
+    use asrs_geo::RegionSize;
+
+    /// Mirrors the reduction example of Fig. 2: six objects coloured red or
+    /// blue; the query representation is (#red, #blue) = (1, 1).
+    fn fig2_dataset() -> Dataset {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "color",
+            AttributeKind::categorical_labeled(vec!["red", "blue"]),
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        b.push(2.0, 8.0, vec![AttrValue::Cat(0)]);
+        b.push(3.5, 7.0, vec![AttrValue::Cat(1)]);
+        b.push(1.5, 3.0, vec![AttrValue::Cat(1)]);
+        b.push(5.0, 2.0, vec![AttrValue::Cat(0)]);
+        b.push(7.5, 2.5, vec![AttrValue::Cat(1)]);
+        b.push(8.0, 1.5, vec![AttrValue::Cat(0)]);
+        b.build().unwrap()
+    }
+
+    fn setup() -> (Dataset, CompositeAggregator, AsrsQuery, AspInstance) {
+        let ds = fig2_dataset();
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("color", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(3.0, 3.0),
+            FeatureVector::new(vec![1.0, 1.0]),
+            Weights::uniform(2),
+        );
+        let asp = AspInstance::build(&ds, query.size, None, 1e-12);
+        (ds, agg, query, asp)
+    }
+
+    #[test]
+    fn clean_and_dirty_cells_partition_the_grid() {
+        let (ds, agg, query, asp) = setup();
+        let space = asp.space().unwrap();
+        let out = discretize(
+            &space,
+            10,
+            10,
+            &asp,
+            &asp.all_rect_indices(),
+            &ds,
+            &agg,
+            &query,
+            f64::INFINITY,
+            1.0,
+        );
+        assert_eq!(out.clean_cells + out.dirty_cells, 100);
+        assert!(out.dirty_cells > 0, "rect edges must cross some cells");
+        assert!(out.clean_cells > 0);
+        assert_eq!(
+            out.retained_dirty.len() as u64 + out.pruned_dirty,
+            out.dirty_cells
+        );
+    }
+
+    #[test]
+    fn clean_cell_distances_match_direct_evaluation() {
+        let (ds, agg, query, asp) = setup();
+        let space = asp.space().unwrap();
+        let out = discretize(
+            &space,
+            8,
+            8,
+            &asp,
+            &asp.all_rect_indices(),
+            &ds,
+            &agg,
+            &query,
+            f64::INFINITY,
+            1.0,
+        );
+        // The best candidate's representation must equal the representation
+        // computed directly from the objects inside the anchored region.
+        let best = out.best.expect("some clean cell improves on +inf");
+        let region = Rect::from_bottom_left(best.point, query.size);
+        let direct = agg.aggregate_region(&ds, &region);
+        assert_eq!(best.representation, direct);
+        let d = agg.distance(&direct, &query.target, &query.weights, query.metric);
+        assert!((d - best.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirty_cell_bounds_are_sound() {
+        // For every retained dirty cell, the lower bound must not exceed the
+        // true distance of any probe point inside the cell.
+        let (ds, agg, query, asp) = setup();
+        let space = asp.space().unwrap();
+        let out = discretize(
+            &space,
+            10,
+            10,
+            &asp,
+            &asp.all_rect_indices(),
+            &ds,
+            &agg,
+            &query,
+            f64::INFINITY,
+            1.0,
+        );
+        let candidates = asp.all_rect_indices();
+        for cell in &out.retained_dirty {
+            let rect = out.grid.cell_rect(cell.col, cell.row);
+            for (fx, fy) in [(0.25, 0.25), (0.5, 0.5), (0.75, 0.75), (0.1, 0.9)] {
+                let p = Point::new(
+                    rect.min_x + fx * rect.width(),
+                    rect.min_y + fy * rect.height(),
+                );
+                let objs = asp.objects_covering(&p, &candidates);
+                let rep = agg.aggregate(objs.iter().map(|&i| ds.object(i as usize)));
+                let d = agg.distance(&rep, &query.target, &query.weights, query.metric);
+                assert!(
+                    cell.lb <= d + 1e-9,
+                    "lb {} exceeds distance {} at {p} in cell ({}, {})",
+                    cell.lb,
+                    d,
+                    cell.col,
+                    cell.row
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_respects_current_best() {
+        let (ds, agg, query, asp) = setup();
+        let space = asp.space().unwrap();
+        // With an already-perfect best distance of 0, every dirty cell whose
+        // lower bound is 0 is retained and everything else pruned.
+        let out = discretize(
+            &space,
+            10,
+            10,
+            &asp,
+            &asp.all_rect_indices(),
+            &ds,
+            &agg,
+            &query,
+            0.0,
+            1.0,
+        );
+        assert!(out.retained_dirty.is_empty());
+        assert_eq!(out.pruned_dirty, out.dirty_cells);
+        assert!(out.best.is_none(), "nothing can improve on a best of 0");
+    }
+
+    #[test]
+    fn approximation_factor_tightens_retention() {
+        let (ds, agg, query, asp) = setup();
+        let space = asp.space().unwrap();
+        let exact = discretize(
+            &space,
+            10,
+            10,
+            &asp,
+            &asp.all_rect_indices(),
+            &ds,
+            &agg,
+            &query,
+            f64::INFINITY,
+            1.0,
+        );
+        let approx = discretize(
+            &space,
+            10,
+            10,
+            &asp,
+            &asp.all_rect_indices(),
+            &ds,
+            &agg,
+            &query,
+            f64::INFINITY,
+            1.4,
+        );
+        assert!(approx.retained_dirty.len() <= exact.retained_dirty.len());
+    }
+
+    #[test]
+    fn empty_candidate_set_yields_all_clean_cells() {
+        let (ds, agg, query, asp) = setup();
+        let space = asp.space().unwrap();
+        let out = discretize(
+            &space, 5, 5, &asp, &[], &ds, &agg, &query, f64::INFINITY, 1.0,
+        );
+        assert_eq!(out.clean_cells, 25);
+        assert_eq!(out.dirty_cells, 0);
+        // All cells are empty ⇒ representation (0, 0) ⇒ distance 2.
+        let best = out.best.unwrap();
+        assert!((best.distance - 2.0).abs() < 1e-9);
+    }
+}

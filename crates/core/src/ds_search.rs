@@ -1,0 +1,571 @@
+//! The DS-Search algorithm (Algorithm 1, Sections 4.2–4.6).
+
+use crate::asp::AspInstance;
+use crate::config::SearchConfig;
+use crate::discretize::{discretize, DirtyCell};
+use crate::drop_condition::satisfies_drop_condition;
+use crate::query::AsrsQuery;
+use crate::result::SearchResult;
+use crate::split::split;
+use crate::stats::SearchStats;
+use asrs_aggregator::{CompositeAggregator, FeatureVector};
+use asrs_data::Dataset;
+use asrs_geo::{GridSpec, Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The exact DS-Search solver for the ASRS problem.
+///
+/// DS-Search reduces ASRS to ASP (one rectangle per object, Section 4.1) and
+/// then repeatedly *discretizes* the space into clean and dirty cells and
+/// *splits* the sub-space spanned by the surviving dirty cells.  Clean cells
+/// are evaluated exactly; dirty cells are pruned with the Equation-1 lower
+/// bound; a space whose cells are smaller than half the coordinate accuracy
+/// satisfies the *drop condition* and needs no further splitting
+/// (Theorem 2).
+///
+/// Two deviations from the paper's pseudo-code, both conservative:
+///
+/// * When a space satisfies the drop condition (or exceeds
+///   [`SearchConfig::max_depth`]) but still has unpruned dirty cells, the
+///   remaining candidate positions inside those cells are enumerated
+///   exactly instead of being discarded.  Because cells are then narrower
+///   than the minimum edge gap, at most one vertical and one horizontal
+///   rectangle edge can cross a cell, so the enumeration evaluates at most
+///   four points per cell.  This closes the corner case where the optimal
+///   disjoint region only intersects the dropped space in a sliver.
+/// * The heap is also cut off at `d_opt / (1 + δ)`, which specialises to
+///   the paper's `d_opt` cutoff for the exact setting `δ = 0`.
+pub struct DsSearch<'a> {
+    dataset: &'a Dataset,
+    aggregator: &'a CompositeAggregator,
+    config: SearchConfig,
+}
+
+/// Mutable best-so-far state shared across spaces (and across grid-index
+/// cells in GI-DS).
+#[derive(Debug, Clone)]
+pub(crate) struct BestTracker {
+    pub distance: f64,
+    pub anchor: Point,
+    pub representation: FeatureVector,
+}
+
+struct HeapEntry {
+    lb: f64,
+    depth: u32,
+    space: Rect,
+    candidates: Vec<u32>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.lb == other.lb
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse the comparison to pop the
+        // smallest lower bound first.
+        other
+            .lb
+            .partial_cmp(&self.lb)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<'a> DsSearch<'a> {
+    /// Creates a solver with the default configuration (30 × 30 grid,
+    /// exact search).
+    pub fn new(dataset: &'a Dataset, aggregator: &'a CompositeAggregator) -> Self {
+        Self::with_config(dataset, aggregator, SearchConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(
+        dataset: &'a Dataset,
+        aggregator: &'a CompositeAggregator,
+        config: SearchConfig,
+    ) -> Self {
+        Self {
+            dataset,
+            aggregator,
+            config,
+        }
+    }
+
+    /// The dataset being searched.
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// The composite aggregator.
+    pub fn aggregator(&self) -> &CompositeAggregator {
+        self.aggregator
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Solves the ASRS problem for `query`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query's target or weight dimensionality does not
+    /// match the aggregator (see [`AsrsQuery::validate`]).
+    pub fn search(&self, query: &AsrsQuery) -> SearchResult {
+        query
+            .validate(self.aggregator)
+            .expect("query must match the aggregator dimensions");
+        let started = Instant::now();
+        let mut stats = SearchStats::new();
+        let asp = AspInstance::build(
+            self.dataset,
+            query.size,
+            self.config.accuracy,
+            self.config.accuracy_floor,
+        );
+        stats.rectangles = asp.rects().len() as u64;
+        let mut best = self.empty_region_candidate(&asp, query);
+        if let Some(space) = asp.space() {
+            let candidates = asp.all_rect_indices();
+            self.search_space(&asp, query, space, candidates, &mut best, &mut stats);
+        }
+        stats.elapsed = started.elapsed();
+        SearchResult::new(
+            best.anchor,
+            Rect::from_bottom_left(best.anchor, query.size),
+            best.distance,
+            best.representation,
+            stats,
+        )
+    }
+
+    /// The candidate corresponding to an empty region placed outside every
+    /// rectangle.  It initialises the intermediate result so that the search
+    /// is correct even when the most similar region contains no object at
+    /// all (e.g. a query representation of all zeros).
+    pub(crate) fn empty_region_candidate(&self, asp: &AspInstance, query: &AsrsQuery) -> BestTracker {
+        let anchor = match asp.space() {
+            Some(space) => Point::new(
+                space.max_x + query.size.width,
+                space.max_y + query.size.height,
+            ),
+            None => Point::origin(),
+        };
+        let zero_stats = vec![0.0; self.aggregator.stats_dim()];
+        let representation = self.aggregator.stats_to_features(&zero_stats);
+        let distance = self.aggregator.distance(
+            &representation,
+            &query.target,
+            &query.weights,
+            query.metric,
+        );
+        BestTracker {
+            distance,
+            anchor,
+            representation,
+        }
+    }
+
+    /// Runs the discretize–split loop of Algorithm 1 over `space`, updating
+    /// `best` and `stats` in place.  Used directly by [`DsSearch::search`]
+    /// and per index cell by GI-DS.
+    pub(crate) fn search_space(
+        &self,
+        asp: &AspInstance,
+        query: &AsrsQuery,
+        space: Rect,
+        candidates: Vec<u32>,
+        best: &mut BestTracker,
+        stats: &mut SearchStats,
+    ) {
+        let prune_factor = self.config.prune_factor();
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        heap.push(HeapEntry {
+            lb: 0.0,
+            depth: 0,
+            space,
+            candidates,
+        });
+        stats.heap_pushes += 1;
+
+        while let Some(entry) = heap.pop() {
+            if entry.lb >= best.distance / prune_factor {
+                break;
+            }
+            stats.spaces_processed += 1;
+            let outcome = discretize(
+                &entry.space,
+                self.config.ncols,
+                self.config.nrows,
+                asp,
+                &entry.candidates,
+                self.dataset,
+                self.aggregator,
+                query,
+                best.distance,
+                prune_factor,
+            );
+            stats.cells_examined += outcome.clean_cells + outcome.dirty_cells;
+            stats.clean_cells += outcome.clean_cells;
+            stats.dirty_cells += outcome.dirty_cells;
+            stats.dirty_cells_pruned += outcome.pruned_dirty;
+            if let Some(candidate) = outcome.best {
+                if candidate.distance < best.distance {
+                    best.distance = candidate.distance;
+                    best.anchor = candidate.point;
+                    best.representation = candidate.representation;
+                }
+            }
+            if outcome.retained_dirty.is_empty() {
+                continue;
+            }
+            // Dirty cells crossed by only a handful of rectangle edges are
+            // resolved exactly on the spot: the arrangement inside such a
+            // cell has at most a few pieces, so enumerating one probe point
+            // per piece is cheaper than splitting the cell again and again.
+            // This also guarantees termination for aggregators whose
+            // real-valued lower bounds can stay strictly below the optimum
+            // along the optimal region's boundary.
+            let dropped = satisfies_drop_condition(&outcome.grid, &asp.accuracy());
+            let resolve_all = dropped
+                || entry.depth >= self.config.max_depth
+                || stats.spaces_processed >= self.config.max_spaces;
+            if resolve_all {
+                stats.drops += 1;
+            }
+            let mut to_split: Vec<crate::discretize::DirtyCell> = Vec::new();
+            let mut to_resolve: Vec<crate::discretize::DirtyCell> = Vec::new();
+            for cell in outcome.retained_dirty {
+                if resolve_all || cell.partials <= self.config.resolve_crossing_threshold {
+                    to_resolve.push(cell);
+                } else {
+                    to_split.push(cell);
+                }
+            }
+            if !to_resolve.is_empty() {
+                self.resolve_cells_exactly(
+                    asp,
+                    query,
+                    &outcome.grid,
+                    &to_resolve,
+                    &entry.candidates,
+                    best,
+                    stats,
+                );
+            }
+            if to_split.is_empty() {
+                continue;
+            }
+            stats.splits += 1;
+            for part in split(&outcome.grid, &to_split) {
+                if part.lb >= best.distance / prune_factor {
+                    continue;
+                }
+                let sub_candidates: Vec<u32> = entry
+                    .candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| asp.rects()[i as usize].rect.intersects(&part.space))
+                    .collect();
+                stats.heap_pushes += 1;
+                heap.push(HeapEntry {
+                    lb: part.lb,
+                    depth: entry.depth + 1,
+                    space: part.space,
+                    candidates: sub_candidates,
+                });
+            }
+        }
+    }
+
+    /// Exact per-cell resolution: enumerates one probe point per
+    /// arrangement piece inside the cell and evaluates it directly.  Used
+    /// for dirty cells crossed by few rectangle edges and for every
+    /// surviving dirty cell of a dropped or depth-capped space.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_cells_exactly(
+        &self,
+        asp: &AspInstance,
+        query: &AsrsQuery,
+        grid: &GridSpec,
+        cells: &[DirtyCell],
+        candidates: &[u32],
+        best: &mut BestTracker,
+        stats: &mut SearchStats,
+    ) {
+        let dims = self.aggregator.stats_dim();
+        let mut base_stats = vec![0.0; dims];
+        let mut probe_stats = vec![0.0; dims];
+        for cell in cells {
+            if cell.lb >= best.distance / self.config.prune_factor() {
+                continue;
+            }
+            let rect = grid.cell_rect(cell.col, cell.row);
+            // Partition the candidates into rectangles fully covering the
+            // cell (their contribution is shared by every probe) and
+            // rectangles merely crossing it (checked per probe).
+            base_stats.iter_mut().for_each(|v| *v = 0.0);
+            let mut partial: Vec<u32> = Vec::new();
+            let mut xs = vec![rect.min_x, rect.max_x];
+            let mut ys = vec![rect.min_y, rect.max_y];
+            for &idx in candidates {
+                let r = &asp.rects()[idx as usize];
+                if !r.rect.interiors_intersect(&rect) {
+                    continue;
+                }
+                if r.rect.contains_rect(&rect) {
+                    self.aggregator
+                        .accumulate_object(self.dataset.object(r.object_idx as usize), &mut base_stats);
+                } else {
+                    partial.push(idx);
+                    for x in [r.rect.min_x, r.rect.max_x] {
+                        if x > rect.min_x && x < rect.max_x {
+                            xs.push(x);
+                        }
+                    }
+                    for y in [r.rect.min_y, r.rect.max_y] {
+                        if y > rect.min_y && y < rect.max_y {
+                            ys.push(y);
+                        }
+                    }
+                }
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+            xs.dedup();
+            ys.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+            ys.dedup();
+            for wx in xs.windows(2) {
+                for wy in ys.windows(2) {
+                    let probe = Point::new((wx[0] + wx[1]) / 2.0, (wy[0] + wy[1]) / 2.0);
+                    stats.fallback_points += 1;
+                    probe_stats.copy_from_slice(&base_stats);
+                    for &idx in &partial {
+                        let r = &asp.rects()[idx as usize];
+                        if r.covers(&probe) {
+                            self.aggregator.accumulate_object(
+                                self.dataset.object(r.object_idx as usize),
+                                &mut probe_stats,
+                            );
+                        }
+                    }
+                    let representation = self.aggregator.stats_to_features(&probe_stats);
+                    let distance = self.aggregator.distance(
+                        &representation,
+                        &query.target,
+                        &query.weights,
+                        query.metric,
+                    );
+                    if distance < best.distance {
+                        best.distance = distance;
+                        best.anchor = probe;
+                        best.representation = representation;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_aggregator::{CompositeAggregator, Selection, Weights};
+    use asrs_data::gen::UniformGenerator;
+    use asrs_data::{AttrValue, AttributeDef, AttributeKind, DatasetBuilder, Schema};
+    use asrs_geo::RegionSize;
+
+    fn fig2_dataset() -> Dataset {
+        let schema = Schema::new(vec![AttributeDef::new(
+            "color",
+            AttributeKind::categorical_labeled(vec!["red", "blue"]),
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        b.push(2.0, 8.0, vec![AttrValue::Cat(0)]);
+        b.push(3.5, 7.0, vec![AttrValue::Cat(1)]);
+        b.push(1.5, 3.0, vec![AttrValue::Cat(1)]);
+        b.push(5.0, 2.0, vec![AttrValue::Cat(0)]);
+        b.push(7.5, 2.5, vec![AttrValue::Cat(1)]);
+        b.push(8.0, 1.5, vec![AttrValue::Cat(0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_a_perfect_match_in_the_fig2_instance() {
+        // The Fig. 2 reduction has a point covered by exactly one red and
+        // one blue rectangle, so a query of (1, 1) has distance 0.
+        let ds = fig2_dataset();
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("color", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(3.0, 3.0),
+            FeatureVector::new(vec![1.0, 1.0]),
+            Weights::uniform(2),
+        );
+        let result = DsSearch::new(&ds, &agg).search(&query);
+        assert!(result.distance.abs() < 1e-9, "distance {}", result.distance);
+        assert_eq!(result.representation.as_slice(), &[1.0, 1.0]);
+        // The returned region really contains one red and one blue object.
+        let rep = agg.aggregate_region(&ds, &result.region);
+        assert_eq!(rep.as_slice(), &[1.0, 1.0]);
+        assert!(result.stats.spaces_processed >= 1);
+    }
+
+    #[test]
+    fn empty_target_returns_an_empty_region() {
+        let ds = fig2_dataset();
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("color", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(3.0, 3.0),
+            FeatureVector::new(vec![0.0, 0.0]),
+            Weights::uniform(2),
+        );
+        let result = DsSearch::new(&ds, &agg).search(&query);
+        assert_eq!(result.distance, 0.0);
+        assert_eq!(agg.aggregate_region(&ds, &result.region).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let ds = Dataset::new_unchecked(Schema::empty(), vec![]);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .count(Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(1.0, 1.0),
+            FeatureVector::new(vec![3.0]),
+            Weights::uniform(1),
+        );
+        let result = DsSearch::new(&ds, &agg).search(&query);
+        assert_eq!(result.distance, 3.0);
+        assert_eq!(result.stats.rectangles, 0);
+    }
+
+    #[test]
+    fn result_region_representation_matches_reported_distance() {
+        let ds = UniformGenerator::default().generate(300, 9);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let example = Rect::new(20.0, 30.0, 35.0, 45.0);
+        let query = AsrsQuery::from_example_region(&ds, &agg, &example).unwrap();
+        let result = DsSearch::new(&ds, &agg).search(&query);
+        let rep = agg.aggregate_region(&ds, &result.region);
+        let d = agg.distance(&rep, &query.target, &query.weights, query.metric);
+        assert!(
+            (d - result.distance).abs() < 1e-9,
+            "reported {} but recomputed {}",
+            result.distance,
+            d
+        );
+        // The query region itself is a candidate, so the optimum cannot be
+        // worse than distance 0 achieved there... in fact it must be 0.
+        assert!(result.distance <= 1e-9);
+    }
+
+    #[test]
+    fn grid_granularity_does_not_change_the_answer() {
+        let ds = UniformGenerator::default().generate(200, 17);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(12.0, 9.0),
+            FeatureVector::new(vec![3.0, 1.0, 0.0, 2.0]),
+            Weights::uniform(4),
+        );
+        let coarse = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_grid(5, 5))
+            .search(&query)
+            .distance;
+        let default = DsSearch::new(&ds, &agg).search(&query).distance;
+        let fine = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_grid(45, 45))
+            .search(&query)
+            .distance;
+        assert!((coarse - default).abs() < 1e-9);
+        assert!((fine - default).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximate_search_respects_the_guarantee() {
+        let ds = UniformGenerator::default().generate(400, 23);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(10.0, 10.0),
+            FeatureVector::new(vec![5.0, 5.0, 5.0, 5.0]),
+            Weights::uniform(4),
+        );
+        let exact = DsSearch::new(&ds, &agg).search(&query);
+        for delta in [0.1, 0.3, 0.5] {
+            let approx =
+                DsSearch::with_config(&ds, &agg, SearchConfig::new().with_delta(delta)).search(&query);
+            assert!(
+                approx.distance <= (1.0 + delta) * exact.distance + 1e-9,
+                "delta={delta}: {} > (1+δ)·{}",
+                approx.distance,
+                exact.distance
+            );
+            assert!(approx.distance + 1e-9 >= exact.distance);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "query must match")]
+    fn dimension_mismatch_panics() {
+        let ds = fig2_dataset();
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("color", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(1.0, 1.0),
+            FeatureVector::new(vec![1.0]),
+            Weights::uniform(1),
+        );
+        DsSearch::new(&ds, &agg).search(&query);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let ds = UniformGenerator::default().generate(150, 4);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(8.0, 8.0),
+            FeatureVector::new(vec![2.0, 2.0, 2.0, 2.0]),
+            Weights::uniform(4),
+        );
+        let result = DsSearch::new(&ds, &agg).search(&query);
+        let s = &result.stats;
+        assert_eq!(s.rectangles, 150);
+        assert!(s.spaces_processed >= 1);
+        assert!(s.cells_examined >= 900);
+        assert_eq!(s.clean_cells + s.dirty_cells, s.cells_examined);
+        assert!(s.elapsed.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The GI-DS algorithm (Algorithm 2, Section 5).
+//!
+//! GI-DS exploits the locality of the ASRS problem: the representation of a
+//! candidate region is determined only by the objects inside it.  A
+//! query-independent grid index is consulted to compute, for every index
+//! cell, a lower bound on the distance of all candidate regions whose
+//! bottom-left corner lies in the cell (Section 5.3).  Index cells are then
+//! searched best-first with DS-Search until the remaining cells cannot beat
+//! the best distance found so far.
+
+use crate::asp::AspInstance;
+use crate::config::SearchConfig;
+use crate::ds_search::DsSearch;
+use crate::grid_index::GridIndex;
+use crate::query::AsrsQuery;
+use crate::result::SearchResult;
+use crate::stats::SearchStats;
+use asrs_aggregator::CompositeAggregator;
+use asrs_data::Dataset;
+use asrs_geo::Rect;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The grid-index-accelerated DS-Search solver.
+pub struct GiDsSearch<'a> {
+    dataset: &'a Dataset,
+    aggregator: &'a CompositeAggregator,
+    index: &'a GridIndex,
+    config: SearchConfig,
+}
+
+struct CellEntry {
+    lb: f64,
+    col: usize,
+    row: usize,
+}
+
+impl PartialEq for CellEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.lb == other.lb
+    }
+}
+
+impl Eq for CellEntry {}
+
+impl PartialOrd for CellEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CellEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.lb.partial_cmp(&self.lb).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<'a> GiDsSearch<'a> {
+    /// Creates a solver using a pre-built grid index.
+    pub fn new(
+        dataset: &'a Dataset,
+        aggregator: &'a CompositeAggregator,
+        index: &'a GridIndex,
+    ) -> Self {
+        Self::with_config(dataset, aggregator, index, SearchConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(
+        dataset: &'a Dataset,
+        aggregator: &'a CompositeAggregator,
+        index: &'a GridIndex,
+        config: SearchConfig,
+    ) -> Self {
+        Self {
+            dataset,
+            aggregator,
+            index,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Solves the ASRS problem exactly (or with the δ configured in
+    /// [`SearchConfig::delta`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query dimensionality does not match the aggregator.
+    pub fn search(&self, query: &AsrsQuery) -> SearchResult {
+        self.run(query, self.config.clone())
+    }
+
+    /// Solves the (1+δ)-approximate ASRS problem (Section 6): the returned
+    /// region's distance is at most `(1 + delta)` times the optimum.
+    pub fn search_approx(&self, query: &AsrsQuery, delta: f64) -> SearchResult {
+        let config = self.config.clone().with_delta(delta);
+        self.run(query, config)
+    }
+
+    fn run(&self, query: &AsrsQuery, config: SearchConfig) -> SearchResult {
+        query
+            .validate(self.aggregator)
+            .expect("query must match the aggregator dimensions");
+        let started = Instant::now();
+        let mut stats = SearchStats::new();
+        let asp = AspInstance::build(
+            self.dataset,
+            query.size,
+            config.accuracy,
+            config.accuracy_floor,
+        );
+        stats.rectangles = asp.rects().len() as u64;
+        let inner = DsSearch::with_config(self.dataset, self.aggregator, config.clone());
+        let mut best = inner.empty_region_candidate(&asp, query);
+        let spec = self.index.spec();
+        stats.index_cells_total = spec.num_cells() as u64;
+
+        if let Some(space) = asp.space() {
+            // 1. Candidate regions whose bottom-left corner lies outside the
+            //    indexed area (the margin left of / below the dataset's
+            //    bounding box introduced by the ASP reduction) are searched
+            //    unconditionally; the margin is at most one query width tall
+            //    or wide, so this is cheap.
+            for margin in margin_spaces(&space, spec.space()) {
+                let candidates = asp.rects_intersecting(&margin);
+                inner.search_space(&asp, query, margin, candidates, &mut best, &mut stats);
+            }
+
+            // 2. Rank index cells by their lower bound.
+            let mut heap: BinaryHeap<CellEntry> = BinaryHeap::new();
+            let eps_x = 1e-9 * (spec.cell_width() + query.size.width);
+            let eps_y = 1e-9 * (spec.cell_height() + query.size.height);
+            for row in 0..spec.rows() {
+                for col in 0..spec.cols() {
+                    let cell = spec.cell_rect(col, row);
+                    if !cell.intersects(&space) {
+                        continue;
+                    }
+                    // Bounded region: covered by every candidate region
+                    // anchored in the cell; bounding region: covers every
+                    // such candidate (Definition 9).  Shrink / expand by a
+                    // hair so boundary objects never flip the wrong way.
+                    let bounded = Rect::new(
+                        cell.max_x + eps_x,
+                        cell.max_y + eps_y,
+                        (cell.min_x + query.size.width - eps_x).max(cell.max_x + eps_x),
+                        (cell.min_y + query.size.height - eps_y).max(cell.max_y + eps_y),
+                    );
+                    let bounding = Rect::new(
+                        cell.min_x - eps_x,
+                        cell.min_y - eps_y,
+                        cell.max_x + query.size.width + eps_x,
+                        cell.max_y + query.size.height + eps_y,
+                    );
+                    let lower = if bounded.width() > 2.0 * eps_x && bounded.height() > 2.0 * eps_y {
+                        self.index.stats_of_cells_contained(&bounded)
+                    } else {
+                        vec![0.0; self.aggregator.stats_dim()]
+                    };
+                    let upper = self.index.stats_of_cells_overlapping(&bounding);
+                    let lb = self.aggregator.lower_bound_distance(
+                        &query.target,
+                        &lower,
+                        &upper,
+                        &query.weights,
+                        query.metric,
+                    );
+                    heap.push(CellEntry { lb, col, row });
+                }
+            }
+
+            // 3. Search cells best-first until no cell can improve the
+            //    result (or improve it by more than the (1+δ) factor).
+            while let Some(entry) = heap.pop() {
+                if entry.lb >= best.distance / config.prune_factor() {
+                    break;
+                }
+                stats.index_cells_searched += 1;
+                let cell_space = spec.cell_rect(entry.col, entry.row);
+                let candidates = asp.rects_intersecting(&cell_space);
+                inner.search_space(&asp, query, cell_space, candidates, &mut best, &mut stats);
+            }
+        }
+
+        stats.elapsed = started.elapsed();
+        SearchResult::new(
+            best.anchor,
+            Rect::from_bottom_left(best.anchor, query.size),
+            best.distance,
+            best.representation,
+            stats,
+        )
+    }
+}
+
+/// The parts of the ASP search space not covered by the index grid: an
+/// L-shaped margin to the left of and below the indexed area.
+fn margin_spaces(asp_space: &Rect, index_space: &Rect) -> Vec<Rect> {
+    let mut out = Vec::new();
+    if asp_space.min_x < index_space.min_x {
+        out.push(Rect::new(
+            asp_space.min_x,
+            asp_space.min_y,
+            index_space.min_x,
+            asp_space.max_y,
+        ));
+    }
+    if asp_space.min_y < index_space.min_y {
+        out.push(Rect::new(
+            index_space.min_x.max(asp_space.min_x),
+            asp_space.min_y,
+            asp_space.max_x,
+            index_space.min_y,
+        ));
+    }
+    out.retain(|r| r.width() > 0.0 && r.height() > 0.0 && r.intersects(asp_space));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_aggregator::{FeatureVector, Selection, Weights};
+    use asrs_data::gen::{TweetGenerator, UniformGenerator};
+    use asrs_geo::RegionSize;
+
+    #[test]
+    fn margin_spaces_cover_the_reduction_offset() {
+        let asp_space = Rect::new(-2.0, -3.0, 10.0, 10.0);
+        let index_space = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let margins = margin_spaces(&asp_space, &index_space);
+        assert_eq!(margins.len(), 2);
+        // Together with the index space, the margins cover the ASP space.
+        let covered_area: f64 =
+            margins.iter().map(|m| m.area()).sum::<f64>() + index_space.area();
+        assert!((covered_area - asp_space.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_spaces_empty_when_index_covers_everything() {
+        let space = Rect::new(0.0, 0.0, 5.0, 5.0);
+        assert!(margin_spaces(&space, &Rect::new(-1.0, -1.0, 6.0, 6.0)).is_empty());
+    }
+
+    #[test]
+    fn gi_ds_matches_ds_search_exactly() {
+        let ds = UniformGenerator::default().generate(600, 77);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::build(&ds, &agg, 24, 24).unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(9.0, 7.0),
+            FeatureVector::new(vec![4.0, 2.0, 1.0, 3.0]),
+            Weights::uniform(4),
+        );
+        let plain = DsSearch::new(&ds, &agg).search(&query);
+        let indexed = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        assert!(
+            (plain.distance - indexed.distance).abs() < 1e-9,
+            "DS {} vs GI-DS {}",
+            plain.distance,
+            indexed.distance
+        );
+    }
+
+    #[test]
+    fn gi_ds_prunes_most_index_cells() {
+        let ds = TweetGenerator::compact(8).generate(2000, 3);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("day_of_week", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::build(&ds, &agg, 32, 32).unwrap();
+        // A weekend-heavy target, as in the paper's composite aggregator F1.
+        let query = AsrsQuery::new(
+            RegionSize::new(60.0, 60.0),
+            FeatureVector::new(vec![0.0, 0.0, 0.0, 0.0, 0.0, 40.0, 40.0]),
+            Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
+        );
+        let result = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        let ratio = result.stats.index_search_ratio().unwrap();
+        assert!(ratio < 0.6, "expected pruning, searched {:.0}%", ratio * 100.0);
+        assert!(result.stats.index_cells_total >= 1024);
+    }
+
+    #[test]
+    fn approximate_search_respects_guarantee_and_prunes_more() {
+        let ds = UniformGenerator::default().generate(800, 11);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::build(&ds, &agg, 32, 32).unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(10.0, 10.0),
+            FeatureVector::new(vec![6.0, 6.0, 6.0, 6.0]),
+            Weights::uniform(4),
+        );
+        let solver = GiDsSearch::new(&ds, &agg, &index);
+        let exact = solver.search(&query);
+        for delta in [0.1, 0.2, 0.4] {
+            let approx = solver.search_approx(&query, delta);
+            assert!(
+                approx.distance <= (1.0 + delta) * exact.distance + 1e-9,
+                "δ={delta}: {} vs optimal {}",
+                approx.distance,
+                exact.distance
+            );
+            assert!(
+                approx.stats.index_cells_searched <= exact.stats.index_cells_searched,
+                "approximation must not search more cells"
+            );
+        }
+    }
+
+    #[test]
+    fn result_representation_is_consistent_with_the_region() {
+        let ds = UniformGenerator::default().generate(400, 21);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::build(&ds, &agg, 16, 16).unwrap();
+        let example = Rect::new(5.0, 60.0, 30.0, 80.0);
+        let query = AsrsQuery::from_example_region(&ds, &agg, &example).unwrap();
+        let result = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        let rep = agg.aggregate_region(&ds, &result.region);
+        let d = agg.distance(&rep, &query.target, &query.weights, query.metric);
+        assert!((d - result.distance).abs() < 1e-9);
+        assert!(result.distance <= 1e-9, "the example region itself matches");
+    }
+}

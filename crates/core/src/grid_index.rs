@@ -1,0 +1,300 @@
+//! The grid index with attribute summary tables (Section 5.2).
+//!
+//! The index is a query-independent `s_x × s_y` grid over the dataset.  The
+//! paper attaches to each cell an *attribute summary table* counting, for
+//! every attribute value, the objects located in the cells above and to the
+//! right of it (`G[∞/i][∞/j]`); Lemma 8 then recovers the counts of any
+//! rectangular block of cells by inclusion–exclusion.
+//!
+//! This implementation generalises the summary tables from per-category
+//! counts to whole *statistics vectors* of the composite aggregator (which
+//! subsume the per-category counts and additionally carry the sums/counts
+//! needed by the sum and average aggregators), so a single index supports
+//! every aggregator the paper defines.
+
+use asrs_aggregator::CompositeAggregator;
+use asrs_data::Dataset;
+use asrs_geo::{GridSpec, Rect};
+
+/// The grid index: suffix-cumulative statistics vectors over an
+/// `s_x × s_y` grid.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    spec: GridSpec,
+    stats_dim: usize,
+    /// Suffix sums: entry `(i, j)` (with `i ∈ 0..=cols`, `j ∈ 0..=rows`)
+    /// holds the statistics of all objects located in cells
+    /// `[i.., j..)`; the last row/column is identically zero.
+    suffix: Vec<f64>,
+    objects_indexed: usize,
+}
+
+impl GridIndex {
+    /// Builds the index for `dataset` and `aggregator` with an
+    /// `cols × rows` grid.  Returns `None` for an empty dataset.
+    pub fn build(
+        dataset: &Dataset,
+        aggregator: &CompositeAggregator,
+        cols: usize,
+        rows: usize,
+    ) -> Option<Self> {
+        assert!(cols > 0 && rows > 0, "index grid must have at least one cell");
+        let bbox = dataset.padded_bounding_box(1.0)?;
+        let spec = GridSpec::new(bbox, cols, rows);
+        let dims = aggregator.stats_dim();
+        let width = cols + 1;
+        let mut suffix = vec![0.0; width * (rows + 1) * dims];
+        let mut contrib = vec![0.0; dims];
+        // Per-cell accumulation.
+        for o in dataset.objects() {
+            let cell = spec.clamped_cell_of_point(&o.location);
+            contrib.iter_mut().for_each(|v| *v = 0.0);
+            aggregator.accumulate_object(o, &mut contrib);
+            let base = (cell.row * width + cell.col) * dims;
+            for (k, v) in contrib.iter().enumerate() {
+                suffix[base + k] += v;
+            }
+        }
+        // Suffix sums along columns (right to left) then rows (top to
+        // bottom): S[i][j] = cell[i][j] + S[i+1][j] + S[i][j+1] − S[i+1][j+1].
+        for row in (0..rows).rev() {
+            for col in (0..cols).rev() {
+                let cur = (row * width + col) * dims;
+                let right = (row * width + col + 1) * dims;
+                let up = ((row + 1) * width + col) * dims;
+                let diag = ((row + 1) * width + col + 1) * dims;
+                for k in 0..dims {
+                    suffix[cur + k] += suffix[right + k] + suffix[up + k] - suffix[diag + k];
+                }
+            }
+        }
+        Some(Self {
+            spec,
+            stats_dim: dims,
+            suffix,
+            objects_indexed: dataset.len(),
+        })
+    }
+
+    /// The geometric grid specification of the index.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Grid granularity `(cols, rows)`.
+    pub fn granularity(&self) -> (usize, usize) {
+        (self.spec.cols(), self.spec.rows())
+    }
+
+    /// Dimensionality of the statistics vectors stored per cell.
+    pub fn stats_dim(&self) -> usize {
+        self.stats_dim
+    }
+
+    /// Number of objects summarised by the index.
+    pub fn objects_indexed(&self) -> usize {
+        self.objects_indexed
+    }
+
+    /// Approximate memory footprint of the index in bytes (the paper's
+    /// Table 1 "index size" column).
+    pub fn memory_bytes(&self) -> usize {
+        self.suffix.len() * std::mem::size_of::<f64>()
+            + std::mem::size_of::<Self>()
+    }
+
+    #[inline]
+    fn suffix_at(&self, col: usize, row: usize) -> &[f64] {
+        let width = self.spec.cols() + 1;
+        let base = (row * width + col) * self.stats_dim;
+        &self.suffix[base..base + self.stats_dim]
+    }
+
+    /// Statistics of the objects located in the half-open block of cells
+    /// `[col_start, col_end) × [row_start, row_end)`, by inclusion–exclusion
+    /// over the suffix sums (Lemma 8).
+    pub fn range_stats(
+        &self,
+        col_start: usize,
+        col_end: usize,
+        row_start: usize,
+        row_end: usize,
+    ) -> Vec<f64> {
+        let cols = self.spec.cols();
+        let rows = self.spec.rows();
+        let c0 = col_start.min(cols);
+        let c1 = col_end.min(cols);
+        let r0 = row_start.min(rows);
+        let r1 = row_end.min(rows);
+        let mut out = vec![0.0; self.stats_dim];
+        if c0 >= c1 || r0 >= r1 {
+            return out;
+        }
+        let a = self.suffix_at(c0, r0);
+        let b = self.suffix_at(c1, r0);
+        let c = self.suffix_at(c0, r1);
+        let d = self.suffix_at(c1, r1);
+        for k in 0..self.stats_dim {
+            // Clamp tiny negative values produced by floating-point
+            // cancellation back to zero; statistics are sums of
+            // non-negative or sign-separated contributions per slot.
+            out[k] = a[k] - b[k] - c[k] + d[k];
+        }
+        out
+    }
+
+    /// Statistics of objects in cells entirely contained in `region`
+    /// (a *lower* statistics vector for any candidate region containing
+    /// `region`).
+    pub fn stats_of_cells_contained(&self, region: &Rect) -> Vec<f64> {
+        let range = self.spec.cells_contained(region);
+        self.range_stats(
+            range.col_start,
+            range.col_end,
+            range.row_start,
+            range.row_end,
+        )
+    }
+
+    /// Statistics of objects in cells overlapping `region` (an *upper*
+    /// statistics vector for any candidate region contained in `region`).
+    pub fn stats_of_cells_overlapping(&self, region: &Rect) -> Vec<f64> {
+        let range = self.spec.cells_overlapping(region);
+        self.range_stats(
+            range.col_start,
+            range.col_end,
+            range.row_start,
+            range.row_end,
+        )
+    }
+
+    /// Statistics of the whole dataset.
+    pub fn total_stats(&self) -> Vec<f64> {
+        self.range_stats(0, self.spec.cols(), 0, self.spec.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_aggregator::Selection;
+    use asrs_data::gen::{PoiSynGenerator, UniformGenerator};
+
+    fn setup() -> (Dataset, CompositeAggregator) {
+        let ds = UniformGenerator::default().generate(400, 5);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        (ds, agg)
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_index() {
+        let ds = Dataset::new_unchecked(asrs_data::Schema::empty(), vec![]);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .count(Selection::All)
+            .build()
+            .unwrap();
+        assert!(GridIndex::build(&ds, &agg, 8, 8).is_none());
+    }
+
+    #[test]
+    fn total_stats_match_direct_aggregation() {
+        let (ds, agg) = setup();
+        let index = GridIndex::build(&ds, &agg, 16, 16).unwrap();
+        let direct = agg.stats_of(ds.objects().iter());
+        let indexed = index.total_stats();
+        for (a, b) in direct.iter().zip(&indexed) {
+            assert!((a - b).abs() < 1e-6, "direct {a} vs indexed {b}");
+        }
+        assert_eq!(index.objects_indexed(), 400);
+        assert_eq!(index.granularity(), (16, 16));
+    }
+
+    #[test]
+    fn range_stats_match_per_cell_recount() {
+        let (ds, agg) = setup();
+        let index = GridIndex::build(&ds, &agg, 10, 10).unwrap();
+        let spec = index.spec().clone();
+        // Check a handful of sub-blocks against a direct recount.
+        for (c0, c1, r0, r1) in [(0, 10, 0, 10), (2, 7, 3, 9), (0, 1, 0, 1), (5, 5, 2, 8)] {
+            let expected = agg.stats_of(ds.objects().iter().filter(|o| {
+                let cell = spec.clamped_cell_of_point(&o.location);
+                cell.col >= c0 && cell.col < c1 && cell.row >= r0 && cell.row < r1
+            }));
+            let got = index.range_stats(c0, c1, r0, r1);
+            for (a, b) in expected.iter().zip(&got) {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "block ({c0}..{c1}, {r0}..{r1}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contained_and_overlapping_stats_bracket_a_region() {
+        let (ds, agg) = setup();
+        let index = GridIndex::build(&ds, &agg, 32, 32).unwrap();
+        let region = Rect::new(20.0, 20.0, 60.0, 55.0);
+        let lower = index.stats_of_cells_contained(&region);
+        let upper = index.stats_of_cells_overlapping(&region);
+        let exact = agg.stats_of(
+            ds.objects()
+                .iter()
+                .filter(|o| region.strictly_contains_point(&o.location)),
+        );
+        // For count-like slots (the distribution counts), lower ≤ exact ≤
+        // upper must hold.
+        for k in 0..agg.stats_dim() {
+            assert!(
+                lower[k] <= exact[k] + 1e-9,
+                "slot {k}: lower {} > exact {}",
+                lower[k],
+                exact[k]
+            );
+            assert!(
+                exact[k] <= upper[k] + 1e-9,
+                "slot {k}: exact {} > upper {}",
+                exact[k],
+                upper[k]
+            );
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_granularity() {
+        let (ds, agg) = setup();
+        let small = GridIndex::build(&ds, &agg, 16, 16).unwrap();
+        let large = GridIndex::build(&ds, &agg, 64, 64).unwrap();
+        assert!(large.memory_bytes() > small.memory_bytes());
+        assert!(small.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn works_with_numeric_aggregators() {
+        let ds = PoiSynGenerator::compact(4).generate(500, 3);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .sum("visits", Selection::All)
+            .average("rating", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::build(&ds, &agg, 20, 20).unwrap();
+        let total = index.total_stats();
+        let direct = agg.stats_of(ds.objects().iter());
+        for (a, b) in direct.iter().zip(&total) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_return_zero() {
+        let (ds, agg) = setup();
+        let index = GridIndex::build(&ds, &agg, 8, 8).unwrap();
+        assert!(index.range_stats(3, 3, 0, 8).iter().all(|v| *v == 0.0));
+        assert!(index.range_stats(5, 2, 0, 8).iter().all(|v| *v == 0.0));
+        let far = Rect::new(1e6, 1e6, 2e6, 2e6);
+        assert!(index.stats_of_cells_overlapping(&far).iter().all(|v| *v == 0.0));
+    }
+}

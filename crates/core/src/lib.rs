@@ -1,0 +1,76 @@
+//! Core algorithms of the ASRS paper: the ASP reduction, the exact
+//! DS-Search algorithm, the GI-DS grid-index search, the (1+δ)-approximate
+//! extension and the MaxRS adaptation.
+//!
+//! # Overview
+//!
+//! The attribute-aware similar region search (ASRS) problem takes a set of
+//! spatial objects, a query region of size `a × b` and a composite
+//! aggregator, and finds the `a × b` region whose aggregate representation
+//! is closest to the query's (Definition 4 of the paper).
+//!
+//! The implementation follows the paper closely:
+//!
+//! 1. [`asp`] reduces ASRS to the attribute-aware similar *point* (ASP)
+//!    problem: each object spawns an `a × b` rectangle whose top-right
+//!    corner sits on the object; finding the point covered by the most
+//!    query-like multiset of rectangles is equivalent to finding the best
+//!    region (Section 4.1, Theorem 1).
+//! 2. [`DsSearch`] solves ASP by repeatedly *discretizing* the space into a
+//!    grid of clean/dirty cells and *splitting* the sub-space spanned by the
+//!    surviving dirty cells, pruning with the Equation-1 lower bound and
+//!    stopping on the GPS-accuracy drop condition (Sections 4.2–4.6).
+//! 3. [`GridIndex`] + [`GiDsSearch`] add the query-independent grid index
+//!    with attribute summary tables of Section 5, searching only the index
+//!    cells whose lower bound can still beat the best known distance.
+//! 4. The same machinery answers the (1+δ)-approximate problem (Section 6)
+//!    via [`SearchConfig::delta`] / [`GiDsSearch::search_approx`].
+//! 5. [`MaxRsSearch`] adapts DS-Search to the MaxRS problem (Section 7.5).
+//!
+//! # Quick example
+//!
+//! ```
+//! use asrs_core::{AsrsQuery, DsSearch};
+//! use asrs_aggregator::{CompositeAggregator, Selection};
+//! use asrs_data::gen::UniformGenerator;
+//! use asrs_geo::Rect;
+//!
+//! let dataset = UniformGenerator::default().generate(500, 42);
+//! let aggregator = CompositeAggregator::builder(dataset.schema())
+//!     .distribution("category", Selection::All)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Use an existing region as the example to match.
+//! let example = Rect::new(10.0, 10.0, 25.0, 25.0);
+//! let query = AsrsQuery::from_example_region(&dataset, &aggregator, &example).unwrap();
+//!
+//! let result = DsSearch::new(&dataset, &aggregator).search(&query);
+//! assert!(result.distance.is_finite());
+//! assert!((result.region.width() - example.width()).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asp;
+mod config;
+mod discretize;
+mod drop_condition;
+mod ds_search;
+mod gi_ds;
+mod grid_index;
+mod maxrs;
+mod query;
+mod result;
+mod split;
+mod stats;
+
+pub use config::SearchConfig;
+pub use ds_search::DsSearch;
+pub use gi_ds::GiDsSearch;
+pub use grid_index::GridIndex;
+pub use maxrs::{MaxRsResult, MaxRsSearch};
+pub use query::{AsrsQuery, QueryError};
+pub use result::SearchResult;
+pub use stats::SearchStats;

@@ -1,0 +1,212 @@
+//! ASRS queries.
+
+use asrs_aggregator::{CompositeAggregator, DistanceMetric, FeatureVector, Weights};
+use asrs_data::Dataset;
+use asrs_geo::{Rect, RegionSize};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when assembling or validating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Target representation dimensionality does not match the aggregator.
+    TargetDimensionMismatch {
+        /// Dimensions of the supplied target.
+        got: usize,
+        /// Dimensions the aggregator produces.
+        expected: usize,
+    },
+    /// Weight dimensionality does not match the aggregator.
+    WeightDimensionMismatch {
+        /// Dimensions of the supplied weights.
+        got: usize,
+        /// Dimensions the aggregator produces.
+        expected: usize,
+    },
+    /// The example region is degenerate (zero width or height).
+    DegenerateRegion,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::TargetDimensionMismatch { got, expected } => {
+                write!(f, "target has {got} dimensions, aggregator produces {expected}")
+            }
+            QueryError::WeightDimensionMismatch { got, expected } => {
+                write!(f, "weights have {got} dimensions, aggregator produces {expected}")
+            }
+            QueryError::DegenerateRegion => write!(f, "example region must have positive width and height"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// An ASRS query: the size of the region to find, the target aggregate
+/// representation `F(r_q)`, the per-dimension weights `w` and the distance
+/// metric (Definition 4).
+///
+/// The query follows the paper's query-by-example philosophy: the target can
+/// be the representation of a real region ([`AsrsQuery::from_example_region`])
+/// or a hand-crafted "virtual region" ([`AsrsQuery::new`]) describing the
+/// user's interests, as the paper's composite aggregators F1/F2 do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsrsQuery {
+    /// Size `a × b` of the region to find.
+    pub size: RegionSize,
+    /// Target aggregate representation `F(r_q)`.
+    pub target: FeatureVector,
+    /// Per-dimension weights `w`.
+    pub weights: Weights,
+    /// Distance metric (L1 by default, as in the paper).
+    pub metric: DistanceMetric,
+}
+
+impl AsrsQuery {
+    /// Creates a query from an explicit target representation.
+    pub fn new(size: RegionSize, target: FeatureVector, weights: Weights) -> Self {
+        Self {
+            size,
+            target,
+            weights,
+            metric: DistanceMetric::L1,
+        }
+    }
+
+    /// Creates a query with uniform weights.
+    pub fn with_uniform_weights(size: RegionSize, target: FeatureVector) -> Self {
+        let dim = target.dim();
+        Self::new(size, target, Weights::uniform(dim))
+    }
+
+    /// Uses a real region of the dataset as the example: the target
+    /// representation is `F(example)` and the query size is the example's
+    /// size.  Weights default to uniform; override with
+    /// [`AsrsQuery::with_weights`].
+    pub fn from_example_region(
+        dataset: &Dataset,
+        aggregator: &CompositeAggregator,
+        example: &Rect,
+    ) -> Result<Self, QueryError> {
+        if example.width() <= 0.0 || example.height() <= 0.0 {
+            return Err(QueryError::DegenerateRegion);
+        }
+        let target = aggregator.aggregate_region(dataset, example);
+        let dim = target.dim();
+        Ok(Self::new(
+            RegionSize::new(example.width(), example.height()),
+            target,
+            Weights::uniform(dim),
+        ))
+    }
+
+    /// Replaces the weights.
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Replaces the distance metric.
+    pub fn with_metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Validates the query against an aggregator.
+    pub fn validate(&self, aggregator: &CompositeAggregator) -> Result<(), QueryError> {
+        let expected = aggregator.feature_dim();
+        if self.target.dim() != expected {
+            return Err(QueryError::TargetDimensionMismatch {
+                got: self.target.dim(),
+                expected,
+            });
+        }
+        if self.weights.dim() != expected {
+            return Err(QueryError::WeightDimensionMismatch {
+                got: self.weights.dim(),
+                expected,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_aggregator::Selection;
+    use asrs_data::gen::UniformGenerator;
+
+    fn setup() -> (Dataset, CompositeAggregator) {
+        let ds = UniformGenerator::default().generate(200, 1);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        (ds, agg)
+    }
+
+    #[test]
+    fn from_example_region_captures_representation() {
+        let (ds, agg) = setup();
+        let region = Rect::new(10.0, 10.0, 40.0, 35.0);
+        let q = AsrsQuery::from_example_region(&ds, &agg, &region).unwrap();
+        assert_eq!(q.target, agg.aggregate_region(&ds, &region));
+        assert!((q.size.width - 30.0).abs() < 1e-12);
+        assert!((q.size.height - 25.0).abs() < 1e-12);
+        assert!(q.validate(&agg).is_ok());
+    }
+
+    #[test]
+    fn from_example_rejects_degenerate_region() {
+        let (ds, agg) = setup();
+        let region = Rect::new(10.0, 10.0, 10.0, 35.0);
+        assert_eq!(
+            AsrsQuery::from_example_region(&ds, &agg, &region),
+            Err(QueryError::DegenerateRegion)
+        );
+    }
+
+    #[test]
+    fn validate_detects_dimension_mismatches() {
+        let (_, agg) = setup();
+        let q = AsrsQuery::new(
+            RegionSize::new(1.0, 1.0),
+            FeatureVector::new(vec![1.0, 2.0]),
+            Weights::uniform(2),
+        );
+        assert!(matches!(
+            q.validate(&agg),
+            Err(QueryError::TargetDimensionMismatch { .. })
+        ));
+        let q = AsrsQuery::new(
+            RegionSize::new(1.0, 1.0),
+            FeatureVector::zeros(agg.feature_dim()),
+            Weights::uniform(1),
+        );
+        assert!(matches!(
+            q.validate(&agg),
+            Err(QueryError::WeightDimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builders_set_metric_and_weights() {
+        let q = AsrsQuery::with_uniform_weights(
+            RegionSize::new(2.0, 2.0),
+            FeatureVector::new(vec![1.0, 0.0]),
+        )
+        .with_metric(DistanceMetric::L2)
+        .with_weights(Weights::new(vec![0.5, 0.5]));
+        assert_eq!(q.metric, DistanceMetric::L2);
+        assert_eq!(q.weights.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = QueryError::TargetDimensionMismatch { got: 1, expected: 2 };
+        assert!(format!("{e}").contains("1"));
+        assert!(format!("{}", QueryError::DegenerateRegion).contains("positive"));
+    }
+}

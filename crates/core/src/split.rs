@@ -1,0 +1,228 @@
+//! Function `Split` (Section 4.4).
+//!
+//! The dirty cells that survived pruning are partitioned into two groups
+//! whose minimum bounding rectangles become the two new, smaller sub-spaces.
+//! The heuristic follows the paper: pick two seed cells far from each other,
+//! then greedily assign every remaining cell to the group whose MBR grows
+//! the least.
+
+use crate::discretize::DirtyCell;
+use asrs_geo::{GridSpec, Rect};
+
+/// A sub-space produced by splitting: its extent and the minimum lower
+/// bound of the dirty cells it encloses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SubSpace {
+    pub space: Rect,
+    pub lb: f64,
+}
+
+/// Splits the retained dirty cells of `grid` into at most two sub-spaces.
+///
+/// Returns an empty vector when there is no retained dirty cell, a single
+/// sub-space when there is exactly one, and two sub-spaces otherwise.
+pub(crate) fn split(grid: &GridSpec, retained: &[DirtyCell]) -> Vec<SubSpace> {
+    match retained.len() {
+        0 => Vec::new(),
+        1 => {
+            let cell = &retained[0];
+            vec![SubSpace {
+                space: grid.cell_rect(cell.col, cell.row),
+                lb: cell.lb,
+            }]
+        }
+        _ => split_two(grid, retained),
+    }
+}
+
+fn split_two(grid: &GridSpec, retained: &[DirtyCell]) -> Vec<SubSpace> {
+    let (seed_a, seed_b) = pick_seeds(retained);
+    let mut mbr_a = grid.cell_rect(retained[seed_a].col, retained[seed_a].row);
+    let mut mbr_b = grid.cell_rect(retained[seed_b].col, retained[seed_b].row);
+    let mut lb_a = retained[seed_a].lb;
+    let mut lb_b = retained[seed_b].lb;
+
+    for (i, cell) in retained.iter().enumerate() {
+        if i == seed_a || i == seed_b {
+            continue;
+        }
+        let rect = grid.cell_rect(cell.col, cell.row);
+        let cost_a = mbr_a.enlargement(&rect);
+        let cost_b = mbr_b.enlargement(&rect);
+        // Paper: "if cost1 > cost2 then G2 ← G2 ∪ {g} else G1 ← G1 ∪ {g}".
+        if cost_a > cost_b {
+            mbr_b = mbr_b.mbr(&rect);
+            lb_b = lb_b.min(cell.lb);
+        } else {
+            mbr_a = mbr_a.mbr(&rect);
+            lb_a = lb_a.min(cell.lb);
+        }
+    }
+
+    vec![
+        SubSpace {
+            space: mbr_a,
+            lb: lb_a,
+        },
+        SubSpace {
+            space: mbr_b,
+            lb: lb_b,
+        },
+    ]
+}
+
+/// Picks two cells that are far from each other, as seeds of the two groups.
+///
+/// A full pairwise scan is quadratic in the number of dirty cells; instead
+/// the four extreme cells along the two diagonal directions are considered
+/// and the farthest pair among them is returned — a linear-time
+/// approximation of "two cells far from each other".
+fn pick_seeds(retained: &[DirtyCell]) -> (usize, usize) {
+    debug_assert!(retained.len() >= 2);
+    let mut extremes = [0usize; 4];
+    let key = |i: usize| {
+        let c = &retained[i];
+        (c.col as i64 + c.row as i64, c.col as i64 - c.row as i64)
+    };
+    for i in 1..retained.len() {
+        let (sum, diff) = key(i);
+        if sum < key(extremes[0]).0 {
+            extremes[0] = i;
+        }
+        if sum > key(extremes[1]).0 {
+            extremes[1] = i;
+        }
+        if diff < key(extremes[2]).1 {
+            extremes[2] = i;
+        }
+        if diff > key(extremes[3]).1 {
+            extremes[3] = i;
+        }
+    }
+    let mut best = (extremes[0], extremes[1]);
+    let mut best_d = -1i64;
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            let a = &retained[extremes[i]];
+            let b = &retained[extremes[j]];
+            let d = (a.col as i64 - b.col as i64).pow(2) + (a.row as i64 - b.row as i64).pow(2);
+            if d > best_d {
+                best_d = d;
+                best = (extremes[i], extremes[j]);
+            }
+        }
+    }
+    if best.0 == best.1 {
+        // All candidates coincide (e.g. all cells on one diagonal): fall
+        // back to the first and last retained cells.
+        (0, retained.len() - 1)
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_geo::Rect;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(Rect::new(0.0, 0.0, 10.0, 10.0), 10, 10)
+    }
+
+    fn cell(col: usize, row: usize, lb: f64) -> DirtyCell {
+        DirtyCell {
+            col,
+            row,
+            lb,
+            partials: 1,
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_no_subspace() {
+        assert!(split(&grid(), &[]).is_empty());
+    }
+
+    #[test]
+    fn single_cell_produces_its_own_rect() {
+        let parts = split(&grid(), &[cell(3, 4, 0.5)]);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].space, grid().cell_rect(3, 4));
+        assert_eq!(parts[0].lb, 0.5);
+    }
+
+    #[test]
+    fn two_distant_clusters_are_separated() {
+        // Cells clustered near (1, 1) and near (8, 8): the split should keep
+        // the clusters in different sub-spaces with small total area.
+        let cells = vec![
+            cell(0, 0, 0.1),
+            cell(1, 0, 0.2),
+            cell(0, 1, 0.3),
+            cell(1, 1, 0.4),
+            cell(8, 8, 0.5),
+            cell(9, 8, 0.6),
+            cell(8, 9, 0.7),
+            cell(9, 9, 0.8),
+        ];
+        let parts = split(&grid(), &cells);
+        assert_eq!(parts.len(), 2);
+        let total_area: f64 = parts.iter().map(|p| p.space.area()).sum();
+        // Each cluster MBR is 2x2 = 4 area; allow some slack for assignment
+        // order but far less than the full 100-area space.
+        assert!(total_area <= 10.0, "total area {total_area} too large");
+        // The minimum lower bound over both groups covers the global min.
+        let min_lb = parts.iter().map(|p| p.lb).fold(f64::INFINITY, f64::min);
+        assert!((min_lb - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_retained_cell_is_covered_by_some_subspace() {
+        let cells: Vec<DirtyCell> = (0..10)
+            .flat_map(|c| (0..10).filter(move |r| (c + r) % 3 == 0).map(move |r| cell(c, r, 1.0)))
+            .collect();
+        let parts = split(&grid(), &cells);
+        assert_eq!(parts.len(), 2);
+        for c in &cells {
+            let rect = grid().cell_rect(c.col, c.row);
+            assert!(
+                parts.iter().any(|p| p.space.contains_rect(&rect)),
+                "cell ({}, {}) not covered",
+                c.col,
+                c.row
+            );
+        }
+    }
+
+    #[test]
+    fn subspace_lbs_are_minima_of_their_groups() {
+        let cells = vec![cell(0, 0, 0.9), cell(9, 9, 0.2), cell(1, 1, 0.5)];
+        let parts = split(&grid(), &cells);
+        assert_eq!(parts.len(), 2);
+        let all_min = parts.iter().map(|p| p.lb).fold(f64::INFINITY, f64::min);
+        assert!((all_min - 0.2).abs() < 1e-12);
+        for p in &parts {
+            assert!(p.lb >= 0.2 && p.lb <= 0.9);
+        }
+    }
+
+    #[test]
+    fn collinear_cells_still_split() {
+        let cells: Vec<DirtyCell> = (0..10).map(|i| cell(i, i, i as f64)).collect();
+        let parts = split(&grid(), &cells);
+        assert_eq!(parts.len(), 2);
+        // Sub-spaces must be smaller than the full diagonal MBR together.
+        assert!(parts.iter().all(|p| p.space.area() <= 100.0));
+    }
+
+    #[test]
+    fn identical_cells_fall_back_gracefully() {
+        let cells = vec![cell(4, 4, 0.3), cell(4, 4, 0.1)];
+        let parts = split(&grid(), &cells);
+        assert_eq!(parts.len(), 2);
+        for p in &parts {
+            assert_eq!(p.space, grid().cell_rect(4, 4));
+        }
+    }
+}

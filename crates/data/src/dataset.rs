@@ -1,0 +1,304 @@
+//! Datasets: collections of spatial objects sharing a schema.
+
+use crate::{AttrValue, Schema, SchemaError, SpatialObject};
+use asrs_geo::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// An immutable collection of spatial objects with a common schema.
+///
+/// `Dataset` is the input `O` of the ASRS problem (Definition 4).  It owns
+/// its objects; the search algorithms hold a shared reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    objects: Vec<SpatialObject>,
+    #[serde(skip)]
+    bbox_cache: Option<Rect>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every object against the schema.
+    pub fn new(schema: Schema, objects: Vec<SpatialObject>) -> Result<Self, SchemaError> {
+        for o in &objects {
+            schema.validate_values(&o.values)?;
+        }
+        let mut ds = Self {
+            schema,
+            objects,
+            bbox_cache: None,
+        };
+        ds.bbox_cache = ds.compute_bbox();
+        Ok(ds)
+    }
+
+    /// Creates a dataset without validating objects.
+    ///
+    /// Intended for generators that construct values known to conform to the
+    /// schema; external inputs should use [`Dataset::new`].
+    pub fn new_unchecked(schema: Schema, objects: Vec<SpatialObject>) -> Self {
+        let mut ds = Self {
+            schema,
+            objects,
+            bbox_cache: None,
+        };
+        ds.bbox_cache = ds.compute_bbox();
+        ds
+    }
+
+    /// The dataset schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The objects.
+    #[inline]
+    pub fn objects(&self) -> &[SpatialObject] {
+        &self.objects
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` when the dataset holds no object.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object with position `idx` in the dataset.
+    #[inline]
+    pub fn object(&self, idx: usize) -> &SpatialObject {
+        &self.objects[idx]
+    }
+
+    fn compute_bbox(&self) -> Option<Rect> {
+        Rect::mbr_of_points(self.objects.iter().map(|o| o.location))
+    }
+
+    /// The minimum bounding rectangle of all object locations, or `None` for
+    /// an empty dataset.
+    #[inline]
+    pub fn bounding_box(&self) -> Option<Rect> {
+        self.bbox_cache
+    }
+
+    /// The bounding box, expanded so that it has strictly positive extent on
+    /// both axes (degenerate axes are padded by `pad`).  Useful for building
+    /// grids over datasets whose objects are collinear.
+    pub fn padded_bounding_box(&self, pad: f64) -> Option<Rect> {
+        let b = self.bounding_box()?;
+        let dx = if b.width() > 0.0 { 0.0 } else { pad };
+        let dy = if b.height() > 0.0 { 0.0 } else { pad };
+        Some(b.expanded(dx, dy))
+    }
+
+    /// Returns the objects strictly inside `region` (open containment, as in
+    /// Lemma 1 of the paper).
+    pub fn objects_strictly_in(&self, region: &Rect) -> Vec<&SpatialObject> {
+        self.objects
+            .iter()
+            .filter(|o| region.strictly_contains_point(&o.location))
+            .collect()
+    }
+
+    /// Returns the objects inside `region` including its boundary.
+    pub fn objects_in(&self, region: &Rect) -> Vec<&SpatialObject> {
+        self.objects
+            .iter()
+            .filter(|o| region.contains_point(&o.location))
+            .collect()
+    }
+
+    /// Counts the objects strictly inside `region`.
+    pub fn count_strictly_in(&self, region: &Rect) -> usize {
+        self.objects
+            .iter()
+            .filter(|o| region.strictly_contains_point(&o.location))
+            .count()
+    }
+
+    /// Returns a dataset containing only the first `n` objects (the paper's
+    /// "extract 1 million objects from Tweet" style of sub-sampling).
+    pub fn take_prefix(&self, n: usize) -> Dataset {
+        let objects: Vec<SpatialObject> = self.objects.iter().take(n).cloned().collect();
+        Dataset::new_unchecked(self.schema.clone(), objects)
+    }
+
+    /// Returns a new dataset with every location snapped to a grid of the
+    /// given quantum (mimicking the finite GPS accuracy of real data; see
+    /// Definition 7).
+    pub fn quantized(&self, quantum: f64) -> Dataset {
+        assert!(quantum > 0.0, "quantum must be positive");
+        let objects = self
+            .objects
+            .iter()
+            .map(|o| {
+                let x = (o.location.x / quantum).round() * quantum;
+                let y = (o.location.y / quantum).round() * quantum;
+                SpatialObject::new(o.id, Point::new(x, y), o.values.clone())
+            })
+            .collect();
+        Dataset::new_unchecked(self.schema.clone(), objects)
+    }
+
+    /// Iterates over `(index, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &SpatialObject)> {
+        self.objects.iter().enumerate()
+    }
+
+    /// Collects the distinct values of a categorical attribute that actually
+    /// occur in the dataset.
+    pub fn observed_categories(&self, attr: usize) -> Vec<u32> {
+        let mut seen: Vec<u32> = self
+            .objects
+            .iter()
+            .filter_map(|o| o.cat_value(attr))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    }
+
+    /// Computes the observed minimum and maximum of a numeric attribute.
+    pub fn numeric_extent(&self, attr: usize) -> Option<(f64, f64)> {
+        let mut it = self.objects.iter().filter_map(|o| o.num_value(attr));
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+}
+
+/// Convenience builder used by tests and examples to assemble small datasets
+/// by hand.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    schema: Schema,
+    objects: Vec<SpatialObject>,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            objects: Vec::new(),
+        }
+    }
+
+    /// Adds an object at `(x, y)` with the given values.
+    pub fn push(&mut self, x: f64, y: f64, values: Vec<AttrValue>) -> &mut Self {
+        let id = self.objects.len() as u64;
+        self.objects
+            .push(SpatialObject::new(id, Point::new(x, y), values));
+        self
+    }
+
+    /// Finishes the builder, validating the objects.
+    pub fn build(self) -> Result<Dataset, SchemaError> {
+        Dataset::new(self.schema, self.objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttributeDef, AttributeKind};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::new("category", AttributeKind::categorical(3)),
+            AttributeDef::new("price", AttributeKind::numeric(0.0, 100.0)),
+        ])
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new(schema());
+        b.push(0.0, 0.0, vec![AttrValue::Cat(0), AttrValue::Num(10.0)]);
+        b.push(1.0, 1.0, vec![AttrValue::Cat(1), AttrValue::Num(20.0)]);
+        b.push(2.0, 5.0, vec![AttrValue::Cat(2), AttrValue::Num(30.0)]);
+        b.push(4.0, 3.0, vec![AttrValue::Cat(0), AttrValue::Num(40.0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_validates_objects() {
+        let bad = vec![SpatialObject::new(
+            0,
+            Point::new(0.0, 0.0),
+            vec![AttrValue::Cat(9), AttrValue::Num(1.0)],
+        )];
+        assert!(Dataset::new(schema(), bad).is_err());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_objects() {
+        let ds = dataset();
+        let bbox = ds.bounding_box().unwrap();
+        assert_eq!(bbox, Rect::new(0.0, 0.0, 4.0, 5.0));
+        for o in ds.objects() {
+            assert!(bbox.contains_point(&o.location));
+        }
+        assert!(Dataset::new_unchecked(schema(), vec![]).bounding_box().is_none());
+    }
+
+    #[test]
+    fn padded_bounding_box_fixes_degenerate_axes() {
+        let mut b = DatasetBuilder::new(Schema::empty());
+        b.push(1.0, 2.0, vec![]);
+        b.push(1.0, 9.0, vec![]);
+        let ds = b.build().unwrap();
+        let padded = ds.padded_bounding_box(0.5).unwrap();
+        assert!(padded.width() > 0.0);
+        assert_eq!(padded.height(), 7.0);
+    }
+
+    #[test]
+    fn region_queries_use_strict_and_closed_containment() {
+        let ds = dataset();
+        let region = Rect::new(0.0, 0.0, 2.0, 5.0);
+        // Strict: objects on the boundary are excluded.
+        assert_eq!(ds.count_strictly_in(&region), 1);
+        assert_eq!(ds.objects_strictly_in(&region).len(), 1);
+        // Closed: boundary objects count.
+        assert_eq!(ds.objects_in(&region).len(), 3);
+    }
+
+    #[test]
+    fn take_prefix_preserves_schema() {
+        let ds = dataset();
+        let small = ds.take_prefix(2);
+        assert_eq!(small.len(), 2);
+        assert_eq!(small.schema(), ds.schema());
+        assert_eq!(ds.take_prefix(100).len(), 4);
+    }
+
+    #[test]
+    fn quantized_snaps_coordinates() {
+        let mut b = DatasetBuilder::new(Schema::empty());
+        b.push(0.123456, 0.98765, vec![]);
+        let ds = b.build().unwrap().quantized(0.01);
+        let o = ds.object(0);
+        assert!((o.x() - 0.12).abs() < 1e-12);
+        assert!((o.y() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_categories_and_numeric_extent() {
+        let ds = dataset();
+        assert_eq!(ds.observed_categories(0), vec![0, 1, 2]);
+        assert_eq!(ds.numeric_extent(1), Some((10.0, 40.0)));
+        assert_eq!(ds.numeric_extent(0), None);
+    }
+
+    #[test]
+    fn iter_enumerates_in_order() {
+        let ds = dataset();
+        let ids: Vec<u64> = ds.iter().map(|(_, o)| o.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.len(), 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! The synthetic city used by the case-study reproduction (Section 7.6).
+//!
+//! The paper's case study runs DS-Search over 4,556 Foursquare POIs in
+//! Singapore with the composite aggregator `F = ((f_D, Category, γ_all))`
+//! and shows that the "Orchard" query region retrieves "Marina Bay" (another
+//! shopping/entertainment epicentre) while "Bugis" — similar only in the
+//! Food and Transport dimensions — is a worse match.
+//!
+//! The city generator builds a synthetic city with named districts whose
+//! POI category mixes reproduce that structure: two shopping/nightlife
+//! epicentres with nearly identical mixes, one food/transport-heavy
+//! district, plus residential background.
+
+use super::rng_from_seed;
+use crate::{AttrValue, AttributeDef, AttributeKind, Dataset, Schema, SpatialObject};
+use asrs_geo::{Point, Rect};
+use rand::Rng;
+
+/// POI categories of the synthetic city (a coarse version of the Foursquare
+/// top-level categories used in the paper's Fig. 14).
+pub const CITY_CATEGORIES: [&str; 8] = [
+    "Food",
+    "Shops & Service",
+    "Nightlife Spot",
+    "Arts & Entertainment",
+    "Travel & Transport",
+    "Residence",
+    "Outdoors & Recreation",
+    "Professional",
+];
+
+/// A named district of the synthetic city.
+#[derive(Debug, Clone)]
+pub struct District {
+    /// Human-readable district name.
+    pub name: String,
+    /// The district's extent.
+    pub rect: Rect,
+    /// Number of POIs placed in the district.
+    pub poi_count: usize,
+    /// Relative category mix (one weight per [`CITY_CATEGORIES`] entry).
+    pub category_mix: [f64; 8],
+}
+
+/// The generated city: a dataset plus its named districts.
+#[derive(Debug, Clone)]
+pub struct CityMap {
+    /// All POIs of the city.
+    pub dataset: Dataset,
+    /// The named districts (query/candidate regions for the case study).
+    pub districts: Vec<District>,
+}
+
+impl CityMap {
+    /// Finds a district by name.
+    pub fn district(&self, name: &str) -> Option<&District> {
+        self.districts.iter().find(|d| d.name == name)
+    }
+}
+
+/// Generator for the synthetic case-study city.
+#[derive(Debug, Clone)]
+pub struct CityGenerator {
+    /// City extent.
+    pub bbox: Rect,
+    /// Number of background POIs scattered outside the named districts.
+    pub background_pois: usize,
+}
+
+impl Default for CityGenerator {
+    fn default() -> Self {
+        Self {
+            bbox: Rect::new(0.0, 0.0, 50.0, 30.0),
+            background_pois: 2500,
+        }
+    }
+}
+
+impl CityGenerator {
+    /// The schema of the generated city: one categorical `category`
+    /// attribute labelled with [`CITY_CATEGORIES`].
+    pub fn schema() -> Schema {
+        Schema::new(vec![AttributeDef::new(
+            "category",
+            AttributeKind::categorical_labeled(CITY_CATEGORIES.to_vec()),
+        )])
+    }
+
+    fn district_specs(&self) -> Vec<District> {
+        let shopping_mix = [0.22, 0.30, 0.14, 0.12, 0.10, 0.02, 0.04, 0.06];
+        let shopping_mix_b = [0.21, 0.29, 0.15, 0.13, 0.10, 0.02, 0.04, 0.06];
+        let food_transport_mix = [0.40, 0.14, 0.03, 0.02, 0.28, 0.06, 0.03, 0.04];
+        let residential_mix = [0.18, 0.08, 0.01, 0.01, 0.10, 0.45, 0.12, 0.05];
+        vec![
+            District {
+                name: "Orchard".to_string(),
+                rect: Rect::new(6.0, 18.0, 12.0, 22.0),
+                poi_count: 420,
+                category_mix: shopping_mix,
+            },
+            District {
+                name: "Marina Bay".to_string(),
+                rect: Rect::new(30.0, 6.0, 36.0, 10.0),
+                poi_count: 430,
+                category_mix: shopping_mix_b,
+            },
+            District {
+                name: "Bugis".to_string(),
+                rect: Rect::new(20.0, 20.0, 26.0, 24.0),
+                poi_count: 410,
+                category_mix: food_transport_mix,
+            },
+            District {
+                name: "Heartlands".to_string(),
+                rect: Rect::new(38.0, 20.0, 46.0, 26.0),
+                poi_count: 500,
+                category_mix: residential_mix,
+            },
+        ]
+    }
+
+    /// Generates the city.
+    pub fn generate(&self, seed: u64) -> CityMap {
+        let mut rng = rng_from_seed(seed);
+        let districts = self.district_specs();
+        let mut objects: Vec<SpatialObject> = Vec::new();
+        let mut next_id = 0u64;
+
+        let sample_category = |mix: &[f64; 8], rng: &mut rand::rngs::SmallRng| -> u32 {
+            let total: f64 = mix.iter().sum();
+            let mut pick = rng.gen_range(0.0..total);
+            for (i, w) in mix.iter().enumerate() {
+                if pick < *w {
+                    return i as u32;
+                }
+                pick -= *w;
+            }
+            (mix.len() - 1) as u32
+        };
+
+        for d in &districts {
+            for _ in 0..d.poi_count {
+                let x = rng.gen_range(d.rect.min_x..d.rect.max_x);
+                let y = rng.gen_range(d.rect.min_y..d.rect.max_y);
+                let cat = sample_category(&d.category_mix, &mut rng);
+                objects.push(SpatialObject::new(
+                    next_id,
+                    Point::new(x, y),
+                    vec![AttrValue::Cat(cat)],
+                ));
+                next_id += 1;
+            }
+        }
+
+        // Background POIs: mostly residential / professional, scattered over
+        // the whole city.
+        let background_mix = [0.20, 0.10, 0.02, 0.02, 0.12, 0.34, 0.12, 0.08];
+        for _ in 0..self.background_pois {
+            let x = rng.gen_range(self.bbox.min_x..self.bbox.max_x);
+            let y = rng.gen_range(self.bbox.min_y..self.bbox.max_y);
+            let cat = sample_category(&background_mix, &mut rng);
+            objects.push(SpatialObject::new(
+                next_id,
+                Point::new(x, y),
+                vec![AttrValue::Cat(cat)],
+            ));
+            next_id += 1;
+        }
+
+        CityMap {
+            dataset: Dataset::new_unchecked(Self::schema(), objects),
+            districts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_has_expected_structure() {
+        let city = CityGenerator::default().generate(42);
+        assert_eq!(city.districts.len(), 4);
+        assert!(city.district("Orchard").is_some());
+        assert!(city.district("Marina Bay").is_some());
+        assert!(city.district("Atlantis").is_none());
+        let total: usize = city.districts.iter().map(|d| d.poi_count).sum();
+        assert_eq!(city.dataset.len(), total + 2500);
+    }
+
+    #[test]
+    fn district_pois_lie_inside_their_rects() {
+        let city = CityGenerator::default().generate(7);
+        for d in &city.districts {
+            let inside = city.dataset.objects_in(&d.rect).len();
+            assert!(
+                inside >= d.poi_count,
+                "district {} should contain at least its own POIs",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn shopping_districts_have_similar_mixes() {
+        let city = CityGenerator::default().generate(3);
+        let mix = |name: &str| -> Vec<f64> {
+            let d = city.district(name).unwrap();
+            let objs = city.dataset.objects_in(&d.rect);
+            let mut counts = vec![0f64; CITY_CATEGORIES.len()];
+            for o in &objs {
+                counts[o.cat_value(0).unwrap() as usize] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            counts.iter().map(|c| c / total).collect()
+        };
+        let orchard = mix("Orchard");
+        let marina = mix("Marina Bay");
+        let bugis = mix("Bugis");
+        let l1 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert!(
+            l1(&orchard, &marina) < l1(&orchard, &bugis),
+            "Marina Bay must resemble Orchard more than Bugis does"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CityGenerator::default().generate(9);
+        let b = CityGenerator::default().generate(9);
+        assert_eq!(a.dataset, b.dataset);
+    }
+}

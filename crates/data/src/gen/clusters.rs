@@ -1,0 +1,217 @@
+//! Gaussian-mixture (clustered) spatial processes.
+//!
+//! Real geo-tagged data is heavily skewed towards population centres; the
+//! clustered generator reproduces that skew and is the spatial engine behind
+//! both [`super::TweetGenerator`] and [`super::PoiSynGenerator`].
+
+use super::{rng_from_seed, sample_gaussian_point};
+use asrs_geo::{Point, Rect};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A single spatial cluster: a Gaussian blob with a relative weight.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Cluster centre.
+    pub center: Point,
+    /// Standard deviation along x.
+    pub sigma_x: f64,
+    /// Standard deviation along y.
+    pub sigma_y: f64,
+    /// Relative sampling weight (need not be normalised).
+    pub weight: f64,
+}
+
+/// A Gaussian-mixture generator of point locations.
+#[derive(Debug, Clone)]
+pub struct ClusteredGenerator {
+    /// Spatial extent; samples are clamped to it.
+    pub bbox: Rect,
+    /// The mixture components.
+    pub clusters: Vec<Cluster>,
+    /// Fraction of points drawn uniformly from the whole bounding box
+    /// ("background noise"), in `[0, 1]`.
+    pub noise_fraction: f64,
+}
+
+impl ClusteredGenerator {
+    /// Creates a generator with explicit clusters.
+    pub fn new(bbox: Rect, clusters: Vec<Cluster>, noise_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&noise_fraction),
+            "noise fraction must be in [0, 1]"
+        );
+        assert!(!clusters.is_empty(), "at least one cluster is required");
+        Self {
+            bbox,
+            clusters,
+            noise_fraction,
+        }
+    }
+
+    /// Creates `k` randomly placed clusters inside `bbox`, each with a
+    /// standard deviation that is a few percent of the bounding box extent.
+    /// This is the default spatial process for the synthetic Tweet / POISyn
+    /// analogues.
+    pub fn random_clusters(bbox: Rect, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "at least one cluster is required");
+        let mut rng = rng_from_seed(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let clusters = (0..k)
+            .map(|_| {
+                let cx = rng.gen_range(bbox.min_x..=bbox.max_x);
+                let cy = rng.gen_range(bbox.min_y..=bbox.max_y);
+                let sigma_x = bbox.width() * rng.gen_range(0.01..0.06);
+                let sigma_y = bbox.height() * rng.gen_range(0.01..0.06);
+                let weight = rng.gen_range(0.3..1.0);
+                Cluster {
+                    center: Point::new(cx, cy),
+                    sigma_x,
+                    sigma_y,
+                    weight,
+                }
+            })
+            .collect();
+        Self {
+            bbox,
+            clusters,
+            noise_fraction: 0.1,
+        }
+    }
+
+    /// Samples one location.
+    pub fn sample_point(&self, rng: &mut SmallRng) -> Point {
+        if self.noise_fraction > 0.0 && rng.gen_bool(self.noise_fraction) {
+            return Point::new(
+                rng.gen_range(self.bbox.min_x..=self.bbox.max_x),
+                rng.gen_range(self.bbox.min_y..=self.bbox.max_y),
+            );
+        }
+        let total: f64 = self.clusters.iter().map(|c| c.weight).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = &self.clusters[0];
+        for c in &self.clusters {
+            if pick < c.weight {
+                chosen = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        sample_gaussian_point(rng, chosen.center, chosen.sigma_x, chosen.sigma_y, &self.bbox)
+    }
+
+    /// Samples `n` locations with the given seed (convenience for tests).
+    pub fn sample_points(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| self.sample_point(&mut rng)).collect()
+    }
+
+    /// Returns the cluster whose centre is closest to `p` (used by the
+    /// attribute models to correlate attributes with location).
+    pub fn nearest_cluster(&self, p: &Point) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = c.center.distance_sq(p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 50.0)
+    }
+
+    #[test]
+    fn samples_stay_inside_bbox() {
+        let g = ClusteredGenerator::random_clusters(bbox(), 5, 42);
+        for p in g.sample_points(2000, 1) {
+            assert!(g.bbox.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn clustering_produces_spatial_skew() {
+        // With tight clusters and little noise, the densest quadrant should
+        // hold far more than a quarter of the points.
+        let g = ClusteredGenerator::new(
+            bbox(),
+            vec![Cluster {
+                center: Point::new(10.0, 10.0),
+                sigma_x: 2.0,
+                sigma_y: 2.0,
+                weight: 1.0,
+            }],
+            0.05,
+        );
+        let pts = g.sample_points(2000, 7);
+        let dense = pts
+            .iter()
+            .filter(|p| p.x < 25.0 && p.y < 25.0)
+            .count();
+        assert!(
+            dense > pts.len() * 3 / 4,
+            "expected most points near the cluster, got {dense}/{}",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn random_clusters_is_deterministic() {
+        let a = ClusteredGenerator::random_clusters(bbox(), 4, 9).sample_points(100, 3);
+        let b = ClusteredGenerator::random_clusters(bbox(), 4, 9).sample_points(100, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_cluster_identifies_closest_center() {
+        let g = ClusteredGenerator::new(
+            bbox(),
+            vec![
+                Cluster {
+                    center: Point::new(10.0, 10.0),
+                    sigma_x: 1.0,
+                    sigma_y: 1.0,
+                    weight: 1.0,
+                },
+                Cluster {
+                    center: Point::new(90.0, 40.0),
+                    sigma_x: 1.0,
+                    sigma_y: 1.0,
+                    weight: 1.0,
+                },
+            ],
+            0.0,
+        );
+        assert_eq!(g.nearest_cluster(&Point::new(12.0, 11.0)), 0);
+        assert_eq!(g.nearest_cluster(&Point::new(85.0, 39.0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn rejects_empty_cluster_list() {
+        ClusteredGenerator::new(bbox(), vec![], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn rejects_invalid_noise_fraction() {
+        ClusteredGenerator::new(
+            bbox(),
+            vec![Cluster {
+                center: Point::new(0.0, 0.0),
+                sigma_x: 1.0,
+                sigma_y: 1.0,
+                weight: 1.0,
+            }],
+            1.5,
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on two large proprietary datasets (the 3.2 × 10⁸
+//! geo-tagged `Tweet` corpus and the `POISyn` dataset derived from it) plus
+//! the Foursquare Singapore POIs used in the case study.  None of these can
+//! be redistributed, so this module provides deterministic generators that
+//! reproduce the statistical properties the algorithms are sensitive to:
+//!
+//! * spatial skew (population-centre style Gaussian clusters inside the
+//!   paper's US bounding box),
+//! * coordinate quantisation (the GPS accuracy ΔX = ΔY = 10⁻⁸ reported in
+//!   Section 7.1),
+//! * the attribute layouts used by the paper's composite aggregators F1
+//!   (day-of-week distribution) and F2 (sum of visits + average rating).
+//!
+//! All generators are seeded and therefore reproducible.
+
+mod city;
+mod clusters;
+mod poisyn;
+mod tweet;
+mod uniform;
+
+pub use city::{CityGenerator, CityMap, District, CITY_CATEGORIES};
+pub use clusters::{Cluster, ClusteredGenerator};
+pub use poisyn::PoiSynGenerator;
+pub use tweet::{TweetGenerator, WEEKDAY_LABELS};
+pub use uniform::UniformGenerator;
+
+use asrs_geo::{Point, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the deterministic RNG used by all generators.
+pub(crate) fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Samples a standard-normal value using the Box–Muller transform.
+///
+/// `rand` (without `rand_distr`) does not ship a normal distribution; this
+/// keeps the workspace within its allowed dependency set.
+pub(crate) fn sample_gaussian(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// Samples a point from an isotropic Gaussian centred at `center`, clamped
+/// to `bbox`.
+pub(crate) fn sample_gaussian_point(
+    rng: &mut SmallRng,
+    center: Point,
+    sigma_x: f64,
+    sigma_y: f64,
+    bbox: &Rect,
+) -> Point {
+    let x = center.x + sample_gaussian(rng) * sigma_x;
+    let y = center.y + sample_gaussian(rng) * sigma_y;
+    Point::new(
+        x.clamp(bbox.min_x, bbox.max_x),
+        y.clamp(bbox.min_y, bbox.max_y),
+    )
+}
+
+/// Snaps a coordinate to an integer multiple of `quantum`, emulating finite
+/// positioning accuracy.
+pub(crate) fn quantize(value: f64, quantum: f64) -> f64 {
+    if quantum <= 0.0 {
+        value
+    } else {
+        (value / quantum).round() * quantum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_sampler_has_roughly_zero_mean_unit_variance() {
+        let mut rng = rng_from_seed(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn gaussian_point_respects_bbox() {
+        let mut rng = rng_from_seed(1);
+        let bbox = Rect::new(0.0, 0.0, 1.0, 1.0);
+        for _ in 0..1000 {
+            let p = sample_gaussian_point(&mut rng, Point::new(0.5, 0.5), 2.0, 2.0, &bbox);
+            assert!(bbox.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn quantize_rounds_to_multiples() {
+        assert_eq!(quantize(0.123456, 0.01), 0.12);
+        assert_eq!(quantize(5.0, 0.0), 5.0);
+        assert!((quantize(1.000000004, 1e-8) - 1.0).abs() < 1e-12);
+    }
+}

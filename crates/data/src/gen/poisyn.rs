@@ -1,0 +1,168 @@
+//! The synthetic analogue of the paper's `POISyn` dataset.
+//!
+//! The paper derives `POISyn` from `Tweet`: every tweet becomes a POI at the
+//! same location with a `rating` ∈ [0, 10] proportional to the tweet length
+//! and a `number of visits` drawn uniformly from [1, 500] (Section 7.1).
+//! The composite aggregator F2 computes the *sum* of visits and the
+//! *average* rating of a region.
+//!
+//! The generator mirrors this derivation: the spatial process is the same
+//! clustered process as [`super::TweetGenerator`]; the rating follows a
+//! right-skewed distribution in [0, 10] (mimicking the tweet-length
+//! distribution), and visits are uniform integers in [1, 500].
+
+use super::{rng_from_seed, ClusteredGenerator};
+use crate::{AttrValue, AttributeDef, AttributeKind, Dataset, Schema, SpatialObject};
+use asrs_geo::{Point, Rect};
+use rand::Rng;
+
+/// Generator for POISyn-like workloads.
+#[derive(Debug, Clone)]
+pub struct PoiSynGenerator {
+    /// Spatial extent (defaults to the paper's US bounding box).
+    pub bbox: Rect,
+    /// Number of spatial clusters.
+    pub num_clusters: usize,
+    /// Coordinate quantum.
+    pub quantum: f64,
+    /// Seed controlling cluster placement and per-cluster rating bias.
+    pub structure_seed: u64,
+}
+
+impl Default for PoiSynGenerator {
+    fn default() -> Self {
+        Self {
+            bbox: Rect::new(-124.87, 24.39, -66.86, 49.39),
+            num_clusters: 24,
+            quantum: 1e-8,
+            structure_seed: 0xC0FF_EE00,
+        }
+    }
+}
+
+impl PoiSynGenerator {
+    /// A compact, unit-free variant for tests.
+    pub fn compact(num_clusters: usize) -> Self {
+        Self {
+            bbox: Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            num_clusters,
+            quantum: 1e-6,
+            structure_seed: 0xC0FF_EE00,
+        }
+    }
+
+    /// Index of the `visits` attribute in the generated schema.
+    pub const VISITS_ATTR: usize = 0;
+    /// Index of the `rating` attribute in the generated schema.
+    pub const RATING_ATTR: usize = 1;
+
+    /// The schema of generated datasets: `visits` ∈ [1, 500] and
+    /// `rating` ∈ [0, 10].
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::new("visits", AttributeKind::numeric(1.0, 500.0)),
+            AttributeDef::new("rating", AttributeKind::numeric(0.0, 10.0)),
+        ])
+    }
+
+    /// Generates `n` POI-like objects.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let spatial = ClusteredGenerator::random_clusters(
+            self.bbox,
+            self.num_clusters.max(1),
+            self.structure_seed,
+        );
+        // Clusters differ in how highly rated and how popular their POIs
+        // are, so that "many visits and great ratings" regions exist.
+        let mut structure_rng = rng_from_seed(self.structure_seed ^ 0x9876_5432);
+        let cluster_quality: Vec<(f64, f64)> = (0..self.num_clusters.max(1))
+            .map(|i| {
+                let rating_mean = if i % 4 == 0 {
+                    structure_rng.gen_range(7.0..9.0)
+                } else {
+                    structure_rng.gen_range(3.0..6.5)
+                };
+                let visit_scale = if i % 4 == 0 {
+                    structure_rng.gen_range(0.6..1.0)
+                } else {
+                    structure_rng.gen_range(0.2..0.6)
+                };
+                (rating_mean, visit_scale)
+            })
+            .collect();
+
+        let mut rng = rng_from_seed(seed);
+        let objects: Vec<SpatialObject> = (0..n)
+            .map(|id| {
+                let raw = spatial.sample_point(&mut rng);
+                let p = Point::new(
+                    super::quantize(raw.x, self.quantum),
+                    super::quantize(raw.y, self.quantum),
+                );
+                let cluster = spatial.nearest_cluster(&raw);
+                let (rating_mean, visit_scale) = cluster_quality[cluster];
+                // Right-skewed rating around the cluster mean, clamped to
+                // the declared [0, 10] domain.
+                let rating = (rating_mean + super::sample_gaussian(&mut rng) * 1.5)
+                    .clamp(0.0, 10.0);
+                // Visits: uniform in [1, 500], scaled by cluster popularity.
+                let base_visits = rng.gen_range(1.0..=500.0);
+                let visits = (base_visits * visit_scale).clamp(1.0, 500.0).round();
+                SpatialObject::new(
+                    id as u64,
+                    p,
+                    vec![AttrValue::Num(visits), AttrValue::Num(rating)],
+                )
+            })
+            .collect();
+        Dataset::new_unchecked(Self::schema(), objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_declares_expected_ranges() {
+        let s = PoiSynGenerator::schema();
+        assert_eq!(s.attr_index("visits"), Some(PoiSynGenerator::VISITS_ATTR));
+        assert_eq!(s.attr_index("rating"), Some(PoiSynGenerator::RATING_ATTR));
+        assert_eq!(
+            s.attribute(PoiSynGenerator::RATING_ATTR).unwrap().kind.numeric_range(),
+            Some((0.0, 10.0))
+        );
+    }
+
+    #[test]
+    fn values_stay_inside_declared_domains() {
+        let ds = PoiSynGenerator::compact(6).generate(1000, 1);
+        for o in ds.objects() {
+            let visits = o.num_value(PoiSynGenerator::VISITS_ATTR).unwrap();
+            let rating = o.num_value(PoiSynGenerator::RATING_ATTR).unwrap();
+            assert!((1.0..=500.0).contains(&visits));
+            assert!((0.0..=10.0).contains(&rating));
+        }
+    }
+
+    #[test]
+    fn validates_against_its_own_schema() {
+        let ds = PoiSynGenerator::compact(3).generate(200, 2);
+        for o in ds.objects() {
+            assert!(ds.schema().validate_values(&o.values).is_ok());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = PoiSynGenerator::compact(4);
+        assert_eq!(g.generate(64, 8), g.generate(64, 8));
+    }
+
+    #[test]
+    fn rating_distribution_has_spread() {
+        let ds = PoiSynGenerator::compact(8).generate(2000, 5);
+        let (lo, hi) = ds.numeric_extent(PoiSynGenerator::RATING_ATTR).unwrap();
+        assert!(hi - lo > 3.0, "ratings should span a meaningful range, got [{lo}, {hi}]");
+    }
+}

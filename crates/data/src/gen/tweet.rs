@@ -1,0 +1,165 @@
+//! The synthetic analogue of the paper's `Tweet` dataset.
+//!
+//! The real dataset contains 3.2 × 10⁸ geo-tagged tweets posted in the US
+//! between June 2014 and December 2016, with latitude ∈ [24.39, 49.39],
+//! longitude ∈ [−124.87, −66.86] and GPS accuracy ΔX = ΔY = 10⁻⁸
+//! (Section 7.1).  The composite aggregator F1 used on it computes the
+//! distribution of tweets over the day of the week they were posted.
+//!
+//! The generator reproduces: the bounding box, coordinate quantisation, a
+//! clustered (population-centre) spatial distribution, and a day-of-week
+//! attribute whose weekend/weekday mix varies across clusters — so that
+//! "weekend-heavy" regions genuinely exist and F1 queries have non-trivial
+//! answers.
+
+use super::{rng_from_seed, ClusteredGenerator};
+use crate::{AttrValue, AttributeDef, AttributeKind, Dataset, Schema, SpatialObject};
+use asrs_geo::{Point, Rect};
+use rand::Rng;
+
+/// Labels for the day-of-week categorical attribute (index 0 = Monday).
+pub const WEEKDAY_LABELS: [&str; 7] = [
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+];
+
+/// Generator for Tweet-like workloads.
+#[derive(Debug, Clone)]
+pub struct TweetGenerator {
+    /// Spatial extent (defaults to the paper's US bounding box).
+    pub bbox: Rect,
+    /// Number of spatial clusters ("cities").
+    pub num_clusters: usize,
+    /// Coordinate quantum (defaults to the paper's 10⁻⁸ GPS accuracy).
+    pub quantum: f64,
+    /// Seed controlling cluster placement and per-cluster weekend bias.
+    pub structure_seed: u64,
+}
+
+impl Default for TweetGenerator {
+    fn default() -> Self {
+        Self {
+            bbox: Rect::new(-124.87, 24.39, -66.86, 49.39),
+            num_clusters: 24,
+            quantum: 1e-8,
+            structure_seed: 0xA5A5_5A5A,
+        }
+    }
+}
+
+impl TweetGenerator {
+    /// A generator over a unit-free synthetic bounding box, convenient for
+    /// tests that do not care about geographic coordinates.
+    pub fn compact(num_clusters: usize) -> Self {
+        Self {
+            bbox: Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            num_clusters,
+            quantum: 1e-6,
+            structure_seed: 0xA5A5_5A5A,
+        }
+    }
+
+    /// The schema of generated datasets: a single categorical
+    /// `day_of_week` attribute with |dom| = 7.
+    pub fn schema() -> Schema {
+        Schema::new(vec![AttributeDef::new(
+            "day_of_week",
+            AttributeKind::categorical_labeled(WEEKDAY_LABELS.to_vec()),
+        )])
+    }
+
+    /// Generates `n` tweet-like objects.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let spatial =
+            ClusteredGenerator::random_clusters(self.bbox, self.num_clusters.max(1), self.structure_seed);
+        // Each cluster gets its own probability that a tweet is posted on a
+        // weekend; a handful of clusters are strongly weekend-heavy so that
+        // aggregator-F1 queries ("find a weekend region") have meaningful
+        // answers.
+        let mut structure_rng = rng_from_seed(self.structure_seed ^ 0x1234_5678);
+        let weekend_bias: Vec<f64> = (0..self.num_clusters.max(1))
+            .map(|i| {
+                if i % 5 == 0 {
+                    structure_rng.gen_range(0.55..0.85)
+                } else {
+                    structure_rng.gen_range(0.18..0.35)
+                }
+            })
+            .collect();
+
+        let mut rng = rng_from_seed(seed);
+        let objects: Vec<SpatialObject> = (0..n)
+            .map(|id| {
+                let raw = spatial.sample_point(&mut rng);
+                let p = Point::new(
+                    super::quantize(raw.x, self.quantum),
+                    super::quantize(raw.y, self.quantum),
+                );
+                let cluster = spatial.nearest_cluster(&raw);
+                let is_weekend = rng.gen_bool(weekend_bias[cluster]);
+                let day: u32 = if is_weekend {
+                    5 + rng.gen_range(0..2) // Saturday or Sunday
+                } else {
+                    rng.gen_range(0..5) // Monday .. Friday
+                };
+                SpatialObject::new(id as u64, p, vec![AttrValue::Cat(day)])
+            })
+            .collect();
+        Dataset::new_unchecked(Self::schema(), objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_seven_days() {
+        let schema = TweetGenerator::schema();
+        assert_eq!(schema.len(), 1);
+        assert_eq!(schema.attribute(0).unwrap().kind.cardinality(), Some(7));
+        assert_eq!(schema.category_label(0, 5), "Saturday");
+    }
+
+    #[test]
+    fn objects_stay_inside_us_bbox_and_are_quantized() {
+        let g = TweetGenerator::default();
+        let ds = g.generate(500, 3);
+        assert_eq!(ds.len(), 500);
+        let bbox = ds.bounding_box().unwrap();
+        assert!(g.bbox.expanded(1e-7, 1e-7).contains_rect(&bbox));
+        for o in ds.objects().iter().take(50) {
+            let snapped = (o.x() / 1e-8).round() * 1e-8;
+            assert!((o.x() - snapped).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn day_values_are_valid_and_both_classes_present() {
+        let ds = TweetGenerator::compact(8).generate(2000, 11);
+        let mut weekend = 0usize;
+        let mut weekday = 0usize;
+        for o in ds.objects() {
+            let d = o.cat_value(0).unwrap();
+            assert!(d < 7);
+            if d >= 5 {
+                weekend += 1;
+            } else {
+                weekday += 1;
+            }
+        }
+        assert!(weekend > 0 && weekday > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = TweetGenerator::compact(4);
+        assert_eq!(g.generate(100, 5), g.generate(100, 5));
+        assert_ne!(g.generate(100, 5), g.generate(100, 6));
+    }
+}

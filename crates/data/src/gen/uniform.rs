@@ -1,0 +1,107 @@
+//! Uniformly distributed objects (the simplest synthetic workload).
+
+use super::rng_from_seed;
+use crate::{AttrValue, AttributeDef, AttributeKind, Dataset, Schema, SpatialObject};
+use asrs_geo::{Point, Rect};
+use rand::Rng;
+
+/// Generates objects uniformly at random inside a bounding box, each with a
+/// single categorical attribute.
+///
+/// Used by tests and micro-benchmarks where spatial skew is irrelevant.
+#[derive(Debug, Clone)]
+pub struct UniformGenerator {
+    /// The spatial extent of the generated objects.
+    pub bbox: Rect,
+    /// Number of categories of the single categorical attribute.
+    pub categories: usize,
+    /// Coordinate quantum (0 disables quantisation).
+    pub quantum: f64,
+}
+
+impl Default for UniformGenerator {
+    fn default() -> Self {
+        Self {
+            bbox: Rect::new(0.0, 0.0, 100.0, 100.0),
+            categories: 4,
+            quantum: 0.0,
+        }
+    }
+}
+
+impl UniformGenerator {
+    /// Creates a generator over the given bounding box.
+    pub fn new(bbox: Rect, categories: usize) -> Self {
+        Self {
+            bbox,
+            categories,
+            quantum: 0.0,
+        }
+    }
+
+    /// Sets the coordinate quantum.
+    pub fn with_quantum(mut self, quantum: f64) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Generates `n` objects with the given seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let schema = Schema::new(vec![AttributeDef::new(
+            "category",
+            AttributeKind::categorical(self.categories.max(1)),
+        )]);
+        let objects = (0..n)
+            .map(|id| {
+                let x = super::quantize(rng.gen_range(self.bbox.min_x..=self.bbox.max_x), self.quantum);
+                let y = super::quantize(rng.gen_range(self.bbox.min_y..=self.bbox.max_y), self.quantum);
+                let cat = rng.gen_range(0..self.categories.max(1)) as u32;
+                SpatialObject::new(id as u64, Point::new(x, y), vec![AttrValue::Cat(cat)])
+            })
+            .collect();
+        Dataset::new_unchecked(schema, objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_cardinality_inside_bbox() {
+        let g = UniformGenerator::default();
+        let ds = g.generate(500, 7);
+        assert_eq!(ds.len(), 500);
+        let bbox = ds.bounding_box().unwrap();
+        assert!(g.bbox.contains_rect(&bbox));
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let g = UniformGenerator::new(Rect::new(-1.0, -1.0, 1.0, 1.0), 3);
+        let a = g.generate(50, 11);
+        let b = g.generate(50, 11);
+        let c = g.generate(50, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn categories_stay_in_domain() {
+        let g = UniformGenerator::new(Rect::new(0.0, 0.0, 1.0, 1.0), 5);
+        let ds = g.generate(200, 3);
+        for o in ds.objects() {
+            assert!(o.cat_value(0).unwrap() < 5);
+        }
+    }
+
+    #[test]
+    fn quantum_snaps_coordinates() {
+        let g = UniformGenerator::default().with_quantum(0.5);
+        let ds = g.generate(100, 5);
+        for o in ds.objects() {
+            assert!((o.x() / 0.5 - (o.x() / 0.5).round()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! A small, dependency-free text format for datasets.
+//!
+//! The format is line-oriented and self-describing so that generated
+//! workloads can be saved once and replayed across benchmark runs:
+//!
+//! ```text
+//! # asrs-dataset v1
+//! attr	category	cat	4	Apartment|Supermarket|Restaurant|Bus stop
+//! attr	price	num	0	10
+//! obj	<id>	<x>	<y>	<v1>	<v2>	...
+//! ```
+//!
+//! Categorical values are written as their domain index, numeric values as
+//! decimal floats.  Fields are tab-separated; labels use `|` separators.
+
+use crate::{AttrValue, AttributeDef, AttributeKind, Dataset, Schema, SpatialObject};
+use asrs_geo::Point;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors produced by dataset (de)serialisation.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file contents do not conform to the format.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serialises a dataset to the text format.
+pub fn to_string(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str("# asrs-dataset v1\n");
+    for def in dataset.schema().attributes() {
+        match &def.kind {
+            AttributeKind::Categorical {
+                cardinality,
+                labels,
+            } => {
+                let labels = labels
+                    .as_ref()
+                    .map(|l| l.join("|"))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "attr\t{}\tcat\t{}\t{}", def.name, cardinality, labels);
+            }
+            AttributeKind::Numeric { min, max } => {
+                let _ = writeln!(out, "attr\t{}\tnum\t{}\t{}", def.name, min, max);
+            }
+        }
+    }
+    for o in dataset.objects() {
+        let _ = write!(out, "obj\t{}\t{}\t{}", o.id, o.location.x, o.location.y);
+        for v in &o.values {
+            match v {
+                AttrValue::Cat(c) => {
+                    let _ = write!(out, "\t{c}");
+                }
+                AttrValue::Num(n) => {
+                    let _ = write!(out, "\t{n}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a dataset from the text format.
+pub fn from_str(text: &str) -> Result<Dataset, IoError> {
+    let mut attrs: Vec<AttributeDef> = Vec::new();
+    let mut objects: Vec<SpatialObject> = Vec::new();
+    let mut schema_done = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('\t').collect();
+        match fields[0] {
+            "attr" => {
+                if schema_done {
+                    return Err(parse_err(line, "attribute declared after objects"));
+                }
+                if fields.len() < 4 {
+                    return Err(parse_err(line, "attr line needs at least 4 fields"));
+                }
+                let name = fields[1].to_string();
+                match fields[2] {
+                    "cat" => {
+                        let cardinality: usize = fields[3]
+                            .parse()
+                            .map_err(|_| parse_err(line, "invalid cardinality"))?;
+                        let labels = fields.get(4).filter(|s| !s.is_empty()).map(|s| {
+                            s.split('|').map(|l| l.to_string()).collect::<Vec<_>>()
+                        });
+                        if let Some(ref l) = labels {
+                            if l.len() != cardinality {
+                                return Err(parse_err(line, "label count does not match cardinality"));
+                            }
+                        }
+                        attrs.push(AttributeDef::new(
+                            name,
+                            AttributeKind::Categorical {
+                                cardinality,
+                                labels,
+                            },
+                        ));
+                    }
+                    "num" => {
+                        if fields.len() < 5 {
+                            return Err(parse_err(line, "num attr line needs min and max"));
+                        }
+                        let min: f64 = fields[3]
+                            .parse()
+                            .map_err(|_| parse_err(line, "invalid numeric min"))?;
+                        let max: f64 = fields[4]
+                            .parse()
+                            .map_err(|_| parse_err(line, "invalid numeric max"))?;
+                        attrs.push(AttributeDef::new(name, AttributeKind::numeric(min, max)));
+                    }
+                    other => return Err(parse_err(line, format!("unknown attribute kind {other}"))),
+                }
+            }
+            "obj" => {
+                schema_done = true;
+                if fields.len() != 4 + attrs.len() {
+                    return Err(parse_err(
+                        line,
+                        format!(
+                            "obj line has {} fields, expected {}",
+                            fields.len(),
+                            4 + attrs.len()
+                        ),
+                    ));
+                }
+                let id: u64 = fields[1]
+                    .parse()
+                    .map_err(|_| parse_err(line, "invalid object id"))?;
+                let x: f64 = fields[2]
+                    .parse()
+                    .map_err(|_| parse_err(line, "invalid x coordinate"))?;
+                let y: f64 = fields[3]
+                    .parse()
+                    .map_err(|_| parse_err(line, "invalid y coordinate"))?;
+                let mut values = Vec::with_capacity(attrs.len());
+                for (i, def) in attrs.iter().enumerate() {
+                    let field = fields[4 + i];
+                    let value = match def.kind {
+                        AttributeKind::Categorical { .. } => AttrValue::Cat(
+                            field
+                                .parse()
+                                .map_err(|_| parse_err(line, "invalid categorical value"))?,
+                        ),
+                        AttributeKind::Numeric { .. } => AttrValue::Num(
+                            field
+                                .parse()
+                                .map_err(|_| parse_err(line, "invalid numeric value"))?,
+                        ),
+                    };
+                    values.push(value);
+                }
+                objects.push(SpatialObject::new(id, Point::new(x, y), values));
+            }
+            other => return Err(parse_err(line, format!("unknown record type {other}"))),
+        }
+    }
+    let schema = Schema::new(attrs);
+    Dataset::new(schema, objects).map_err(|e| parse_err(0, format!("schema validation failed: {e}")))
+}
+
+/// Writes a dataset to a file.
+pub fn save<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<(), IoError> {
+    fs::write(path, to_string(dataset))?;
+    Ok(())
+}
+
+/// Reads a dataset from a file.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Dataset, IoError> {
+    let text = fs::read_to_string(path)?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn sample() -> Dataset {
+        let schema = Schema::new(vec![
+            AttributeDef::new(
+                "category",
+                AttributeKind::categorical_labeled(vec!["A", "B", "C"]),
+            ),
+            AttributeDef::new("price", AttributeKind::numeric(0.0, 10.0)),
+        ]);
+        let mut b = DatasetBuilder::new(schema);
+        b.push(1.5, -2.25, vec![AttrValue::Cat(2), AttrValue::Num(3.75)]);
+        b.push(0.0, 0.0, vec![AttrValue::Cat(0), AttrValue::Num(0.0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let ds = sample();
+        let text = to_string(&ds);
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed.len(), ds.len());
+        assert_eq!(parsed.schema(), ds.schema());
+        for (a, b) in parsed.objects().iter().zip(ds.objects()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("asrs_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.asrs");
+        save(&ds, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# comment\n\nattr\tc\tcat\t2\t\nobj\t0\t1.0\t2.0\t1\n";
+        let ds = from_str(text).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.object(0).cat_value(0), Some(1));
+    }
+
+    #[test]
+    fn rejects_bad_cardinality() {
+        let text = "attr\tc\tcat\tnope\t\n";
+        assert!(matches!(from_str(text), Err(IoError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let text = "attr\tc\tcat\t2\t\nobj\t0\t1.0\t2.0\n";
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_domain_value() {
+        let text = "attr\tc\tcat\t2\t\nobj\t0\t1.0\t2.0\t5\n";
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        assert!(from_str("bogus\t1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_label_count_mismatch() {
+        let text = "attr\tc\tcat\t3\tA|B\n";
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load("/definitely/not/a/real/path.asrs").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(format!("{err}").contains("i/o error"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Data substrate for the ASRS reproduction.
+//!
+//! The paper operates on *spatial objects*: points in the plane carrying a
+//! set of attribute values (Section 3.1).  This crate provides:
+//!
+//! * [`AttributeKind`] / [`AttributeDef`] / [`Schema`] — attribute metadata:
+//!   categorical attributes with a finite domain (e.g. POI category, day of
+//!   the week) and numeric attributes with a declared value range (e.g.
+//!   price, rating, number of visits).
+//! * [`AttrValue`] — a single attribute value.
+//! * [`SpatialObject`] — a location plus one value per schema attribute.
+//! * [`Dataset`] — an immutable collection of objects sharing a schema, with
+//!   bounding-box, sampling and region-extraction helpers.
+//! * [`io`] — a small CSV-like text format for saving and loading datasets.
+//! * [`gen`] — synthetic workload generators reproducing the statistical
+//!   shape of the paper's datasets (Tweet, POISyn, and the Singapore POI
+//!   case-study city), plus uniform and clustered baseline generators.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dataset;
+pub mod gen;
+pub mod io;
+mod object;
+mod schema;
+mod value;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use object::SpatialObject;
+pub use schema::{AttributeDef, AttributeKind, Schema, SchemaError};
+pub use value::AttrValue;

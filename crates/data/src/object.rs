@@ -1,0 +1,92 @@
+//! Spatial objects.
+
+use crate::AttrValue;
+use asrs_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A spatial object: a location plus one attribute value per schema
+/// attribute (Section 3.1 — `o.ρ` and `o[A_i]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialObject {
+    /// Stable identifier of the object within its dataset.
+    pub id: u64,
+    /// Geo-location `o.ρ`.
+    pub location: Point,
+    /// Attribute values, ordered as in the dataset's [`crate::Schema`].
+    pub values: Vec<AttrValue>,
+}
+
+impl SpatialObject {
+    /// Creates a new spatial object.
+    pub fn new(id: u64, location: Point, values: Vec<AttrValue>) -> Self {
+        Self {
+            id,
+            location,
+            values,
+        }
+    }
+
+    /// The value of attribute `idx`, if present.
+    #[inline]
+    pub fn value(&self, idx: usize) -> Option<&AttrValue> {
+        self.values.get(idx)
+    }
+
+    /// The categorical value of attribute `idx`, if the value exists and is
+    /// categorical.
+    #[inline]
+    pub fn cat_value(&self, idx: usize) -> Option<u32> {
+        self.values.get(idx).and_then(AttrValue::as_cat)
+    }
+
+    /// The numeric value of attribute `idx`, if the value exists and is
+    /// numeric.
+    #[inline]
+    pub fn num_value(&self, idx: usize) -> Option<f64> {
+        self.values.get(idx).and_then(AttrValue::as_num)
+    }
+
+    /// X coordinate shortcut.
+    #[inline]
+    pub fn x(&self) -> f64 {
+        self.location.x
+    }
+
+    /// Y coordinate shortcut.
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.location.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> SpatialObject {
+        SpatialObject::new(
+            7,
+            Point::new(1.0, 2.0),
+            vec![AttrValue::Cat(2), AttrValue::Num(4.5)],
+        )
+    }
+
+    #[test]
+    fn value_accessors() {
+        let o = obj();
+        assert_eq!(o.value(0), Some(&AttrValue::Cat(2)));
+        assert_eq!(o.cat_value(0), Some(2));
+        assert_eq!(o.num_value(0), None);
+        assert_eq!(o.num_value(1), Some(4.5));
+        assert_eq!(o.value(5), None);
+        assert_eq!(o.cat_value(5), None);
+    }
+
+    #[test]
+    fn coordinate_shortcuts() {
+        let o = obj();
+        assert_eq!(o.x(), 1.0);
+        assert_eq!(o.y(), 2.0);
+        assert_eq!(o.id, 7);
+    }
+}

@@ -1,0 +1,365 @@
+//! Attribute schemas.
+
+use crate::AttrValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind (type) of an attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// A categorical attribute with a finite domain.
+    ///
+    /// Values are indices in `0..cardinality`; `labels`, when present, gives
+    /// a human-readable name per index (e.g. POI categories, weekdays).
+    Categorical {
+        /// Number of distinct values in the domain (`|dom(A)|`).
+        cardinality: usize,
+        /// Optional human-readable labels, one per domain value.
+        labels: Option<Vec<String>>,
+    },
+    /// A numeric attribute with a declared value range.
+    ///
+    /// The range is used by the bound machinery (Sections 4.3 and 5.3) to
+    /// bound the output of the average aggregator for dirty cells.
+    Numeric {
+        /// Smallest value the attribute can take.
+        min: f64,
+        /// Largest value the attribute can take.
+        max: f64,
+    },
+}
+
+impl AttributeKind {
+    /// A categorical kind without labels.
+    pub fn categorical(cardinality: usize) -> Self {
+        AttributeKind::Categorical {
+            cardinality,
+            labels: None,
+        }
+    }
+
+    /// A categorical kind with labels (cardinality is the label count).
+    pub fn categorical_labeled<S: Into<String>>(labels: Vec<S>) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        AttributeKind::Categorical {
+            cardinality: labels.len(),
+            labels: Some(labels),
+        }
+    }
+
+    /// A numeric kind with the given inclusive range.
+    pub fn numeric(min: f64, max: f64) -> Self {
+        assert!(min <= max, "numeric range must satisfy min <= max");
+        AttributeKind::Numeric { min, max }
+    }
+
+    /// Returns `true` when the kind is categorical.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, AttributeKind::Categorical { .. })
+    }
+
+    /// The cardinality of a categorical kind, or `None` for numeric kinds.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            AttributeKind::Categorical { cardinality, .. } => Some(*cardinality),
+            AttributeKind::Numeric { .. } => None,
+        }
+    }
+
+    /// The numeric range, or `None` for categorical kinds.
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        match self {
+            AttributeKind::Numeric { min, max } => Some((*min, *max)),
+            AttributeKind::Categorical { .. } => None,
+        }
+    }
+
+    /// Checks that a value conforms to this kind.
+    pub fn validate(&self, value: &AttrValue) -> Result<(), SchemaError> {
+        match (self, value) {
+            (AttributeKind::Categorical { cardinality, .. }, AttrValue::Cat(c)) => {
+                if (*c as usize) < *cardinality {
+                    Ok(())
+                } else {
+                    Err(SchemaError::CategoryOutOfRange {
+                        value: *c,
+                        cardinality: *cardinality,
+                    })
+                }
+            }
+            (AttributeKind::Numeric { min, max }, AttrValue::Num(v)) => {
+                if v.is_finite() && *v >= *min && *v <= *max {
+                    Ok(())
+                } else {
+                    Err(SchemaError::NumericOutOfRange {
+                        value: *v,
+                        min: *min,
+                        max: *max,
+                    })
+                }
+            }
+            _ => Err(SchemaError::KindMismatch),
+        }
+    }
+}
+
+/// An attribute definition: a name plus its kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// Attribute name (e.g. `"category"`, `"price"`).
+    pub name: String,
+    /// Attribute kind.
+    pub kind: AttributeKind,
+}
+
+impl AttributeDef {
+    /// Creates an attribute definition.
+    pub fn new<S: Into<String>>(name: S, kind: AttributeKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+/// Errors raised when values do not conform to a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// A categorical value lies outside the declared domain.
+    CategoryOutOfRange {
+        /// The offending value.
+        value: u32,
+        /// The declared domain size.
+        cardinality: usize,
+    },
+    /// A numeric value lies outside the declared range (or is not finite).
+    NumericOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Declared minimum.
+        min: f64,
+        /// Declared maximum.
+        max: f64,
+    },
+    /// A categorical value was supplied for a numeric attribute or vice
+    /// versa.
+    KindMismatch,
+    /// An object carries a different number of values than the schema has
+    /// attributes.
+    ArityMismatch {
+        /// Number of values on the object.
+        got: usize,
+        /// Number of attributes in the schema.
+        expected: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::CategoryOutOfRange { value, cardinality } => {
+                write!(f, "categorical value {value} out of range (domain size {cardinality})")
+            }
+            SchemaError::NumericOutOfRange { value, min, max } => {
+                write!(f, "numeric value {value} outside declared range [{min}, {max}]")
+            }
+            SchemaError::KindMismatch => write!(f, "attribute value kind does not match the schema"),
+            SchemaError::ArityMismatch { got, expected } => {
+                write!(f, "object has {got} attribute values, schema expects {expected}")
+            }
+            SchemaError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// An ordered list of attribute definitions shared by all objects of a
+/// dataset (the attribute set `A = {A_1, …, A_m}` of Section 3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    attrs: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute definitions.
+    pub fn new(attrs: Vec<AttributeDef>) -> Self {
+        Self { attrs }
+    }
+
+    /// An empty schema (objects carry no attributes; only counting queries
+    /// such as MaxRS make sense).
+    pub fn empty() -> Self {
+        Self { attrs: Vec::new() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Returns `true` when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute definitions in order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attrs
+    }
+
+    /// The definition of attribute `idx`.
+    pub fn attribute(&self, idx: usize) -> Option<&AttributeDef> {
+        self.attrs.get(idx)
+    }
+
+    /// Finds the index of the attribute with the given name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Finds the index of the attribute with the given name, returning a
+    /// [`SchemaError::UnknownAttribute`] error when absent.
+    pub fn require_attr(&self, name: &str) -> Result<usize, SchemaError> {
+        self.attr_index(name)
+            .ok_or_else(|| SchemaError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Validates a full value tuple against the schema.
+    pub fn validate_values(&self, values: &[AttrValue]) -> Result<(), SchemaError> {
+        if values.len() != self.attrs.len() {
+            return Err(SchemaError::ArityMismatch {
+                got: values.len(),
+                expected: self.attrs.len(),
+            });
+        }
+        for (def, value) in self.attrs.iter().zip(values) {
+            def.kind.validate(value)?;
+        }
+        Ok(())
+    }
+
+    /// Human-readable label of a categorical value, falling back to the
+    /// numeric index when no labels are declared.
+    pub fn category_label(&self, attr: usize, value: u32) -> String {
+        match self.attrs.get(attr).map(|a| &a.kind) {
+            Some(AttributeKind::Categorical {
+                labels: Some(labels),
+                ..
+            }) if (value as usize) < labels.len() => labels[value as usize].clone(),
+            _ => format!("{value}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            AttributeDef::new(
+                "category",
+                AttributeKind::categorical_labeled(vec!["Apartment", "Supermarket", "Restaurant", "Bus stop"]),
+            ),
+            AttributeDef::new("price", AttributeKind::numeric(0.0, 10.0)),
+        ])
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let s = sample_schema();
+        assert_eq!(s.attr_index("price"), Some(1));
+        assert_eq!(s.attr_index("missing"), None);
+        assert!(matches!(
+            s.require_attr("missing"),
+            Err(SchemaError::UnknownAttribute(_))
+        ));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(Schema::empty().is_empty());
+    }
+
+    #[test]
+    fn categorical_validation() {
+        let kind = AttributeKind::categorical(4);
+        assert!(kind.validate(&AttrValue::Cat(3)).is_ok());
+        assert!(matches!(
+            kind.validate(&AttrValue::Cat(4)),
+            Err(SchemaError::CategoryOutOfRange { .. })
+        ));
+        assert!(matches!(
+            kind.validate(&AttrValue::Num(1.0)),
+            Err(SchemaError::KindMismatch)
+        ));
+    }
+
+    #[test]
+    fn numeric_validation() {
+        let kind = AttributeKind::numeric(0.0, 10.0);
+        assert!(kind.validate(&AttrValue::Num(5.0)).is_ok());
+        assert!(kind.validate(&AttrValue::Num(0.0)).is_ok());
+        assert!(matches!(
+            kind.validate(&AttrValue::Num(11.0)),
+            Err(SchemaError::NumericOutOfRange { .. })
+        ));
+        assert!(matches!(
+            kind.validate(&AttrValue::Num(f64::NAN)),
+            Err(SchemaError::NumericOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn numeric_kind_rejects_inverted_range() {
+        AttributeKind::numeric(5.0, 1.0);
+    }
+
+    #[test]
+    fn validate_values_checks_arity_and_kinds() {
+        let s = sample_schema();
+        assert!(s
+            .validate_values(&[AttrValue::Cat(0), AttrValue::Num(3.0)])
+            .is_ok());
+        assert!(matches!(
+            s.validate_values(&[AttrValue::Cat(0)]),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+        assert!(s
+            .validate_values(&[AttrValue::Num(1.0), AttrValue::Num(3.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn category_labels_resolve() {
+        let s = sample_schema();
+        assert_eq!(s.category_label(0, 2), "Restaurant");
+        assert_eq!(s.category_label(0, 99), "99");
+        assert_eq!(s.category_label(1, 1), "1");
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let c = AttributeKind::categorical(7);
+        assert!(c.is_categorical());
+        assert_eq!(c.cardinality(), Some(7));
+        assert_eq!(c.numeric_range(), None);
+        let n = AttributeKind::numeric(-1.0, 1.0);
+        assert!(!n.is_categorical());
+        assert_eq!(n.cardinality(), None);
+        assert_eq!(n.numeric_range(), Some((-1.0, 1.0)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SchemaError::CategoryOutOfRange {
+            value: 9,
+            cardinality: 4,
+        };
+        assert!(format!("{e}").contains("out of range"));
+        let e = SchemaError::UnknownAttribute("foo".into());
+        assert!(format!("{e}").contains("foo"));
+    }
+}

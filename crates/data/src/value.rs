@@ -1,0 +1,118 @@
+//! Attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single attribute value attached to a spatial object.
+///
+/// Categorical values are stored as an index into the attribute's declared
+/// domain (see [`crate::AttributeKind::Categorical`]); numeric values are
+/// plain `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// A categorical value: index into the attribute's domain.
+    Cat(u32),
+    /// A numeric value.
+    Num(f64),
+}
+
+impl AttrValue {
+    /// Returns the categorical index, or `None` for numeric values.
+    #[inline]
+    pub fn as_cat(&self) -> Option<u32> {
+        match self {
+            AttrValue::Cat(c) => Some(*c),
+            AttrValue::Num(_) => None,
+        }
+    }
+
+    /// Returns the numeric value, or `None` for categorical values.
+    #[inline]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(v) => Some(*v),
+            AttrValue::Cat(_) => None,
+        }
+    }
+
+    /// Returns a numeric view of the value: the numeric value itself, or the
+    /// categorical index as a float.  Useful for generic statistics.
+    #[inline]
+    pub fn numeric_view(&self) -> f64 {
+        match self {
+            AttrValue::Num(v) => *v,
+            AttrValue::Cat(c) => *c as f64,
+        }
+    }
+
+    /// Returns `true` when the value is categorical.
+    #[inline]
+    pub fn is_cat(&self) -> bool {
+        matches!(self, AttrValue::Cat(_))
+    }
+
+    /// Returns `true` when the value is numeric.
+    #[inline]
+    pub fn is_num(&self) -> bool {
+        matches!(self, AttrValue::Num(_))
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Cat(c) => write!(f, "#{c}"),
+            AttrValue::Num(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(c: u32) -> Self {
+        AttrValue::Cat(c)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Num(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_matching_variant() {
+        assert_eq!(AttrValue::Cat(3).as_cat(), Some(3));
+        assert_eq!(AttrValue::Cat(3).as_num(), None);
+        assert_eq!(AttrValue::Num(2.5).as_num(), Some(2.5));
+        assert_eq!(AttrValue::Num(2.5).as_cat(), None);
+    }
+
+    #[test]
+    fn numeric_view_covers_both_variants() {
+        assert_eq!(AttrValue::Cat(7).numeric_view(), 7.0);
+        assert_eq!(AttrValue::Num(-1.25).numeric_view(), -1.25);
+    }
+
+    #[test]
+    fn variant_predicates() {
+        assert!(AttrValue::Cat(0).is_cat());
+        assert!(!AttrValue::Cat(0).is_num());
+        assert!(AttrValue::Num(0.0).is_num());
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(AttrValue::from(4u32), AttrValue::Cat(4));
+        assert_eq!(AttrValue::from(1.5f64), AttrValue::Num(1.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", AttrValue::Cat(2)), "#2");
+        assert_eq!(format!("{}", AttrValue::Num(3.5)), "3.5");
+    }
+}

@@ -1,0 +1,153 @@
+//! GPS horizontal / vertical accuracy (Definition 7 of the paper).
+//!
+//! The drop condition of DS-Search (Definition 8) stops the discretize–split
+//! recursion once grid cells become smaller than half of the minimum distance
+//! between distinct rectangle-edge coordinates.  That minimum distance is
+//! bounded below by the resolution of the positioning technology, so the
+//! paper treats it as a constant ΔX / ΔY independent of the dataset
+//! cardinality.
+
+use serde::{Deserialize, Serialize};
+
+/// Horizontal (ΔX) and vertical (ΔY) coordinate accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Minimum gap between distinct x coordinates of rectangle edges (ΔX).
+    pub dx: f64,
+    /// Minimum gap between distinct y coordinates of rectangle edges (ΔY).
+    pub dy: f64,
+}
+
+impl Accuracy {
+    /// Creates an accuracy descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either value is not strictly positive and finite.
+    #[inline]
+    pub fn new(dx: f64, dy: f64) -> Self {
+        assert!(
+            dx > 0.0 && dy > 0.0 && dx.is_finite() && dy.is_finite(),
+            "accuracy must be strictly positive and finite, got dx={dx}, dy={dy}"
+        );
+        Self { dx, dy }
+    }
+
+    /// The accuracy the paper reports for the Tweet dataset
+    /// (ΔX = ΔY = 10⁻⁸ degrees).
+    #[inline]
+    pub fn gps_default() -> Self {
+        Self::new(1e-8, 1e-8)
+    }
+
+    /// Estimates the accuracy from the edge coordinates of a set of
+    /// rectangles, falling back to `floor` when all coordinates coincide on
+    /// an axis (e.g. a single object).
+    ///
+    /// `xs` and `ys` are the multisets of x and y coordinates of rectangle
+    /// edges (both edges per rectangle).
+    pub fn from_edge_coordinates(xs: &[f64], ys: &[f64], floor: Accuracy) -> Self {
+        let dx = min_positive_gap(xs).unwrap_or(floor.dx).max(floor.dx.min(f64::MAX));
+        let dy = min_positive_gap(ys).unwrap_or(floor.dy).max(floor.dy.min(f64::MAX));
+        // Never report an accuracy below the floor: coordinates closer than
+        // the positioning resolution are numerical noise and would make the
+        // drop condition unreachable in a reasonable number of splits.
+        Self::new(dx.max(floor.dx), dy.max(floor.dy))
+    }
+}
+
+/// Returns the smallest strictly positive gap between any two values in
+/// `values`, or `None` when fewer than two distinct values exist.
+///
+/// Runs in `O(n log n)`.
+pub fn min_positive_gap(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.len() < 2 {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    let mut best: Option<f64> = None;
+    for w in sorted.windows(2) {
+        let gap = w[1] - w[0];
+        if gap > 0.0 {
+            best = Some(match best {
+                Some(b) => b.min(gap),
+                None => gap,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_gap_of_distinct_values() {
+        let vals = [5.0, 1.0, 3.0, 3.5];
+        assert_eq!(min_positive_gap(&vals), Some(0.5));
+    }
+
+    #[test]
+    fn min_gap_ignores_duplicates() {
+        let vals = [1.0, 1.0, 1.0, 2.0];
+        assert_eq!(min_positive_gap(&vals), Some(1.0));
+    }
+
+    #[test]
+    fn min_gap_none_for_identical_or_short_input() {
+        assert_eq!(min_positive_gap(&[1.0, 1.0]), None);
+        assert_eq!(min_positive_gap(&[1.0]), None);
+        assert_eq!(min_positive_gap(&[]), None);
+    }
+
+    #[test]
+    fn min_gap_skips_non_finite() {
+        let vals = [1.0, f64::NAN, 2.5, f64::INFINITY];
+        assert_eq!(min_positive_gap(&vals), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn accuracy_rejects_zero() {
+        Accuracy::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn gps_default_matches_paper() {
+        let a = Accuracy::gps_default();
+        assert_eq!(a.dx, 1e-8);
+        assert_eq!(a.dy, 1e-8);
+    }
+
+    #[test]
+    fn from_edge_coordinates_uses_observed_gap() {
+        let xs = [0.0, 1.0, 4.0];
+        let ys = [0.0, 10.0];
+        let acc = Accuracy::from_edge_coordinates(&xs, &ys, Accuracy::new(1e-9, 1e-9));
+        assert_eq!(acc.dx, 1.0);
+        assert_eq!(acc.dy, 10.0);
+    }
+
+    #[test]
+    fn from_edge_coordinates_falls_back_to_floor() {
+        let xs = [2.0, 2.0];
+        let ys: Vec<f64> = vec![];
+        let acc = Accuracy::from_edge_coordinates(&xs, &ys, Accuracy::new(0.5, 0.25));
+        assert_eq!(acc.dx, 0.5);
+        assert_eq!(acc.dy, 0.25);
+    }
+
+    #[test]
+    fn from_edge_coordinates_never_reports_below_floor() {
+        let xs = [0.0, 1e-12];
+        let ys = [0.0, 1e-12];
+        let acc = Accuracy::from_edge_coordinates(&xs, &ys, Accuracy::new(1e-8, 1e-8));
+        assert_eq!(acc.dx, 1e-8);
+        assert_eq!(acc.dy, 1e-8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Planar points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A location in the two-dimensional plane.
+///
+/// Coordinates are plain `f64` values.  The workspace treats the plane as an
+/// abstract Euclidean space; datasets that originate from latitude/longitude
+/// pairs simply store longitude in `x` and latitude in `y`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean (L2) distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only the
+    /// ordering matters, e.g. when choosing split seeds).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance to another point.
+    #[inline]
+    pub fn manhattan_distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Component-wise translation.
+    #[inline]
+    pub fn translate(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(3.0, -4.0);
+        assert!((a.distance_sq(&b) - a.distance(&b).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manhattan_distance_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, -4.0);
+        assert_eq!(a.manhattan_distance(&b), 7.0);
+    }
+
+    #[test]
+    fn translate_moves_point() {
+        let p = Point::new(1.0, 1.0).translate(2.0, -3.0);
+        assert_eq!(p, Point::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p = Point::new(0.25, -0.75);
+        let t: (f64, f64) = p.into();
+        assert_eq!(Point::from(t), p);
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        assert_eq!(Point::origin(), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(format!("{}", Point::new(1.0, 2.0)), "(1.000000, 2.000000)");
+    }
+}

@@ -1,0 +1,390 @@
+//! Axis-aligned rectangles and the MBR algebra used by DS-Search.
+
+use crate::{Point, RegionSize};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// Two containment notions are provided, mirroring the paper's semantics:
+///
+/// * [`Rect::contains_point`] — closed containment (boundary included).  Used
+///   for bookkeeping such as "which index cell does this object fall into".
+/// * [`Rect::strictly_contains_point`] — open containment (boundary
+///   excluded).  Lemma 1 of the paper defines "rectangle `r_i` covers
+///   location `p`" and "object `o_i` inside region `r`" with strict
+///   inequalities; the search algorithms use this notion so that the
+///   ASRS ↔ ASP correspondence is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub min_x: f64,
+    /// Bottom edge.
+    pub min_y: f64,
+    /// Right edge.
+    pub max_x: f64,
+    /// Top edge.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its extreme coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_x > max_x` or `min_y > max_y` or any coordinate is
+    /// NaN.  Degenerate (zero-width or zero-height) rectangles are allowed —
+    /// they appear naturally as MBRs of collinear cell sets during splitting.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(
+            min_x <= max_x && min_y <= max_y,
+            "invalid rectangle: [{min_x}, {max_x}] x [{min_y}, {max_y}]"
+        );
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// A rectangle of the given size whose *bottom-left* corner sits at `p`.
+    ///
+    /// This is the candidate region associated with an ASP answer point
+    /// (Theorem 1).
+    #[inline]
+    pub fn from_bottom_left(p: Point, size: RegionSize) -> Self {
+        Self::new(p.x, p.y, p.x + size.width, p.y + size.height)
+    }
+
+    /// A rectangle of the given size whose *top-right* corner sits at `p`.
+    ///
+    /// This is the rectangle generated for each spatial object during the
+    /// ASRS → ASP reduction (Section 4.1).
+    #[inline]
+    pub fn from_top_right(p: Point, size: RegionSize) -> Self {
+        Self::new(p.x - size.width, p.y - size.height, p.x, p.y)
+    }
+
+    /// A rectangle of the given size centred on `p`.
+    #[inline]
+    pub fn from_center(p: Point, size: RegionSize) -> Self {
+        Self::new(
+            p.x - size.width / 2.0,
+            p.y - size.height / 2.0,
+            p.x + size.width / 2.0,
+            p.y + size.height / 2.0,
+        )
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre of the rectangle.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// Bottom-left corner.
+    #[inline]
+    pub fn bottom_left(&self) -> Point {
+        Point::new(self.min_x, self.min_y)
+    }
+
+    /// Top-right corner.
+    #[inline]
+    pub fn top_right(&self) -> Point {
+        Point::new(self.max_x, self.max_y)
+    }
+
+    /// Closed containment test (boundary points count as inside).
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Strict (open) containment test, matching the paper's Lemma 1.
+    #[inline]
+    pub fn strictly_contains_point(&self, p: &Point) -> bool {
+        p.x > self.min_x && p.x < self.max_x && p.y > self.min_y && p.y < self.max_y
+    }
+
+    /// Returns `true` when `other` lies entirely inside `self` (closed).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// Returns `true` when the closed rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Returns `true` when the rectangle *interiors* overlap (i.e. the
+    /// intersection has positive area).  Edge-touching rectangles do not
+    /// interior-intersect.
+    #[inline]
+    pub fn interiors_intersect(&self, other: &Rect) -> bool {
+        self.min_x < other.max_x
+            && other.min_x < self.max_x
+            && self.min_y < other.max_y
+            && other.min_y < self.max_y
+    }
+
+    /// The intersection of two rectangles, or `None` when they are disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.min_x.max(other.min_x),
+            self.min_y.max(other.min_y),
+            self.max_x.min(other.max_x),
+            self.max_y.min(other.max_y),
+        ))
+    }
+
+    /// The minimum bounding rectangle of two rectangles.
+    #[inline]
+    pub fn mbr(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.min_x.min(other.min_x),
+            self.min_y.min(other.min_y),
+            self.max_x.max(other.max_x),
+            self.max_y.max(other.max_y),
+        )
+    }
+
+    /// The minimum bounding rectangle of a non-empty iterator of rectangles.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn mbr_of<I: IntoIterator<Item = Rect>>(rects: I) -> Option<Rect> {
+        let mut it = rects.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, r| acc.mbr(&r)))
+    }
+
+    /// The minimum bounding rectangle of a non-empty iterator of points.
+    pub fn mbr_of_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut r = Rect::new(first.x, first.y, first.x, first.y);
+        for p in it {
+            r.min_x = r.min_x.min(p.x);
+            r.min_y = r.min_y.min(p.y);
+            r.max_x = r.max_x.max(p.x);
+            r.max_y = r.max_y.max(p.y);
+        }
+        Some(r)
+    }
+
+    /// Grows the rectangle by `dx` on the left/right and `dy` on the
+    /// bottom/top.  Negative amounts shrink it (clamped so the result stays
+    /// valid).
+    #[inline]
+    pub fn expanded(&self, dx: f64, dy: f64) -> Rect {
+        let min_x = self.min_x - dx;
+        let max_x = self.max_x + dx;
+        let min_y = self.min_y - dy;
+        let max_y = self.max_y + dy;
+        if min_x > max_x || min_y > max_y {
+            let cx = (self.min_x + self.max_x) / 2.0;
+            let cy = (self.min_y + self.max_y) / 2.0;
+            Rect::new(cx, cy, cx, cy)
+        } else {
+            Rect::new(min_x, min_y, max_x, max_y)
+        }
+    }
+
+    /// The increase in area caused by growing `self` to also cover `other`.
+    ///
+    /// This is the cost function used by the split heuristic of Function
+    /// `Split` (Section 4.4).
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.mbr(other).area() - self.area()
+    }
+
+    /// Returns `true` when the rectangle has zero area.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.width() == 0.0 || self.height() == 0.0
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.6}, {:.6}] x [{:.6}, {:.6}]",
+            self.min_x, self.max_x, self.min_y, self.max_y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn new_rejects_inverted_coordinates() {
+        Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn corner_constructors_agree_on_extent() {
+        let size = RegionSize::new(2.0, 4.0);
+        let p = Point::new(10.0, 20.0);
+        let bl = Rect::from_bottom_left(p, size);
+        let tr = Rect::from_top_right(Point::new(12.0, 24.0), size);
+        assert_eq!(bl, tr);
+        let c = Rect::from_center(Point::new(11.0, 22.0), size);
+        assert_eq!(c, bl);
+    }
+
+    #[test]
+    fn width_height_area() {
+        let r = Rect::new(1.0, 2.0, 4.0, 8.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 6.0);
+        assert_eq!(r.area(), 18.0);
+        assert_eq!(r.center(), Point::new(2.5, 5.0));
+    }
+
+    #[test]
+    fn containment_closed_vs_strict() {
+        let r = unit();
+        let boundary = Point::new(0.0, 0.5);
+        let interior = Point::new(0.5, 0.5);
+        assert!(r.contains_point(&boundary));
+        assert!(!r.strictly_contains_point(&boundary));
+        assert!(r.strictly_contains_point(&interior));
+        assert!(!r.contains_point(&Point::new(1.5, 0.5)));
+    }
+
+    #[test]
+    fn contains_rect_includes_boundary() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(0.0, 0.0, 5.0, 10.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_rects() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Rect::new(1.0, 1.0, 2.0, 2.0)));
+    }
+
+    #[test]
+    fn touching_rects_intersect_but_interiors_do_not() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.interiors_intersect(&b));
+        assert_eq!(a.intersection(&b).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_rects_have_no_intersection() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn mbr_covers_both_inputs() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(3.0, -1.0, 4.0, 0.5);
+        let m = a.mbr(&b);
+        assert!(m.contains_rect(&a));
+        assert!(m.contains_rect(&b));
+        assert_eq!(m, Rect::new(0.0, -1.0, 4.0, 1.0));
+    }
+
+    #[test]
+    fn mbr_of_iterator() {
+        let rects = vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(2.0, 2.0, 3.0, 3.0),
+            Rect::new(-1.0, 0.5, 0.0, 0.75),
+        ];
+        let m = Rect::mbr_of(rects).unwrap();
+        assert_eq!(m, Rect::new(-1.0, 0.0, 3.0, 3.0));
+        assert!(Rect::mbr_of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn mbr_of_points_covers_all() {
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, -1.0),
+        ];
+        let m = Rect::mbr_of_points(pts.clone()).unwrap();
+        for p in &pts {
+            assert!(m.contains_point(p));
+        }
+        assert!(Rect::mbr_of_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained_rect() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(outer.enlargement(&inner), 0.0);
+        assert!(inner.enlargement(&outer) > 0.0);
+    }
+
+    #[test]
+    fn expanded_grows_and_shrinks() {
+        let r = unit().expanded(1.0, 2.0);
+        assert_eq!(r, Rect::new(-1.0, -2.0, 2.0, 3.0));
+        // Shrinking past the centre collapses to the centre point.
+        let collapsed = unit().expanded(-5.0, -5.0);
+        assert!(collapsed.is_degenerate());
+        assert_eq!(collapsed.center(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn degenerate_rect_detection() {
+        assert!(Rect::new(0.0, 0.0, 0.0, 5.0).is_degenerate());
+        assert!(!unit().is_degenerate());
+    }
+}

@@ -1,0 +1,99 @@
+//! Query region sizes (`a × b` in the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The extent of a query region: width `a` and height `b`.
+///
+/// The ASRS problem fixes the size of both the query region and every
+/// candidate region to the same `a × b` extent (Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionSize {
+    /// Width of the region (`a`).
+    pub width: f64,
+    /// Height of the region (`b`).
+    pub height: f64,
+}
+
+impl RegionSize {
+    /// Creates a new region size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite: a
+    /// degenerate query region would make the ASP reduction meaningless.
+    #[inline]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "region size must be strictly positive and finite, got {width} x {height}"
+        );
+        Self { width, height }
+    }
+
+    /// A square region of the given side length.
+    #[inline]
+    pub fn square(side: f64) -> Self {
+        Self::new(side, side)
+    }
+
+    /// Area of the region.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Scales both dimensions by `k` (used for the paper's `k·q` query sizes).
+    #[inline]
+    pub fn scaled(&self, k: f64) -> Self {
+        Self::new(self.width * k, self.height * k)
+    }
+}
+
+impl fmt::Display for RegionSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} x {:.6}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_positive_dimensions() {
+        let s = RegionSize::new(2.0, 3.0);
+        assert_eq!(s.area(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn new_rejects_zero_width() {
+        RegionSize::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn new_rejects_negative_height() {
+        RegionSize::new(1.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn new_rejects_nan() {
+        RegionSize::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn square_has_equal_sides() {
+        let s = RegionSize::square(1.5);
+        assert_eq!(s.width, s.height);
+    }
+
+    #[test]
+    fn scaled_multiplies_both_dimensions() {
+        let s = RegionSize::new(2.0, 4.0).scaled(2.5);
+        assert_eq!(s.width, 5.0);
+        assert_eq!(s.height, 10.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the geometry substrate.
+
+use asrs_geo::{min_positive_gap, GridSpec, Point, Rect, RegionSize};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), 0.001..500.0f64, 0.001..500.0f64)
+        .prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+}
+
+proptest! {
+    #[test]
+    fn mbr_contains_both_operands(a in arb_rect(), b in arb_rect()) {
+        let m = a.mbr(&b);
+        prop_assert!(m.contains_rect(&a));
+        prop_assert!(m.contains_rect(&b));
+        // MBR is commutative.
+        prop_assert_eq!(m, b.mbr(&a));
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area() + 1e-9);
+            prop_assert!(i.area() <= b.area() + 1e-9);
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn enlargement_is_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+    }
+
+    #[test]
+    fn strict_containment_implies_closed(r in arb_rect(), p in arb_point()) {
+        if r.strictly_contains_point(&p) {
+            prop_assert!(r.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn corner_constructors_are_consistent(p in arb_point(), w in 0.01..100.0f64, h in 0.01..100.0f64) {
+        let size = RegionSize::new(w, h);
+        let r = Rect::from_bottom_left(p, size);
+        prop_assert!((r.width() - w).abs() < 1e-9);
+        prop_assert!((r.height() - h).abs() < 1e-9);
+        prop_assert_eq!(r.bottom_left(), p);
+        let r2 = Rect::from_top_right(r.top_right(), size);
+        prop_assert!((r2.min_x - r.min_x).abs() < 1e-9);
+        prop_assert!((r2.min_y - r.min_y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_cell_of_point_roundtrip(
+        cols in 1usize..40,
+        rows in 1usize..40,
+        fx in 0.0..1.0f64,
+        fy in 0.0..1.0f64,
+    ) {
+        let space = Rect::new(-10.0, 5.0, 30.0, 45.0);
+        let g = GridSpec::new(space, cols, rows);
+        let p = Point::new(
+            space.min_x + fx * space.width(),
+            space.min_y + fy * space.height(),
+        );
+        let cell = g.cell_of_point(&p).expect("point is inside the space");
+        let rect = g.cell_rect(cell.col, cell.row);
+        prop_assert!(rect.contains_point(&p), "cell rect {rect} must contain {p}");
+    }
+
+    #[test]
+    fn grid_contained_cells_are_subset_of_overlapping(
+        cols in 1usize..30,
+        rows in 1usize..30,
+        r in arb_rect(),
+    ) {
+        let space = Rect::new(-1000.0, -1000.0, 1000.0, 1000.0);
+        let g = GridSpec::new(space, cols, rows);
+        let over = g.cells_overlapping(&r);
+        let cont = g.cells_contained(&r);
+        for c in cont.iter() {
+            prop_assert!(over.contains(c));
+            prop_assert!(r.contains_rect(&g.cell_rect(c.col, c.row)));
+        }
+        for c in over.iter() {
+            prop_assert!(g.cell_rect(c.col, c.row).interiors_intersect(&r));
+        }
+    }
+
+    #[test]
+    fn grid_overlap_classification_is_exhaustive(
+        cols in 1usize..15,
+        rows in 1usize..15,
+        r in arb_rect(),
+    ) {
+        // Every grid cell is either in the overlap range or does not
+        // interior-intersect the rectangle.
+        let space = Rect::new(-600.0, -600.0, 600.0, 600.0);
+        let g = GridSpec::new(space, cols, rows);
+        let over = g.cells_overlapping(&r);
+        for row in 0..rows {
+            for col in 0..cols {
+                let cell_rect = g.cell_rect(col, row);
+                let inside = over.contains(asrs_geo::CellIdx::new(col, row));
+                prop_assert_eq!(inside, cell_rect.interiors_intersect(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn min_gap_is_a_lower_bound_on_pairwise_gaps(values in prop::collection::vec(-100.0..100.0f64, 2..30)) {
+        if let Some(gap) = min_positive_gap(&values) {
+            for (i, a) in values.iter().enumerate() {
+                for b in values.iter().skip(i + 1) {
+                    let d = (a - b).abs();
+                    if d > 0.0 {
+                        prop_assert!(gap <= d + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

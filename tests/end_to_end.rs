@@ -1,0 +1,126 @@
+//! Full-pipeline scenarios: generator → aggregator → index → search →
+//! result, including the case-study city and property-style randomised
+//! equivalence checks.
+
+use asrs_suite::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn case_study_city_ranks_marina_bay_above_bugis() {
+    // Section 7.6: with a category-distribution aggregator, the "Orchard"
+    // query region must consider "Marina Bay" more similar than "Bugis".
+    let city = CityGenerator::default().generate(42);
+    let ds = &city.dataset;
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+
+    let orchard = city.district("Orchard").unwrap().rect;
+    let marina = city.district("Marina Bay").unwrap().rect;
+    let bugis = city.district("Bugis").unwrap().rect;
+
+    let f_orchard = agg.aggregate_region(ds, &orchard);
+    let f_marina = agg.aggregate_region(ds, &marina);
+    let f_bugis = agg.aggregate_region(ds, &bugis);
+    let w = Weights::uniform(agg.feature_dim());
+    let d_marina = weighted_distance(&f_orchard, &f_marina, &w, DistanceMetric::L1);
+    let d_bugis = weighted_distance(&f_orchard, &f_bugis, &w, DistanceMetric::L1);
+    assert!(
+        d_marina < d_bugis,
+        "Marina Bay ({d_marina}) must be closer to Orchard than Bugis ({d_bugis})"
+    );
+
+    // The search itself must find a region at least as similar as Marina
+    // Bay (it may legitimately find an even better one).
+    let query = AsrsQuery::from_example_region(ds, &agg, &orchard).unwrap();
+    let result = DsSearch::new(ds, &agg).search(&query);
+    assert!(result.distance <= d_marina + 1e-9);
+}
+
+#[test]
+fn indexed_and_plain_search_agree_on_the_city() {
+    let city = CityGenerator::default().generate(7);
+    let ds = &city.dataset;
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    let orchard = city.district("Orchard").unwrap().rect;
+    let query = AsrsQuery::from_example_region(ds, &agg, &orchard).unwrap();
+    let plain = DsSearch::new(ds, &agg).search(&query);
+    let index = GridIndex::build(ds, &agg, 64, 64).unwrap();
+    let indexed = GiDsSearch::new(ds, &agg, &index).search(&query);
+    assert!((plain.distance - indexed.distance).abs() < 1e-9);
+}
+
+#[test]
+fn search_scales_through_the_full_pipeline() {
+    // A smoke test at a larger cardinality: build, index, search, and check
+    // internal consistency of the result and statistics.
+    let ds = TweetGenerator::compact(12).generate(20_000, 5);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("day_of_week", Selection::All)
+        .build()
+        .unwrap();
+    let index = GridIndex::build(&ds, &agg, 64, 64).unwrap();
+    let query = AsrsQuery::new(
+        RegionSize::new(40.0, 40.0),
+        FeatureVector::new(vec![0.0, 0.0, 0.0, 0.0, 0.0, 60.0, 60.0]),
+        Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
+    );
+    let result = GiDsSearch::new(&ds, &agg, &index).search(&query);
+    let rep = agg.aggregate_region(&ds, &result.region);
+    let recomputed = agg.distance(&rep, &query.target, &query.weights, query.metric);
+    assert!((recomputed - result.distance).abs() < 1e-6);
+    assert!(result.stats.index_cells_total == 64 * 64);
+    assert!(result.stats.index_cells_searched <= result.stats.index_cells_total);
+    assert!(result.stats.rectangles == 20_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomised end-to-end equivalence: DS-Search equals the exhaustive
+    /// oracle on arbitrary small instances.
+    #[test]
+    fn ds_search_is_exact_on_random_instances(
+        seed in 0u64..5000,
+        n in 5usize..45,
+        width in 2.0..20.0f64,
+        height in 2.0..20.0f64,
+        target_a in 0.0..6.0f64,
+        target_b in 0.0..6.0f64,
+    ) {
+        let ds = UniformGenerator::default().generate(n, seed);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(width, height),
+            FeatureVector::new(vec![target_a, target_b, target_a, target_b]),
+            Weights::uniform(4),
+        );
+        let result = DsSearch::new(&ds, &agg).search(&query);
+        let oracle = naive::naive_best_region(&ds, &agg, &query);
+        prop_assert!(
+            (result.distance - oracle.distance).abs() < 1e-9,
+            "seed {}: DS {} vs oracle {}", seed, result.distance, oracle.distance
+        );
+    }
+
+    /// Randomised MaxRS equivalence between the DS adaptation and OE.
+    #[test]
+    fn maxrs_adaptation_is_exact_on_random_instances(
+        seed in 0u64..5000,
+        n in 5usize..60,
+        k in 2.0..25.0f64,
+    ) {
+        let ds = UniformGenerator::default().generate(n, seed);
+        let size = RegionSize::new(k, k * 0.8);
+        let ds_count = MaxRsSearch::new(&ds, size).search().count;
+        let oe_count = OptimalEnclosure::new(&ds, size).search().count;
+        prop_assert_eq!(ds_count, oe_count);
+    }
+}
