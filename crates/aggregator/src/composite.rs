@@ -61,11 +61,18 @@ impl fmt::Display for AggregatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AggregatorError::UnknownAttribute(idx) => write!(f, "unknown attribute index {idx}"),
-            AggregatorError::UnknownAttributeName(name) => write!(f, "unknown attribute name {name}"),
-            AggregatorError::KindMismatch { aggregator } => {
-                write!(f, "aggregator {aggregator} is incompatible with the attribute kind")
+            AggregatorError::UnknownAttributeName(name) => {
+                write!(f, "unknown attribute name {name}")
             }
-            AggregatorError::Empty => write!(f, "composite aggregator must have at least one component"),
+            AggregatorError::KindMismatch { aggregator } => {
+                write!(
+                    f,
+                    "aggregator {aggregator} is incompatible with the attribute kind"
+                )
+            }
+            AggregatorError::Empty => {
+                write!(f, "composite aggregator must have at least one component")
+            }
         }
     }
 }
@@ -116,7 +123,9 @@ impl CompositeAggregator {
                         .attribute(attr)
                         .ok_or(AggregatorError::UnknownAttribute(attr))?;
                     match &def.kind {
-                        AttributeKind::Categorical { cardinality, .. } => (*cardinality, *cardinality, None),
+                        AttributeKind::Categorical { cardinality, .. } => {
+                            (*cardinality, *cardinality, None)
+                        }
                         AttributeKind::Numeric { .. } => {
                             return Err(AggregatorError::KindMismatch {
                                 aggregator: spec.kind,
@@ -243,11 +252,19 @@ impl CompositeAggregator {
         labels
     }
 
+    /// Returns `true` when `object` can contribute to any component of the
+    /// statistics vector, i.e. at least one selection function accepts it.
+    /// Objects rejected by every selection are invisible to the aggregator,
+    /// so the search layer can drop their ASP rectangles outright — the
+    /// class-constrained MaxRS variant and selective aggregators prune
+    /// dramatically better for it.
+    pub fn contributes(&self, object: &SpatialObject) -> bool {
+        self.specs.iter().any(|spec| spec.selection.accepts(object))
+    }
+
     /// Adds the contribution of one object to a statistics vector.
     ///
-    /// # Panics
-    ///
-    /// Panics when `stats.len() != self.stats_dim()`.
+    /// In debug builds, asserts that `stats.len() == self.stats_dim()`.
     pub fn accumulate_object(&self, object: &SpatialObject, stats: &mut [f64]) {
         debug_assert_eq!(stats.len(), self.stats_dim);
         for (spec, layout) in self.specs.iter().zip(&self.layouts) {
@@ -309,7 +326,11 @@ impl CompositeAggregator {
             match spec.kind {
                 AggregatorKind::Distribution { .. } => out.copy_from_slice(slot),
                 AggregatorKind::Average { .. } => {
-                    out[0] = if slot[1] > 0.0 { slot[0] / slot[1] } else { 0.0 };
+                    out[0] = if slot[1] > 0.0 {
+                        slot[0] / slot[1]
+                    } else {
+                        0.0
+                    };
                 }
                 AggregatorKind::Sum { .. } => out[0] = slot[0] + slot[1],
                 AggregatorKind::Count => out[0] = slot[0],
@@ -349,7 +370,11 @@ impl CompositeAggregator {
     /// (Section 5.3).  The bounds are sound but not always tight (the
     /// average aggregator falls back to the attribute's declared domain when
     /// the optional objects could change the mean).
-    pub fn feature_bounds(&self, lower_stats: &[f64], upper_stats: &[f64]) -> (FeatureVector, FeatureVector) {
+    pub fn feature_bounds(
+        &self,
+        lower_stats: &[f64],
+        upper_stats: &[f64],
+    ) -> (FeatureVector, FeatureVector) {
         debug_assert_eq!(lower_stats.len(), self.stats_dim);
         debug_assert_eq!(upper_stats.len(), self.stats_dim);
         let mut lo = vec![0.0; self.feature_dim];
@@ -692,7 +717,7 @@ mod tests {
                         .map(|(_, o)| o),
                 )
                 .collect();
-            let rep = agg.aggregate(subset.into_iter());
+            let rep = agg.aggregate(subset);
             for d in 0..agg.feature_dim() {
                 assert!(
                     lo[d] - 1e-9 <= rep[d] && rep[d] <= hi[d] + 1e-9,

@@ -60,8 +60,16 @@ pub fn distance_lower_bound(
     weights: &[f64],
     metric: DistanceMetric,
 ) -> f64 {
-    assert_eq!(query.len(), lower.len(), "lower bound dimensionality mismatch");
-    assert_eq!(query.len(), upper.len(), "upper bound dimensionality mismatch");
+    assert_eq!(
+        query.len(),
+        lower.len(),
+        "lower bound dimensionality mismatch"
+    );
+    assert_eq!(
+        query.len(),
+        upper.len(),
+        "upper bound dimensionality mismatch"
+    );
     assert_eq!(query.len(), weights.len(), "weight dimensionality mismatch");
     match metric {
         DistanceMetric::L1 => query
@@ -186,7 +194,13 @@ mod tests {
     #[test]
     fn lower_bound_is_zero_when_query_is_inside_the_box() {
         let q = [1.0, 2.0];
-        let lb = distance_lower_bound(&q, &[0.0, 0.0], &[5.0, 5.0], &[1.0, 1.0], DistanceMetric::L1);
+        let lb = distance_lower_bound(
+            &q,
+            &[0.0, 0.0],
+            &[5.0, 5.0],
+            &[1.0, 1.0],
+            DistanceMetric::L1,
+        );
         assert_eq!(lb, 0.0);
     }
 

@@ -1,6 +1,10 @@
-//! Property-based tests for the aggregation machinery: additivity of the
+//! Property-style tests for the aggregation machinery: additivity of the
 //! statistics layout, soundness of the feature bounds and of the Equation-1
 //! distance lower bound.
+//!
+//! The offline build environment has no `proptest`, so the properties are
+//! exercised over seeded random inputs drawn from the vendored `rand`
+//! stand-in: same invariants, deterministic case generation.
 
 use asrs_aggregator::{
     distance_lower_bound, weighted_distance, CompositeAggregator, DistanceMetric, Selection,
@@ -8,7 +12,10 @@ use asrs_aggregator::{
 };
 use asrs_data::{AttrValue, AttributeDef, AttributeKind, Schema, SpatialObject};
 use asrs_geo::Point;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 48;
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -27,39 +34,46 @@ fn aggregator() -> CompositeAggregator {
         .expect("aggregator builds")
 }
 
-fn arb_object() -> impl Strategy<Value = SpatialObject> {
-    (0u32..5, -20.0..20.0f64, -100.0..100.0f64, -100.0..100.0f64).prop_map(|(cat, val, x, y)| {
-        SpatialObject::new(
-            0,
-            Point::new(x, y),
-            vec![AttrValue::Cat(cat), AttrValue::Num(val)],
-        )
-    })
+fn rand_object(rng: &mut SmallRng) -> SpatialObject {
+    SpatialObject::new(
+        0,
+        Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)),
+        vec![
+            AttrValue::Cat(rng.gen_range(0u32..5)),
+            AttrValue::Num(rng.gen_range(-20.0..20.0)),
+        ],
+    )
 }
 
-proptest! {
-    #[test]
-    fn stats_are_additive_over_partitions(
-        objects in prop::collection::vec(arb_object(), 0..40),
-        split in 0usize..40,
-    ) {
-        let agg = aggregator();
-        let split = split.min(objects.len());
+fn rand_objects(rng: &mut SmallRng, max: usize) -> Vec<SpatialObject> {
+    let len = rng.gen_range(0..max);
+    (0..len).map(|_| rand_object(rng)).collect()
+}
+
+#[test]
+fn stats_are_additive_over_partitions() {
+    let agg = aggregator();
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let objects = rand_objects(&mut rng, 40);
+        let split = rng.gen_range(0usize..40).min(objects.len());
         let all = agg.stats_of(objects.iter());
         let left = agg.stats_of(objects.iter().take(split));
         let right = agg.stats_of(objects.iter().skip(split));
         for ((a, l), r) in all.iter().zip(&left).zip(&right) {
-            prop_assert!((a - (l + r)).abs() < 1e-9);
+            assert!((a - (l + r)).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn feature_bounds_are_sound_for_random_supersets(
-        mandatory in prop::collection::vec(arb_object(), 0..10),
-        optional in prop::collection::vec(arb_object(), 0..8),
-        mask in 0u32..256,
-    ) {
-        let agg = aggregator();
+#[test]
+fn feature_bounds_are_sound_for_random_supersets() {
+    let agg = aggregator();
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let mandatory = rand_objects(&mut rng, 10);
+        let optional = rand_objects(&mut rng, 8);
+        let mask: u32 = rng.gen_range(0u32..256);
         let lower_stats = agg.stats_of(mandatory.iter());
         let upper_stats = agg.stats_of(mandatory.iter().chain(optional.iter()));
         let (lo, hi) = agg.feature_bounds(&lower_stats, &upper_stats);
@@ -74,24 +88,29 @@ proptest! {
                     .map(|(_, o)| o),
             )
             .collect();
-        let rep = agg.aggregate(chosen.into_iter());
+        let rep = agg.aggregate(chosen);
         for d in 0..agg.feature_dim() {
-            prop_assert!(
+            assert!(
                 lo[d] - 1e-9 <= rep[d] && rep[d] <= hi[d] + 1e-9,
                 "dimension {} value {} escapes bounds [{}, {}]",
-                d, rep[d], lo[d], hi[d]
+                d,
+                rep[d],
+                lo[d],
+                hi[d]
             );
         }
     }
+}
 
-    #[test]
-    fn lower_bound_never_exceeds_distance_of_admissible_sets(
-        mandatory in prop::collection::vec(arb_object(), 0..8),
-        optional in prop::collection::vec(arb_object(), 0..6),
-        query_objects in prop::collection::vec(arb_object(), 0..10),
-        mask in 0u32..64,
-    ) {
-        let agg = aggregator();
+#[test]
+fn lower_bound_never_exceeds_distance_of_admissible_sets() {
+    let agg = aggregator();
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let mandatory = rand_objects(&mut rng, 8);
+        let optional = rand_objects(&mut rng, 6);
+        let query_objects = rand_objects(&mut rng, 10);
+        let mask: u32 = rng.gen_range(0u32..64);
         let query = agg.aggregate(query_objects.iter());
         let weights = Weights::uniform(agg.feature_dim());
         let lower_stats = agg.stats_of(mandatory.iter());
@@ -108,43 +127,49 @@ proptest! {
                         .map(|(_, o)| o),
                 )
                 .collect();
-            let rep = agg.aggregate(chosen.into_iter());
+            let rep = agg.aggregate(chosen);
             let d = weighted_distance(&rep, &query, &weights, metric);
-            prop_assert!(lb <= d + 1e-9, "lb {lb} exceeds distance {d} under {metric:?}");
+            assert!(
+                lb <= d + 1e-9,
+                "lb {lb} exceeds distance {d} under {metric:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn distance_metric_axioms(
-        a in prop::collection::vec(-50.0..50.0f64, 1..12),
-        b_seed in prop::collection::vec(-50.0..50.0f64, 1..12),
-    ) {
-        let dim = a.len().min(b_seed.len());
-        let a = &a[..dim];
-        let b = &b_seed[..dim];
+#[test]
+fn distance_metric_axioms() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(3000 + seed);
+        let dim = rng.gen_range(1usize..12);
+        let a: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let b: Vec<f64> = (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect();
         let w = vec![1.0; dim];
         for metric in [DistanceMetric::L1, DistanceMetric::L2] {
-            let dab = weighted_distance(a, b, &w, metric);
-            let dba = weighted_distance(b, a, &w, metric);
-            prop_assert!((dab - dba).abs() < 1e-9, "symmetry");
-            prop_assert!(dab >= 0.0, "non-negativity");
-            prop_assert!(weighted_distance(a, a, &w, metric).abs() < 1e-12, "identity");
+            let dab = weighted_distance(&a, &b, &w, metric);
+            let dba = weighted_distance(&b, &a, &w, metric);
+            assert!((dab - dba).abs() < 1e-9, "symmetry");
+            assert!(dab >= 0.0, "non-negativity");
+            assert!(
+                weighted_distance(&a, &a, &w, metric).abs() < 1e-12,
+                "identity"
+            );
         }
     }
+}
 
-    #[test]
-    fn lower_bound_is_tight_when_bounds_collapse(
-        v in prop::collection::vec(-10.0..10.0f64, 1..8),
-        q in prop::collection::vec(-10.0..10.0f64, 1..8),
-    ) {
-        let dim = v.len().min(q.len());
-        let v = &v[..dim];
-        let q = &q[..dim];
+#[test]
+fn lower_bound_is_tight_when_bounds_collapse() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(4000 + seed);
+        let dim = rng.gen_range(1usize..8);
+        let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
         let w = vec![1.0; dim];
         for metric in [DistanceMetric::L1, DistanceMetric::L2] {
-            let lb = distance_lower_bound(q, v, v, &w, metric);
-            let d = weighted_distance(q, v, &w, metric);
-            prop_assert!((lb - d).abs() < 1e-9);
+            let lb = distance_lower_bound(&q, &v, &v, &w, metric);
+            let d = weighted_distance(&q, &v, &w, metric);
+            assert!((lb - d).abs() < 1e-9);
         }
     }
 }

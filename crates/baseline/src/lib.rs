@@ -15,13 +15,18 @@
 //! oracle used as ground truth by the test-suite: it evaluates one probe
 //! point per cell of the full rectangle arrangement, which is exact but
 //! cubic in the number of objects.
+//!
+//! [`SweepBase`] implements the engine's
+//! [`SearchAlgorithm`](asrs_core::SearchAlgorithm) trait, so it plugs into
+//! [`AsrsEngine::search_with`](asrs_core::AsrsEngine::search_with) as an
+//! interchangeable backend next to DS-Search, GI-DS and the naive oracle.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod maxrs_oe;
 pub mod naive;
 pub mod segment_tree;
-mod maxrs_oe;
 mod sweep;
 
 pub use maxrs_oe::{MaxRsOutcome, OptimalEnclosure};

@@ -10,6 +10,7 @@
 
 use crate::segment_tree::MaxAddSegmentTree;
 use asrs_core::asp::AspInstance;
+use asrs_core::AsrsError;
 use asrs_data::Dataset;
 use asrs_geo::{Point, Rect, RegionSize};
 use std::time::{Duration, Instant};
@@ -40,17 +41,28 @@ impl<'a> OptimalEnclosure<'a> {
     }
 
     /// Runs the sweep and returns the optimal region.
-    pub fn search(&self) -> MaxRsOutcome {
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidRegionSize`] when the region size is
+    /// non-positive or non-finite.
+    pub fn search(&self) -> Result<MaxRsOutcome, AsrsError> {
+        if !self.size.is_valid() {
+            return Err(AsrsError::InvalidRegionSize {
+                width: self.size.width,
+                height: self.size.height,
+            });
+        }
         let started = Instant::now();
         let asp = AspInstance::build(self.dataset, self.size, None, 1e-12);
         if asp.rects().is_empty() {
             let anchor = Point::origin();
-            return MaxRsOutcome {
+            return Ok(MaxRsOutcome {
                 region: Rect::from_bottom_left(anchor, self.size),
                 anchor,
                 count: 0,
                 elapsed: started.elapsed(),
-            };
+            });
         }
 
         // Compress the y coordinates of horizontal edges.
@@ -122,12 +134,12 @@ impl<'a> OptimalEnclosure<'a> {
         // Recount exactly: immune to any floating-point drift in the tree.
         let count = self.dataset.count_strictly_in(&region);
         debug_assert_eq!(count, best_count as usize);
-        MaxRsOutcome {
+        Ok(MaxRsOutcome {
             region,
             anchor,
             count,
             elapsed: started.elapsed(),
-        }
+        })
     }
 }
 
@@ -145,7 +157,9 @@ mod tests {
             b.push(x, y, vec![]);
         }
         let ds = b.build().unwrap();
-        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(1.0, 1.0)).search();
+        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(1.0, 1.0))
+            .search()
+            .unwrap();
         assert_eq!(outcome.count, 4);
         assert_eq!(ds.count_strictly_in(&outcome.region), 4);
     }
@@ -154,8 +168,10 @@ mod tests {
     fn agrees_with_the_naive_oracle() {
         for seed in 0..6 {
             let ds = UniformGenerator::default().generate(60, seed);
-            let outcome = OptimalEnclosure::new(&ds, RegionSize::new(12.0, 10.0)).search();
-            let oracle = naive_maxrs_count(&ds, 12.0, 10.0);
+            let outcome = OptimalEnclosure::new(&ds, RegionSize::new(12.0, 10.0))
+                .search()
+                .unwrap();
+            let oracle = naive_maxrs_count(&ds, 12.0, 10.0).unwrap();
             assert_eq!(outcome.count, oracle, "seed {seed}");
         }
     }
@@ -163,7 +179,9 @@ mod tests {
     #[test]
     fn empty_dataset_returns_zero() {
         let ds = Dataset::new_unchecked(Schema::empty(), vec![]);
-        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(2.0, 2.0)).search();
+        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(2.0, 2.0))
+            .search()
+            .unwrap();
         assert_eq!(outcome.count, 0);
     }
 
@@ -172,15 +190,21 @@ mod tests {
         let mut b = DatasetBuilder::new(Schema::empty());
         b.push(1.0, 1.0, vec![]);
         let ds = b.build().unwrap();
-        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(3.0, 3.0)).search();
+        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(3.0, 3.0))
+            .search()
+            .unwrap();
         assert_eq!(outcome.count, 1);
-        assert!(outcome.region.strictly_contains_point(&Point::new(1.0, 1.0)));
+        assert!(outcome
+            .region
+            .strictly_contains_point(&Point::new(1.0, 1.0)));
     }
 
     #[test]
     fn anchor_is_region_bottom_left() {
         let ds = UniformGenerator::default().generate(80, 3);
-        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(10.0, 10.0)).search();
+        let outcome = OptimalEnclosure::new(&ds, RegionSize::new(10.0, 10.0))
+            .search()
+            .unwrap();
         assert_eq!(outcome.region.bottom_left(), outcome.anchor);
         assert!(outcome.count >= 1);
     }

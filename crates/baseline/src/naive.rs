@@ -1,19 +1,17 @@
 //! Exhaustive arrangement-midpoint oracle.
 //!
-//! The edges of the ASP rectangles partition the plane into an arrangement
-//! of axis-aligned cells; every disjoint region of the paper (Lemma 2) is a
-//! union of such cells, so evaluating one probe point per arrangement cell
-//! visits every disjoint region.  The oracle does exactly that: it takes
-//! the midpoints between consecutive distinct edge coordinates (plus one
-//! point outside everything) and evaluates every `(x, y)` combination.
+//! The actual enumeration lives in `asrs-core` as
+//! [`NaiveSearch`](asrs_core::NaiveSearch) (the engine's
+//! [`Strategy::Naive`](asrs_core::Strategy) backend); this module keeps
+//! the historical free-function entry points the test-suite uses, as thin
+//! wrappers over it.
 //!
 //! The cost is `O(n²)` probe points, each evaluated in `O(n)` — far too
 //! slow for benchmarks, but an unimpeachable ground truth for correctness
 //! tests of DS-Search, GI-DS and the sweep-line baseline.
 
 use asrs_aggregator::CompositeAggregator;
-use asrs_core::asp::AspInstance;
-use asrs_core::AsrsQuery;
+use asrs_core::{AsrsError, AsrsQuery, NaiveSearch};
 use asrs_data::Dataset;
 use asrs_geo::{Point, Rect};
 
@@ -33,74 +31,31 @@ pub struct NaiveAnswer {
 
 /// Computes the exact optimum by exhaustive enumeration of arrangement
 /// cells.  Intended for small instances (≲ 200 objects).
+///
+/// # Errors
+///
+/// [`AsrsError::Query`] when the query does not match the aggregator.
 pub fn naive_best_region(
     dataset: &Dataset,
     aggregator: &CompositeAggregator,
     query: &AsrsQuery,
-) -> NaiveAnswer {
-    let asp = AspInstance::build(dataset, query.size, None, 1e-12);
-    // Coordinates of all vertical / horizontal edges.
-    let mut xs: Vec<f64> = Vec::with_capacity(asp.rects().len() * 2 + 2);
-    let mut ys: Vec<f64> = Vec::with_capacity(asp.rects().len() * 2 + 2);
-    for r in asp.rects() {
-        xs.push(r.rect.min_x);
-        xs.push(r.rect.max_x);
-        ys.push(r.rect.min_y);
-        ys.push(r.rect.max_y);
-    }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
-    xs.dedup();
-    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
-    ys.dedup();
-
-    // Probe abscissae: midpoints of consecutive distinct coordinates plus a
-    // point beyond the last edge (covering the "outside everything" case).
-    let probes_axis = |coords: &[f64]| -> Vec<f64> {
-        let mut probes = Vec::with_capacity(coords.len() + 1);
-        for w in coords.windows(2) {
-            probes.push((w[0] + w[1]) / 2.0);
-        }
-        match coords.last() {
-            Some(last) => probes.push(last + 1.0),
-            None => probes.push(0.0),
-        }
-        probes
-    };
-    let px = probes_axis(&xs);
-    let py = probes_axis(&ys);
-
-    let candidates = asp.all_rect_indices();
-    let mut best_anchor = Point::new(
-        xs.last().copied().unwrap_or(0.0) + query.size.width,
-        ys.last().copied().unwrap_or(0.0) + query.size.height,
-    );
-    let mut best_distance = f64::INFINITY;
-    let mut probes = 0usize;
-    for &x in &px {
-        for &y in &py {
-            probes += 1;
-            let p = Point::new(x, y);
-            let objects = asp.objects_covering(&p, &candidates);
-            let rep = aggregator.aggregate(objects.iter().map(|&i| dataset.object(i as usize)));
-            let d = aggregator.distance(&rep, &query.target, &query.weights, query.metric);
-            if d < best_distance {
-                best_distance = d;
-                best_anchor = p;
-            }
-        }
-    }
-
-    NaiveAnswer {
-        anchor: best_anchor,
-        region: Rect::from_bottom_left(best_anchor, query.size),
-        distance: best_distance,
-        probes,
-    }
+) -> Result<NaiveAnswer, AsrsError> {
+    let result = NaiveSearch::new(dataset, aggregator).search(query)?;
+    Ok(NaiveAnswer {
+        anchor: result.anchor,
+        region: result.region,
+        distance: result.distance,
+        probes: result.stats.fallback_points as usize,
+    })
 }
 
 /// Exhaustively computes the maximum number of objects any `a × b` region
 /// can strictly enclose (naive MaxRS ground truth).
-pub fn naive_maxrs_count(dataset: &Dataset, width: f64, height: f64) -> usize {
+///
+/// # Errors
+///
+/// [`AsrsError::Query`] when the size is degenerate.
+pub fn naive_maxrs_count(dataset: &Dataset, width: f64, height: f64) -> Result<usize, AsrsError> {
     use asrs_aggregator::{FeatureVector, Selection, Weights};
     use asrs_geo::RegionSize;
     let aggregator = CompositeAggregator::builder(dataset.schema())
@@ -112,8 +67,8 @@ pub fn naive_maxrs_count(dataset: &Dataset, width: f64, height: f64) -> usize {
         FeatureVector::new(vec![dataset.len() as f64 + 1.0]),
         Weights::uniform(1),
     );
-    let answer = naive_best_region(dataset, &aggregator, &query);
-    dataset.count_strictly_in(&answer.region)
+    let answer = naive_best_region(dataset, &aggregator, &query)?;
+    Ok(dataset.count_strictly_in(&answer.region))
 }
 
 #[cfg(test)]
@@ -150,7 +105,7 @@ mod tests {
             FeatureVector::new(vec![1.0, 1.0]),
             Weights::uniform(2),
         );
-        let ans = naive_best_region(&ds, &agg, &query);
+        let ans = naive_best_region(&ds, &agg, &query).unwrap();
         assert!(ans.distance.abs() < 1e-9);
         let rep = agg.aggregate_region(&ds, &ans.region);
         assert_eq!(rep.as_slice(), &[1.0, 1.0]);
@@ -169,7 +124,7 @@ mod tests {
             FeatureVector::new(vec![0.0, 0.0]),
             Weights::uniform(2),
         );
-        let ans = naive_best_region(&ds, &agg, &query);
+        let ans = naive_best_region(&ds, &agg, &query).unwrap();
         assert_eq!(ans.distance, 0.0);
         assert_eq!(ds.count_strictly_in(&ans.region), 0);
     }
@@ -181,8 +136,8 @@ mod tests {
             b.push(x, y, vec![]);
         }
         let ds = b.build().unwrap();
-        assert_eq!(naive_maxrs_count(&ds, 2.0, 2.0), 3);
-        assert_eq!(naive_maxrs_count(&ds, 0.1, 0.1), 1);
+        assert_eq!(naive_maxrs_count(&ds, 2.0, 2.0).unwrap(), 3);
+        assert_eq!(naive_maxrs_count(&ds, 0.1, 0.1).unwrap(), 1);
     }
 
     #[test]
@@ -197,7 +152,25 @@ mod tests {
             FeatureVector::new(vec![2.0]),
             Weights::uniform(1),
         );
-        let ans = naive_best_region(&ds, &agg, &query);
+        let ans = naive_best_region(&ds, &agg, &query).unwrap();
         assert_eq!(ans.distance, 2.0);
+    }
+
+    #[test]
+    fn mismatched_query_is_an_error() {
+        let ds = colored_dataset();
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("color", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(3.0, 3.0),
+            FeatureVector::new(vec![1.0]),
+            Weights::uniform(1),
+        );
+        assert!(matches!(
+            naive_best_region(&ds, &agg, &query),
+            Err(AsrsError::Query(_))
+        ));
     }
 }

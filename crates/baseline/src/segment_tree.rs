@@ -207,7 +207,10 @@ mod tests {
                 reference.range_add(l, r, delta);
                 let (max, arg) = tree.global_max();
                 assert!((max - reference.global_max()).abs() < 1e-9);
-                assert!((reference.0[arg] - max).abs() < 1e-9, "argmax must attain the max");
+                assert!(
+                    (reference.0[arg] - max).abs() < 1e-9,
+                    "argmax must attain the max"
+                );
             }
         }
     }

@@ -11,7 +11,7 @@
 
 use asrs_aggregator::{CompositeAggregator, FeatureVector};
 use asrs_core::asp::AspInstance;
-use asrs_core::AsrsQuery;
+use asrs_core::{AsrsError, AsrsQuery, SearchAlgorithm, SearchResult, SearchStats};
 use asrs_data::Dataset;
 use asrs_geo::{Point, Rect};
 use std::time::{Duration, Instant};
@@ -50,20 +50,21 @@ impl<'a> SweepBase<'a> {
 
     /// Solves the ASRS problem exactly with the sweep-line algorithm.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the query dimensionality does not match the aggregator.
-    pub fn search(&self, query: &AsrsQuery) -> BaselineAnswer {
-        query
-            .validate(self.aggregator)
-            .expect("query must match the aggregator dimensions");
+    /// [`AsrsError::Query`] when the query does not match the aggregator.
+    pub fn search(&self, query: &AsrsQuery) -> Result<BaselineAnswer, AsrsError> {
+        query.validate(self.aggregator)?;
         let started = Instant::now();
         let asp = AspInstance::build(self.dataset, query.size, None, 1e-12);
         let dims = self.aggregator.stats_dim();
 
         // Empty-region candidate: a point outside every rectangle.
         let far = match asp.space() {
-            Some(space) => Point::new(space.max_x + query.size.width, space.max_y + query.size.height),
+            Some(space) => Point::new(
+                space.max_x + query.size.width,
+                space.max_y + query.size.height,
+            ),
             None => Point::origin(),
         };
         let zero_rep = self.aggregator.stats_to_features(&vec![0.0; dims]);
@@ -157,9 +158,9 @@ impl<'a> SweepBase<'a> {
                     }
                     candidates_evaluated += 1;
                     let rep = self.aggregator.stats_to_features(&running);
-                    let d = self
-                        .aggregator
-                        .distance(&rep, &query.target, &query.weights, query.metric);
+                    let d =
+                        self.aggregator
+                            .distance(&rep, &query.target, &query.weights, query.metric);
                     if d < best_distance {
                         best_distance = d;
                         best_anchor = Point::new(slab_mid_x, (y + next_y) / 2.0);
@@ -169,14 +170,37 @@ impl<'a> SweepBase<'a> {
             }
         }
 
-        BaselineAnswer {
+        Ok(BaselineAnswer {
             anchor: best_anchor,
             region: Rect::from_bottom_left(best_anchor, query.size),
             distance: best_distance,
             representation: best_rep,
             candidates_evaluated,
             elapsed: started.elapsed(),
-        }
+        })
+    }
+}
+
+impl SearchAlgorithm for SweepBase<'_> {
+    fn name(&self) -> &str {
+        "sweep-base"
+    }
+
+    fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        let answer = SweepBase::search(self, query)?;
+        let stats = SearchStats {
+            rectangles: self.dataset.len() as u64,
+            fallback_points: answer.candidates_evaluated,
+            elapsed: answer.elapsed,
+            ..SearchStats::default()
+        };
+        Ok(SearchResult::new(
+            answer.anchor,
+            answer.region,
+            answer.distance,
+            answer.representation,
+            stats,
+        ))
     }
 }
 
@@ -216,7 +240,7 @@ mod tests {
             FeatureVector::new(vec![1.0, 1.0]),
             Weights::uniform(2),
         );
-        let ans = SweepBase::new(&ds, &agg).search(&query);
+        let ans = SweepBase::new(&ds, &agg).search(&query).unwrap();
         assert!(ans.distance.abs() < 1e-9);
         assert_eq!(
             agg.aggregate_region(&ds, &ans.region).as_slice(),
@@ -238,8 +262,8 @@ mod tests {
                 FeatureVector::new(vec![2.0, 1.0, 3.0, 0.0]),
                 Weights::uniform(4),
             );
-            let sweep = SweepBase::new(&ds, &agg).search(&query);
-            let oracle = naive_best_region(&ds, &agg, &query);
+            let sweep = SweepBase::new(&ds, &agg).search(&query).unwrap();
+            let oracle = naive_best_region(&ds, &agg, &query).unwrap();
             assert!(
                 (sweep.distance - oracle.distance).abs() < 1e-9,
                 "seed {seed}: sweep {} vs oracle {}",
@@ -261,7 +285,7 @@ mod tests {
             FeatureVector::new(vec![1.0, 1.0, 1.0, 1.0]),
             Weights::uniform(4),
         );
-        let ans = SweepBase::new(&ds, &agg).search(&query);
+        let ans = SweepBase::new(&ds, &agg).search(&query).unwrap();
         let direct = agg.aggregate_region(&ds, &ans.region);
         assert_eq!(direct, ans.representation);
         let d = agg.distance(&direct, &query.target, &query.weights, query.metric);
@@ -280,7 +304,7 @@ mod tests {
             FeatureVector::new(vec![5.0]),
             Weights::uniform(1),
         );
-        let ans = SweepBase::new(&ds, &agg).search(&query);
+        let ans = SweepBase::new(&ds, &agg).search(&query).unwrap();
         assert_eq!(ans.distance, 5.0);
         assert_eq!(ans.candidates_evaluated, 0);
     }

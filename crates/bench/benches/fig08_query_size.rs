@@ -27,11 +27,11 @@ fn bench_fig08(c: &mut Criterion) {
             let query = workload.query(&dataset, k);
             group.bench_with_input(BenchmarkId::new("DS-Search", k as u64), &query, |b, q| {
                 let solver = DsSearch::new(&dataset, &aggregator);
-                b.iter(|| solver.search(q));
+                b.iter(|| solver.search(q).unwrap());
             });
             group.bench_with_input(BenchmarkId::new("Base", k as u64), &query, |b, q| {
                 let solver = SweepBase::new(&dataset, &aggregator);
-                b.iter(|| solver.search(q));
+                b.iter(|| solver.search(q).unwrap());
             });
         }
         group.finish();

@@ -20,13 +20,15 @@ fn bench_fig09(c: &mut Criterion) {
         for k in [1.0, 10.0] {
             let query = workload.query(&dataset, k);
             for granularity in [10usize, 20, 30, 40, 50] {
-                let config = SearchConfig::new().with_grid(granularity, granularity);
+                let config = SearchConfig::new()
+                    .with_grid(granularity, granularity)
+                    .unwrap();
                 group.bench_with_input(
                     BenchmarkId::new(format!("{}q", k as u64), granularity),
                     &query,
                     |b, q| {
                         let solver = DsSearch::with_config(&dataset, &aggregator, config.clone());
-                        b.iter(|| solver.search(q));
+                        b.iter(|| solver.search(q).unwrap());
                     },
                 );
             }

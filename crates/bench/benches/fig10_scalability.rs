@@ -23,12 +23,12 @@ fn bench_fig10(c: &mut Criterion) {
             let query = workload.query(&dataset, 10.0);
             group.bench_with_input(BenchmarkId::new("DS-Search", n), &query, |b, q| {
                 let solver = DsSearch::new(&dataset, &aggregator);
-                b.iter(|| solver.search(q));
+                b.iter(|| solver.search(q).unwrap());
             });
             if n <= 5_000 {
                 group.bench_with_input(BenchmarkId::new("Base", n), &query, |b, q| {
                     let solver = SweepBase::new(&dataset, &aggregator);
-                    b.iter(|| solver.search(q));
+                    b.iter(|| solver.search(q).unwrap());
                 });
             }
         }

@@ -30,7 +30,7 @@ fn bench_fig11(c: &mut Criterion) {
             let query = workload.query(&dataset, k);
             group.bench_with_input(BenchmarkId::new("DS-Search", k as u64), &query, |b, q| {
                 let solver = DsSearch::new(&dataset, &aggregator);
-                b.iter(|| solver.search(q));
+                b.iter(|| solver.search(q).unwrap());
             });
             for (granularity, index) in &indexes {
                 group.bench_with_input(
@@ -38,7 +38,7 @@ fn bench_fig11(c: &mut Criterion) {
                     &query,
                     |b, q| {
                         let solver = GiDsSearch::new(&dataset, &aggregator, index);
-                        b.iter(|| solver.search(q));
+                        b.iter(|| solver.search(q).unwrap());
                     },
                 );
             }

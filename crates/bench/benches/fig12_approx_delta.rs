@@ -17,7 +17,8 @@ fn bench_fig12(c: &mut Criterion) {
         for n in [20_000usize, 40_000] {
             let dataset = workload.dataset(n, 5);
             let aggregator = workload.aggregator(&dataset);
-            let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty dataset");
+            let index =
+                GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty dataset");
             let query = workload.query(&dataset, 10.0);
             for delta in [0.1, 0.2, 0.3, 0.4] {
                 group.bench_with_input(
@@ -25,7 +26,7 @@ fn bench_fig12(c: &mut Criterion) {
                     &query,
                     |b, q| {
                         let solver = GiDsSearch::new(&dataset, &aggregator, &index);
-                        b.iter(|| solver.search_approx(q, delta));
+                        b.iter(|| solver.search_approx(q, delta).unwrap());
                     },
                 );
             }

@@ -19,10 +19,10 @@ fn bench_fig13a(c: &mut Criterion) {
     for k in [1.0, 10.0, 20.0, 30.0] {
         let size = unit.scaled(k);
         group.bench_with_input(BenchmarkId::new("DS-Search", k as u64), &size, |b, s| {
-            b.iter(|| MaxRsSearch::new(&dataset, *s).search());
+            b.iter(|| MaxRsSearch::new(&dataset, *s).search().unwrap());
         });
         group.bench_with_input(BenchmarkId::new("OE", k as u64), &size, |b, s| {
-            b.iter(|| OptimalEnclosure::new(&dataset, *s).search());
+            b.iter(|| OptimalEnclosure::new(&dataset, *s).search().unwrap());
         });
     }
     group.finish();
@@ -38,10 +38,10 @@ fn bench_fig13b(c: &mut Criterion) {
         let dataset = tweet_dataset(n, 29);
         let size = unit_query_size(&dataset).scaled(10.0);
         group.bench_with_input(BenchmarkId::new("DS-Search", n), &size, |b, s| {
-            b.iter(|| MaxRsSearch::new(&dataset, *s).search());
+            b.iter(|| MaxRsSearch::new(&dataset, *s).search().unwrap());
         });
         group.bench_with_input(BenchmarkId::new("OE", n), &size, |b, s| {
-            b.iter(|| OptimalEnclosure::new(&dataset, *s).search());
+            b.iter(|| OptimalEnclosure::new(&dataset, *s).search().unwrap());
         });
     }
     group.finish();

@@ -55,7 +55,7 @@ fn main() {
     let orchard = city.district("Orchard").expect("district exists").rect;
     let query = AsrsQuery::from_example_region(dataset, &aggregator, &orchard)
         .expect("district rectangles are non-degenerate");
-    let result = DsSearch::new(dataset, &aggregator).search(&query);
+    let result = DsSearch::new(dataset, &aggregator).search(&query).unwrap();
     println!(
         "DS-Search retrieved region {} at distance {:.2} in {:?}",
         result.region, result.distance, result.stats.elapsed

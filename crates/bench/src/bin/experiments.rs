@@ -43,9 +43,7 @@ fn parse_args() -> Options {
 }
 
 fn enabled(opts: &Options, name: &str) -> bool {
-    opts.run.is_empty()
-        || opts.run.iter().any(|r| r == "all")
-        || opts.run.iter().any(|r| r == name)
+    opts.run.is_empty() || opts.run.iter().any(|r| r == "all") || opts.run.iter().any(|r| r == name)
 }
 
 fn scaled(n: usize, scale: f64) -> usize {
@@ -71,11 +69,13 @@ fn fig8(scale: f64) {
         for k in [1.0, 4.0, 7.0, 10.0] {
             let query = workload.query(&dataset, k);
             let started = Instant::now();
-            DsSearch::new(&dataset, &aggregator).search(&query);
+            DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
             let ds_time = started.elapsed();
             let base_query = workload.query(&base_dataset, k);
             let started = Instant::now();
-            SweepBase::new(&base_dataset, &base_aggregator).search(&base_query);
+            SweepBase::new(&base_dataset, &base_aggregator)
+                .search(&base_query)
+                .unwrap();
             let base_time = started.elapsed();
             table.row(vec![
                 format!("{}q", k as u64),
@@ -94,16 +94,23 @@ fn fig9(scale: f64) {
         let dataset = workload.dataset(n, 7);
         let aggregator = workload.aggregator(&dataset);
         let mut table = Table::new(
-            &format!("Figure 9 ({}): DS-Search runtime vs grid granularity (n={n})", workload.name()),
+            &format!(
+                "Figure 9 ({}): DS-Search runtime vs grid granularity (n={n})",
+                workload.name()
+            ),
             &["n_col = n_row", "q", "4q", "7q", "10q"],
         );
         for granularity in [10usize, 20, 30, 40, 50] {
             let mut cells = vec![granularity.to_string()];
             for k in [1.0, 4.0, 7.0, 10.0] {
                 let query = workload.query(&dataset, k);
-                let config = SearchConfig::new().with_grid(granularity, granularity);
+                let config = SearchConfig::new()
+                    .with_grid(granularity, granularity)
+                    .unwrap();
                 let started = Instant::now();
-                DsSearch::with_config(&dataset, &aggregator, config).search(&query);
+                DsSearch::with_config(&dataset, &aggregator, config)
+                    .search(&query)
+                    .unwrap();
                 cells.push(format_duration(started.elapsed()));
             }
             table.row(cells);
@@ -116,7 +123,10 @@ fn fig9(scale: f64) {
 fn fig10(scale: f64) {
     for workload in [Workload::Tweet, Workload::PoiSyn] {
         let mut table = Table::new(
-            &format!("Figure 10 ({}): runtime vs number of objects (query size 10q)", workload.name()),
+            &format!(
+                "Figure 10 ({}): runtime vs number of objects (query size 10q)",
+                workload.name()
+            ),
             &["objects", "DS-Search", "Base (sweep line)"],
         );
         for base_n in [1_000usize, 4_000, 7_000, 10_000] {
@@ -125,10 +135,12 @@ fn fig10(scale: f64) {
             let aggregator = workload.aggregator(&dataset);
             let query = workload.query(&dataset, 10.0);
             let started = Instant::now();
-            DsSearch::new(&dataset, &aggregator).search(&query);
+            DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
             let ds_time = started.elapsed();
             let started = Instant::now();
-            SweepBase::new(&dataset, &aggregator).search(&query);
+            SweepBase::new(&dataset, &aggregator)
+                .search(&query)
+                .unwrap();
             let base_time = started.elapsed();
             table.row(vec![
                 n.to_string(),
@@ -148,16 +160,33 @@ fn fig11_table1(scale: f64) {
         let dataset = workload.dataset(n, 3);
         let aggregator = workload.aggregator(&dataset);
         let mut runtime_table = Table::new(
-            &format!("Figure 11 ({}): runtime vs grid-index granularity (n={n})", workload.name()),
-            &["query size", "DS-Search", "64-GI-DS", "128-GI-DS", "256-GI-DS"],
+            &format!(
+                "Figure 11 ({}): runtime vs grid-index granularity (n={n})",
+                workload.name()
+            ),
+            &[
+                "query size",
+                "DS-Search",
+                "64-GI-DS",
+                "128-GI-DS",
+                "256-GI-DS",
+            ],
         );
         let mut ratio_table = Table::new(
-            &format!("Table 1 ({}): ratio of index cells searched and index size (n={n})", workload.name()),
+            &format!(
+                "Table 1 ({}): ratio of index cells searched and index size (n={n})",
+                workload.name()
+            ),
             &["granularity", "q", "4q", "7q", "10q", "index size"],
         );
         let indexes: Vec<(usize, GridIndex)> = [64usize, 128, 256]
             .iter()
-            .map(|&g| (g, GridIndex::build(&dataset, &aggregator, g, g).expect("non-empty")))
+            .map(|&g| {
+                (
+                    g,
+                    GridIndex::build(&dataset, &aggregator, g, g).expect("non-empty"),
+                )
+            })
             .collect();
         let mut ratios: Vec<Vec<String>> = indexes
             .iter()
@@ -175,11 +204,16 @@ fn fig11_table1(scale: f64) {
         for (ki, k) in [1.0, 4.0, 7.0, 10.0].iter().enumerate() {
             let query = workload.query(&dataset, *k);
             let started = Instant::now();
-            DsSearch::new(&dataset, &aggregator).search(&query);
-            let mut row = vec![format!("{}q", *k as u64), format_duration(started.elapsed())];
+            DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
+            let mut row = vec![
+                format!("{}q", *k as u64),
+                format_duration(started.elapsed()),
+            ];
             for (ii, (_, index)) in indexes.iter().enumerate() {
                 let started = Instant::now();
-                let result = GiDsSearch::new(&dataset, &aggregator, index).search(&query);
+                let result = GiDsSearch::new(&dataset, &aggregator, index)
+                    .search(&query)
+                    .unwrap();
                 row.push(format_duration(started.elapsed()));
                 let ratio = result.stats.index_search_ratio().unwrap_or(0.0);
                 ratios[ii][ki + 1] = format!("{:.1}%", ratio * 100.0);
@@ -203,11 +237,26 @@ fn fig12_table2(scale: f64) {
                 "Figure 12 ({}): runtime of the approximate solution vs delta",
                 workload.name()
             ),
-            &["objects", "delta=0.1", "delta=0.2", "delta=0.3", "delta=0.4"],
+            &[
+                "objects",
+                "delta=0.1",
+                "delta=0.2",
+                "delta=0.3",
+                "delta=0.4",
+            ],
         );
         let mut quality_table = Table::new(
-            &format!("Table 2 ({}): approximation quality d_app / d_opt", workload.name()),
-            &["objects", "delta=0.1", "delta=0.2", "delta=0.3", "delta=0.4"],
+            &format!(
+                "Table 2 ({}): approximation quality d_app / d_opt",
+                workload.name()
+            ),
+            &[
+                "objects",
+                "delta=0.1",
+                "delta=0.2",
+                "delta=0.3",
+                "delta=0.4",
+            ],
         );
         for base_n in [50_000usize, 100_000, 150_000] {
             let n = scaled(base_n, scale);
@@ -216,12 +265,12 @@ fn fig12_table2(scale: f64) {
             let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty");
             let solver = GiDsSearch::new(&dataset, &aggregator, &index);
             let query = workload.query(&dataset, 10.0);
-            let exact = solver.search(&query);
+            let exact = solver.search(&query).unwrap();
             let mut runtime_row = vec![n.to_string()];
             let mut quality_row = vec![n.to_string()];
             for delta in [0.1, 0.2, 0.3, 0.4] {
                 let started = Instant::now();
-                let approx = solver.search_approx(&query, delta);
+                let approx = solver.search_approx(&query, delta).unwrap();
                 runtime_row.push(format_duration(started.elapsed()));
                 let quality = if exact.distance > 0.0 {
                     approx.distance / exact.distance
@@ -250,10 +299,10 @@ fn fig13(scale: f64) {
     for k in [1.0, 10.0, 20.0, 30.0] {
         let size = unit.scaled(k);
         let started = Instant::now();
-        let ds = MaxRsSearch::new(&dataset, size).search();
+        let ds = MaxRsSearch::new(&dataset, size).search().unwrap();
         let ds_time = started.elapsed();
         let started = Instant::now();
-        let oe = OptimalEnclosure::new(&dataset, size).search();
+        let oe = OptimalEnclosure::new(&dataset, size).search().unwrap();
         let oe_time = started.elapsed();
         assert_eq!(ds.count, oe.count, "both MaxRS solvers must agree");
         size_table.row(vec![
@@ -273,10 +322,10 @@ fn fig13(scale: f64) {
         let dataset = asrs_bench::tweet_dataset(n, 29);
         let size = unit_query_size(&dataset).scaled(10.0);
         let started = Instant::now();
-        let ds = MaxRsSearch::new(&dataset, size).search();
+        let ds = MaxRsSearch::new(&dataset, size).search().unwrap();
         let ds_time = started.elapsed();
         let started = Instant::now();
-        let oe = OptimalEnclosure::new(&dataset, size).search();
+        let oe = OptimalEnclosure::new(&dataset, size).search().unwrap();
         let oe_time = started.elapsed();
         assert_eq!(ds.count, oe.count);
         scale_table.row(vec![

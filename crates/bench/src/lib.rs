@@ -16,6 +16,6 @@ pub mod workloads;
 
 pub use report::{format_duration, Table};
 pub use workloads::{
-    f1_aggregator, f1_query, f2_aggregator, f2_query, poisyn_dataset, tweet_dataset, unit_query_size,
-    Workload,
+    f1_aggregator, f1_query, f2_aggregator, f2_query, poisyn_dataset, tweet_dataset,
+    unit_query_size, Workload,
 };

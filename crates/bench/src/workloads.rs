@@ -145,7 +145,7 @@ mod tests {
             let query = workload.query(&ds, 10.0);
             assert!(query.validate(&agg).is_ok(), "{}", workload.name());
             // The query must be solvable end to end.
-            let result = DsSearch::new(&ds, &agg).search(&query);
+            let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
             assert!(result.distance.is_finite());
         }
     }

@@ -74,7 +74,10 @@ impl AspInstance {
                     ys.push(r.rect.min_y);
                     ys.push(r.rect.max_y);
                 }
-                let floor = Accuracy::new(accuracy_floor.max(f64::MIN_POSITIVE), accuracy_floor.max(f64::MIN_POSITIVE));
+                let floor = Accuracy::new(
+                    accuracy_floor.max(f64::MIN_POSITIVE),
+                    accuracy_floor.max(f64::MIN_POSITIVE),
+                );
                 Accuracy::from_edge_coordinates(&xs, &ys, floor)
             }
         };

@@ -1,0 +1,181 @@
+//! The intermediate-result container shared by every search backend.
+//!
+//! DS-Search's pseudo-code tracks a single best-so-far candidate `d_opt`.
+//! [`BestSet`] generalises that to the *k* best candidates with pairwise
+//! distinct anchors, which is what `search_top_k` needs: with capacity 1 it
+//! behaves exactly like the scalar tracker (its [`BestSet::cutoff`] is the
+//! current best distance), with capacity k the cutoff is the k-th best
+//! distance, which keeps every pruning rule of the paper sound — a
+//! sub-space or index cell may be dropped only when it cannot contribute
+//! any of the k best anchors.
+
+use crate::result::SearchResult;
+use crate::stats::SearchStats;
+use asrs_aggregator::FeatureVector;
+use asrs_geo::{Point, Rect, RegionSize};
+
+/// One retained candidate: an ASP answer point with its distance and
+/// aggregate representation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BestEntry {
+    pub distance: f64,
+    pub anchor: Point,
+    pub representation: FeatureVector,
+}
+
+/// The `k` best candidates seen so far, ordered by ascending distance,
+/// with pairwise distinct anchor points.
+#[derive(Debug, Clone)]
+pub(crate) struct BestSet {
+    capacity: usize,
+    entries: Vec<BestEntry>,
+}
+
+impl BestSet {
+    pub fn new(capacity: usize) -> Self {
+        debug_assert!(capacity >= 1);
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The pruning threshold: no candidate with a distance at or above the
+    /// cutoff can improve the set.
+    #[inline]
+    pub fn cutoff(&self) -> f64 {
+        if self.entries.len() < self.capacity {
+            f64::INFINITY
+        } else {
+            self.entries
+                .last()
+                .map(|e| e.distance)
+                .unwrap_or(f64::INFINITY)
+        }
+    }
+
+    /// Offers a candidate; it is inserted when it beats the cutoff (or when
+    /// it improves an existing entry with the same anchor).
+    pub fn offer(&mut self, distance: f64, anchor: Point, representation: FeatureVector) {
+        if let Some(existing) = self.entries.iter().position(|e| e.anchor == anchor) {
+            if distance < self.entries[existing].distance {
+                self.entries.remove(existing);
+            } else {
+                return;
+            }
+        } else if distance >= self.cutoff() {
+            return;
+        }
+        let at = self.entries.partition_point(|e| e.distance <= distance);
+        self.entries.insert(
+            at,
+            BestEntry {
+                distance,
+                anchor,
+                representation,
+            },
+        );
+        self.entries.truncate(self.capacity);
+    }
+
+    /// The single best entry.  Panics when the set is empty; every search
+    /// seeds the set with the empty-region candidate before offering more.
+    #[cfg(test)]
+    pub fn best(&self) -> &BestEntry {
+        &self.entries[0]
+    }
+
+    /// All retained entries, best first.
+    pub fn into_entries(self) -> Vec<BestEntry> {
+        self.entries
+    }
+}
+
+/// Converts a finished [`BestSet`] into search results, best first.  The
+/// search statistics describe the whole run, so each result carries a copy.
+pub(crate) fn best_to_results(
+    best: BestSet,
+    size: RegionSize,
+    stats: SearchStats,
+) -> Vec<SearchResult> {
+    best.into_entries()
+        .into_iter()
+        .map(|e| {
+            SearchResult::new(
+                e.anchor,
+                Rect::from_bottom_left(e.anchor, size),
+                e.distance,
+                e.representation,
+                stats.clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer(set: &mut BestSet, d: f64, x: f64) {
+        set.offer(d, Point::new(x, 0.0), FeatureVector::new(vec![d]));
+    }
+
+    #[test]
+    fn capacity_one_behaves_like_a_scalar_tracker() {
+        let mut set = BestSet::new(1);
+        assert_eq!(set.cutoff(), f64::INFINITY);
+        offer(&mut set, 5.0, 1.0);
+        assert_eq!(set.cutoff(), 5.0);
+        offer(&mut set, 7.0, 2.0); // worse: rejected
+        assert_eq!(set.best().distance, 5.0);
+        offer(&mut set, 2.0, 3.0);
+        assert_eq!(set.best().distance, 2.0);
+        assert_eq!(set.cutoff(), 2.0);
+    }
+
+    #[test]
+    fn keeps_the_k_best_in_order() {
+        let mut set = BestSet::new(3);
+        for (d, x) in [(4.0, 1.0), (1.0, 2.0), (3.0, 3.0), (2.0, 4.0), (5.0, 5.0)] {
+            offer(&mut set, d, x);
+        }
+        let distances: Vec<f64> = set.into_entries().iter().map(|e| e.distance).collect();
+        assert_eq!(distances, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cutoff_is_the_kth_distance_once_full() {
+        let mut set = BestSet::new(2);
+        assert_eq!(set.cutoff(), f64::INFINITY);
+        offer(&mut set, 4.0, 1.0);
+        assert_eq!(set.cutoff(), f64::INFINITY);
+        offer(&mut set, 6.0, 2.0);
+        assert_eq!(set.cutoff(), 6.0);
+        offer(&mut set, 1.0, 3.0);
+        assert_eq!(set.cutoff(), 4.0);
+    }
+
+    #[test]
+    fn duplicate_anchors_keep_the_better_distance() {
+        let mut set = BestSet::new(3);
+        offer(&mut set, 4.0, 1.0);
+        offer(&mut set, 2.0, 1.0); // same anchor, better: replaces
+        assert_eq!(set.into_entries().len(), 1);
+
+        let mut set = BestSet::new(3);
+        offer(&mut set, 2.0, 1.0);
+        offer(&mut set, 4.0, 1.0); // same anchor, worse: ignored
+        let entries = set.into_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].distance, 2.0);
+    }
+
+    #[test]
+    fn equal_distances_with_distinct_anchors_all_fit() {
+        let mut set = BestSet::new(3);
+        offer(&mut set, 1.0, 1.0);
+        offer(&mut set, 1.0, 2.0);
+        offer(&mut set, 1.0, 3.0);
+        assert_eq!(set.into_entries().len(), 3);
+    }
+}

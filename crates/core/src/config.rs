@@ -1,5 +1,6 @@
 //! Search configuration.
 
+use crate::error::ConfigError;
 use asrs_geo::Accuracy;
 use serde::{Deserialize, Serialize};
 
@@ -8,6 +9,12 @@ use serde::{Deserialize, Serialize};
 /// The defaults follow the paper's experimental setup: a 30 × 30
 /// discretisation grid (the best setting in Fig. 9) and exact search
 /// (`delta = 0`).
+///
+/// All builder methods are fallible and return [`ConfigError`] on invalid
+/// input instead of panicking; a fully-populated configuration (e.g. one
+/// deserialized from JSON) can be re-checked with
+/// [`SearchConfig::validate`], which the engine and every search backend
+/// call before running.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchConfig {
     /// Number of grid columns used by the `Discretize` procedure (`n_col`).
@@ -65,24 +72,90 @@ impl SearchConfig {
     }
 
     /// Sets the discretisation grid granularity (`n_col × n_row`).
-    pub fn with_grid(mut self, ncols: usize, nrows: usize) -> Self {
-        assert!(ncols >= 2 && nrows >= 2, "grid must be at least 2 x 2");
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::GridTooCoarse`] unless both sides are at least 2.
+    pub fn with_grid(mut self, ncols: usize, nrows: usize) -> Result<Self, ConfigError> {
+        if ncols < 2 || nrows < 2 {
+            return Err(ConfigError::GridTooCoarse { ncols, nrows });
+        }
         self.ncols = ncols;
         self.nrows = nrows;
-        self
+        Ok(self)
     }
 
     /// Sets an explicit GPS accuracy.
-    pub fn with_accuracy(mut self, accuracy: Accuracy) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidAccuracy`] unless both components are finite
+    /// and positive.
+    pub fn with_accuracy(mut self, accuracy: Accuracy) -> Result<Self, ConfigError> {
+        if !(accuracy.dx.is_finite()
+            && accuracy.dx > 0.0
+            && accuracy.dy.is_finite()
+            && accuracy.dy > 0.0)
+        {
+            return Err(ConfigError::InvalidAccuracy {
+                dx: accuracy.dx,
+                dy: accuracy.dy,
+            });
+        }
         self.accuracy = Some(accuracy);
-        self
+        Ok(self)
     }
 
     /// Sets the approximation parameter δ (0 = exact).
-    pub fn with_delta(mut self, delta: f64) -> Self {
-        assert!(delta >= 0.0 && delta.is_finite(), "delta must be non-negative");
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidDelta`] unless δ is finite and non-negative.
+    pub fn with_delta(mut self, delta: f64) -> Result<Self, ConfigError> {
+        if !(delta.is_finite() && delta >= 0.0) {
+            return Err(ConfigError::InvalidDelta { delta });
+        }
         self.delta = delta;
-        self
+        Ok(self)
+    }
+
+    /// Checks every field, including ones set directly or deserialized.
+    ///
+    /// Search backends call this once per query, so a hand-mutated invalid
+    /// configuration surfaces as an [`ConfigError`] instead of a panic or
+    /// an endless recursion.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ncols < 2 || self.nrows < 2 {
+            return Err(ConfigError::GridTooCoarse {
+                ncols: self.ncols,
+                nrows: self.nrows,
+            });
+        }
+        if !(self.delta.is_finite() && self.delta >= 0.0) {
+            return Err(ConfigError::InvalidDelta { delta: self.delta });
+        }
+        if let Some(acc) = self.accuracy {
+            if !(acc.dx.is_finite() && acc.dx > 0.0 && acc.dy.is_finite() && acc.dy > 0.0) {
+                return Err(ConfigError::InvalidAccuracy {
+                    dx: acc.dx,
+                    dy: acc.dy,
+                });
+            }
+        }
+        if !(self.accuracy_floor.is_finite() && self.accuracy_floor >= 0.0) {
+            return Err(ConfigError::InvalidAccuracyFloor {
+                floor: self.accuracy_floor,
+            });
+        }
+        if self.max_depth == 0 {
+            return Err(ConfigError::InvalidLimit { field: "max_depth" });
+        }
+        if self.max_spaces == 0 {
+            return Err(ConfigError::InvalidLimit {
+                field: "max_spaces",
+            });
+        }
+        Ok(())
     }
 
     /// The pruning factor `1 + δ`.
@@ -103,29 +176,139 @@ mod tests {
         assert_eq!(c.delta, 0.0);
         assert_eq!(c.prune_factor(), 1.0);
         assert!(c.accuracy.is_none());
+        assert!(c.validate().is_ok());
     }
 
     #[test]
     fn builder_methods() {
         let c = SearchConfig::new()
             .with_grid(10, 20)
-            .with_delta(0.3)
-            .with_accuracy(Accuracy::new(0.5, 0.25));
+            .and_then(|c| c.with_delta(0.3))
+            .and_then(|c| c.with_accuracy(Accuracy::new(0.5, 0.25)))
+            .unwrap();
         assert_eq!(c.ncols, 10);
         assert_eq!(c.nrows, 20);
         assert_eq!(c.prune_factor(), 1.3);
         assert_eq!(c.accuracy, Some(Accuracy::new(0.5, 0.25)));
+        assert!(c.validate().is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 x 2")]
     fn grid_must_be_nontrivial() {
-        SearchConfig::new().with_grid(1, 10);
+        assert_eq!(
+            SearchConfig::new().with_grid(1, 10),
+            Err(ConfigError::GridTooCoarse {
+                ncols: 1,
+                nrows: 10
+            })
+        );
+        assert_eq!(
+            SearchConfig::new().with_grid(5, 0),
+            Err(ConfigError::GridTooCoarse { ncols: 5, nrows: 0 })
+        );
+        assert!(SearchConfig::new().with_grid(2, 2).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn delta_must_be_non_negative() {
-        SearchConfig::new().with_delta(-0.1);
+    fn delta_must_be_finite_and_non_negative() {
+        assert_eq!(
+            SearchConfig::new().with_delta(-0.1),
+            Err(ConfigError::InvalidDelta { delta: -0.1 })
+        );
+        assert!(SearchConfig::new().with_delta(f64::NAN).is_err());
+        assert!(SearchConfig::new().with_delta(f64::INFINITY).is_err());
+        assert!(SearchConfig::new().with_delta(0.0).is_ok());
+    }
+
+    #[test]
+    fn accuracy_must_be_positive() {
+        assert!(matches!(
+            SearchConfig::new().with_accuracy(Accuracy::new(0.0, 1.0)),
+            Err(ConfigError::InvalidAccuracy { .. })
+        ));
+        assert!(SearchConfig::new()
+            .with_accuracy(Accuracy::new(1e-9, 1e-9))
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_catches_directly_mutated_fields() {
+        let c = SearchConfig {
+            ncols: 1,
+            ..SearchConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::GridTooCoarse { .. })
+        ));
+
+        let c = SearchConfig {
+            delta: f64::NAN,
+            ..SearchConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidDelta { .. })
+        ));
+
+        let c = SearchConfig {
+            accuracy_floor: -1.0,
+            ..SearchConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidAccuracyFloor { .. })
+        ));
+
+        let c = SearchConfig {
+            max_depth: 0,
+            ..SearchConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InvalidLimit { field: "max_depth" })
+        );
+
+        let c = SearchConfig {
+            max_spaces: 0,
+            ..SearchConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InvalidLimit {
+                field: "max_spaces"
+            })
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_every_field() {
+        let config = SearchConfig::new()
+            .with_grid(12, 18)
+            .and_then(|c| c.with_delta(0.25))
+            .and_then(|c| c.with_accuracy(Accuracy::new(1e-8, 2e-8)))
+            .unwrap();
+        let json = serde::json::to_string(&config);
+        let back: SearchConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_validation_meaningful() {
+        // A config that was serialized from a hand-mutated invalid state
+        // still deserializes (the wire format is schema-checked only) but
+        // fails validation, so no search will run with it.
+        let config = SearchConfig {
+            delta: -2.0,
+            ..SearchConfig::default()
+        };
+        let json = serde::json::to_string(&config);
+        let back: SearchConfig = serde::json::from_str(&json).unwrap();
+        assert_eq!(back.delta, -2.0);
+        assert!(matches!(
+            back.validate(),
+            Err(ConfigError::InvalidDelta { .. })
+        ));
     }
 }

@@ -17,10 +17,11 @@
 //! (Lemma 6).
 
 use crate::asp::AspInstance;
+use crate::best::BestSet;
 use crate::query::AsrsQuery;
-use asrs_aggregator::{CompositeAggregator, FeatureVector};
+use asrs_aggregator::CompositeAggregator;
 use asrs_data::Dataset;
-use asrs_geo::{GridSpec, Point, Rect};
+use asrs_geo::{GridSpec, Rect};
 
 /// A dirty cell retained for further splitting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,23 +36,12 @@ pub(crate) struct DirtyCell {
     pub partials: u32,
 }
 
-/// The best candidate point found among the clean cells of one
-/// discretisation.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct BestCandidate {
-    pub point: Point,
-    pub distance: f64,
-    pub representation: FeatureVector,
-}
-
-/// Outcome of one `Discretize` invocation.
+/// Outcome of one `Discretize` invocation.  Clean-cell candidates are
+/// offered directly to the caller's [`BestSet`] rather than returned.
 #[derive(Debug, Clone)]
 pub(crate) struct DiscretizeOutcome {
     /// The grid that was laid over the space.
     pub grid: GridSpec,
-    /// Best clean-cell candidate found in this space (if any improves on
-    /// the caller's current best).
-    pub best: Option<BestCandidate>,
     /// Dirty cells whose lower bound is below the pruning threshold.
     pub retained_dirty: Vec<DirtyCell>,
     /// Number of clean cells.
@@ -93,6 +83,7 @@ impl DiffArrays {
     }
 
     /// Adds `contrib` over the half-open cell range to a stats array.
+    #[allow(clippy::too_many_arguments)]
     fn add_range_stats(
         arr: &mut [f64],
         dims: usize,
@@ -181,8 +172,10 @@ impl DiffArrays {
 /// Runs Function `Discretize` over `space`.
 ///
 /// `candidates` are the indices of the ASP rectangles that overlap `space`;
-/// `current_best` is the caller's current minimum distance `d_opt`, and
-/// `prune_factor` is `1 + δ` (1 for the exact algorithm).
+/// `best` is the caller's intermediate result (its cutoff generalises the
+/// paper's `d_opt` to the k-best setting), and `prune_factor` is `1 + δ`
+/// (1 for the exact algorithm).  Clean cells that improve on the cutoff
+/// are offered to `best` in place.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn discretize(
     space: &Rect,
@@ -193,7 +186,7 @@ pub(crate) fn discretize(
     dataset: &Dataset,
     aggregator: &CompositeAggregator,
     query: &AsrsQuery,
-    current_best: f64,
+    best: &mut BestSet,
     prune_factor: f64,
 ) -> DiscretizeOutcome {
     let grid = GridSpec::new(*space, ncols, nrows);
@@ -250,8 +243,6 @@ pub(crate) fn discretize(
 
     arrays.materialize();
 
-    let mut best: Option<BestCandidate> = None;
-    let mut best_distance = current_best;
     let mut clean_cells = 0u64;
     let mut dirty_cells = 0u64;
     let mut pruned_dirty = 0u64;
@@ -271,13 +262,8 @@ pub(crate) fn discretize(
                     &query.weights,
                     query.metric,
                 );
-                if distance < best_distance {
-                    best_distance = distance;
-                    best = Some(BestCandidate {
-                        point: grid.cell_rect(col, row).center(),
-                        distance,
-                        representation,
-                    });
+                if distance < best.cutoff() {
+                    best.offer(distance, grid.cell_rect(col, row).center(), representation);
                 }
             } else {
                 dirty_cells += 1;
@@ -300,9 +286,9 @@ pub(crate) fn discretize(
         }
     }
 
-    // Second pass: prune dirty cells against the (possibly improved) best
-    // distance, divided by (1 + δ) for the approximate variant.
-    let threshold = best_distance / prune_factor;
+    // Second pass: prune dirty cells against the (possibly improved)
+    // cutoff, divided by (1 + δ) for the approximate variant.
+    let threshold = best.cutoff() / prune_factor;
     let mut retained_dirty = Vec::with_capacity(provisional_dirty.len());
     for cell in provisional_dirty {
         if cell.lb < threshold {
@@ -314,7 +300,6 @@ pub(crate) fn discretize(
 
     DiscretizeOutcome {
         grid,
-        best,
         retained_dirty,
         clean_cells,
         dirty_cells,
@@ -328,7 +313,7 @@ mod tests {
     use crate::query::AsrsQuery;
     use asrs_aggregator::{CompositeAggregator, FeatureVector, Selection, Weights};
     use asrs_data::{AttrValue, AttributeDef, AttributeKind, Dataset, DatasetBuilder, Schema};
-    use asrs_geo::RegionSize;
+    use asrs_geo::{Point, RegionSize};
 
     /// Mirrors the reduction example of Fig. 2: six objects coloured red or
     /// blue; the query representation is (#red, #blue) = (1, 1).
@@ -366,6 +351,7 @@ mod tests {
     fn clean_and_dirty_cells_partition_the_grid() {
         let (ds, agg, query, asp) = setup();
         let space = asp.space().unwrap();
+        let mut best = BestSet::new(1);
         let out = discretize(
             &space,
             10,
@@ -375,7 +361,7 @@ mod tests {
             &ds,
             &agg,
             &query,
-            f64::INFINITY,
+            &mut best,
             1.0,
         );
         assert_eq!(out.clean_cells + out.dirty_cells, 100);
@@ -391,7 +377,8 @@ mod tests {
     fn clean_cell_distances_match_direct_evaluation() {
         let (ds, agg, query, asp) = setup();
         let space = asp.space().unwrap();
-        let out = discretize(
+        let mut best = BestSet::new(1);
+        discretize(
             &space,
             8,
             8,
@@ -400,17 +387,21 @@ mod tests {
             &ds,
             &agg,
             &query,
-            f64::INFINITY,
+            &mut best,
             1.0,
         );
         // The best candidate's representation must equal the representation
         // computed directly from the objects inside the anchored region.
-        let best = out.best.expect("some clean cell improves on +inf");
-        let region = Rect::from_bottom_left(best.point, query.size);
+        assert!(
+            best.cutoff().is_finite(),
+            "some clean cell improves on +inf"
+        );
+        let entry = best.best().clone();
+        let region = Rect::from_bottom_left(entry.anchor, query.size);
         let direct = agg.aggregate_region(&ds, &region);
-        assert_eq!(best.representation, direct);
+        assert_eq!(entry.representation, direct);
         let d = agg.distance(&direct, &query.target, &query.weights, query.metric);
-        assert!((d - best.distance).abs() < 1e-9);
+        assert!((d - entry.distance).abs() < 1e-9);
     }
 
     #[test]
@@ -419,6 +410,7 @@ mod tests {
         // true distance of any probe point inside the cell.
         let (ds, agg, query, asp) = setup();
         let space = asp.space().unwrap();
+        let mut best = BestSet::new(1);
         let out = discretize(
             &space,
             10,
@@ -428,7 +420,7 @@ mod tests {
             &ds,
             &agg,
             &query,
-            f64::INFINITY,
+            &mut best,
             1.0,
         );
         let candidates = asp.all_rect_indices();
@@ -460,6 +452,12 @@ mod tests {
         let space = asp.space().unwrap();
         // With an already-perfect best distance of 0, every dirty cell whose
         // lower bound is 0 is retained and everything else pruned.
+        let mut best = BestSet::new(1);
+        best.offer(
+            0.0,
+            Point::new(-100.0, -100.0),
+            FeatureVector::new(vec![1.0, 1.0]),
+        );
         let out = discretize(
             &space,
             10,
@@ -469,12 +467,16 @@ mod tests {
             &ds,
             &agg,
             &query,
-            0.0,
+            &mut best,
             1.0,
         );
         assert!(out.retained_dirty.is_empty());
         assert_eq!(out.pruned_dirty, out.dirty_cells);
-        assert!(out.best.is_none(), "nothing can improve on a best of 0");
+        assert_eq!(
+            best.best().anchor,
+            Point::new(-100.0, -100.0),
+            "nothing can improve on a best of 0"
+        );
     }
 
     #[test]
@@ -490,7 +492,7 @@ mod tests {
             &ds,
             &agg,
             &query,
-            f64::INFINITY,
+            &mut BestSet::new(1),
             1.0,
         );
         let approx = discretize(
@@ -502,7 +504,7 @@ mod tests {
             &ds,
             &agg,
             &query,
-            f64::INFINITY,
+            &mut BestSet::new(1),
             1.4,
         );
         assert!(approx.retained_dirty.len() <= exact.retained_dirty.len());
@@ -512,13 +514,11 @@ mod tests {
     fn empty_candidate_set_yields_all_clean_cells() {
         let (ds, agg, query, asp) = setup();
         let space = asp.space().unwrap();
-        let out = discretize(
-            &space, 5, 5, &asp, &[], &ds, &agg, &query, f64::INFINITY, 1.0,
-        );
+        let mut best = BestSet::new(1);
+        let out = discretize(&space, 5, 5, &asp, &[], &ds, &agg, &query, &mut best, 1.0);
         assert_eq!(out.clean_cells, 25);
         assert_eq!(out.dirty_cells, 0);
         // All cells are empty ⇒ representation (0, 0) ⇒ distance 2.
-        let best = out.best.unwrap();
-        assert!((best.distance - 2.0).abs() < 1e-9);
+        assert!((best.best().distance - 2.0).abs() < 1e-9);
     }
 }

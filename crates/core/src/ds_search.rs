@@ -1,14 +1,16 @@
 //! The DS-Search algorithm (Algorithm 1, Sections 4.2–4.6).
 
 use crate::asp::AspInstance;
+use crate::best::BestSet;
 use crate::config::SearchConfig;
 use crate::discretize::{discretize, DirtyCell};
 use crate::drop_condition::satisfies_drop_condition;
+use crate::error::AsrsError;
 use crate::query::AsrsQuery;
 use crate::result::SearchResult;
 use crate::split::split;
 use crate::stats::SearchStats;
-use asrs_aggregator::{CompositeAggregator, FeatureVector};
+use asrs_aggregator::CompositeAggregator;
 use asrs_data::Dataset;
 use asrs_geo::{GridSpec, Point, Rect};
 use std::cmp::Ordering;
@@ -37,19 +39,14 @@ use std::time::Instant;
 ///   disjoint region only intersects the dropped space in a sliver.
 /// * The heap is also cut off at `d_opt / (1 + δ)`, which specialises to
 ///   the paper's `d_opt` cutoff for the exact setting `δ = 0`.
+///
+/// Prefer driving searches through [`AsrsEngine`](crate::AsrsEngine); the
+/// solver remains public as the engine's DS-Search backend and for direct
+/// low-level use.
 pub struct DsSearch<'a> {
     dataset: &'a Dataset,
     aggregator: &'a CompositeAggregator,
     config: SearchConfig,
-}
-
-/// Mutable best-so-far state shared across spaces (and across grid-index
-/// cells in GI-DS).
-#[derive(Debug, Clone)]
-pub(crate) struct BestTracker {
-    pub distance: f64,
-    pub anchor: Point,
-    pub representation: FeatureVector,
 }
 
 struct HeapEntry {
@@ -77,10 +74,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse the comparison to pop the
         // smallest lower bound first.
-        other
-            .lb
-            .partial_cmp(&self.lb)
-            .unwrap_or(Ordering::Equal)
+        other.lb.partial_cmp(&self.lb).unwrap_or(Ordering::Equal)
     }
 }
 
@@ -121,14 +115,41 @@ impl<'a> DsSearch<'a> {
 
     /// Solves the ASRS problem for `query`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the query's target or weight dimensionality does not
-    /// match the aggregator (see [`AsrsQuery::validate`]).
-    pub fn search(&self, query: &AsrsQuery) -> SearchResult {
-        query
-            .validate(self.aggregator)
-            .expect("query must match the aggregator dimensions");
+    /// [`AsrsError::Query`] when the query does not match the aggregator
+    /// (see [`AsrsQuery::validate`]); [`AsrsError::Config`] when the
+    /// configuration is invalid.
+    pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        Ok(self
+            .run(query, 1)
+            .map(Vec::into_iter)?
+            .next()
+            .expect("the empty-region candidate guarantees one result"))
+    }
+
+    /// Returns the `k` best candidate regions with pairwise distinct
+    /// anchors, best first.  Fewer than `k` results are returned when the
+    /// instance has fewer distinct candidates.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidTopK`] when `k` is zero, plus the same errors as
+    /// [`DsSearch::search`].
+    pub fn search_top_k(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        if k == 0 {
+            return Err(AsrsError::InvalidTopK);
+        }
+        self.run(query, k)
+    }
+
+    fn run(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+        query.validate(self.aggregator)?;
+        self.config.validate()?;
         let started = Instant::now();
         let mut stats = SearchStats::new();
         let asp = AspInstance::build(
@@ -138,26 +159,26 @@ impl<'a> DsSearch<'a> {
             self.config.accuracy_floor,
         );
         stats.rectangles = asp.rects().len() as u64;
-        let mut best = self.empty_region_candidate(&asp, query);
+        let mut best = BestSet::new(k);
+        self.seed_empty_region(&asp, query, &mut best);
         if let Some(space) = asp.space() {
-            let candidates = asp.all_rect_indices();
+            let candidates = self.contributing(&asp, asp.all_rect_indices());
             self.search_space(&asp, query, space, candidates, &mut best, &mut stats);
         }
         stats.elapsed = started.elapsed();
-        SearchResult::new(
-            best.anchor,
-            Rect::from_bottom_left(best.anchor, query.size),
-            best.distance,
-            best.representation,
-            stats,
-        )
+        Ok(crate::best::best_to_results(best, query.size, stats))
     }
 
-    /// The candidate corresponding to an empty region placed outside every
-    /// rectangle.  It initialises the intermediate result so that the search
-    /// is correct even when the most similar region contains no object at
-    /// all (e.g. a query representation of all zeros).
-    pub(crate) fn empty_region_candidate(&self, asp: &AspInstance, query: &AsrsQuery) -> BestTracker {
+    /// Offers the candidate corresponding to an empty region placed outside
+    /// every rectangle.  It initialises the intermediate result so that the
+    /// search is correct even when the most similar region contains no
+    /// object at all (e.g. a query representation of all zeros).
+    pub(crate) fn seed_empty_region(
+        &self,
+        asp: &AspInstance,
+        query: &AsrsQuery,
+        best: &mut BestSet,
+    ) {
         let anchor = match asp.space() {
             Some(space) => Point::new(
                 space.max_x + query.size.width,
@@ -167,17 +188,24 @@ impl<'a> DsSearch<'a> {
         };
         let zero_stats = vec![0.0; self.aggregator.stats_dim()];
         let representation = self.aggregator.stats_to_features(&zero_stats);
-        let distance = self.aggregator.distance(
-            &representation,
-            &query.target,
-            &query.weights,
-            query.metric,
-        );
-        BestTracker {
-            distance,
-            anchor,
-            representation,
-        }
+        let distance =
+            self.aggregator
+                .distance(&representation, &query.target, &query.weights, query.metric);
+        best.offer(distance, anchor, representation);
+    }
+
+    /// Drops candidate rectangles whose object no selection of the
+    /// aggregator accepts: they cannot change any representation, and
+    /// carrying them through the discretize–split recursion makes the
+    /// class-constrained variants quadratically slower.
+    pub(crate) fn contributing(&self, asp: &AspInstance, candidates: Vec<u32>) -> Vec<u32> {
+        candidates
+            .into_iter()
+            .filter(|&i| {
+                let object_idx = asp.rects()[i as usize].object_idx as usize;
+                self.aggregator.contributes(self.dataset.object(object_idx))
+            })
+            .collect()
     }
 
     /// Runs the discretize–split loop of Algorithm 1 over `space`, updating
@@ -189,7 +217,7 @@ impl<'a> DsSearch<'a> {
         query: &AsrsQuery,
         space: Rect,
         candidates: Vec<u32>,
-        best: &mut BestTracker,
+        best: &mut BestSet,
         stats: &mut SearchStats,
     ) {
         let prune_factor = self.config.prune_factor();
@@ -203,7 +231,7 @@ impl<'a> DsSearch<'a> {
         stats.heap_pushes += 1;
 
         while let Some(entry) = heap.pop() {
-            if entry.lb >= best.distance / prune_factor {
+            if entry.lb >= best.cutoff() / prune_factor {
                 break;
             }
             stats.spaces_processed += 1;
@@ -216,20 +244,13 @@ impl<'a> DsSearch<'a> {
                 self.dataset,
                 self.aggregator,
                 query,
-                best.distance,
+                best,
                 prune_factor,
             );
             stats.cells_examined += outcome.clean_cells + outcome.dirty_cells;
             stats.clean_cells += outcome.clean_cells;
             stats.dirty_cells += outcome.dirty_cells;
             stats.dirty_cells_pruned += outcome.pruned_dirty;
-            if let Some(candidate) = outcome.best {
-                if candidate.distance < best.distance {
-                    best.distance = candidate.distance;
-                    best.anchor = candidate.point;
-                    best.representation = candidate.representation;
-                }
-            }
             if outcome.retained_dirty.is_empty() {
                 continue;
             }
@@ -247,8 +268,8 @@ impl<'a> DsSearch<'a> {
             if resolve_all {
                 stats.drops += 1;
             }
-            let mut to_split: Vec<crate::discretize::DirtyCell> = Vec::new();
-            let mut to_resolve: Vec<crate::discretize::DirtyCell> = Vec::new();
+            let mut to_split: Vec<DirtyCell> = Vec::new();
+            let mut to_resolve: Vec<DirtyCell> = Vec::new();
             for cell in outcome.retained_dirty {
                 if resolve_all || cell.partials <= self.config.resolve_crossing_threshold {
                     to_resolve.push(cell);
@@ -272,7 +293,7 @@ impl<'a> DsSearch<'a> {
             }
             stats.splits += 1;
             for part in split(&outcome.grid, &to_split) {
-                if part.lb >= best.distance / prune_factor {
+                if part.lb >= best.cutoff() / prune_factor {
                     continue;
                 }
                 let sub_candidates: Vec<u32> = entry
@@ -304,14 +325,14 @@ impl<'a> DsSearch<'a> {
         grid: &GridSpec,
         cells: &[DirtyCell],
         candidates: &[u32],
-        best: &mut BestTracker,
+        best: &mut BestSet,
         stats: &mut SearchStats,
     ) {
         let dims = self.aggregator.stats_dim();
         let mut base_stats = vec![0.0; dims];
         let mut probe_stats = vec![0.0; dims];
         for cell in cells {
-            if cell.lb >= best.distance / self.config.prune_factor() {
+            if cell.lb >= best.cutoff() / self.config.prune_factor() {
                 continue;
             }
             let rect = grid.cell_rect(cell.col, cell.row);
@@ -328,8 +349,10 @@ impl<'a> DsSearch<'a> {
                     continue;
                 }
                 if r.rect.contains_rect(&rect) {
-                    self.aggregator
-                        .accumulate_object(self.dataset.object(r.object_idx as usize), &mut base_stats);
+                    self.aggregator.accumulate_object(
+                        self.dataset.object(r.object_idx as usize),
+                        &mut base_stats,
+                    );
                 } else {
                     partial.push(idx);
                     for x in [r.rect.min_x, r.rect.max_x] {
@@ -369,10 +392,8 @@ impl<'a> DsSearch<'a> {
                         &query.weights,
                         query.metric,
                     );
-                    if distance < best.distance {
-                        best.distance = distance;
-                        best.anchor = probe;
-                        best.representation = representation;
+                    if distance < best.cutoff() {
+                        best.offer(distance, probe, representation);
                     }
                 }
             }
@@ -383,7 +404,7 @@ impl<'a> DsSearch<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asrs_aggregator::{CompositeAggregator, Selection, Weights};
+    use asrs_aggregator::{CompositeAggregator, FeatureVector, Selection, Weights};
     use asrs_data::gen::UniformGenerator;
     use asrs_data::{AttrValue, AttributeDef, AttributeKind, DatasetBuilder, Schema};
     use asrs_geo::RegionSize;
@@ -417,7 +438,7 @@ mod tests {
             FeatureVector::new(vec![1.0, 1.0]),
             Weights::uniform(2),
         );
-        let result = DsSearch::new(&ds, &agg).search(&query);
+        let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
         assert!(result.distance.abs() < 1e-9, "distance {}", result.distance);
         assert_eq!(result.representation.as_slice(), &[1.0, 1.0]);
         // The returned region really contains one red and one blue object.
@@ -438,9 +459,12 @@ mod tests {
             FeatureVector::new(vec![0.0, 0.0]),
             Weights::uniform(2),
         );
-        let result = DsSearch::new(&ds, &agg).search(&query);
+        let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
         assert_eq!(result.distance, 0.0);
-        assert_eq!(agg.aggregate_region(&ds, &result.region).as_slice(), &[0.0, 0.0]);
+        assert_eq!(
+            agg.aggregate_region(&ds, &result.region).as_slice(),
+            &[0.0, 0.0]
+        );
     }
 
     #[test]
@@ -455,7 +479,7 @@ mod tests {
             FeatureVector::new(vec![3.0]),
             Weights::uniform(1),
         );
-        let result = DsSearch::new(&ds, &agg).search(&query);
+        let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
         assert_eq!(result.distance, 3.0);
         assert_eq!(result.stats.rectangles, 0);
     }
@@ -469,7 +493,7 @@ mod tests {
             .unwrap();
         let example = Rect::new(20.0, 30.0, 35.0, 45.0);
         let query = AsrsQuery::from_example_region(&ds, &agg, &example).unwrap();
-        let result = DsSearch::new(&ds, &agg).search(&query);
+        let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
         let rep = agg.aggregate_region(&ds, &result.region);
         let d = agg.distance(&rep, &query.target, &query.weights, query.metric);
         assert!(
@@ -495,12 +519,14 @@ mod tests {
             FeatureVector::new(vec![3.0, 1.0, 0.0, 2.0]),
             Weights::uniform(4),
         );
-        let coarse = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_grid(5, 5))
+        let coarse = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_grid(5, 5).unwrap())
             .search(&query)
+            .unwrap()
             .distance;
-        let default = DsSearch::new(&ds, &agg).search(&query).distance;
-        let fine = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_grid(45, 45))
+        let default = DsSearch::new(&ds, &agg).search(&query).unwrap().distance;
+        let fine = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_grid(45, 45).unwrap())
             .search(&query)
+            .unwrap()
             .distance;
         assert!((coarse - default).abs() < 1e-9);
         assert!((fine - default).abs() < 1e-9);
@@ -518,10 +544,12 @@ mod tests {
             FeatureVector::new(vec![5.0, 5.0, 5.0, 5.0]),
             Weights::uniform(4),
         );
-        let exact = DsSearch::new(&ds, &agg).search(&query);
+        let exact = DsSearch::new(&ds, &agg).search(&query).unwrap();
         for delta in [0.1, 0.3, 0.5] {
             let approx =
-                DsSearch::with_config(&ds, &agg, SearchConfig::new().with_delta(delta)).search(&query);
+                DsSearch::with_config(&ds, &agg, SearchConfig::new().with_delta(delta).unwrap())
+                    .search(&query)
+                    .unwrap();
             assert!(
                 approx.distance <= (1.0 + delta) * exact.distance + 1e-9,
                 "delta={delta}: {} > (1+δ)·{}",
@@ -533,8 +561,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "query must match")]
-    fn dimension_mismatch_panics() {
+    fn dimension_mismatch_is_an_error() {
         let ds = fig2_dataset();
         let agg = CompositeAggregator::builder(ds.schema())
             .distribution("color", Selection::All)
@@ -545,7 +572,70 @@ mod tests {
             FeatureVector::new(vec![1.0]),
             Weights::uniform(1),
         );
-        DsSearch::new(&ds, &agg).search(&query);
+        let err = DsSearch::new(&ds, &agg).search(&query).unwrap_err();
+        assert!(matches!(
+            err,
+            AsrsError::Query(crate::QueryError::TargetDimensionMismatch {
+                got: 1,
+                expected: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let ds = fig2_dataset();
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("color", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(3.0, 3.0),
+            FeatureVector::new(vec![1.0, 1.0]),
+            Weights::uniform(2),
+        );
+        let config = SearchConfig {
+            ncols: 0,
+            ..SearchConfig::default()
+        };
+        let err = DsSearch::with_config(&ds, &agg, config)
+            .search(&query)
+            .unwrap_err();
+        assert!(matches!(err, AsrsError::Config(_)));
+    }
+
+    #[test]
+    fn top_k_distances_are_sorted_and_anchors_distinct() {
+        let ds = UniformGenerator::default().generate(250, 31);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(10.0, 10.0),
+            FeatureVector::new(vec![2.0, 2.0, 2.0, 2.0]),
+            Weights::uniform(4),
+        );
+        let solver = DsSearch::new(&ds, &agg);
+        let top = solver.search_top_k(&query, 5).unwrap();
+        assert!(!top.is_empty() && top.len() <= 5);
+        for pair in top.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance + 1e-12);
+            assert_ne!(pair[0].anchor, pair[1].anchor);
+        }
+        // The top-1 equals the plain search optimum.
+        let single = solver.search(&query).unwrap();
+        assert!((top[0].distance - single.distance).abs() < 1e-9);
+        // Every reported entry is internally consistent.
+        for r in &top {
+            let rep = agg.aggregate_region(&ds, &r.region);
+            let d = agg.distance(&rep, &query.target, &query.weights, query.metric);
+            assert!((d - r.distance).abs() < 1e-9);
+        }
+        assert!(matches!(
+            solver.search_top_k(&query, 0),
+            Err(AsrsError::InvalidTopK)
+        ));
     }
 
     #[test]
@@ -560,7 +650,7 @@ mod tests {
             FeatureVector::new(vec![2.0, 2.0, 2.0, 2.0]),
             Weights::uniform(4),
         );
-        let result = DsSearch::new(&ds, &agg).search(&query);
+        let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
         let s = &result.stats;
         assert_eq!(s.rectangles, 150);
         assert!(s.spaces_processed >= 1);

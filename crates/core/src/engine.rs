@@ -1,0 +1,700 @@
+//! The [`AsrsEngine`] facade: one entry point over every search backend.
+//!
+//! The per-algorithm solvers ([`DsSearch`], [`GiDsSearch`],
+//! [`NaiveSearch`]) remain available for low-level use, but the engine is
+//! the intended public surface:
+//!
+//! * an [`EngineBuilder`] owns the dataset and aggregator, optionally
+//!   builds or attaches a [`GridIndex`], and validates everything once,
+//! * a [`Strategy`] selects the backend — or [`Strategy::Auto`] picks
+//!   GI-DS when an index is attached and DS-Search otherwise,
+//! * the backends are interchangeable behind the object-safe
+//!   [`SearchAlgorithm`] trait, so external crates (e.g. the sweep-line
+//!   baseline in `asrs-baseline`) plug in via [`AsrsEngine::search_with`],
+//! * every query is validated once at the engine boundary and every
+//!   `search*` method returns `Result<_, AsrsError>` — nothing panics on
+//!   bad input,
+//! * the engine adds scenario breadth the per-algorithm structs cannot:
+//!   [`AsrsEngine::search_batch`] (thread-parallel over queries),
+//!   [`AsrsEngine::search_top_k`] (k best non-identical anchors) and MaxRS
+//!   routed through the same facade.
+//!
+//! ```
+//! use asrs_core::{AsrsEngine, AsrsQuery, Strategy};
+//! use asrs_aggregator::{CompositeAggregator, Selection};
+//! use asrs_data::gen::UniformGenerator;
+//! use asrs_geo::Rect;
+//!
+//! let dataset = UniformGenerator::default().generate(500, 42);
+//! let aggregator = CompositeAggregator::builder(dataset.schema())
+//!     .distribution("category", Selection::All)
+//!     .build()
+//!     .unwrap();
+//! let engine = AsrsEngine::builder(dataset, aggregator)
+//!     .build_index(32, 32)
+//!     .strategy(Strategy::Auto)
+//!     .build()
+//!     .unwrap();
+//!
+//! let example = Rect::new(10.0, 10.0, 25.0, 25.0);
+//! let query = engine.query_from_example(&example).unwrap();
+//! let result = engine.search(&query).unwrap();
+//! assert!(result.distance <= 1e-9);
+//! ```
+
+use crate::config::SearchConfig;
+use crate::ds_search::DsSearch;
+use crate::error::AsrsError;
+use crate::gi_ds::GiDsSearch;
+use crate::grid_index::GridIndex;
+use crate::maxrs::{MaxRsResult, MaxRsSearch};
+use crate::naive::NaiveSearch;
+use crate::query::AsrsQuery;
+use crate::result::SearchResult;
+use asrs_aggregator::{CompositeAggregator, Selection};
+use asrs_data::Dataset;
+use asrs_geo::{Rect, RegionSize};
+
+/// An interchangeable ASRS search backend.
+///
+/// The trait is object-safe: the engine dispatches through
+/// `Box<dyn SearchAlgorithm>` and accepts external implementations via
+/// [`AsrsEngine::search_with`].  Implementors may assume the query has
+/// been validated against the aggregator they were built with (the engine
+/// guarantees it); implementations provided by this workspace re-validate
+/// defensively, so direct use is safe too.
+pub trait SearchAlgorithm {
+    /// A short human-readable backend name (for logs and errors).
+    fn name(&self) -> &str;
+
+    /// Solves the ASRS problem for `query`.
+    fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError>;
+
+    /// Returns up to `k` best candidate regions with pairwise distinct
+    /// anchors, best first.
+    ///
+    /// The default implementation runs [`SearchAlgorithm::search`] and
+    /// returns a single result; backends with native top-k support
+    /// override it.
+    fn search_top_k(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+        if k == 0 {
+            return Err(AsrsError::InvalidTopK);
+        }
+        Ok(vec![self.search(query)?])
+    }
+}
+
+impl SearchAlgorithm for DsSearch<'_> {
+    fn name(&self) -> &str {
+        "ds-search"
+    }
+
+    fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        DsSearch::search(self, query)
+    }
+
+    fn search_top_k(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+        DsSearch::search_top_k(self, query, k)
+    }
+}
+
+impl SearchAlgorithm for GiDsSearch<'_> {
+    fn name(&self) -> &str {
+        "gi-ds"
+    }
+
+    fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        GiDsSearch::search(self, query)
+    }
+
+    fn search_top_k(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+        GiDsSearch::search_top_k(self, query, k)
+    }
+}
+
+impl SearchAlgorithm for NaiveSearch<'_> {
+    fn name(&self) -> &str {
+        "naive"
+    }
+
+    fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        NaiveSearch::search(self, query)
+    }
+
+    fn search_top_k(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+        NaiveSearch::search_top_k(self, query, k)
+    }
+}
+
+/// Backend selection policy of an [`AsrsEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// GI-DS when a grid index is attached, DS-Search otherwise.
+    #[default]
+    Auto,
+    /// The exact discretize–split algorithm (no index needed).
+    DsSearch,
+    /// The grid-index-accelerated algorithm; requires an index.
+    GiDs,
+    /// The exhaustive arrangement oracle — exact but `O(n²)` probes, for
+    /// validation and small instances.
+    Naive,
+}
+
+impl Strategy {
+    /// Resolves [`Strategy::Auto`] to the concrete backend it dispatches
+    /// to; explicit strategies resolve to themselves.  This is the single
+    /// decision point shared by dispatch and reporting.
+    fn resolve(self, has_index: bool) -> Strategy {
+        match self {
+            Strategy::Auto if has_index => Strategy::GiDs,
+            Strategy::Auto => Strategy::DsSearch,
+            explicit => explicit,
+        }
+    }
+
+    /// The name of the backend this strategy resolves to.
+    fn resolved_name(self, has_index: bool) -> &'static str {
+        match self.resolve(has_index) {
+            Strategy::DsSearch => "ds-search",
+            Strategy::GiDs => "gi-ds",
+            Strategy::Naive => "naive",
+            Strategy::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+}
+
+/// How the builder should obtain a grid index.
+#[derive(Debug)]
+enum IndexSpec {
+    None,
+    Build { cols: usize, rows: usize },
+    Attach(GridIndex),
+}
+
+/// Builder for [`AsrsEngine`].  All validation happens in
+/// [`EngineBuilder::build`]; none of the setters can panic.
+#[derive(Debug)]
+pub struct EngineBuilder {
+    dataset: Dataset,
+    aggregator: CompositeAggregator,
+    config: SearchConfig,
+    strategy: Strategy,
+    index: IndexSpec,
+}
+
+impl EngineBuilder {
+    fn new(dataset: Dataset, aggregator: CompositeAggregator) -> Self {
+        Self {
+            dataset,
+            aggregator,
+            config: SearchConfig::default(),
+            strategy: Strategy::Auto,
+            index: IndexSpec::None,
+        }
+    }
+
+    /// Replaces the search configuration (validated in
+    /// [`EngineBuilder::build`]).
+    pub fn config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the backend strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builds a `cols × rows` grid index over the dataset during
+    /// [`EngineBuilder::build`].
+    pub fn build_index(mut self, cols: usize, rows: usize) -> Self {
+        self.index = IndexSpec::Build { cols, rows };
+        self
+    }
+
+    /// Attaches a pre-built grid index.  Its statistics layout must match
+    /// the engine's aggregator (checked in [`EngineBuilder::build`]).
+    pub fn index(mut self, index: GridIndex) -> Self {
+        self.index = IndexSpec::Attach(index);
+        self
+    }
+
+    /// Validates the configuration, builds or checks the index, and
+    /// assembles the engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`AsrsError::Config`] for an invalid [`SearchConfig`] or index
+    ///   granularity,
+    /// * [`AsrsError::EmptyDataset`] when an index was requested for an
+    ///   empty dataset,
+    /// * [`AsrsError::IndexMismatch`] when an attached index was built for
+    ///   an aggregator with a different statistics layout,
+    /// * [`AsrsError::IndexRequired`] when [`Strategy::GiDs`] was selected
+    ///   without an index.
+    pub fn build(self) -> Result<AsrsEngine, AsrsError> {
+        self.config.validate()?;
+        let index = match self.index {
+            IndexSpec::None => None,
+            IndexSpec::Build { cols, rows } => Some(GridIndex::build(
+                &self.dataset,
+                &self.aggregator,
+                cols,
+                rows,
+            )?),
+            IndexSpec::Attach(index) => {
+                if index.stats_dim() != self.aggregator.stats_dim() {
+                    return Err(AsrsError::IndexMismatch {
+                        index_dims: index.stats_dim(),
+                        aggregator_dims: self.aggregator.stats_dim(),
+                    });
+                }
+                Some(index)
+            }
+        };
+        if self.strategy == Strategy::GiDs && index.is_none() {
+            return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
+        }
+        Ok(AsrsEngine {
+            dataset: self.dataset,
+            aggregator: self.aggregator,
+            config: self.config,
+            strategy: self.strategy,
+            index,
+        })
+    }
+}
+
+/// The unified ASRS query engine (see the [module documentation](self)).
+#[derive(Debug)]
+pub struct AsrsEngine {
+    dataset: Dataset,
+    aggregator: CompositeAggregator,
+    config: SearchConfig,
+    strategy: Strategy,
+    index: Option<GridIndex>,
+}
+
+impl AsrsEngine {
+    /// Starts building an engine over `dataset` with `aggregator`.
+    pub fn builder(dataset: Dataset, aggregator: CompositeAggregator) -> EngineBuilder {
+        EngineBuilder::new(dataset, aggregator)
+    }
+
+    /// The dataset the engine owns.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The composite aggregator.
+    pub fn aggregator(&self) -> &CompositeAggregator {
+        &self.aggregator
+    }
+
+    /// The attached grid index, if any.
+    pub fn index(&self) -> Option<&GridIndex> {
+        self.index.as_ref()
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The backend selection policy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The name of the backend queries currently dispatch to.
+    pub fn backend_name(&self) -> &'static str {
+        self.strategy.resolved_name(self.index.is_some())
+    }
+
+    /// Builds a query-by-example from a real region of the engine's
+    /// dataset (see [`AsrsQuery::from_example_region`]).
+    pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {
+        Ok(AsrsQuery::from_example_region(
+            &self.dataset,
+            &self.aggregator,
+            example,
+        )?)
+    }
+
+    /// Instantiates the backend the strategy resolves to.
+    fn backend(&self) -> Result<Box<dyn SearchAlgorithm + '_>, AsrsError> {
+        Ok(match self.strategy.resolve(self.index.is_some()) {
+            Strategy::DsSearch => Box::new(DsSearch::with_config(
+                &self.dataset,
+                &self.aggregator,
+                self.config.clone(),
+            )),
+            Strategy::GiDs => {
+                let index = self
+                    .index
+                    .as_ref()
+                    .ok_or(AsrsError::IndexRequired { strategy: "gi-ds" })?;
+                Box::new(GiDsSearch::with_config(
+                    &self.dataset,
+                    &self.aggregator,
+                    index,
+                    self.config.clone(),
+                ))
+            }
+            Strategy::Naive => Box::new(NaiveSearch::with_config(
+                &self.dataset,
+                &self.aggregator,
+                self.config.clone(),
+            )),
+            Strategy::Auto => unreachable!("Auto resolved above"),
+        })
+    }
+
+    /// Validates `query` once against the engine's aggregator.
+    fn validate(&self, query: &AsrsQuery) -> Result<(), AsrsError> {
+        query.validate(&self.aggregator)?;
+        Ok(())
+    }
+
+    /// Solves the ASRS problem with the engine's strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Query`] for a malformed or mismatching query.
+    pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        self.validate(query)?;
+        self.backend()?.search(query)
+    }
+
+    /// Solves the ASRS problem with an explicit, possibly external,
+    /// backend.  The engine still validates the query at its boundary.
+    pub fn search_with(
+        &self,
+        backend: &dyn SearchAlgorithm,
+        query: &AsrsQuery,
+    ) -> Result<SearchResult, AsrsError> {
+        self.validate(query)?;
+        backend.search(query)
+    }
+
+    /// Returns up to `k` best candidate regions with pairwise distinct
+    /// anchors, best first; distances are non-decreasing in rank.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidTopK`] when `k` is zero.
+    pub fn search_top_k(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        self.validate(query)?;
+        self.backend()?.search_top_k(query, k)
+    }
+
+    /// Answers every query, fanning out over `std::thread` workers (one
+    /// per available core, at most one per query).  Results are returned
+    /// in query order.  All queries are validated up front, so a malformed
+    /// query fails the batch before any search runs.
+    pub fn search_batch(&self, queries: &[AsrsQuery]) -> Result<Vec<SearchResult>, AsrsError> {
+        for query in queries {
+            self.validate(query)?;
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(queries.len());
+        if workers <= 1 {
+            let backend = self.backend()?;
+            return queries.iter().map(|q| backend.search(q)).collect();
+        }
+        // Workers steal query indices from a shared counter; each worker
+        // builds its own backend (they are cheap: borrows plus a config
+        // clone) and writes results into its query's slot, keeping order.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<Result<SearchResult, AsrsError>>>> = (0..queries
+            .len())
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        std::thread::scope(|scope| -> Result<(), AsrsError> {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let slots = &slots;
+                handles.push(scope.spawn(move || -> Result<(), AsrsError> {
+                    let backend = self.backend()?;
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= queries.len() {
+                            return Ok(());
+                        }
+                        let result = backend.search(&queries[i]);
+                        *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+                    }
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("search worker panicked")?;
+            }
+            Ok(())
+        })?;
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot mutex poisoned")
+                    .expect("every query slot is filled")
+            })
+            .collect()
+    }
+
+    /// Solves the MaxRS problem (the `a × b` region enclosing the maximum
+    /// number of objects, Section 7.5) through the facade, using the
+    /// engine's configuration.
+    pub fn max_rs(&self, size: RegionSize) -> Result<MaxRsResult, AsrsError> {
+        self.max_rs_selective(size, Selection::All)
+    }
+
+    /// The class-constrained MaxRS variant: counts only objects accepted
+    /// by `selection`.
+    ///
+    /// MaxRS promises the true maximum, so the engine's approximation
+    /// parameter δ is ignored here (the search always runs exact); every
+    /// other configuration knob is inherited.
+    pub fn max_rs_selective(
+        &self,
+        size: RegionSize,
+        selection: Selection,
+    ) -> Result<MaxRsResult, AsrsError> {
+        let config = SearchConfig {
+            delta: 0.0,
+            ..self.config.clone()
+        };
+        MaxRsSearch::new(&self.dataset, size)
+            .with_selection(selection)
+            .with_config(config)
+            .search()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ConfigError;
+    use crate::query::QueryError;
+    use asrs_aggregator::{FeatureVector, Weights};
+    use asrs_data::gen::UniformGenerator;
+
+    fn setup(n: usize, seed: u64) -> (Dataset, CompositeAggregator) {
+        let ds = UniformGenerator::default().generate(n, seed);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        (ds, agg)
+    }
+
+    fn query() -> AsrsQuery {
+        AsrsQuery::new(
+            RegionSize::new(12.0, 10.0),
+            FeatureVector::new(vec![2.0, 1.0, 1.0, 2.0]),
+            Weights::uniform(4),
+        )
+    }
+
+    #[test]
+    fn auto_strategy_prefers_the_index() {
+        let (ds, agg) = setup(200, 5);
+        let plain = AsrsEngine::builder(ds.clone(), agg.clone())
+            .build()
+            .unwrap();
+        assert_eq!(plain.backend_name(), "ds-search");
+        assert!(plain.index().is_none());
+
+        let indexed = AsrsEngine::builder(ds, agg)
+            .build_index(16, 16)
+            .build()
+            .unwrap();
+        assert_eq!(indexed.backend_name(), "gi-ds");
+        assert!(indexed.index().is_some());
+
+        let q = query();
+        let a = plain.search(&q).unwrap();
+        let b = indexed.search(&q).unwrap();
+        assert!((a.distance - b.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gi_ds_without_index_fails_at_build_time() {
+        let (ds, agg) = setup(50, 1);
+        let err = AsrsEngine::builder(ds, agg)
+            .strategy(Strategy::GiDs)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AsrsError::IndexRequired { strategy: "gi-ds" });
+    }
+
+    #[test]
+    fn invalid_config_fails_at_build_time() {
+        let (ds, agg) = setup(50, 1);
+        let config = SearchConfig {
+            delta: -1.0,
+            ..SearchConfig::default()
+        };
+        let err = AsrsEngine::builder(ds, agg)
+            .config(config)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AsrsError::Config(ConfigError::InvalidDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_index_is_rejected() {
+        let (ds, agg) = setup(80, 3);
+        // An index built for a different aggregator (count: 1 stats dim,
+        // distribution over 4 categories: 4 stats dims).
+        let other = CompositeAggregator::builder(ds.schema())
+            .count(Selection::All)
+            .build()
+            .unwrap();
+        let foreign = GridIndex::build(&ds, &other, 8, 8).unwrap();
+        let err = AsrsEngine::builder(ds, agg)
+            .index(foreign)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AsrsError::IndexMismatch {
+                index_dims: 1,
+                aggregator_dims: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn index_on_empty_dataset_is_an_error() {
+        let ds = Dataset::new_unchecked(asrs_data::Schema::empty(), vec![]);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .count(Selection::All)
+            .build()
+            .unwrap();
+        let err = AsrsEngine::builder(ds, agg)
+            .build_index(8, 8)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AsrsError::EmptyDataset);
+    }
+
+    #[test]
+    fn queries_are_validated_at_the_boundary() {
+        let (ds, agg) = setup(60, 2);
+        let engine = AsrsEngine::builder(ds, agg).build().unwrap();
+        let bad_dim = AsrsQuery::new(
+            RegionSize::new(5.0, 5.0),
+            FeatureVector::new(vec![1.0]),
+            Weights::uniform(1),
+        );
+        assert!(matches!(
+            engine.search(&bad_dim),
+            Err(AsrsError::Query(QueryError::TargetDimensionMismatch { .. }))
+        ));
+        let bad_size = AsrsQuery::new(
+            RegionSize::new(-3.0, 5.0),
+            FeatureVector::new(vec![1.0, 1.0, 1.0, 1.0]),
+            Weights::uniform(4),
+        );
+        assert!(matches!(
+            engine.search(&bad_size),
+            Err(AsrsError::Query(QueryError::InvalidSize { .. }))
+        ));
+        // Batch validation is all-or-nothing.
+        assert!(engine.search_batch(&[query(), bad_dim]).is_err());
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_searches() {
+        let (ds, agg) = setup(300, 11);
+        let engine = AsrsEngine::builder(ds, agg)
+            .build_index(24, 24)
+            .build()
+            .unwrap();
+        let queries: Vec<AsrsQuery> = (1..=6)
+            .map(|i| {
+                AsrsQuery::new(
+                    RegionSize::new(4.0 + i as f64, 6.0),
+                    FeatureVector::new(vec![i as f64, 1.0, 0.0, 2.0]),
+                    Weights::uniform(4),
+                )
+            })
+            .collect();
+        let batch = engine.search_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, r) in queries.iter().zip(&batch) {
+            let single = engine.search(q).unwrap();
+            assert!(
+                (single.distance - r.distance).abs() < 1e-9,
+                "batch result must match sequential result"
+            );
+        }
+        assert!(engine.search_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn max_rs_routes_through_the_facade() {
+        let (ds, agg) = setup(150, 7);
+        let engine = AsrsEngine::builder(ds, agg).build().unwrap();
+        let result = engine.max_rs(RegionSize::new(20.0, 20.0)).unwrap();
+        assert!(result.count >= 1);
+        assert_eq!(
+            engine.dataset().count_strictly_in(&result.region),
+            result.count
+        );
+        let constrained = engine
+            .max_rs_selective(RegionSize::new(20.0, 20.0), Selection::cat_equals(0, 0))
+            .unwrap();
+        assert!(constrained.count <= result.count);
+        assert!(matches!(
+            engine.max_rs(RegionSize::new(0.0, 1.0)),
+            Err(AsrsError::InvalidRegionSize { .. })
+        ));
+    }
+
+    #[test]
+    fn max_rs_stays_exact_under_an_approximate_engine_config() {
+        let (ds, agg) = setup(150, 7);
+        let exact_engine = AsrsEngine::builder(ds.clone(), agg.clone())
+            .build()
+            .unwrap();
+        let approx_engine = AsrsEngine::builder(ds, agg)
+            .config(SearchConfig::new().with_delta(0.4).unwrap())
+            .build()
+            .unwrap();
+        let size = RegionSize::new(20.0, 20.0);
+        let exact = exact_engine.max_rs(size).unwrap();
+        let under_delta = approx_engine.max_rs(size).unwrap();
+        assert_eq!(
+            exact.count, under_delta.count,
+            "MaxRS must ignore the engine's delta and return the true maximum"
+        );
+    }
+
+    #[test]
+    fn external_backends_plug_in_through_search_with() {
+        let (ds, agg) = setup(60, 13);
+        let engine = AsrsEngine::builder(ds, agg).build().unwrap();
+        let naive = NaiveSearch::new(engine.dataset(), engine.aggregator());
+        let q = query();
+        let via_trait = engine.search_with(&naive, &q).unwrap();
+        let direct = engine.search(&q).unwrap();
+        assert!((via_trait.distance - direct.distance).abs() < 1e-9);
+        assert_eq!(SearchAlgorithm::name(&naive), "naive");
+    }
+}

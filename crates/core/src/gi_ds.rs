@@ -9,8 +9,10 @@
 //! the best distance found so far.
 
 use crate::asp::AspInstance;
+use crate::best::BestSet;
 use crate::config::SearchConfig;
 use crate::ds_search::DsSearch;
+use crate::error::AsrsError;
 use crate::grid_index::GridIndex;
 use crate::query::AsrsQuery;
 use crate::result::SearchResult;
@@ -89,24 +91,60 @@ impl<'a> GiDsSearch<'a> {
     /// Solves the ASRS problem exactly (or with the δ configured in
     /// [`SearchConfig::delta`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the query dimensionality does not match the aggregator.
-    pub fn search(&self, query: &AsrsQuery) -> SearchResult {
-        self.run(query, self.config.clone())
+    /// [`AsrsError::Query`] when the query does not match the aggregator;
+    /// [`AsrsError::Config`] when the configuration is invalid.
+    pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        Ok(self
+            .run(query, self.config.clone(), 1)?
+            .into_iter()
+            .next()
+            .expect("the empty-region candidate guarantees one result"))
     }
 
     /// Solves the (1+δ)-approximate ASRS problem (Section 6): the returned
     /// region's distance is at most `(1 + delta)` times the optimum.
-    pub fn search_approx(&self, query: &AsrsQuery, delta: f64) -> SearchResult {
-        let config = self.config.clone().with_delta(delta);
-        self.run(query, config)
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Config`] when `delta` is negative or not finite, plus
+    /// the same errors as [`GiDsSearch::search`].
+    pub fn search_approx(&self, query: &AsrsQuery, delta: f64) -> Result<SearchResult, AsrsError> {
+        let config = self.config.clone().with_delta(delta)?;
+        Ok(self
+            .run(query, config, 1)?
+            .into_iter()
+            .next()
+            .expect("the empty-region candidate guarantees one result"))
     }
 
-    fn run(&self, query: &AsrsQuery, config: SearchConfig) -> SearchResult {
-        query
-            .validate(self.aggregator)
-            .expect("query must match the aggregator dimensions");
+    /// Returns the `k` best candidate regions with pairwise distinct
+    /// anchors, best first (see [`DsSearch::search_top_k`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidTopK`] when `k` is zero, plus the same errors as
+    /// [`GiDsSearch::search`].
+    pub fn search_top_k(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        if k == 0 {
+            return Err(AsrsError::InvalidTopK);
+        }
+        self.run(query, self.config.clone(), k)
+    }
+
+    fn run(
+        &self,
+        query: &AsrsQuery,
+        config: SearchConfig,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        query.validate(self.aggregator)?;
+        config.validate()?;
         let started = Instant::now();
         let mut stats = SearchStats::new();
         let asp = AspInstance::build(
@@ -117,7 +155,8 @@ impl<'a> GiDsSearch<'a> {
         );
         stats.rectangles = asp.rects().len() as u64;
         let inner = DsSearch::with_config(self.dataset, self.aggregator, config.clone());
-        let mut best = inner.empty_region_candidate(&asp, query);
+        let mut best = BestSet::new(k);
+        inner.seed_empty_region(&asp, query, &mut best);
         let spec = self.index.spec();
         stats.index_cells_total = spec.num_cells() as u64;
 
@@ -128,7 +167,7 @@ impl<'a> GiDsSearch<'a> {
             //    unconditionally; the margin is at most one query width tall
             //    or wide, so this is cheap.
             for margin in margin_spaces(&space, spec.space()) {
-                let candidates = asp.rects_intersecting(&margin);
+                let candidates = inner.contributing(&asp, asp.rects_intersecting(&margin));
                 inner.search_space(&asp, query, margin, candidates, &mut best, &mut stats);
             }
 
@@ -178,24 +217,18 @@ impl<'a> GiDsSearch<'a> {
             // 3. Search cells best-first until no cell can improve the
             //    result (or improve it by more than the (1+δ) factor).
             while let Some(entry) = heap.pop() {
-                if entry.lb >= best.distance / config.prune_factor() {
+                if entry.lb >= best.cutoff() / config.prune_factor() {
                     break;
                 }
                 stats.index_cells_searched += 1;
                 let cell_space = spec.cell_rect(entry.col, entry.row);
-                let candidates = asp.rects_intersecting(&cell_space);
+                let candidates = inner.contributing(&asp, asp.rects_intersecting(&cell_space));
                 inner.search_space(&asp, query, cell_space, candidates, &mut best, &mut stats);
             }
         }
 
         stats.elapsed = started.elapsed();
-        SearchResult::new(
-            best.anchor,
-            Rect::from_bottom_left(best.anchor, query.size),
-            best.distance,
-            best.representation,
-            stats,
-        )
+        Ok(crate::best::best_to_results(best, query.size, stats))
     }
 }
 
@@ -237,8 +270,7 @@ mod tests {
         let margins = margin_spaces(&asp_space, &index_space);
         assert_eq!(margins.len(), 2);
         // Together with the index space, the margins cover the ASP space.
-        let covered_area: f64 =
-            margins.iter().map(|m| m.area()).sum::<f64>() + index_space.area();
+        let covered_area: f64 = margins.iter().map(|m| m.area()).sum::<f64>() + index_space.area();
         assert!((covered_area - asp_space.area()).abs() < 1e-9);
     }
 
@@ -261,8 +293,8 @@ mod tests {
             FeatureVector::new(vec![4.0, 2.0, 1.0, 3.0]),
             Weights::uniform(4),
         );
-        let plain = DsSearch::new(&ds, &agg).search(&query);
-        let indexed = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        let plain = DsSearch::new(&ds, &agg).search(&query).unwrap();
+        let indexed = GiDsSearch::new(&ds, &agg, &index).search(&query).unwrap();
         assert!(
             (plain.distance - indexed.distance).abs() < 1e-9,
             "DS {} vs GI-DS {}",
@@ -285,9 +317,13 @@ mod tests {
             FeatureVector::new(vec![0.0, 0.0, 0.0, 0.0, 0.0, 40.0, 40.0]),
             Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
         );
-        let result = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        let result = GiDsSearch::new(&ds, &agg, &index).search(&query).unwrap();
         let ratio = result.stats.index_search_ratio().unwrap();
-        assert!(ratio < 0.6, "expected pruning, searched {:.0}%", ratio * 100.0);
+        assert!(
+            ratio < 0.6,
+            "expected pruning, searched {:.0}%",
+            ratio * 100.0
+        );
         assert!(result.stats.index_cells_total >= 1024);
     }
 
@@ -305,9 +341,9 @@ mod tests {
             Weights::uniform(4),
         );
         let solver = GiDsSearch::new(&ds, &agg, &index);
-        let exact = solver.search(&query);
+        let exact = solver.search(&query).unwrap();
         for delta in [0.1, 0.2, 0.4] {
-            let approx = solver.search_approx(&query, delta);
+            let approx = solver.search_approx(&query, delta).unwrap();
             assert!(
                 approx.distance <= (1.0 + delta) * exact.distance + 1e-9,
                 "δ={delta}: {} vs optimal {}",
@@ -331,7 +367,7 @@ mod tests {
         let index = GridIndex::build(&ds, &agg, 16, 16).unwrap();
         let example = Rect::new(5.0, 60.0, 30.0, 80.0);
         let query = AsrsQuery::from_example_region(&ds, &agg, &example).unwrap();
-        let result = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        let result = GiDsSearch::new(&ds, &agg, &index).search(&query).unwrap();
         let rep = agg.aggregate_region(&ds, &result.region);
         let d = agg.distance(&rep, &query.target, &query.weights, query.metric);
         assert!((d - result.distance).abs() < 1e-9);

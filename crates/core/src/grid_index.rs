@@ -12,6 +12,7 @@
 //! needed by the sum and average aggregators), so a single index supports
 //! every aggregator the paper defines.
 
+use crate::error::{AsrsError, ConfigError};
 use asrs_aggregator::CompositeAggregator;
 use asrs_data::Dataset;
 use asrs_geo::{GridSpec, Rect};
@@ -31,15 +32,24 @@ pub struct GridIndex {
 
 impl GridIndex {
     /// Builds the index for `dataset` and `aggregator` with an
-    /// `cols × rows` grid.  Returns `None` for an empty dataset.
+    /// `cols × rows` grid.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Config`] when a side of the grid is zero;
+    /// [`AsrsError::EmptyDataset`] when the dataset has no object to index.
     pub fn build(
         dataset: &Dataset,
         aggregator: &CompositeAggregator,
         cols: usize,
         rows: usize,
-    ) -> Option<Self> {
-        assert!(cols > 0 && rows > 0, "index grid must have at least one cell");
-        let bbox = dataset.padded_bounding_box(1.0)?;
+    ) -> Result<Self, AsrsError> {
+        if cols == 0 || rows == 0 {
+            return Err(ConfigError::InvalidIndexGranularity { cols, rows }.into());
+        }
+        let bbox = dataset
+            .padded_bounding_box(1.0)
+            .ok_or(AsrsError::EmptyDataset)?;
         let spec = GridSpec::new(bbox, cols, rows);
         let dims = aggregator.stats_dim();
         let width = cols + 1;
@@ -68,7 +78,7 @@ impl GridIndex {
                 }
             }
         }
-        Some(Self {
+        Ok(Self {
             spec,
             stats_dim: dims,
             suffix,
@@ -99,8 +109,7 @@ impl GridIndex {
     /// Approximate memory footprint of the index in bytes (the paper's
     /// Table 1 "index size" column).
     pub fn memory_bytes(&self) -> usize {
-        self.suffix.len() * std::mem::size_of::<f64>()
-            + std::mem::size_of::<Self>()
+        self.suffix.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Self>()
     }
 
     #[inline]
@@ -196,7 +205,22 @@ mod tests {
             .count(Selection::All)
             .build()
             .unwrap();
-        assert!(GridIndex::build(&ds, &agg, 8, 8).is_none());
+        assert_eq!(
+            GridIndex::build(&ds, &agg, 8, 8).unwrap_err(),
+            AsrsError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn zero_granularity_is_an_error_not_a_panic() {
+        let (ds, agg) = setup();
+        assert!(matches!(
+            GridIndex::build(&ds, &agg, 0, 8),
+            Err(AsrsError::Config(ConfigError::InvalidIndexGranularity {
+                cols: 0,
+                rows: 8
+            }))
+        ));
     }
 
     #[test]
@@ -295,6 +319,9 @@ mod tests {
         assert!(index.range_stats(3, 3, 0, 8).iter().all(|v| *v == 0.0));
         assert!(index.range_stats(5, 2, 0, 8).iter().all(|v| *v == 0.0));
         let far = Rect::new(1e6, 1e6, 2e6, 2e6);
-        assert!(index.stats_of_cells_overlapping(&far).iter().all(|v| *v == 0.0));
+        assert!(index
+            .stats_of_cells_overlapping(&far)
+            .iter()
+            .all(|v| *v == 0.0));
     }
 }

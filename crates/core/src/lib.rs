@@ -1,6 +1,6 @@
-//! Core algorithms of the ASRS paper: the ASP reduction, the exact
-//! DS-Search algorithm, the GI-DS grid-index search, the (1+δ)-approximate
-//! extension and the MaxRS adaptation.
+//! Core algorithms of the ASRS paper behind one engine facade: the ASP
+//! reduction, the exact DS-Search algorithm, the GI-DS grid-index search,
+//! the (1+δ)-approximate extension and the MaxRS adaptation.
 //!
 //! # Overview
 //!
@@ -27,10 +27,20 @@
 //!    via [`SearchConfig::delta`] / [`GiDsSearch::search_approx`].
 //! 5. [`MaxRsSearch`] adapts DS-Search to the MaxRS problem (Section 7.5).
 //!
+//! # The engine facade
+//!
+//! [`AsrsEngine`] is the intended public entry point: it owns the dataset
+//! and aggregator, optionally builds a [`GridIndex`], selects a backend via
+//! [`Strategy`] (all backends implement the object-safe [`SearchAlgorithm`]
+//! trait and return identical optimal distances), validates every query
+//! once at its boundary, and adds batch ([`AsrsEngine::search_batch`]) and
+//! top-k ([`AsrsEngine::search_top_k`]) querying.  Every fallible path
+//! reports [`AsrsError`] — no public builder or search panics on bad input.
+//!
 //! # Quick example
 //!
 //! ```
-//! use asrs_core::{AsrsQuery, DsSearch};
+//! use asrs_core::{AsrsEngine, Strategy};
 //! use asrs_aggregator::{CompositeAggregator, Selection};
 //! use asrs_data::gen::UniformGenerator;
 //! use asrs_geo::Rect;
@@ -41,26 +51,41 @@
 //!     .build()
 //!     .unwrap();
 //!
+//! // One facade: index construction, validation and backend choice.
+//! let engine = AsrsEngine::builder(dataset, aggregator)
+//!     .build_index(32, 32)
+//!     .strategy(Strategy::Auto) // index present → GI-DS
+//!     .build()
+//!     .unwrap();
+//!
 //! // Use an existing region as the example to match.
 //! let example = Rect::new(10.0, 10.0, 25.0, 25.0);
-//! let query = AsrsQuery::from_example_region(&dataset, &aggregator, &example).unwrap();
+//! let query = engine.query_from_example(&example).unwrap();
 //!
-//! let result = DsSearch::new(&dataset, &aggregator).search(&query);
+//! let result = engine.search(&query).unwrap();
 //! assert!(result.distance.is_finite());
 //! assert!((result.region.width() - example.width()).abs() < 1e-9);
+//!
+//! // The 3 best non-identical anchors, best first.
+//! let top = engine.search_top_k(&query, 3).unwrap();
+//! assert!(top.len() <= 3 && top[0].distance <= result.distance + 1e-12);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod asp;
+mod best;
 mod config;
 mod discretize;
 mod drop_condition;
 mod ds_search;
+mod engine;
+mod error;
 mod gi_ds;
 mod grid_index;
 mod maxrs;
+mod naive;
 mod query;
 mod result;
 mod split;
@@ -68,9 +93,12 @@ mod stats;
 
 pub use config::SearchConfig;
 pub use ds_search::DsSearch;
+pub use engine::{AsrsEngine, EngineBuilder, SearchAlgorithm, Strategy};
+pub use error::{AsrsError, ConfigError};
 pub use gi_ds::GiDsSearch;
 pub use grid_index::GridIndex;
 pub use maxrs::{MaxRsResult, MaxRsSearch};
+pub use naive::NaiveSearch;
 pub use query::{AsrsQuery, QueryError};
 pub use result::SearchResult;
 pub use stats::SearchStats;

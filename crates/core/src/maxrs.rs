@@ -11,9 +11,12 @@
 
 use crate::config::SearchConfig;
 use crate::ds_search::DsSearch;
+use crate::error::AsrsError;
 use crate::query::AsrsQuery;
 use crate::stats::SearchStats;
-use asrs_aggregator::{AggregatorKind, AggregatorSpec, CompositeAggregator, FeatureVector, Selection, Weights};
+use asrs_aggregator::{
+    AggregatorKind, AggregatorSpec, CompositeAggregator, FeatureVector, Selection, Weights,
+};
 use asrs_data::Dataset;
 use asrs_geo::{Point, Rect, RegionSize};
 
@@ -64,7 +67,20 @@ impl<'a> MaxRsSearch<'a> {
     }
 
     /// Runs the search.
-    pub fn search(&self) -> MaxRsResult {
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidRegionSize`] when the region size is
+    /// non-positive or non-finite; [`AsrsError::Config`] when the
+    /// configuration is invalid.
+    pub fn search(&self) -> Result<MaxRsResult, AsrsError> {
+        let (w, h) = (self.size.width, self.size.height);
+        if !(w.is_finite() && w > 0.0 && h.is_finite() && h > 0.0) {
+            return Err(AsrsError::InvalidRegionSize {
+                width: w,
+                height: h,
+            });
+        }
         let aggregator = CompositeAggregator::new(
             self.dataset.schema(),
             vec![AggregatorSpec {
@@ -81,14 +97,15 @@ impl<'a> MaxRsSearch<'a> {
             FeatureVector::new(vec![target]),
             Weights::uniform(1),
         );
-        let result = DsSearch::with_config(self.dataset, &aggregator, self.config.clone()).search(&query);
+        let result =
+            DsSearch::with_config(self.dataset, &aggregator, self.config.clone()).search(&query)?;
         let count = result.representation[0].round() as usize;
-        MaxRsResult {
+        Ok(MaxRsResult {
             region: result.region,
             anchor: result.anchor,
             count,
             stats: result.stats,
-        }
+        })
     }
 }
 
@@ -103,14 +120,22 @@ mod tests {
         // A tight cluster of 5 objects plus scattered singletons: the best
         // 2x2 region must contain the whole cluster.
         let mut b = DatasetBuilder::new(Schema::empty());
-        for (x, y) in [(10.0, 10.0), (10.3, 10.2), (10.6, 10.4), (10.2, 10.8), (10.9, 10.9)] {
+        for (x, y) in [
+            (10.0, 10.0),
+            (10.3, 10.2),
+            (10.6, 10.4),
+            (10.2, 10.8),
+            (10.9, 10.9),
+        ] {
             b.push(x, y, vec![]);
         }
         for (x, y) in [(1.0, 1.0), (20.0, 3.0), (3.0, 18.0), (25.0, 25.0)] {
             b.push(x, y, vec![]);
         }
         let ds = b.build().unwrap();
-        let result = MaxRsSearch::new(&ds, RegionSize::new(2.0, 2.0)).search();
+        let result = MaxRsSearch::new(&ds, RegionSize::new(2.0, 2.0))
+            .search()
+            .unwrap();
         assert_eq!(result.count, 5);
         assert_eq!(ds.count_strictly_in(&result.region), 5);
     }
@@ -118,7 +143,9 @@ mod tests {
     #[test]
     fn count_matches_region_recount_on_random_data() {
         let ds = UniformGenerator::default().generate(500, 99);
-        let result = MaxRsSearch::new(&ds, RegionSize::new(15.0, 12.0)).search();
+        let result = MaxRsSearch::new(&ds, RegionSize::new(15.0, 12.0))
+            .search()
+            .unwrap();
         assert_eq!(ds.count_strictly_in(&result.region), result.count);
         assert!(result.count >= 1);
         assert_eq!(result.region.bottom_left(), result.anchor);
@@ -127,10 +154,13 @@ mod tests {
     #[test]
     fn selection_restricts_the_counted_objects() {
         let ds = UniformGenerator::default().generate(400, 5);
-        let all = MaxRsSearch::new(&ds, RegionSize::new(20.0, 20.0)).search();
+        let all = MaxRsSearch::new(&ds, RegionSize::new(20.0, 20.0))
+            .search()
+            .unwrap();
         let only_cat0 = MaxRsSearch::new(&ds, RegionSize::new(20.0, 20.0))
             .with_selection(Selection::cat_equals(0, 0))
-            .search();
+            .search()
+            .unwrap();
         assert!(only_cat0.count <= all.count);
         // The reported count only considers category-0 objects.
         let recount = ds
@@ -144,8 +174,23 @@ mod tests {
     #[test]
     fn empty_dataset_returns_zero() {
         let ds = Dataset::new_unchecked(Schema::empty(), vec![]);
-        let result = MaxRsSearch::new(&ds, RegionSize::new(1.0, 1.0)).search();
+        let result = MaxRsSearch::new(&ds, RegionSize::new(1.0, 1.0))
+            .search()
+            .unwrap();
         assert_eq!(result.count, 0);
+    }
+
+    #[test]
+    fn degenerate_size_is_an_error() {
+        let ds = UniformGenerator::default().generate(10, 1);
+        assert!(matches!(
+            MaxRsSearch::new(&ds, RegionSize::new(0.0, 2.0)).search(),
+            Err(AsrsError::InvalidRegionSize { .. })
+        ));
+        assert!(matches!(
+            MaxRsSearch::new(&ds, RegionSize::new(2.0, f64::NAN)).search(),
+            Err(AsrsError::InvalidRegionSize { .. })
+        ));
     }
 
     #[test]
@@ -153,7 +198,9 @@ mod tests {
         let mut b = DatasetBuilder::new(Schema::new(vec![]));
         b.push(5.0, 5.0, Vec::<AttrValue>::new());
         let ds = b.build().unwrap();
-        let result = MaxRsSearch::new(&ds, RegionSize::new(2.0, 2.0)).search();
+        let result = MaxRsSearch::new(&ds, RegionSize::new(2.0, 2.0))
+            .search()
+            .unwrap();
         assert_eq!(result.count, 1);
         assert!(result.region.strictly_contains_point(&Point::new(5.0, 5.0)));
     }

@@ -1,0 +1,241 @@
+//! The exhaustive arrangement-midpoint backend.
+//!
+//! The edges of the ASP rectangles partition the plane into an arrangement
+//! of axis-aligned cells; every disjoint region of the paper (Lemma 2) is a
+//! union of such cells, so evaluating one probe point per arrangement cell
+//! visits every disjoint region.  [`NaiveSearch`] does exactly that: it
+//! takes the midpoints between consecutive distinct edge coordinates (plus
+//! one point outside everything) and evaluates every `(x, y)` combination.
+//!
+//! The cost is `O(n²)` probe points, each evaluated in `O(n)` — far too
+//! slow for production queries, but an unimpeachable ground truth for the
+//! engine's faster backends, which is why the engine exposes it as
+//! [`Strategy::Naive`](crate::Strategy).
+
+use crate::asp::AspInstance;
+use crate::best::BestSet;
+use crate::config::SearchConfig;
+use crate::error::AsrsError;
+use crate::query::AsrsQuery;
+use crate::result::SearchResult;
+use crate::stats::SearchStats;
+use asrs_aggregator::CompositeAggregator;
+use asrs_data::Dataset;
+use asrs_geo::Point;
+use std::time::Instant;
+
+/// The exhaustive ASRS solver.  Intended for small instances (≲ 200
+/// objects) and for validating the pruning backends.
+pub struct NaiveSearch<'a> {
+    dataset: &'a Dataset,
+    aggregator: &'a CompositeAggregator,
+    config: SearchConfig,
+}
+
+impl<'a> NaiveSearch<'a> {
+    /// Creates a solver with the default configuration.
+    pub fn new(dataset: &'a Dataset, aggregator: &'a CompositeAggregator) -> Self {
+        Self::with_config(dataset, aggregator, SearchConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.  Only the accuracy
+    /// settings are consulted (the oracle has no grid or δ to tune).
+    pub fn with_config(
+        dataset: &'a Dataset,
+        aggregator: &'a CompositeAggregator,
+        config: SearchConfig,
+    ) -> Self {
+        Self {
+            dataset,
+            aggregator,
+            config,
+        }
+    }
+
+    /// Solves the ASRS problem exactly by exhaustive enumeration.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Query`] when the query does not match the aggregator;
+    /// [`AsrsError::Config`] when the configuration is invalid.
+    pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        Ok(self
+            .run(query, 1)?
+            .into_iter()
+            .next()
+            .expect("the outside-everything probe guarantees one result"))
+    }
+
+    /// Returns the `k` best candidate regions with pairwise distinct
+    /// anchors, best first.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidTopK`] when `k` is zero, plus the same errors as
+    /// [`NaiveSearch::search`].
+    pub fn search_top_k(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        if k == 0 {
+            return Err(AsrsError::InvalidTopK);
+        }
+        self.run(query, k)
+    }
+
+    fn run(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+        query.validate(self.aggregator)?;
+        self.config.validate()?;
+        let started = Instant::now();
+        let mut stats = SearchStats::new();
+        let asp = AspInstance::build(
+            self.dataset,
+            query.size,
+            self.config.accuracy,
+            self.config.accuracy_floor,
+        );
+        stats.rectangles = asp.rects().len() as u64;
+
+        // Coordinates of all vertical / horizontal edges.
+        let mut xs: Vec<f64> = Vec::with_capacity(asp.rects().len() * 2);
+        let mut ys: Vec<f64> = Vec::with_capacity(asp.rects().len() * 2);
+        for r in asp.rects() {
+            xs.push(r.rect.min_x);
+            xs.push(r.rect.max_x);
+            ys.push(r.rect.min_y);
+            ys.push(r.rect.max_y);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        xs.dedup();
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        ys.dedup();
+
+        // Probe abscissae: midpoints of consecutive distinct coordinates
+        // plus a point beyond the last edge (covering the
+        // "outside everything" case).
+        let probes_axis = |coords: &[f64]| -> Vec<f64> {
+            let mut probes = Vec::with_capacity(coords.len() + 1);
+            for w in coords.windows(2) {
+                probes.push((w[0] + w[1]) / 2.0);
+            }
+            match coords.last() {
+                Some(last) => probes.push(last + 1.0),
+                None => probes.push(0.0),
+            }
+            probes
+        };
+        let px = probes_axis(&xs);
+        let py = probes_axis(&ys);
+
+        let candidates = asp.all_rect_indices();
+        let mut best = BestSet::new(k);
+        for &x in &px {
+            for &y in &py {
+                stats.fallback_points += 1;
+                let p = Point::new(x, y);
+                let objects = asp.objects_covering(&p, &candidates);
+                let rep = self
+                    .aggregator
+                    .aggregate(objects.iter().map(|&i| self.dataset.object(i as usize)));
+                let d = self
+                    .aggregator
+                    .distance(&rep, &query.target, &query.weights, query.metric);
+                if d < best.cutoff() {
+                    best.offer(d, p, rep);
+                }
+            }
+        }
+
+        stats.elapsed = started.elapsed();
+        Ok(crate::best::best_to_results(best, query.size, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ds_search::DsSearch;
+    use asrs_aggregator::{FeatureVector, Selection, Weights};
+    use asrs_data::gen::UniformGenerator;
+    use asrs_geo::RegionSize;
+
+    #[test]
+    fn matches_ds_search_on_small_instances() {
+        for seed in 0..4 {
+            let ds = UniformGenerator::default().generate(40, seed);
+            let agg = CompositeAggregator::builder(ds.schema())
+                .distribution("category", Selection::All)
+                .build()
+                .unwrap();
+            let query = AsrsQuery::new(
+                RegionSize::new(12.0, 9.0),
+                FeatureVector::new(vec![2.0, 1.0, 0.0, 1.0]),
+                Weights::uniform(4),
+            );
+            let naive = NaiveSearch::new(&ds, &agg).search(&query).unwrap();
+            let ds_result = DsSearch::new(&ds, &agg).search(&query).unwrap();
+            assert!(
+                (naive.distance - ds_result.distance).abs() < 1e-9,
+                "seed {seed}: naive {} vs DS {}",
+                naive.distance,
+                ds_result.distance
+            );
+            assert!(naive.stats.fallback_points > 0);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_reports_the_target_distance() {
+        let ds = asrs_data::Dataset::new_unchecked(asrs_data::Schema::empty(), vec![]);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .count(Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(1.0, 1.0),
+            FeatureVector::new(vec![2.0]),
+            Weights::uniform(1),
+        );
+        let result = NaiveSearch::new(&ds, &agg).search(&query).unwrap();
+        assert_eq!(result.distance, 2.0);
+    }
+
+    #[test]
+    fn top_k_is_sorted_with_distinct_anchors() {
+        let ds = UniformGenerator::default().generate(30, 7);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let query = AsrsQuery::new(
+            RegionSize::new(15.0, 15.0),
+            FeatureVector::new(vec![1.0, 1.0, 1.0, 1.0]),
+            Weights::uniform(4),
+        );
+        let top = NaiveSearch::new(&ds, &agg).search_top_k(&query, 4).unwrap();
+        assert!(!top.is_empty());
+        for pair in top.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+            assert_ne!(pair[0].anchor, pair[1].anchor);
+        }
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let ds = UniformGenerator::default().generate(10, 1);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let bad = AsrsQuery::new(
+            RegionSize::new(1.0, 1.0),
+            FeatureVector::new(vec![1.0]),
+            Weights::uniform(1),
+        );
+        assert!(matches!(
+            NaiveSearch::new(&ds, &agg).search(&bad),
+            Err(AsrsError::Query(_))
+        ));
+    }
+}

@@ -25,18 +25,45 @@ pub enum QueryError {
     },
     /// The example region is degenerate (zero width or height).
     DegenerateRegion,
+    /// The query region size is non-positive or non-finite.
+    InvalidSize {
+        /// Requested width.
+        width: f64,
+        /// Requested height.
+        height: f64,
+    },
+    /// The target representation contains a non-finite component.
+    NonFiniteTarget,
+    /// A weight is negative or non-finite.
+    InvalidWeights,
 }
 
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::TargetDimensionMismatch { got, expected } => {
-                write!(f, "target has {got} dimensions, aggregator produces {expected}")
+                write!(
+                    f,
+                    "target has {got} dimensions, aggregator produces {expected}"
+                )
             }
             QueryError::WeightDimensionMismatch { got, expected } => {
-                write!(f, "weights have {got} dimensions, aggregator produces {expected}")
+                write!(
+                    f,
+                    "weights have {got} dimensions, aggregator produces {expected}"
+                )
             }
-            QueryError::DegenerateRegion => write!(f, "example region must have positive width and height"),
+            QueryError::DegenerateRegion => {
+                write!(f, "example region must have positive width and height")
+            }
+            QueryError::InvalidSize { width, height } => {
+                write!(
+                    f,
+                    "query size must be positive and finite, got {width} x {height}"
+                )
+            }
+            QueryError::NonFiniteTarget => write!(f, "target representation must be finite"),
+            QueryError::InvalidWeights => write!(f, "weights must be finite and non-negative"),
         }
     }
 }
@@ -113,7 +140,12 @@ impl AsrsQuery {
         self
     }
 
-    /// Validates the query against an aggregator.
+    /// Validates the query against an aggregator: dimensionalities must
+    /// match, the size must be a real region, and every target component
+    /// and weight must be finite (weights additionally non-negative).
+    ///
+    /// The engine calls this once per query at its boundary; the individual
+    /// search backends call it too when used directly.
     pub fn validate(&self, aggregator: &CompositeAggregator) -> Result<(), QueryError> {
         let expected = aggregator.feature_dim();
         if self.target.dim() != expected {
@@ -127,6 +159,19 @@ impl AsrsQuery {
                 got: self.weights.dim(),
                 expected,
             });
+        }
+        let (w, h) = (self.size.width, self.size.height);
+        if !(w.is_finite() && w > 0.0 && h.is_finite() && h > 0.0) {
+            return Err(QueryError::InvalidSize {
+                width: w,
+                height: h,
+            });
+        }
+        if !self.target.is_finite() {
+            return Err(QueryError::NonFiniteTarget);
+        }
+        if !self.weights.iter().all(|w| w.is_finite() && *w >= 0.0) {
+            return Err(QueryError::InvalidWeights);
         }
         Ok(())
     }
@@ -204,8 +249,39 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_malformed_components() {
+        let (_, agg) = setup();
+        let dim = agg.feature_dim();
+        let ok = |q: &AsrsQuery| q.validate(&agg);
+
+        let q = AsrsQuery::new(
+            RegionSize::new(0.0, 1.0),
+            FeatureVector::zeros(dim),
+            Weights::uniform(dim),
+        );
+        assert!(matches!(ok(&q), Err(QueryError::InvalidSize { .. })));
+
+        let q = AsrsQuery::new(
+            RegionSize::new(1.0, f64::INFINITY),
+            FeatureVector::zeros(dim),
+            Weights::uniform(dim),
+        );
+        assert!(matches!(ok(&q), Err(QueryError::InvalidSize { .. })));
+
+        let q = AsrsQuery::new(
+            RegionSize::new(1.0, 1.0),
+            FeatureVector::new(vec![f64::NAN; dim]),
+            Weights::uniform(dim),
+        );
+        assert_eq!(ok(&q), Err(QueryError::NonFiniteTarget));
+    }
+
+    #[test]
     fn error_display() {
-        let e = QueryError::TargetDimensionMismatch { got: 1, expected: 2 };
+        let e = QueryError::TargetDimensionMismatch {
+            got: 1,
+            expected: 2,
+        };
         assert!(format!("{e}").contains("1"));
         assert!(format!("{}", QueryError::DegenerateRegion).contains("positive"));
     }

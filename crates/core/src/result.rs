@@ -23,8 +23,10 @@ pub struct SearchResult {
 }
 
 impl SearchResult {
-    /// Creates a result (used internally by the search algorithms).
-    pub(crate) fn new(
+    /// Creates a result.  Used by the built-in search algorithms and by
+    /// external [`SearchAlgorithm`](crate::SearchAlgorithm) backends that
+    /// adapt their native answer types to the engine's result shape.
+    pub fn new(
         anchor: Point,
         region: Rect,
         distance: f64,

@@ -180,7 +180,11 @@ mod tests {
     #[test]
     fn every_retained_cell_is_covered_by_some_subspace() {
         let cells: Vec<DirtyCell> = (0..10)
-            .flat_map(|c| (0..10).filter(move |r| (c + r) % 3 == 0).map(move |r| cell(c, r, 1.0)))
+            .flat_map(|c| {
+                (0..10)
+                    .filter(move |r| (c + r) % 3 == 0)
+                    .map(move |r| cell(c, r, 1.0))
+            })
             .collect();
         let parts = split(&grid(), &cells);
         assert_eq!(parts.len(), 2);

@@ -241,7 +241,9 @@ mod tests {
         for o in ds.objects() {
             assert!(bbox.contains_point(&o.location));
         }
-        assert!(Dataset::new_unchecked(schema(), vec![]).bounding_box().is_none());
+        assert!(Dataset::new_unchecked(schema(), vec![])
+            .bounding_box()
+            .is_none());
     }
 
     #[test]

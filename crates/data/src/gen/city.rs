@@ -218,9 +218,8 @@ mod tests {
         let orchard = mix("Orchard");
         let marina = mix("Marina Bay");
         let bugis = mix("Bugis");
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         assert!(
             l1(&orchard, &marina) < l1(&orchard, &bugis),
             "Marina Bay must resemble Orchard more than Bugis does"

@@ -96,7 +96,13 @@ impl ClusteredGenerator {
             }
             pick -= c.weight;
         }
-        sample_gaussian_point(rng, chosen.center, chosen.sigma_x, chosen.sigma_y, &self.bbox)
+        sample_gaussian_point(
+            rng,
+            chosen.center,
+            chosen.sigma_x,
+            chosen.sigma_y,
+            &self.bbox,
+        )
     }
 
     /// Samples `n` locations with the given seed (convenience for tests).
@@ -152,10 +158,7 @@ mod tests {
             0.05,
         );
         let pts = g.sample_points(2000, 7);
-        let dense = pts
-            .iter()
-            .filter(|p| p.x < 25.0 && p.y < 25.0)
-            .count();
+        let dense = pts.iter().filter(|p| p.x < 25.0 && p.y < 25.0).count();
         assert!(
             dense > pts.len() * 3 / 4,
             "expected most points near the cluster, got {dense}/{}",

@@ -103,8 +103,8 @@ impl PoiSynGenerator {
                 let (rating_mean, visit_scale) = cluster_quality[cluster];
                 // Right-skewed rating around the cluster mean, clamped to
                 // the declared [0, 10] domain.
-                let rating = (rating_mean + super::sample_gaussian(&mut rng) * 1.5)
-                    .clamp(0.0, 10.0);
+                let rating =
+                    (rating_mean + super::sample_gaussian(&mut rng) * 1.5).clamp(0.0, 10.0);
                 // Visits: uniform in [1, 500], scaled by cluster popularity.
                 let base_visits = rng.gen_range(1.0..=500.0);
                 let visits = (base_visits * visit_scale).clamp(1.0, 500.0).round();
@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(s.attr_index("visits"), Some(PoiSynGenerator::VISITS_ATTR));
         assert_eq!(s.attr_index("rating"), Some(PoiSynGenerator::RATING_ATTR));
         assert_eq!(
-            s.attribute(PoiSynGenerator::RATING_ATTR).unwrap().kind.numeric_range(),
+            s.attribute(PoiSynGenerator::RATING_ATTR)
+                .unwrap()
+                .kind
+                .numeric_range(),
             Some((0.0, 10.0))
         );
     }
@@ -163,6 +166,9 @@ mod tests {
     fn rating_distribution_has_spread() {
         let ds = PoiSynGenerator::compact(8).generate(2000, 5);
         let (lo, hi) = ds.numeric_extent(PoiSynGenerator::RATING_ATTR).unwrap();
-        assert!(hi - lo > 3.0, "ratings should span a meaningful range, got [{lo}, {hi}]");
+        assert!(
+            hi - lo > 3.0,
+            "ratings should span a meaningful range, got [{lo}, {hi}]"
+        );
     }
 }

@@ -75,8 +75,11 @@ impl TweetGenerator {
 
     /// Generates `n` tweet-like objects.
     pub fn generate(&self, n: usize, seed: u64) -> Dataset {
-        let spatial =
-            ClusteredGenerator::random_clusters(self.bbox, self.num_clusters.max(1), self.structure_seed);
+        let spatial = ClusteredGenerator::random_clusters(
+            self.bbox,
+            self.num_clusters.max(1),
+            self.structure_seed,
+        );
         // Each cluster gets its own probability that a tweet is posted on a
         // weekend; a handful of clusters are strongly weekend-heavy so that
         // aggregator-F1 queries ("find a weekend region") have meaningful

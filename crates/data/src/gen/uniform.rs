@@ -54,8 +54,14 @@ impl UniformGenerator {
         )]);
         let objects = (0..n)
             .map(|id| {
-                let x = super::quantize(rng.gen_range(self.bbox.min_x..=self.bbox.max_x), self.quantum);
-                let y = super::quantize(rng.gen_range(self.bbox.min_y..=self.bbox.max_y), self.quantum);
+                let x = super::quantize(
+                    rng.gen_range(self.bbox.min_x..=self.bbox.max_x),
+                    self.quantum,
+                );
+                let y = super::quantize(
+                    rng.gen_range(self.bbox.min_y..=self.bbox.max_y),
+                    self.quantum,
+                );
                 let cat = rng.gen_range(0..self.categories.max(1)) as u32;
                 SpatialObject::new(id as u64, Point::new(x, y), vec![AttrValue::Cat(cat)])
             })

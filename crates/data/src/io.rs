@@ -5,9 +5,9 @@
 //!
 //! ```text
 //! # asrs-dataset v1
-//! attr	category	cat	4	Apartment|Supermarket|Restaurant|Bus stop
-//! attr	price	num	0	10
-//! obj	<id>	<x>	<y>	<v1>	<v2>	...
+//! attr <TAB> category <TAB> cat <TAB> 4 <TAB> Apartment|Supermarket|Restaurant|Bus stop
+//! attr <TAB> price <TAB> num <TAB> 0 <TAB> 10
+//! obj <TAB> <id> <TAB> <x> <TAB> <y> <TAB> <v1> <TAB> <v2> ...
 //! ```
 //!
 //! Categorical values are written as their domain index, numeric values as
@@ -68,10 +68,7 @@ pub fn to_string(dataset: &Dataset) -> String {
                 cardinality,
                 labels,
             } => {
-                let labels = labels
-                    .as_ref()
-                    .map(|l| l.join("|"))
-                    .unwrap_or_default();
+                let labels = labels.as_ref().map(|l| l.join("|")).unwrap_or_default();
                 let _ = writeln!(out, "attr\t{}\tcat\t{}\t{}", def.name, cardinality, labels);
             }
             AttributeKind::Numeric { min, max } => {
@@ -122,12 +119,16 @@ pub fn from_str(text: &str) -> Result<Dataset, IoError> {
                         let cardinality: usize = fields[3]
                             .parse()
                             .map_err(|_| parse_err(line, "invalid cardinality"))?;
-                        let labels = fields.get(4).filter(|s| !s.is_empty()).map(|s| {
-                            s.split('|').map(|l| l.to_string()).collect::<Vec<_>>()
-                        });
+                        let labels = fields
+                            .get(4)
+                            .filter(|s| !s.is_empty())
+                            .map(|s| s.split('|').map(|l| l.to_string()).collect::<Vec<_>>());
                         if let Some(ref l) = labels {
                             if l.len() != cardinality {
-                                return Err(parse_err(line, "label count does not match cardinality"));
+                                return Err(parse_err(
+                                    line,
+                                    "label count does not match cardinality",
+                                ));
                             }
                         }
                         attrs.push(AttributeDef::new(
@@ -150,7 +151,9 @@ pub fn from_str(text: &str) -> Result<Dataset, IoError> {
                             .map_err(|_| parse_err(line, "invalid numeric max"))?;
                         attrs.push(AttributeDef::new(name, AttributeKind::numeric(min, max)));
                     }
-                    other => return Err(parse_err(line, format!("unknown attribute kind {other}"))),
+                    other => {
+                        return Err(parse_err(line, format!("unknown attribute kind {other}")))
+                    }
                 }
             }
             "obj" => {
@@ -197,7 +200,8 @@ pub fn from_str(text: &str) -> Result<Dataset, IoError> {
         }
     }
     let schema = Schema::new(attrs);
-    Dataset::new(schema, objects).map_err(|e| parse_err(0, format!("schema validation failed: {e}")))
+    Dataset::new(schema, objects)
+        .map_err(|e| parse_err(0, format!("schema validation failed: {e}")))
 }
 
 /// Writes a dataset to a file.
@@ -266,7 +270,10 @@ mod tests {
     #[test]
     fn rejects_bad_cardinality() {
         let text = "attr\tc\tcat\tnope\t\n";
-        assert!(matches!(from_str(text), Err(IoError::Parse { line: 1, .. })));
+        assert!(matches!(
+            from_str(text),
+            Err(IoError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -160,14 +160,25 @@ impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemaError::CategoryOutOfRange { value, cardinality } => {
-                write!(f, "categorical value {value} out of range (domain size {cardinality})")
+                write!(
+                    f,
+                    "categorical value {value} out of range (domain size {cardinality})"
+                )
             }
             SchemaError::NumericOutOfRange { value, min, max } => {
-                write!(f, "numeric value {value} outside declared range [{min}, {max}]")
+                write!(
+                    f,
+                    "numeric value {value} outside declared range [{min}, {max}]"
+                )
             }
-            SchemaError::KindMismatch => write!(f, "attribute value kind does not match the schema"),
+            SchemaError::KindMismatch => {
+                write!(f, "attribute value kind does not match the schema")
+            }
             SchemaError::ArityMismatch { got, expected } => {
-                write!(f, "object has {got} attribute values, schema expects {expected}")
+                write!(
+                    f,
+                    "object has {got} attribute values, schema expects {expected}"
+                )
             }
             SchemaError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
         }
@@ -262,7 +273,12 @@ mod tests {
         Schema::new(vec![
             AttributeDef::new(
                 "category",
-                AttributeKind::categorical_labeled(vec!["Apartment", "Supermarket", "Restaurant", "Bus stop"]),
+                AttributeKind::categorical_labeled(vec![
+                    "Apartment",
+                    "Supermarket",
+                    "Restaurant",
+                    "Bus stop",
+                ]),
             ),
             AttributeDef::new("price", AttributeKind::numeric(0.0, 10.0)),
         ])

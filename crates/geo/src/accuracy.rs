@@ -21,16 +21,20 @@ pub struct Accuracy {
 impl Accuracy {
     /// Creates an accuracy descriptor.
     ///
-    /// # Panics
-    ///
-    /// Panics when either value is not strictly positive and finite.
+    /// The values are stored verbatim; a meaningful accuracy must be
+    /// strictly positive and finite ([`Accuracy::is_valid`]), which the
+    /// search layer enforces when a configuration is validated —
+    /// constructing an invalid accuracy never panics.
     #[inline]
-    pub fn new(dx: f64, dy: f64) -> Self {
-        assert!(
-            dx > 0.0 && dy > 0.0 && dx.is_finite() && dy.is_finite(),
-            "accuracy must be strictly positive and finite, got dx={dx}, dy={dy}"
-        );
+    pub const fn new(dx: f64, dy: f64) -> Self {
         Self { dx, dy }
+    }
+
+    /// Returns `true` when both components are strictly positive and
+    /// finite.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.dx > 0.0 && self.dy > 0.0 && self.dx.is_finite() && self.dy.is_finite()
     }
 
     /// The accuracy the paper reports for the Tweet dataset
@@ -47,8 +51,12 @@ impl Accuracy {
     /// `xs` and `ys` are the multisets of x and y coordinates of rectangle
     /// edges (both edges per rectangle).
     pub fn from_edge_coordinates(xs: &[f64], ys: &[f64], floor: Accuracy) -> Self {
-        let dx = min_positive_gap(xs).unwrap_or(floor.dx).max(floor.dx.min(f64::MAX));
-        let dy = min_positive_gap(ys).unwrap_or(floor.dy).max(floor.dy.min(f64::MAX));
+        let dx = min_positive_gap(xs)
+            .unwrap_or(floor.dx)
+            .max(floor.dx.min(f64::MAX));
+        let dy = min_positive_gap(ys)
+            .unwrap_or(floor.dy)
+            .max(floor.dy.min(f64::MAX));
         // Never report an accuracy below the floor: coordinates closer than
         // the positioning resolution are numerical noise and would make the
         // drop condition unreachable in a reasonable number of splits.
@@ -112,9 +120,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly positive")]
-    fn accuracy_rejects_zero() {
-        Accuracy::new(0.0, 1.0);
+    fn invalid_accuracies_construct_but_fail_validity() {
+        assert!(!Accuracy::new(0.0, 1.0).is_valid());
+        assert!(!Accuracy::new(1.0, f64::NAN).is_valid());
+        assert!(Accuracy::new(1e-8, 1e-8).is_valid());
     }
 
     #[test]

@@ -389,17 +389,29 @@ mod tests {
     #[test]
     fn cell_of_point_maps_interior_and_boundary() {
         let g = grid10();
-        assert_eq!(g.cell_of_point(&Point::new(0.5, 0.5)), Some(CellIdx::new(0, 0)));
-        assert_eq!(g.cell_of_point(&Point::new(9.99, 9.99)), Some(CellIdx::new(9, 9)));
+        assert_eq!(
+            g.cell_of_point(&Point::new(0.5, 0.5)),
+            Some(CellIdx::new(0, 0))
+        );
+        assert_eq!(
+            g.cell_of_point(&Point::new(9.99, 9.99)),
+            Some(CellIdx::new(9, 9))
+        );
         // The far boundary clamps into the last cell.
-        assert_eq!(g.cell_of_point(&Point::new(10.0, 10.0)), Some(CellIdx::new(9, 9)));
+        assert_eq!(
+            g.cell_of_point(&Point::new(10.0, 10.0)),
+            Some(CellIdx::new(9, 9))
+        );
         assert_eq!(g.cell_of_point(&Point::new(10.5, 0.0)), None);
     }
 
     #[test]
     fn clamped_cell_never_escapes_grid() {
         let g = grid10();
-        assert_eq!(g.clamped_cell_of_point(&Point::new(-5.0, 50.0)), CellIdx::new(0, 9));
+        assert_eq!(
+            g.clamped_cell_of_point(&Point::new(-5.0, 50.0)),
+            CellIdx::new(0, 9)
+        );
     }
 
     #[test]
@@ -484,6 +496,9 @@ mod tests {
     #[test]
     fn degenerate_space_still_maps_points() {
         let g = GridSpec::new(Rect::new(0.0, 0.0, 0.0, 10.0), 4, 4);
-        assert_eq!(g.clamped_cell_of_point(&Point::new(0.0, 5.0)), CellIdx::new(0, 2));
+        assert_eq!(
+            g.clamped_cell_of_point(&Point::new(0.0, 5.0)),
+            CellIdx::new(0, 2)
+        );
     }
 }

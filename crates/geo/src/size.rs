@@ -18,17 +18,20 @@ pub struct RegionSize {
 impl RegionSize {
     /// Creates a new region size.
     ///
-    /// # Panics
-    ///
-    /// Panics if either dimension is not strictly positive and finite: a
-    /// degenerate query region would make the ASP reduction meaningless.
+    /// The values are stored verbatim; a meaningful query size must be
+    /// strictly positive and finite ([`RegionSize::is_valid`]), which the
+    /// search layer enforces when a query is validated — constructing a
+    /// degenerate size never panics.
     #[inline]
-    pub fn new(width: f64, height: f64) -> Self {
-        assert!(
-            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
-            "region size must be strictly positive and finite, got {width} x {height}"
-        );
+    pub const fn new(width: f64, height: f64) -> Self {
         Self { width, height }
+    }
+
+    /// Returns `true` when both dimensions are strictly positive and
+    /// finite, i.e. the size describes a real region.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.width > 0.0 && self.height > 0.0 && self.width.is_finite() && self.height.is_finite()
     }
 
     /// A square region of the given side length.
@@ -67,21 +70,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly positive")]
-    fn new_rejects_zero_width() {
-        RegionSize::new(0.0, 1.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "strictly positive")]
-    fn new_rejects_negative_height() {
-        RegionSize::new(1.0, -1.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "strictly positive")]
-    fn new_rejects_nan() {
-        RegionSize::new(f64::NAN, 1.0);
+    fn degenerate_sizes_construct_but_fail_validity() {
+        assert!(!RegionSize::new(0.0, 1.0).is_valid());
+        assert!(!RegionSize::new(1.0, -1.0).is_valid());
+        assert!(!RegionSize::new(f64::NAN, 1.0).is_valid());
+        assert!(!RegionSize::new(1.0, f64::INFINITY).is_valid());
+        assert!(RegionSize::new(2.0, 3.0).is_valid());
     }
 
     #[test]

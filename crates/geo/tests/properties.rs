@@ -1,70 +1,108 @@
-//! Property-based tests for the geometry substrate.
+//! Property-style tests for the geometry substrate.
+//!
+//! The offline build environment has no `proptest`, so the properties are
+//! exercised over seeded random inputs drawn from the vendored `rand`
+//! stand-in: same invariants, deterministic case generation.
 
 use asrs_geo::{min_positive_gap, GridSpec, Point, Rect, RegionSize};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+const CASES: u64 = 64;
+
+fn rand_point(rng: &mut SmallRng) -> Point {
+    Point::new(
+        rng.gen_range(-1000.0..1000.0),
+        rng.gen_range(-1000.0..1000.0),
+    )
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), 0.001..500.0f64, 0.001..500.0f64)
-        .prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+fn rand_rect(rng: &mut SmallRng) -> Rect {
+    let p = rand_point(rng);
+    let w = rng.gen_range(0.001..500.0);
+    let h = rng.gen_range(0.001..500.0);
+    Rect::new(p.x, p.y, p.x + w, p.y + h)
 }
 
-proptest! {
-    #[test]
-    fn mbr_contains_both_operands(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn mbr_contains_both_operands() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = rand_rect(&mut rng);
+        let b = rand_rect(&mut rng);
         let m = a.mbr(&b);
-        prop_assert!(m.contains_rect(&a));
-        prop_assert!(m.contains_rect(&b));
+        assert!(m.contains_rect(&a));
+        assert!(m.contains_rect(&b));
         // MBR is commutative.
-        prop_assert_eq!(m, b.mbr(&a));
+        assert_eq!(m, b.mbr(&a));
     }
+}
 
-    #[test]
-    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn intersection_is_contained_in_both() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let a = rand_rect(&mut rng);
+        let b = rand_rect(&mut rng);
         if let Some(i) = a.intersection(&b) {
-            prop_assert!(a.contains_rect(&i));
-            prop_assert!(b.contains_rect(&i));
-            prop_assert!(i.area() <= a.area() + 1e-9);
-            prop_assert!(i.area() <= b.area() + 1e-9);
+            assert!(a.contains_rect(&i));
+            assert!(b.contains_rect(&i));
+            assert!(i.area() <= a.area() + 1e-9);
+            assert!(i.area() <= b.area() + 1e-9);
         } else {
-            prop_assert!(!a.intersects(&b));
+            assert!(!a.intersects(&b));
         }
     }
+}
 
-    #[test]
-    fn enlargement_is_nonnegative(a in arb_rect(), b in arb_rect()) {
-        prop_assert!(a.enlargement(&b) >= -1e-9);
+#[test]
+fn enlargement_is_nonnegative() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(2000 + seed);
+        let a = rand_rect(&mut rng);
+        let b = rand_rect(&mut rng);
+        assert!(a.enlargement(&b) >= -1e-9);
     }
+}
 
-    #[test]
-    fn strict_containment_implies_closed(r in arb_rect(), p in arb_point()) {
+#[test]
+fn strict_containment_implies_closed() {
+    for seed in 0..CASES * 4 {
+        let mut rng = SmallRng::seed_from_u64(3000 + seed);
+        let r = rand_rect(&mut rng);
+        let p = rand_point(&mut rng);
         if r.strictly_contains_point(&p) {
-            prop_assert!(r.contains_point(&p));
+            assert!(r.contains_point(&p));
         }
     }
+}
 
-    #[test]
-    fn corner_constructors_are_consistent(p in arb_point(), w in 0.01..100.0f64, h in 0.01..100.0f64) {
+#[test]
+fn corner_constructors_are_consistent() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(4000 + seed);
+        let p = rand_point(&mut rng);
+        let w = rng.gen_range(0.01..100.0);
+        let h = rng.gen_range(0.01..100.0);
         let size = RegionSize::new(w, h);
         let r = Rect::from_bottom_left(p, size);
-        prop_assert!((r.width() - w).abs() < 1e-9);
-        prop_assert!((r.height() - h).abs() < 1e-9);
-        prop_assert_eq!(r.bottom_left(), p);
+        assert!((r.width() - w).abs() < 1e-9);
+        assert!((r.height() - h).abs() < 1e-9);
+        assert_eq!(r.bottom_left(), p);
         let r2 = Rect::from_top_right(r.top_right(), size);
-        prop_assert!((r2.min_x - r.min_x).abs() < 1e-9);
-        prop_assert!((r2.min_y - r.min_y).abs() < 1e-9);
+        assert!((r2.min_x - r.min_x).abs() < 1e-9);
+        assert!((r2.min_y - r.min_y).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn grid_cell_of_point_roundtrip(
-        cols in 1usize..40,
-        rows in 1usize..40,
-        fx in 0.0..1.0f64,
-        fy in 0.0..1.0f64,
-    ) {
+#[test]
+fn grid_cell_of_point_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(5000 + seed);
+        let cols = rng.gen_range(1usize..40);
+        let rows = rng.gen_range(1usize..40);
+        let fx: f64 = rng.gen_range(0.0..1.0);
+        let fy: f64 = rng.gen_range(0.0..1.0);
         let space = Rect::new(-10.0, 5.0, 30.0, 45.0);
         let g = GridSpec::new(space, cols, rows);
         let p = Point::new(
@@ -73,34 +111,38 @@ proptest! {
         );
         let cell = g.cell_of_point(&p).expect("point is inside the space");
         let rect = g.cell_rect(cell.col, cell.row);
-        prop_assert!(rect.contains_point(&p), "cell rect {rect} must contain {p}");
+        assert!(rect.contains_point(&p), "cell rect {rect} must contain {p}");
     }
+}
 
-    #[test]
-    fn grid_contained_cells_are_subset_of_overlapping(
-        cols in 1usize..30,
-        rows in 1usize..30,
-        r in arb_rect(),
-    ) {
+#[test]
+fn grid_contained_cells_are_subset_of_overlapping() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(6000 + seed);
+        let cols = rng.gen_range(1usize..30);
+        let rows = rng.gen_range(1usize..30);
+        let r = rand_rect(&mut rng);
         let space = Rect::new(-1000.0, -1000.0, 1000.0, 1000.0);
         let g = GridSpec::new(space, cols, rows);
         let over = g.cells_overlapping(&r);
         let cont = g.cells_contained(&r);
         for c in cont.iter() {
-            prop_assert!(over.contains(c));
-            prop_assert!(r.contains_rect(&g.cell_rect(c.col, c.row)));
+            assert!(over.contains(c));
+            assert!(r.contains_rect(&g.cell_rect(c.col, c.row)));
         }
         for c in over.iter() {
-            prop_assert!(g.cell_rect(c.col, c.row).interiors_intersect(&r));
+            assert!(g.cell_rect(c.col, c.row).interiors_intersect(&r));
         }
     }
+}
 
-    #[test]
-    fn grid_overlap_classification_is_exhaustive(
-        cols in 1usize..15,
-        rows in 1usize..15,
-        r in arb_rect(),
-    ) {
+#[test]
+fn grid_overlap_classification_is_exhaustive() {
+    for seed in 0..CASES / 2 {
+        let mut rng = SmallRng::seed_from_u64(7000 + seed);
+        let cols = rng.gen_range(1usize..15);
+        let rows = rng.gen_range(1usize..15);
+        let r = rand_rect(&mut rng);
         // Every grid cell is either in the overlap range or does not
         // interior-intersect the rectangle.
         let space = Rect::new(-600.0, -600.0, 600.0, 600.0);
@@ -110,19 +152,24 @@ proptest! {
             for col in 0..cols {
                 let cell_rect = g.cell_rect(col, row);
                 let inside = over.contains(asrs_geo::CellIdx::new(col, row));
-                prop_assert_eq!(inside, cell_rect.interiors_intersect(&r));
+                assert_eq!(inside, cell_rect.interiors_intersect(&r));
             }
         }
     }
+}
 
-    #[test]
-    fn min_gap_is_a_lower_bound_on_pairwise_gaps(values in prop::collection::vec(-100.0..100.0f64, 2..30)) {
+#[test]
+fn min_gap_is_a_lower_bound_on_pairwise_gaps() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(8000 + seed);
+        let len = rng.gen_range(2usize..30);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
         if let Some(gap) = min_positive_gap(&values) {
             for (i, a) in values.iter().enumerate() {
                 for b in values.iter().skip(i + 1) {
                     let d = (a - b).abs();
                     if d > 0.0 {
-                        prop_assert!(gap <= d + 1e-12);
+                        assert!(gap <= d + 1e-12);
                     }
                 }
             }

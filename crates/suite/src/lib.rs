@@ -16,8 +16,9 @@ pub mod prelude {
     };
     pub use asrs_baseline::{naive, segment_tree::MaxAddSegmentTree, OptimalEnclosure, SweepBase};
     pub use asrs_core::{
-        AsrsQuery, DsSearch, GiDsSearch, GridIndex, MaxRsResult, MaxRsSearch, SearchConfig,
-        SearchResult, SearchStats,
+        AsrsEngine, AsrsError, AsrsQuery, ConfigError, DsSearch, EngineBuilder, GiDsSearch,
+        GridIndex, MaxRsResult, MaxRsSearch, NaiveSearch, QueryError, SearchAlgorithm,
+        SearchConfig, SearchResult, SearchStats, Strategy,
     };
     pub use asrs_data::gen::{
         CityGenerator, CityMap, ClusteredGenerator, District, PoiSynGenerator, TweetGenerator,

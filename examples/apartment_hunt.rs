@@ -56,12 +56,17 @@ fn build_city(seed: u64) -> Dataset {
                 };
                 (cat, 0.0)
             } else {
-                (APARTMENT, (price_level + rng.gen_range(-2.0..2.0)).clamp(0.5, 20.0))
+                (
+                    APARTMENT,
+                    (price_level + rng.gen_range(-2.0..2.0)).clamp(0.5, 20.0),
+                )
             };
             builder.push(x, y, vec![AttrValue::Cat(category), AttrValue::Num(price)]);
         }
     }
-    builder.build().expect("generated values respect the schema")
+    builder
+        .build()
+        .expect("generated values respect the schema")
 }
 
 fn main() {
@@ -85,7 +90,7 @@ fn main() {
     let weights = Weights::new(vec![0.3, 1.0, 1.0, 1.0, 2.0]);
     let query = AsrsQuery::new(RegionSize::new(6.0, 6.0), target, weights);
 
-    let result = DsSearch::new(&dataset, &aggregator).search(&query);
+    let result = DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
     let labels = aggregator.dimension_labels();
     println!("\nbest neighbourhood: {}", result.region);
     println!("distance to the ideal: {:.3}", result.distance);
@@ -95,7 +100,9 @@ fn main() {
     }
 
     // Compare against the sweep-line baseline to show they agree.
-    let baseline = SweepBase::new(&dataset, &aggregator).search(&query);
+    let baseline = SweepBase::new(&dataset, &aggregator)
+        .search(&query)
+        .unwrap();
     println!(
         "\nsweep-line baseline distance: {:.3} (DS-Search took {:?}, Base took {:?})",
         baseline.distance, result.stats.elapsed, baseline.elapsed

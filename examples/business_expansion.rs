@@ -28,7 +28,9 @@ fn main() {
     );
 
     let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty dataset");
-    let result = GiDsSearch::new(&dataset, &aggregator, &index).search(&query);
+    let result = GiDsSearch::new(&dataset, &aggregator, &index)
+        .search(&query)
+        .unwrap();
 
     println!("\nbest expansion area: {}", result.region);
     println!("total visits inside:  {:>10.0}", result.representation[0]);

@@ -68,7 +68,7 @@ fn main() {
     // what the best region far from Orchard looks like.
     let query = AsrsQuery::from_example_region(dataset, &aggregator, &orchard)
         .expect("district rectangles are non-degenerate");
-    let result = DsSearch::new(dataset, &aggregator).search(&query);
+    let result = DsSearch::new(dataset, &aggregator).search(&query).unwrap();
     println!(
         "\nDS-Search found region {} at distance {:.1} in {:?}",
         result.region, result.distance, result.stats.elapsed

@@ -6,32 +6,42 @@ use asrs_suite::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let dataset = TweetGenerator::compact(12).generate(100_000, 11);
+    let dataset = TweetGenerator::compact(12).generate(30_000, 11);
     println!("dataset: {} objects", dataset.len());
     let size = RegionSize::new(20.0, 20.0);
 
     // DS-Search adapted to MaxRS (upper bounds instead of lower bounds).
     let started = Instant::now();
-    let ds_result = MaxRsSearch::new(&dataset, size).search();
+    let ds_result = MaxRsSearch::new(&dataset, size).search().unwrap();
     let ds_time = started.elapsed();
 
     // The O(n log n) Optimal Enclosure baseline.
     let started = Instant::now();
-    let oe_result = OptimalEnclosure::new(&dataset, size).search();
+    let oe_result = OptimalEnclosure::new(&dataset, size).search().unwrap();
     let oe_time = started.elapsed();
 
-    println!("\nDS-Search (MaxRS): {} objects in {}", ds_result.count, ds_result.region);
+    println!(
+        "\nDS-Search (MaxRS): {} objects in {}",
+        ds_result.count, ds_result.region
+    );
     println!("                   {:?}", ds_time);
-    println!("Optimal Enclosure: {} objects in {}", oe_result.count, oe_result.region);
+    println!(
+        "Optimal Enclosure: {} objects in {}",
+        oe_result.count, oe_result.region
+    );
     println!("                   {:?}", oe_time);
 
-    assert_eq!(ds_result.count, oe_result.count, "both algorithms are exact");
+    assert_eq!(
+        ds_result.count, oe_result.count,
+        "both algorithms are exact"
+    );
     println!("\nboth algorithms agree on the maximum count ✓");
 
     // The class-constrained variant: densest region of weekend posts only.
     let weekend_only = MaxRsSearch::new(&dataset, size)
         .with_selection(Selection::cat_in(0, vec![5, 6]))
-        .search();
+        .search()
+        .unwrap();
     println!(
         "densest weekend-post region: {} posts in {}",
         weekend_only.count, weekend_only.region

@@ -2,9 +2,10 @@
 //!
 //! Run with `cargo run --example quickstart --release`.
 //!
-//! The example builds a small synthetic POI dataset, describes a query
-//! region by example, and runs the exact DS-Search algorithm and the
-//! grid-index-accelerated GI-DS variant, printing both results.
+//! The example builds a small synthetic POI dataset and drives everything
+//! through the `AsrsEngine` facade: query-by-example, automatic backend
+//! selection (GI-DS because an index is attached), explicit backend
+//! comparison, top-k and batch querying.
 
 use asrs_suite::prelude::*;
 
@@ -24,38 +25,86 @@ fn main() {
         .build()
         .expect("schema has a 'category' attribute");
 
-    // 3. Query by example: "find me a region that looks like this one".
+    // 3. The engine: owns dataset + aggregator, builds the grid index and
+    //    picks the backend (Auto: index present → GI-DS).
+    let engine = AsrsEngine::builder(dataset, aggregator)
+        .build_index(64, 64)
+        .strategy(Strategy::Auto)
+        .build()
+        .expect("valid configuration and non-empty dataset");
+    println!("engine backend: {}", engine.backend_name());
+
+    // 4. Query by example: "find me a region that looks like this one".
     let example = Rect::new(10.0, 10.0, 30.0, 25.0);
-    let query = AsrsQuery::from_example_region(&dataset, &aggregator, &example)
+    let query = engine
+        .query_from_example(&example)
         .expect("example region is non-degenerate");
     println!(
         "query region {} has representation {}",
         example, query.target
     );
 
-    // 4. Exact search with DS-Search.
-    let result = DsSearch::new(&dataset, &aggregator).search(&query);
+    // 5. Search through the facade.
+    let result = engine.search(&query).expect("query matches the aggregator");
     println!(
-        "DS-Search: best region {} at distance {:.4} ({} sub-spaces, {} clean cells, {:.1?})",
+        "{}: best region {} at distance {:.4} (searched {}/{} index cells, {:.1?})",
+        engine.backend_name(),
         result.region,
         result.distance,
-        result.stats.spaces_processed,
-        result.stats.clean_cells,
+        result.stats.index_cells_searched,
+        result.stats.index_cells_total,
         result.stats.elapsed
     );
 
-    // 5. The same query through the grid index (GI-DS).
-    let index = GridIndex::build(&dataset, &aggregator, 64, 64).expect("non-empty dataset");
-    let indexed = GiDsSearch::new(&dataset, &aggregator, &index).search(&query);
+    // 6. The same query on the plain DS-Search backend must agree.  The
+    //    un-indexed algorithm degrades on dense uniform data (that is what
+    //    the grid index is for), so compare on a 1,500-object sample.
+    let sample = UniformGenerator::default().generate(1_500, 42);
+    let sample_query = AsrsQuery::from_example_region(&sample, engine.aggregator(), &example)
+        .expect("example region is non-degenerate");
+    let ds_engine = AsrsEngine::builder(sample.clone(), engine.aggregator().clone())
+        .strategy(Strategy::DsSearch)
+        .build()
+        .expect("valid configuration");
+    let plain = ds_engine
+        .search(&sample_query)
+        .expect("query matches the aggregator");
     println!(
-        "GI-DS:     best region {} at distance {:.4} (searched {}/{} index cells, {:.1?})",
-        indexed.region,
-        indexed.distance,
-        indexed.stats.index_cells_searched,
-        indexed.stats.index_cells_total,
-        indexed.stats.elapsed
+        "ds-search: best region {} at distance {:.4} ({} sub-spaces, {:.1?})",
+        plain.region, plain.distance, plain.stats.spaces_processed, plain.stats.elapsed
     );
+    let gi_sample = AsrsEngine::builder(sample, engine.aggregator().clone())
+        .build_index(64, 64)
+        .build()
+        .expect("valid configuration");
+    let indexed = gi_sample
+        .search(&sample_query)
+        .expect("query matches the aggregator");
+    assert!((indexed.distance - plain.distance).abs() < 1e-9);
+    println!("both backends agree on the optimal distance ✓");
 
-    assert!((result.distance - indexed.distance).abs() < 1e-9);
-    println!("both solvers agree on the optimal distance ✓");
+    // 7. Engine-level extras: the 3 best distinct anchors...
+    let top = engine.search_top_k(&query, 3).expect("k >= 1");
+    for (rank, r) in top.iter().enumerate() {
+        println!(
+            "top-{}: {} at distance {:.4}",
+            rank + 1,
+            r.region,
+            r.distance
+        );
+    }
+
+    // ...and a thread-parallel batch of related queries.
+    let batch: Vec<AsrsQuery> = [8.0, 15.0, 25.0]
+        .iter()
+        .map(|side| {
+            let region = Rect::new(40.0, 40.0, 40.0 + side, 40.0 + side);
+            engine.query_from_example(&region).expect("non-degenerate")
+        })
+        .collect();
+    let answers = engine.search_batch(&batch).expect("all queries are valid");
+    println!("batch: {} queries answered", answers.len());
+    for (q, a) in batch.iter().zip(&answers) {
+        println!("  {} → {} at distance {:.4}", q.size, a.region, a.distance);
+    }
 }

@@ -34,10 +34,13 @@ fn main() {
         index.memory_bytes() as f64 / 1024.0
     );
     let solver = GiDsSearch::new(&dataset, &aggregator, &index);
-    let result = solver.search(&query);
+    let result = solver.search(&query).unwrap();
 
     println!("\nmost weekend-centric region: {}", result.region);
-    println!("distance to the ideal weekend profile: {:.2}", result.distance);
+    println!(
+        "distance to the ideal weekend profile: {:.2}",
+        result.distance
+    );
     println!("posts per day of the week inside it:");
     for (day, count) in WEEKDAY_LABELS.iter().zip(result.representation.iter()) {
         println!("  {day:<10} {count:6.0}");
@@ -49,7 +52,7 @@ fn main() {
 
     // The approximate variant trades a bounded loss for speed (Section 6).
     for delta in [0.1, 0.4] {
-        let approx = solver.search_approx(&query, delta);
+        let approx = solver.search_approx(&query, delta).unwrap();
         println!(
             "(1+{delta:.1})-approximation: distance {:.2}, searched {} cells, {:?}",
             approx.distance, approx.stats.index_cells_searched, approx.stats.elapsed

@@ -39,7 +39,11 @@ fn paper_examples_2_3_and_4_reproduce() {
     b.push(5.0, 5.0, vec![AttrValue::Cat(3), AttrValue::Num(0.0)]);
     // r_1 objects (region [100, 110) x [0, 10)): representation (3,1,1,1,1.6).
     for (i, price) in [1.2, 1.6, 2.0].iter().enumerate() {
-        b.push(101.0 + i as f64, 1.0, vec![AttrValue::Cat(0), AttrValue::Num(*price)]);
+        b.push(
+            101.0 + i as f64,
+            1.0,
+            vec![AttrValue::Cat(0), AttrValue::Num(*price)],
+        );
     }
     b.push(105.0, 2.0, vec![AttrValue::Cat(1), AttrValue::Num(0.0)]);
     b.push(106.0, 3.0, vec![AttrValue::Cat(2), AttrValue::Num(0.0)]);
@@ -77,7 +81,7 @@ fn paper_examples_2_3_and_4_reproduce() {
     // DS-Search with r_q as the example must therefore prefer r_1's
     // neighbourhood over r_2's (distance at most d1).
     let query = AsrsQuery::from_example_region(&ds, &agg, &rq).unwrap();
-    let result = DsSearch::new(&ds, &agg).search(&query);
+    let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
     assert!(result.distance <= d1 + 1e-9);
 }
 
@@ -93,7 +97,7 @@ fn f1_style_query_finds_a_weekend_heavy_region() {
         FeatureVector::new(vec![0.0, 0.0, 0.0, 0.0, 0.0, 25.0, 25.0]),
         Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
     );
-    let result = DsSearch::new(&ds, &agg).search(&query);
+    let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
     let rep = agg.aggregate_region(&ds, &result.region);
     let weekday: f64 = rep.as_slice()[..5].iter().sum();
     let weekend: f64 = rep.as_slice()[5..].iter().sum();
@@ -117,7 +121,7 @@ fn f2_style_query_finds_popular_highly_rated_regions() {
         FeatureVector::new(vec![vmax, 10.0]),
         Weights::new(vec![1.0 / vmax, 1.0 / 10.0]),
     );
-    let result = DsSearch::new(&ds, &agg).search(&query);
+    let result = DsSearch::new(&ds, &agg).search(&query).unwrap();
     let rep = agg.aggregate_region(&ds, &result.region);
     // The selected region must have an above-average rating and a
     // substantial number of visits.
@@ -145,7 +149,7 @@ fn dataset_io_roundtrip_preserves_search_results() {
         FeatureVector::new(vec![2.0, 2.0, 2.0, 2.0]),
         Weights::uniform(4),
     );
-    let original = DsSearch::new(&ds, &agg).search(&query);
-    let roundtrip = DsSearch::new(&reloaded, &agg).search(&query);
+    let original = DsSearch::new(&ds, &agg).search(&query).unwrap();
+    let roundtrip = DsSearch::new(&reloaded, &agg).search(&query).unwrap();
     assert_eq!(original.distance, roundtrip.distance);
 }

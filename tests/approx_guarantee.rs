@@ -20,16 +20,22 @@ fn approximation_guarantee_holds_for_ds_search() {
         .build()
         .unwrap();
     let query = f1_query(RegionSize::new(70.0, 70.0));
-    let exact = DsSearch::new(&ds, &agg).search(&query);
+    let exact = DsSearch::new(&ds, &agg).search(&query).unwrap();
     for delta in [0.1, 0.2, 0.3, 0.4] {
-        let approx = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_delta(delta)).search(&query);
+        let approx =
+            DsSearch::with_config(&ds, &agg, SearchConfig::new().with_delta(delta).unwrap())
+                .search(&query)
+                .unwrap();
         assert!(
             approx.distance <= (1.0 + delta) * exact.distance + 1e-9,
             "δ={delta}: approx {} vs optimal {}",
             approx.distance,
             exact.distance
         );
-        assert!(approx.distance + 1e-9 >= exact.distance, "approximation cannot beat the optimum");
+        assert!(
+            approx.distance + 1e-9 >= exact.distance,
+            "approximation cannot beat the optimum"
+        );
     }
 }
 
@@ -43,9 +49,9 @@ fn approximation_guarantee_holds_for_gi_ds() {
     let index = GridIndex::build(&ds, &agg, 48, 48).unwrap();
     let solver = GiDsSearch::new(&ds, &agg, &index);
     let query = f1_query(RegionSize::new(45.0, 45.0));
-    let exact = solver.search(&query);
+    let exact = solver.search(&query).unwrap();
     for delta in [0.1, 0.2, 0.3, 0.4] {
-        let approx = solver.search_approx(&query, delta);
+        let approx = solver.search_approx(&query, delta).unwrap();
         assert!(
             approx.distance <= (1.0 + delta) * exact.distance + 1e-9,
             "δ={delta}: approx {} vs optimal {}",
@@ -68,9 +74,9 @@ fn larger_delta_never_searches_more_index_cells() {
     let mut searched = Vec::new();
     for delta in [0.0, 0.1, 0.2, 0.4] {
         let result = if delta == 0.0 {
-            solver.search(&query)
+            solver.search(&query).unwrap()
         } else {
-            solver.search_approx(&query, delta)
+            solver.search_approx(&query, delta).unwrap()
         };
         searched.push(result.stats.index_cells_searched);
     }
@@ -95,10 +101,13 @@ fn quality_ratio_matches_table_2_shape() {
     let index = GridIndex::build(&ds, &agg, 48, 48).unwrap();
     let solver = GiDsSearch::new(&ds, &agg, &index);
     let query = f1_query(RegionSize::new(80.0, 80.0));
-    let exact = solver.search(&query);
-    assert!(exact.distance > 0.0, "a strict optimum keeps the ratio well-defined");
+    let exact = solver.search(&query).unwrap();
+    assert!(
+        exact.distance > 0.0,
+        "a strict optimum keeps the ratio well-defined"
+    );
     for delta in [0.1, 0.4] {
-        let approx = solver.search_approx(&query, delta);
+        let approx = solver.search_approx(&query, delta).unwrap();
         let quality = approx.distance / exact.distance;
         assert!(quality >= 1.0 - 1e-9);
         assert!(quality <= 1.0 + delta + 1e-9);
@@ -117,7 +126,9 @@ fn zero_delta_is_exactly_the_exact_algorithm() {
         FeatureVector::new(vec![4.0, 4.0, 4.0, 4.0]),
         Weights::uniform(4),
     );
-    let exact = DsSearch::new(&ds, &agg).search(&query);
-    let zero_delta = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_delta(0.0)).search(&query);
+    let exact = DsSearch::new(&ds, &agg).search(&query).unwrap();
+    let zero_delta = DsSearch::with_config(&ds, &agg, SearchConfig::new().with_delta(0.0).unwrap())
+        .search(&query)
+        .unwrap();
     assert_eq!(exact.distance, zero_delta.distance);
 }

@@ -1,0 +1,262 @@
+//! The `AsrsEngine` facade: backend parity across strategies, top-k
+//! ranking, thread-parallel batching, MaxRS routing and boundary
+//! validation.
+
+use asrs_suite::prelude::*;
+
+/// A shared workload: clustered tweets with the paper's F1-style
+/// day-of-week aggregator plus a few hand-picked queries.
+fn workload(n: usize, seed: u64) -> (Dataset, CompositeAggregator, Vec<AsrsQuery>) {
+    let ds = TweetGenerator::compact(5).generate(n, seed);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("day_of_week", Selection::All)
+        .build()
+        .unwrap();
+    let queries = vec![
+        AsrsQuery::new(
+            RegionSize::new(100.0, 100.0),
+            FeatureVector::new(vec![0.0, 0.0, 0.0, 0.0, 0.0, 5.0, 5.0]),
+            Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
+        ),
+        AsrsQuery::new(
+            RegionSize::new(150.0, 120.0),
+            FeatureVector::new(vec![2.0, 2.0, 2.0, 2.0, 2.0, 0.0, 0.0]),
+            Weights::uniform(7),
+        ),
+        AsrsQuery::new(
+            RegionSize::new(60.0, 60.0),
+            FeatureVector::new(vec![1.0, 0.0, 1.0, 0.0, 1.0, 3.0, 3.0]),
+            Weights::uniform(7),
+        ),
+    ];
+    (ds, agg, queries)
+}
+
+fn engine_with(strategy: Strategy, ds: &Dataset, agg: &CompositeAggregator) -> AsrsEngine {
+    let mut builder = AsrsEngine::builder(ds.clone(), agg.clone()).strategy(strategy);
+    if matches!(strategy, Strategy::GiDs) {
+        builder = builder.build_index(24, 24);
+    }
+    builder.build().unwrap()
+}
+
+#[test]
+fn every_strategy_returns_the_same_optimal_distance() {
+    // The naive oracle is O(n²) probes, so keep the shared workload small;
+    // it is still large enough that DS-Search prunes and splits.
+    let (ds, agg, queries) = workload(90, 41);
+    let engines: Vec<(Strategy, AsrsEngine)> =
+        [Strategy::DsSearch, Strategy::GiDs, Strategy::Naive]
+            .into_iter()
+            .map(|s| (s, engine_with(s, &ds, &agg)))
+            .collect();
+    for (qi, query) in queries.iter().enumerate() {
+        let reference = engines[0].1.search(query).unwrap();
+        for (strategy, engine) in &engines {
+            let result = engine.search(query).unwrap();
+            assert!(
+                (result.distance - reference.distance).abs() < 1e-9,
+                "query {qi}: {strategy:?} found {} but DS-Search found {}",
+                result.distance,
+                reference.distance
+            );
+            // Every backend's answer must be internally consistent.
+            let rep = agg.aggregate_region(&ds, &result.region);
+            let d = agg.distance(&rep, &query.target, &query.weights, query.metric);
+            assert!((d - result.distance).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn auto_strategy_matches_the_explicit_backends() {
+    let (ds, agg, queries) = workload(600, 17);
+    let auto_plain = AsrsEngine::builder(ds.clone(), agg.clone())
+        .build()
+        .unwrap();
+    let auto_indexed = AsrsEngine::builder(ds.clone(), agg.clone())
+        .build_index(32, 32)
+        .build()
+        .unwrap();
+    assert_eq!(auto_plain.backend_name(), "ds-search");
+    assert_eq!(auto_indexed.backend_name(), "gi-ds");
+    for query in &queries {
+        let a = auto_plain.search(query).unwrap();
+        let b = auto_indexed.search(query).unwrap();
+        assert!((a.distance - b.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn top_k_distances_are_monotone_in_k() {
+    let (ds, agg, queries) = workload(300, 23);
+    for strategy in [Strategy::DsSearch, Strategy::GiDs] {
+        let engine = engine_with(strategy, &ds, &agg);
+        let query = &queries[0];
+        let mut previous: Vec<SearchResult> = Vec::new();
+        for k in 1..=6 {
+            let top = engine.search_top_k(query, k).unwrap();
+            assert!(!top.is_empty() && top.len() <= k);
+            // Distances non-decreasing within one answer...
+            for pair in top.windows(2) {
+                assert!(
+                    pair[0].distance <= pair[1].distance + 1e-12,
+                    "{strategy:?}: top-k must be sorted"
+                );
+                assert_ne!(pair[0].anchor, pair[1].anchor, "anchors must be distinct");
+            }
+            // ...and stable as k grows: the first |previous| entries keep
+            // their distances (a larger k never improves an earlier rank).
+            for (p, t) in previous.iter().zip(&top) {
+                assert!(
+                    (p.distance - t.distance).abs() < 1e-9,
+                    "{strategy:?}: rank distances must not change when k grows"
+                );
+            }
+            previous = top;
+        }
+    }
+}
+
+#[test]
+fn top_k_agrees_with_the_naive_oracle_on_distances() {
+    // On a small instance the k best distances of DS-Search must match the
+    // exhaustive enumeration's k best (anchors may differ inside ties).
+    let (ds, agg, queries) = workload(60, 29);
+    let ds_engine = engine_with(Strategy::DsSearch, &ds, &agg);
+    let naive_engine = engine_with(Strategy::Naive, &ds, &agg);
+    for query in &queries {
+        let a = ds_engine.search_top_k(query, 4).unwrap();
+        let b = naive_engine.search_top_k(query, 4).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(
+            (a[0].distance - b[0].distance).abs() < 1e-9,
+            "optimum must agree: {} vs {}",
+            a[0].distance,
+            b[0].distance
+        );
+    }
+}
+
+#[test]
+fn search_batch_is_order_preserving_and_parallel_safe() {
+    let (ds, agg, mut queries) = workload(800, 31);
+    // Widen the batch so several workers engage.
+    for k in 2..10u32 {
+        queries.push(AsrsQuery::new(
+            RegionSize::new(40.0 + 10.0 * k as f64, 80.0),
+            FeatureVector::new(vec![k as f64, 0.0, 0.0, 1.0, 0.0, 2.0, 2.0]),
+            Weights::uniform(7),
+        ));
+    }
+    let engine = AsrsEngine::builder(ds, agg)
+        .build_index(32, 32)
+        .build()
+        .unwrap();
+    let batch = engine.search_batch(&queries).unwrap();
+    assert_eq!(batch.len(), queries.len());
+    for (query, result) in queries.iter().zip(&batch) {
+        let sequential = engine.search(query).unwrap();
+        assert!(
+            (sequential.distance - result.distance).abs() < 1e-9,
+            "batch answers must match sequential answers in query order"
+        );
+    }
+}
+
+#[test]
+fn sweep_baseline_plugs_in_as_an_external_backend() {
+    let (ds, agg, queries) = workload(120, 37);
+    let engine = AsrsEngine::builder(ds.clone(), agg.clone())
+        .build()
+        .unwrap();
+    let sweep = SweepBase::new(engine.dataset(), engine.aggregator());
+    for query in &queries {
+        let via_engine = engine.search_with(&sweep, query).unwrap();
+        let direct = engine.search(query).unwrap();
+        assert!(
+            (via_engine.distance - direct.distance).abs() < 1e-9,
+            "sweep-base backend must agree with DS-Search"
+        );
+    }
+    assert_eq!(SearchAlgorithm::name(&sweep), "sweep-base");
+}
+
+#[test]
+fn maxrs_through_the_facade_matches_the_oe_baseline() {
+    let (ds, agg, _) = workload(400, 43);
+    let engine = AsrsEngine::builder(ds.clone(), agg).build().unwrap();
+    let size = RegionSize::new(90.0, 90.0);
+    let facade = engine.max_rs(size).unwrap();
+    let oe = OptimalEnclosure::new(&ds, size).search().unwrap();
+    assert_eq!(facade.count, oe.count);
+    assert_eq!(ds.count_strictly_in(&facade.region), facade.count);
+}
+
+#[test]
+fn engine_boundary_rejects_malformed_queries_and_configs() {
+    let (ds, agg, queries) = workload(50, 47);
+
+    // Invalid config surfaces at build time.
+    let bad = SearchConfig {
+        nrows: 1,
+        ..SearchConfig::default()
+    };
+    assert!(matches!(
+        AsrsEngine::builder(ds.clone(), agg.clone())
+            .config(bad)
+            .build(),
+        Err(AsrsError::Config(ConfigError::GridTooCoarse { .. }))
+    ));
+
+    // GI-DS without an index surfaces at build time.
+    assert!(matches!(
+        AsrsEngine::builder(ds.clone(), agg.clone())
+            .strategy(Strategy::GiDs)
+            .build(),
+        Err(AsrsError::IndexRequired { .. })
+    ));
+
+    let engine = AsrsEngine::builder(ds, agg).build().unwrap();
+
+    // Dimension mismatch.
+    let bad_dim = AsrsQuery::new(
+        RegionSize::new(10.0, 10.0),
+        FeatureVector::new(vec![1.0]),
+        Weights::uniform(1),
+    );
+    assert!(matches!(
+        engine.search(&bad_dim),
+        Err(AsrsError::Query(QueryError::TargetDimensionMismatch { .. }))
+    ));
+
+    // Degenerate size.
+    let bad_size = AsrsQuery::new(
+        RegionSize::new(0.0, 10.0),
+        FeatureVector::zeros(7),
+        Weights::uniform(7),
+    );
+    assert!(matches!(
+        engine.search(&bad_size),
+        Err(AsrsError::Query(QueryError::InvalidSize { .. }))
+    ));
+
+    // Negative weight (constructed via the raw tuple field, since the
+    // checked constructors refuse it).
+    let bad_weights = AsrsQuery::new(
+        RegionSize::new(10.0, 10.0),
+        FeatureVector::zeros(7),
+        Weights(vec![-1.0; 7]),
+    );
+    assert!(matches!(
+        engine.search(&bad_weights),
+        Err(AsrsError::Query(QueryError::InvalidWeights))
+    ));
+
+    // k = 0 and a bad query inside a batch.
+    assert!(matches!(
+        engine.search_top_k(&queries[0], 0),
+        Err(AsrsError::InvalidTopK)
+    ));
+    assert!(engine.search_batch(&[queries[0].clone(), bad_dim]).is_err());
+}

@@ -9,7 +9,15 @@ fn tweet_query(target_weekend: f64, size: RegionSize) -> AsrsQuery {
     // week, weekend dimensions weighted 1/2, weekday dimensions 1/5.
     AsrsQuery::new(
         size,
-        FeatureVector::new(vec![0.0, 0.0, 0.0, 0.0, 0.0, target_weekend, target_weekend]),
+        FeatureVector::new(vec![
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            target_weekend,
+            target_weekend,
+        ]),
         Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
     )
 }
@@ -27,8 +35,8 @@ fn ds_search_matches_the_naive_oracle_on_uniform_data() {
             FeatureVector::new(vec![3.0, 2.0, 1.0, 0.0]),
             Weights::uniform(4),
         );
-        let ds_result = DsSearch::new(&ds, &agg).search(&query);
-        let oracle = naive::naive_best_region(&ds, &agg, &query);
+        let ds_result = DsSearch::new(&ds, &agg).search(&query).unwrap();
+        let oracle = naive::naive_best_region(&ds, &agg, &query).unwrap();
         assert!(
             (ds_result.distance - oracle.distance).abs() < 1e-9,
             "seed {seed}: DS-Search {} vs oracle {}",
@@ -47,8 +55,8 @@ fn ds_search_matches_the_sweep_baseline_on_clustered_tweets() {
             .build()
             .unwrap();
         let query = tweet_query(6.0, RegionSize::new(120.0, 120.0));
-        let ds_result = DsSearch::new(&ds, &agg).search(&query);
-        let base = SweepBase::new(&ds, &agg).search(&query);
+        let ds_result = DsSearch::new(&ds, &agg).search(&query).unwrap();
+        let base = SweepBase::new(&ds, &agg).search(&query).unwrap();
         assert!(
             (ds_result.distance - base.distance).abs() < 1e-9,
             "seed {seed}: DS-Search {} vs Base {}",
@@ -73,9 +81,9 @@ fn all_three_solvers_agree_with_mixed_aggregators() {
             FeatureVector::new(vec![4_000.0, 10.0]),
             Weights::new(vec![1.0 / 4_000.0, 0.1]),
         );
-        let ds_result = DsSearch::new(&ds, &agg).search(&query);
-        let sweep = SweepBase::new(&ds, &agg).search(&query);
-        let oracle = naive::naive_best_region(&ds, &agg, &query);
+        let ds_result = DsSearch::new(&ds, &agg).search(&query).unwrap();
+        let sweep = SweepBase::new(&ds, &agg).search(&query).unwrap();
+        let oracle = naive::naive_best_region(&ds, &agg, &query).unwrap();
         assert!(
             (ds_result.distance - oracle.distance).abs() < 1e-6,
             "seed {seed}: DS {} vs oracle {}",
@@ -105,8 +113,8 @@ fn agreement_holds_across_query_sizes() {
             FeatureVector::new(vec![1.0, 1.0, 1.0, 1.0]),
             Weights::uniform(4),
         );
-        let ds_result = DsSearch::new(&ds, &agg).search(&query);
-        let oracle = naive::naive_best_region(&ds, &agg, &query);
+        let ds_result = DsSearch::new(&ds, &agg).search(&query).unwrap();
+        let oracle = naive::naive_best_region(&ds, &agg, &query).unwrap();
         assert!(
             (ds_result.distance - oracle.distance).abs() < 1e-9,
             "size {k}q: DS {} vs oracle {}",
@@ -130,8 +138,8 @@ fn agreement_holds_with_selective_aggregators_and_l2() {
         Weights::uniform(2),
     )
     .with_metric(DistanceMetric::L2);
-    let ds_result = DsSearch::new(&ds, &agg).search(&query);
-    let oracle = naive::naive_best_region(&ds, &agg, &query);
+    let ds_result = DsSearch::new(&ds, &agg).search(&query).unwrap();
+    let oracle = naive::naive_best_region(&ds, &agg, &query).unwrap();
     assert!(
         (ds_result.distance - oracle.distance).abs() < 1e-9,
         "L2: DS {} vs oracle {}",
@@ -151,8 +159,8 @@ fn query_by_example_recovers_a_zero_distance_region() {
         .unwrap();
     let example = Rect::new(200.0, 300.0, 400.0, 480.0);
     let query = AsrsQuery::from_example_region(&ds, &agg, &example).unwrap();
-    let ds_result = DsSearch::new(&ds, &agg).search(&query);
-    let sweep = SweepBase::new(&ds, &agg).search(&query);
+    let ds_result = DsSearch::new(&ds, &agg).search(&query).unwrap();
+    let sweep = SweepBase::new(&ds, &agg).search(&query).unwrap();
     assert!(ds_result.distance < 1e-9);
     assert!(sweep.distance < 1e-9);
 }

@@ -15,10 +15,10 @@ fn gi_ds_equals_ds_search_across_granularities() {
         FeatureVector::new(vec![0.0, 0.0, 0.0, 0.0, 0.0, 25.0, 25.0]),
         Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
     );
-    let reference = DsSearch::new(&ds, &agg).search(&query);
+    let reference = DsSearch::new(&ds, &agg).search(&query).unwrap();
     for granularity in [16, 32, 64] {
         let index = GridIndex::build(&ds, &agg, granularity, granularity).unwrap();
-        let result = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        let result = GiDsSearch::new(&ds, &agg, &index).search(&query).unwrap();
         assert!(
             (result.distance - reference.distance).abs() < 1e-9,
             "granularity {granularity}: GI-DS {} vs DS {}",
@@ -42,8 +42,8 @@ fn gi_ds_equals_the_naive_oracle_on_small_instances() {
             FeatureVector::new(vec![2.0, 2.0, 0.0, 1.0]),
             Weights::uniform(4),
         );
-        let gi = GiDsSearch::new(&ds, &agg, &index).search(&query);
-        let oracle = naive::naive_best_region(&ds, &agg, &query);
+        let gi = GiDsSearch::new(&ds, &agg, &index).search(&query).unwrap();
+        let oracle = naive::naive_best_region(&ds, &agg, &query).unwrap();
         assert!(
             (gi.distance - oracle.distance).abs() < 1e-9,
             "seed {seed}: GI-DS {} vs oracle {}",
@@ -70,7 +70,7 @@ fn finer_index_granularity_searches_a_smaller_fraction_of_cells() {
     let mut ratios = Vec::new();
     for granularity in [16, 32, 64] {
         let index = GridIndex::build(&ds, &agg, granularity, granularity).unwrap();
-        let result = GiDsSearch::new(&ds, &agg, &index).search(&query);
+        let result = GiDsSearch::new(&ds, &agg, &index).search(&query).unwrap();
         ratios.push(result.stats.index_search_ratio().unwrap());
     }
     assert!(
@@ -95,7 +95,10 @@ fn index_size_grows_with_granularity_as_in_table_1() {
     assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
     // Quadrupling the cell count roughly quadruples the footprint.
     let ratio = sizes[1] as f64 / sizes[0] as f64;
-    assert!(ratio > 3.0 && ratio < 5.0, "unexpected growth ratio {ratio}");
+    assert!(
+        ratio > 3.0 && ratio < 5.0,
+        "unexpected growth ratio {ratio}"
+    );
 }
 
 #[test]
@@ -112,8 +115,8 @@ fn gi_ds_handles_numeric_aggregators() {
         FeatureVector::new(vec![20_000.0, 10.0]),
         Weights::new(vec![1.0 / 20_000.0, 0.1]),
     );
-    let reference = DsSearch::new(&ds, &agg).search(&query);
-    let indexed = GiDsSearch::new(&ds, &agg, &index).search(&query);
+    let reference = DsSearch::new(&ds, &agg).search(&query).unwrap();
+    let indexed = GiDsSearch::new(&ds, &agg, &index).search(&query).unwrap();
     assert!(
         (reference.distance - indexed.distance).abs() < 1e-6,
         "GI-DS {} vs DS {}",

@@ -9,9 +9,9 @@ fn ds_maxrs_equals_oe_and_oracle_on_random_data() {
     for seed in 0..6 {
         let ds = UniformGenerator::default().generate(80, seed);
         let size = RegionSize::new(14.0, 11.0);
-        let ds_result = MaxRsSearch::new(&ds, size).search();
-        let oe = OptimalEnclosure::new(&ds, size).search();
-        let oracle = naive::naive_maxrs_count(&ds, size.width, size.height);
+        let ds_result = MaxRsSearch::new(&ds, size).search().unwrap();
+        let oe = OptimalEnclosure::new(&ds, size).search().unwrap();
+        let oracle = naive::naive_maxrs_count(&ds, size.width, size.height).unwrap();
         assert_eq!(ds_result.count, oracle, "seed {seed}: DS-MaxRS vs oracle");
         assert_eq!(oe.count, oracle, "seed {seed}: OE vs oracle");
     }
@@ -22,8 +22,8 @@ fn ds_maxrs_equals_oe_on_clustered_data() {
     for seed in [1, 5, 9] {
         let ds = TweetGenerator::compact(4).generate(600, seed);
         let size = RegionSize::new(80.0, 80.0);
-        let ds_result = MaxRsSearch::new(&ds, size).search();
-        let oe = OptimalEnclosure::new(&ds, size).search();
+        let ds_result = MaxRsSearch::new(&ds, size).search().unwrap();
+        let oe = OptimalEnclosure::new(&ds, size).search().unwrap();
         assert_eq!(
             ds_result.count, oe.count,
             "seed {seed}: DS-MaxRS {} vs OE {}",
@@ -40,7 +40,10 @@ fn maxrs_count_is_monotone_in_region_size() {
     let ds = PoiSynGenerator::compact(5).generate(400, 3);
     let mut previous = 0usize;
     for k in [10.0, 40.0, 70.0, 100.0] {
-        let count = MaxRsSearch::new(&ds, RegionSize::new(k, k)).search().count;
+        let count = MaxRsSearch::new(&ds, RegionSize::new(k, k))
+            .search()
+            .unwrap()
+            .count;
         assert!(
             count >= previous,
             "a larger region can always enclose at least as many objects"
@@ -56,11 +59,12 @@ fn class_constrained_maxrs_is_consistent() {
     // recount of the returned region.
     let ds = UniformGenerator::default().generate(300, 11);
     let size = RegionSize::new(18.0, 18.0);
-    let unconstrained = MaxRsSearch::new(&ds, size).search();
+    let unconstrained = MaxRsSearch::new(&ds, size).search().unwrap();
     for category in 0..4u32 {
         let constrained = MaxRsSearch::new(&ds, size)
             .with_selection(Selection::cat_equals(0, category))
-            .search();
+            .search()
+            .unwrap();
         assert!(constrained.count <= unconstrained.count);
         let recount = ds
             .objects_strictly_in(&constrained.region)
@@ -78,7 +82,7 @@ fn maxrs_via_generic_asrs_query_matches_dedicated_wrapper() {
     // query path must agree.
     let ds = UniformGenerator::default().generate(250, 23);
     let size = RegionSize::new(20.0, 15.0);
-    let wrapper = MaxRsSearch::new(&ds, size).search();
+    let wrapper = MaxRsSearch::new(&ds, size).search().unwrap();
 
     let agg = CompositeAggregator::builder(ds.schema())
         .count(Selection::All)
@@ -89,7 +93,7 @@ fn maxrs_via_generic_asrs_query_matches_dedicated_wrapper() {
         FeatureVector::new(vec![ds.len() as f64 + 1.0]),
         Weights::uniform(1),
     );
-    let generic = DsSearch::new(&ds, &agg).search(&query);
+    let generic = DsSearch::new(&ds, &agg).search(&query).unwrap();
     let generic_count = generic.representation[0].round() as usize;
     assert_eq!(wrapper.count, generic_count);
 }

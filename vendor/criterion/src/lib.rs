@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros and `black_box` — with a
+//! deliberately simple measurement strategy: each benchmark body runs a
+//! handful of iterations and the mean wall-clock time is printed.  This
+//! keeps `cargo bench` functional (and the bench targets compiling) without
+//! criterion's statistical machinery, which is unavailable offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after one warm-up run).
+const ITERATIONS: u32 = 3;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { name }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case(&id.into(), &mut body);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stand-in always runs a fixed,
+    /// small number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (see [`BenchmarkGroup::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (see [`BenchmarkGroup::sample_size`]).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `body` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_case(&label, &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    /// Benchmarks a function without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_case(&label, &mut body);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_case<F: FnMut(&mut Bencher)>(label: &str, body: &mut F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    body(&mut bencher);
+    if bencher.iterations > 0 {
+        let mean = bencher.elapsed / bencher.iterations;
+        eprintln!("  {label}: {mean:?}/iter over {} iters", bencher.iterations);
+    } else {
+        eprintln!("  {label}: no iterations recorded");
+    }
+}
+
+/// Passed to benchmark bodies; its [`Bencher::iter`] method times a closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding one warm-up invocation first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += ITERATIONS;
+    }
+}
+
+/// A two-part benchmark identifier (`function name` / `parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, ITERATIONS + 1);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(1))
+            .warm_up_time(Duration::from_millis(10));
+        let input = 21u64;
+        let mut result = 0u64;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &i| {
+            b.iter(|| result = i * 2);
+        });
+        group.finish();
+        assert_eq!(result, 42);
+    }
+}

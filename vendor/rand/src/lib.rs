@@ -1,0 +1,271 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the small API subset the workspace's deterministic workload
+//! generators use: [`rngs::SmallRng`] (an xoshiro256++ generator seeded via
+//! splitmix64, the same construction the real `SmallRng` uses on 64-bit
+//! targets), [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! half-open and inclusive integer / float ranges, and [`Rng::gen_bool`].
+//!
+//! Streams are deterministic per seed but do **not** match the real rand
+//! crate bit-for-bit; all workspace tests treat generator output as opaque.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a value from the standard distribution: `[0, 1)` for
+    /// floats, the full range for integers, a fair coin for `bool`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps 64 random bits to a float in `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types [`Rng::gen`] can sample from their standard distribution.
+pub trait StandardSample {
+    /// Draws one sample from the standard distribution.
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> f32 {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<G: RngCore + ?Sized>(rng: &mut G) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from, producing values of
+/// type `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Types with a uniform sampling routine over an interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[start, end)` (`inclusive = false`) or
+    /// `[start, end]` (`inclusive = true`).
+    fn sample_interval<G: RngCore + ?Sized>(
+        start: Self,
+        end: Self,
+        inclusive: bool,
+        rng: &mut G,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_interval(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_interval(start, end, true, rng)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_interval<G: RngCore + ?Sized>(
+        start: f64,
+        end: f64,
+        inclusive: bool,
+        rng: &mut G,
+    ) -> f64 {
+        let v = start + unit_f64(rng.next_u64()) * (end - start);
+        // Guard against rounding up to an excluded endpoint.
+        if inclusive || v < end {
+            v
+        } else {
+            start
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<G: RngCore + ?Sized>(
+                start: $t,
+                end: $t,
+                inclusive: bool,
+                rng: &mut G,
+            ) -> $t {
+                let span = (end as i128 - start as i128 + if inclusive { 1 } else { 0 }) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with splitmix64, as rand_core does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&v));
+            let w = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        let mut seen_inclusive = [false; 7];
+        for _ in 0..500 {
+            seen_inclusive[(rng.gen_range(-3i32..=3) + 3) as usize] = true;
+        }
+        assert!(seen_inclusive.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment of this workspace has no access to crates.io, so
+//! this crate provides the small subset of serde the workspace actually
+//! uses, backed by a self-describing [`Value`] model and a JSON text
+//! format:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits (value-model based rather than
+//!   visitor based),
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro crate (re-exported here, like serde's `derive` feature),
+//!   including `#[serde(skip)]` on struct fields,
+//! * a [`json`] module with `to_string` / `from_str` for round-tripping.
+//!
+//! The encoding conventions follow serde's JSON defaults: structs become
+//! maps keyed by field name, unit enum variants become strings, data-
+//! carrying variants become single-entry maps, newtype structs are
+//! transparent.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+/// A self-describing value: the intermediate representation every
+/// [`Serialize`] implementation produces and every [`Deserialize`]
+/// implementation consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A floating point number.
+    Num(f64),
+    /// An unsigned integer (kept separate from `Num` so `u64` ids survive
+    /// round trips exactly).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The map entries, or `None` when the value is not a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, or `None` when the value is not a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's shape, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::UInt(_) => "integer",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up `key` in a map's entries, yielding [`Value::Null`] when the key
+/// is absent (so `Option` fields deserialize to `None`).
+pub fn map_get<'v>(entries: &'v [(String, Value)], key: &str) -> &'v Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Error raised when a [`Value`] cannot be decoded into the requested type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an "expected X while decoding Y, got Z" error.
+    pub fn expected(what: &str, context: &str, got: &Value) -> Self {
+        Self::new(format!("expected {what} for {context}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can turn themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Decodes a value into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => *n as u64,
+                    other => return Err(DeError::expected("unsigned integer", stringify!($t), other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    Value::UInt(n) => <$t>::try_from(*n).map_err(|_| {
+                        DeError::new(format!("{n} out of range for {}", stringify!($t)))
+                    }),
+                    other => Err(DeError::expected("integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(DeError::expected("sequence", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element sequence", "tuple", v)),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "Duration", v))?;
+        let secs = u64::from_value(map_get(entries, "secs"))?;
+        let nanos = u32::from_value(map_get(entries, "nanos"))?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+pub mod json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(usize::from_value(&Value::Num(3.0)).unwrap(), 3);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<f64>::from_value(&vec![1.0, 2.0].to_value()).unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            <(f64, f64)>::from_value(&(1.0, 2.0).to_value()).unwrap(),
+            (1.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = Duration::new(3, 250);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn map_get_falls_back_to_null() {
+        let entries = vec![("a".to_string(), Value::Bool(true))];
+        assert_eq!(map_get(&entries, "a"), &Value::Bool(true));
+        assert_eq!(map_get(&entries, "b"), &Value::Null);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let err = u32::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(format!("{err}").contains("unsigned integer"));
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! The macros parse the item's token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and emit impls of the value-model
+//! `serde::Serialize` / `serde::Deserialize` traits.  Supported shapes —
+//! the ones this workspace uses:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]` (skipped fields
+//!   are omitted on serialize and `Default`-initialised on deserialize),
+//! * tuple structs (arity 1 is transparent, like serde newtypes),
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes (`#[...]`), returning whether any of them was
+/// `#[serde(skip)]`.
+fn eat_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        skip |= attr_is_serde_skip(&g.stream());
+        *pos += 2;
+    }
+    skip
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(&tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attributes(&tokens, &mut pos);
+    eat_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err(format!("expected a name after `{kind}`")),
+    };
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (type `{name}`)"
+        ));
+    }
+
+    match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Struct {
+                name,
+                fields: parse_named_fields(&g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(&g.stream()),
+            })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Ok(Item::UnitStruct { name })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(&g.stream())?,
+            })
+        }
+        _ => Err(format!("unsupported item shape for `{name}`")),
+    }
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = eat_attributes(&tokens, &mut pos);
+        eat_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => return Err("expected a field name".to_string()),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, skip });
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a `,` outside all angle brackets.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        eat_attributes(&tokens, &mut pos);
+        eat_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        arity += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        eat_attributes(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => return Err("expected a variant name".to_string()),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(
+                    parse_named_fields(&g.stream())?
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body =
+                String::from("let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "entries.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Map(entries)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Seq(vec![{}])", items.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let bindings: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(vec![(String::from(\"{v}\"), {payload})]),\n",
+                            v = v.name,
+                            binds = bindings.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(field_names) => {
+                        let entries: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{v}\"), ::serde::Value::Map(vec![{entries}]))]),\n",
+                            v = v.name,
+                            binds = field_names.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_value(::serde::map_get(entries, \"{0}\"))?,\n",
+                        f.name
+                    ));
+                }
+            }
+            let body = format!(
+                "let entries = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let body = format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}\", v))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(format!(\"expected {arity} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({fields}))",
+                fields = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    )
+                })
+                .collect();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let fields: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let items = payload.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}::{v}\", payload))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::new(format!(\"expected {arity} elements for {name}::{v}, got {{}}\", items.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({fields}))\n\
+                             }}\n",
+                            v = v.name,
+                            fields = fields.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(field_names) => {
+                        let inits: Vec<String> = field_names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_get(inner, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let inner = payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{v}\", payload))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                             }}\n",
+                            v = v.name,
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let map_arm = if data_arms.is_empty() {
+                format!(
+                    "::serde::Value::Map(_) => ::std::result::Result::Err(::serde::DeError::expected(\"variant name string\", \"{name}\", v)),\n"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (key, payload) = &entries[0];\n\
+                         match key.as_str() {{\n{data_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            let body = format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     {map_arm}\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-entry map\", \"{name}\", other)),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
