@@ -1,7 +1,7 @@
 //! Exhaustive arrangement-midpoint oracle.
 //!
 //! The actual enumeration lives in `asrs-core` as
-//! [`NaiveSearch`](asrs_core::NaiveSearch) (the engine's
+//! [`asrs_core::NaiveSearch`] (the engine's
 //! [`Strategy::Naive`](asrs_core::Strategy) backend); this module keeps
 //! the historical free-function entry points the test-suite uses, as thin
 //! wrappers over it.

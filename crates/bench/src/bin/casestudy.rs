@@ -6,7 +6,7 @@
 
 use asrs_aggregator::{weighted_distance, CompositeAggregator, DistanceMetric, Selection, Weights};
 use asrs_bench::Table;
-use asrs_core::{AsrsQuery, DsSearch};
+use asrs_core::{AsrsEngine, QueryRequest};
 use asrs_data::gen::{CityGenerator, CITY_CATEGORIES};
 
 fn main() {
@@ -51,14 +51,22 @@ fn main() {
     }
     distance_table.print();
 
-    // The actual search with Orchard as the query-by-example region.
+    // The actual search with Orchard as the query-by-example region,
+    // submitted through the engine's declarative API.
     let orchard = city.district("Orchard").expect("district exists").rect;
-    let query = AsrsQuery::from_example_region(dataset, &aggregator, &orchard)
+    let engine = AsrsEngine::builder(dataset.clone(), aggregator)
+        .build()
+        .expect("valid configuration");
+    let query = engine
+        .query_from_example(&orchard)
         .expect("district rectangles are non-degenerate");
-    let result = DsSearch::new(dataset, &aggregator).search(&query).unwrap();
+    let request = QueryRequest::similar(query);
+    println!("{}", engine.plan(&request).expect("plannable").explain());
+    let response = engine.submit(&request).unwrap();
+    let result = response.best().expect("similar yields a best region");
     println!(
-        "DS-Search retrieved region {} at distance {:.2} in {:?}",
-        result.region, result.distance, result.stats.elapsed
+        "[{}] retrieved region {} at distance {:.2} in {:?}",
+        response.backend, result.region, result.distance, response.stats.elapsed
     );
     let marina = city.district("Marina Bay").expect("district exists").rect;
     println!(

@@ -11,10 +11,16 @@
 //! With no flags, every experiment runs at its default (laptop-friendly)
 //! cardinality.  `--scale` multiplies every cardinality, so the sweeps can
 //! be pushed towards the paper's sizes on bigger machines.
+//!
+//! Every measured search goes through `AsrsEngine::submit`; where a figure
+//! compares specific backends, the request pins one with
+//! `QueryRequest::with_backend` — the API's escape hatch from the cost
+//! model.  The sweep-line baseline plugs in as an external backend via
+//! `search_with`.
 
 use asrs_baseline::{OptimalEnclosure, SweepBase};
 use asrs_bench::{format_duration, unit_query_size, Table, Workload};
-use asrs_core::{DsSearch, GiDsSearch, GridIndex, MaxRsSearch, SearchConfig};
+use asrs_core::{AsrsEngine, Backend, GridIndex, QueryRequest, SearchConfig};
 use std::time::Instant;
 
 struct Options {
@@ -59,6 +65,13 @@ fn fig8(scale: f64) {
         let base_dataset = workload.dataset(base_n, 42);
         let aggregator = workload.aggregator(&dataset);
         let base_aggregator = workload.aggregator(&base_dataset);
+        let engine = AsrsEngine::builder(dataset.clone(), aggregator)
+            .build()
+            .expect("valid configuration");
+        let base_engine = AsrsEngine::builder(base_dataset.clone(), base_aggregator)
+            .build()
+            .expect("valid configuration");
+        let sweep = SweepBase::new(base_engine.dataset(), base_engine.aggregator());
         let mut table = Table::new(
             &format!(
                 "Figure 8 ({}): runtime vs query rectangle size (DS-Search at n={n}, Base at n={base_n})",
@@ -68,14 +81,13 @@ fn fig8(scale: f64) {
         );
         for k in [1.0, 4.0, 7.0, 10.0] {
             let query = workload.query(&dataset, k);
+            let request = QueryRequest::similar(query).with_backend(Backend::DsSearch);
             let started = Instant::now();
-            DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
+            engine.submit(&request).unwrap();
             let ds_time = started.elapsed();
             let base_query = workload.query(&base_dataset, k);
             let started = Instant::now();
-            SweepBase::new(&base_dataset, &base_aggregator)
-                .search(&base_query)
-                .unwrap();
+            base_engine.search_with(&sweep, &base_query).unwrap();
             let base_time = started.elapsed();
             table.row(vec![
                 format!("{}q", k as u64),
@@ -101,16 +113,19 @@ fn fig9(scale: f64) {
             &["n_col = n_row", "q", "4q", "7q", "10q"],
         );
         for granularity in [10usize, 20, 30, 40, 50] {
+            let config = SearchConfig::new()
+                .with_grid(granularity, granularity)
+                .unwrap();
+            let engine = AsrsEngine::builder(dataset.clone(), aggregator.clone())
+                .config(config)
+                .build()
+                .expect("valid configuration");
             let mut cells = vec![granularity.to_string()];
             for k in [1.0, 4.0, 7.0, 10.0] {
                 let query = workload.query(&dataset, k);
-                let config = SearchConfig::new()
-                    .with_grid(granularity, granularity)
-                    .unwrap();
+                let request = QueryRequest::similar(query).with_backend(Backend::DsSearch);
                 let started = Instant::now();
-                DsSearch::with_config(&dataset, &aggregator, config)
-                    .search(&query)
-                    .unwrap();
+                engine.submit(&request).unwrap();
                 cells.push(format_duration(started.elapsed()));
             }
             table.row(cells);
@@ -133,14 +148,17 @@ fn fig10(scale: f64) {
             let n = scaled(base_n, scale);
             let dataset = workload.dataset(n, 11);
             let aggregator = workload.aggregator(&dataset);
+            let engine = AsrsEngine::builder(dataset.clone(), aggregator)
+                .build()
+                .expect("valid configuration");
             let query = workload.query(&dataset, 10.0);
+            let request = QueryRequest::similar(query.clone()).with_backend(Backend::DsSearch);
             let started = Instant::now();
-            DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
+            engine.submit(&request).unwrap();
             let ds_time = started.elapsed();
+            let sweep = SweepBase::new(engine.dataset(), engine.aggregator());
             let started = Instant::now();
-            SweepBase::new(&dataset, &aggregator)
-                .search(&query)
-                .unwrap();
+            engine.search_with(&sweep, &query).unwrap();
             let base_time = started.elapsed();
             table.row(vec![
                 n.to_string(),
@@ -159,6 +177,9 @@ fn fig11_table1(scale: f64) {
         let n = scaled(100_000, scale);
         let dataset = workload.dataset(n, 3);
         let aggregator = workload.aggregator(&dataset);
+        let plain_engine = AsrsEngine::builder(dataset.clone(), aggregator.clone())
+            .build()
+            .expect("valid configuration");
         let mut runtime_table = Table::new(
             &format!(
                 "Figure 11 ({}): runtime vs grid-index granularity (n={n})",
@@ -179,43 +200,50 @@ fn fig11_table1(scale: f64) {
             ),
             &["granularity", "q", "4q", "7q", "10q", "index size"],
         );
-        let indexes: Vec<(usize, GridIndex)> = [64usize, 128, 256]
+        // One engine per index granularity, each forcing GI-DS so the
+        // sweep measures the index, not the planner's choice.
+        let engines: Vec<(usize, AsrsEngine)> = [64usize, 128, 256]
             .iter()
             .map(|&g| {
-                (
-                    g,
-                    GridIndex::build(&dataset, &aggregator, g, g).expect("non-empty"),
-                )
+                let index =
+                    GridIndex::build(&dataset, &aggregator, g, g).expect("non-empty dataset");
+                let engine = AsrsEngine::builder(dataset.clone(), aggregator.clone())
+                    .index(index)
+                    .build()
+                    .expect("matching index");
+                (g, engine)
             })
             .collect();
-        let mut ratios: Vec<Vec<String>> = indexes
+        let mut ratios: Vec<Vec<String>> = engines
             .iter()
-            .map(|(g, idx)| {
+            .map(|(g, engine)| {
+                let index = engine.index().expect("index attached");
                 vec![
                     format!("{g}x{g}"),
                     String::new(),
                     String::new(),
                     String::new(),
                     String::new(),
-                    format!("{:.1} MB", idx.memory_bytes() as f64 / (1024.0 * 1024.0)),
+                    format!("{:.1} MB", index.memory_bytes() as f64 / (1024.0 * 1024.0)),
                 ]
             })
             .collect();
         for (ki, k) in [1.0, 4.0, 7.0, 10.0].iter().enumerate() {
             let query = workload.query(&dataset, *k);
             let started = Instant::now();
-            DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
+            plain_engine
+                .submit(&QueryRequest::similar(query.clone()).with_backend(Backend::DsSearch))
+                .unwrap();
             let mut row = vec![
                 format!("{}q", *k as u64),
                 format_duration(started.elapsed()),
             ];
-            for (ii, (_, index)) in indexes.iter().enumerate() {
+            for (ii, (_, engine)) in engines.iter().enumerate() {
+                let request = QueryRequest::similar(query.clone()).with_backend(Backend::GiDs);
                 let started = Instant::now();
-                let result = GiDsSearch::new(&dataset, &aggregator, index)
-                    .search(&query)
-                    .unwrap();
+                let response = engine.submit(&request).unwrap();
                 row.push(format_duration(started.elapsed()));
-                let ratio = result.stats.index_search_ratio().unwrap_or(0.0);
+                let ratio = response.stats.index_search_ratio().unwrap_or(0.0);
                 ratios[ii][ki + 1] = format!("{:.1}%", ratio * 100.0);
             }
             runtime_table.row(row);
@@ -262,18 +290,26 @@ fn fig12_table2(scale: f64) {
             let n = scaled(base_n, scale);
             let dataset = workload.dataset(n, 5);
             let aggregator = workload.aggregator(&dataset);
-            let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty");
-            let solver = GiDsSearch::new(&dataset, &aggregator, &index);
+            let engine = AsrsEngine::builder(dataset.clone(), aggregator)
+                .build_index(128, 128)
+                .build()
+                .expect("non-empty dataset");
             let query = workload.query(&dataset, 10.0);
-            let exact = solver.search(&query).unwrap();
+            let exact = engine
+                .submit(&QueryRequest::similar(query.clone()).with_backend(Backend::GiDs))
+                .unwrap();
+            let exact_distance = exact.best().expect("best region").distance;
             let mut runtime_row = vec![n.to_string()];
             let mut quality_row = vec![n.to_string()];
             for delta in [0.1, 0.2, 0.3, 0.4] {
+                let request =
+                    QueryRequest::approximate(query.clone(), delta).with_backend(Backend::GiDs);
                 let started = Instant::now();
-                let approx = solver.search_approx(&query, delta).unwrap();
+                let approx = engine.submit(&request).unwrap();
                 runtime_row.push(format_duration(started.elapsed()));
-                let quality = if exact.distance > 0.0 {
-                    approx.distance / exact.distance
+                let approx_distance = approx.best().expect("best region").distance;
+                let quality = if exact_distance > 0.0 {
+                    approx_distance / exact_distance
                 } else {
                     1.0
                 };
@@ -289,8 +325,18 @@ fn fig12_table2(scale: f64) {
 
 /// Figure 13: MaxRS — DS-Search adaptation vs Optimal Enclosure.
 fn fig13(scale: f64) {
+    let count_engine = |dataset: &asrs_data::Dataset| {
+        let aggregator = asrs_aggregator::CompositeAggregator::builder(dataset.schema())
+            .count(asrs_aggregator::Selection::All)
+            .build()
+            .expect("count works on every schema");
+        AsrsEngine::builder(dataset.clone(), aggregator)
+            .build()
+            .expect("valid configuration")
+    };
     let n = scaled(100_000, scale);
     let dataset = asrs_bench::tweet_dataset(n, 17);
+    let engine = count_engine(&dataset);
     let unit = unit_query_size(&dataset);
     let mut size_table = Table::new(
         &format!("Figure 13a: MaxRS runtime vs query rectangle size (n={n})"),
@@ -299,12 +345,13 @@ fn fig13(scale: f64) {
     for k in [1.0, 10.0, 20.0, 30.0] {
         let size = unit.scaled(k);
         let started = Instant::now();
-        let ds = MaxRsSearch::new(&dataset, size).search().unwrap();
+        let ds = engine.submit(&QueryRequest::max_rs(size)).unwrap();
         let ds_time = started.elapsed();
         let started = Instant::now();
         let oe = OptimalEnclosure::new(&dataset, size).search().unwrap();
         let oe_time = started.elapsed();
-        assert_eq!(ds.count, oe.count, "both MaxRS solvers must agree");
+        let ds_count = ds.max_rs().expect("max-rs outcome").count;
+        assert_eq!(ds_count, oe.count, "both MaxRS solvers must agree");
         size_table.row(vec![
             format!("{}q", k as u64),
             format_duration(ds_time),
@@ -320,14 +367,15 @@ fn fig13(scale: f64) {
     for base_n in [25_000usize, 50_000, 100_000, 200_000] {
         let n = scaled(base_n, scale);
         let dataset = asrs_bench::tweet_dataset(n, 29);
+        let engine = count_engine(&dataset);
         let size = unit_query_size(&dataset).scaled(10.0);
         let started = Instant::now();
-        let ds = MaxRsSearch::new(&dataset, size).search().unwrap();
+        let ds = engine.submit(&QueryRequest::max_rs(size)).unwrap();
         let ds_time = started.elapsed();
         let started = Instant::now();
         let oe = OptimalEnclosure::new(&dataset, size).search().unwrap();
         let oe_time = started.elapsed();
-        assert_eq!(ds.count, oe.count);
+        assert_eq!(ds.max_rs().expect("max-rs outcome").count, oe.count);
         scale_table.row(vec![
             n.to_string(),
             format_duration(ds_time),

@@ -25,10 +25,27 @@ pub(crate) struct BestEntry {
 
 /// The `k` best candidates seen so far, ordered by ascending distance,
 /// with pairwise distinct anchor points.
+///
+/// Ties are broken deterministically: entries with equal distances are
+/// ordered by anchor `(y, x)`, and a full set replaces its worst entry
+/// whenever a new candidate precedes it under that total order.  The final
+/// contents therefore do not depend on the order in which equally-good
+/// candidates were discovered, which is what makes batch and top-k answers
+/// reproducible across runs and thread schedules.
 #[derive(Debug, Clone)]
 pub(crate) struct BestSet {
     capacity: usize,
     entries: Vec<BestEntry>,
+}
+
+/// Strict "precedes" under the total order (distance, anchor.y, anchor.x).
+/// Distances are finite by query validation, so `total_cmp` ties exactly
+/// with `==` on the values that reach the set.
+fn precedes(d_a: f64, a: &Point, d_b: f64, b: &Point) -> bool {
+    d_a.total_cmp(&d_b)
+        .then(a.y.total_cmp(&b.y))
+        .then(a.x.total_cmp(&b.x))
+        .is_lt()
 }
 
 impl BestSet {
@@ -54,8 +71,10 @@ impl BestSet {
         }
     }
 
-    /// Offers a candidate; it is inserted when it beats the cutoff (or when
-    /// it improves an existing entry with the same anchor).
+    /// Offers a candidate; it is inserted when it improves the set — a
+    /// better distance than the current worst, an equal distance with an
+    /// anchor that precedes the worst's, or a better distance for an
+    /// already-retained anchor.
     pub fn offer(&mut self, distance: f64, anchor: Point, representation: FeatureVector) {
         if let Some(existing) = self.entries.iter().position(|e| e.anchor == anchor) {
             if distance < self.entries[existing].distance {
@@ -63,10 +82,15 @@ impl BestSet {
             } else {
                 return;
             }
-        } else if distance >= self.cutoff() {
-            return;
+        } else if self.entries.len() >= self.capacity {
+            let worst = self.entries.last().expect("capacity >= 1");
+            if !precedes(distance, &anchor, worst.distance, &worst.anchor) {
+                return;
+            }
         }
-        let at = self.entries.partition_point(|e| e.distance <= distance);
+        let at = self
+            .entries
+            .partition_point(|e| precedes(e.distance, &e.anchor, distance, &anchor));
         self.entries.insert(
             at,
             BestEntry {
@@ -177,5 +201,40 @@ mod tests {
         offer(&mut set, 1.0, 2.0);
         offer(&mut set, 1.0, 3.0);
         assert_eq!(set.into_entries().len(), 3);
+    }
+
+    #[test]
+    fn tie_breaking_is_independent_of_offer_order() {
+        // Six candidates, two of them tied at the capacity boundary: every
+        // permutation of the offer order must retain the same entries in
+        // the same order (ties broken by anchor).
+        let candidates = [
+            (2.0, 5.0),
+            (1.0, 9.0),
+            (2.0, 1.0),
+            (3.0, 4.0),
+            (2.0, 3.0),
+            (0.5, 7.0),
+        ];
+        let mut reference: Option<Vec<(f64, f64)>> = None;
+        for rotation in 0..candidates.len() {
+            let mut set = BestSet::new(3);
+            for i in 0..candidates.len() {
+                let (d, x) = candidates[(i + rotation) % candidates.len()];
+                offer(&mut set, d, x);
+            }
+            let got: Vec<(f64, f64)> = set
+                .into_entries()
+                .iter()
+                .map(|e| (e.distance, e.anchor.x))
+                .collect();
+            match &reference {
+                None => reference = Some(got),
+                Some(expected) => assert_eq!(&got, expected, "rotation {rotation}"),
+            }
+        }
+        // The retained set is the 3 smallest under (distance, y, x):
+        // 0.5, 1.0, then the tie at 2.0 won by the smaller x.
+        assert_eq!(reference.unwrap(), vec![(0.5, 7.0), (1.0, 9.0), (2.0, 1.0)]);
     }
 }

@@ -1,0 +1,99 @@
+//! Per-request execution budgets (deadlines).
+//!
+//! A [`Budget`] is a wall-clock allowance attached to a single query
+//! submission.  The search backends poll it at their coarse-grained
+//! progress points — every sub-space popped by DS-Search, every index cell
+//! opened by GI-DS, every probe column of the naive oracle — and abort with
+//! [`AsrsError::DeadlineExceeded`] once the allowance is spent.  Polling at
+//! those points keeps the overhead to one `Instant::now()` per unit of real
+//! work while still bounding how far a pathological discretize–split
+//! recursion can overrun its deadline.
+
+use crate::error::AsrsError;
+use std::time::{Duration, Instant};
+
+/// A wall-clock execution budget for one request.
+///
+/// Budgets are created at submission time ([`Budget::new`] starts the clock
+/// immediately) and passed by value — the type is `Copy` — down the search
+/// recursion.  They deliberately do not serialize: a deadline is an
+/// execution-side concept, while the serializable
+/// [`QueryRequest`](crate::QueryRequest) carries the *allowance* in
+/// milliseconds and the engine converts it into a running budget when the
+/// request is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    deadline: Instant,
+    allotted: Duration,
+}
+
+impl Budget {
+    /// Starts a budget of `allotted` wall-clock time, counting from now.
+    pub fn new(allotted: Duration) -> Self {
+        Self {
+            // Saturate far in the future on overflow rather than panicking
+            // for absurd allowances.
+            deadline: Instant::now()
+                .checked_add(allotted)
+                .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400)),
+            allotted,
+        }
+    }
+
+    /// The total allowance this budget started with.
+    pub fn allotted(&self) -> Duration {
+        self.allotted
+    }
+
+    /// Whether the budget is already spent.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.deadline
+    }
+
+    /// Time left before the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+
+    /// Returns [`AsrsError::DeadlineExceeded`] once the budget is spent.
+    ///
+    /// This is the polling point the search backends call at every unit of
+    /// coarse-grained work.
+    #[inline]
+    pub fn check(&self) -> Result<(), AsrsError> {
+        if self.expired() {
+            Err(AsrsError::DeadlineExceeded {
+                budget: self.allotted,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_budget_passes_checks() {
+        let b = Budget::new(Duration::from_secs(60));
+        assert!(!b.expired());
+        assert!(b.check().is_ok());
+        assert!(b.remaining() > Duration::from_secs(59));
+        assert_eq!(b.allotted(), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let b = Budget::new(Duration::ZERO);
+        assert!(b.expired());
+        assert_eq!(b.remaining(), Duration::ZERO);
+        assert_eq!(
+            b.check(),
+            Err(AsrsError::DeadlineExceeded {
+                budget: Duration::ZERO
+            })
+        );
+    }
+}

@@ -262,7 +262,7 @@ pub(crate) fn discretize(
                     &query.weights,
                     query.metric,
                 );
-                if distance < best.cutoff() {
+                if distance <= best.cutoff() {
                     best.offer(distance, grid.cell_rect(col, row).center(), representation);
                 }
             } else {

@@ -2,6 +2,7 @@
 
 use crate::asp::AspInstance;
 use crate::best::BestSet;
+use crate::budget::Budget;
 use crate::config::SearchConfig;
 use crate::discretize::{discretize, DirtyCell};
 use crate::drop_condition::satisfies_drop_condition;
@@ -121,8 +122,20 @@ impl<'a> DsSearch<'a> {
     /// (see [`AsrsQuery::validate`]); [`AsrsError::Config`] when the
     /// configuration is invalid.
     pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        self.search_within(query, None)
+    }
+
+    /// Like [`DsSearch::search`], with an optional wall-clock budget: the
+    /// discretize–split recursion polls the budget at every sub-space it
+    /// processes and aborts with [`AsrsError::DeadlineExceeded`] once the
+    /// budget is spent.
+    pub fn search_within(
+        &self,
+        query: &AsrsQuery,
+        budget: Option<Budget>,
+    ) -> Result<SearchResult, AsrsError> {
         Ok(self
-            .run(query, 1)
+            .run(query, 1, budget)
             .map(Vec::into_iter)?
             .next()
             .expect("the empty-region candidate guarantees one result"))
@@ -141,15 +154,34 @@ impl<'a> DsSearch<'a> {
         query: &AsrsQuery,
         k: usize,
     ) -> Result<Vec<SearchResult>, AsrsError> {
+        self.search_top_k_within(query, k, None)
+    }
+
+    /// Like [`DsSearch::search_top_k`], with an optional wall-clock budget
+    /// (see [`DsSearch::search_within`]).
+    pub fn search_top_k_within(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
         if k == 0 {
             return Err(AsrsError::InvalidTopK);
         }
-        self.run(query, k)
+        self.run(query, k, budget)
     }
 
-    fn run(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+    fn run(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
         query.validate(self.aggregator)?;
         self.config.validate()?;
+        if let Some(b) = budget {
+            b.check()?;
+        }
         let started = Instant::now();
         let mut stats = SearchStats::new();
         let asp = AspInstance::build(
@@ -163,7 +195,15 @@ impl<'a> DsSearch<'a> {
         self.seed_empty_region(&asp, query, &mut best);
         if let Some(space) = asp.space() {
             let candidates = self.contributing(&asp, asp.all_rect_indices());
-            self.search_space(&asp, query, space, candidates, &mut best, &mut stats);
+            self.search_space(
+                &asp,
+                query,
+                space,
+                candidates,
+                &mut best,
+                &mut stats,
+                budget.as_ref(),
+            )?;
         }
         stats.elapsed = started.elapsed();
         Ok(crate::best::best_to_results(best, query.size, stats))
@@ -210,7 +250,10 @@ impl<'a> DsSearch<'a> {
 
     /// Runs the discretize–split loop of Algorithm 1 over `space`, updating
     /// `best` and `stats` in place.  Used directly by [`DsSearch::search`]
-    /// and per index cell by GI-DS.
+    /// and per index cell by GI-DS.  The optional `budget` is polled at
+    /// every popped sub-space; an expired budget aborts the loop with
+    /// [`AsrsError::DeadlineExceeded`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn search_space(
         &self,
         asp: &AspInstance,
@@ -219,7 +262,8 @@ impl<'a> DsSearch<'a> {
         candidates: Vec<u32>,
         best: &mut BestSet,
         stats: &mut SearchStats,
-    ) {
+        budget: Option<&Budget>,
+    ) -> Result<(), AsrsError> {
         let prune_factor = self.config.prune_factor();
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         heap.push(HeapEntry {
@@ -231,6 +275,9 @@ impl<'a> DsSearch<'a> {
         stats.heap_pushes += 1;
 
         while let Some(entry) = heap.pop() {
+            if let Some(b) = budget {
+                b.check()?;
+            }
             if entry.lb >= best.cutoff() / prune_factor {
                 break;
             }
@@ -286,7 +333,8 @@ impl<'a> DsSearch<'a> {
                     &entry.candidates,
                     best,
                     stats,
-                );
+                    budget,
+                )?;
             }
             if to_split.is_empty() {
                 continue;
@@ -311,6 +359,7 @@ impl<'a> DsSearch<'a> {
                 });
             }
         }
+        Ok(())
     }
 
     /// Exact per-cell resolution: enumerates one probe point per
@@ -327,11 +376,15 @@ impl<'a> DsSearch<'a> {
         candidates: &[u32],
         best: &mut BestSet,
         stats: &mut SearchStats,
-    ) {
+        budget: Option<&Budget>,
+    ) -> Result<(), AsrsError> {
         let dims = self.aggregator.stats_dim();
         let mut base_stats = vec![0.0; dims];
         let mut probe_stats = vec![0.0; dims];
         for cell in cells {
+            if let Some(b) = budget {
+                b.check()?;
+            }
             if cell.lb >= best.cutoff() / self.config.prune_factor() {
                 continue;
             }
@@ -392,12 +445,16 @@ impl<'a> DsSearch<'a> {
                         &query.weights,
                         query.metric,
                     );
-                    if distance < best.cutoff() {
+                    // `<=` rather than `<`: equal-distance candidates still
+                    // reach the set so its anchor tie-breaking stays
+                    // discovery-order independent.
+                    if distance <= best.cutoff() {
                         best.offer(distance, probe, representation);
                     }
                 }
             }
         }
+        Ok(())
     }
 }
 

@@ -6,21 +6,27 @@
 //!
 //! * an [`EngineBuilder`] owns the dataset and aggregator, optionally
 //!   builds or attaches a [`GridIndex`], and validates everything once,
-//! * a [`Strategy`] selects the backend — or [`Strategy::Auto`] picks
-//!   GI-DS when an index is attached and DS-Search otherwise,
+//! * requests are declarative [`QueryRequest`] values; the engine's
+//!   [`Planner`] picks the backend per request from dataset/index
+//!   statistics (an explicit [`Strategy`] or a request-level
+//!   [`QueryRequest::with_backend`] override pins it), and
+//!   [`AsrsEngine::submit`] executes the plan into a [`QueryResponse`],
+//! * [`AsrsEngine::handle`] hands out cheap `Clone + Send + Sync`
+//!   [`EngineHandle`](crate::EngineHandle)s over the engine's `Arc`-shared
+//!   immutable core for concurrent submission, and every request can carry
+//!   a wall-clock budget enforced down the discretize–split recursion,
 //! * the backends are interchangeable behind the object-safe
 //!   [`SearchAlgorithm`] trait, so external crates (e.g. the sweep-line
 //!   baseline in `asrs-baseline`) plug in via [`AsrsEngine::search_with`],
 //! * every query is validated once at the engine boundary and every
-//!   `search*` method returns `Result<_, AsrsError>` — nothing panics on
+//!   fallible method returns `Result<_, AsrsError>` — nothing panics on
 //!   bad input,
-//! * the engine adds scenario breadth the per-algorithm structs cannot:
-//!   [`AsrsEngine::search_batch`] (thread-parallel over queries),
-//!   [`AsrsEngine::search_top_k`] (k best non-identical anchors) and MaxRS
-//!   routed through the same facade.
+//! * the legacy per-operation methods ([`AsrsEngine::search`],
+//!   [`AsrsEngine::search_top_k`], [`AsrsEngine::search_batch`],
+//!   [`AsrsEngine::max_rs`]) are kept as thin shims over `submit`.
 //!
 //! ```
-//! use asrs_core::{AsrsEngine, AsrsQuery, Strategy};
+//! use asrs_core::{AsrsEngine, QueryRequest};
 //! use asrs_aggregator::{CompositeAggregator, Selection};
 //! use asrs_data::gen::UniformGenerator;
 //! use asrs_geo::Rect;
@@ -32,16 +38,18 @@
 //!     .unwrap();
 //! let engine = AsrsEngine::builder(dataset, aggregator)
 //!     .build_index(32, 32)
-//!     .strategy(Strategy::Auto)
 //!     .build()
 //!     .unwrap();
 //!
 //! let example = Rect::new(10.0, 10.0, 25.0, 25.0);
 //! let query = engine.query_from_example(&example).unwrap();
-//! let result = engine.search(&query).unwrap();
-//! assert!(result.distance <= 1e-9);
+//! let response = engine
+//!     .submit(&QueryRequest::similar(query).with_budget_ms(10_000))
+//!     .unwrap();
+//! assert!(response.best().unwrap().distance <= 1e-9);
 //! ```
 
+use crate::budget::Budget;
 use crate::config::SearchConfig;
 use crate::ds_search::DsSearch;
 use crate::error::AsrsError;
@@ -49,11 +57,15 @@ use crate::gi_ds::GiDsSearch;
 use crate::grid_index::GridIndex;
 use crate::maxrs::{MaxRsResult, MaxRsSearch};
 use crate::naive::NaiveSearch;
+use crate::planner::{EngineStatistics, ExecutionPlan, Planner};
 use crate::query::AsrsQuery;
+use crate::request::{Backend, QueryOutcome, QueryRequest, QueryResponse};
 use crate::result::SearchResult;
 use asrs_aggregator::{CompositeAggregator, Selection};
 use asrs_data::Dataset;
 use asrs_geo::{Rect, RegionSize};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// An interchangeable ASRS search backend.
 ///
@@ -82,6 +94,33 @@ pub trait SearchAlgorithm {
         }
         Ok(vec![self.search(query)?])
     }
+
+    /// [`SearchAlgorithm::search`] under an optional wall-clock budget.
+    ///
+    /// The default implementation ignores the budget (external backends
+    /// keep compiling unchanged); the built-in backends override it to
+    /// abort with [`AsrsError::DeadlineExceeded`] once the budget is
+    /// spent.
+    fn search_within(
+        &self,
+        query: &AsrsQuery,
+        budget: Option<Budget>,
+    ) -> Result<SearchResult, AsrsError> {
+        let _ = budget;
+        self.search(query)
+    }
+
+    /// [`SearchAlgorithm::search_top_k`] under an optional wall-clock
+    /// budget (see [`SearchAlgorithm::search_within`]).
+    fn search_top_k_within(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        let _ = budget;
+        self.search_top_k(query, k)
+    }
 }
 
 impl SearchAlgorithm for DsSearch<'_> {
@@ -95,6 +134,23 @@ impl SearchAlgorithm for DsSearch<'_> {
 
     fn search_top_k(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
         DsSearch::search_top_k(self, query, k)
+    }
+
+    fn search_within(
+        &self,
+        query: &AsrsQuery,
+        budget: Option<Budget>,
+    ) -> Result<SearchResult, AsrsError> {
+        DsSearch::search_within(self, query, budget)
+    }
+
+    fn search_top_k_within(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        DsSearch::search_top_k_within(self, query, k, budget)
     }
 }
 
@@ -110,6 +166,23 @@ impl SearchAlgorithm for GiDsSearch<'_> {
     fn search_top_k(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
         GiDsSearch::search_top_k(self, query, k)
     }
+
+    fn search_within(
+        &self,
+        query: &AsrsQuery,
+        budget: Option<Budget>,
+    ) -> Result<SearchResult, AsrsError> {
+        GiDsSearch::search_within(self, query, budget)
+    }
+
+    fn search_top_k_within(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        GiDsSearch::search_top_k_within(self, query, k, budget)
+    }
 }
 
 impl SearchAlgorithm for NaiveSearch<'_> {
@@ -124,12 +197,35 @@ impl SearchAlgorithm for NaiveSearch<'_> {
     fn search_top_k(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
         NaiveSearch::search_top_k(self, query, k)
     }
+
+    fn search_within(
+        &self,
+        query: &AsrsQuery,
+        budget: Option<Budget>,
+    ) -> Result<SearchResult, AsrsError> {
+        NaiveSearch::search_within(self, query, budget)
+    }
+
+    fn search_top_k_within(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        NaiveSearch::search_top_k_within(self, query, k, budget)
+    }
 }
 
 /// Backend selection policy of an [`AsrsEngine`].
+///
+/// `Auto` defers the choice to the engine's cost-based
+/// [`Planner`], which decides per request; the explicit variants pin one
+/// backend for every request the engine executes (a per-request
+/// [`QueryRequest::with_backend`] override still wins).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
-    /// GI-DS when a grid index is attached, DS-Search otherwise.
+    /// Let the planner decide per request (GI-DS for small queries on an
+    /// indexed engine, DS-Search otherwise — see [`Planner`]).
     #[default]
     Auto,
     /// The exact discretize–split algorithm (no index needed).
@@ -181,6 +277,7 @@ pub struct EngineBuilder {
     config: SearchConfig,
     strategy: Strategy,
     index: IndexSpec,
+    planner: Planner,
 }
 
 impl EngineBuilder {
@@ -191,7 +288,14 @@ impl EngineBuilder {
             config: SearchConfig::default(),
             strategy: Strategy::Auto,
             index: IndexSpec::None,
+            planner: Planner::default(),
         }
+    }
+
+    /// Replaces the cost-based [`Planner`] (e.g. to tune its thresholds).
+    pub fn planner(mut self, planner: Planner) -> Self {
+        self.planner = planner;
+        self
     }
 
     /// Replaces the search configuration (validated in
@@ -257,81 +361,51 @@ impl EngineBuilder {
         if self.strategy == Strategy::GiDs && index.is_none() {
             return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
         }
+        let statistics = EngineStatistics::capture(&self.dataset, index.as_ref());
         Ok(AsrsEngine {
-            dataset: self.dataset,
-            aggregator: self.aggregator,
-            config: self.config,
-            strategy: self.strategy,
-            index,
+            core: Arc::new(EngineCore {
+                dataset: self.dataset,
+                aggregator: self.aggregator,
+                config: self.config,
+                strategy: self.strategy,
+                index,
+                planner: self.planner,
+                statistics,
+            }),
         })
     }
 }
 
-/// The unified ASRS query engine (see the [module documentation](self)).
+/// The shared, immutable heart of an engine: dataset, aggregator, index,
+/// configuration, planner and the statistics the planner decides from.
+/// [`AsrsEngine`] and every [`EngineHandle`](crate::EngineHandle) hold it
+/// behind an [`Arc`], which is what makes handles cheap to clone and safe
+/// to use from many threads at once.
 #[derive(Debug)]
-pub struct AsrsEngine {
-    dataset: Dataset,
-    aggregator: CompositeAggregator,
-    config: SearchConfig,
-    strategy: Strategy,
-    index: Option<GridIndex>,
+pub(crate) struct EngineCore {
+    pub(crate) dataset: Dataset,
+    pub(crate) aggregator: CompositeAggregator,
+    pub(crate) config: SearchConfig,
+    pub(crate) strategy: Strategy,
+    pub(crate) index: Option<GridIndex>,
+    pub(crate) planner: Planner,
+    pub(crate) statistics: EngineStatistics,
 }
 
-impl AsrsEngine {
-    /// Starts building an engine over `dataset` with `aggregator`.
-    pub fn builder(dataset: Dataset, aggregator: CompositeAggregator) -> EngineBuilder {
-        EngineBuilder::new(dataset, aggregator)
-    }
-
-    /// The dataset the engine owns.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
-    }
-
-    /// The composite aggregator.
-    pub fn aggregator(&self) -> &CompositeAggregator {
-        &self.aggregator
-    }
-
-    /// The attached grid index, if any.
-    pub fn index(&self) -> Option<&GridIndex> {
-        self.index.as_ref()
-    }
-
-    /// The search configuration.
-    pub fn config(&self) -> &SearchConfig {
-        &self.config
-    }
-
-    /// The backend selection policy.
-    pub fn strategy(&self) -> Strategy {
-        self.strategy
-    }
-
-    /// The name of the backend queries currently dispatch to.
-    pub fn backend_name(&self) -> &'static str {
-        self.strategy.resolved_name(self.index.is_some())
-    }
-
-    /// Builds a query-by-example from a real region of the engine's
-    /// dataset (see [`AsrsQuery::from_example_region`]).
-    pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {
-        Ok(AsrsQuery::from_example_region(
-            &self.dataset,
-            &self.aggregator,
-            example,
-        )?)
-    }
-
-    /// Instantiates the backend the strategy resolves to.
-    fn backend(&self) -> Result<Box<dyn SearchAlgorithm + '_>, AsrsError> {
-        Ok(match self.strategy.resolve(self.index.is_some()) {
-            Strategy::DsSearch => Box::new(DsSearch::with_config(
+impl EngineCore {
+    /// Instantiates a concrete backend with an explicit configuration.
+    fn backend_for(
+        &self,
+        backend: Backend,
+        config: SearchConfig,
+    ) -> Result<Box<dyn SearchAlgorithm + '_>, AsrsError> {
+        Ok(match backend {
+            Backend::DsSearch => Box::new(DsSearch::with_config(
                 &self.dataset,
                 &self.aggregator,
-                self.config.clone(),
+                config,
             )),
-            Strategy::GiDs => {
+            Backend::GiDs => {
                 let index = self
                     .index
                     .as_ref()
@@ -340,67 +414,121 @@ impl AsrsEngine {
                     &self.dataset,
                     &self.aggregator,
                     index,
-                    self.config.clone(),
+                    config,
                 ))
             }
-            Strategy::Naive => Box::new(NaiveSearch::with_config(
+            Backend::Naive => Box::new(NaiveSearch::with_config(
                 &self.dataset,
                 &self.aggregator,
-                self.config.clone(),
+                config,
             )),
-            Strategy::Auto => unreachable!("Auto resolved above"),
         })
     }
 
-    /// Validates `query` once against the engine's aggregator.
-    fn validate(&self, query: &AsrsQuery) -> Result<(), AsrsError> {
-        query.validate(&self.aggregator)?;
-        Ok(())
+    pub(crate) fn plan(&self, request: &QueryRequest) -> Result<ExecutionPlan, AsrsError> {
+        self.planner.plan(&self.statistics, self.strategy, request)
     }
 
-    /// Solves the ASRS problem with the engine's strategy.
-    ///
-    /// # Errors
-    ///
-    /// [`AsrsError::Query`] for a malformed or mismatching query.
-    pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
-        self.validate(query)?;
-        self.backend()?.search(query)
+    pub(crate) fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
+        let plan = self.plan(request)?;
+        let budget = plan
+            .budget_ms
+            .map(|ms| Budget::new(Duration::from_millis(ms)));
+        let backend = plan.backend;
+        let outcome = match request.operation() {
+            QueryRequest::Similar { query } => {
+                QueryOutcome::Best(self.run_similar(backend, query, None, budget)?)
+            }
+            QueryRequest::Approximate { query, delta } => {
+                QueryOutcome::Best(self.run_similar(backend, query, Some(*delta), budget)?)
+            }
+            QueryRequest::TopK { query, k } => {
+                QueryOutcome::Ranked(self.run_top_k(backend, query, *k, budget)?)
+            }
+            QueryRequest::Batch { queries } => {
+                QueryOutcome::Batch(self.run_batch(backend, queries, budget)?)
+            }
+            QueryRequest::MaxRs { size } => {
+                QueryOutcome::MaxRs(self.run_max_rs(*size, Selection::All, budget)?)
+            }
+            QueryRequest::MaxRsSelective { size, selection } => {
+                QueryOutcome::MaxRs(self.run_max_rs(*size, selection.clone(), budget)?)
+            }
+            QueryRequest::Configured { .. } => {
+                unreachable!("operation() peels Configured envelopes")
+            }
+        };
+        Ok(QueryResponse::from_outcome(backend, outcome))
     }
 
-    /// Solves the ASRS problem with an explicit, possibly external,
-    /// backend.  The engine still validates the query at its boundary.
-    pub fn search_with(
+    /// Plans a legacy per-operation call without constructing an owned
+    /// [`QueryRequest`], so the shims can borrow their queries.
+    fn plan_legacy(
         &self,
-        backend: &dyn SearchAlgorithm,
+        operation: &'static str,
+        size: Option<RegionSize>,
+    ) -> Result<ExecutionPlan, AsrsError> {
+        self.planner.plan_parts(
+            &self.statistics,
+            self.strategy,
+            operation,
+            size,
+            false,
+            None,
+            None,
+        )
+    }
+
+    /// Validates and runs a single similar-region search, optionally with
+    /// an approximation override (`delta`).
+    fn run_similar(
+        &self,
+        backend: Backend,
         query: &AsrsQuery,
+        delta: Option<f64>,
+        budget: Option<Budget>,
     ) -> Result<SearchResult, AsrsError> {
-        self.validate(query)?;
-        backend.search(query)
+        query.validate(&self.aggregator)?;
+        let config = match delta {
+            Some(delta) => self.config.clone().with_delta(delta)?,
+            None => self.config.clone(),
+        };
+        self.backend_for(backend, config)?
+            .search_within(query, budget)
     }
 
-    /// Returns up to `k` best candidate regions with pairwise distinct
-    /// anchors, best first; distances are non-decreasing in rank.
-    ///
-    /// # Errors
-    ///
-    /// [`AsrsError::InvalidTopK`] when `k` is zero.
-    pub fn search_top_k(
+    /// Validates and runs a single top-k search.
+    fn run_top_k(
         &self,
+        backend: Backend,
         query: &AsrsQuery,
         k: usize,
+        budget: Option<Budget>,
     ) -> Result<Vec<SearchResult>, AsrsError> {
-        self.validate(query)?;
-        self.backend()?.search_top_k(query, k)
+        query.validate(&self.aggregator)?;
+        self.backend_for(backend, self.config.clone())?
+            .search_top_k_within(query, k, budget)
     }
 
-    /// Answers every query, fanning out over `std::thread` workers (one
-    /// per available core, at most one per query).  Results are returned
-    /// in query order.  All queries are validated up front, so a malformed
-    /// query fails the batch before any search runs.
-    pub fn search_batch(&self, queries: &[AsrsQuery]) -> Result<Vec<SearchResult>, AsrsError> {
+    /// Answers every query of a batch on the planned backend, fanning out
+    /// over `std::thread` workers (one per available core, at most one per
+    /// query).
+    ///
+    /// Results come back in input order with deterministic tie-breaking
+    /// regardless of thread scheduling: each query owns a fixed result
+    /// slot, workers steal query *indices* (never reorder slots), and each
+    /// query is solved by exactly one worker running the deterministic
+    /// sequential search (equal-distance ties inside a search are broken
+    /// by anchor, see `BestSet`).  All queries are validated up front, so
+    /// a malformed query fails the batch before any search runs.
+    fn run_batch(
+        &self,
+        backend: Backend,
+        queries: &[AsrsQuery],
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
         for query in queries {
-            self.validate(query)?;
+            query.validate(&self.aggregator)?;
         }
         if queries.is_empty() {
             return Ok(Vec::new());
@@ -410,8 +538,11 @@ impl AsrsEngine {
             .unwrap_or(1)
             .min(queries.len());
         if workers <= 1 {
-            let backend = self.backend()?;
-            return queries.iter().map(|q| backend.search(q)).collect();
+            let solver = self.backend_for(backend, self.config.clone())?;
+            return queries
+                .iter()
+                .map(|q| solver.search_within(q, budget))
+                .collect();
         }
         // Workers steal query indices from a shared counter; each worker
         // builds its own backend (they are cheap: borrows plus a config
@@ -427,13 +558,13 @@ impl AsrsEngine {
                 let next = &next;
                 let slots = &slots;
                 handles.push(scope.spawn(move || -> Result<(), AsrsError> {
-                    let backend = self.backend()?;
+                    let solver = self.backend_for(backend, self.config.clone())?;
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= queries.len() {
                             return Ok(());
                         }
-                        let result = backend.search(&queries[i]);
+                        let result = solver.search_within(&queries[i], budget);
                         *slots[i].lock().expect("slot mutex poisoned") = Some(result);
                     }
                 }));
@@ -453,9 +584,185 @@ impl AsrsEngine {
             .collect()
     }
 
+    /// Executes a MaxRS request.  MaxRS promises the true maximum, so the
+    /// engine's approximation parameter δ is ignored (the search always
+    /// runs exact); every other configuration knob is inherited.
+    fn run_max_rs(
+        &self,
+        size: RegionSize,
+        selection: Selection,
+        budget: Option<Budget>,
+    ) -> Result<MaxRsResult, AsrsError> {
+        let config = SearchConfig {
+            delta: 0.0,
+            ..self.config.clone()
+        };
+        MaxRsSearch::new(&self.dataset, size)
+            .with_selection(selection)
+            .with_config(config)
+            .search_within(budget)
+    }
+}
+
+/// The unified ASRS query engine (see the [crate documentation](crate)).
+///
+/// The engine is a thin facade over an [`Arc`]-shared immutable core, so
+/// [`AsrsEngine::handle`] hands out cheap `Clone + Send + Sync`
+/// [`EngineHandle`](crate::EngineHandle)s for concurrent submission.
+#[derive(Debug)]
+pub struct AsrsEngine {
+    pub(crate) core: Arc<EngineCore>,
+}
+
+impl AsrsEngine {
+    /// Starts building an engine over `dataset` with `aggregator`.
+    pub fn builder(dataset: Dataset, aggregator: CompositeAggregator) -> EngineBuilder {
+        EngineBuilder::new(dataset, aggregator)
+    }
+
+    /// A cheap, cloneable, thread-safe handle submitting to this engine
+    /// (see [`EngineHandle`](crate::EngineHandle)).
+    pub fn handle(&self) -> crate::EngineHandle {
+        crate::EngineHandle::new(Arc::clone(&self.core))
+    }
+
+    /// The dataset the engine owns.
+    pub fn dataset(&self) -> &Dataset {
+        &self.core.dataset
+    }
+
+    /// The composite aggregator.
+    pub fn aggregator(&self) -> &CompositeAggregator {
+        &self.core.aggregator
+    }
+
+    /// The attached grid index, if any.
+    pub fn index(&self) -> Option<&GridIndex> {
+        self.core.index.as_ref()
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.core.config
+    }
+
+    /// The backend selection policy.
+    pub fn strategy(&self) -> Strategy {
+        self.core.strategy
+    }
+
+    /// The dataset/index statistics the planner decides from.
+    pub fn statistics(&self) -> &EngineStatistics {
+        &self.core.statistics
+    }
+
+    /// The name of the backend the engine's strategy resolves to before
+    /// per-request planning: the explicit strategy when one was set,
+    /// otherwise GI-DS with an index attached and DS-Search without.
+    /// Individual requests may still plan differently — see
+    /// [`AsrsEngine::plan`].
+    pub fn backend_name(&self) -> &'static str {
+        self.core.strategy.resolved_name(self.core.index.is_some())
+    }
+
+    /// Builds a query-by-example from a real region of the engine's
+    /// dataset (see [`AsrsQuery::from_example_region`]).
+    pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {
+        Ok(AsrsQuery::from_example_region(
+            &self.core.dataset,
+            &self.core.aggregator,
+            example,
+        )?)
+    }
+
+    /// Plans `request` without executing it: the returned
+    /// [`ExecutionPlan`] names the backend the cost model chose and
+    /// [`ExecutionPlan::explain`] justifies it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Planner::plan`].
+    pub fn plan(&self, request: &QueryRequest) -> Result<ExecutionPlan, AsrsError> {
+        self.core.plan(request)
+    }
+
+    /// Plans and executes a declarative [`QueryRequest`] — the engine's
+    /// primary entry point.  The response bundles the results, the backend
+    /// the planner chose and the merged [`SearchStats`](crate::SearchStats).
+    ///
+    /// # Errors
+    ///
+    /// * planning errors — see [`Planner::plan`],
+    /// * [`AsrsError::Query`] for a malformed or mismatching query,
+    /// * [`AsrsError::DeadlineExceeded`] when the request's budget ran out,
+    /// * the operation-specific errors of the legacy methods
+    ///   ([`AsrsError::InvalidTopK`], [`AsrsError::InvalidRegionSize`], …).
+    pub fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
+        self.core.submit(request)
+    }
+
+    /// Solves the ASRS problem with the engine's strategy.
+    ///
+    /// Equivalent to [`AsrsEngine::submit`] with [`QueryRequest::Similar`]
+    /// (same planning and execution pipeline); prefer `submit`, which also
+    /// reports the chosen backend and statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Query`] for a malformed or mismatching query.
+    pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        let plan = self.core.plan_legacy("similar", Some(query.size))?;
+        self.core.run_similar(plan.backend, query, None, None)
+    }
+
+    /// Solves the ASRS problem with an explicit, possibly external,
+    /// backend.  The engine still validates the query at its boundary.
+    /// This path bypasses the planner by design.
+    pub fn search_with(
+        &self,
+        backend: &dyn SearchAlgorithm,
+        query: &AsrsQuery,
+    ) -> Result<SearchResult, AsrsError> {
+        query.validate(&self.core.aggregator)?;
+        backend.search(query)
+    }
+
+    /// Returns up to `k` best candidate regions with pairwise distinct
+    /// anchors, best first; distances are non-decreasing in rank.
+    ///
+    /// Equivalent to [`AsrsEngine::submit`] with [`QueryRequest::TopK`]
+    /// (same planning and execution pipeline); prefer `submit`.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidTopK`] when `k` is zero.
+    pub fn search_top_k(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
+        let plan = self.core.plan_legacy("top-k", Some(query.size))?;
+        self.core.run_top_k(plan.backend, query, k, None)
+    }
+
+    /// Answers every query in parallel; results are returned in query
+    /// order (see `EngineCore::run_batch` for the determinism guarantees).
+    ///
+    /// Equivalent to [`AsrsEngine::submit`] with [`QueryRequest::Batch`]
+    /// (same planning and execution pipeline); prefer `submit`, which
+    /// additionally reports the merged statistics of the whole batch.
+    pub fn search_batch(&self, queries: &[AsrsQuery]) -> Result<Vec<SearchResult>, AsrsError> {
+        let size = crate::request::batch_planning_size(queries);
+        let plan = self.core.plan_legacy("batch", size)?;
+        self.core.run_batch(plan.backend, queries, None)
+    }
+
     /// Solves the MaxRS problem (the `a × b` region enclosing the maximum
     /// number of objects, Section 7.5) through the facade, using the
     /// engine's configuration.
+    ///
+    /// Equivalent to [`AsrsEngine::submit`] with [`QueryRequest::MaxRs`];
+    /// prefer `submit`.
     pub fn max_rs(&self, size: RegionSize) -> Result<MaxRsResult, AsrsError> {
         self.max_rs_selective(size, Selection::All)
     }
@@ -466,19 +773,15 @@ impl AsrsEngine {
     /// MaxRS promises the true maximum, so the engine's approximation
     /// parameter δ is ignored here (the search always runs exact); every
     /// other configuration knob is inherited.
+    ///
+    /// Equivalent to [`AsrsEngine::submit`] with
+    /// [`QueryRequest::MaxRsSelective`]; prefer `submit`.
     pub fn max_rs_selective(
         &self,
         size: RegionSize,
         selection: Selection,
     ) -> Result<MaxRsResult, AsrsError> {
-        let config = SearchConfig {
-            delta: 0.0,
-            ..self.config.clone()
-        };
-        MaxRsSearch::new(&self.dataset, size)
-            .with_selection(selection)
-            .with_config(config)
-            .search()
+        self.core.run_max_rs(size, selection, None)
     }
 }
 
@@ -696,5 +999,97 @@ mod tests {
         let direct = engine.search(&q).unwrap();
         assert!((via_trait.distance - direct.distance).abs() < 1e-9);
         assert_eq!(SearchAlgorithm::name(&naive), "naive");
+    }
+
+    #[test]
+    fn submit_reports_backend_and_stats() {
+        let (ds, agg) = setup(300, 19);
+        let engine = AsrsEngine::builder(ds, agg)
+            .build_index(16, 16)
+            .build()
+            .unwrap();
+        let response = engine.submit(&QueryRequest::similar(query())).unwrap();
+        assert_eq!(response.backend, Backend::GiDs);
+        assert!(response.stats.spaces_processed >= 1);
+        assert!(response.best().is_some());
+    }
+
+    #[test]
+    fn an_exhausted_budget_aborts_with_deadline_exceeded() {
+        let (ds, agg) = setup(800, 3);
+        let engine = AsrsEngine::builder(ds, agg).build().unwrap();
+        let err = engine
+            .submit(&QueryRequest::similar(query()).with_budget_ms(0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AsrsError::DeadlineExceeded {
+                budget: std::time::Duration::ZERO
+            }
+        );
+        // A generous budget succeeds and still reports normally.
+        let ok = engine
+            .submit(&QueryRequest::similar(query()).with_budget_ms(60_000))
+            .unwrap();
+        assert!(ok.best().unwrap().distance.is_finite());
+    }
+
+    #[test]
+    fn batch_results_keep_input_order_deterministically() {
+        // Regression test for the batch ordering guarantee: identical
+        // requests must produce byte-identical result sequences no matter
+        // how the worker threads get scheduled, and slot i must answer
+        // query i.
+        let (ds, agg) = setup(400, 29);
+        let engine = AsrsEngine::builder(ds, agg)
+            .build_index(24, 24)
+            .build()
+            .unwrap();
+        // Queries with recognisably different sizes so a misordered slot
+        // would be caught by the width check alone.
+        let queries: Vec<AsrsQuery> = (1..=12)
+            .map(|i| {
+                AsrsQuery::new(
+                    RegionSize::new(3.0 + i as f64, 5.0),
+                    FeatureVector::new(vec![i as f64, 1.0, 1.0, 0.0]),
+                    Weights::uniform(4),
+                )
+            })
+            .collect();
+        let reference = engine.search_batch(&queries).unwrap();
+        assert_eq!(reference.len(), queries.len());
+        for (q, r) in queries.iter().zip(&reference) {
+            assert!(
+                (r.region.width() - q.size.width).abs() < 1e-12,
+                "result slot must answer the query at the same index"
+            );
+            let single = engine.search(q).unwrap();
+            assert_eq!(single.anchor, r.anchor);
+            assert_eq!(single.distance, r.distance);
+        }
+        for run in 0..5 {
+            let again = engine.search_batch(&queries).unwrap();
+            for (a, b) in reference.iter().zip(&again) {
+                assert_eq!(a.anchor, b.anchor, "run {run}: anchors must be identical");
+                assert_eq!(a.distance, b.distance, "run {run}");
+                assert_eq!(a.representation, b.representation, "run {run}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_response_merges_stats() {
+        let (ds, agg) = setup(200, 33);
+        let engine = AsrsEngine::builder(ds, agg).build().unwrap();
+        let queries = vec![query(), query(), query()];
+        let response = engine
+            .submit(&QueryRequest::batch(queries.clone()))
+            .unwrap();
+        let singles: u64 = queries
+            .iter()
+            .map(|q| engine.search(q).unwrap().stats.spaces_processed)
+            .sum();
+        assert_eq!(response.stats.spaces_processed, singles);
+        assert!(matches!(response.outcome, QueryOutcome::Batch(ref r) if r.len() == 3));
     }
 }

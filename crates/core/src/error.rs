@@ -8,6 +8,7 @@
 
 use crate::query::QueryError;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors raised when validating a [`SearchConfig`](crate::SearchConfig).
 ///
@@ -130,6 +131,20 @@ pub enum AsrsError {
         /// Requested height.
         height: f64,
     },
+    /// A request's wall-clock execution budget was spent before the search
+    /// finished (see [`Budget`](crate::Budget)).
+    DeadlineExceeded {
+        /// The allowance the request started with.
+        budget: Duration,
+    },
+    /// A backend was forced for an operation it cannot execute (e.g. GI-DS
+    /// for MaxRS, which always runs on the DS-Search adaptation).
+    BackendUnsupported {
+        /// Name of the forced backend.
+        backend: &'static str,
+        /// Name of the operation it cannot run.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for AsrsError {
@@ -151,6 +166,12 @@ impl fmt::Display for AsrsError {
             AsrsError::InvalidTopK => write!(f, "search_top_k requires k >= 1"),
             AsrsError::InvalidRegionSize { width, height } => {
                 write!(f, "region size must be positive and finite, got {width} x {height}")
+            }
+            AsrsError::DeadlineExceeded { budget } => {
+                write!(f, "query exceeded its execution budget of {budget:?}")
+            }
+            AsrsError::BackendUnsupported { backend, operation } => {
+                write!(f, "backend {backend} cannot execute {operation} requests")
             }
         }
     }
@@ -198,6 +219,21 @@ mod tests {
         )
         .contains("3"));
         assert!(format!("{}", AsrsError::InvalidTopK).contains("k >= 1"));
+        assert!(format!(
+            "{}",
+            AsrsError::DeadlineExceeded {
+                budget: Duration::from_millis(5)
+            }
+        )
+        .contains("budget"));
+        assert!(format!(
+            "{}",
+            AsrsError::BackendUnsupported {
+                backend: "gi-ds",
+                operation: "max-rs"
+            }
+        )
+        .contains("gi-ds"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::asp::AspInstance;
 use crate::best::BestSet;
+use crate::budget::Budget;
 use crate::config::SearchConfig;
 use crate::ds_search::DsSearch;
 use crate::error::AsrsError;
@@ -96,8 +97,20 @@ impl<'a> GiDsSearch<'a> {
     /// [`AsrsError::Query`] when the query does not match the aggregator;
     /// [`AsrsError::Config`] when the configuration is invalid.
     pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        self.search_within(query, None)
+    }
+
+    /// Like [`GiDsSearch::search`], with an optional wall-clock budget:
+    /// the budget is polled at every opened index cell and every sub-space
+    /// of the inner DS-Search, and the search aborts with
+    /// [`AsrsError::DeadlineExceeded`] once spent.
+    pub fn search_within(
+        &self,
+        query: &AsrsQuery,
+        budget: Option<Budget>,
+    ) -> Result<SearchResult, AsrsError> {
         Ok(self
-            .run(query, self.config.clone(), 1)?
+            .run(query, self.config.clone(), 1, budget)?
             .into_iter()
             .next()
             .expect("the empty-region candidate guarantees one result"))
@@ -113,7 +126,7 @@ impl<'a> GiDsSearch<'a> {
     pub fn search_approx(&self, query: &AsrsQuery, delta: f64) -> Result<SearchResult, AsrsError> {
         let config = self.config.clone().with_delta(delta)?;
         Ok(self
-            .run(query, config, 1)?
+            .run(query, config, 1, None)?
             .into_iter()
             .next()
             .expect("the empty-region candidate guarantees one result"))
@@ -131,10 +144,21 @@ impl<'a> GiDsSearch<'a> {
         query: &AsrsQuery,
         k: usize,
     ) -> Result<Vec<SearchResult>, AsrsError> {
+        self.search_top_k_within(query, k, None)
+    }
+
+    /// Like [`GiDsSearch::search_top_k`], with an optional wall-clock
+    /// budget (see [`GiDsSearch::search_within`]).
+    pub fn search_top_k_within(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
         if k == 0 {
             return Err(AsrsError::InvalidTopK);
         }
-        self.run(query, self.config.clone(), k)
+        self.run(query, self.config.clone(), k, budget)
     }
 
     fn run(
@@ -142,9 +166,13 @@ impl<'a> GiDsSearch<'a> {
         query: &AsrsQuery,
         config: SearchConfig,
         k: usize,
+        budget: Option<Budget>,
     ) -> Result<Vec<SearchResult>, AsrsError> {
         query.validate(self.aggregator)?;
         config.validate()?;
+        if let Some(b) = budget {
+            b.check()?;
+        }
         let started = Instant::now();
         let mut stats = SearchStats::new();
         let asp = AspInstance::build(
@@ -168,7 +196,15 @@ impl<'a> GiDsSearch<'a> {
             //    or wide, so this is cheap.
             for margin in margin_spaces(&space, spec.space()) {
                 let candidates = inner.contributing(&asp, asp.rects_intersecting(&margin));
-                inner.search_space(&asp, query, margin, candidates, &mut best, &mut stats);
+                inner.search_space(
+                    &asp,
+                    query,
+                    margin,
+                    candidates,
+                    &mut best,
+                    &mut stats,
+                    budget.as_ref(),
+                )?;
             }
 
             // 2. Rank index cells by their lower bound.
@@ -217,13 +253,24 @@ impl<'a> GiDsSearch<'a> {
             // 3. Search cells best-first until no cell can improve the
             //    result (or improve it by more than the (1+δ) factor).
             while let Some(entry) = heap.pop() {
+                if let Some(b) = budget {
+                    b.check()?;
+                }
                 if entry.lb >= best.cutoff() / config.prune_factor() {
                     break;
                 }
                 stats.index_cells_searched += 1;
                 let cell_space = spec.cell_rect(entry.col, entry.row);
                 let candidates = inner.contributing(&asp, asp.rects_intersecting(&cell_space));
-                inner.search_space(&asp, query, cell_space, candidates, &mut best, &mut stats);
+                inner.search_space(
+                    &asp,
+                    query,
+                    cell_space,
+                    candidates,
+                    &mut best,
+                    &mut stats,
+                    budget.as_ref(),
+                )?;
             }
         }
 

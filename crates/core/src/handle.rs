@@ -1,0 +1,168 @@
+//! [`EngineHandle`]: cheap, cloneable, thread-safe access to an engine.
+
+use crate::engine::EngineCore;
+use crate::error::AsrsError;
+use crate::planner::{EngineStatistics, ExecutionPlan};
+use crate::query::AsrsQuery;
+use crate::request::{QueryRequest, QueryResponse};
+use asrs_aggregator::CompositeAggregator;
+use asrs_data::Dataset;
+use asrs_geo::Rect;
+use std::sync::Arc;
+
+/// A cheap `Clone + Send + Sync` handle to an [`AsrsEngine`](crate::AsrsEngine).
+///
+/// The handle shares the engine's immutable core (dataset, aggregator,
+/// index, configuration, planner) behind an [`Arc`], so cloning costs one
+/// reference-count increment and every clone can
+/// [`submit`](EngineHandle::submit) concurrently from its own thread — the
+/// serving topology the ROADMAP's multi-user north star needs:
+///
+/// ```
+/// use asrs_core::{AsrsEngine, QueryRequest};
+/// use asrs_aggregator::{CompositeAggregator, Selection};
+/// use asrs_data::gen::UniformGenerator;
+/// use asrs_geo::Rect;
+///
+/// let dataset = UniformGenerator::default().generate(300, 7);
+/// let aggregator = CompositeAggregator::builder(dataset.schema())
+///     .distribution("category", Selection::All)
+///     .build()
+///     .unwrap();
+/// let engine = AsrsEngine::builder(dataset, aggregator)
+///     .build_index(16, 16)
+///     .build()
+///     .unwrap();
+///
+/// let handle = engine.handle();
+/// let query = handle
+///     .query_from_example(&Rect::new(10.0, 10.0, 25.0, 25.0))
+///     .unwrap();
+/// let workers: Vec<_> = (0..4)
+///     .map(|_| {
+///         let handle = handle.clone();
+///         let query = query.clone();
+///         std::thread::spawn(move || {
+///             handle.submit(&QueryRequest::similar(query)).unwrap()
+///         })
+///     })
+///     .collect();
+/// for worker in workers {
+///     let response = worker.join().unwrap();
+///     assert!(response.best().unwrap().distance <= 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineHandle {
+    core: Arc<EngineCore>,
+}
+
+impl EngineHandle {
+    pub(crate) fn new(core: Arc<EngineCore>) -> Self {
+        Self { core }
+    }
+
+    /// Plans and executes a declarative [`QueryRequest`] (see
+    /// [`AsrsEngine::submit`](crate::AsrsEngine::submit)).
+    pub fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
+        self.core.submit(request)
+    }
+
+    /// Plans `request` without executing it (see
+    /// [`AsrsEngine::plan`](crate::AsrsEngine::plan)).
+    pub fn plan(&self, request: &QueryRequest) -> Result<ExecutionPlan, AsrsError> {
+        self.core.plan(request)
+    }
+
+    /// The shared dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.core.dataset
+    }
+
+    /// The shared composite aggregator.
+    pub fn aggregator(&self) -> &CompositeAggregator {
+        &self.core.aggregator
+    }
+
+    /// The dataset/index statistics the planner decides from.
+    pub fn statistics(&self) -> &EngineStatistics {
+        &self.core.statistics
+    }
+
+    /// Builds a query-by-example from a real region of the shared dataset.
+    pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {
+        Ok(AsrsQuery::from_example_region(
+            &self.core.dataset,
+            &self.core.aggregator,
+            example,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AsrsEngine;
+    use crate::request::QueryOutcome;
+    use asrs_aggregator::Selection;
+    use asrs_data::gen::UniformGenerator;
+
+    fn engine() -> AsrsEngine {
+        let ds = UniformGenerator::default().generate(250, 9);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        AsrsEngine::builder(ds, agg)
+            .build_index(16, 16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn handle_is_cheap_to_clone_and_thread_safe() {
+        fn assert_handle_bounds<T: Clone + Send + Sync + 'static>() {}
+        assert_handle_bounds::<EngineHandle>();
+
+        let engine = engine();
+        let handle = engine.handle();
+        let query = handle
+            .query_from_example(&Rect::new(5.0, 5.0, 20.0, 20.0))
+            .unwrap();
+        let results: Vec<_> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let handle = handle.clone();
+                    let query = query.clone();
+                    scope.spawn(move || handle.submit(&QueryRequest::similar(query)).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        // Concurrent submissions over the shared core agree exactly.
+        for response in &results {
+            assert_eq!(response.backend, results[0].backend);
+            match (&response.outcome, &results[0].outcome) {
+                (QueryOutcome::Best(a), QueryOutcome::Best(b)) => {
+                    assert_eq!(a.anchor, b.anchor);
+                    assert_eq!(a.distance, b.distance);
+                }
+                _ => panic!("similar requests produce Best outcomes"),
+            }
+        }
+    }
+
+    #[test]
+    fn handle_outlives_the_engine() {
+        let handle = engine().handle();
+        // The engine was dropped above; the Arc keeps the core alive.
+        assert_eq!(handle.dataset().len(), 250);
+        assert!(handle.statistics().index.is_some());
+        let query = handle
+            .query_from_example(&Rect::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        assert!(handle.submit(&QueryRequest::similar(query)).is_ok());
+    }
+}

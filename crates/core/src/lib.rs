@@ -27,20 +27,40 @@
 //!    via [`SearchConfig::delta`] / [`GiDsSearch::search_approx`].
 //! 5. [`MaxRsSearch`] adapts DS-Search to the MaxRS problem (Section 7.5).
 //!
+//! # The request → plan → execute pipeline
+//!
+//! The engine's primary surface is declarative: callers describe *what*
+//! they want as a serializable [`QueryRequest`] (similar-region, top-k,
+//! batch, approximate, MaxRS, …), the [`Planner`] chooses the backend from
+//! dataset/index statistics with a documented cost model (its
+//! [`ExecutionPlan::explain`] says why), and
+//! [`AsrsEngine::submit`] executes the plan into a [`QueryResponse`]
+//! bundling results, the chosen [`Backend`] and the merged
+//! [`SearchStats`].  Requests can carry a wall-clock [`Budget`]
+//! ([`QueryRequest::with_budget_ms`]) that aborts long discretize/split
+//! recursions with [`AsrsError::DeadlineExceeded`], and a backend override
+//! ([`QueryRequest::with_backend`]) for callers who know better than the
+//! cost model.
+//!
+//! [`AsrsEngine::handle`] returns a cheap `Clone + Send + Sync`
+//! [`EngineHandle`] over the engine's [`std::sync::Arc`]-shared immutable
+//! core, so many threads can submit concurrently.
+//!
 //! # The engine facade
 //!
-//! [`AsrsEngine`] is the intended public entry point: it owns the dataset
-//! and aggregator, optionally builds a [`GridIndex`], selects a backend via
-//! [`Strategy`] (all backends implement the object-safe [`SearchAlgorithm`]
-//! trait and return identical optimal distances), validates every query
-//! once at its boundary, and adds batch ([`AsrsEngine::search_batch`]) and
-//! top-k ([`AsrsEngine::search_top_k`]) querying.  Every fallible path
-//! reports [`AsrsError`] — no public builder or search panics on bad input.
+//! [`AsrsEngine`] owns the dataset and aggregator, optionally builds a
+//! [`GridIndex`], validates every query once at its boundary, and keeps
+//! the legacy per-operation methods ([`AsrsEngine::search`],
+//! [`AsrsEngine::search_top_k`], [`AsrsEngine::search_batch`],
+//! [`AsrsEngine::max_rs`], …) as thin shims over `submit`.  All backends
+//! implement the object-safe [`SearchAlgorithm`] trait and return
+//! identical optimal distances; every fallible path reports [`AsrsError`]
+//! — no public builder or search panics on bad input.
 //!
 //! # Quick example
 //!
 //! ```
-//! use asrs_core::{AsrsEngine, Strategy};
+//! use asrs_core::{AsrsEngine, QueryRequest};
 //! use asrs_aggregator::{CompositeAggregator, Selection};
 //! use asrs_data::gen::UniformGenerator;
 //! use asrs_geo::Rect;
@@ -51,10 +71,9 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // One facade: index construction, validation and backend choice.
+//! // One facade: index construction, validation and planning.
 //! let engine = AsrsEngine::builder(dataset, aggregator)
 //!     .build_index(32, 32)
-//!     .strategy(Strategy::Auto) // index present → GI-DS
 //!     .build()
 //!     .unwrap();
 //!
@@ -62,13 +81,20 @@
 //! let example = Rect::new(10.0, 10.0, 25.0, 25.0);
 //! let query = engine.query_from_example(&example).unwrap();
 //!
-//! let result = engine.search(&query).unwrap();
-//! assert!(result.distance.is_finite());
-//! assert!((result.region.width() - example.width()).abs() < 1e-9);
+//! // Plan (to see the cost model's choice) ...
+//! let request = QueryRequest::similar(query.clone());
+//! println!("{}", engine.plan(&request).unwrap().explain());
+//!
+//! // ... and execute.
+//! let response = engine.submit(&request).unwrap();
+//! let best = response.best().unwrap();
+//! assert!(best.distance.is_finite());
+//! assert!((best.region.width() - example.width()).abs() < 1e-9);
 //!
 //! // The 3 best non-identical anchors, best first.
-//! let top = engine.search_top_k(&query, 3).unwrap();
-//! assert!(top.len() <= 3 && top[0].distance <= result.distance + 1e-12);
+//! let top = engine.submit(&QueryRequest::top_k(query, 3)).unwrap();
+//! assert!(top.results().len() <= 3);
+//! assert!(top.results()[0].distance <= best.distance + 1e-12);
 //! ```
 
 #![warn(missing_docs)]
@@ -76,6 +102,7 @@
 
 pub mod asp;
 mod best;
+mod budget;
 mod config;
 mod discretize;
 mod drop_condition;
@@ -84,21 +111,30 @@ mod engine;
 mod error;
 mod gi_ds;
 mod grid_index;
+mod handle;
 mod maxrs;
 mod naive;
+mod planner;
 mod query;
+mod request;
 mod result;
 mod split;
 mod stats;
 
+pub use budget::Budget;
 pub use config::SearchConfig;
 pub use ds_search::DsSearch;
 pub use engine::{AsrsEngine, EngineBuilder, SearchAlgorithm, Strategy};
 pub use error::{AsrsError, ConfigError};
 pub use gi_ds::GiDsSearch;
 pub use grid_index::GridIndex;
+pub use handle::EngineHandle;
 pub use maxrs::{MaxRsResult, MaxRsSearch};
 pub use naive::NaiveSearch;
+pub use planner::{
+    CostEstimate, EngineStatistics, ExecutionPlan, IndexStatistics, PlanReason, Planner,
+};
 pub use query::{AsrsQuery, QueryError};
+pub use request::{Backend, QueryOutcome, QueryRequest, QueryResponse};
 pub use result::SearchResult;
 pub use stats::SearchStats;

@@ -19,9 +19,10 @@ use asrs_aggregator::{
 };
 use asrs_data::Dataset;
 use asrs_geo::{Point, Rect, RegionSize};
+use serde::{Deserialize, Serialize};
 
 /// Result of a MaxRS search.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MaxRsResult {
     /// The region of size `a × b` enclosing the maximum number of objects.
     pub region: Rect,
@@ -74,6 +75,15 @@ impl<'a> MaxRsSearch<'a> {
     /// non-positive or non-finite; [`AsrsError::Config`] when the
     /// configuration is invalid.
     pub fn search(&self) -> Result<MaxRsResult, AsrsError> {
+        self.search_within(None)
+    }
+
+    /// Like [`MaxRsSearch::search`], with an optional wall-clock budget
+    /// (see [`DsSearch::search_within`]).
+    pub fn search_within(
+        &self,
+        budget: Option<crate::budget::Budget>,
+    ) -> Result<MaxRsResult, AsrsError> {
         let (w, h) = (self.size.width, self.size.height);
         if !(w.is_finite() && w > 0.0 && h.is_finite() && h > 0.0) {
             return Err(AsrsError::InvalidRegionSize {
@@ -97,8 +107,8 @@ impl<'a> MaxRsSearch<'a> {
             FeatureVector::new(vec![target]),
             Weights::uniform(1),
         );
-        let result =
-            DsSearch::with_config(self.dataset, &aggregator, self.config.clone()).search(&query)?;
+        let result = DsSearch::with_config(self.dataset, &aggregator, self.config.clone())
+            .search_within(&query, budget)?;
         let count = result.representation[0].round() as usize;
         Ok(MaxRsResult {
             region: result.region,

@@ -14,6 +14,7 @@
 
 use crate::asp::AspInstance;
 use crate::best::BestSet;
+use crate::budget::Budget;
 use crate::config::SearchConfig;
 use crate::error::AsrsError;
 use crate::query::AsrsQuery;
@@ -59,8 +60,19 @@ impl<'a> NaiveSearch<'a> {
     /// [`AsrsError::Query`] when the query does not match the aggregator;
     /// [`AsrsError::Config`] when the configuration is invalid.
     pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
+        self.search_within(query, None)
+    }
+
+    /// Like [`NaiveSearch::search`], with an optional wall-clock budget:
+    /// the probe enumeration polls the budget once per probe column and
+    /// aborts with [`AsrsError::DeadlineExceeded`] once spent.
+    pub fn search_within(
+        &self,
+        query: &AsrsQuery,
+        budget: Option<Budget>,
+    ) -> Result<SearchResult, AsrsError> {
         Ok(self
-            .run(query, 1)?
+            .run(query, 1, budget)?
             .into_iter()
             .next()
             .expect("the outside-everything probe guarantees one result"))
@@ -78,15 +90,34 @@ impl<'a> NaiveSearch<'a> {
         query: &AsrsQuery,
         k: usize,
     ) -> Result<Vec<SearchResult>, AsrsError> {
+        self.search_top_k_within(query, k, None)
+    }
+
+    /// Like [`NaiveSearch::search_top_k`], with an optional wall-clock
+    /// budget (see [`NaiveSearch::search_within`]).
+    pub fn search_top_k_within(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
         if k == 0 {
             return Err(AsrsError::InvalidTopK);
         }
-        self.run(query, k)
+        self.run(query, k, budget)
     }
 
-    fn run(&self, query: &AsrsQuery, k: usize) -> Result<Vec<SearchResult>, AsrsError> {
+    fn run(
+        &self,
+        query: &AsrsQuery,
+        k: usize,
+        budget: Option<Budget>,
+    ) -> Result<Vec<SearchResult>, AsrsError> {
         query.validate(self.aggregator)?;
         self.config.validate()?;
+        if let Some(b) = budget {
+            b.check()?;
+        }
         let started = Instant::now();
         let mut stats = SearchStats::new();
         let asp = AspInstance::build(
@@ -131,6 +162,9 @@ impl<'a> NaiveSearch<'a> {
         let candidates = asp.all_rect_indices();
         let mut best = BestSet::new(k);
         for &x in &px {
+            if let Some(b) = budget {
+                b.check()?;
+            }
             for &y in &py {
                 stats.fallback_points += 1;
                 let p = Point::new(x, y);
@@ -141,7 +175,7 @@ impl<'a> NaiveSearch<'a> {
                 let d = self
                     .aggregator
                     .distance(&rep, &query.target, &query.weights, query.metric);
-                if d < best.cutoff() {
+                if d <= best.cutoff() {
                     best.offer(d, p, rep);
                 }
             }

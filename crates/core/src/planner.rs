@@ -1,0 +1,553 @@
+//! Cost-based query planning: statistics in, [`ExecutionPlan`] out.
+//!
+//! The cost model's inputs and assumptions are documented on [`Planner`],
+//! the module's public face.
+
+use crate::engine::Strategy;
+use crate::error::AsrsError;
+use crate::grid_index::GridIndex;
+use crate::request::{Backend, QueryRequest};
+use asrs_data::Dataset;
+use asrs_geo::{Rect, RegionSize};
+use std::fmt;
+
+/// Dataset and index statistics the planner decides from.
+///
+/// Captured once when the engine is built; cheap to copy around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStatistics {
+    /// Number of objects in the dataset.
+    pub object_count: usize,
+    /// Bounding box of the dataset (`None` when empty).
+    pub extent: Option<Rect>,
+    /// Statistics of the attached grid index, if any.
+    pub index: Option<IndexStatistics>,
+}
+
+/// Grid-index statistics consumed by the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStatistics {
+    /// Index granularity: number of columns.
+    pub cols: usize,
+    /// Index granularity: number of rows.
+    pub rows: usize,
+    /// Width of one index cell.
+    pub cell_width: f64,
+    /// Height of one index cell.
+    pub cell_height: f64,
+    /// Average number of objects per index cell (the density statistic).
+    pub avg_objects_per_cell: f64,
+}
+
+impl EngineStatistics {
+    /// Gathers statistics from a dataset and optional index.
+    pub fn capture(dataset: &Dataset, index: Option<&GridIndex>) -> Self {
+        let index_stats = index.map(|idx| {
+            let (cols, rows) = idx.granularity();
+            let cells = (cols * rows).max(1) as f64;
+            IndexStatistics {
+                cols,
+                rows,
+                cell_width: idx.spec().cell_width(),
+                cell_height: idx.spec().cell_height(),
+                avg_objects_per_cell: idx.objects_indexed() as f64 / cells,
+            }
+        });
+        Self {
+            object_count: dataset.len(),
+            extent: dataset.bounding_box(),
+            index: index_stats,
+        }
+    }
+}
+
+/// Why a plan chose its backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanReason {
+    /// The request forced the backend via
+    /// [`QueryRequest::with_backend`].
+    ForcedByRequest,
+    /// The engine was built with an explicit (non-`Auto`)
+    /// [`Strategy`].
+    ForcedByStrategy,
+    /// MaxRS always executes the DS-Search adaptation.
+    MaxRsAdaptation,
+    /// The dataset is small enough that the exhaustive oracle is cheapest.
+    TinyDataset,
+    /// No grid index is attached, so GI-DS is unavailable.
+    NoIndex,
+    /// The query spans most of the indexed extent; index cells cannot be
+    /// pruned, so the per-cell overhead of GI-DS does not pay off.
+    QuerySpansExtent,
+    /// The query is small relative to the indexed extent; index pruning
+    /// applies.
+    IndexPrunes,
+}
+
+impl fmt::Display for PlanReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            PlanReason::ForcedByRequest => "backend forced by the request",
+            PlanReason::ForcedByStrategy => "backend fixed by the engine's explicit strategy",
+            PlanReason::MaxRsAdaptation => "MaxRS always runs on the DS-Search adaptation",
+            PlanReason::TinyDataset => "dataset is tiny; the exhaustive oracle is cheapest",
+            PlanReason::NoIndex => "no grid index attached; DS-Search is the only pruning backend",
+            PlanReason::QuerySpansExtent => {
+                "query spans most of the indexed extent; index cells cannot be pruned"
+            }
+            PlanReason::IndexPrunes => {
+                "query is small relative to the indexed extent; index pruning applies"
+            }
+        };
+        f.write_str(text)
+    }
+}
+
+/// Estimated work per backend, in abstract rectangle-visit units.
+///
+/// `gi_ds` is `None` when no index is attached.  The numbers justify a
+/// plan in [`ExecutionPlan::explain`]; the decision itself is rule-based
+/// (see [`Planner`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated work of DS-Search: one discretise–split pass over the
+    /// `n` rectangles plus the empty-region seed, `(n + 1) · log₂(n + 2)`.
+    pub ds_search: f64,
+    /// Estimated work of GI-DS: ranking every index cell plus a DS-Search
+    /// pass over the cells the span ratio predicts will survive pruning.
+    pub gi_ds: Option<f64>,
+    /// Estimated work of the naive oracle: `(n + 1)²` arrangement probes.
+    pub naive: f64,
+}
+
+/// A planned execution: the backend to run, why, and at what estimated
+/// cost.  Produced by [`Planner::plan`] (usually via
+/// [`AsrsEngine::plan`](crate::AsrsEngine::plan)); consumed by
+/// [`AsrsEngine::submit`](crate::AsrsEngine::submit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// The chosen backend.
+    pub backend: Backend,
+    /// Why it was chosen.
+    pub reason: PlanReason,
+    /// Name of the planned operation (e.g. `"similar"`, `"max-rs"`).
+    pub operation: &'static str,
+    /// Estimated per-backend work.
+    pub estimates: CostEstimate,
+    /// Query-to-extent span ratio per axis the estimate used, when an
+    /// index and a query size were available.
+    pub span_ratio: Option<(f64, f64)>,
+    /// Wall-clock budget the request carries, in milliseconds.
+    pub budget_ms: Option<u64>,
+}
+
+impl ExecutionPlan {
+    /// A human-readable summary of the choice and the estimated work.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "plan[{}]: backend={} — {}",
+            self.operation,
+            self.backend.name(),
+            self.reason
+        );
+        if let Some((sx, sy)) = self.span_ratio {
+            out.push_str(&format!(
+                "; query spans {:.1}% × {:.1}% of the indexed extent",
+                sx * 100.0,
+                sy * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "; estimated work: ds-search ≈ {:.3e}",
+            self.estimates.ds_search
+        ));
+        match self.estimates.gi_ds {
+            Some(gi) => out.push_str(&format!(", gi-ds ≈ {gi:.3e}")),
+            None => out.push_str(", gi-ds unavailable (no index)"),
+        }
+        out.push_str(&format!(", naive ≈ {:.3e} units", self.estimates.naive));
+        match self.budget_ms {
+            Some(ms) => out.push_str(&format!("; budget: {ms} ms")),
+            None => out.push_str("; budget: none"),
+        }
+        out
+    }
+}
+
+/// The cost-based planner: decides which backend executes a
+/// [`QueryRequest`].
+///
+/// The paper's central experimental result (Figs. 8–11) is that no single
+/// backend dominates: GI-DS wins when the grid index can prune — small
+/// queries relative to the indexed extent — while plain DS-Search wins
+/// when a query spans most of the space (every index cell's bounding
+/// region then covers nearly everything, so no cell can be pruned and the
+/// per-cell machinery is pure overhead), and the exhaustive oracle is
+/// cheapest on tiny datasets.  The planner encodes that decision so
+/// callers no longer have to.
+///
+/// # Cost-model inputs
+///
+/// The model reads three statistics, all captured in [`EngineStatistics`]
+/// when the engine is built:
+///
+/// * **object count** `n` — every object contributes one ASP rectangle,
+///   so `n` bounds the work of a discretisation round and `n²` the probe
+///   count of the naive oracle;
+/// * **density per index cell** — the average number of objects per grid
+///   cell, which scales the per-cell DS-Search invocations GI-DS performs;
+/// * **query-to-extent span ratio** — how much of the indexed extent a
+///   candidate region (expanded by one index cell, the granularity at
+///   which pruning operates) covers per axis.  This is the planner's proxy
+///   for the fraction of index cells whose lower bound can survive pruning
+///   (the paper's Table 1 ratio).
+///
+/// # Decision rules
+///
+/// The decision is deliberately rule-based — thresholds, not a simulated
+/// execution:
+///
+/// 1. a forced backend (request override, or an explicit engine
+///    [`Strategy`]) always wins;
+/// 2. MaxRS variants always run the DS-Search adaptation (it is the only
+///    MaxRS implementation);
+/// 3. datasets with at most [`Planner::naive_max_objects`] objects run the
+///    naive oracle (`(n + 1)²` probes beat building any search structure);
+/// 4. without an index only DS-Search remains;
+/// 5. with an index, a query whose cell-expanded span covers at least
+///    [`Planner::span_threshold`] of the extent on *both* axes runs
+///    DS-Search; anything smaller runs GI-DS.
+///
+/// # Assumptions
+///
+/// The work estimates reported by [`ExecutionPlan::explain`] use the same
+/// statistics in abstract "rectangle visit" units; they are descriptive
+/// (so `explain()` can justify the choice) rather than the decision
+/// procedure itself.  All assumptions are heuristics tuned to the paper's
+/// workloads: uniform-ish densities, queries at least an order of
+/// magnitude smaller than the dataset extent in the common case.
+///
+/// The thresholds are public so deployments can tune them
+/// ([`EngineBuilder::planner`](crate::EngineBuilder::planner)); the
+/// defaults follow the paper's workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Planner {
+    /// Datasets with at most this many objects run the naive oracle under
+    /// `Auto` planning.  Default 16: the oracle evaluates `(n+1)²` probes,
+    /// which at 16 objects is cheaper than one 30 × 30 discretisation.
+    pub naive_max_objects: usize,
+    /// A query whose cell-expanded span covers at least this fraction of
+    /// the indexed extent on both axes runs DS-Search instead of GI-DS.
+    /// Default 0.5: at that size, pruning bounds computed per index cell
+    /// overlap on more than half the extent and rarely discard anything.
+    pub span_threshold: f64,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self {
+            naive_max_objects: 16,
+            span_threshold: 0.5,
+        }
+    }
+}
+
+impl Planner {
+    /// Plans `request` against `stats`, honouring the engine's default
+    /// `strategy` and any per-request override.
+    ///
+    /// # Errors
+    ///
+    /// * [`AsrsError::IndexRequired`] when GI-DS is forced without an
+    ///   index,
+    /// * [`AsrsError::BackendUnsupported`] when a non-DS backend is forced
+    ///   for a MaxRS variant.
+    pub fn plan(
+        &self,
+        stats: &EngineStatistics,
+        strategy: Strategy,
+        request: &QueryRequest,
+    ) -> Result<ExecutionPlan, AsrsError> {
+        let is_max_rs = matches!(
+            request.operation(),
+            QueryRequest::MaxRs { .. } | QueryRequest::MaxRsSelective { .. }
+        );
+        self.plan_parts(
+            stats,
+            strategy,
+            request.operation_name(),
+            request.planning_size(),
+            is_max_rs,
+            request.forced_backend(),
+            request.budget_ms(),
+        )
+    }
+
+    /// The parts-level planning entry point: what [`Planner::plan`]
+    /// extracts from a request, as plain values.  The engine's legacy
+    /// shims use it to plan borrowed queries without constructing an
+    /// owned [`QueryRequest`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn plan_parts(
+        &self,
+        stats: &EngineStatistics,
+        strategy: Strategy,
+        operation: &'static str,
+        size: Option<RegionSize>,
+        is_max_rs: bool,
+        request_backend: Option<Backend>,
+        budget_ms: Option<u64>,
+    ) -> Result<ExecutionPlan, AsrsError> {
+        let span_ratio = self.span_ratio(stats, size);
+        let estimates = self.estimate(stats, span_ratio);
+
+        let forced = request_backend.map(|b| (b, PlanReason::ForcedByRequest));
+        let forced = forced.or(match strategy {
+            Strategy::Auto => None,
+            Strategy::DsSearch => Some((Backend::DsSearch, PlanReason::ForcedByStrategy)),
+            Strategy::GiDs => Some((Backend::GiDs, PlanReason::ForcedByStrategy)),
+            Strategy::Naive => Some((Backend::Naive, PlanReason::ForcedByStrategy)),
+        });
+
+        let (backend, reason) = if is_max_rs {
+            // MaxRS has exactly one implementation; a request forcing a
+            // non-DS backend is a contradiction rather than a preference.
+            // An engine-level GiDs/Naive strategy, however, routes MaxRS to
+            // the adaptation, matching the legacy `max_rs` methods which
+            // ignored the strategy entirely.
+            match request_backend {
+                Some(Backend::DsSearch) | None => (Backend::DsSearch, PlanReason::MaxRsAdaptation),
+                Some(other) => {
+                    return Err(AsrsError::BackendUnsupported {
+                        backend: other.name(),
+                        operation,
+                    })
+                }
+            }
+        } else if let Some((backend, why)) = forced {
+            if backend == Backend::GiDs && stats.index.is_none() {
+                return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
+            }
+            (backend, why)
+        } else if stats.object_count <= self.naive_max_objects {
+            (Backend::Naive, PlanReason::TinyDataset)
+        } else if stats.index.is_none() {
+            (Backend::DsSearch, PlanReason::NoIndex)
+        } else {
+            match span_ratio {
+                Some((sx, sy)) if sx >= self.span_threshold && sy >= self.span_threshold => {
+                    (Backend::DsSearch, PlanReason::QuerySpansExtent)
+                }
+                _ => (Backend::GiDs, PlanReason::IndexPrunes),
+            }
+        };
+
+        Ok(ExecutionPlan {
+            backend,
+            reason,
+            operation,
+            estimates,
+            span_ratio,
+            budget_ms,
+        })
+    }
+
+    /// The fraction of the dataset extent a candidate region (expanded by
+    /// one index cell) covers, per axis, clamped to 1.
+    fn span_ratio(&self, stats: &EngineStatistics, size: Option<RegionSize>) -> Option<(f64, f64)> {
+        let size = size?;
+        let idx = stats.index.as_ref()?;
+        let extent = stats.extent?;
+        let (w, h) = (extent.width(), extent.height());
+        if w <= 0.0 || h <= 0.0 {
+            return Some((1.0, 1.0));
+        }
+        Some((
+            ((size.width + idx.cell_width) / w).min(1.0),
+            ((size.height + idx.cell_height) / h).min(1.0),
+        ))
+    }
+
+    /// Work estimates in abstract rectangle-visit units (see
+    /// [`CostEstimate`]).
+    fn estimate(&self, stats: &EngineStatistics, span_ratio: Option<(f64, f64)>) -> CostEstimate {
+        let n = stats.object_count as f64;
+        let ds_search = (n + 1.0) * (n + 2.0).log2();
+        let naive = (n + 1.0) * (n + 1.0);
+        let gi_ds = stats.index.as_ref().map(|idx| {
+            let cells = (idx.cols * idx.rows) as f64;
+            let (sx, sy) = span_ratio.unwrap_or((0.5, 0.5));
+            // Ranking every cell costs one suffix-table lookup each; the
+            // surviving fraction (≈ the span the pruning bounds cannot
+            // separate) then pays a DS-Search pass over its local
+            // rectangles.
+            let surviving = cells * (sx * sy).min(1.0);
+            cells + surviving * (idx.avg_objects_per_cell + 1.0) * (n + 2.0).log2()
+        });
+        CostEstimate {
+            ds_search,
+            gi_ds,
+            naive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::AsrsQuery;
+    use asrs_aggregator::{FeatureVector, Weights};
+
+    fn stats(n: usize, with_index: bool) -> EngineStatistics {
+        EngineStatistics {
+            object_count: n,
+            extent: Some(Rect::new(0.0, 0.0, 100.0, 100.0)),
+            index: with_index.then(|| IndexStatistics {
+                cols: 20,
+                rows: 20,
+                cell_width: 5.0,
+                cell_height: 5.0,
+                avg_objects_per_cell: n as f64 / 400.0,
+            }),
+        }
+    }
+
+    fn similar(size: RegionSize) -> QueryRequest {
+        QueryRequest::similar(AsrsQuery::new(
+            size,
+            FeatureVector::new(vec![1.0]),
+            Weights::uniform(1),
+        ))
+    }
+
+    #[test]
+    fn tiny_query_on_an_indexed_engine_picks_gi_ds() {
+        let plan = Planner::default()
+            .plan(
+                &stats(500, true),
+                Strategy::Auto,
+                &similar(RegionSize::new(4.0, 4.0)),
+            )
+            .unwrap();
+        assert_eq!(plan.backend, Backend::GiDs);
+        assert_eq!(plan.reason, PlanReason::IndexPrunes);
+        assert!(plan.explain().contains("gi-ds"));
+    }
+
+    #[test]
+    fn extent_spanning_query_picks_ds_search() {
+        let plan = Planner::default()
+            .plan(
+                &stats(500, true),
+                Strategy::Auto,
+                &similar(RegionSize::new(70.0, 70.0)),
+            )
+            .unwrap();
+        assert_eq!(plan.backend, Backend::DsSearch);
+        assert_eq!(plan.reason, PlanReason::QuerySpansExtent);
+    }
+
+    #[test]
+    fn index_less_engine_falls_back_to_ds_search() {
+        let plan = Planner::default()
+            .plan(
+                &stats(500, false),
+                Strategy::Auto,
+                &similar(RegionSize::new(4.0, 4.0)),
+            )
+            .unwrap();
+        assert_eq!(plan.backend, Backend::DsSearch);
+        assert_eq!(plan.reason, PlanReason::NoIndex);
+        assert!(plan.estimates.gi_ds.is_none());
+        assert!(plan.explain().contains("unavailable"));
+    }
+
+    #[test]
+    fn tiny_datasets_run_the_oracle() {
+        let plan = Planner::default()
+            .plan(
+                &stats(10, true),
+                Strategy::Auto,
+                &similar(RegionSize::new(4.0, 4.0)),
+            )
+            .unwrap();
+        assert_eq!(plan.backend, Backend::Naive);
+        assert_eq!(plan.reason, PlanReason::TinyDataset);
+    }
+
+    #[test]
+    fn request_override_beats_everything() {
+        let req = similar(RegionSize::new(4.0, 4.0)).with_backend(Backend::Naive);
+        let plan = Planner::default()
+            .plan(&stats(500, true), Strategy::DsSearch, &req)
+            .unwrap();
+        assert_eq!(plan.backend, Backend::Naive);
+        assert_eq!(plan.reason, PlanReason::ForcedByRequest);
+    }
+
+    #[test]
+    fn explicit_strategy_beats_the_cost_model() {
+        let plan = Planner::default()
+            .plan(
+                &stats(500, true),
+                Strategy::DsSearch,
+                &similar(RegionSize::new(4.0, 4.0)),
+            )
+            .unwrap();
+        assert_eq!(plan.backend, Backend::DsSearch);
+        assert_eq!(plan.reason, PlanReason::ForcedByStrategy);
+    }
+
+    #[test]
+    fn forced_gi_ds_without_an_index_errors() {
+        let req = similar(RegionSize::new(4.0, 4.0)).with_backend(Backend::GiDs);
+        assert_eq!(
+            Planner::default()
+                .plan(&stats(500, false), Strategy::Auto, &req)
+                .unwrap_err(),
+            AsrsError::IndexRequired { strategy: "gi-ds" }
+        );
+    }
+
+    #[test]
+    fn max_rs_always_plans_the_adaptation() {
+        let req = QueryRequest::max_rs(RegionSize::new(5.0, 5.0));
+        let plan = Planner::default()
+            .plan(&stats(500, true), Strategy::Auto, &req)
+            .unwrap();
+        assert_eq!(plan.backend, Backend::DsSearch);
+        assert_eq!(plan.reason, PlanReason::MaxRsAdaptation);
+
+        // Even under an explicit GiDs engine strategy (legacy `max_rs`
+        // ignored the strategy, so the planner must too)...
+        let plan = Planner::default()
+            .plan(&stats(500, true), Strategy::GiDs, &req)
+            .unwrap();
+        assert_eq!(plan.backend, Backend::DsSearch);
+
+        // ...but a *request-level* force of an incompatible backend is a
+        // contradiction.
+        let forced = req.with_backend(Backend::GiDs);
+        assert_eq!(
+            Planner::default()
+                .plan(&stats(500, true), Strategy::Auto, &forced)
+                .unwrap_err(),
+            AsrsError::BackendUnsupported {
+                backend: "gi-ds",
+                operation: "max-rs"
+            }
+        );
+    }
+
+    #[test]
+    fn explain_names_backend_and_budget() {
+        let req = similar(RegionSize::new(4.0, 4.0)).with_budget_ms(120);
+        let plan = Planner::default()
+            .plan(&stats(500, true), Strategy::Auto, &req)
+            .unwrap();
+        let text = plan.explain();
+        assert!(text.contains("backend=gi-ds"), "{text}");
+        assert!(text.contains("120 ms"), "{text}");
+        assert!(text.contains("similar"), "{text}");
+    }
+}

@@ -1,0 +1,458 @@
+//! The declarative query surface: [`QueryRequest`] in, [`QueryResponse`]
+//! out.
+//!
+//! A request is a plain serializable value describing *what* the caller
+//! wants — it names no algorithm.  The engine's
+//! [`Planner`](crate::Planner) turns a request plus dataset/index
+//! statistics into an [`ExecutionPlan`](crate::ExecutionPlan) choosing the
+//! backend, and [`AsrsEngine::submit`](crate::AsrsEngine::submit) executes
+//! the plan.  Because requests and responses round-trip through JSON they
+//! can cross process boundaries, be queued, logged and replayed — the
+//! prerequisite for serving the engine to many concurrent users.
+
+use crate::maxrs::MaxRsResult;
+use crate::query::AsrsQuery;
+use crate::result::SearchResult;
+use crate::stats::SearchStats;
+use asrs_aggregator::Selection;
+use asrs_geo::RegionSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete search backend a plan can dispatch to.
+///
+/// Unlike [`Strategy`](crate::Strategy) — the engine-level *policy* which
+/// includes the `Auto` deferral — a `Backend` is always a concrete
+/// algorithm; it is what a finished [`ExecutionPlan`](crate::ExecutionPlan)
+/// names and what a request can force via [`QueryRequest::with_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// The exact discretize–split algorithm (no index needed).
+    DsSearch,
+    /// The grid-index-accelerated algorithm; requires an index.
+    GiDs,
+    /// The exhaustive arrangement oracle — exact but `O(n²)` probes.
+    Naive,
+}
+
+impl Backend {
+    /// The short human-readable backend name used in logs and plans.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::DsSearch => "ds-search",
+            Backend::GiDs => "gi-ds",
+            Backend::Naive => "naive",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative query: every operation the engine supports, as one
+/// serializable value.
+///
+/// Construct requests with the associated functions ([`QueryRequest::similar`],
+/// [`QueryRequest::top_k`], …) and attach per-request execution options with
+/// the [`QueryRequest::with_budget_ms`] / [`QueryRequest::with_backend`]
+/// combinators, which wrap the operation in a [`QueryRequest::Configured`]
+/// envelope:
+///
+/// ```
+/// use asrs_core::{Backend, QueryRequest};
+/// use asrs_geo::RegionSize;
+///
+/// let req = QueryRequest::max_rs(RegionSize::new(10.0, 10.0))
+///     .with_budget_ms(250)
+///     .with_backend(Backend::DsSearch);
+/// let json = serde::json::to_string(&req);
+/// let back: QueryRequest = serde::json::from_str(&json).unwrap();
+/// assert_eq!(back, req);
+/// assert_eq!(back.budget_ms(), Some(250));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryRequest {
+    /// Find the single region most similar to the query representation.
+    Similar {
+        /// The ASRS query (size, target, weights, metric).
+        query: AsrsQuery,
+    },
+    /// Find the `k` best candidate regions with pairwise distinct anchors.
+    TopK {
+        /// The ASRS query.
+        query: AsrsQuery,
+        /// Number of ranked results requested (must be ≥ 1).
+        k: usize,
+    },
+    /// Answer many similar-region queries; results come back in input
+    /// order.
+    Batch {
+        /// The queries, answered independently.
+        queries: Vec<AsrsQuery>,
+    },
+    /// The (1+δ)-approximate variant: the returned region's distance is at
+    /// most `1 + delta` times the optimum (Section 6 of the paper).
+    Approximate {
+        /// The ASRS query.
+        query: AsrsQuery,
+        /// Approximation parameter δ ≥ 0 (0 = exact).
+        delta: f64,
+    },
+    /// The MaxRS problem: the `a × b` region enclosing the maximum number
+    /// of objects (Section 7.5).
+    MaxRs {
+        /// Size of the region to place.
+        size: RegionSize,
+    },
+    /// The class-constrained MaxRS variant: counts only objects accepted by
+    /// the selection.
+    MaxRsSelective {
+        /// Size of the region to place.
+        size: RegionSize,
+        /// Which objects count.
+        selection: Selection,
+    },
+    /// An envelope attaching execution options to an inner request; the
+    /// options do not change *what* is computed, only *how*.
+    Configured {
+        /// The wrapped operation (possibly itself configured; inner
+        /// envelopes are read outside-in, the outermost setting wins).
+        request: Box<QueryRequest>,
+        /// Optional wall-clock budget in milliseconds; execution aborts
+        /// with [`AsrsError::DeadlineExceeded`](crate::AsrsError::DeadlineExceeded)
+        /// once spent.
+        budget_ms: Option<u64>,
+        /// Optional forced backend, bypassing the planner's cost model.
+        backend: Option<Backend>,
+    },
+}
+
+impl QueryRequest {
+    /// A [`QueryRequest::Similar`] request.
+    pub fn similar(query: AsrsQuery) -> Self {
+        QueryRequest::Similar { query }
+    }
+
+    /// A [`QueryRequest::TopK`] request.
+    pub fn top_k(query: AsrsQuery, k: usize) -> Self {
+        QueryRequest::TopK { query, k }
+    }
+
+    /// A [`QueryRequest::Batch`] request.
+    pub fn batch(queries: Vec<AsrsQuery>) -> Self {
+        QueryRequest::Batch { queries }
+    }
+
+    /// A [`QueryRequest::Approximate`] request.
+    pub fn approximate(query: AsrsQuery, delta: f64) -> Self {
+        QueryRequest::Approximate { query, delta }
+    }
+
+    /// A [`QueryRequest::MaxRs`] request.
+    pub fn max_rs(size: RegionSize) -> Self {
+        QueryRequest::MaxRs { size }
+    }
+
+    /// A [`QueryRequest::MaxRsSelective`] request.
+    pub fn max_rs_selective(size: RegionSize, selection: Selection) -> Self {
+        QueryRequest::MaxRsSelective { size, selection }
+    }
+
+    /// Attaches a wall-clock budget in milliseconds (see
+    /// [`Budget`](crate::Budget)), wrapping the request in a
+    /// [`QueryRequest::Configured`] envelope when needed.
+    pub fn with_budget_ms(self, budget_ms: u64) -> Self {
+        match self {
+            QueryRequest::Configured {
+                request, backend, ..
+            } => QueryRequest::Configured {
+                request,
+                budget_ms: Some(budget_ms),
+                backend,
+            },
+            op => QueryRequest::Configured {
+                request: Box::new(op),
+                budget_ms: Some(budget_ms),
+                backend: None,
+            },
+        }
+    }
+
+    /// Forces a backend, bypassing the planner's cost model, wrapping the
+    /// request in a [`QueryRequest::Configured`] envelope when needed.
+    pub fn with_backend(self, backend: Backend) -> Self {
+        match self {
+            QueryRequest::Configured {
+                request, budget_ms, ..
+            } => QueryRequest::Configured {
+                request,
+                budget_ms,
+                backend: Some(backend),
+            },
+            op => QueryRequest::Configured {
+                request: Box::new(op),
+                budget_ms: None,
+                backend: Some(backend),
+            },
+        }
+    }
+
+    /// The innermost operation, with every [`QueryRequest::Configured`]
+    /// envelope peeled off.
+    pub fn operation(&self) -> &QueryRequest {
+        let mut op = self;
+        while let QueryRequest::Configured { request, .. } = op {
+            op = request;
+        }
+        op
+    }
+
+    /// The effective wall-clock budget in milliseconds, if any.  With
+    /// nested envelopes the outermost setting wins.
+    pub fn budget_ms(&self) -> Option<u64> {
+        let mut op = self;
+        while let QueryRequest::Configured {
+            request, budget_ms, ..
+        } = op
+        {
+            if budget_ms.is_some() {
+                return *budget_ms;
+            }
+            op = request;
+        }
+        None
+    }
+
+    /// The effective forced backend, if any.  With nested envelopes the
+    /// outermost setting wins.
+    pub fn forced_backend(&self) -> Option<Backend> {
+        let mut op = self;
+        while let QueryRequest::Configured {
+            request, backend, ..
+        } = op
+        {
+            if backend.is_some() {
+                return *backend;
+            }
+            op = request;
+        }
+        None
+    }
+
+    /// A short name of the operation (envelope-transparent), for plans and
+    /// error messages.
+    pub fn operation_name(&self) -> &'static str {
+        match self.operation() {
+            QueryRequest::Similar { .. } => "similar",
+            QueryRequest::TopK { .. } => "top-k",
+            QueryRequest::Batch { .. } => "batch",
+            QueryRequest::Approximate { .. } => "approximate",
+            QueryRequest::MaxRs { .. } => "max-rs",
+            QueryRequest::MaxRsSelective { .. } => "max-rs-selective",
+            QueryRequest::Configured { .. } => unreachable!("operation() peels envelopes"),
+        }
+    }
+
+    /// The region size the operation searches for, used by the planner's
+    /// cost model.  Batch requests report their largest query (the most
+    /// index-hostile one); empty batches report `None`.
+    pub(crate) fn planning_size(&self) -> Option<RegionSize> {
+        match self.operation() {
+            QueryRequest::Similar { query }
+            | QueryRequest::TopK { query, .. }
+            | QueryRequest::Approximate { query, .. } => Some(query.size),
+            QueryRequest::Batch { queries } => batch_planning_size(queries),
+            QueryRequest::MaxRs { size } | QueryRequest::MaxRsSelective { size, .. } => Some(*size),
+            QueryRequest::Configured { .. } => unreachable!("operation() peels envelopes"),
+        }
+    }
+}
+
+/// The representative size the planner uses for a batch: its largest (most
+/// index-hostile) query by area.  Shared by [`QueryRequest::planning_size`]
+/// and the legacy `search_batch` shim so the two plan identically.
+pub(crate) fn batch_planning_size(queries: &[AsrsQuery]) -> Option<RegionSize> {
+    queries
+        .iter()
+        .map(|q| q.size)
+        .max_by(|a, b| a.area().total_cmp(&b.area()))
+}
+
+/// The results of one executed operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryOutcome {
+    /// The single best region ([`QueryRequest::Similar`] /
+    /// [`QueryRequest::Approximate`]).
+    Best(SearchResult),
+    /// Up to `k` regions, best first ([`QueryRequest::TopK`]).
+    Ranked(Vec<SearchResult>),
+    /// One result per input query, in input order
+    /// ([`QueryRequest::Batch`]).
+    Batch(Vec<SearchResult>),
+    /// The MaxRS answer ([`QueryRequest::MaxRs`] /
+    /// [`QueryRequest::MaxRsSelective`]).
+    MaxRs(MaxRsResult),
+}
+
+/// The engine's answer to a [`QueryRequest`]: the results, the backend the
+/// planner chose, and the merged search statistics — which the legacy
+/// per-operation methods used to compute and drop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// The backend that executed the request.
+    pub backend: Backend,
+    /// The results.
+    pub outcome: QueryOutcome,
+    /// Statistics of the execution.  For batch requests this is the
+    /// [`SearchStats::merge`] of every per-query run; for the other
+    /// operations it equals the single run's statistics.
+    pub stats: SearchStats,
+}
+
+impl QueryResponse {
+    /// Assembles a response, deriving the statistics from the outcome: the
+    /// single run's stats for best/ranked/MaxRS outcomes, the
+    /// [`SearchStats::merge`] of every per-query run for a batch.
+    pub(crate) fn from_outcome(backend: Backend, outcome: QueryOutcome) -> Self {
+        let stats = match &outcome {
+            QueryOutcome::Best(r) => r.stats.clone(),
+            // Every top-k entry carries the statistics of the one run that
+            // produced the ranking, so report them once rather than
+            // merging k copies of the same counters.
+            QueryOutcome::Ranked(rs) => rs.first().map(|r| r.stats.clone()).unwrap_or_default(),
+            QueryOutcome::Batch(rs) => {
+                let mut stats = SearchStats::new();
+                for r in rs {
+                    stats.merge(&r.stats);
+                }
+                stats
+            }
+            QueryOutcome::MaxRs(r) => r.stats.clone(),
+        };
+        Self {
+            backend,
+            outcome,
+            stats,
+        }
+    }
+
+    /// The best region of the response: the single result for
+    /// similar/approximate, the top-ranked result for top-k, and `None`
+    /// for batch (which has no global ranking) and MaxRS responses.
+    pub fn best(&self) -> Option<&SearchResult> {
+        match &self.outcome {
+            QueryOutcome::Best(r) => Some(r),
+            QueryOutcome::Ranked(rs) => rs.first(),
+            QueryOutcome::Batch(_) | QueryOutcome::MaxRs(_) => None,
+        }
+    }
+
+    /// All region results carried by the response (empty for MaxRS).
+    pub fn results(&self) -> &[SearchResult] {
+        match &self.outcome {
+            QueryOutcome::Best(r) => std::slice::from_ref(r),
+            QueryOutcome::Ranked(rs) | QueryOutcome::Batch(rs) => rs,
+            QueryOutcome::MaxRs(_) => &[],
+        }
+    }
+
+    /// The MaxRS result, when the request was a MaxRS variant.
+    pub fn max_rs(&self) -> Option<&MaxRsResult> {
+        match &self.outcome {
+            QueryOutcome::MaxRs(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrs_aggregator::{FeatureVector, Weights};
+
+    fn query() -> AsrsQuery {
+        AsrsQuery::new(
+            RegionSize::new(3.0, 4.0),
+            FeatureVector::new(vec![1.0, 2.0]),
+            Weights::uniform(2),
+        )
+    }
+
+    #[test]
+    fn combinators_wrap_once_and_update_in_place() {
+        let req = QueryRequest::similar(query())
+            .with_budget_ms(100)
+            .with_backend(Backend::Naive)
+            .with_budget_ms(50);
+        // One envelope, both options set, the later budget wins.
+        assert!(matches!(
+            &req,
+            QueryRequest::Configured {
+                request,
+                budget_ms: Some(50),
+                backend: Some(Backend::Naive),
+            } if matches!(**request, QueryRequest::Similar { .. })
+        ));
+        assert_eq!(req.budget_ms(), Some(50));
+        assert_eq!(req.forced_backend(), Some(Backend::Naive));
+        assert_eq!(req.operation_name(), "similar");
+    }
+
+    #[test]
+    fn nested_envelopes_read_outside_in() {
+        let inner = QueryRequest::Configured {
+            request: Box::new(QueryRequest::max_rs(RegionSize::new(1.0, 1.0))),
+            budget_ms: Some(10),
+            backend: Some(Backend::DsSearch),
+        };
+        let outer = QueryRequest::Configured {
+            request: Box::new(inner),
+            budget_ms: Some(99),
+            backend: None,
+        };
+        assert_eq!(outer.budget_ms(), Some(99));
+        assert_eq!(outer.forced_backend(), Some(Backend::DsSearch));
+        assert!(matches!(outer.operation(), QueryRequest::MaxRs { .. }));
+    }
+
+    #[test]
+    fn planning_size_reports_the_largest_batch_query() {
+        let mut small = query();
+        small.size = RegionSize::new(1.0, 1.0);
+        let mut large = query();
+        large.size = RegionSize::new(9.0, 9.0);
+        let req = QueryRequest::batch(vec![small, large]);
+        assert_eq!(req.planning_size(), Some(RegionSize::new(9.0, 9.0)));
+        assert_eq!(QueryRequest::batch(vec![]).planning_size(), None);
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let requests = vec![
+            QueryRequest::similar(query()),
+            QueryRequest::top_k(query(), 4),
+            QueryRequest::batch(vec![query(), query()]),
+            QueryRequest::approximate(query(), 0.25),
+            QueryRequest::max_rs(RegionSize::new(5.0, 6.0)),
+            QueryRequest::max_rs_selective(RegionSize::new(5.0, 6.0), Selection::cat_equals(0, 2)),
+            QueryRequest::top_k(query(), 2)
+                .with_budget_ms(750)
+                .with_backend(Backend::GiDs),
+        ];
+        for req in requests {
+            let json = serde::json::to_string(&req);
+            let back: QueryRequest = serde::json::from_str(&json).unwrap();
+            assert_eq!(back, req, "round trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(Backend::DsSearch.name(), "ds-search");
+        assert_eq!(Backend::GiDs.to_string(), "gi-ds");
+        assert_eq!(Backend::Naive.name(), "naive");
+    }
+}

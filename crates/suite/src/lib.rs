@@ -16,9 +16,11 @@ pub mod prelude {
     };
     pub use asrs_baseline::{naive, segment_tree::MaxAddSegmentTree, OptimalEnclosure, SweepBase};
     pub use asrs_core::{
-        AsrsEngine, AsrsError, AsrsQuery, ConfigError, DsSearch, EngineBuilder, GiDsSearch,
-        GridIndex, MaxRsResult, MaxRsSearch, NaiveSearch, QueryError, SearchAlgorithm,
-        SearchConfig, SearchResult, SearchStats, Strategy,
+        AsrsEngine, AsrsError, AsrsQuery, Backend, Budget, ConfigError, CostEstimate, DsSearch,
+        EngineBuilder, EngineHandle, EngineStatistics, ExecutionPlan, GiDsSearch, GridIndex,
+        IndexStatistics, MaxRsResult, MaxRsSearch, NaiveSearch, PlanReason, Planner, QueryError,
+        QueryOutcome, QueryRequest, QueryResponse, SearchAlgorithm, SearchConfig, SearchResult,
+        SearchStats, Strategy,
     };
     pub use asrs_data::gen::{
         CityGenerator, CityMap, ClusteredGenerator, District, PoiSynGenerator, TweetGenerator,

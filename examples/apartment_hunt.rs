@@ -90,8 +90,17 @@ fn main() {
     let weights = Weights::new(vec![0.3, 1.0, 1.0, 1.0, 2.0]);
     let query = AsrsQuery::new(RegionSize::new(6.0, 6.0), target, weights);
 
-    let result = DsSearch::new(&dataset, &aggregator).search(&query).unwrap();
-    let labels = aggregator.dimension_labels();
+    // Submit through the engine: no index here, so the planner falls back
+    // to DS-Search — `plan()` explains exactly that.
+    let engine = AsrsEngine::builder(dataset, aggregator)
+        .build()
+        .expect("valid configuration");
+    let request = QueryRequest::similar(query.clone());
+    println!("{}", engine.plan(&request).expect("plannable").explain());
+    let response = engine.submit(&request).unwrap();
+    let result = response.best().expect("similar yields a best region");
+
+    let labels = engine.aggregator().dimension_labels();
     println!("\nbest neighbourhood: {}", result.region);
     println!("distance to the ideal: {:.3}", result.distance);
     println!("its profile:");
@@ -99,13 +108,13 @@ fn main() {
         println!("  {label:<22} {value:8.2}");
     }
 
-    // Compare against the sweep-line baseline to show they agree.
-    let baseline = SweepBase::new(&dataset, &aggregator)
-        .search(&query)
-        .unwrap();
+    // Compare against the sweep-line baseline, plugged in as an external
+    // backend (external backends bypass the planner by design).
+    let baseline = SweepBase::new(engine.dataset(), engine.aggregator());
+    let base_result = engine.search_with(&baseline, &query).unwrap();
     println!(
-        "\nsweep-line baseline distance: {:.3} (DS-Search took {:?}, Base took {:?})",
-        baseline.distance, result.stats.elapsed, baseline.elapsed
+        "\nsweep-line baseline distance: {:.3} (DS-Search took {:?})",
+        base_result.distance, response.stats.elapsed
     );
-    assert!((baseline.distance - result.distance).abs() < 1e-6);
+    assert!((base_result.distance - result.distance).abs() < 1e-6);
 }

@@ -27,24 +27,33 @@ fn main() {
         Weights::new(vec![1.0 / vmax, 1.0 / 10.0]),
     );
 
-    let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty dataset");
-    let result = GiDsSearch::new(&dataset, &aggregator, &index)
-        .search(&query)
-        .unwrap();
+    // The engine owns the index; the planner picks GI-DS for this small
+    // query and `submit` reports the statistics alongside the result.
+    let engine = AsrsEngine::builder(dataset, aggregator)
+        .build_index(128, 128)
+        .build()
+        .expect("non-empty dataset");
+    let request = QueryRequest::similar(query);
+    println!("{}", engine.plan(&request).expect("plannable").explain());
+    let response = engine.submit(&request).unwrap();
+    let result = response.best().expect("similar yields a best region");
 
     println!("\nbest expansion area: {}", result.region);
     println!("total visits inside:  {:>10.0}", result.representation[0]);
     println!("average rating:       {:>10.2}", result.representation[1]);
     println!(
-        "distance {:.4}, searched {}/{} index cells, {:?}",
+        "[{}] distance {:.4}, searched {}/{} index cells, {:?}",
+        response.backend,
         result.distance,
-        result.stats.index_cells_searched,
-        result.stats.index_cells_total,
-        result.stats.elapsed
+        response.stats.index_cells_searched,
+        response.stats.index_cells_total,
+        response.stats.elapsed
     );
 
     // Sanity check against a direct recomputation over the returned region.
-    let recomputed = aggregator.aggregate_region(&dataset, &result.region);
+    let recomputed = engine
+        .aggregator()
+        .aggregate_region(engine.dataset(), &result.region);
     assert!((recomputed[0] - result.representation[0]).abs() < 1e-6);
     assert!((recomputed[1] - result.representation[1]).abs() < 1e-6);
     println!("representation verified against a direct recount ✓");

@@ -63,20 +63,32 @@ fn main() {
     println!("distance(Orchard, Bugis)      = {d_bugis:.1}");
     assert!(d_marina < d_bugis, "Marina Bay should be the better match");
 
-    // Run the actual similar-region search with Orchard as the example,
-    // excluding the trivial answer (the query region itself) by checking
-    // what the best region far from Orchard looks like.
-    let query = AsrsQuery::from_example_region(dataset, &aggregator, &orchard)
+    // Run the actual similar-region search with Orchard as the example.
+    // A top-k request surfaces the runner-up regions too: the query region
+    // itself is always the perfect rank-1 match, so the interesting
+    // answers are the later ranks.
+    let engine = AsrsEngine::builder(dataset.clone(), aggregator)
+        .build()
+        .expect("valid configuration");
+    let query = engine
+        .query_from_example(&orchard)
         .expect("district rectangles are non-degenerate");
-    let result = DsSearch::new(dataset, &aggregator).search(&query).unwrap();
+    let request = QueryRequest::top_k(query, 3);
+    println!("\n{}", engine.plan(&request).expect("plannable").explain());
+    let response = engine.submit(&request).expect("valid request");
     println!(
-        "\nDS-Search found region {} at distance {:.1} in {:?}",
-        result.region, result.distance, result.stats.elapsed
+        "[{}] search took {:?}",
+        response.backend, response.stats.elapsed
     );
-    let overlaps_marina = result.region.intersects(&marina);
-    let overlaps_orchard = result.region.intersects(&orchard);
-    println!(
-        "the result overlaps Orchard itself: {overlaps_orchard}, overlaps Marina Bay: {overlaps_marina}"
-    );
+    for (rank, result) in response.results().iter().enumerate() {
+        let overlaps_orchard = result.region.intersects(&orchard);
+        let overlaps_marina = result.region.intersects(&marina);
+        println!(
+            "rank {}: {} at distance {:.1} (overlaps Orchard: {overlaps_orchard}, Marina Bay: {overlaps_marina})",
+            rank + 1,
+            result.region,
+            result.distance
+        );
+    }
     println!("(the query region itself is always a perfect match; Marina Bay is the best *other* district)");
 }

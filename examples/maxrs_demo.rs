@@ -1,4 +1,5 @@
-//! MaxRS via DS-Search vs the Optimal Enclosure sweep line (Section 7.5).
+//! MaxRS via DS-Search vs the Optimal Enclosure sweep line (Section 7.5),
+//! driven through the engine's declarative `submit` API.
 //!
 //! Run with `cargo run --example maxrs_demo --release`.
 
@@ -10,10 +11,23 @@ fn main() {
     println!("dataset: {} objects", dataset.len());
     let size = RegionSize::new(20.0, 20.0);
 
-    // DS-Search adapted to MaxRS (upper bounds instead of lower bounds).
+    // MaxRS is a counting problem, so the engine only needs a count
+    // aggregator; the planner routes MaxRS to the DS-Search adaptation.
+    let aggregator = CompositeAggregator::builder(dataset.schema())
+        .count(Selection::All)
+        .build()
+        .expect("count works on every schema");
+    let engine = AsrsEngine::builder(dataset.clone(), aggregator)
+        .build()
+        .expect("valid configuration");
+
+    let request = QueryRequest::max_rs(size);
+    println!("{}", engine.plan(&request).expect("plannable").explain());
+
     let started = Instant::now();
-    let ds_result = MaxRsSearch::new(&dataset, size).search().unwrap();
+    let response = engine.submit(&request).expect("valid request");
     let ds_time = started.elapsed();
+    let ds_result = response.max_rs().expect("max-rs outcome").clone();
 
     // The O(n log n) Optimal Enclosure baseline.
     let started = Instant::now();
@@ -37,13 +51,17 @@ fn main() {
     );
     println!("\nboth algorithms agree on the maximum count ✓");
 
-    // The class-constrained variant: densest region of weekend posts only.
-    let weekend_only = MaxRsSearch::new(&dataset, size)
-        .with_selection(Selection::cat_in(0, vec![5, 6]))
-        .search()
-        .unwrap();
+    // The class-constrained variant: densest region of weekend posts only,
+    // with a per-request deadline as a serving-style safety net.
+    let weekend = engine
+        .submit(
+            &QueryRequest::max_rs_selective(size, Selection::cat_in(0, vec![5, 6]))
+                .with_budget_ms(30_000),
+        )
+        .expect("within budget");
+    let weekend_only = weekend.max_rs().expect("max-rs outcome");
     println!(
-        "densest weekend-post region: {} posts in {}",
-        weekend_only.count, weekend_only.region
+        "densest weekend-post region: {} posts in {} ({} fallback probes)",
+        weekend_only.count, weekend_only.region, weekend.stats.fallback_points
     );
 }

@@ -3,9 +3,10 @@
 //! Run with `cargo run --example quickstart --release`.
 //!
 //! The example builds a small synthetic POI dataset and drives everything
-//! through the `AsrsEngine` facade: query-by-example, automatic backend
-//! selection (GI-DS because an index is attached), explicit backend
-//! comparison, top-k and batch querying.
+//! through the engine's declarative request/plan/execute API:
+//! query-by-example, cost-based backend planning with `plan.explain()`,
+//! `submit`, per-request deadlines, top-k and batch requests, and
+//! concurrent submission through cloned `EngineHandle`s.
 
 use asrs_suite::prelude::*;
 
@@ -25,14 +26,12 @@ fn main() {
         .build()
         .expect("schema has a 'category' attribute");
 
-    // 3. The engine: owns dataset + aggregator, builds the grid index and
-    //    picks the backend (Auto: index present → GI-DS).
+    // 3. The engine: owns dataset + aggregator and builds the grid index.
+    //    Backends are chosen per request by the cost-based planner.
     let engine = AsrsEngine::builder(dataset, aggregator)
         .build_index(64, 64)
-        .strategy(Strategy::Auto)
         .build()
         .expect("valid configuration and non-empty dataset");
-    println!("engine backend: {}", engine.backend_name());
 
     // 4. Query by example: "find me a region that looks like this one".
     let example = Rect::new(10.0, 10.0, 30.0, 25.0);
@@ -44,48 +43,58 @@ fn main() {
         example, query.target
     );
 
-    // 5. Search through the facade.
-    let result = engine.search(&query).expect("query matches the aggregator");
+    // 5. Plan, then submit.  The plan explains the cost model's choice;
+    //    the response bundles results, backend and statistics.  A deadline
+    //    guards against runaway queries — serving-style.
+    let request = QueryRequest::similar(query.clone()).with_budget_ms(30_000);
+    println!("{}", engine.plan(&request).expect("plannable").explain());
+    let response = engine.submit(&request).expect("within budget");
+    let best = response.best().expect("similar yields a best region");
     println!(
-        "{}: best region {} at distance {:.4} (searched {}/{} index cells, {:.1?})",
-        engine.backend_name(),
-        result.region,
-        result.distance,
-        result.stats.index_cells_searched,
-        result.stats.index_cells_total,
-        result.stats.elapsed
+        "[{}] best region {} at distance {:.4} (searched {}/{} index cells, {:.1?})",
+        response.backend,
+        best.region,
+        best.distance,
+        response.stats.index_cells_searched,
+        response.stats.index_cells_total,
+        response.stats.elapsed
     );
 
-    // 6. The same query on the plain DS-Search backend must agree.  The
-    //    un-indexed algorithm degrades on dense uniform data (that is what
-    //    the grid index is for), so compare on a 1,500-object sample.
+    // 6. The same query with the backend forced to plain DS-Search must
+    //    agree on the optimal distance — planning never costs answer
+    //    quality (though tied optima may surface as different, equally
+    //    optimal regions).  The un-indexed algorithm degrades on dense
+    //    uniform data (that is what the grid index is for), so compare on
+    //    a 1,500-object sample.
     let sample = UniformGenerator::default().generate(1_500, 42);
-    let sample_query = AsrsQuery::from_example_region(&sample, engine.aggregator(), &example)
-        .expect("example region is non-degenerate");
-    let ds_engine = AsrsEngine::builder(sample.clone(), engine.aggregator().clone())
-        .strategy(Strategy::DsSearch)
-        .build()
-        .expect("valid configuration");
-    let plain = ds_engine
-        .search(&sample_query)
-        .expect("query matches the aggregator");
-    println!(
-        "ds-search: best region {} at distance {:.4} ({} sub-spaces, {:.1?})",
-        plain.region, plain.distance, plain.stats.spaces_processed, plain.stats.elapsed
-    );
-    let gi_sample = AsrsEngine::builder(sample, engine.aggregator().clone())
+    let sample_engine = AsrsEngine::builder(sample, engine.aggregator().clone())
         .build_index(64, 64)
         .build()
         .expect("valid configuration");
-    let indexed = gi_sample
-        .search(&sample_query)
-        .expect("query matches the aggregator");
-    assert!((indexed.distance - plain.distance).abs() < 1e-9);
+    let sample_query = sample_engine
+        .query_from_example(&example)
+        .expect("example region is non-degenerate");
+    let planned = sample_engine
+        .submit(&QueryRequest::similar(sample_query.clone()))
+        .expect("valid request");
+    let forced = sample_engine
+        .submit(&QueryRequest::similar(sample_query).with_backend(Backend::DsSearch))
+        .expect("valid request");
+    println!(
+        "planned [{}] distance {:.4} vs forced [{}] distance {:.4}",
+        planned.backend,
+        planned.best().unwrap().distance,
+        forced.backend,
+        forced.best().unwrap().distance
+    );
+    assert!((planned.best().unwrap().distance - forced.best().unwrap().distance).abs() < 1e-9);
     println!("both backends agree on the optimal distance ✓");
 
-    // 7. Engine-level extras: the 3 best distinct anchors...
-    let top = engine.search_top_k(&query, 3).expect("k >= 1");
-    for (rank, r) in top.iter().enumerate() {
+    // 7. The 3 best distinct anchors...
+    let top = engine
+        .submit(&QueryRequest::top_k(query.clone(), 3))
+        .expect("k >= 1");
+    for (rank, r) in top.results().iter().enumerate() {
         println!(
             "top-{}: {} at distance {:.4}",
             rank + 1,
@@ -94,7 +103,8 @@ fn main() {
         );
     }
 
-    // ...and a thread-parallel batch of related queries.
+    // ...and a thread-parallel batch of related queries, answered in input
+    // order with merged statistics.
     let batch: Vec<AsrsQuery> = [8.0, 15.0, 25.0]
         .iter()
         .map(|side| {
@@ -102,9 +112,42 @@ fn main() {
             engine.query_from_example(&region).expect("non-degenerate")
         })
         .collect();
-    let answers = engine.search_batch(&batch).expect("all queries are valid");
-    println!("batch: {} queries answered", answers.len());
-    for (q, a) in batch.iter().zip(&answers) {
+    let answers = engine
+        .submit(&QueryRequest::batch(batch.clone()))
+        .expect("all queries are valid");
+    println!(
+        "batch: {} queries answered, {} sub-spaces processed in total",
+        answers.results().len(),
+        answers.stats.spaces_processed
+    );
+    for (q, a) in batch.iter().zip(answers.results()) {
         println!("  {} → {} at distance {:.4}", q.size, a.region, a.distance);
     }
+
+    // 8. Concurrency: cheap handles share the engine across threads.
+    let handle = engine.handle();
+    let concurrent: Vec<f64> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let handle = handle.clone();
+                let query = query.clone();
+                scope.spawn(move || {
+                    handle
+                        .submit(&QueryRequest::similar(query))
+                        .expect("valid request")
+                        .best()
+                        .expect("similar yields a best region")
+                        .distance
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("worker thread"))
+            .collect()
+    });
+    assert!(concurrent.iter().all(|d| (d - best.distance).abs() < 1e-12));
+    println!(
+        "{} concurrent handle submissions agree with the sequential answer ✓",
+        concurrent.len()
+    );
 }

@@ -1,5 +1,6 @@
 //! Composite aggregator F1 from the paper's evaluation: find a region whose
-//! geo-tagged posts are concentrated on weekends.
+//! geo-tagged posts are concentrated on weekends — driven through the
+//! engine's request/plan/execute API.
 //!
 //! Run with `cargo run --example weekend_hotspots --release`.
 
@@ -27,14 +28,22 @@ fn main() {
         Weights::new(vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.5, 0.5]),
     );
 
-    // Search with the grid index.
-    let index = GridIndex::build(&dataset, &aggregator, 128, 128).expect("non-empty dataset");
+    // The engine owns the 128 × 128 grid index; the planner decides per
+    // request whether the index pays off.
+    let engine = AsrsEngine::builder(dataset, aggregator)
+        .build_index(128, 128)
+        .build()
+        .expect("non-empty dataset");
+    let index = engine.index().expect("index was built");
     println!(
         "grid index: 128x128 cells, {:.1} KiB",
         index.memory_bytes() as f64 / 1024.0
     );
-    let solver = GiDsSearch::new(&dataset, &aggregator, &index);
-    let result = solver.search(&query).unwrap();
+
+    let request = QueryRequest::similar(query.clone());
+    println!("{}", engine.plan(&request).expect("plannable").explain());
+    let response = engine.submit(&request).expect("query matches aggregator");
+    let result = response.best().expect("similar yields a best region");
 
     println!("\nmost weekend-centric region: {}", result.region);
     println!(
@@ -46,16 +55,22 @@ fn main() {
         println!("  {day:<10} {count:6.0}");
     }
     println!(
-        "searched {}/{} index cells in {:?}",
-        result.stats.index_cells_searched, result.stats.index_cells_total, result.stats.elapsed
+        "[{}] searched {}/{} index cells in {:?}",
+        response.backend,
+        response.stats.index_cells_searched,
+        response.stats.index_cells_total,
+        response.stats.elapsed
     );
 
     // The approximate variant trades a bounded loss for speed (Section 6).
     for delta in [0.1, 0.4] {
-        let approx = solver.search_approx(&query, delta).unwrap();
+        let approx = engine
+            .submit(&QueryRequest::approximate(query.clone(), delta))
+            .expect("valid delta");
+        let best = approx.best().expect("approximate yields a best region");
         println!(
             "(1+{delta:.1})-approximation: distance {:.2}, searched {} cells, {:?}",
-            approx.distance, approx.stats.index_cells_searched, approx.stats.elapsed
+            best.distance, approx.stats.index_cells_searched, approx.stats.elapsed
         );
     }
 }

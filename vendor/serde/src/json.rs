@@ -1,4 +1,4 @@
-//! JSON text format over the [`Value`](crate::Value) model.
+//! JSON text format over the [`crate::Value`] model.
 //!
 //! Floating point numbers are printed with Rust's shortest-round-trip
 //! formatting (`{:?}`), so `to_string` → `from_str` preserves every `f64`
