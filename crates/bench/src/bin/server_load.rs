@@ -1,0 +1,319 @@
+//! Load generator for the `asrs-server` serving layer.
+//!
+//! Boots an engine plus server in-process, then drives it over real
+//! sockets with keep-alive HTTP clients issuing a mixed workload drawn
+//! from a fixed request pool (so repeats exercise the query-result cache).
+//! Writes `BENCH_server.json` with throughput, latency percentiles and the
+//! cache hit rate — the serving-side companion to the paper-figure
+//! benchmarks.
+//!
+//! ```text
+//! server_load [--smoke] [--objects N] [--clients C] [--requests R]
+//!             [--cache N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks everything to a boot → one-round-trip → clean-shutdown
+//! check suitable for CI.  The process exits non-zero on any protocol
+//! error, non-200 response, or a cached response that is not byte-identical
+//! to its cold computation.
+
+use asrs_bench::report::Table;
+use asrs_bench::workloads::Workload;
+use asrs_core::{AsrsEngine, QueryRequest};
+use asrs_geo::RegionSize;
+use asrs_server::{AsrsServer, HttpClient, ServerConfig};
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+struct Args {
+    smoke: bool,
+    objects: usize,
+    clients: usize,
+    requests_per_client: usize,
+    cache_capacity: usize,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            smoke: false,
+            objects: 20_000,
+            clients: 4,
+            requests_per_client: 200,
+            cache_capacity: 1024,
+            out: "BENCH_server.json".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut num = |name: &str| -> usize {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} expects a number"))
+            };
+            match flag.as_str() {
+                "--smoke" => args.smoke = true,
+                "--objects" => args.objects = num("--objects"),
+                "--clients" => args.clients = num("--clients"),
+                "--requests" => args.requests_per_client = num("--requests"),
+                "--cache" => args.cache_capacity = num("--cache"),
+                "--out" => args.out = it.next().expect("--out expects a path"),
+                other => panic!("unknown flag {other:?}"),
+            }
+        }
+        if args.smoke {
+            args.objects = args.objects.min(2_000);
+            args.clients = args.clients.min(2);
+            args.requests_per_client = args.requests_per_client.min(20);
+        }
+        args
+    }
+}
+
+/// A fixed pool of mixed requests; clients cycle through it, so every
+/// request past the first pool lap is a cache hit.
+fn request_pool(workload: Workload, engine: &AsrsEngine) -> Vec<QueryRequest> {
+    let dataset = engine.dataset();
+    let mut pool = Vec::new();
+    for k in [10.0, 20.0, 40.0, 80.0] {
+        pool.push(QueryRequest::similar(workload.query(dataset, k)));
+    }
+    pool.push(QueryRequest::top_k(workload.query(dataset, 25.0), 3));
+    pool.push(QueryRequest::approximate(
+        workload.query(dataset, 30.0),
+        0.25,
+    ));
+    pool.push(QueryRequest::batch(vec![
+        workload.query(dataset, 15.0),
+        workload.query(dataset, 35.0),
+    ]));
+    pool.push(QueryRequest::similar(workload.query(dataset, 50.0)).with_budget_ms(120_000));
+    let bbox = dataset
+        .bounding_box()
+        .expect("generated dataset is non-empty");
+    pool.push(QueryRequest::max_rs(RegionSize::new(
+        bbox.width() / 50.0,
+        bbox.height() / 50.0,
+    )));
+    pool
+}
+
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    latencies_us: Vec<u64>,
+    http_errors: usize,
+    protocol_errors: usize,
+}
+
+fn drive_client(
+    addr: SocketAddr,
+    bodies: &[String],
+    offset: usize,
+    requests: usize,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    let Ok(mut client) = HttpClient::connect(addr) else {
+        outcome.protocol_errors += 1;
+        return outcome;
+    };
+    for i in 0..requests {
+        let body = &bodies[(offset + i) % bodies.len()];
+        let started = Instant::now();
+        match client.request("POST", "/query", body) {
+            Ok((200, _)) => outcome
+                .latencies_us
+                .push(started.elapsed().as_micros() as u64),
+            Ok((status, response)) => {
+                eprintln!("unexpected status {status}: {response}");
+                outcome.http_errors += 1;
+            }
+            Err(e) => {
+                eprintln!("protocol error: {e}");
+                outcome.protocol_errors += 1;
+                // Reconnect and keep going; a load generator should not
+                // stop at the first hiccup.
+                match HttpClient::connect(addr) {
+                    Ok(fresh) => client = fresh,
+                    Err(_) => return outcome,
+                }
+            }
+        }
+    }
+    outcome
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 * p).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: String,
+    smoke: bool,
+    objects: usize,
+    clients: usize,
+    requests_per_client: usize,
+    cache_capacity: usize,
+    server_workers: usize,
+    requests_total: usize,
+    http_errors: usize,
+    protocol_errors: usize,
+    elapsed_ms: f64,
+    throughput_rps: f64,
+    latency_ms_p50: f64,
+    latency_ms_p99: f64,
+    latency_ms_mean: f64,
+    latency_ms_max: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    cached_response_byte_identical: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let workload = Workload::Tweet;
+    eprintln!(
+        "building engine: {} objects, cache capacity {} ...",
+        args.objects, args.cache_capacity
+    );
+    let dataset = workload.dataset(args.objects, 42);
+    let aggregator = workload.aggregator(&dataset);
+    let engine = AsrsEngine::builder(dataset, aggregator)
+        .build_index(32, 32)
+        .cache_capacity(args.cache_capacity)
+        .build()
+        .expect("engine builds");
+    let pool = request_pool(workload, &engine);
+    let bodies: Vec<String> = pool.iter().map(serde::json::to_string).collect();
+
+    let config = ServerConfig::default();
+    let server_workers = config.workers;
+    let server = AsrsServer::bind(engine.handle(), "127.0.0.1:0", config)
+        .and_then(AsrsServer::start)
+        .expect("server starts");
+    let addr = server.addr();
+    eprintln!("serving on http://{addr}");
+
+    // Cache identity check: the same request issued cold and warm must
+    // produce byte-identical response bodies (acceptance criterion).
+    let mut probe = HttpClient::connect(addr).expect("probe client connects");
+    let (s1, cold) = probe
+        .request("POST", "/query", &bodies[0])
+        .expect("cold probe");
+    let (s2, warm) = probe
+        .request("POST", "/query", &bodies[0])
+        .expect("warm probe");
+    let identical = s1 == 200 && s2 == 200 && cold == warm;
+    drop(probe);
+
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        (0..args.clients)
+            .map(|c| {
+                let bodies = &bodies;
+                scope.spawn(move || drive_client(addr, bodies, c * 3, args.requests_per_client))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    // Read /metrics over the wire (smoke for the endpoint), but take the
+    // authoritative numbers from the in-process handle.
+    let mut probe = HttpClient::connect(addr).expect("metrics client connects");
+    let (metrics_status, _) = probe.request("GET", "/metrics", "").expect("metrics");
+    assert_eq!(metrics_status, 200, "GET /metrics must answer 200");
+    drop(probe);
+    let metrics = server.metrics();
+    server.shutdown();
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let http_errors: usize = outcomes.iter().map(|o| o.http_errors).sum();
+    let protocol_errors: usize = outcomes.iter().map(|o| o.protocol_errors).sum();
+    let cache = metrics.cache.expect("engine has a cache");
+
+    let report = BenchReport {
+        benchmark: "server_load".to_string(),
+        smoke: args.smoke,
+        objects: args.objects,
+        clients: args.clients,
+        requests_per_client: args.requests_per_client,
+        cache_capacity: args.cache_capacity,
+        server_workers,
+        requests_total: args.clients * args.requests_per_client,
+        http_errors,
+        protocol_errors,
+        elapsed_ms: elapsed.as_secs_f64() * 1000.0,
+        throughput_rps: latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency_ms_p50: percentile(&latencies, 0.50),
+        latency_ms_p99: percentile(&latencies, 0.99),
+        latency_ms_mean: latencies.iter().sum::<u64>() as f64
+            / 1000.0
+            / latencies.len().max(1) as f64,
+        latency_ms_max: latencies.last().copied().unwrap_or(0) as f64 / 1000.0,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_hit_rate: cache.hit_rate,
+        cached_response_byte_identical: identical,
+    };
+    std::fs::write(&args.out, serde::json::to_string(&report)).expect("report written");
+
+    let mut table = Table::new(
+        "Serving load (mixed workload over HTTP/1.1 keep-alive)",
+        &["metric", "value"],
+    );
+    table.row(vec!["requests ok".into(), latencies.len().to_string()]);
+    table.row(vec![
+        "throughput".into(),
+        format!("{:.0} req/s", report.throughput_rps),
+    ]);
+    table.row(vec![
+        "latency p50 / p99".into(),
+        format!(
+            "{:.2} ms / {:.2} ms",
+            report.latency_ms_p50, report.latency_ms_p99
+        ),
+    ]);
+    table.row(vec![
+        "cache hit rate".into(),
+        format!(
+            "{:.1}% ({} / {})",
+            cache.hit_rate * 100.0,
+            cache.hits,
+            cache.hits + cache.misses
+        ),
+    ]);
+    table.row(vec![
+        "errors (http / protocol)".into(),
+        format!("{http_errors} / {protocol_errors}"),
+    ]);
+    table.print();
+    println!("report written to {}", args.out);
+
+    if http_errors > 0 || protocol_errors > 0 {
+        eprintln!("FAIL: the run saw errors");
+        std::process::exit(1);
+    }
+    if !identical {
+        eprintln!("FAIL: cached response differed from the cold computation");
+        std::process::exit(1);
+    }
+    if cache.hits == 0 {
+        eprintln!("FAIL: a repeated workload must produce cache hits");
+        std::process::exit(1);
+    }
+    println!("OK");
+}

@@ -9,10 +9,23 @@
 //! sub-space or index cell may be dropped only when it cannot contribute
 //! any of the k best anchors.
 
+use crate::error::AsrsError;
 use crate::result::SearchResult;
 use crate::stats::SearchStats;
 use asrs_aggregator::FeatureVector;
 use asrs_geo::{Point, Rect, RegionSize};
+
+/// The error a search reports when it retained no candidate at all: every
+/// offered distance — the empty-region seed's included — was non-finite.
+/// Reachable only with a pathological aggregator/metric combination (e.g.
+/// an L2 distance overflowing to ∞ on a ~1e200 target), and reported as a
+/// value rather than the panic the old `.expect("the empty-region
+/// candidate guarantees one result")` call sites produced.
+pub(crate) fn no_finite_candidate() -> AsrsError {
+    AsrsError::Internal {
+        message: "search retained no candidate: every offered distance was non-finite".to_string(),
+    }
+}
 
 /// One retained candidate: an ASP answer point with its distance and
 /// aggregate representation.
@@ -36,11 +49,15 @@ pub(crate) struct BestEntry {
 pub(crate) struct BestSet {
     capacity: usize,
     entries: Vec<BestEntry>,
+    /// Candidates rejected because their distance was not finite; surfaced
+    /// as [`SearchStats::non_finite_candidates`](crate::SearchStats).
+    non_finite_rejected: u64,
 }
 
 /// Strict "precedes" under the total order (distance, anchor.y, anchor.x).
-/// Distances are finite by query validation, so `total_cmp` ties exactly
-/// with `==` on the values that reach the set.
+/// Distances are finite because [`BestSet::offer`] rejects non-finite ones
+/// at the insertion boundary, so `total_cmp` ties exactly with `==` on the
+/// values that reach the set.
 fn precedes(d_a: f64, a: &Point, d_b: f64, b: &Point) -> bool {
     d_a.total_cmp(&d_b)
         .then(a.y.total_cmp(&b.y))
@@ -54,7 +71,13 @@ impl BestSet {
         Self {
             capacity,
             entries: Vec::with_capacity(capacity),
+            non_finite_rejected: 0,
         }
+    }
+
+    /// Number of candidates rejected for a non-finite distance.
+    pub fn non_finite_rejected(&self) -> u64 {
+        self.non_finite_rejected
     }
 
     /// The pruning threshold: no candidate with a distance at or above the
@@ -75,7 +98,18 @@ impl BestSet {
     /// better distance than the current worst, an equal distance with an
     /// anchor that precedes the worst's, or a better distance for an
     /// already-retained anchor.
+    ///
+    /// A non-finite distance (NaN/∞ from a pathological aggregator) would
+    /// silently corrupt the `(distance, anchor.y, anchor.x)` total order —
+    /// `total_cmp` sorts NaN *above* ∞, so a NaN entry could pin the cutoff
+    /// at a value every real candidate "fails" to beat.  Such candidates
+    /// are rejected here, at the single insertion boundary shared by every
+    /// backend, and counted (see [`BestSet::non_finite_rejected`]).
     pub fn offer(&mut self, distance: f64, anchor: Point, representation: FeatureVector) {
+        if !distance.is_finite() {
+            self.non_finite_rejected += 1;
+            return;
+        }
         if let Some(existing) = self.entries.iter().position(|e| e.anchor == anchor) {
             if distance < self.entries[existing].distance {
                 self.entries.remove(existing);
@@ -120,8 +154,9 @@ impl BestSet {
 pub(crate) fn best_to_results(
     best: BestSet,
     size: RegionSize,
-    stats: SearchStats,
+    mut stats: SearchStats,
 ) -> Vec<SearchResult> {
+    stats.non_finite_candidates += best.non_finite_rejected();
     best.into_entries()
         .into_iter()
         .map(|e| {
@@ -201,6 +236,36 @@ mod tests {
         offer(&mut set, 1.0, 2.0);
         offer(&mut set, 1.0, 3.0);
         assert_eq!(set.into_entries().len(), 3);
+    }
+
+    #[test]
+    fn non_finite_distances_are_rejected_and_counted() {
+        // Regression test: a NaN distance used to be inserted and, because
+        // total_cmp orders NaN above +inf, could corrupt the top-k order
+        // and freeze the pruning cutoff.  It must be skipped instead.
+        let mut set = BestSet::new(2);
+        offer(&mut set, 3.0, 1.0);
+        offer(&mut set, f64::NAN, 2.0);
+        offer(&mut set, f64::INFINITY, 3.0);
+        offer(&mut set, f64::NEG_INFINITY, 4.0);
+        offer(&mut set, 1.0, 5.0);
+        assert_eq!(set.non_finite_rejected(), 3);
+        assert_eq!(set.cutoff(), 3.0, "cutoff must ignore rejected entries");
+        let entries = set.into_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].distance, 1.0);
+        assert_eq!(entries[1].distance, 3.0);
+        assert!(entries.iter().all(|e| e.distance.is_finite()));
+    }
+
+    #[test]
+    fn rejected_candidates_surface_in_search_stats() {
+        let mut set = BestSet::new(1);
+        offer(&mut set, f64::NAN, 1.0);
+        offer(&mut set, 2.0, 2.0);
+        let results = best_to_results(set, RegionSize::new(1.0, 1.0), SearchStats::new());
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].stats.non_finite_candidates, 1);
     }
 
     #[test]

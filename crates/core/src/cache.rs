@@ -1,0 +1,306 @@
+//! The engine-level query-result cache.
+//!
+//! A serving engine sees the same [`QueryRequest`](crate::QueryRequest)s
+//! over and over — popular example regions, dashboard refreshes, retries —
+//! and every search is deterministic, so recomputing an identical request
+//! is pure waste.  [`QueryCache`] memoises successful
+//! [`QueryResponse`](crate::QueryResponse)s keyed by the request's
+//! canonical fingerprint ([`RequestKey`]), which collapses representation
+//! differences (`-0.0` vs `+0.0`) but never conflates genuinely different
+//! requests.
+//!
+//! The cache is sharded: keys are distributed over independently locked
+//! shards so concurrent readers on different shards never contend, and each
+//! shard evicts its least-recently-used entry when full.  A cache *hit*
+//! returns the stored response verbatim — byte-identical to what the cold
+//! computation produced, statistics included — so cached and uncached
+//! answers are indistinguishable on the wire.  Hit/miss counters are kept
+//! engine-wide and surfaced through [`CacheStats`] (and from there into
+//! [`SearchStats::cache_hits`](crate::SearchStats::cache_hits) on
+//! aggregate snapshots such as a serving `/metrics` endpoint).
+
+use crate::request::{QueryResponse, RequestKey};
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards.  A fixed power of two keeps the
+/// key → shard mapping a cheap mask; 16 shards already make lock collisions
+/// rare at the worker-pool sizes the server runs.
+const SHARD_COUNT: usize = 16;
+
+#[derive(Debug)]
+struct Entry {
+    response: QueryResponse,
+    last_used: u64,
+}
+
+/// Keys are shared between the entry map and the recency index behind an
+/// [`Arc`], so maintaining both costs reference counts, not byte copies.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<Arc<RequestKey>, Entry>,
+    /// Recency index: per-shard clock stamp → key.  Stamps are unique
+    /// within a shard, so the first entry is always the least recently
+    /// used one and eviction is `O(log n)` instead of a full scan.
+    order: BTreeMap<u64, Arc<RequestKey>>,
+    /// Monotonic per-shard use counter; the entry with the smallest stamp
+    /// is the least recently used one.
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &RequestKey) -> Option<QueryResponse> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(key)?;
+        let shared_key = self
+            .order
+            .remove(&entry.last_used)
+            .expect("every entry has a recency stamp");
+        self.order.insert(clock, shared_key);
+        entry.last_used = clock;
+        Some(entry.response.clone())
+    }
+
+    fn insert(&mut self, key: RequestKey, response: QueryResponse, capacity: usize) {
+        self.clock += 1;
+        let clock = self.clock;
+        let key = Arc::new(key);
+        if let Some(replaced) = self.entries.insert(
+            Arc::clone(&key),
+            Entry {
+                response,
+                last_used: clock,
+            },
+        ) {
+            self.order.remove(&replaced.last_used);
+        }
+        self.order.insert(clock, key);
+        while self.entries.len() > capacity {
+            let (&stamp, _) = self
+                .order
+                .first_key_value()
+                .expect("shard over capacity implies at least one entry");
+            let lru = self
+                .order
+                .remove(&stamp)
+                .expect("stamp was just observed in the index");
+            self.entries.remove(&lru);
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache counters, serialized into the
+/// server's `/metrics` endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to be computed.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Maximum number of entries the cache retains.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded LRU cache from canonical request keys to query responses.
+///
+/// Keys are distributed over independently locked shards so concurrent
+/// readers on different shards never contend; each shard evicts its least
+/// recently used entry when full.  A hit returns the stored response
+/// verbatim, so cached and freshly computed answers are byte-identical on
+/// the wire.
+#[derive(Debug)]
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates a cache retaining up to `capacity` responses, rounded up to
+    /// the next multiple of the shard count (16) so every shard holds the
+    /// same number of entries — `new(100)` retains up to 112, `new(1)` up
+    /// to 16.  [`CacheStats::capacity`] always reports the effective
+    /// (rounded) value.  A zero capacity is the caller's cue not to build
+    /// a cache at all and is rounded up here defensively.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_capacity = capacity.div_ceil(SHARD_COUNT).max(1);
+        Self {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            per_shard_capacity,
+            capacity: per_shard_capacity * SHARD_COUNT,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &RequestKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Looks up a response, refreshing its recency and counting the
+    /// hit/miss.
+    pub fn get(&self, key: &RequestKey) -> Option<QueryResponse> {
+        let found = self
+            .shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .touch(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a response, evicting the shard's least recently used entry
+    /// when the shard is full.
+    pub fn insert(&self, key: RequestKey, response: QueryResponse) {
+        self.shard_of(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, response, self.per_shard_capacity);
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+                .sum(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::AsrsQuery;
+    use crate::request::{Backend, QueryOutcome, QueryRequest};
+    use crate::result::SearchResult;
+    use crate::stats::SearchStats;
+    use asrs_aggregator::{FeatureVector, Weights};
+    use asrs_geo::{Point, Rect, RegionSize};
+
+    fn request(i: u32) -> QueryRequest {
+        QueryRequest::similar(AsrsQuery::new(
+            RegionSize::new(1.0 + i as f64, 2.0),
+            FeatureVector::new(vec![i as f64]),
+            Weights::uniform(1),
+        ))
+    }
+
+    fn response(d: f64) -> QueryResponse {
+        QueryResponse {
+            backend: Backend::DsSearch,
+            outcome: QueryOutcome::Best(SearchResult::new(
+                Point::new(0.0, 0.0),
+                Rect::new(0.0, 0.0, 1.0, 1.0),
+                d,
+                FeatureVector::new(vec![d]),
+                SearchStats::new(),
+            )),
+            stats: SearchStats::new(),
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = QueryCache::new(8);
+        let key = request(1).cache_key();
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), response(1.0));
+        assert_eq!(cache.get(&key).unwrap(), response(1.0));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinsert_replaces_the_stored_response() {
+        let cache = QueryCache::new(8);
+        let key = request(1).cache_key();
+        cache.insert(key.clone(), response(1.0));
+        cache.insert(key.clone(), response(2.0));
+        assert_eq!(cache.get(&key).unwrap(), response(2.0));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted_first() {
+        // Single-slot shards: force every key into eviction pressure by
+        // inserting colliding keys until a shard overflows.
+        let cache = QueryCache::new(1);
+        assert_eq!(cache.per_shard_capacity, 1);
+        // Find two distinct requests that land on the same shard.
+        let keys: Vec<_> = (0..64).map(|i| request(i).cache_key()).collect();
+        let mut same_shard = None;
+        'outer: for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                if std::ptr::eq(cache.shard_of(a), cache.shard_of(b)) {
+                    same_shard = Some((a.clone(), b.clone()));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = same_shard.expect("64 keys over 16 shards must collide");
+        cache.insert(a.clone(), response(1.0));
+        cache.insert(b.clone(), response(2.0));
+        assert!(
+            cache.get(&a).is_none(),
+            "older entry must have been evicted"
+        );
+        assert_eq!(cache.get(&b).unwrap(), response(2.0));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_consistent() {
+        // Capacity comfortably exceeds the 256 distinct keys inserted, so
+        // no eviction can race an insert-then-get pair and the hit count
+        // below is deterministic.
+        let cache = QueryCache::new(1024);
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        let req = request(t * 32 + i);
+                        cache.insert(req.cache_key(), response(i as f64));
+                        assert_eq!(cache.get(&req.cache_key()), Some(response(i as f64)));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8 * 32);
+        assert!(stats.entries <= stats.capacity);
+    }
+}

@@ -134,11 +134,10 @@ impl<'a> DsSearch<'a> {
         query: &AsrsQuery,
         budget: Option<Budget>,
     ) -> Result<SearchResult, AsrsError> {
-        Ok(self
-            .run(query, 1, budget)
-            .map(Vec::into_iter)?
+        self.run(query, 1, budget)?
+            .into_iter()
             .next()
-            .expect("the empty-region candidate guarantees one result"))
+            .ok_or_else(crate::best::no_finite_candidate)
     }
 
     /// Returns the `k` best candidate regions with pairwise distinct

@@ -50,6 +50,7 @@
 //! ```
 
 use crate::budget::Budget;
+use crate::cache::{CacheStats, QueryCache};
 use crate::config::SearchConfig;
 use crate::ds_search::DsSearch;
 use crate::error::AsrsError;
@@ -278,6 +279,7 @@ pub struct EngineBuilder {
     strategy: Strategy,
     index: IndexSpec,
     planner: Planner,
+    cache_capacity: usize,
 }
 
 impl EngineBuilder {
@@ -289,7 +291,22 @@ impl EngineBuilder {
             strategy: Strategy::Auto,
             index: IndexSpec::None,
             planner: Planner::default(),
+            cache_capacity: 0,
         }
+    }
+
+    /// Attaches a query-result cache retaining up to `capacity` responses
+    /// (see [`QueryCache`](crate::QueryCache)); `0` (the default) disables
+    /// caching.
+    ///
+    /// With a cache, [`AsrsEngine::submit`] memoises successful responses
+    /// by the request's canonical key
+    /// ([`QueryRequest::cache_key`](crate::QueryRequest::cache_key)): a hit
+    /// returns the stored response verbatim — byte-identical to the cold
+    /// computation, statistics included.  Errors are never cached.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
     }
 
     /// Replaces the cost-based [`Planner`] (e.g. to tune its thresholds).
@@ -362,6 +379,7 @@ impl EngineBuilder {
             return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
         }
         let statistics = EngineStatistics::capture(&self.dataset, index.as_ref());
+        let cache = (self.cache_capacity > 0).then(|| QueryCache::new(self.cache_capacity));
         Ok(AsrsEngine {
             core: Arc::new(EngineCore {
                 dataset: self.dataset,
@@ -371,6 +389,7 @@ impl EngineBuilder {
                 index,
                 planner: self.planner,
                 statistics,
+                cache,
             }),
         })
     }
@@ -390,6 +409,7 @@ pub(crate) struct EngineCore {
     pub(crate) index: Option<GridIndex>,
     pub(crate) planner: Planner,
     pub(crate) statistics: EngineStatistics,
+    pub(crate) cache: Option<QueryCache>,
 }
 
 impl EngineCore {
@@ -429,7 +449,29 @@ impl EngineCore {
         self.planner.plan(&self.statistics, self.strategy, request)
     }
 
+    /// Plans and executes `request`, consulting the query-result cache
+    /// first when one is attached.  Only successful responses are cached;
+    /// a hit returns the stored response verbatim (byte-identical to the
+    /// cold computation), so callers cannot distinguish the two.
     pub(crate) fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
+        let Some(cache) = &self.cache else {
+            return self.execute(request);
+        };
+        let key = request.cache_key();
+        if let Some(hit) = cache.get(&key) {
+            return Ok(hit);
+        }
+        let response = self.execute(request)?;
+        cache.insert(key, response.clone());
+        Ok(response)
+    }
+
+    /// Counters of the attached query-result cache, if any.
+    pub(crate) fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(QueryCache::stats)
+    }
+
+    fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
         let plan = self.plan(request)?;
         let budget = plan
             .budget_ms
@@ -445,9 +487,9 @@ impl EngineCore {
             QueryRequest::TopK { query, k } => {
                 QueryOutcome::Ranked(self.run_top_k(backend, query, *k, budget)?)
             }
-            QueryRequest::Batch { queries } => {
-                QueryOutcome::Batch(self.run_batch(backend, queries, budget)?)
-            }
+            QueryRequest::Batch { queries } => QueryOutcome::Batch(all_or_first_error(
+                self.run_batch(backend, queries, budget)?,
+            )?),
             QueryRequest::MaxRs { size } => {
                 QueryOutcome::MaxRs(self.run_max_rs(*size, Selection::All, budget)?)
             }
@@ -510,9 +552,21 @@ impl EngineCore {
             .search_top_k_within(query, k, budget)
     }
 
+    /// Plans and answers a batch with per-query results (the fallible
+    /// sibling of `run_batch` used by
+    /// [`AsrsEngine::search_batch_results`]).
+    pub(crate) fn batch_results(
+        &self,
+        queries: &[AsrsQuery],
+    ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
+        let size = crate::request::batch_planning_size(queries);
+        let plan = self.plan_legacy("batch", size)?;
+        self.run_batch(plan.backend, queries, None)
+    }
+
     /// Answers every query of a batch on the planned backend, fanning out
     /// over `std::thread` workers (one per available core, at most one per
-    /// query).
+    /// query), and returns one `Result` per query in input order.
     ///
     /// Results come back in input order with deterministic tie-breaking
     /// regardless of thread scheduling: each query owns a fixed result
@@ -520,13 +574,20 @@ impl EngineCore {
     /// query is solved by exactly one worker running the deterministic
     /// sequential search (equal-distance ties inside a search are broken
     /// by anchor, see `BestSet`).  All queries are validated up front, so
-    /// a malformed query fails the batch before any search runs.
+    /// a malformed query fails the batch (the outer `Result`) before any
+    /// search runs.
+    ///
+    /// A panic inside a search is caught at the slot boundary and recorded
+    /// as [`AsrsError::Internal`] for that query only — a serving engine
+    /// must outlive a single pathological query, so worker panics must
+    /// never abort the process or poison sibling slots (they used to do
+    /// both via `handle.join().expect(..)`).
     fn run_batch(
         &self,
         backend: Backend,
         queries: &[AsrsQuery],
         budget: Option<Budget>,
-    ) -> Result<Vec<SearchResult>, AsrsError> {
+    ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
         for query in queries {
             query.validate(&self.aggregator)?;
         }
@@ -539,11 +600,16 @@ impl EngineCore {
             .min(queries.len());
         if workers <= 1 {
             let solver = self.backend_for(backend, self.config.clone())?;
-            return queries
+            return Ok(queries
                 .iter()
-                .map(|q| solver.search_within(q, budget))
-                .collect();
+                .map(|q| solve_slot(&*solver, q, budget))
+                .collect());
         }
+        // Backend construction is deterministic, so validate it once up
+        // front: a construction failure is a whole-batch error (the outer
+        // `Result`) on every path, not an outer error on one core count
+        // and per-slot errors on another.
+        drop(self.backend_for(backend, self.config.clone())?);
         // Workers steal query indices from a shared counter; each worker
         // builds its own backend (they are cheap: borrows plus a config
         // clone) and writes results into its query's slot, keeping order.
@@ -552,7 +618,8 @@ impl EngineCore {
             .len())
             .map(|_| std::sync::Mutex::new(None))
             .collect();
-        std::thread::scope(|scope| -> Result<(), AsrsError> {
+        let mut worker_failure: Option<AsrsError> = None;
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for _ in 0..workers {
                 let next = &next;
@@ -564,24 +631,45 @@ impl EngineCore {
                         if i >= queries.len() {
                             return Ok(());
                         }
-                        let result = solver.search_within(&queries[i], budget);
+                        let result = solve_slot(&*solver, &queries[i], budget);
                         *slots[i].lock().expect("slot mutex poisoned") = Some(result);
                     }
                 }));
             }
             for handle in handles {
-                handle.join().expect("search worker panicked")?;
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    // Backend construction failed; every worker fails the
+                    // same way, so remember the first error.
+                    Ok(Err(e)) => {
+                        worker_failure.get_or_insert(e);
+                    }
+                    // A panic escaped the per-slot catch (defensive: the
+                    // worker loop itself does not panic).  Do not abort the
+                    // process; unfilled slots are reported below.
+                    Err(payload) => {
+                        worker_failure.get_or_insert(AsrsError::Internal {
+                            message: format!(
+                                "batch worker died outside a query slot: {}",
+                                panic_message(payload.as_ref())
+                            ),
+                        });
+                    }
+                }
             }
-            Ok(())
-        })?;
-        slots
+        });
+        Ok(slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("slot mutex poisoned")
-                    .expect("every query slot is filled")
+                    .unwrap_or_else(|| {
+                        Err(worker_failure.clone().unwrap_or(AsrsError::Internal {
+                            message: "batch worker exited before filling its slot".to_string(),
+                        }))
+                    })
             })
-            .collect()
+            .collect())
     }
 
     /// Executes a MaxRS request.  MaxRS promises the true maximum, so the
@@ -601,6 +689,68 @@ impl EngineCore {
             .with_selection(selection)
             .with_config(config)
             .search_within(budget)
+    }
+}
+
+/// Solves one batch slot, converting a panic into a per-slot
+/// [`AsrsError::Internal`] so neither the process nor the sibling slots
+/// die with the query that triggered it.
+fn solve_slot(
+    solver: &dyn SearchAlgorithm,
+    query: &AsrsQuery,
+    budget: Option<Budget>,
+) -> Result<SearchResult, AsrsError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        #[cfg(test)]
+        test_hooks::maybe_panic(query);
+        solver.search_within(query, budget)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(AsrsError::Internal {
+            message: format!(
+                "search worker panicked: {}",
+                panic_message(payload.as_ref())
+            ),
+        })
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Collapses per-query results into the all-success vector the
+/// [`QueryOutcome::Batch`] shape carries, propagating the first error
+/// otherwise (callers who need the completed siblings use
+/// [`AsrsEngine::search_batch_results`]).
+fn all_or_first_error(
+    results: Vec<Result<SearchResult, AsrsError>>,
+) -> Result<Vec<SearchResult>, AsrsError> {
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_hooks {
+    //! Deterministic failure injection for the batch-panic regression
+    //! tests: no global state, so parallel tests cannot interfere.
+
+    use crate::query::AsrsQuery;
+
+    /// Sentinel width that makes a batch slot panic.  Avogadro's number —
+    /// a value no legitimate test query uses.
+    pub(crate) const PANIC_INJECTION_WIDTH: f64 = 6.022_140_76e23;
+
+    pub(crate) fn maybe_panic(query: &AsrsQuery) {
+        if query.size.width == PANIC_INJECTION_WIDTH {
+            panic!("injected batch panic (test hook)");
+        }
     }
 }
 
@@ -654,6 +804,12 @@ impl AsrsEngine {
     /// The dataset/index statistics the planner decides from.
     pub fn statistics(&self) -> &EngineStatistics {
         &self.core.statistics
+    }
+
+    /// Counters of the query-result cache, or `None` when the engine was
+    /// built without one (see [`EngineBuilder::cache_capacity`]).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.cache_stats()
     }
 
     /// The name of the backend the engine's strategy resolves to before
@@ -747,14 +903,30 @@ impl AsrsEngine {
 
     /// Answers every query in parallel; results are returned in query
     /// order (see `EngineCore::run_batch` for the determinism guarantees).
+    /// Fails with the first per-query error when any query fails; use
+    /// [`AsrsEngine::search_batch_results`] to keep the completed siblings.
     ///
     /// Equivalent to [`AsrsEngine::submit`] with [`QueryRequest::Batch`]
     /// (same planning and execution pipeline); prefer `submit`, which
     /// additionally reports the merged statistics of the whole batch.
     pub fn search_batch(&self, queries: &[AsrsQuery]) -> Result<Vec<SearchResult>, AsrsError> {
-        let size = crate::request::batch_planning_size(queries);
-        let plan = self.core.plan_legacy("batch", size)?;
-        self.core.run_batch(plan.backend, queries, None)
+        all_or_first_error(self.core.batch_results(queries)?)
+    }
+
+    /// Answers every query in parallel, returning one `Result` per query
+    /// in input order, so one failing (or even panicking) query cannot
+    /// discard its siblings' answers — the per-query contract a server
+    /// batch endpoint needs.
+    ///
+    /// The outer `Result` covers whole-batch failures: planning errors and
+    /// an invalid query anywhere in the batch (validation is all-or-nothing
+    /// and runs before any search).  A panic inside one query's search is
+    /// converted to [`AsrsError::Internal`] in that query's slot.
+    pub fn search_batch_results(
+        &self,
+        queries: &[AsrsQuery],
+    ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
+        self.core.batch_results(queries)
     }
 
     /// Solves the MaxRS problem (the `a × b` region enclosing the maximum
@@ -1075,6 +1247,129 @@ mod tests {
                 assert_eq!(a.representation, b.representation, "run {run}");
             }
         }
+    }
+
+    #[test]
+    fn a_panicking_batch_slot_reports_internal_instead_of_aborting() {
+        // Regression test: a worker panic used to propagate through
+        // `handle.join().expect(..)` and abort the whole process, and one
+        // failing query used to discard every sibling result.
+        let (ds, agg) = setup(200, 5);
+        let engine = AsrsEngine::builder(ds, agg)
+            .build_index(16, 16)
+            .build()
+            .unwrap();
+        let mut queries: Vec<AsrsQuery> = (1..=4)
+            .map(|i| {
+                AsrsQuery::new(
+                    RegionSize::new(5.0 + i as f64, 6.0),
+                    FeatureVector::new(vec![i as f64, 1.0, 1.0, 0.0]),
+                    Weights::uniform(4),
+                )
+            })
+            .collect();
+        queries[2].size = RegionSize::new(test_hooks::PANIC_INJECTION_WIDTH, 6.0);
+
+        let results = engine.search_batch_results(&queries).unwrap();
+        assert_eq!(results.len(), queries.len());
+        for (i, result) in results.iter().enumerate() {
+            if i == 2 {
+                assert!(
+                    matches!(result, Err(AsrsError::Internal { .. })),
+                    "slot {i}: {result:?}"
+                );
+            } else {
+                let ok = result.as_ref().expect("healthy sibling slots survive");
+                let single = engine.search(&queries[i]).unwrap();
+                assert_eq!(ok.anchor, single.anchor);
+                assert_eq!(ok.distance, single.distance);
+            }
+        }
+        // The strict APIs surface the error as a value, never as a crash.
+        assert!(matches!(
+            engine.search_batch(&queries),
+            Err(AsrsError::Internal { .. })
+        ));
+        assert!(matches!(
+            engine.submit(&QueryRequest::batch(queries)),
+            Err(AsrsError::Internal { .. })
+        ));
+    }
+
+    #[test]
+    fn cached_submissions_are_byte_identical_and_counted() {
+        let (ds, agg) = setup(250, 9);
+        let engine = AsrsEngine::builder(ds, agg)
+            .build_index(16, 16)
+            .cache_capacity(32)
+            .build()
+            .unwrap();
+        let req = QueryRequest::similar(query()).with_budget_ms(60_000);
+        let cold = engine.submit(&req).unwrap();
+        let warm = engine.submit(&req).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(
+            serde::json::to_string(&cold),
+            serde::json::to_string(&warm),
+            "a cache hit must serialize byte-identically to the cold miss"
+        );
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+
+        // A different request is a fresh miss, not a false hit.
+        let other = engine.submit(&QueryRequest::top_k(query(), 2)).unwrap();
+        assert!(matches!(other.outcome, QueryOutcome::Ranked(_)));
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+
+        // Errors are never cached: the same bad request keeps failing.
+        let bad = QueryRequest::similar(AsrsQuery::new(
+            RegionSize::new(-1.0, 1.0),
+            FeatureVector::new(vec![1.0, 1.0, 1.0, 1.0]),
+            Weights::uniform(4),
+        ));
+        assert!(engine.submit(&bad).is_err());
+        assert!(engine.submit(&bad).is_err());
+        assert_eq!(engine.cache_stats().unwrap().entries, 2);
+    }
+
+    #[test]
+    fn overflowing_distances_error_instead_of_panicking() {
+        // A target of ~1e200 validates (finite), but every L2 distance —
+        // including the empty-region seed's — squares to ∞.  BestSet
+        // rejects the non-finite candidates, and the search must report
+        // the empty result as an error, not die on the old `.expect`.
+        use asrs_aggregator::DistanceMetric;
+        let (ds, agg) = setup(100, 3);
+        for indexed in [false, true] {
+            let mut builder = AsrsEngine::builder(ds.clone(), agg.clone());
+            if indexed {
+                builder = builder.build_index(8, 8);
+            }
+            let engine = builder.build().unwrap();
+            let q = AsrsQuery::new(
+                RegionSize::new(5.0, 5.0),
+                FeatureVector::new(vec![1e200; 4]),
+                Weights::uniform(4),
+            )
+            .with_metric(DistanceMetric::L2);
+            for backend in [Backend::DsSearch, Backend::Naive] {
+                let result = engine.submit(&QueryRequest::similar(q.clone()).with_backend(backend));
+                assert!(
+                    matches!(result, Err(AsrsError::Internal { .. })),
+                    "indexed={indexed} backend={backend}: {result:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_without_a_cache_report_none() {
+        let (ds, agg) = setup(60, 2);
+        let engine = AsrsEngine::builder(ds, agg).build().unwrap();
+        assert!(engine.cache_stats().is_none());
+        assert!(engine.submit(&QueryRequest::similar(query())).is_ok());
     }
 
     #[test]

@@ -145,6 +145,14 @@ pub enum AsrsError {
         /// Name of the operation it cannot run.
         operation: &'static str,
     },
+    /// An engine-internal failure that is a bug rather than bad input —
+    /// most notably a panicking batch worker, which is caught and reported
+    /// per query instead of aborting the process (a serving engine must
+    /// outlive any single bad query).
+    Internal {
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for AsrsError {
@@ -172,6 +180,9 @@ impl fmt::Display for AsrsError {
             }
             AsrsError::BackendUnsupported { backend, operation } => {
                 write!(f, "backend {backend} cannot execute {operation} requests")
+            }
+            AsrsError::Internal { message } => {
+                write!(f, "internal engine error: {message}")
             }
         }
     }

@@ -109,11 +109,10 @@ impl<'a> GiDsSearch<'a> {
         query: &AsrsQuery,
         budget: Option<Budget>,
     ) -> Result<SearchResult, AsrsError> {
-        Ok(self
-            .run(query, self.config.clone(), 1, budget)?
+        self.run(query, self.config.clone(), 1, budget)?
             .into_iter()
             .next()
-            .expect("the empty-region candidate guarantees one result"))
+            .ok_or_else(crate::best::no_finite_candidate)
     }
 
     /// Solves the (1+δ)-approximate ASRS problem (Section 6): the returned
@@ -125,11 +124,10 @@ impl<'a> GiDsSearch<'a> {
     /// the same errors as [`GiDsSearch::search`].
     pub fn search_approx(&self, query: &AsrsQuery, delta: f64) -> Result<SearchResult, AsrsError> {
         let config = self.config.clone().with_delta(delta)?;
-        Ok(self
-            .run(query, config, 1, None)?
+        self.run(query, config, 1, None)?
             .into_iter()
             .next()
-            .expect("the empty-region candidate guarantees one result"))
+            .ok_or_else(crate::best::no_finite_candidate)
     }
 
     /// Returns the `k` best candidate regions with pairwise distinct

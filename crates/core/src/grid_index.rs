@@ -47,8 +47,15 @@ impl GridIndex {
         if cols == 0 || rows == 0 {
             return Err(ConfigError::InvalidIndexGranularity { cols, rows }.into());
         }
+        // Degenerate (collinear) axes are padded *relative* to the dataset
+        // extent so the grid stays dense with real cells: an absolute pad
+        // (the old `padded_bounding_box(1.0)`) turned micro-extent datasets
+        // — e.g. a lat/lon neighbourhood spanning ~0.01° — into grids that
+        // were almost entirely dead padding.  The absolute fallback only
+        // applies to single-point datasets, which have no extent to scale
+        // from.
         let bbox = dataset
-            .padded_bounding_box(1.0)
+            .relative_padded_bounding_box(0.5, 1.0)
             .ok_or(AsrsError::EmptyDataset)?;
         let spec = GridSpec::new(bbox, cols, rows);
         let dims = aggregator.stats_dim();
@@ -284,6 +291,57 @@ mod tests {
                 exact[k],
                 upper[k]
             );
+        }
+    }
+
+    #[test]
+    fn micro_extent_datasets_get_a_proportionate_grid() {
+        // Regression test: a lat/lon-scale neighbourhood (~0.01 wide,
+        // collinear in y) used to be padded by an *absolute* 1.0 per side,
+        // so the 16x16 grid spanned 2.0 vertically and all objects crowded
+        // into a single row of cells — the other 240 cells were dead
+        // padding.  With extent-relative padding the grid must stay within
+        // the same order of magnitude as the data.
+        use asrs_data::{AttrValue, AttributeDef, AttributeKind, DatasetBuilder, Schema};
+        let schema = Schema::new(vec![AttributeDef::new(
+            "category",
+            AttributeKind::categorical(2),
+        )]);
+        let mut b = DatasetBuilder::new(schema);
+        for i in 0..32 {
+            b.push(
+                10.0 + 0.01 * (i as f64 / 31.0),
+                5.0,
+                vec![AttrValue::Cat(i % 2)],
+            );
+        }
+        let ds = b.build().unwrap();
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::build(&ds, &agg, 16, 16).unwrap();
+        let space = *index.spec().space();
+        assert!(
+            space.height() <= space.width() * 2.0,
+            "grid space {space:?} must not be dominated by padding"
+        );
+        // Objects spread over many columns instead of crowding into one.
+        let spec = index.spec().clone();
+        let distinct_cols: std::collections::HashSet<usize> = ds
+            .objects()
+            .iter()
+            .map(|o| spec.clamped_cell_of_point(&o.location).col)
+            .collect();
+        assert!(
+            distinct_cols.len() >= 8,
+            "objects occupy only {} of 16 columns",
+            distinct_cols.len()
+        );
+        // And the summaries stay correct.
+        let direct = agg.stats_of(ds.objects().iter());
+        for (a, b) in direct.iter().zip(&index.total_stats()) {
+            assert!((a - b).abs() < 1e-9);
         }
     }
 

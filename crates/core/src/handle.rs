@@ -1,10 +1,12 @@
 //! [`EngineHandle`]: cheap, cloneable, thread-safe access to an engine.
 
+use crate::cache::CacheStats;
 use crate::engine::EngineCore;
 use crate::error::AsrsError;
 use crate::planner::{EngineStatistics, ExecutionPlan};
 use crate::query::AsrsQuery;
 use crate::request::{QueryRequest, QueryResponse};
+use crate::result::SearchResult;
 use asrs_aggregator::CompositeAggregator;
 use asrs_data::Dataset;
 use asrs_geo::Rect;
@@ -72,6 +74,22 @@ impl EngineHandle {
     /// [`AsrsEngine::plan`](crate::AsrsEngine::plan)).
     pub fn plan(&self, request: &QueryRequest) -> Result<ExecutionPlan, AsrsError> {
         self.core.plan(request)
+    }
+
+    /// Answers a batch with one `Result` per query (see
+    /// [`AsrsEngine::search_batch_results`](crate::AsrsEngine::search_batch_results)).
+    pub fn search_batch_results(
+        &self,
+        queries: &[AsrsQuery],
+    ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
+        self.core.batch_results(queries)
+    }
+
+    /// Counters of the shared query-result cache, or `None` when the
+    /// engine was built without one (see
+    /// [`EngineBuilder::cache_capacity`](crate::EngineBuilder::cache_capacity)).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.cache_stats()
     }
 
     /// The shared dataset.

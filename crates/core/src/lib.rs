@@ -103,6 +103,7 @@
 pub mod asp;
 mod best;
 mod budget;
+mod cache;
 mod config;
 mod discretize;
 mod drop_condition;
@@ -122,6 +123,7 @@ mod split;
 mod stats;
 
 pub use budget::Budget;
+pub use cache::{CacheStats, QueryCache};
 pub use config::SearchConfig;
 pub use ds_search::DsSearch;
 pub use engine::{AsrsEngine, EngineBuilder, SearchAlgorithm, Strategy};
@@ -135,6 +137,6 @@ pub use planner::{
     CostEstimate, EngineStatistics, ExecutionPlan, IndexStatistics, PlanReason, Planner,
 };
 pub use query::{AsrsQuery, QueryError};
-pub use request::{Backend, QueryOutcome, QueryRequest, QueryResponse};
+pub use request::{Backend, QueryOutcome, QueryRequest, QueryResponse, RequestKey};
 pub use result::SearchResult;
 pub use stats::SearchStats;

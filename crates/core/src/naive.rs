@@ -71,11 +71,10 @@ impl<'a> NaiveSearch<'a> {
         query: &AsrsQuery,
         budget: Option<Budget>,
     ) -> Result<SearchResult, AsrsError> {
-        Ok(self
-            .run(query, 1, budget)?
+        self.run(query, 1, budget)?
             .into_iter()
             .next()
-            .expect("the outside-everything probe guarantees one result"))
+            .ok_or_else(crate::best::no_finite_candidate)
     }
 
     /// Returns the `k` best candidate regions with pairwise distinct

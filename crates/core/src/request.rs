@@ -16,8 +16,9 @@ use crate::result::SearchResult;
 use crate::stats::SearchStats;
 use asrs_aggregator::Selection;
 use asrs_geo::RegionSize;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A concrete search backend a plan can dispatch to.
 ///
@@ -271,6 +272,96 @@ impl QueryRequest {
     }
 }
 
+/// A canonical fingerprint of a [`QueryRequest`], usable as a lookup key
+/// (`Hash + Eq`) for the engine's query-result cache.
+///
+/// Two requests that describe the same computation map to the same key
+/// even when their float components differ in representation only:
+/// `-0.0` and `+0.0` collapse to one bit pattern, and every NaN collapses
+/// to the canonical quiet NaN (a NaN never validates, but it must not be
+/// able to poison the key space either).  All other floats are compared by
+/// exact bits, so keys never conflate genuinely different requests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestKey(Vec<u8>);
+
+/// Collapses `-0.0`/`+0.0` and all NaN payloads; every other value keeps
+/// its exact bit pattern.
+fn canonical_f64_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else if v.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        v.to_bits()
+    }
+}
+
+/// Encodes a serde value into an unambiguous byte string: one tag byte per
+/// shape, lengths before variable-size payloads, floats as canonical bits.
+fn encode_canonical(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Num(n) => {
+            out.push(2);
+            out.extend_from_slice(&canonical_f64_bits(*n).to_le_bytes());
+        }
+        Value::UInt(n) => {
+            out.push(3);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(5);
+            out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                encode_canonical(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(6);
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (key, item) in entries {
+                out.extend_from_slice(&(key.len() as u64).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                encode_canonical(item, out);
+            }
+        }
+    }
+}
+
+impl QueryRequest {
+    /// The canonical cache key of this request (see [`RequestKey`]).
+    ///
+    /// The key is derived from the request's serde value tree, so it covers
+    /// every variant — including [`QueryRequest::Configured`] envelopes,
+    /// whose budget and backend legitimately change what a response looks
+    /// like (a deadline can fail one phrasing of a request and not
+    /// another).
+    pub fn cache_key(&self) -> RequestKey {
+        let mut bytes = Vec::with_capacity(128);
+        encode_canonical(&self.to_value(), &mut bytes);
+        RequestKey(bytes)
+    }
+}
+
+/// Hashing follows the canonical fingerprint: requests equal under the
+/// derived `PartialEq` hash identically (`-0.0 == 0.0` and both canonicalise
+/// to the same bits; NaN components make a request unequal to everything
+/// including itself, so they impose no constraint).
+impl Hash for QueryRequest {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write(&self.cache_key().0);
+    }
+}
+
 /// The representative size the planner uses for a batch: its largest (most
 /// index-hostile) query by area.  Shared by [`QueryRequest::planning_size`]
 /// and the legacy `search_batch` shim so the two plan identically.
@@ -447,6 +538,67 @@ mod tests {
             let back: QueryRequest = serde::json::from_str(&json).unwrap();
             assert_eq!(back, req, "round trip failed for {json}");
         }
+    }
+
+    #[test]
+    fn cache_keys_canonicalise_floats_and_separate_requests() {
+        let base = QueryRequest::similar(query());
+        assert_eq!(base.cache_key(), base.cache_key(), "keys are deterministic");
+
+        // -0.0 and +0.0 describe the same computation.
+        let mut negzero = query();
+        negzero.target = FeatureVector::new(vec![1.0, -0.0]);
+        let mut poszero = query();
+        poszero.target = FeatureVector::new(vec![1.0, 0.0]);
+        assert_eq!(
+            QueryRequest::similar(negzero).cache_key(),
+            QueryRequest::similar(poszero).cache_key()
+        );
+
+        // Different operations, parameters and envelopes all separate.
+        assert_ne!(
+            base.cache_key(),
+            QueryRequest::top_k(query(), 2).cache_key()
+        );
+        assert_ne!(
+            QueryRequest::top_k(query(), 2).cache_key(),
+            QueryRequest::top_k(query(), 3).cache_key()
+        );
+        assert_ne!(
+            base.cache_key(),
+            base.clone().with_budget_ms(10).cache_key(),
+            "a budget changes failure behaviour, so it must change the key"
+        );
+        assert_ne!(
+            base.clone().with_backend(Backend::Naive).cache_key(),
+            base.clone().with_backend(Backend::DsSearch).cache_key()
+        );
+
+        // All NaN payloads collapse to one key (and never collide with a
+        // real value's key by construction).
+        let mut nan_a = query();
+        nan_a.target = FeatureVector::new(vec![1.0, f64::NAN]);
+        let mut nan_b = query();
+        nan_b.target = FeatureVector::new(vec![1.0, f64::from_bits(0x7ff8_dead_beef_0000)]);
+        assert_eq!(
+            QueryRequest::similar(nan_a).cache_key(),
+            QueryRequest::similar(nan_b).cache_key()
+        );
+    }
+
+    #[test]
+    fn equal_requests_hash_identically() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |r: &QueryRequest| {
+            let mut h = DefaultHasher::new();
+            r.hash(&mut h);
+            h.finish()
+        };
+        let a = QueryRequest::top_k(query(), 4).with_budget_ms(100);
+        let b = QueryRequest::top_k(query(), 4).with_budget_ms(100);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub struct SearchStats {
     /// Number of grid-index cells actually searched by DS-Search
     /// (GI-DS only; the numerator of Table 1's ratio).
     pub index_cells_searched: u64,
+    /// Number of candidates rejected at the [`BestSet`](crate) insertion
+    /// boundary because their distance was not finite (a pathological
+    /// aggregator produced NaN/∞).  Always zero for well-behaved
+    /// aggregators.
+    pub non_finite_candidates: u64,
+    /// Query-result cache hits.  Zero on per-response statistics (a cached
+    /// response is byte-identical to the original computation, counters
+    /// included); populated on engine-level aggregate snapshots such as the
+    /// serving `/metrics` endpoint.
+    pub cache_hits: u64,
+    /// Query-result cache misses (see [`SearchStats::cache_hits`]).
+    pub cache_misses: u64,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
 }
@@ -72,6 +84,9 @@ impl SearchStats {
         self.rectangles += other.rectangles;
         self.index_cells_total += other.index_cells_total;
         self.index_cells_searched += other.index_cells_searched;
+        self.non_finite_candidates += other.non_finite_candidates;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.elapsed += other.elapsed;
     }
 }

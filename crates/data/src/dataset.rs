@@ -96,6 +96,23 @@ impl Dataset {
         Some(b.expanded(dx, dy))
     }
 
+    /// Like [`Dataset::padded_bounding_box`], but the pad for a degenerate
+    /// axis scales with the dataset's extent (`relative` × the larger axis
+    /// extent), so micro-extent datasets — a lat/lon neighbourhood spanning
+    /// ~0.01° — are not drowned in absolute padding.  `absolute` is the
+    /// fallback pad used only when *both* axes are degenerate (a
+    /// single-point dataset has no extent to scale from).
+    pub fn relative_padded_bounding_box(&self, relative: f64, absolute: f64) -> Option<Rect> {
+        let b = self.bounding_box()?;
+        let scale = b.width().max(b.height());
+        let pad = if scale > 0.0 {
+            relative * scale
+        } else {
+            absolute
+        };
+        self.padded_bounding_box(pad)
+    }
+
     /// Returns the objects strictly inside `region` (open containment, as in
     /// Lemma 1 of the paper).
     pub fn objects_strictly_in(&self, region: &Rect) -> Vec<&SpatialObject> {
@@ -255,6 +272,43 @@ mod tests {
         let padded = ds.padded_bounding_box(0.5).unwrap();
         assert!(padded.width() > 0.0);
         assert_eq!(padded.height(), 7.0);
+    }
+
+    #[test]
+    fn relative_padding_scales_with_the_extent() {
+        // A micro-extent dataset: ~0.01 wide, collinear in y.  An absolute
+        // pad of 1.0 would make the box 200x taller than the data is wide;
+        // the relative pad stays in proportion.
+        let mut b = DatasetBuilder::new(Schema::empty());
+        b.push(10.0, 5.0, vec![]);
+        b.push(10.01, 5.0, vec![]);
+        let ds = b.build().unwrap();
+        let padded = ds.relative_padded_bounding_box(0.5, 1.0).unwrap();
+        assert!((padded.width() - 0.01).abs() < 1e-12);
+        assert!(
+            (padded.height() - 0.01).abs() < 1e-12,
+            "{}",
+            padded.height()
+        );
+
+        // Healthy extents are untouched.
+        let ds = dataset();
+        assert_eq!(
+            ds.relative_padded_bounding_box(0.5, 1.0).unwrap(),
+            ds.bounding_box().unwrap()
+        );
+
+        // A single point has no extent to scale from: absolute fallback.
+        let mut b = DatasetBuilder::new(Schema::empty());
+        b.push(3.0, 4.0, vec![]);
+        let ds = b.build().unwrap();
+        let padded = ds.relative_padded_bounding_box(0.5, 1.0).unwrap();
+        assert_eq!(padded.width(), 2.0);
+        assert_eq!(padded.height(), 2.0);
+
+        assert!(Dataset::new_unchecked(Schema::empty(), vec![])
+            .relative_padded_bounding_box(0.5, 1.0)
+            .is_none());
     }
 
     #[test]

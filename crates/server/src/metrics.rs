@@ -1,0 +1,134 @@
+//! Server-side observability: request counters plus the merged
+//! [`SearchStats`] of every executed query, snapshotted by `GET /metrics`.
+
+use asrs_core::{CacheStats, SearchStats};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Live counters, updated lock-free on the request path (the merged search
+/// statistics take a short mutex — they are a dozen additions).
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    requests_total: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_client_error: AtomicU64,
+    queries_server_error: AtomicU64,
+    plans_explained: AtomicU64,
+    protocol_errors: AtomicU64,
+    search: Mutex<SearchStats>,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            queries_ok: AtomicU64::new(0),
+            queries_client_error: AtomicU64::new(0),
+            queries_server_error: AtomicU64::new(0),
+            plans_explained: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            search: Mutex::new(SearchStats::new()),
+        }
+    }
+
+    pub(crate) fn record_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_query_ok(&self, stats: &SearchStats) {
+        self.queries_ok.fetch_add(1, Ordering::Relaxed);
+        self.search
+            .lock()
+            .expect("metrics mutex poisoned")
+            .merge(stats);
+    }
+
+    pub(crate) fn record_query_error(&self, status: u16) {
+        if status >= 500 {
+            self.queries_server_error.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.queries_client_error.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_plan_explained(&self) {
+        self.plans_explained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot.  `cache` carries the engine's query-result
+    /// cache counters when one is attached; they are also surfaced in
+    /// `search.cache_hits` / `search.cache_misses`, keeping the whole
+    /// search-side story in one [`SearchStats`] value.
+    pub(crate) fn snapshot(&self, cache: Option<CacheStats>) -> MetricsSnapshot {
+        let mut search = self.search.lock().expect("metrics mutex poisoned").clone();
+        let cache = cache.map(|c| {
+            search.cache_hits = c.hits;
+            search.cache_misses = c.misses;
+            CacheSnapshot {
+                hit_rate: c.hit_rate(),
+                hits: c.hits,
+                misses: c.misses,
+                entries: c.entries as u64,
+                capacity: c.capacity as u64,
+            }
+        });
+        MetricsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_client_error: self.queries_client_error.load(Ordering::Relaxed),
+            queries_server_error: self.queries_server_error.load(Ordering::Relaxed),
+            plans_explained: self.plans_explained.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            cache,
+            search,
+        }
+    }
+}
+
+/// Query-result cache counters as served by `/metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CacheSnapshot {
+    /// Fraction of lookups answered from the cache.
+    pub hit_rate: f64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to be computed.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Maximum entries retained.
+    pub capacity: u64,
+}
+
+/// The `GET /metrics` payload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Every request routed, any endpoint.
+    pub requests_total: u64,
+    /// `/query` requests answered 200.
+    pub queries_ok: u64,
+    /// `/query` requests answered 4xx.
+    pub queries_client_error: u64,
+    /// `/query` requests answered 5xx.
+    pub queries_server_error: u64,
+    /// `/explain` requests answered.
+    pub plans_explained: u64,
+    /// Connections dropped for malformed framing.
+    pub protocol_errors: u64,
+    /// Engine query-result cache counters (absent without a cache).
+    pub cache: Option<CacheSnapshot>,
+    /// Merged statistics of every successful query; `cache_hits` /
+    /// `cache_misses` mirror the cache counters above.
+    pub search: SearchStats,
+}

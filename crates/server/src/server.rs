@@ -1,0 +1,444 @@
+//! The threaded HTTP server: a bounded worker pool over an
+//! [`EngineHandle`].
+//!
+//! The topology mirrors the engine's batch executor: one acceptor thread
+//! feeds accepted connections into a *bounded* channel, and a fixed pool of
+//! workers drains it, each serving whole connections (keep-alive included).
+//! The bound is the admission valve — when every worker is busy and the
+//! queue is full, the acceptor blocks and excess load piles up in the
+//! kernel's TCP backlog instead of ballooning memory in user space.
+
+use crate::http::{self, HttpRequest};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use asrs_core::{AsrsError, EngineHandle, QueryRequest};
+use serde::Serialize;
+use std::io::{self, BufReader};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sizing of the serving topology.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.  Defaults to the available
+    /// parallelism, capped at 8 — queries themselves may fan out further
+    /// (batch requests use the engine's own worker pool).
+    pub workers: usize,
+    /// Bound of the accepted-connection queue; the acceptor blocks when it
+    /// is full (admission control by backpressure).
+    pub backlog: usize,
+    /// Per-connection read timeout; an idle keep-alive connection is closed
+    /// after this long, which also bounds how long shutdown can take.
+    pub read_timeout: Duration,
+    /// Whole-request read deadline: the total wall-clock time one request
+    /// (head + body) may take to arrive.  The per-read socket timeout only
+    /// bounds individual syscalls, so without this a client trickling one
+    /// byte per timeout window could pin a pool worker indefinitely.
+    pub request_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(8);
+        Self {
+            workers,
+            backlog: workers * 4,
+            read_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server.  [`AsrsServer::start`] spawns the
+/// threads and returns the [`ServerHandle`] controlling them.
+#[derive(Debug)]
+pub struct AsrsServer {
+    listener: TcpListener,
+    engine: EngineHandle,
+    config: ServerConfig,
+}
+
+impl AsrsServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) without serving
+    /// yet.
+    pub fn bind<A: ToSocketAddrs>(
+        engine: EngineHandle,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            config,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the acceptor and worker threads and starts serving.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: self.engine,
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            read_timeout: self.config.read_timeout,
+            request_deadline: self.config.request_deadline,
+        });
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(self.config.backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(self.config.workers + 1);
+        for _ in 0..self.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            threads.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+        let acceptor_shared = Arc::clone(&shared);
+        let listener = self.listener;
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&acceptor_shared, &listener, tx);
+        }));
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+/// Controls a running server: address, metrics, and shutdown.  Dropping
+/// the handle shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A metrics snapshot, as `GET /metrics` would serve it.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.engine.cache_stats())
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of its blocking accept; it observes the
+        // flag, stops accepting and drops the channel sender, which lets
+        // the workers drain and exit.  An unspecified bind address
+        // (0.0.0.0 / ::) is not connectable on every platform, so the
+        // wake-up targets loopback on the same port, with a timeout so a
+        // firewalled self-connect cannot hang shutdown.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match self.addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    engine: EngineHandle,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    read_timeout: Duration,
+    request_deadline: Duration,
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Persistent accept errors (fd exhaustion, EMFILE) return
+                // instantly; back off briefly instead of spinning a core,
+                // which would worsen exactly the overload that caused it.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    // Dropping `tx` here ends the workers once the queue drains.
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = match rx.lock().expect("worker queue poisoned").recv() {
+            Ok(stream) => stream,
+            Err(_) => return,
+        };
+        serve_connection(shared, stream);
+    }
+}
+
+/// Serves one connection until the client closes, asks to close, breaks
+/// framing, or the server shuts down.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    if stream.set_read_timeout(Some(shared.read_timeout)).is_err() {
+        return;
+    }
+    // See `HttpClient::connect`: disable Nagle so small JSON responses are
+    // not held hostage to the peer's delayed ACKs.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, shared.request_deadline) {
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+                // A panicking handler must cost the client a 500, never a
+                // pool worker: an unwinding worker thread would die
+                // silently and the pool would shrink request by request —
+                // the same invariant the engine's batch slots uphold.
+                let (status, body) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(shared, &request)
+                }))
+                .unwrap_or_else(|_| {
+                    // Attribute the failure to the query counters only when
+                    // a query actually failed — the counter is documented
+                    // as "/query requests answered 5xx".
+                    if request.path.split('?').next() == Some("/query") {
+                        shared.metrics.record_query_error(500);
+                    }
+                    (500, error_body("internal", "request handler panicked"))
+                });
+                if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            // Clean end-of-stream between requests.
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.metrics.record_protocol_error();
+                let body = error_body("malformed-request", &e.to_string());
+                let _ = http::write_response(&mut writer, 400, &body, false);
+                return;
+            }
+            // Timeout or reset: close (an idle keep-alive client simply
+            // reconnects).
+            Err(_) => return,
+        }
+    }
+}
+
+fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
+    shared.metrics.record_request();
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("POST", "/query") => handle_query(shared, &request.body),
+        // /explain answers GET for symmetry with /metrics, but the request
+        // payload travels in the body either way.
+        ("GET" | "POST", "/explain") => handle_explain(shared, &request.body),
+        ("GET", "/metrics") => (
+            200,
+            serde::json::to_string(&shared.metrics.snapshot(shared.engine.cache_stats())),
+        ),
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
+        (_, "/query" | "/explain" | "/metrics" | "/healthz") => (
+            405,
+            error_body(
+                "method-not-allowed",
+                &format!("{} does not accept {}", path, request.method),
+            ),
+        ),
+        _ => (
+            404,
+            error_body("not-found", &format!("no route for {path}")),
+        ),
+    }
+}
+
+fn parse_request_body(body: &[u8]) -> Result<QueryRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde::json::from_str(text).map_err(|e| e.to_string())
+}
+
+fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let request = match parse_request_body(body) {
+        Ok(request) => request,
+        Err(message) => {
+            shared.metrics.record_query_error(400);
+            return (400, error_body("invalid-json", &message));
+        }
+    };
+    match shared.engine.submit(&request) {
+        Ok(response) => {
+            shared.metrics.record_query_ok(&response.stats);
+            (200, serde::json::to_string(&response))
+        }
+        Err(error) => {
+            let (status, kind) = status_for(&error);
+            shared.metrics.record_query_error(status);
+            (status, error_body(kind, &error.to_string()))
+        }
+    }
+}
+
+fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let request = match parse_request_body(body) {
+        Ok(request) => request,
+        Err(message) => return (400, error_body("invalid-json", &message)),
+    };
+    match shared.engine.plan(&request) {
+        Ok(plan) => {
+            shared.metrics.record_plan_explained();
+            let body = ExplainBody {
+                backend: plan.backend.name().to_string(),
+                operation: plan.operation.to_string(),
+                reason: plan.reason.to_string(),
+                explanation: plan.explain(),
+                budget_ms: plan.budget_ms,
+                span_ratio: plan.span_ratio,
+                estimated_work_ds_search: plan.estimates.ds_search,
+                estimated_work_gi_ds: plan.estimates.gi_ds,
+                estimated_work_naive: plan.estimates.naive,
+            };
+            (200, serde::json::to_string(&body))
+        }
+        Err(error) => {
+            let (status, kind) = status_for(&error);
+            (status, error_body(kind, &error.to_string()))
+        }
+    }
+}
+
+/// Maps an engine error to its HTTP status and a stable machine-readable
+/// kind: 408 for a spent budget, 500 for engine-internal failures, 400 for
+/// everything the client phrased wrong.
+pub fn status_for(error: &AsrsError) -> (u16, &'static str) {
+    match error {
+        AsrsError::DeadlineExceeded { .. } => (408, "deadline-exceeded"),
+        AsrsError::Internal { .. } => (500, "internal"),
+        AsrsError::Query(_) => (400, "invalid-query"),
+        AsrsError::Config(_) => (400, "invalid-config"),
+        AsrsError::EmptyDataset => (400, "empty-dataset"),
+        AsrsError::IndexRequired { .. } => (400, "index-required"),
+        AsrsError::IndexMismatch { .. } => (400, "index-mismatch"),
+        AsrsError::InvalidTopK => (400, "invalid-top-k"),
+        AsrsError::InvalidRegionSize { .. } => (400, "invalid-region-size"),
+        AsrsError::BackendUnsupported { .. } => (400, "backend-unsupported"),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ErrorBody {
+    error: ErrorDetail,
+}
+
+#[derive(Debug, Serialize)]
+struct ErrorDetail {
+    kind: String,
+    message: String,
+}
+
+fn error_body(kind: &str, message: &str) -> String {
+    serde::json::to_string(&ErrorBody {
+        error: ErrorDetail {
+            kind: kind.to_string(),
+            message: message.to_string(),
+        },
+    })
+}
+
+#[derive(Debug, Serialize)]
+struct ExplainBody {
+    backend: String,
+    operation: String,
+    reason: String,
+    explanation: String,
+    budget_ms: Option<u64>,
+    span_ratio: Option<(f64, f64)>,
+    estimated_work_ds_search: f64,
+    estimated_work_gi_ds: Option<f64>,
+    estimated_work_naive: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_statuses_map_by_family() {
+        assert_eq!(
+            status_for(&AsrsError::DeadlineExceeded {
+                budget: Duration::ZERO
+            })
+            .0,
+            408
+        );
+        assert_eq!(
+            status_for(&AsrsError::Internal {
+                message: "x".to_string()
+            })
+            .0,
+            500
+        );
+        assert_eq!(status_for(&AsrsError::InvalidTopK).0, 400);
+        assert_eq!(status_for(&AsrsError::EmptyDataset).0, 400);
+        assert_eq!(
+            status_for(&AsrsError::IndexRequired { strategy: "gi-ds" }).0,
+            400
+        );
+    }
+
+    #[test]
+    fn error_bodies_are_json_with_kind_and_message() {
+        let body = error_body("invalid-json", "oops");
+        assert!(body.contains("\"kind\":\"invalid-json\""));
+        assert!(body.contains("\"message\":\"oops\""));
+    }
+}

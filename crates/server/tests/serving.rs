@@ -1,0 +1,234 @@
+//! End-to-end serving tests over real sockets: smoke round trips, error
+//! mapping, and the concurrency/cache-identity guarantees of the satellite
+//! task — N threads hammering `EngineHandle` clones and the HTTP endpoint
+//! with a mixed workload must observe responses byte-identical to
+//! single-threaded `submit`, with cache hits indistinguishable from cold
+//! misses.
+
+use asrs_aggregator::{CompositeAggregator, FeatureVector, Selection, Weights};
+use asrs_core::{AsrsEngine, AsrsQuery, QueryRequest, QueryResponse};
+use asrs_data::gen::UniformGenerator;
+use asrs_geo::RegionSize;
+use asrs_server::{AsrsServer, HttpClient, ServerConfig, ServerHandle};
+
+fn engine(cache_capacity: usize) -> AsrsEngine {
+    let ds = UniformGenerator::default().generate(400, 77);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    AsrsEngine::builder(ds, agg)
+        .build_index(20, 20)
+        .cache_capacity(cache_capacity)
+        .build()
+        .unwrap()
+}
+
+fn sample_query(i: u32) -> AsrsQuery {
+    AsrsQuery::new(
+        RegionSize::new(6.0 + i as f64, 8.0),
+        FeatureVector::new(vec![i as f64, 2.0, 1.0, 0.0]),
+        Weights::uniform(4),
+    )
+}
+
+/// The mixed workload: every operation family, including budgeted
+/// requests (generous budgets — these must all succeed).
+fn mixed_requests() -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::similar(sample_query(1)),
+        QueryRequest::similar(sample_query(2)).with_budget_ms(60_000),
+        QueryRequest::top_k(sample_query(3), 3),
+        QueryRequest::approximate(sample_query(4), 0.25),
+        QueryRequest::batch(vec![sample_query(1), sample_query(5)]),
+        QueryRequest::max_rs(RegionSize::new(15.0, 15.0)),
+    ]
+}
+
+fn start(engine: &AsrsEngine) -> ServerHandle {
+    AsrsServer::bind(engine.handle(), "127.0.0.1:0", ServerConfig::default())
+        .and_then(AsrsServer::start)
+        .expect("server binds an ephemeral port")
+}
+
+#[test]
+fn smoke_boot_round_trip_clean_shutdown() {
+    let engine = engine(64);
+    let server = start(&engine);
+    let addr = server.addr();
+    {
+        let mut client = HttpClient::connect(addr).unwrap();
+        let (status, body) = client.request("GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+
+        let request = QueryRequest::similar(sample_query(1));
+        let (status, body) = client
+            .request("POST", "/query", &serde::json::to_string(&request))
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let over_wire: QueryResponse = serde::json::from_str(&body).unwrap();
+        // The first submission populated the cache, so the direct path
+        // returns the stored response and both must agree exactly.
+        let direct = engine.submit(&request).unwrap();
+        assert_eq!(over_wire, direct);
+
+        let (status, body) = client
+            .request("GET", "/explain", &serde::json::to_string(&request))
+            .unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"backend\":\"gi-ds\""), "{body}");
+        assert!(body.contains("explanation"), "{body}");
+
+        let (status, body) = client.request("GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"queries_ok\":1"), "{body}");
+        assert!(body.contains("\"cache\":"), "{body}");
+    }
+    server.shutdown();
+    // A clean shutdown releases the port: fresh connections are refused
+    // (or reset before a response).
+    let late = HttpClient::connect(addr).and_then(|mut c| c.request("GET", "/healthz", ""));
+    assert!(late.is_err(), "server must not answer after shutdown");
+}
+
+#[test]
+fn engine_errors_map_to_http_statuses() {
+    let engine = engine(0);
+    let server = start(&engine);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    // Malformed JSON → 400.
+    let (status, body) = client.request("POST", "/query", "{not json").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("invalid-json"));
+
+    // Semantically invalid query → 400.
+    let bad = QueryRequest::similar(AsrsQuery::new(
+        RegionSize::new(-3.0, 4.0),
+        FeatureVector::new(vec![1.0, 1.0, 1.0, 1.0]),
+        Weights::uniform(4),
+    ));
+    let (status, body) = client
+        .request("POST", "/query", &serde::json::to_string(&bad))
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("invalid-query"));
+
+    // Spent budget → 408.
+    let expired = QueryRequest::similar(sample_query(1)).with_budget_ms(0);
+    let (status, body) = client
+        .request("POST", "/query", &serde::json::to_string(&expired))
+        .unwrap();
+    assert_eq!(status, 408, "{body}");
+    assert!(body.contains("deadline-exceeded"));
+
+    // Unknown route → 404; wrong method → 405.
+    let (status, _) = client.request("GET", "/nope", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("GET", "/query", "").unwrap();
+    assert_eq!(status, 405);
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.queries_ok, 0);
+    assert_eq!(metrics.queries_client_error, 3);
+    assert_eq!(metrics.protocol_errors, 0);
+    drop(client);
+    server.shutdown();
+}
+
+/// The satellite concurrency test: a mixed workload hammered from many
+/// threads over both surfaces (handle clones and HTTP), byte-identical to
+/// the single-threaded baseline, cache hits indistinguishable from cold
+/// misses, no deadline or deadlock regressions.
+#[test]
+fn concurrent_serving_is_byte_identical_to_sequential_submit() {
+    let engine = engine(256);
+    // Single-threaded baseline; these cold misses also populate the cache,
+    // so every later answer — concurrent, cached, over the wire or not —
+    // must serialize to exactly these bytes.
+    let requests = mixed_requests();
+    let baseline: Vec<String> = requests
+        .iter()
+        .map(|r| serde::json::to_string(&engine.submit(r).unwrap()))
+        .collect();
+
+    let server = start(&engine);
+    let addr = server.addr();
+    let handle = engine.handle();
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 4;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let requests = &requests;
+            let baseline = &baseline;
+            let handle = handle.clone();
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("client connects");
+                for round in 0..ROUNDS {
+                    for (i, request) in requests.iter().enumerate() {
+                        // Alternate surfaces so both are hammered in every
+                        // schedule.
+                        let json = if (t + round + i) % 2 == 0 {
+                            let (status, body) = client
+                                .request("POST", "/query", &serde::json::to_string(request))
+                                .expect("request round-trips");
+                            assert_eq!(status, 200, "thread {t}: {body}");
+                            body
+                        } else {
+                            serde::json::to_string(&handle.submit(request).unwrap())
+                        };
+                        assert_eq!(
+                            &json, &baseline[i],
+                            "thread {t} round {round} request {i} diverged from the baseline"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.protocol_errors, 0);
+    assert_eq!(metrics.queries_server_error, 0);
+    assert_eq!(metrics.queries_client_error, 0);
+    assert!(metrics.queries_ok > 0);
+    let cache = metrics.cache.expect("engine has a cache");
+    assert!(
+        cache.hits >= (THREADS * ROUNDS * requests.len()) as u64,
+        "repeated workload must be served from the cache (hits: {})",
+        cache.hits
+    );
+    assert!(cache.hit_rate > 0.0);
+    // The hit/miss counters also surface through SearchStats.
+    assert_eq!(metrics.search.cache_hits, cache.hits);
+    assert_eq!(metrics.search.cache_misses, cache.misses);
+    server.shutdown();
+}
+
+/// Without a cache, concurrent wire responses still agree with sequential
+/// submission on everything deterministic (wall-clock stats aside).
+#[test]
+fn uncached_responses_agree_modulo_wall_clock() {
+    let engine = engine(0);
+    let request = QueryRequest::top_k(sample_query(2), 3);
+    let direct = engine.submit(&request).unwrap();
+
+    let server = start(&engine);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let (status, body) = client
+        .request("POST", "/query", &serde::json::to_string(&request))
+        .unwrap();
+    assert_eq!(status, 200);
+    let over_wire: QueryResponse = serde::json::from_str(&body).unwrap();
+    assert_eq!(over_wire.backend, direct.backend);
+    assert_eq!(over_wire.results().len(), direct.results().len());
+    for (a, b) in over_wire.results().iter().zip(direct.results()) {
+        assert_eq!(a.region, b.region);
+        assert_eq!(a.anchor, b.anchor);
+        assert_eq!(a.distance, b.distance);
+        assert_eq!(a.representation, b.representation);
+    }
+    drop(client);
+    server.shutdown();
+}

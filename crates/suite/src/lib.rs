@@ -16,11 +16,11 @@ pub mod prelude {
     };
     pub use asrs_baseline::{naive, segment_tree::MaxAddSegmentTree, OptimalEnclosure, SweepBase};
     pub use asrs_core::{
-        AsrsEngine, AsrsError, AsrsQuery, Backend, Budget, ConfigError, CostEstimate, DsSearch,
-        EngineBuilder, EngineHandle, EngineStatistics, ExecutionPlan, GiDsSearch, GridIndex,
-        IndexStatistics, MaxRsResult, MaxRsSearch, NaiveSearch, PlanReason, Planner, QueryError,
-        QueryOutcome, QueryRequest, QueryResponse, SearchAlgorithm, SearchConfig, SearchResult,
-        SearchStats, Strategy,
+        AsrsEngine, AsrsError, AsrsQuery, Backend, Budget, CacheStats, ConfigError, CostEstimate,
+        DsSearch, EngineBuilder, EngineHandle, EngineStatistics, ExecutionPlan, GiDsSearch,
+        GridIndex, IndexStatistics, MaxRsResult, MaxRsSearch, NaiveSearch, PlanReason, Planner,
+        QueryCache, QueryError, QueryOutcome, QueryRequest, QueryResponse, RequestKey,
+        SearchAlgorithm, SearchConfig, SearchResult, SearchStats, Strategy,
     };
     pub use asrs_data::gen::{
         CityGenerator, CityMap, ClusteredGenerator, District, PoiSynGenerator, TweetGenerator,
@@ -30,6 +30,9 @@ pub mod prelude {
         AttrValue, AttributeDef, AttributeKind, Dataset, DatasetBuilder, Schema, SpatialObject,
     };
     pub use asrs_geo::{Accuracy, GridSpec, Point, Rect, RegionSize};
+    pub use asrs_server::{
+        AsrsServer, CacheSnapshot, HttpClient, MetricsSnapshot, ServerConfig, ServerHandle,
+    };
 }
 
 #[cfg(test)]

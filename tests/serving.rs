@@ -1,0 +1,151 @@
+//! Serving end-to-end through the suite prelude: the HTTP layer and the
+//! engine handle must answer identically, the query-result cache must be
+//! observable through both, and batches must honour the per-query result
+//! contract a server depends on.
+
+use asrs_suite::prelude::*;
+
+fn workload(n: usize, seed: u64) -> (Dataset, CompositeAggregator) {
+    let ds = UniformGenerator::default().generate(n, seed);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    (ds, agg)
+}
+
+fn sample_query(i: u32) -> AsrsQuery {
+    AsrsQuery::new(
+        RegionSize::new(7.0 + i as f64, 9.0),
+        FeatureVector::new(vec![i as f64, 2.0, 1.0, 0.0]),
+        Weights::uniform(4),
+    )
+}
+
+/// One engine, two surfaces: responses over the wire must be byte-identical
+/// to handle submissions, and the cache must make repeats cheap and
+/// observable through `/metrics` and `EngineHandle::cache_stats` alike.
+#[test]
+fn http_and_handle_surfaces_answer_identically() {
+    let (ds, agg) = workload(350, 61);
+    let engine = AsrsEngine::builder(ds, agg)
+        .build_index(20, 20)
+        .cache_capacity(64)
+        .build()
+        .unwrap();
+    let server = AsrsServer::bind(engine.handle(), "127.0.0.1:0", ServerConfig::default())
+        .and_then(AsrsServer::start)
+        .unwrap();
+
+    let requests = vec![
+        QueryRequest::similar(sample_query(1)),
+        QueryRequest::top_k(sample_query(2), 3),
+        QueryRequest::batch(vec![sample_query(1), sample_query(3)]),
+        QueryRequest::max_rs(RegionSize::new(14.0, 14.0)),
+    ];
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for request in &requests {
+        let (status, over_wire) = client
+            .request("POST", "/query", &serde::json::to_string(request))
+            .unwrap();
+        assert_eq!(status, 200, "{over_wire}");
+        // The wire answer populated the cache; the handle must replay the
+        // exact same bytes.
+        let direct = serde::json::to_string(&engine.handle().submit(request).unwrap());
+        assert_eq!(over_wire, direct);
+    }
+
+    let cache = engine.handle().cache_stats().expect("cache attached");
+    assert_eq!(cache.hits, requests.len() as u64);
+    assert!(cache.hit_rate() > 0.0);
+    let (status, metrics) = client.request("GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains(&format!("\"hits\":{}", cache.hits)),
+        "{metrics}"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+/// The per-query batch contract: `search_batch_results` returns one
+/// `Result` per query, in input order, agreeing with the strict batch API
+/// and with sequential searches — on the engine and on cloned handles.
+#[test]
+fn batch_results_expose_per_query_outcomes() {
+    let (ds, agg) = workload(300, 11);
+    let engine = AsrsEngine::builder(ds, agg)
+        .build_index(24, 24)
+        .build()
+        .unwrap();
+    let queries: Vec<AsrsQuery> = (1..=6).map(sample_query).collect();
+
+    let per_query = engine.search_batch_results(&queries).unwrap();
+    let strict = engine.search_batch(&queries).unwrap();
+    assert_eq!(per_query.len(), queries.len());
+    for ((result, strict), query) in per_query.iter().zip(&strict).zip(&queries) {
+        let result = result.as_ref().expect("all queries are valid");
+        assert_eq!(result.anchor, strict.anchor);
+        assert_eq!(result.distance, strict.distance);
+        let single = engine.search(query).unwrap();
+        assert_eq!(result.anchor, single.anchor);
+        assert_eq!(result.distance, single.distance);
+    }
+
+    // Same contract through a handle, from another thread.
+    let handle = engine.handle();
+    let from_thread = std::thread::spawn(move || handle.search_batch_results(&queries).unwrap())
+        .join()
+        .unwrap();
+    for (a, b) in from_thread.iter().zip(&per_query) {
+        assert_eq!(a.as_ref().unwrap().distance, b.as_ref().unwrap().distance);
+    }
+
+    // A batch containing an invalid query still fails as a whole, before
+    // any search runs (validation is all-or-nothing).
+    let bad = AsrsQuery::new(
+        RegionSize::new(-1.0, 1.0),
+        FeatureVector::new(vec![1.0, 1.0, 1.0, 1.0]),
+        Weights::uniform(4),
+    );
+    assert!(engine
+        .search_batch_results(&[sample_query(1), bad])
+        .is_err());
+}
+
+/// Deadlines behave identically over the wire and in process: a spent
+/// budget is 408 on HTTP and `DeadlineExceeded` on the handle, and a
+/// generous budget succeeds on both.
+#[test]
+fn deadlines_are_consistent_across_surfaces() {
+    let (ds, agg) = workload(600, 17);
+    let engine = AsrsEngine::builder(ds, agg)
+        .build_index(16, 16)
+        .build()
+        .unwrap();
+    let server = AsrsServer::bind(engine.handle(), "127.0.0.1:0", ServerConfig::default())
+        .and_then(AsrsServer::start)
+        .unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let expired = QueryRequest::similar(sample_query(1)).with_budget_ms(0);
+    let (status, body) = client
+        .request("POST", "/query", &serde::json::to_string(&expired))
+        .unwrap();
+    assert_eq!(status, 408, "{body}");
+    assert!(matches!(
+        engine.handle().submit(&expired),
+        Err(AsrsError::DeadlineExceeded { .. })
+    ));
+
+    let generous = QueryRequest::similar(sample_query(1)).with_budget_ms(60_000);
+    let (status, _) = client
+        .request("POST", "/query", &serde::json::to_string(&generous))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(engine.handle().submit(&generous).is_ok());
+
+    drop(client);
+    server.shutdown();
+}
