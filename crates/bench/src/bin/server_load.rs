@@ -9,8 +9,20 @@
 //!
 //! ```text
 //! server_load [--smoke] [--objects N] [--clients C] [--requests R]
-//!             [--cache N] [--out PATH]
+//!             [--cache N] [--shards S] [--out PATH]
 //! ```
+//!
+//! Without `--shards` one row is written (a single JSON object, as
+//! before).  With `--shards S` the same workload is measured twice — once
+//! unsharded, once on an `EngineBuilder::shards(S)` engine — and the file
+//! holds a JSON array of the two rows, making the sharding axis directly
+//! comparable.
+//!
+//! Cache metrics are reported per phase: the cache-identity probe that
+//! precedes the measured run warms the cache, so the steady-state hit rate
+//! is computed from the *delta* of the cache counters across the measured
+//! window rather than the lifetime totals (which would let warm-up hits
+//! inflate the number).
 //!
 //! `--smoke` shrinks everything to a boot → one-round-trip → clean-shutdown
 //! check suitable for CI.  The process exits non-zero on any protocol
@@ -33,6 +45,7 @@ struct Args {
     clients: usize,
     requests_per_client: usize,
     cache_capacity: usize,
+    shards: usize,
     out: String,
 }
 
@@ -44,6 +57,7 @@ impl Args {
             clients: 4,
             requests_per_client: 200,
             cache_capacity: 1024,
+            shards: 0,
             out: "BENCH_server.json".to_string(),
         };
         let mut it = std::env::args().skip(1);
@@ -59,6 +73,7 @@ impl Args {
                 "--clients" => args.clients = num("--clients"),
                 "--requests" => args.requests_per_client = num("--requests"),
                 "--cache" => args.cache_capacity = num("--cache"),
+                "--shards" => args.shards = num("--shards"),
                 "--out" => args.out = it.next().expect("--out expects a path"),
                 other => panic!("unknown flag {other:?}"),
             }
@@ -160,6 +175,7 @@ struct BenchReport {
     clients: usize,
     requests_per_client: usize,
     cache_capacity: usize,
+    shards: usize,
     server_workers: usize,
     requests_total: usize,
     http_errors: usize,
@@ -170,26 +186,33 @@ struct BenchReport {
     latency_ms_p99: f64,
     latency_ms_mean: f64,
     latency_ms_max: f64,
+    /// Cache counters of the measured (steady-state) window only; the
+    /// warm-up probe's hit and misses are reported separately below.
     cache_hits: u64,
     cache_misses: u64,
     cache_hit_rate: f64,
+    warmup_cache_hits: u64,
+    warmup_cache_misses: u64,
     cached_response_byte_identical: bool,
 }
 
-fn main() {
-    let args = Args::parse();
+/// Runs one measured serving phase (build → probe → load → metrics →
+/// shutdown) with the given shard count (`0` = classic single engine).
+fn run_phase(args: &Args, shards: usize) -> BenchReport {
     let workload = Workload::Tweet;
     eprintln!(
-        "building engine: {} objects, cache capacity {} ...",
-        args.objects, args.cache_capacity
+        "building engine: {} objects, cache capacity {}, shards {} ...",
+        args.objects, args.cache_capacity, shards
     );
     let dataset = workload.dataset(args.objects, 42);
     let aggregator = workload.aggregator(&dataset);
-    let engine = AsrsEngine::builder(dataset, aggregator)
+    let mut builder = AsrsEngine::builder(dataset, aggregator)
         .build_index(32, 32)
-        .cache_capacity(args.cache_capacity)
-        .build()
-        .expect("engine builds");
+        .cache_capacity(args.cache_capacity);
+    if shards > 0 {
+        builder = builder.shards(shards);
+    }
+    let engine = builder.build().expect("engine builds");
     let pool = request_pool(workload, &engine);
     let bodies: Vec<String> = pool.iter().map(serde::json::to_string).collect();
 
@@ -213,6 +236,10 @@ fn main() {
     let identical = s1 == 200 && s2 == 200 && cold == warm;
     drop(probe);
 
+    // Flush the warm-up phase: counters accumulated so far belong to the
+    // probe, not to the measured window.
+    let warmup = engine.cache_stats().expect("engine has a cache");
+
     let started = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         (0..args.clients)
@@ -230,8 +257,14 @@ fn main() {
     // Read /metrics over the wire (smoke for the endpoint), but take the
     // authoritative numbers from the in-process handle.
     let mut probe = HttpClient::connect(addr).expect("metrics client connects");
-    let (metrics_status, _) = probe.request("GET", "/metrics", "").expect("metrics");
+    let (metrics_status, metrics_body) = probe.request("GET", "/metrics", "").expect("metrics");
     assert_eq!(metrics_status, 200, "GET /metrics must answer 200");
+    if shards > 0 {
+        assert!(
+            metrics_body.contains("\"shard_count\""),
+            "sharded engines must expose per-shard counters: {metrics_body}"
+        );
+    }
     drop(probe);
     let metrics = server.metrics();
     server.shutdown();
@@ -244,14 +277,19 @@ fn main() {
     let http_errors: usize = outcomes.iter().map(|o| o.http_errors).sum();
     let protocol_errors: usize = outcomes.iter().map(|o| o.protocol_errors).sum();
     let cache = metrics.cache.expect("engine has a cache");
+    // Steady-state counters: lifetime totals minus the warm-up probe.
+    let steady_hits = cache.hits - warmup.hits;
+    let steady_misses = cache.misses - warmup.misses;
+    let steady_lookups = steady_hits + steady_misses;
 
-    let report = BenchReport {
+    BenchReport {
         benchmark: "server_load".to_string(),
         smoke: args.smoke,
         objects: args.objects,
         clients: args.clients,
         requests_per_client: args.requests_per_client,
         cache_capacity: args.cache_capacity,
+        shards,
         server_workers,
         requests_total: args.clients * args.requests_per_client,
         http_errors,
@@ -264,18 +302,33 @@ fn main() {
             / 1000.0
             / latencies.len().max(1) as f64,
         latency_ms_max: latencies.last().copied().unwrap_or(0) as f64 / 1000.0,
-        cache_hits: cache.hits,
-        cache_misses: cache.misses,
-        cache_hit_rate: cache.hit_rate,
+        cache_hits: steady_hits,
+        cache_misses: steady_misses,
+        cache_hit_rate: if steady_lookups == 0 {
+            0.0
+        } else {
+            steady_hits as f64 / steady_lookups as f64
+        },
+        warmup_cache_hits: warmup.hits,
+        warmup_cache_misses: warmup.misses,
         cached_response_byte_identical: identical,
-    };
-    std::fs::write(&args.out, serde::json::to_string(&report)).expect("report written");
+    }
+}
 
-    let mut table = Table::new(
-        "Serving load (mixed workload over HTTP/1.1 keep-alive)",
-        &["metric", "value"],
-    );
-    table.row(vec!["requests ok".into(), latencies.len().to_string()]);
+fn print_report(report: &BenchReport) {
+    let label = if report.shards > 0 {
+        format!(
+            "Serving load, sharded x{} (mixed workload over HTTP/1.1 keep-alive)",
+            report.shards
+        )
+    } else {
+        "Serving load (mixed workload over HTTP/1.1 keep-alive)".to_string()
+    };
+    let mut table = Table::new(&label, &["metric", "value"]);
+    table.row(vec![
+        "requests ok".into(),
+        (report.requests_total - report.http_errors - report.protocol_errors).to_string(),
+    ]);
     table.row(vec![
         "throughput".into(),
         format!("{:.0} req/s", report.throughput_rps),
@@ -288,31 +341,76 @@ fn main() {
         ),
     ]);
     table.row(vec![
-        "cache hit rate".into(),
+        "cache hit rate (steady state)".into(),
         format!(
             "{:.1}% ({} / {})",
-            cache.hit_rate * 100.0,
-            cache.hits,
-            cache.hits + cache.misses
+            report.cache_hit_rate * 100.0,
+            report.cache_hits,
+            report.cache_hits + report.cache_misses
         ),
     ]);
     table.row(vec![
         "errors (http / protocol)".into(),
-        format!("{http_errors} / {protocol_errors}"),
+        format!("{} / {}", report.http_errors, report.protocol_errors),
     ]);
     table.print();
-    println!("report written to {}", args.out);
+}
 
-    if http_errors > 0 || protocol_errors > 0 {
-        eprintln!("FAIL: the run saw errors");
-        std::process::exit(1);
+fn check_phase(report: &BenchReport) -> bool {
+    let mut ok = true;
+    if report.http_errors > 0 || report.protocol_errors > 0 {
+        eprintln!("FAIL: the run saw errors (shards {})", report.shards);
+        ok = false;
     }
-    if !identical {
-        eprintln!("FAIL: cached response differed from the cold computation");
-        std::process::exit(1);
+    if !report.cached_response_byte_identical {
+        eprintln!(
+            "FAIL: cached response differed from the cold computation (shards {})",
+            report.shards
+        );
+        ok = false;
     }
-    if cache.hits == 0 {
-        eprintln!("FAIL: a repeated workload must produce cache hits");
+    if report.cache_hits == 0 {
+        eprintln!(
+            "FAIL: a repeated workload must produce cache hits (shards {})",
+            report.shards
+        );
+        ok = false;
+    }
+    ok
+}
+
+fn main() {
+    let args = Args::parse();
+    let reports: Vec<BenchReport> = if args.shards > 0 {
+        vec![run_phase(&args, 0), run_phase(&args, args.shards)]
+    } else {
+        vec![run_phase(&args, 0)]
+    };
+
+    let json = if reports.len() == 1 {
+        serde::json::to_string(&reports[0])
+    } else {
+        serde::json::to_string(&reports)
+    };
+    std::fs::write(&args.out, json).expect("report written");
+
+    let mut ok = true;
+    for report in &reports {
+        print_report(report);
+        ok &= check_phase(report);
+    }
+    if reports.len() == 2 {
+        let (unsharded, sharded) = (&reports[0], &reports[1]);
+        println!(
+            "sharded x{} vs unsharded throughput: {:.0} vs {:.0} req/s ({:+.1}%)",
+            sharded.shards,
+            sharded.throughput_rps,
+            unsharded.throughput_rps,
+            (sharded.throughput_rps / unsharded.throughput_rps.max(1e-9) - 1.0) * 100.0
+        );
+    }
+    println!("report written to {}", args.out);
+    if !ok {
         std::process::exit(1);
     }
     println!("OK");

@@ -142,6 +142,116 @@ impl AspInstance {
     }
 }
 
+/// Snaps probe points to canonical representatives of their arrangement
+/// cell.
+///
+/// The edges of the ASP rectangles cut the plane into a global arrangement;
+/// within one open arrangement cell every point has the same covering set,
+/// hence the same representation and distance.  The searches probe such
+/// cells at decomposition-dependent points (midpoints of whatever local
+/// subdivision they built), so two different decompositions of the same
+/// instance report different — equally optimal — anchors for the same cell.
+/// Snapping every offered anchor to the *global* edge-interval midpoint
+/// makes the reported anchor a function of the arrangement cell alone,
+/// which is what lets the sharded scatter-gather executor promise
+/// byte-identical answers regardless of the shard count.
+///
+/// The representatives match the exhaustive oracle's probe grid: interior
+/// intervals map to `(eᵢ + eᵢ₊₁) / 2`, everything beyond the last edge to
+/// `last + 1.0`, everything before the first edge to `first - 1.0`, and a
+/// coordinate lying exactly on an edge is kept as-is (it is its own
+/// measure-zero covering class under the strict containment of Lemma 1).
+#[derive(Debug)]
+pub(crate) struct EdgeSnapper {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl EdgeSnapper {
+    /// Collects the sorted, deduplicated edge coordinates of an instance.
+    pub(crate) fn from_asp(asp: &AspInstance) -> Self {
+        let mut xs = Vec::with_capacity(asp.rects().len() * 2);
+        let mut ys = Vec::with_capacity(asp.rects().len() * 2);
+        for r in asp.rects() {
+            xs.push(r.rect.min_x);
+            xs.push(r.rect.max_x);
+            ys.push(r.rect.min_y);
+            ys.push(r.rect.max_y);
+        }
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        ys.sort_by(f64::total_cmp);
+        ys.dedup();
+        Self { xs, ys }
+    }
+
+    /// The canonical representative of the arrangement cell containing `p`.
+    pub(crate) fn snap(&self, p: Point) -> Point {
+        Point::new(
+            Self::snap_axis(&self.xs, p.x),
+            Self::snap_axis(&self.ys, p.y),
+        )
+    }
+
+    fn snap_axis(edges: &[f64], v: f64) -> f64 {
+        if edges.is_empty() {
+            return v;
+        }
+        let i = edges.partition_point(|e| *e < v);
+        if i < edges.len() && edges[i] == v {
+            return v;
+        }
+        if i == 0 {
+            edges[0] - 1.0
+        } else if i == edges.len() {
+            edges[edges.len() - 1] + 1.0
+        } else {
+            (edges[i - 1] + edges[i]) / 2.0
+        }
+    }
+
+    /// Canonical representatives of every arrangement x-interval meeting
+    /// the open range `(lo, hi)`, ascending (see [`EdgeSnapper::axis_reps`]).
+    pub(crate) fn x_reps_within(&self, lo: f64, hi: f64) -> Vec<f64> {
+        Self::axis_reps(&self.xs, lo, hi)
+    }
+
+    /// Canonical representatives of every arrangement y-interval meeting
+    /// the open range `(lo, hi)`, ascending.
+    pub(crate) fn y_reps_within(&self, lo: f64, hi: f64) -> Vec<f64> {
+        Self::axis_reps(&self.ys, lo, hi)
+    }
+
+    /// Canonical representatives of the edge intervals intersecting the
+    /// open range `(lo, hi)`.
+    ///
+    /// A search evaluates whole uniform-covering *windows* at one probe
+    /// point, but a window generically spans several arrangement intervals
+    /// (edges of rectangles far outside the window still cut the global
+    /// arrangement).  Those intervals are distinct — equally good —
+    /// candidates; enumerating each interval's representative is what lets
+    /// a window evaluation offer all of them, keeping the candidate set
+    /// identical across decompositions.
+    fn axis_reps(edges: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+        if hi <= lo {
+            return vec![Self::snap_axis(edges, (lo + hi) / 2.0)];
+        }
+        let a = edges.partition_point(|e| *e <= lo);
+        let b = edges.partition_point(|e| *e < hi);
+        let mut reps = Vec::with_capacity(b - a + 1);
+        let mut prev = lo;
+        for &edge in &edges[a..b] {
+            reps.push(Self::snap_axis(edges, (prev + edge) / 2.0));
+            prev = edge;
+        }
+        reps.push(Self::snap_axis(edges, (prev + hi) / 2.0));
+        // Fragments of one interval (a range boundary inside the interval)
+        // snap to the same representative.
+        reps.dedup();
+        reps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +338,29 @@ mod tests {
             1e-12,
         );
         assert_eq!(asp.accuracy(), Accuracy::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn snapper_maps_arrangement_cells_to_one_representative() {
+        let ds = dataset();
+        let asp = AspInstance::build(&ds, RegionSize::new(2.0, 1.0), None, 1e-12);
+        let snapper = EdgeSnapper::from_asp(&asp);
+        // Two probes inside the same global edge interval snap to the same
+        // midpoint; snapping is idempotent.
+        // x-edges include {0, 2, 3, 5, 7, 9}; 2.1 and 2.9 share (2, 3).
+        let a = snapper.snap(Point::new(2.1, 1.4));
+        let b = snapper.snap(Point::new(2.9, 1.6));
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.x, 2.5);
+        assert_eq!(snapper.snap(a), a, "snapping is idempotent");
+        // Beyond the last edge mirrors the oracle's outside probe.
+        let out = snapper.snap(Point::new(100.0, 100.0));
+        assert_eq!(out.x, 9.0 + 1.0);
+        // Before the first edge.
+        let below = snapper.snap(Point::new(-50.0, 0.5));
+        assert_eq!(below.x, 0.0 - 1.0);
+        // A coordinate exactly on an edge is its own class.
+        assert_eq!(snapper.snap(Point::new(3.0, 1.4)).x, 3.0);
     }
 
     #[test]

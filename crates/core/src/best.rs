@@ -9,11 +9,13 @@
 //! sub-space or index cell may be dropped only when it cannot contribute
 //! any of the k best anchors.
 
+use crate::asp::EdgeSnapper;
 use crate::error::AsrsError;
 use crate::result::SearchResult;
 use crate::stats::SearchStats;
 use asrs_aggregator::FeatureVector;
 use asrs_geo::{Point, Rect, RegionSize};
+use std::sync::Arc;
 
 /// The error a search reports when it retained no candidate at all: every
 /// offered distance — the empty-region seed's included — was non-finite.
@@ -52,6 +54,12 @@ pub(crate) struct BestSet {
     /// Candidates rejected because their distance was not finite; surfaced
     /// as [`SearchStats::non_finite_candidates`](crate::SearchStats).
     non_finite_rejected: u64,
+    /// When set, every offered anchor is snapped to the canonical
+    /// representative of its arrangement cell first (see [`EdgeSnapper`]),
+    /// so the retained anchors — and the tie-break among them — no longer
+    /// depend on which decomposition of the space produced the probes.
+    /// This is the determinism contract of the sharded executor.
+    snapper: Option<Arc<EdgeSnapper>>,
 }
 
 /// Strict "precedes" under the total order (distance, anchor.y, anchor.x).
@@ -72,7 +80,17 @@ impl BestSet {
             capacity,
             entries: Vec::with_capacity(capacity),
             non_finite_rejected: 0,
+            snapper: None,
         }
+    }
+
+    /// A set that snaps every offered anchor to its arrangement-cell
+    /// representative (decomposition-independent anchors; see
+    /// [`EdgeSnapper`]).
+    pub fn with_snapper(capacity: usize, snapper: Arc<EdgeSnapper>) -> Self {
+        let mut set = Self::new(capacity);
+        set.snapper = Some(snapper);
+        set
     }
 
     /// Number of candidates rejected for a non-finite distance.
@@ -110,6 +128,64 @@ impl BestSet {
             self.non_finite_rejected += 1;
             return;
         }
+        let anchor = match &self.snapper {
+            Some(snapper) => snapper.snap(anchor),
+            None => anchor,
+        };
+        self.offer_at(distance, anchor, representation);
+    }
+
+    /// Offers one candidate per arrangement cell of a uniform-covering
+    /// region.
+    ///
+    /// The searches evaluate whole windows (clean cells, resolve-window
+    /// fragments) whose covering — hence distance and representation — is
+    /// constant, but which generically span several *global* arrangement
+    /// cells: distinct, equally good candidates.  Without a snapper the
+    /// region is represented by its centre probe, exactly as before.  With
+    /// a snapper every arrangement cell inside the region is offered, so
+    /// the retained candidates do not depend on how the space was carved
+    /// into windows — the decomposition-independence the sharded executor
+    /// relies on.  A full set skips the enumeration when even the region's
+    /// minimal representative (all share `distance`; the order is
+    /// `(distance, y, x)`) cannot improve it.
+    pub fn offer_region(&mut self, distance: f64, region: &Rect, representation: FeatureVector) {
+        let Some(snapper) = self.snapper.clone() else {
+            self.offer(distance, region.center(), representation);
+            return;
+        };
+        if !distance.is_finite() {
+            self.non_finite_rejected += 1;
+            return;
+        }
+        let xs = snapper.x_reps_within(region.min_x, region.max_x);
+        let ys = snapper.y_reps_within(region.min_y, region.max_y);
+        if self.entries.len() >= self.capacity {
+            let y0 = *ys
+                .first()
+                .expect("axis_reps yields at least one representative");
+            let x0 = *xs
+                .first()
+                .expect("axis_reps yields at least one representative");
+            let worst = self.entries.last().expect("capacity >= 1");
+            // Equal anchors always carry equal distances (a cell's
+            // covering determines both), so a region that cannot precede
+            // the worst entry cannot change the set at all.
+            if !precedes(distance, &Point::new(x0, y0), worst.distance, &worst.anchor) {
+                return;
+            }
+        }
+        for &y in &ys {
+            for &x in &xs {
+                self.offer_at(distance, Point::new(x, y), representation.clone());
+            }
+        }
+    }
+
+    /// The insertion core shared by [`BestSet::offer`] (which snaps first
+    /// when a snapper is attached) and [`BestSet::offer_region`] (whose
+    /// representatives are canonical already).
+    fn offer_at(&mut self, distance: f64, anchor: Point, representation: FeatureVector) {
         if let Some(existing) = self.entries.iter().position(|e| e.anchor == anchor) {
             if distance < self.entries[existing].distance {
                 self.entries.remove(existing);

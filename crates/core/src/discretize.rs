@@ -176,6 +176,13 @@ impl DiffArrays {
 /// paper's `d_opt` to the k-best setting), and `prune_factor` is `1 + δ`
 /// (1 for the exact algorithm).  Clean cells that improve on the cutoff
 /// are offered to `best` in place.
+///
+/// With `retain_ties`, dirty cells whose lower bound *equals* the pruning
+/// threshold are retained instead of pruned.  The fast path prunes them
+/// (they cannot improve the best distance), but which equally-optimal
+/// candidates then get discovered depends on the decomposition trajectory;
+/// the sharded executor needs every tied candidate probed so its anchor
+/// tie-break is shard-count-independent.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn discretize(
     space: &Rect,
@@ -188,6 +195,7 @@ pub(crate) fn discretize(
     query: &AsrsQuery,
     best: &mut BestSet,
     prune_factor: f64,
+    retain_ties: bool,
 ) -> DiscretizeOutcome {
     let grid = GridSpec::new(*space, ncols, nrows);
     let dims = aggregator.stats_dim();
@@ -263,7 +271,7 @@ pub(crate) fn discretize(
                     query.metric,
                 );
                 if distance <= best.cutoff() {
-                    best.offer(distance, grid.cell_rect(col, row).center(), representation);
+                    best.offer_region(distance, &grid.cell_rect(col, row), representation);
                 }
             } else {
                 dirty_cells += 1;
@@ -291,7 +299,12 @@ pub(crate) fn discretize(
     let threshold = best.cutoff() / prune_factor;
     let mut retained_dirty = Vec::with_capacity(provisional_dirty.len());
     for cell in provisional_dirty {
-        if cell.lb < threshold {
+        let keep = if retain_ties {
+            cell.lb <= threshold
+        } else {
+            cell.lb < threshold
+        };
+        if keep {
             retained_dirty.push(cell);
         } else {
             pruned_dirty += 1;
@@ -363,6 +376,7 @@ mod tests {
             &query,
             &mut best,
             1.0,
+            false,
         );
         assert_eq!(out.clean_cells + out.dirty_cells, 100);
         assert!(out.dirty_cells > 0, "rect edges must cross some cells");
@@ -389,6 +403,7 @@ mod tests {
             &query,
             &mut best,
             1.0,
+            false,
         );
         // The best candidate's representation must equal the representation
         // computed directly from the objects inside the anchored region.
@@ -422,6 +437,7 @@ mod tests {
             &query,
             &mut best,
             1.0,
+            false,
         );
         let candidates = asp.all_rect_indices();
         for cell in &out.retained_dirty {
@@ -469,6 +485,7 @@ mod tests {
             &query,
             &mut best,
             1.0,
+            false,
         );
         assert!(out.retained_dirty.is_empty());
         assert_eq!(out.pruned_dirty, out.dirty_cells);
@@ -494,6 +511,7 @@ mod tests {
             &query,
             &mut BestSet::new(1),
             1.0,
+            false,
         );
         let approx = discretize(
             &space,
@@ -506,6 +524,7 @@ mod tests {
             &query,
             &mut BestSet::new(1),
             1.4,
+            false,
         );
         assert!(approx.retained_dirty.len() <= exact.retained_dirty.len());
     }
@@ -515,7 +534,19 @@ mod tests {
         let (ds, agg, query, asp) = setup();
         let space = asp.space().unwrap();
         let mut best = BestSet::new(1);
-        let out = discretize(&space, 5, 5, &asp, &[], &ds, &agg, &query, &mut best, 1.0);
+        let out = discretize(
+            &space,
+            5,
+            5,
+            &asp,
+            &[],
+            &ds,
+            &agg,
+            &query,
+            &mut best,
+            1.0,
+            false,
+        );
         assert_eq!(out.clean_cells, 25);
         assert_eq!(out.dirty_cells, 0);
         // All cells are empty ⇒ representation (0, 0) ⇒ distance 2.

@@ -48,6 +48,16 @@ pub struct DsSearch<'a> {
     dataset: &'a Dataset,
     aggregator: &'a CompositeAggregator,
     config: SearchConfig,
+    /// Canonical-tie mode: pruning comparisons become strict (`>` instead
+    /// of `>=`), so every candidate tied with the final cutoff is probed,
+    /// and anchors are snapped to arrangement-cell representatives (see
+    /// [`EdgeSnapper`](crate::asp::EdgeSnapper)).  Together these make the
+    /// reported answer a pure function of the instance — independent of how
+    /// the search space was decomposed — which is the invariant the sharded
+    /// scatter-gather executor builds on.  Slower than the default mode
+    /// (equal-bound cells are resolved instead of pruned), so the
+    /// single-engine fast paths leave it off.
+    canonical: bool,
 }
 
 struct HeapEntry {
@@ -96,6 +106,28 @@ impl<'a> DsSearch<'a> {
             dataset,
             aggregator,
             config,
+            canonical: false,
+        }
+    }
+
+    /// Enables canonical-tie mode (see the `canonical` field): strict
+    /// pruning plus arrangement-snapped anchors, making the answer
+    /// independent of the space decomposition at the cost of resolving
+    /// equal-bound cells the fast path would prune.
+    pub(crate) fn canonical_ties(mut self) -> Self {
+        self.canonical = true;
+        self
+    }
+
+    /// Whether a lower bound disqualifies a cell/space at `threshold`:
+    /// ties survive in canonical mode so every equally-optimal candidate is
+    /// probed.
+    #[inline]
+    fn prunes(&self, lb: f64, threshold: f64) -> bool {
+        if self.canonical {
+            lb > threshold
+        } else {
+            lb >= threshold
         }
     }
 
@@ -190,7 +222,14 @@ impl<'a> DsSearch<'a> {
             self.config.accuracy_floor,
         );
         stats.rectangles = asp.rects().len() as u64;
-        let mut best = BestSet::new(k);
+        let mut best = if self.canonical {
+            BestSet::with_snapper(
+                k,
+                std::sync::Arc::new(crate::asp::EdgeSnapper::from_asp(&asp)),
+            )
+        } else {
+            BestSet::new(k)
+        };
         self.seed_empty_region(&asp, query, &mut best);
         if let Some(space) = asp.space() {
             let candidates = self.contributing(&asp, asp.all_rect_indices());
@@ -277,7 +316,7 @@ impl<'a> DsSearch<'a> {
             if let Some(b) = budget {
                 b.check()?;
             }
-            if entry.lb >= best.cutoff() / prune_factor {
+            if self.prunes(entry.lb, best.cutoff() / prune_factor) {
                 break;
             }
             stats.spaces_processed += 1;
@@ -292,6 +331,7 @@ impl<'a> DsSearch<'a> {
                 query,
                 best,
                 prune_factor,
+                self.canonical,
             );
             stats.cells_examined += outcome.clean_cells + outcome.dirty_cells;
             stats.clean_cells += outcome.clean_cells;
@@ -340,7 +380,7 @@ impl<'a> DsSearch<'a> {
             }
             stats.splits += 1;
             for part in split(&outcome.grid, &to_split) {
-                if part.lb >= best.cutoff() / prune_factor {
+                if self.prunes(part.lb, best.cutoff() / prune_factor) {
                     continue;
                 }
                 let sub_candidates: Vec<u32> = entry
@@ -384,7 +424,7 @@ impl<'a> DsSearch<'a> {
             if let Some(b) = budget {
                 b.check()?;
             }
-            if cell.lb >= best.cutoff() / self.config.prune_factor() {
+            if self.prunes(cell.lb, best.cutoff() / self.config.prune_factor()) {
                 continue;
             }
             let rect = grid.cell_rect(cell.col, cell.row);
@@ -446,9 +486,15 @@ impl<'a> DsSearch<'a> {
                     );
                     // `<=` rather than `<`: equal-distance candidates still
                     // reach the set so its anchor tie-breaking stays
-                    // discovery-order independent.
+                    // discovery-order independent.  The window's covering
+                    // is uniform, so in canonical mode the whole window is
+                    // offered (one candidate per arrangement cell in it).
                     if distance <= best.cutoff() {
-                        best.offer(distance, probe, representation);
+                        best.offer_region(
+                            distance,
+                            &Rect::new(wx[0], wy[0], wx[1], wy[1]),
+                            representation,
+                        );
                     }
                 }
             }

@@ -280,6 +280,7 @@ pub struct EngineBuilder {
     index: IndexSpec,
     planner: Planner,
     cache_capacity: usize,
+    shards: usize,
 }
 
 impl EngineBuilder {
@@ -292,7 +293,29 @@ impl EngineBuilder {
             index: IndexSpec::None,
             planner: Planner::default(),
             cache_capacity: 0,
+            shards: 0,
         }
+    }
+
+    /// Shards the engine: the dataset is partitioned spatially into `n`
+    /// disjoint regions (longest-axis recursive splits, see
+    /// [`SpatialPartition`](asrs_data::SpatialPartition)), one core — and,
+    /// with [`EngineBuilder::build_index`], one grid index, built in
+    /// parallel — per region.  Requests are scattered across the shards'
+    /// anchor slabs and gathered with the engine's deterministic
+    /// tie-break; the gathered outcome is byte-identical for every shard
+    /// count, statistics excepted (the internal `shard` module documents
+    /// the exactness and determinism argument; the comparison form is
+    /// [`QueryResponse::stats_stripped`](crate::QueryResponse::stats_stripped)).
+    ///
+    /// `0` (the default) disables sharding entirely — the classic
+    /// single-core engine.  Note that `shards(1)` is *not* the same as
+    /// `0`: it runs the scatter-gather executor with a single shard, which
+    /// is the parity baseline the sharded counts are byte-compared
+    /// against.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
     }
 
     /// Attaches a query-result cache retaining up to `capacity` responses
@@ -357,6 +380,9 @@ impl EngineBuilder {
     ///   without an index.
     pub fn build(self) -> Result<AsrsEngine, AsrsError> {
         self.config.validate()?;
+        if self.shards > 0 {
+            return self.build_sharded();
+        }
         let index = match self.index {
             IndexSpec::None => None,
             IndexSpec::Build { cols, rows } => Some(GridIndex::build(
@@ -390,6 +416,119 @@ impl EngineBuilder {
                 planner: self.planner,
                 statistics,
                 cache,
+                shards: None,
+            }),
+        })
+    }
+
+    /// The sharded sibling of [`EngineBuilder::build`]: partitions the
+    /// dataset, builds one core (and index) per shard — in parallel when
+    /// cores allow — and captures shard-count-*invariant* planner
+    /// statistics so identical requests plan (and answer) identically for
+    /// every shard count.
+    fn build_sharded(self) -> Result<AsrsEngine, AsrsError> {
+        use crate::planner::{IndexStatistics, ShardFanOut};
+        use crate::shard::{EngineShard, ShardSet};
+
+        let build_granularity = match &self.index {
+            IndexSpec::Build { cols, rows } => Some((*cols, *rows)),
+            _ => None,
+        };
+        // The full core keeps an attached whole-dataset index (it is
+        // shard-count independent, so it can serve statistics); a
+        // *requested* index build happens per shard instead, with the
+        // planner reading the whole-dataset index geometry virtually.
+        let (index, mut statistics) = match self.index {
+            IndexSpec::None => (None, EngineStatistics::capture(&self.dataset, None)),
+            IndexSpec::Build { cols, rows } => {
+                let virtual_index = IndexStatistics::virtual_for(&self.dataset, cols, rows)?;
+                let mut statistics = EngineStatistics::capture(&self.dataset, None);
+                statistics.index = Some(virtual_index);
+                (None, statistics)
+            }
+            IndexSpec::Attach(index) => {
+                if index.stats_dim() != self.aggregator.stats_dim() {
+                    return Err(AsrsError::IndexMismatch {
+                        index_dims: index.stats_dim(),
+                        aggregator_dims: self.aggregator.stats_dim(),
+                    });
+                }
+                let statistics = EngineStatistics::capture(&self.dataset, Some(&index));
+                (Some(index), statistics)
+            }
+        };
+        if self.strategy == Strategy::GiDs && statistics.index.is_none() {
+            return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
+        }
+
+        let partition = asrs_data::SpatialPartition::build(&self.dataset, self.shards);
+        let subs = partition.sub_datasets(&self.dataset);
+        statistics.shards = Some(ShardFanOut {
+            shards: partition.shard_count(),
+            populated: subs.iter().filter(|s| !s.is_empty()).count(),
+        });
+
+        // Per-shard index builds are independent; fan them out (on
+        // multi-core hosts n small builds finish in a fraction of one
+        // whole-dataset build's wall clock).
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let shard_indexes: Vec<Option<GridIndex>> = match build_granularity {
+            None => subs.iter().map(|_| None).collect(),
+            Some((cols, rows)) => crate::shard::parallel_map(subs.len(), workers, |i| {
+                if subs[i].is_empty() {
+                    Ok(None)
+                } else {
+                    GridIndex::build(&subs[i], &self.aggregator, cols, rows).map(Some)
+                }
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        // The per-shard cores carry each shard's sub-dataset, index and
+        // statistics.  Today they power per-shard planner statistics,
+        // `/metrics` fan-out accounting and the fan-out estimate in
+        // `explain()`; the scatter executor itself still searches the
+        // shared full instance (exactness over shard-local indexes needs
+        // halo-aware summary tables — a noted ROADMAP follow-up).
+        let shards: Vec<EngineShard> = subs
+            .into_iter()
+            .zip(shard_indexes)
+            .zip(partition.regions().iter().copied())
+            .map(|((sub, shard_index), region)| {
+                let shard_statistics = EngineStatistics::capture(&sub, shard_index.as_ref());
+                EngineShard {
+                    region,
+                    core: EngineCore {
+                        dataset: sub,
+                        aggregator: self.aggregator.clone(),
+                        config: self.config.clone(),
+                        strategy: self.strategy,
+                        index: shard_index,
+                        planner: self.planner.clone(),
+                        statistics: shard_statistics,
+                        cache: None,
+                        shards: None,
+                    },
+                    requests: std::sync::atomic::AtomicU64::new(0),
+                }
+            })
+            .collect();
+
+        let cache = (self.cache_capacity > 0).then(|| QueryCache::new(self.cache_capacity));
+        Ok(AsrsEngine {
+            core: Arc::new(EngineCore {
+                dataset: self.dataset,
+                aggregator: self.aggregator,
+                config: self.config,
+                strategy: self.strategy,
+                index,
+                planner: self.planner,
+                statistics,
+                cache,
+                shards: Some(ShardSet { shards }),
             }),
         })
     }
@@ -410,6 +549,9 @@ pub(crate) struct EngineCore {
     pub(crate) planner: Planner,
     pub(crate) statistics: EngineStatistics,
     pub(crate) cache: Option<QueryCache>,
+    /// Shard table of a sharded engine (see [`EngineBuilder::shards`] and
+    /// the internal `shard` module); `None` on single engines.
+    pub(crate) shards: Option<crate::shard::ShardSet>,
 }
 
 impl EngineCore {
@@ -473,6 +615,9 @@ impl EngineCore {
 
     fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
         let plan = self.plan(request)?;
+        if self.shards.is_some() {
+            return self.execute_sharded(request, &plan);
+        }
         let budget = plan
             .budget_ms
             .map(|ms| Budget::new(Duration::from_millis(ms)));
@@ -530,6 +675,16 @@ impl EngineCore {
         delta: Option<f64>,
         budget: Option<Budget>,
     ) -> Result<SearchResult, AsrsError> {
+        if self.shards.is_some() {
+            // The scatter executor answers exactly (δ included in that
+            // guarantee) whatever backend the plan reports; δ is still
+            // validated so malformed requests fail like anywhere else.
+            if let Some(delta) = delta {
+                self.config.clone().with_delta(delta)?;
+            }
+            let _ = backend;
+            return self.sharded_similar(query, budget);
+        }
         query.validate(&self.aggregator)?;
         let config = match delta {
             Some(delta) => self.config.clone().with_delta(delta)?,
@@ -547,6 +702,10 @@ impl EngineCore {
         k: usize,
         budget: Option<Budget>,
     ) -> Result<Vec<SearchResult>, AsrsError> {
+        if self.shards.is_some() {
+            let _ = backend;
+            return self.sharded_top_k(query, k, budget);
+        }
         query.validate(&self.aggregator)?;
         self.backend_for(backend, self.config.clone())?
             .search_top_k_within(query, k, budget)
@@ -561,6 +720,9 @@ impl EngineCore {
     ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
         let size = crate::request::batch_planning_size(queries);
         let plan = self.plan_legacy("batch", size)?;
+        if self.shards.is_some() {
+            return self.sharded_batch_results(queries, None);
+        }
         self.run_batch(plan.backend, queries, None)
     }
 
@@ -681,6 +843,9 @@ impl EngineCore {
         selection: Selection,
         budget: Option<Budget>,
     ) -> Result<MaxRsResult, AsrsError> {
+        if self.shards.is_some() {
+            return self.sharded_max_rs(size, selection, budget);
+        }
         let config = SearchConfig {
             delta: 0.0,
             ..self.config.clone()
@@ -716,7 +881,7 @@ fn solve_slot(
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         s
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -810,6 +975,30 @@ impl AsrsEngine {
     /// built without one (see [`EngineBuilder::cache_capacity`]).
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.core.cache_stats()
+    }
+
+    /// Number of shards of a sharded engine, `0` for a single engine (see
+    /// [`EngineBuilder::shards`]).
+    pub fn shard_count(&self) -> usize {
+        self.core.shards.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Per-shard scattered-execution counts, in shard order (`None` for a
+    /// single engine).  Surfaced by the server's `/metrics`.
+    pub fn shard_request_counts(&self) -> Option<Vec<u64>> {
+        self.core.shards.as_ref().map(|s| s.request_counts())
+    }
+
+    /// Per-shard planner statistics, in shard order (`None` for a single
+    /// engine).
+    pub fn shard_statistics(&self) -> Option<Vec<EngineStatistics>> {
+        self.core.shards.as_ref().map(|s| s.statistics())
+    }
+
+    /// The spatial partition regions of a sharded engine, in shard order
+    /// (`None` for a single engine).
+    pub fn shard_regions(&self) -> Option<Vec<Rect>> {
+        self.core.shards.as_ref().map(|s| s.regions())
     }
 
     /// The name of the backend the engine's strategy resolves to before

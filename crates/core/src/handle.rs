@@ -107,6 +107,23 @@ impl EngineHandle {
         &self.core.statistics
     }
 
+    /// Number of shards of a sharded engine, `0` for a single engine.
+    pub fn shard_count(&self) -> usize {
+        self.core.shards.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Per-shard scattered-execution counts, in shard order (`None` for a
+    /// single engine).  The server's `/metrics` endpoint serves these.
+    pub fn shard_request_counts(&self) -> Option<Vec<u64>> {
+        self.core.shards.as_ref().map(|s| s.request_counts())
+    }
+
+    /// Per-shard planner statistics, in shard order (`None` for a single
+    /// engine).
+    pub fn shard_statistics(&self) -> Option<Vec<EngineStatistics>> {
+        self.core.shards.as_ref().map(|s| s.statistics())
+    }
+
     /// Builds a query-by-example from a real region of the shared dataset.
     pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {
         Ok(AsrsQuery::from_example_region(

@@ -46,6 +46,21 @@
 //! [`EngineHandle`] over the engine's [`std::sync::Arc`]-shared immutable
 //! core, so many threads can submit concurrently.
 //!
+//! # Sharded scatter-gather
+//!
+//! [`EngineBuilder::shards`] partitions the dataset spatially into `n`
+//! disjoint regions (one core and grid index per shard, built in
+//! parallel) and turns execution into a scatter-gather: each shard
+//! answers the candidate anchors its region induces and the per-shard
+//! result sets merge under the deterministic `(distance, anchor.y,
+//! anchor.x)` tie-break.  The gathered outcome is byte-identical for
+//! every shard count — anchors are snapped to canonical arrangement-cell
+//! representatives and pruning retains ties, so the answer is a pure
+//! function of the instance rather than of the decomposition
+//! ([`QueryResponse::stats_stripped`] is the comparison form; execution
+//! statistics, including [`SearchStats::shards_touched`] /
+//! [`SearchStats::shards_pruned`], describe the decomposition that ran).
+//!
 //! # The engine facade
 //!
 //! [`AsrsEngine`] owns the dataset and aggregator, optionally builds a
@@ -119,6 +134,7 @@ mod planner;
 mod query;
 mod request;
 mod result;
+pub(crate) mod shard;
 mod split;
 mod stats;
 
@@ -135,6 +151,7 @@ pub use maxrs::{MaxRsResult, MaxRsSearch};
 pub use naive::NaiveSearch;
 pub use planner::{
     CostEstimate, EngineStatistics, ExecutionPlan, IndexStatistics, PlanReason, Planner,
+    ShardFanOut,
 };
 pub use query::{AsrsQuery, QueryError};
 pub use request::{Backend, QueryOutcome, QueryRequest, QueryResponse, RequestKey};

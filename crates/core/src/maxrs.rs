@@ -84,6 +84,23 @@ impl<'a> MaxRsSearch<'a> {
         &self,
         budget: Option<crate::budget::Budget>,
     ) -> Result<MaxRsResult, AsrsError> {
+        let (aggregator, query) = self.reduction()?;
+        let result = DsSearch::with_config(self.dataset, &aggregator, self.config.clone())
+            .search_within(&query, budget)?;
+        Ok(Self::result_from_search(result))
+    }
+
+    /// The MaxRS → ASRS reduction: a count aggregator over the selection
+    /// plus a target strictly above the attainable maximum, which turns
+    /// minimisation of `|count − target|` into maximisation of the count.
+    /// Shared by the sequential search above and the sharded scatter
+    /// executor (which runs the same reduction per shard).
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::InvalidRegionSize`] when the region size is
+    /// non-positive or non-finite.
+    pub(crate) fn reduction(&self) -> Result<(CompositeAggregator, AsrsQuery), AsrsError> {
         let (w, h) = (self.size.width, self.size.height);
         if !(w.is_finite() && w > 0.0 && h.is_finite() && h > 0.0) {
             return Err(AsrsError::InvalidRegionSize {
@@ -99,23 +116,24 @@ impl<'a> MaxRsSearch<'a> {
             }],
         )
         .expect("a count aggregator is valid for every schema");
-        // A target strictly above the attainable maximum turns
-        // minimisation of |count − target| into maximisation of count.
         let target = self.dataset.len() as f64 + 1.0;
         let query = AsrsQuery::new(
             self.size,
             FeatureVector::new(vec![target]),
             Weights::uniform(1),
         );
-        let result = DsSearch::with_config(self.dataset, &aggregator, self.config.clone())
-            .search_within(&query, budget)?;
+        Ok((aggregator, query))
+    }
+
+    /// Converts the reduced problem's answer back into a [`MaxRsResult`].
+    pub(crate) fn result_from_search(result: crate::result::SearchResult) -> MaxRsResult {
         let count = result.representation[0].round() as usize;
-        Ok(MaxRsResult {
+        MaxRsResult {
             region: result.region,
             anchor: result.anchor,
             count,
             stats: result.stats,
-        })
+        }
     }
 }
 

@@ -8,7 +8,8 @@ use crate::error::AsrsError;
 use crate::grid_index::GridIndex;
 use crate::request::{Backend, QueryRequest};
 use asrs_data::Dataset;
-use asrs_geo::{Rect, RegionSize};
+use asrs_geo::{GridSpec, Rect, RegionSize};
+use serde::Serialize;
 use std::fmt;
 
 /// Dataset and index statistics the planner decides from.
@@ -20,8 +21,30 @@ pub struct EngineStatistics {
     pub object_count: usize,
     /// Bounding box of the dataset (`None` when empty).
     pub extent: Option<Rect>,
-    /// Statistics of the attached grid index, if any.
+    /// Statistics of the attached grid index, if any.  For a sharded
+    /// engine this describes the *reference* (whole-dataset) index
+    /// geometry, deliberately independent of the shard count so identical
+    /// requests plan identically on `shards(1)` and `shards(k)`.
     pub index: Option<IndexStatistics>,
+    /// Shard fan-out of a sharded engine (`None` on single engines).
+    /// Descriptive only: the backend decision never reads it, again so
+    /// that plans — and therefore responses — are shard-count-invariant.
+    pub shards: Option<ShardFanOut>,
+}
+
+/// Fan-out description of a sharded engine, surfaced by
+/// [`ExecutionPlan::explain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardFanOut {
+    /// Number of shards the dataset was partitioned into.
+    pub shards: usize,
+    /// Shards that actually hold objects.  An *estimate* of the execution
+    /// fan-out: routing decides per request by slab reachability (an empty
+    /// shard still executes when a neighbour's rectangles reach its anchor
+    /// slab, and a populated shard is skipped when none do), so the
+    /// per-request `shards_touched` counter can differ in either
+    /// direction.
+    pub populated: usize,
 }
 
 /// Grid-index statistics consumed by the cost model.
@@ -57,7 +80,42 @@ impl EngineStatistics {
             object_count: dataset.len(),
             extent: dataset.bounding_box(),
             index: index_stats,
+            shards: None,
         }
+    }
+}
+
+impl IndexStatistics {
+    /// The statistics a `cols × rows` [`GridIndex`] over `dataset` *would*
+    /// have, computed without building it.
+    ///
+    /// Used by the sharded engine builder: a sharded engine builds one
+    /// index per shard rather than a whole-dataset index, but its planner
+    /// must still decide from whole-dataset index geometry so the chosen
+    /// backend is identical for every shard count.  The formulas replicate
+    /// [`EngineStatistics::capture`] over [`GridIndex::build`]'s grid
+    /// specification bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::EmptyDataset`] when the dataset has no object (the same
+    /// condition under which [`GridIndex::build`] refuses to index).
+    pub fn virtual_for(dataset: &Dataset, cols: usize, rows: usize) -> Result<Self, AsrsError> {
+        if cols == 0 || rows == 0 {
+            return Err(crate::error::ConfigError::InvalidIndexGranularity { cols, rows }.into());
+        }
+        let bbox = dataset
+            .relative_padded_bounding_box(0.5, 1.0)
+            .ok_or(AsrsError::EmptyDataset)?;
+        let spec = GridSpec::new(bbox, cols, rows);
+        let cells = (cols * rows).max(1) as f64;
+        Ok(Self {
+            cols,
+            rows,
+            cell_width: spec.cell_width(),
+            cell_height: spec.cell_height(),
+            avg_objects_per_cell: dataset.len() as f64 / cells,
+        })
     }
 }
 
@@ -139,6 +197,8 @@ pub struct ExecutionPlan {
     pub span_ratio: Option<(f64, f64)>,
     /// Wall-clock budget the request carries, in milliseconds.
     pub budget_ms: Option<u64>,
+    /// Scatter fan-out of a sharded engine, when planning for one.
+    pub fan_out: Option<ShardFanOut>,
 }
 
 impl ExecutionPlan {
@@ -166,6 +226,12 @@ impl ExecutionPlan {
             None => out.push_str(", gi-ds unavailable (no index)"),
         }
         out.push_str(&format!(", naive ≈ {:.3e} units", self.estimates.naive));
+        if let Some(fan_out) = self.fan_out {
+            out.push_str(&format!(
+                "; fan-out: scatter over {} of {} shards",
+                fan_out.populated, fan_out.shards
+            ));
+        }
         match self.budget_ms {
             Some(ms) => out.push_str(&format!("; budget: {ms} ms")),
             None => out.push_str("; budget: none"),
@@ -349,6 +415,7 @@ impl Planner {
             estimates,
             span_ratio,
             budget_ms,
+            fan_out: stats.shards,
         })
     }
 
@@ -409,6 +476,7 @@ mod tests {
                 cell_height: 5.0,
                 avg_objects_per_cell: n as f64 / 400.0,
             }),
+            shards: None,
         }
     }
 

@@ -457,6 +457,31 @@ impl QueryResponse {
             _ => None,
         }
     }
+
+    /// A copy of the response with every [`SearchStats`] record (top-level
+    /// and per-result) reset to its default.
+    ///
+    /// This is the comparison form of the sharded-engine parity guarantee:
+    /// outcomes — regions, anchors, distances, representations, counts and
+    /// the chosen backend — are byte-identical across shard counts, while
+    /// the statistics necessarily describe the decomposition that ran
+    /// (different shard counts discretise different sub-spaces and report
+    /// different wall clocks).  Differential tests serialize
+    /// `stats_stripped()` responses and compare the bytes.
+    pub fn stats_stripped(&self) -> QueryResponse {
+        let mut stripped = self.clone();
+        stripped.stats = SearchStats::default();
+        match &mut stripped.outcome {
+            QueryOutcome::Best(r) => r.stats = SearchStats::default(),
+            QueryOutcome::Ranked(rs) | QueryOutcome::Batch(rs) => {
+                for r in rs {
+                    r.stats = SearchStats::default();
+                }
+            }
+            QueryOutcome::MaxRs(r) => r.stats = SearchStats::default(),
+        }
+        stripped
+    }
 }
 
 #[cfg(test)]

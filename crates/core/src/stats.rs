@@ -50,6 +50,13 @@ pub struct SearchStats {
     pub cache_hits: u64,
     /// Query-result cache misses (see [`SearchStats::cache_hits`]).
     pub cache_misses: u64,
+    /// Shards that executed part of this search (sharded engines only;
+    /// zero on single-engine runs).
+    pub shards_touched: u64,
+    /// Shards skipped because no ASP rectangle reached their anchor slab —
+    /// e.g. empty shards, or shards outside the instance's search space
+    /// (sharded engines only).
+    pub shards_pruned: u64,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
 }
@@ -87,6 +94,8 @@ impl SearchStats {
         self.non_finite_candidates += other.non_finite_candidates;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.shards_touched += other.shards_touched;
+        self.shards_pruned += other.shards_pruned;
         self.elapsed += other.elapsed;
     }
 }

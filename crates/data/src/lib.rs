@@ -11,6 +11,8 @@
 //! * [`SpatialObject`] — a location plus one value per schema attribute.
 //! * [`Dataset`] — an immutable collection of objects sharing a schema, with
 //!   bounding-box, sampling and region-extraction helpers.
+//! * [`SpatialPartition`] — longest-axis recursive spatial partitioning of a
+//!   dataset into `n` shard regions (the data layout of the sharded engine).
 //! * [`io`] — a small CSV-like text format for saving and loading datasets.
 //! * [`gen`] — synthetic workload generators reproducing the statistical
 //!   shape of the paper's datasets (Tweet, POISyn, and the Singapore POI
@@ -23,10 +25,12 @@ mod dataset;
 pub mod gen;
 pub mod io;
 mod object;
+mod partition;
 mod schema;
 mod value;
 
 pub use dataset::{Dataset, DatasetBuilder};
 pub use object::SpatialObject;
+pub use partition::SpatialPartition;
 pub use schema::{AttributeDef, AttributeKind, Schema, SchemaError};
 pub use value::AttrValue;

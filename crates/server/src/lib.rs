@@ -48,5 +48,5 @@ mod metrics;
 mod server;
 
 pub use http::HttpClient;
-pub use metrics::{CacheSnapshot, MetricsSnapshot};
+pub use metrics::{CacheSnapshot, MetricsSnapshot, ShardsSnapshot};
 pub use server::{status_for, AsrsServer, ServerConfig, ServerHandle};

@@ -66,8 +66,14 @@ impl ServerMetrics {
     /// A point-in-time snapshot.  `cache` carries the engine's query-result
     /// cache counters when one is attached; they are also surfaced in
     /// `search.cache_hits` / `search.cache_misses`, keeping the whole
-    /// search-side story in one [`SearchStats`] value.
-    pub(crate) fn snapshot(&self, cache: Option<CacheStats>) -> MetricsSnapshot {
+    /// search-side story in one [`SearchStats`] value.  `shard_requests`
+    /// carries the engine's per-shard scattered-execution counts when the
+    /// engine is sharded.
+    pub(crate) fn snapshot(
+        &self,
+        cache: Option<CacheStats>,
+        shard_requests: Option<Vec<u64>>,
+    ) -> MetricsSnapshot {
         let mut search = self.search.lock().expect("metrics mutex poisoned").clone();
         let cache = cache.map(|c| {
             search.cache_hits = c.hits;
@@ -80,6 +86,10 @@ impl ServerMetrics {
                 capacity: c.capacity as u64,
             }
         });
+        let shards = shard_requests.map(|requests| ShardsSnapshot {
+            shard_count: requests.len() as u64,
+            requests,
+        });
         MetricsSnapshot {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             requests_total: self.requests_total.load(Ordering::Relaxed),
@@ -89,9 +99,21 @@ impl ServerMetrics {
             plans_explained: self.plans_explained.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             cache,
+            shards,
             search,
         }
     }
+}
+
+/// Per-shard serving counters of a sharded engine, as served by `/metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardsSnapshot {
+    /// Number of shards the engine was built with.
+    pub shard_count: u64,
+    /// Scattered executions each shard participated in, in shard order.
+    /// A shard skipped by routing (no rectangle reached its slab) is not
+    /// counted, so the spread shows how evenly the partition carries load.
+    pub requests: Vec<u64>,
 }
 
 /// Query-result cache counters as served by `/metrics`.
@@ -128,6 +150,8 @@ pub struct MetricsSnapshot {
     pub protocol_errors: u64,
     /// Engine query-result cache counters (absent without a cache).
     pub cache: Option<CacheSnapshot>,
+    /// Per-shard request counters (absent on single-engine deployments).
+    pub shards: Option<ShardsSnapshot>,
     /// Merged statistics of every successful query; `cache_hits` /
     /// `cache_misses` mirror the cache counters above.
     pub search: SearchStats,

@@ -135,9 +135,10 @@ impl ServerHandle {
 
     /// A metrics snapshot, as `GET /metrics` would serve it.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared
-            .metrics
-            .snapshot(self.shared.engine.cache_stats())
+        self.shared.metrics.snapshot(
+            self.shared.engine.cache_stats(),
+            self.shared.engine.shard_request_counts(),
+        )
     }
 
     /// Stops accepting, drains queued connections, and joins every thread.
@@ -285,7 +286,10 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
         ("GET" | "POST", "/explain") => handle_explain(shared, &request.body),
         ("GET", "/metrics") => (
             200,
-            serde::json::to_string(&shared.metrics.snapshot(shared.engine.cache_stats())),
+            serde::json::to_string(&shared.metrics.snapshot(
+                shared.engine.cache_stats(),
+                shared.engine.shard_request_counts(),
+            )),
         ),
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
         (_, "/query" | "/explain" | "/metrics" | "/healthz") => (
@@ -346,6 +350,7 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
                 estimated_work_ds_search: plan.estimates.ds_search,
                 estimated_work_gi_ds: plan.estimates.gi_ds,
                 estimated_work_naive: plan.estimates.naive,
+                shard_fan_out: plan.fan_out,
             };
             (200, serde::json::to_string(&body))
         }
@@ -405,6 +410,7 @@ struct ExplainBody {
     estimated_work_ds_search: f64,
     estimated_work_gi_ds: Option<f64>,
     estimated_work_naive: f64,
+    shard_fan_out: Option<asrs_core::ShardFanOut>,
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ pub mod prelude {
         DsSearch, EngineBuilder, EngineHandle, EngineStatistics, ExecutionPlan, GiDsSearch,
         GridIndex, IndexStatistics, MaxRsResult, MaxRsSearch, NaiveSearch, PlanReason, Planner,
         QueryCache, QueryError, QueryOutcome, QueryRequest, QueryResponse, RequestKey,
-        SearchAlgorithm, SearchConfig, SearchResult, SearchStats, Strategy,
+        SearchAlgorithm, SearchConfig, SearchResult, SearchStats, ShardFanOut, Strategy,
     };
     pub use asrs_data::gen::{
         CityGenerator, CityMap, ClusteredGenerator, District, PoiSynGenerator, TweetGenerator,
@@ -28,10 +28,12 @@ pub mod prelude {
     };
     pub use asrs_data::{
         AttrValue, AttributeDef, AttributeKind, Dataset, DatasetBuilder, Schema, SpatialObject,
+        SpatialPartition,
     };
     pub use asrs_geo::{Accuracy, GridSpec, Point, Rect, RegionSize};
     pub use asrs_server::{
         AsrsServer, CacheSnapshot, HttpClient, MetricsSnapshot, ServerConfig, ServerHandle,
+        ShardsSnapshot,
     };
 }
 

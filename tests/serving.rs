@@ -114,6 +114,126 @@ fn batch_results_expose_per_query_outcomes() {
         .is_err());
 }
 
+/// Hammer a *sharded* engine handle from eight threads with a mixed
+/// workload: every response must be deterministic across threads and
+/// repetitions, and — because the cache was warmed first — must replay the
+/// warm bytes exactly (statistics included).  This is the serving-side
+/// guarantee of the scatter-gather executor: concurrency and shard count
+/// are invisible to clients.
+#[test]
+fn sharded_handles_are_deterministic_under_concurrency() {
+    let (ds, agg) = workload(320, 23);
+    let engine = AsrsEngine::builder(ds, agg)
+        .shards(3)
+        .build_index(16, 16)
+        .cache_capacity(64)
+        .build()
+        .unwrap();
+    assert_eq!(engine.shard_count(), 3);
+    let handle = engine.handle();
+
+    let requests: Vec<QueryRequest> = vec![
+        QueryRequest::similar(sample_query(1)),
+        QueryRequest::top_k(sample_query(2), 3),
+        QueryRequest::batch(vec![sample_query(1), sample_query(4)]),
+        QueryRequest::approximate(sample_query(3), 0.2),
+        QueryRequest::max_rs(RegionSize::new(12.0, 12.0)),
+        QueryRequest::similar(sample_query(5)).with_budget_ms(120_000),
+    ];
+    // Warm the cache serially so every concurrent submission below is a
+    // replay (two simultaneous cold misses would both compute, and wall
+    // clocks differ between computations).
+    let warm: Vec<String> = requests
+        .iter()
+        .map(|r| serde::json::to_string(&handle.submit(r).unwrap()))
+        .collect();
+
+    let handle_ref = &handle;
+    let outcomes: Vec<Vec<String>> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|t| {
+                let handle = handle_ref.clone();
+                let requests = &requests;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for round in 0..4 {
+                        for slot in 0..requests.len() {
+                            // Interleave differently per thread/round.
+                            let i = (slot + t + round) % requests.len();
+                            let response = handle.submit(&requests[i]).unwrap();
+                            out.push(format!("{i}:{}", serde::json::to_string(&response)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect()
+    });
+    for per_thread in &outcomes {
+        for line in per_thread {
+            let (i, body) = line.split_once(':').unwrap();
+            let i: usize = i.parse().unwrap();
+            assert_eq!(
+                body, warm[i],
+                "a concurrent replay must be byte-identical to the warm response"
+            );
+        }
+    }
+    // Every populated shard served scattered executions.
+    let counts = handle.shard_request_counts().unwrap();
+    assert_eq!(counts.len(), 3);
+    assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+}
+
+/// The HTTP surface serves a sharded engine transparently and exposes the
+/// per-shard request counters through `/metrics`.
+#[test]
+fn http_serves_sharded_engines_with_shard_metrics() {
+    let (ds, agg) = workload(280, 31);
+    let engine = AsrsEngine::builder(ds, agg)
+        .shards(4)
+        .build_index(16, 16)
+        .cache_capacity(32)
+        .build()
+        .unwrap();
+    let server = AsrsServer::bind(engine.handle(), "127.0.0.1:0", ServerConfig::default())
+        .and_then(AsrsServer::start)
+        .unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let request = QueryRequest::similar(sample_query(2));
+    let (status, over_wire) = client
+        .request("POST", "/query", &serde::json::to_string(&request))
+        .unwrap();
+    assert_eq!(status, 200, "{over_wire}");
+    let direct = serde::json::to_string(&engine.handle().submit(&request).unwrap());
+    assert_eq!(over_wire, direct, "wire and handle answers agree");
+
+    let metrics = server.metrics();
+    let shards = metrics
+        .shards
+        .expect("sharded engine exposes shard metrics");
+    assert_eq!(shards.shard_count, 4);
+    assert_eq!(shards.requests.len(), 4);
+    assert!(shards.requests.iter().sum::<u64>() > 0);
+    let (status, body) = client.request("GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"shard_count\":4"), "{body}");
+
+    // /explain names the scatter fan-out.
+    let (status, body) = client
+        .request("GET", "/explain", &serde::json::to_string(&request))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("shard_fan_out"), "{body}");
+
+    drop(client);
+    server.shutdown();
+}
+
 /// Deadlines behave identically over the wire and in process: a spent
 /// budget is 408 on HTTP and `DeadlineExceeded` on the handle, and a
 /// generous budget succeeds on both.
