@@ -21,6 +21,7 @@
 //! | sum(A)          | (positive sum, negative sum)| 1             |
 //! | count           | (count)                     | 1             |
 
+use crate::kahan::StatsAccumulator;
 use crate::{
     distance_lower_bound, weighted_distance, AggregatorKind, DistanceMetric, FeatureVector,
     Selection, Weights,
@@ -301,16 +302,64 @@ impl CompositeAggregator {
         }
     }
 
-    /// Computes the statistics vector of a set of objects.
+    /// Adds the contribution of one object to a compensated
+    /// [`StatsAccumulator`], the Kahan–Neumaier sibling of
+    /// [`CompositeAggregator::accumulate_object`].
+    ///
+    /// Count-like slots (distribution counts, object counts) sum small
+    /// integers, which float addition handles exactly in any order; the
+    /// compensation pays off on the `sum` and `average` aggregators, whose
+    /// slots sum arbitrary attribute values — there it keeps the
+    /// accumulated statistics at the correctly rounded sum, which is
+    /// order-independent, instead of drifting with the accumulation order.
+    pub fn accumulate_object_into(&self, object: &SpatialObject, acc: &mut StatsAccumulator) {
+        debug_assert_eq!(acc.dim(), self.stats_dim);
+        for (spec, layout) in self.specs.iter().zip(&self.layouts) {
+            if !spec.selection.accepts(object) {
+                continue;
+            }
+            let base = layout.stats_offset;
+            match spec.kind {
+                AggregatorKind::Distribution { attr } => {
+                    if let Some(value) = object.cat_value(attr) {
+                        let idx = value as usize;
+                        if idx < layout.stats_len {
+                            acc.add(base + idx, 1.0);
+                        }
+                    }
+                }
+                AggregatorKind::Average { attr } => {
+                    if let Some(value) = object.num_value(attr) {
+                        acc.add(base, value);
+                        acc.add(base + 1, 1.0);
+                    }
+                }
+                AggregatorKind::Sum { attr } => {
+                    if let Some(value) = object.num_value(attr) {
+                        if value >= 0.0 {
+                            acc.add(base, value);
+                        } else {
+                            acc.add(base + 1, value);
+                        }
+                    }
+                }
+                AggregatorKind::Count => acc.add(base, 1.0),
+            }
+        }
+    }
+
+    /// Computes the statistics vector of a set of objects, with compensated
+    /// (Kahan–Neumaier) summation so float-sum slots land on the correctly
+    /// rounded — and therefore order-independent — total.
     pub fn stats_of<'a, I>(&self, objects: I) -> Vec<f64>
     where
         I: IntoIterator<Item = &'a SpatialObject>,
     {
-        let mut stats = vec![0.0; self.stats_dim];
+        let mut acc = StatsAccumulator::new(self.stats_dim);
         for o in objects {
-            self.accumulate_object(o, &mut stats);
+            self.accumulate_object_into(o, &mut acc);
         }
-        stats
+        acc.finish()
     }
 
     /// Converts a statistics vector into the aggregate representation.
@@ -802,6 +851,53 @@ mod tests {
         // Distance helper agrees with the free function.
         let d = agg.distance(&query, &query, &weights, DistanceMetric::L1);
         assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn float_sum_aggregates_are_order_independent() {
+        // Values chosen so plain `+=` summation visibly depends on the
+        // accumulation order; the compensated `stats_of` must land every
+        // permutation on the same bits.
+        let schema = Schema::new(vec![AttributeDef::new(
+            "delta",
+            AttributeKind::numeric(-1e16, 1e16),
+        )]);
+        let agg = CompositeAggregator::builder(&schema)
+            .sum("delta", Selection::All)
+            .average("delta", Selection::All)
+            .build()
+            .unwrap();
+        let values = [1e16, 3.25, -1e16, 1e8, 0.125, -1e8, 7.5, 1e12, -1e12];
+        let mut objects: Vec<SpatialObject> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| SpatialObject::new(i as u64, Point::origin(), vec![AttrValue::Num(v)]))
+            .collect();
+        let reference = agg.stats_of(objects.iter());
+        for rot in 0..objects.len() {
+            objects.rotate_left(1);
+            let forward = agg.stats_of(objects.iter());
+            let backward = agg.stats_of(objects.iter().rev());
+            for k in 0..agg.stats_dim() {
+                assert_eq!(
+                    forward[k].to_bits(),
+                    reference[k].to_bits(),
+                    "slot {k}, rotation {rot}"
+                );
+                assert_eq!(
+                    backward[k].to_bits(),
+                    reference[k].to_bits(),
+                    "slot {k}, reversed rotation {rot}"
+                );
+            }
+        }
+        // The positive-sum slot holds the correctly rounded total (which a
+        // plain left-to-right `+` chain misses by an ulp here).
+        let mut expected = crate::CompensatedSum::new();
+        for v in [1e16, 3.25, 1e8, 0.125, 7.5, 1e12] {
+            expected.add(v);
+        }
+        assert_eq!(reference[0], expected.value());
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Compensated (Kahan–Neumaier) summation for float statistics.
+//!
+//! Statistics vectors sum floating-point attribute values (the `sum` and
+//! `average` aggregators), and plain `+=` accumulation loses low-order bits
+//! whenever magnitudes differ — worse, the *order* of additions changes
+//! which bits are lost, so two executions summing the same multiset along
+//! different orders (a sharded scatter vs. the unsharded pass, a mutated
+//! engine vs. a fresh rebuild) can disagree in the last ulps.  Compensated
+//! summation carries the rounding error of every addition in a second
+//! float and folds it back at the end, which keeps the result at (or
+//! within one ulp of) the correctly rounded sum for any realistic
+//! conditioning — and the correctly rounded sum is order-independent by
+//! definition.
+//!
+//! The implementation is Neumaier's variant of Kahan's algorithm: unlike
+//! classic Kahan it stays accurate when an addend exceeds the running sum
+//! in magnitude (the first large value after many small ones).
+
+/// Adds `v` to the running `(sum, compensation)` pair in place.
+///
+/// The true running total is `sum + compensation`; callers fold the
+/// compensation in once, at the end, via [`CompensatedSum::value`] or
+/// [`StatsAccumulator::finish`].
+#[inline]
+pub fn neumaier_add(sum: &mut f64, compensation: &mut f64, v: f64) {
+    let t = *sum + v;
+    if sum.abs() >= v.abs() {
+        *compensation += (*sum - t) + v;
+    } else {
+        *compensation += (v - t) + *sum;
+    }
+    *sum = t;
+}
+
+/// A single compensated accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    /// A zero-valued accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` with compensation.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        neumaier_add(&mut self.sum, &mut self.compensation, v);
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// A compensated statistics vector: one `(sum, compensation)` pair per
+/// statistics slot, sized for a
+/// [`CompositeAggregator`](crate::CompositeAggregator)'s layout.
+///
+/// Use [`CompositeAggregator::accumulate_object_into`](crate::CompositeAggregator::accumulate_object_into)
+/// to add objects and [`StatsAccumulator::finish`] to materialise the
+/// statistics vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsAccumulator {
+    sums: Vec<f64>,
+    compensations: Vec<f64>,
+}
+
+impl StatsAccumulator {
+    /// A zeroed accumulator with `dim` slots.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            sums: vec![0.0; dim],
+            compensations: vec![0.0; dim],
+        }
+    }
+
+    /// Number of slots.
+    pub fn dim(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Adds `v` to slot `k` with compensation.
+    #[inline]
+    pub fn add(&mut self, k: usize, v: f64) {
+        neumaier_add(&mut self.sums[k], &mut self.compensations[k], v);
+    }
+
+    /// Adds a whole contribution vector slot-wise (zero entries skipped).
+    pub fn add_slice(&mut self, contrib: &[f64]) {
+        debug_assert_eq!(contrib.len(), self.sums.len());
+        for (k, v) in contrib.iter().enumerate() {
+            if *v != 0.0 {
+                self.add(k, *v);
+            }
+        }
+    }
+
+    /// Resets every slot to zero without reallocating.
+    pub fn reset(&mut self) {
+        self.sums.iter_mut().for_each(|v| *v = 0.0);
+        self.compensations.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Copies the state of `other` into `self` (dimensions must match).
+    pub fn clone_from_accumulator(&mut self, other: &StatsAccumulator) {
+        self.sums.copy_from_slice(&other.sums);
+        self.compensations.copy_from_slice(&other.compensations);
+    }
+
+    /// Materialises the compensated statistics vector into `out`.
+    pub fn finish_into(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.sums.len());
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.sums[k] + self.compensations[k];
+        }
+    }
+
+    /// Materialises the compensated statistics vector.
+    pub fn finish(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.sums.len()];
+        self.finish_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neumaier_recovers_bits_plain_summation_loses() {
+        // 1e16 + 1.0 + 1.0 - 1e16: plain f64 summation in this order
+        // returns 0 or 2 depending on luck; the compensated sum is exact.
+        let values = [1e16, 1.0, 1.0, -1e16];
+        let plain: f64 = values.iter().sum();
+        let mut comp = CompensatedSum::new();
+        for v in values {
+            comp.add(v);
+        }
+        assert_eq!(comp.value(), 2.0);
+        assert_ne!(plain, 2.0, "plain summation must actually lose the bits");
+    }
+
+    #[test]
+    fn compensated_sums_are_order_independent_on_adversarial_magnitudes() {
+        // The same multiset summed along many different orders must land on
+        // the same bits — the property the sharded/unsharded and
+        // mutated/rebuilt parity of float-sum aggregates rests on.
+        let mut values = vec![1e16, -1e16, 3.25, 1e8, -1e8, 0.125, 7.5, -2.25, 1e12, -1e12];
+        let reference = {
+            let mut c = CompensatedSum::new();
+            values.iter().for_each(|&v| c.add(v));
+            c.value()
+        };
+        // Deterministic permutation sweep (rotate + reverse + interleave).
+        for rot in 0..values.len() {
+            values.rotate_left(1);
+            let mut c = CompensatedSum::new();
+            values.iter().for_each(|&v| c.add(v));
+            assert_eq!(c.value().to_bits(), reference.to_bits(), "rotation {rot}");
+            let mut c = CompensatedSum::new();
+            values.iter().rev().for_each(|&v| c.add(v));
+            assert_eq!(c.value().to_bits(), reference.to_bits(), "reversed {rot}");
+        }
+        assert_eq!(reference, 8.625);
+    }
+
+    #[test]
+    fn accumulator_tracks_slots_independently() {
+        let mut acc = StatsAccumulator::new(2);
+        acc.add_slice(&[1e16, 1.0]);
+        acc.add_slice(&[1.0, 0.0]);
+        acc.add_slice(&[-1e16, 2.0]);
+        assert_eq!(acc.finish(), vec![1.0, 3.0]);
+        assert_eq!(acc.dim(), 2);
+        acc.reset();
+        assert_eq!(acc.finish(), vec![0.0, 0.0]);
+    }
+}

@@ -32,11 +32,13 @@
 mod composite;
 mod distance;
 mod feature;
+mod kahan;
 mod kind;
 mod selection;
 
 pub use composite::{AggregatorError, AggregatorSpec, CompositeAggregator, CompositeBuilder};
 pub use distance::{distance_lower_bound, weighted_distance, DistanceMetric};
 pub use feature::{FeatureVector, Weights};
+pub use kahan::{neumaier_add, CompensatedSum, StatsAccumulator};
 pub use kind::AggregatorKind;
 pub use selection::Selection;

@@ -71,7 +71,8 @@ fn fig8(scale: f64) {
         let base_engine = AsrsEngine::builder(base_dataset.clone(), base_aggregator)
             .build()
             .expect("valid configuration");
-        let sweep = SweepBase::new(base_engine.dataset(), base_engine.aggregator());
+        let (base_ds, base_agg) = (base_engine.dataset(), base_engine.aggregator());
+        let sweep = SweepBase::new(&base_ds, &base_agg);
         let mut table = Table::new(
             &format!(
                 "Figure 8 ({}): runtime vs query rectangle size (DS-Search at n={n}, Base at n={base_n})",
@@ -156,7 +157,8 @@ fn fig10(scale: f64) {
             let started = Instant::now();
             engine.submit(&request).unwrap();
             let ds_time = started.elapsed();
-            let sweep = SweepBase::new(engine.dataset(), engine.aggregator());
+            let (sweep_ds, sweep_agg) = (engine.dataset(), engine.aggregator());
+            let sweep = SweepBase::new(&sweep_ds, &sweep_agg);
             let started = Instant::now();
             engine.search_with(&sweep, &query).unwrap();
             let base_time = started.elapsed();

@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! server_load [--smoke] [--objects N] [--clients C] [--requests R]
-//!             [--cache N] [--shards S] [--out PATH]
+//!             [--cache N] [--shards S] [--append-every A] [--rate R]
+//!             [--out PATH]
 //! ```
 //!
 //! Without `--shards` one row is written (a single JSON object, as
@@ -17,6 +18,20 @@
 //! unsharded, once on an `EngineBuilder::shards(S)` engine — and the file
 //! holds a JSON array of the two rows, making the sharding axis directly
 //! comparable.
+//!
+//! `--append-every A` adds a *mixed read/append* row: every client issues
+//! a `POST /append` (a fresh object with a unique id) after every `A`
+//! queries, so the measured window spans live generational mutations —
+//! cache hit rate under churn, mutation throughput and the final engine
+//! generation are reported.
+//!
+//! `--rate R` switches the generator from closed-loop (send, wait, send)
+//! to **open-loop** (constant aggregate rate of `R` requests/second split
+//! evenly across clients).  Each request has a *scheduled* start time and
+//! latency is measured from the schedule, not from the actual send —
+//! closed-loop latencies silently pause the clock while the server makes
+//! the client wait (coordinated omission), so they understate
+//! latency-under-saturation; the open-loop numbers do not.
 //!
 //! Cache metrics are reported per phase: the cache-identity probe that
 //! precedes the measured run warms the cache, so the steady-state hit rate
@@ -46,6 +61,10 @@ struct Args {
     requests_per_client: usize,
     cache_capacity: usize,
     shards: usize,
+    /// Issue one append per client after every N queries (0 = read-only).
+    append_every: usize,
+    /// Open-loop aggregate request rate in req/s (0 = closed loop).
+    rate: usize,
     out: String,
 }
 
@@ -58,6 +77,8 @@ impl Args {
             requests_per_client: 200,
             cache_capacity: 1024,
             shards: 0,
+            append_every: 0,
+            rate: 0,
             out: "BENCH_server.json".to_string(),
         };
         let mut it = std::env::args().skip(1);
@@ -74,6 +95,8 @@ impl Args {
                 "--requests" => args.requests_per_client = num("--requests"),
                 "--cache" => args.cache_capacity = num("--cache"),
                 "--shards" => args.shards = num("--shards"),
+                "--append-every" => args.append_every = num("--append-every"),
+                "--rate" => args.rate = num("--rate"),
                 "--out" => args.out = it.next().expect("--out expects a path"),
                 other => panic!("unknown flag {other:?}"),
             }
@@ -91,6 +114,7 @@ impl Args {
 /// request past the first pool lap is a cache hit.
 fn request_pool(workload: Workload, engine: &AsrsEngine) -> Vec<QueryRequest> {
     let dataset = engine.dataset();
+    let dataset = &*dataset;
     let mut pool = Vec::new();
     for k in [10.0, 20.0, 40.0, 80.0] {
         pool.push(QueryRequest::similar(workload.query(dataset, k)));
@@ -118,28 +142,71 @@ fn request_pool(workload: Workload, engine: &AsrsEngine) -> Vec<QueryRequest> {
 #[derive(Debug, Default)]
 struct ClientOutcome {
     latencies_us: Vec<u64>,
+    mutations_applied: usize,
     http_errors: usize,
     protocol_errors: usize,
 }
 
-fn drive_client(
+/// One client's work order: the shared query pool, its own append bodies
+/// (unique ids), and — in open-loop mode — the fixed schedule its sends
+/// must follow regardless of how slowly the server answers.
+struct ClientPlan<'a> {
     addr: SocketAddr,
-    bodies: &[String],
+    bodies: &'a [String],
     offset: usize,
     requests: usize,
-) -> ClientOutcome {
+    /// Issue `append_bodies[j]` after every `append_every` queries
+    /// (0 = read-only client).
+    append_every: usize,
+    append_bodies: Vec<String>,
+    /// Open-loop schedule: request `i` is *due* at `start + i · interval`,
+    /// and its latency is measured from that due time.  `None` = closed
+    /// loop (latency from the actual send).
+    schedule: Option<(Instant, f64)>,
+}
+
+fn drive_client(plan: ClientPlan<'_>) -> ClientOutcome {
     let mut outcome = ClientOutcome::default();
-    let Ok(mut client) = HttpClient::connect(addr) else {
+    let Ok(mut client) = HttpClient::connect(plan.addr) else {
         outcome.protocol_errors += 1;
         return outcome;
     };
-    for i in 0..requests {
-        let body = &bodies[(offset + i) % bodies.len()];
+    let mut next_append = 0usize;
+    for i in 0..plan.requests {
+        // Open loop: wait for the scheduled send time (if the server is
+        // behind, don't wait — the backlog is exactly what we measure),
+        // and clock the request from the schedule.
+        let scheduled = plan.schedule.map(|(start, interval_s)| {
+            let due = start + std::time::Duration::from_secs_f64(interval_s * i as f64);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            due
+        });
+        let is_append = plan.append_every > 0
+            && i > 0
+            && i % plan.append_every == 0
+            && next_append < plan.append_bodies.len();
+        let (path, body) = if is_append {
+            let body = &plan.append_bodies[next_append];
+            next_append += 1;
+            ("/append", body)
+        } else {
+            (
+                "/query",
+                &plan.bodies[(plan.offset + i) % plan.bodies.len()],
+            )
+        };
         let started = Instant::now();
-        match client.request("POST", "/query", body) {
-            Ok((200, _)) => outcome
-                .latencies_us
-                .push(started.elapsed().as_micros() as u64),
+        match client.request("POST", path, body) {
+            Ok((200, _)) => {
+                if is_append {
+                    outcome.mutations_applied += 1;
+                } else {
+                    let from = scheduled.unwrap_or(started);
+                    outcome.latencies_us.push(from.elapsed().as_micros() as u64);
+                }
+            }
             Ok((status, response)) => {
                 eprintln!("unexpected status {status}: {response}");
                 outcome.http_errors += 1;
@@ -149,7 +216,7 @@ fn drive_client(
                 outcome.protocol_errors += 1;
                 // Reconnect and keep going; a load generator should not
                 // stop at the first hiccup.
-                match HttpClient::connect(addr) {
+                match HttpClient::connect(plan.addr) {
                     Ok(fresh) => client = fresh,
                     Err(_) => return outcome,
                 }
@@ -176,8 +243,18 @@ struct BenchReport {
     requests_per_client: usize,
     cache_capacity: usize,
     shards: usize,
+    /// One append per client after every N queries (0 = read-only phase).
+    append_every: usize,
+    /// Open-loop aggregate request rate in req/s (0 = closed loop); when
+    /// set, latencies are measured from the schedule, so queueing delay
+    /// under saturation is included (no coordinated omission).
+    open_loop_rate_rps: usize,
     server_workers: usize,
     requests_total: usize,
+    /// Appends applied during the measured window.
+    mutations_applied: usize,
+    /// Engine generation when the measured window closed.
+    final_generation: u64,
     http_errors: usize,
     protocol_errors: usize,
     elapsed_ms: f64,
@@ -197,12 +274,13 @@ struct BenchReport {
 }
 
 /// Runs one measured serving phase (build → probe → load → metrics →
-/// shutdown) with the given shard count (`0` = classic single engine).
-fn run_phase(args: &Args, shards: usize) -> BenchReport {
+/// shutdown) with the given shard count (`0` = classic single engine) and
+/// mutation mix (`append_every` queries per append, `0` = read-only).
+fn run_phase(args: &Args, shards: usize, append_every: usize) -> BenchReport {
     let workload = Workload::Tweet;
     eprintln!(
-        "building engine: {} objects, cache capacity {}, shards {} ...",
-        args.objects, args.cache_capacity, shards
+        "building engine: {} objects, cache capacity {}, shards {}, append-every {} ...",
+        args.objects, args.cache_capacity, shards, append_every
     );
     let dataset = workload.dataset(args.objects, 42);
     let aggregator = workload.aggregator(&dataset);
@@ -240,12 +318,59 @@ fn run_phase(args: &Args, shards: usize) -> BenchReport {
     // probe, not to the measured window.
     let warmup = engine.cache_stats().expect("engine has a cache");
 
+    // Per-client append bodies: unique ids, locations spread over the
+    // extent, attribute values copied from a real object (schema-valid).
+    let template = engine.dataset().object(0).values.clone();
+    let bbox = engine.dataset().bounding_box().expect("non-empty dataset");
+    let append_bodies_for = |client: usize| -> Vec<String> {
+        if append_every == 0 {
+            return Vec::new();
+        }
+        let count = args.requests_per_client / append_every + 1;
+        (0..count)
+            .map(|j| {
+                let id = 10_000_000 + (client as u64) * 100_000 + j as u64;
+                let f = ((client * 131 + j * 17) % 97) as f64 / 97.0;
+                let g = ((client * 29 + j * 43) % 89) as f64 / 89.0;
+                let object = asrs_data::SpatialObject::new(
+                    id,
+                    asrs_geo::Point::new(
+                        bbox.min_x + bbox.width() * f,
+                        bbox.min_y + bbox.height() * g,
+                    ),
+                    template.clone(),
+                );
+                format!("{{\"object\":{}}}", serde::json::to_string(&object))
+            })
+            .collect()
+    };
+
+    // Open-loop schedule: the aggregate rate splits evenly across clients
+    // and every client's clock starts at the same instant.
+    let open_loop_start = Instant::now();
+    let per_client_interval_s = if args.rate > 0 {
+        Some(args.clients as f64 / args.rate as f64)
+    } else {
+        None
+    };
+
     let started = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         (0..args.clients)
             .map(|c| {
                 let bodies = &bodies;
-                scope.spawn(move || drive_client(addr, bodies, c * 3, args.requests_per_client))
+                let append_bodies = append_bodies_for(c);
+                scope.spawn(move || {
+                    drive_client(ClientPlan {
+                        addr,
+                        bodies,
+                        offset: c * 3,
+                        requests: args.requests_per_client,
+                        append_every,
+                        append_bodies,
+                        schedule: per_client_interval_s.map(|s| (open_loop_start, s)),
+                    })
+                })
             })
             .collect::<Vec<_>>()
             .into_iter()
@@ -253,6 +378,7 @@ fn run_phase(args: &Args, shards: usize) -> BenchReport {
             .collect()
     });
     let elapsed = started.elapsed();
+    let final_generation = engine.generation();
 
     // Read /metrics over the wire (smoke for the endpoint), but take the
     // authoritative numbers from the in-process handle.
@@ -282,6 +408,8 @@ fn run_phase(args: &Args, shards: usize) -> BenchReport {
     let steady_misses = cache.misses - warmup.misses;
     let steady_lookups = steady_hits + steady_misses;
 
+    let mutations_applied: usize = outcomes.iter().map(|o| o.mutations_applied).sum();
+
     BenchReport {
         benchmark: "server_load".to_string(),
         smoke: args.smoke,
@@ -290,8 +418,12 @@ fn run_phase(args: &Args, shards: usize) -> BenchReport {
         requests_per_client: args.requests_per_client,
         cache_capacity: args.cache_capacity,
         shards,
+        append_every,
+        open_loop_rate_rps: args.rate,
         server_workers,
         requests_total: args.clients * args.requests_per_client,
+        mutations_applied,
+        final_generation,
         http_errors,
         protocol_errors,
         elapsed_ms: elapsed.as_secs_f64() * 1000.0,
@@ -316,7 +448,7 @@ fn run_phase(args: &Args, shards: usize) -> BenchReport {
 }
 
 fn print_report(report: &BenchReport) {
-    let label = if report.shards > 0 {
+    let mut label = if report.shards > 0 {
         format!(
             "Serving load, sharded x{} (mixed workload over HTTP/1.1 keep-alive)",
             report.shards
@@ -324,6 +456,15 @@ fn print_report(report: &BenchReport) {
     } else {
         "Serving load (mixed workload over HTTP/1.1 keep-alive)".to_string()
     };
+    if report.append_every > 0 {
+        label.push_str(&format!(" + 1 append per {} queries", report.append_every));
+    }
+    if report.open_loop_rate_rps > 0 {
+        label.push_str(&format!(
+            " [open loop @ {} req/s]",
+            report.open_loop_rate_rps
+        ));
+    }
     let mut table = Table::new(&label, &["metric", "value"]);
     table.row(vec![
         "requests ok".into(),
@@ -349,6 +490,12 @@ fn print_report(report: &BenchReport) {
             report.cache_hits + report.cache_misses
         ),
     ]);
+    if report.append_every > 0 {
+        table.row(vec![
+            "mutations applied / final generation".into(),
+            format!("{} / {}", report.mutations_applied, report.final_generation),
+        ]);
+    }
     table.row(vec![
         "errors (http / protocol)".into(),
         format!("{} / {}", report.http_errors, report.protocol_errors),
@@ -369,23 +516,43 @@ fn check_phase(report: &BenchReport) -> bool {
         );
         ok = false;
     }
-    if report.cache_hits == 0 {
+    if report.append_every == 0 && report.cache_hits == 0 {
+        // A read-only repeated workload must hit; under churn every
+        // mutation moves the engine to a fresh (generation-stamped) key
+        // space, so a low hit rate there is expected, not a failure.
         eprintln!(
             "FAIL: a repeated workload must produce cache hits (shards {})",
             report.shards
         );
         ok = false;
     }
+    if report.append_every > 0 {
+        if report.mutations_applied == 0 {
+            eprintln!("FAIL: the mixed phase applied no mutation");
+            ok = false;
+        }
+        if report.final_generation < report.mutations_applied as u64 {
+            eprintln!(
+                "FAIL: generation {} < mutations {}",
+                report.final_generation, report.mutations_applied
+            );
+            ok = false;
+        }
+    }
     ok
 }
 
 fn main() {
     let args = Args::parse();
-    let reports: Vec<BenchReport> = if args.shards > 0 {
-        vec![run_phase(&args, 0), run_phase(&args, args.shards)]
-    } else {
-        vec![run_phase(&args, 0)]
-    };
+    let mut reports: Vec<BenchReport> = vec![run_phase(&args, 0, 0)];
+    if args.shards > 0 {
+        reports.push(run_phase(&args, args.shards, 0));
+    }
+    if args.append_every > 0 {
+        // The mutation row: same workload, same shard setting as the last
+        // read-only phase, with live appends interleaved.
+        reports.push(run_phase(&args, args.shards, args.append_every));
+    }
 
     let json = if reports.len() == 1 {
         serde::json::to_string(&reports[0])

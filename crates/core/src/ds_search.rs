@@ -418,7 +418,14 @@ impl<'a> DsSearch<'a> {
         budget: Option<&Budget>,
     ) -> Result<(), AsrsError> {
         let dims = self.aggregator.stats_dim();
-        let mut base_stats = vec![0.0; dims];
+        // Compensated (Kahan–Neumaier) accumulators: probe statistics sum
+        // float attribute values, and the compensation keeps each slot at
+        // the correctly rounded total, so the reported representation of a
+        // candidate does not depend on the order the covering rectangles
+        // happened to be accumulated in (which varies with the search-space
+        // decomposition).
+        let mut base_acc = asrs_aggregator::StatsAccumulator::new(dims);
+        let mut probe_acc = asrs_aggregator::StatsAccumulator::new(dims);
         let mut probe_stats = vec![0.0; dims];
         for cell in cells {
             if let Some(b) = budget {
@@ -431,7 +438,7 @@ impl<'a> DsSearch<'a> {
             // Partition the candidates into rectangles fully covering the
             // cell (their contribution is shared by every probe) and
             // rectangles merely crossing it (checked per probe).
-            base_stats.iter_mut().for_each(|v| *v = 0.0);
+            base_acc.reset();
             let mut partial: Vec<u32> = Vec::new();
             let mut xs = vec![rect.min_x, rect.max_x];
             let mut ys = vec![rect.min_y, rect.max_y];
@@ -441,9 +448,9 @@ impl<'a> DsSearch<'a> {
                     continue;
                 }
                 if r.rect.contains_rect(&rect) {
-                    self.aggregator.accumulate_object(
+                    self.aggregator.accumulate_object_into(
                         self.dataset.object(r.object_idx as usize),
-                        &mut base_stats,
+                        &mut base_acc,
                     );
                 } else {
                     partial.push(idx);
@@ -467,16 +474,17 @@ impl<'a> DsSearch<'a> {
                 for wy in ys.windows(2) {
                     let probe = Point::new((wx[0] + wx[1]) / 2.0, (wy[0] + wy[1]) / 2.0);
                     stats.fallback_points += 1;
-                    probe_stats.copy_from_slice(&base_stats);
+                    probe_acc.clone_from_accumulator(&base_acc);
                     for &idx in &partial {
                         let r = &asp.rects()[idx as usize];
                         if r.covers(&probe) {
-                            self.aggregator.accumulate_object(
+                            self.aggregator.accumulate_object_into(
                                 self.dataset.object(r.object_idx as usize),
-                                &mut probe_stats,
+                                &mut probe_acc,
                             );
                         }
                     }
+                    probe_acc.finish_into(&mut probe_stats);
                     let representation = self.aggregator.stats_to_features(&probe_stats);
                     let distance = self.aggregator.distance(
                         &representation,

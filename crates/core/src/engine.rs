@@ -57,15 +57,16 @@ use crate::error::AsrsError;
 use crate::gi_ds::GiDsSearch;
 use crate::grid_index::GridIndex;
 use crate::maxrs::{MaxRsResult, MaxRsSearch};
+use crate::mutate::{MutationPolicy, MutationReceipt, MutationState, MutationStats};
 use crate::naive::NaiveSearch;
 use crate::planner::{EngineStatistics, ExecutionPlan, Planner};
 use crate::query::AsrsQuery;
 use crate::request::{Backend, QueryOutcome, QueryRequest, QueryResponse};
 use crate::result::SearchResult;
 use asrs_aggregator::{CompositeAggregator, Selection};
-use asrs_data::Dataset;
+use asrs_data::{Dataset, MutationLog, SpatialObject};
 use asrs_geo::{Rect, RegionSize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// An interchangeable ASRS search backend.
@@ -269,6 +270,31 @@ enum IndexSpec {
     Attach(GridIndex),
 }
 
+/// How a built engine maintains its indexes under mutation — recorded at
+/// build time so every generation knows what to refresh and at which
+/// granularity (see the [`mutate`](crate::mutate) module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IndexUpkeep {
+    /// No index to maintain.
+    None,
+    /// One whole-dataset index on the engine core: unsharded engines, and
+    /// sharded engines serving statistics from an attached index.
+    PerEngine {
+        /// Rebuild granularity: columns.
+        cols: usize,
+        /// Rebuild granularity: rows.
+        rows: usize,
+    },
+    /// One index per shard (sharded engines that requested an index
+    /// build); the planner reads virtual whole-dataset geometry instead.
+    PerShard {
+        /// Rebuild granularity: columns.
+        cols: usize,
+        /// Rebuild granularity: rows.
+        rows: usize,
+    },
+}
+
 /// Builder for [`AsrsEngine`].  All validation happens in
 /// [`EngineBuilder::build`]; none of the setters can panic.
 #[derive(Debug)]
@@ -281,6 +307,7 @@ pub struct EngineBuilder {
     planner: Planner,
     cache_capacity: usize,
     shards: usize,
+    mutation_policy: MutationPolicy,
 }
 
 impl EngineBuilder {
@@ -294,7 +321,15 @@ impl EngineBuilder {
             planner: Planner::default(),
             cache_capacity: 0,
             shards: 0,
+            mutation_policy: MutationPolicy::default(),
         }
+    }
+
+    /// Replaces the [`MutationPolicy`] governing incremental index
+    /// maintenance and shard re-partitioning under mutation.
+    pub fn mutation_policy(mut self, policy: MutationPolicy) -> Self {
+        self.mutation_policy = policy;
+        self
     }
 
     /// Shards the engine: the dataset is partitioned spatially into `n`
@@ -335,6 +370,17 @@ impl EngineBuilder {
     /// Replaces the cost-based [`Planner`] (e.g. to tune its thresholds).
     pub fn planner(mut self, planner: Planner) -> Self {
         self.planner = planner;
+        self
+    }
+
+    /// Admission control: rejects any request whose planned backend's cost
+    /// estimate exceeds `ceiling` (abstract rectangle-visit units, see
+    /// [`CostEstimate`](crate::CostEstimate)) with
+    /// [`AsrsError::CostCeilingExceeded`] *before* execution, so one
+    /// extent-spanning query cannot starve the worker pool.  Shorthand for
+    /// setting [`Planner::cost_ceiling`].
+    pub fn cost_ceiling(mut self, ceiling: f64) -> Self {
+        self.planner.cost_ceiling = Some(ceiling);
         self
     }
 
@@ -404,21 +450,30 @@ impl EngineBuilder {
         if self.strategy == Strategy::GiDs && index.is_none() {
             return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
         }
+        let upkeep = match &index {
+            None => IndexUpkeep::None,
+            Some(idx) => {
+                let (cols, rows) = idx.granularity();
+                IndexUpkeep::PerEngine { cols, rows }
+            }
+        };
         let statistics = EngineStatistics::capture(&self.dataset, index.as_ref());
-        let cache = (self.cache_capacity > 0).then(|| QueryCache::new(self.cache_capacity));
-        Ok(AsrsEngine {
-            core: Arc::new(EngineCore {
-                dataset: self.dataset,
-                aggregator: self.aggregator,
-                config: self.config,
-                strategy: self.strategy,
-                index,
-                planner: self.planner,
-                statistics,
-                cache,
-                shards: None,
-            }),
-        })
+        let cache =
+            (self.cache_capacity > 0).then(|| Arc::new(QueryCache::new(self.cache_capacity)));
+        Ok(AsrsEngine::from_core(EngineCore {
+            generation: 0,
+            dataset: Arc::new(self.dataset),
+            aggregator: Arc::new(self.aggregator),
+            config: self.config,
+            strategy: self.strategy,
+            index: index.map(Arc::new),
+            upkeep,
+            planner: self.planner,
+            statistics,
+            cache,
+            policy: self.mutation_policy,
+            shards: None,
+        }))
     }
 
     /// The sharded sibling of [`EngineBuilder::build`]: partitions the
@@ -427,24 +482,23 @@ impl EngineBuilder {
     /// statistics so identical requests plan (and answer) identically for
     /// every shard count.
     fn build_sharded(self) -> Result<AsrsEngine, AsrsError> {
-        use crate::planner::{IndexStatistics, ShardFanOut};
-        use crate::shard::{EngineShard, ShardSet};
+        use crate::planner::IndexStatistics;
 
-        let build_granularity = match &self.index {
-            IndexSpec::Build { cols, rows } => Some((*cols, *rows)),
-            _ => None,
-        };
         // The full core keeps an attached whole-dataset index (it is
         // shard-count independent, so it can serve statistics); a
         // *requested* index build happens per shard instead, with the
         // planner reading the whole-dataset index geometry virtually.
-        let (index, mut statistics) = match self.index {
-            IndexSpec::None => (None, EngineStatistics::capture(&self.dataset, None)),
+        let (index, upkeep, mut statistics) = match self.index {
+            IndexSpec::None => (
+                None,
+                IndexUpkeep::None,
+                EngineStatistics::capture(&self.dataset, None),
+            ),
             IndexSpec::Build { cols, rows } => {
                 let virtual_index = IndexStatistics::virtual_for(&self.dataset, cols, rows)?;
                 let mut statistics = EngineStatistics::capture(&self.dataset, None);
                 statistics.index = Some(virtual_index);
-                (None, statistics)
+                (None, IndexUpkeep::PerShard { cols, rows }, statistics)
             }
             IndexSpec::Attach(index) => {
                 if index.stats_dim() != self.aggregator.stats_dim() {
@@ -454,104 +508,119 @@ impl EngineBuilder {
                     });
                 }
                 let statistics = EngineStatistics::capture(&self.dataset, Some(&index));
-                (Some(index), statistics)
+                let (cols, rows) = index.granularity();
+                (
+                    Some(index),
+                    IndexUpkeep::PerEngine { cols, rows },
+                    statistics,
+                )
             }
         };
         if self.strategy == Strategy::GiDs && statistics.index.is_none() {
             return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
         }
 
-        let partition = asrs_data::SpatialPartition::build(&self.dataset, self.shards);
-        let subs = partition.sub_datasets(&self.dataset);
-        statistics.shards = Some(ShardFanOut {
-            shards: partition.shard_count(),
-            populated: subs.iter().filter(|s| !s.is_empty()).count(),
-        });
+        let aggregator = Arc::new(self.aggregator);
+        let shard_set = crate::shard::build_shard_set(
+            &self.dataset,
+            &aggregator,
+            &self.config,
+            self.strategy,
+            &self.planner,
+            upkeep,
+            self.shards,
+            0,
+            &self.mutation_policy,
+        )?;
+        statistics.shards = Some(shard_set.fan_out());
 
-        // Per-shard index builds are independent; fan them out (on
-        // multi-core hosts n small builds finish in a fraction of one
-        // whole-dataset build's wall clock).
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let shard_indexes: Vec<Option<GridIndex>> = match build_granularity {
-            None => subs.iter().map(|_| None).collect(),
-            Some((cols, rows)) => crate::shard::parallel_map(subs.len(), workers, |i| {
-                if subs[i].is_empty() {
-                    Ok(None)
-                } else {
-                    GridIndex::build(&subs[i], &self.aggregator, cols, rows).map(Some)
-                }
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?,
-        };
-
-        // The per-shard cores carry each shard's sub-dataset, index and
-        // statistics.  Today they power per-shard planner statistics,
-        // `/metrics` fan-out accounting and the fan-out estimate in
-        // `explain()`; the scatter executor itself still searches the
-        // shared full instance (exactness over shard-local indexes needs
-        // halo-aware summary tables — a noted ROADMAP follow-up).
-        let shards: Vec<EngineShard> = subs
-            .into_iter()
-            .zip(shard_indexes)
-            .zip(partition.regions().iter().copied())
-            .map(|((sub, shard_index), region)| {
-                let shard_statistics = EngineStatistics::capture(&sub, shard_index.as_ref());
-                EngineShard {
-                    region,
-                    core: EngineCore {
-                        dataset: sub,
-                        aggregator: self.aggregator.clone(),
-                        config: self.config.clone(),
-                        strategy: self.strategy,
-                        index: shard_index,
-                        planner: self.planner.clone(),
-                        statistics: shard_statistics,
-                        cache: None,
-                        shards: None,
-                    },
-                    requests: std::sync::atomic::AtomicU64::new(0),
-                }
-            })
-            .collect();
-
-        let cache = (self.cache_capacity > 0).then(|| QueryCache::new(self.cache_capacity));
-        Ok(AsrsEngine {
-            core: Arc::new(EngineCore {
-                dataset: self.dataset,
-                aggregator: self.aggregator,
-                config: self.config,
-                strategy: self.strategy,
-                index,
-                planner: self.planner,
-                statistics,
-                cache,
-                shards: Some(ShardSet { shards }),
-            }),
-        })
+        let cache =
+            (self.cache_capacity > 0).then(|| Arc::new(QueryCache::new(self.cache_capacity)));
+        Ok(AsrsEngine::from_core(EngineCore {
+            generation: 0,
+            dataset: Arc::new(self.dataset),
+            aggregator,
+            config: self.config,
+            strategy: self.strategy,
+            index: index.map(Arc::new),
+            upkeep,
+            planner: self.planner,
+            statistics,
+            cache,
+            policy: self.mutation_policy,
+            shards: Some(shard_set),
+        }))
     }
 }
 
-/// The shared, immutable heart of an engine: dataset, aggregator, index,
-/// configuration, planner and the statistics the planner decides from.
-/// [`AsrsEngine`] and every [`EngineHandle`](crate::EngineHandle) hold it
-/// behind an [`Arc`], which is what makes handles cheap to clone and safe
-/// to use from many threads at once.
+/// One immutable *generation* of an engine: dataset, aggregator, index,
+/// configuration, planner and the statistics the planner decides from,
+/// stamped with the generation number that produced it.
+///
+/// Queries run against whichever generation they snapshot at submission
+/// ([`EngineShared::load`]); mutations assemble a successor core and swap
+/// it in, so in-flight queries finish on their generation undisturbed —
+/// the epoch-swap concurrency model.  The query-result cache is the one
+/// component *shared across* generations: its keys are generation-stamped
+/// ([`RequestKey::stamped`](crate::RequestKey::stamped)), which makes a
+/// stale hit structurally impossible while superseded entries age out via
+/// LRU.
 #[derive(Debug)]
 pub(crate) struct EngineCore {
-    pub(crate) dataset: Dataset,
-    pub(crate) aggregator: CompositeAggregator,
+    /// Generation number: 0 for a freshly built engine, +1 per applied
+    /// mutation.
+    pub(crate) generation: u64,
+    pub(crate) dataset: Arc<Dataset>,
+    pub(crate) aggregator: Arc<CompositeAggregator>,
     pub(crate) config: SearchConfig,
     pub(crate) strategy: Strategy,
-    pub(crate) index: Option<GridIndex>,
+    pub(crate) index: Option<Arc<GridIndex>>,
+    /// What index maintenance this engine owes under mutation.
+    pub(crate) upkeep: IndexUpkeep,
     pub(crate) planner: Planner,
     pub(crate) statistics: EngineStatistics,
-    pub(crate) cache: Option<QueryCache>,
+    pub(crate) cache: Option<Arc<QueryCache>>,
+    /// Thresholds governing incremental-vs-rebuild and re-partitioning.
+    pub(crate) policy: MutationPolicy,
     /// Shard table of a sharded engine (see [`EngineBuilder::shards`] and
     /// the internal `shard` module); `None` on single engines.
     pub(crate) shards: Option<crate::shard::ShardSet>,
+}
+
+/// The shared state behind [`AsrsEngine`] and every
+/// [`EngineHandle`](crate::EngineHandle): the current generation's core
+/// behind an epoch-swap lock, plus the serialized mutation state.
+///
+/// Readers take the read lock only long enough to clone the inner [`Arc`]
+/// (an `ArcSwap`-style load built from `std`), so query execution never
+/// blocks on mutations; mutators serialize on [`EngineShared::mutator`]
+/// and publish a fully assembled successor core with one write-lock swap.
+#[derive(Debug)]
+pub(crate) struct EngineShared {
+    current: RwLock<Arc<EngineCore>>,
+    pub(crate) mutator: Mutex<MutationState>,
+}
+
+impl EngineShared {
+    pub(crate) fn new(core: EngineCore) -> Self {
+        let state = MutationState::for_core(&core);
+        Self {
+            current: RwLock::new(Arc::new(core)),
+            mutator: Mutex::new(state),
+        }
+    }
+
+    /// Snapshots the current generation.  Cheap: one uncontended read lock
+    /// and one reference-count increment.
+    pub(crate) fn load(&self) -> Arc<EngineCore> {
+        Arc::clone(&self.current.read().expect("engine epoch lock poisoned"))
+    }
+
+    /// Publishes a successor generation.  In-flight queries keep the
+    /// generation they snapshotted.
+    pub(crate) fn swap(&self, core: Arc<EngineCore>) {
+        *self.current.write().expect("engine epoch lock poisoned") = core;
+    }
 }
 
 impl EngineCore {
@@ -570,7 +639,7 @@ impl EngineCore {
             Backend::GiDs => {
                 let index = self
                     .index
-                    .as_ref()
+                    .as_deref()
                     .ok_or(AsrsError::IndexRequired { strategy: "gi-ds" })?;
                 Box::new(GiDsSearch::with_config(
                     &self.dataset,
@@ -595,11 +664,15 @@ impl EngineCore {
     /// first when one is attached.  Only successful responses are cached;
     /// a hit returns the stored response verbatim (byte-identical to the
     /// cold computation), so callers cannot distinguish the two.
+    ///
+    /// Cache keys are stamped with this core's generation, so a response
+    /// computed against one generation can never answer a request running
+    /// against another — the generational cache-invalidation guarantee.
     pub(crate) fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
         let Some(cache) = &self.cache else {
             return self.execute(request);
         };
-        let key = request.cache_key();
+        let key = request.cache_key().stamped(self.generation);
         if let Some(hit) = cache.get(&key) {
             return Ok(hit);
         }
@@ -610,11 +683,12 @@ impl EngineCore {
 
     /// Counters of the attached query-result cache, if any.
     pub(crate) fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(QueryCache::stats)
+        self.cache.as_deref().map(QueryCache::stats)
     }
 
     fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
         let plan = self.plan(request)?;
+        plan.admit()?;
         if self.shards.is_some() {
             return self.execute_sharded(request, &plan);
         }
@@ -655,12 +729,13 @@ impl EngineCore {
         operation: &'static str,
         size: Option<RegionSize>,
     ) -> Result<ExecutionPlan, AsrsError> {
+        let is_max_rs = operation == "max-rs" || operation == "max-rs-selective";
         self.planner.plan_parts(
             &self.statistics,
             self.strategy,
             operation,
             size,
-            false,
+            is_max_rs,
             None,
             None,
         )
@@ -720,6 +795,7 @@ impl EngineCore {
     ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
         let size = crate::request::batch_planning_size(queries);
         let plan = self.plan_legacy("batch", size)?;
+        plan.admit()?;
         if self.shards.is_some() {
             return self.sharded_batch_results(queries, None);
         }
@@ -921,12 +997,17 @@ pub(crate) mod test_hooks {
 
 /// The unified ASRS query engine (see the [crate documentation](crate)).
 ///
-/// The engine is a thin facade over an [`Arc`]-shared immutable core, so
+/// The engine is a thin facade over a *generational* shared state: queries
+/// snapshot the current generation's immutable core and run on it to
+/// completion, while mutations ([`AsrsEngine::append`],
+/// [`AsrsEngine::remove`], TTL expiry) assemble a successor core — with
+/// incrementally maintained indexes — and swap it in atomically.
 /// [`AsrsEngine::handle`] hands out cheap `Clone + Send + Sync`
-/// [`EngineHandle`](crate::EngineHandle)s for concurrent submission.
+/// [`EngineHandle`](crate::EngineHandle)s for concurrent submission *and*
+/// mutation.
 #[derive(Debug)]
 pub struct AsrsEngine {
-    pub(crate) core: Arc<EngineCore>,
+    pub(crate) shared: Arc<EngineShared>,
 }
 
 impl AsrsEngine {
@@ -935,70 +1016,139 @@ impl AsrsEngine {
         EngineBuilder::new(dataset, aggregator)
     }
 
+    pub(crate) fn from_core(core: EngineCore) -> Self {
+        Self {
+            shared: Arc::new(EngineShared::new(core)),
+        }
+    }
+
+    /// Snapshots the current generation's core.
+    pub(crate) fn core(&self) -> Arc<EngineCore> {
+        self.shared.load()
+    }
+
     /// A cheap, cloneable, thread-safe handle submitting to this engine
     /// (see [`EngineHandle`](crate::EngineHandle)).
     pub fn handle(&self) -> crate::EngineHandle {
-        crate::EngineHandle::new(Arc::clone(&self.core))
+        crate::EngineHandle::new(Arc::clone(&self.shared))
     }
 
-    /// The dataset the engine owns.
-    pub fn dataset(&self) -> &Dataset {
-        &self.core.dataset
+    /// The current generation number: 0 for a freshly built engine,
+    /// incremented by every applied mutation.
+    pub fn generation(&self) -> u64 {
+        self.core().generation
     }
 
-    /// The composite aggregator.
-    pub fn aggregator(&self) -> &CompositeAggregator {
-        &self.core.aggregator
+    /// The current generation's dataset.  The returned [`Arc`] pins that
+    /// generation's snapshot: later mutations produce new datasets and do
+    /// not affect it.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&self.core().dataset)
     }
 
-    /// The attached grid index, if any.
-    pub fn index(&self) -> Option<&GridIndex> {
-        self.core.index.as_ref()
+    /// The composite aggregator (shared by every generation).
+    pub fn aggregator(&self) -> Arc<CompositeAggregator> {
+        Arc::clone(&self.core().aggregator)
+    }
+
+    /// The current generation's grid index, if any.
+    pub fn index(&self) -> Option<Arc<GridIndex>> {
+        self.core().index.clone()
     }
 
     /// The search configuration.
-    pub fn config(&self) -> &SearchConfig {
-        &self.core.config
+    pub fn config(&self) -> SearchConfig {
+        self.core().config.clone()
     }
 
     /// The backend selection policy.
     pub fn strategy(&self) -> Strategy {
-        self.core.strategy
+        self.core().strategy
     }
 
-    /// The dataset/index statistics the planner decides from.
-    pub fn statistics(&self) -> &EngineStatistics {
-        &self.core.statistics
+    /// The current generation's dataset/index statistics (refreshed on
+    /// every mutation, so the planner always decides from live numbers).
+    pub fn statistics(&self) -> EngineStatistics {
+        self.core().statistics.clone()
+    }
+
+    /// Appends `object` to the dataset, producing a new generation.  See
+    /// [`mutate`](crate::MutationReceipt) for what the receipt reports.
+    ///
+    /// # Errors
+    ///
+    /// * [`AsrsError::Schema`] when the object violates the schema,
+    /// * [`AsrsError::DuplicateObjectId`] when the id is already taken.
+    pub fn append(&self, object: SpatialObject) -> Result<MutationReceipt, AsrsError> {
+        crate::mutate::append(&self.shared, object, None)
+    }
+
+    /// Like [`AsrsEngine::append`], but the object expires `ttl` after
+    /// insertion: the next [`AsrsEngine::sweep_expired`] at or past the
+    /// deadline removes it.
+    pub fn append_with_ttl(
+        &self,
+        object: SpatialObject,
+        ttl: Duration,
+    ) -> Result<MutationReceipt, AsrsError> {
+        crate::mutate::append(&self.shared, object, Some(ttl))
+    }
+
+    /// Removes the object with id `id`, producing a new generation.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::UnknownObjectId`] when no object carries the id.
+    pub fn remove(&self, id: u64) -> Result<MutationReceipt, AsrsError> {
+        crate::mutate::remove(&self.shared, id)
+    }
+
+    /// Removes every TTL'd object whose deadline has passed, producing one
+    /// new generation per expired object; returns their receipts (empty
+    /// when nothing was due).
+    pub fn sweep_expired(&self) -> Result<Vec<MutationReceipt>, AsrsError> {
+        crate::mutate::sweep_expired(&self.shared)
+    }
+
+    /// A snapshot of the bounded mutation log (recent entries plus
+    /// lifetime counters).
+    pub fn mutation_log(&self) -> MutationLog {
+        crate::mutate::log_snapshot(&self.shared)
+    }
+
+    /// Mutation counters for observability (served by `/metrics`).
+    pub fn mutation_stats(&self) -> MutationStats {
+        crate::mutate::stats_snapshot(&self.shared)
     }
 
     /// Counters of the query-result cache, or `None` when the engine was
     /// built without one (see [`EngineBuilder::cache_capacity`]).
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.core.cache_stats()
+        self.core().cache_stats()
     }
 
     /// Number of shards of a sharded engine, `0` for a single engine (see
     /// [`EngineBuilder::shards`]).
     pub fn shard_count(&self) -> usize {
-        self.core.shards.as_ref().map_or(0, |s| s.len())
+        self.core().shards.as_ref().map_or(0, |s| s.len())
     }
 
     /// Per-shard scattered-execution counts, in shard order (`None` for a
     /// single engine).  Surfaced by the server's `/metrics`.
     pub fn shard_request_counts(&self) -> Option<Vec<u64>> {
-        self.core.shards.as_ref().map(|s| s.request_counts())
+        self.core().shards.as_ref().map(|s| s.request_counts())
     }
 
     /// Per-shard planner statistics, in shard order (`None` for a single
     /// engine).
     pub fn shard_statistics(&self) -> Option<Vec<EngineStatistics>> {
-        self.core.shards.as_ref().map(|s| s.statistics())
+        self.core().shards.as_ref().map(|s| s.statistics())
     }
 
     /// The spatial partition regions of a sharded engine, in shard order
     /// (`None` for a single engine).
     pub fn shard_regions(&self) -> Option<Vec<Rect>> {
-        self.core.shards.as_ref().map(|s| s.regions())
+        self.core().shards.as_ref().map(|s| s.regions())
     }
 
     /// The name of the backend the engine's strategy resolves to before
@@ -1007,15 +1157,17 @@ impl AsrsEngine {
     /// Individual requests may still plan differently — see
     /// [`AsrsEngine::plan`].
     pub fn backend_name(&self) -> &'static str {
-        self.core.strategy.resolved_name(self.core.index.is_some())
+        let core = self.core();
+        core.strategy.resolved_name(core.index.is_some())
     }
 
     /// Builds a query-by-example from a real region of the engine's
     /// dataset (see [`AsrsQuery::from_example_region`]).
     pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {
+        let core = self.core();
         Ok(AsrsQuery::from_example_region(
-            &self.core.dataset,
-            &self.core.aggregator,
+            &core.dataset,
+            &core.aggregator,
             example,
         )?)
     }
@@ -1028,22 +1180,27 @@ impl AsrsEngine {
     ///
     /// See [`Planner::plan`].
     pub fn plan(&self, request: &QueryRequest) -> Result<ExecutionPlan, AsrsError> {
-        self.core.plan(request)
+        self.core().plan(request)
     }
 
     /// Plans and executes a declarative [`QueryRequest`] — the engine's
     /// primary entry point.  The response bundles the results, the backend
     /// the planner chose and the merged [`SearchStats`](crate::SearchStats).
     ///
+    /// The request runs against the generation current at submission; a
+    /// concurrent mutation neither blocks it nor changes its answer.
+    ///
     /// # Errors
     ///
     /// * planning errors — see [`Planner::plan`],
     /// * [`AsrsError::Query`] for a malformed or mismatching query,
     /// * [`AsrsError::DeadlineExceeded`] when the request's budget ran out,
+    /// * [`AsrsError::CostCeilingExceeded`] when the engine enforces an
+    ///   admission ceiling the estimate breaches,
     /// * the operation-specific errors of the legacy methods
     ///   ([`AsrsError::InvalidTopK`], [`AsrsError::InvalidRegionSize`], …).
     pub fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
-        self.core.submit(request)
+        self.core().submit(request)
     }
 
     /// Solves the ASRS problem with the engine's strategy.
@@ -1056,8 +1213,10 @@ impl AsrsEngine {
     ///
     /// [`AsrsError::Query`] for a malformed or mismatching query.
     pub fn search(&self, query: &AsrsQuery) -> Result<SearchResult, AsrsError> {
-        let plan = self.core.plan_legacy("similar", Some(query.size))?;
-        self.core.run_similar(plan.backend, query, None, None)
+        let core = self.core();
+        let plan = core.plan_legacy("similar", Some(query.size))?;
+        plan.admit()?;
+        core.run_similar(plan.backend, query, None, None)
     }
 
     /// Solves the ASRS problem with an explicit, possibly external,
@@ -1068,7 +1227,7 @@ impl AsrsEngine {
         backend: &dyn SearchAlgorithm,
         query: &AsrsQuery,
     ) -> Result<SearchResult, AsrsError> {
-        query.validate(&self.core.aggregator)?;
+        query.validate(&self.core().aggregator)?;
         backend.search(query)
     }
 
@@ -1086,8 +1245,10 @@ impl AsrsEngine {
         query: &AsrsQuery,
         k: usize,
     ) -> Result<Vec<SearchResult>, AsrsError> {
-        let plan = self.core.plan_legacy("top-k", Some(query.size))?;
-        self.core.run_top_k(plan.backend, query, k, None)
+        let core = self.core();
+        let plan = core.plan_legacy("top-k", Some(query.size))?;
+        plan.admit()?;
+        core.run_top_k(plan.backend, query, k, None)
     }
 
     /// Answers every query in parallel; results are returned in query
@@ -1099,7 +1260,7 @@ impl AsrsEngine {
     /// (same planning and execution pipeline); prefer `submit`, which
     /// additionally reports the merged statistics of the whole batch.
     pub fn search_batch(&self, queries: &[AsrsQuery]) -> Result<Vec<SearchResult>, AsrsError> {
-        all_or_first_error(self.core.batch_results(queries)?)
+        all_or_first_error(self.core().batch_results(queries)?)
     }
 
     /// Answers every query in parallel, returning one `Result` per query
@@ -1115,7 +1276,7 @@ impl AsrsEngine {
         &self,
         queries: &[AsrsQuery],
     ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
-        self.core.batch_results(queries)
+        self.core().batch_results(queries)
     }
 
     /// Solves the MaxRS problem (the `a × b` region enclosing the maximum
@@ -1142,7 +1303,12 @@ impl AsrsEngine {
         size: RegionSize,
         selection: Selection,
     ) -> Result<MaxRsResult, AsrsError> {
-        self.core.run_max_rs(size, selection, None)
+        let core = self.core();
+        // The legacy shim enforces the same admission ceiling the submit
+        // path does — an extent-spanning MaxRS must not dodge the gate by
+        // arriving through the old method name.
+        core.plan_legacy("max-rs", Some(size))?.admit()?;
+        core.run_max_rs(size, selection, None)
     }
 }
 
@@ -1354,7 +1520,8 @@ mod tests {
     fn external_backends_plug_in_through_search_with() {
         let (ds, agg) = setup(60, 13);
         let engine = AsrsEngine::builder(ds, agg).build().unwrap();
-        let naive = NaiveSearch::new(engine.dataset(), engine.aggregator());
+        let (ds, agg) = (engine.dataset(), engine.aggregator());
+        let naive = NaiveSearch::new(&ds, &agg);
         let q = query();
         let via_trait = engine.search_with(&naive, &q).unwrap();
         let direct = engine.search(&q).unwrap();
@@ -1551,6 +1718,254 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn object_at(ds: &Dataset, id: u64, x: f64, y: f64) -> asrs_data::SpatialObject {
+        asrs_data::SpatialObject::new(id, asrs_geo::Point::new(x, y), ds.object(0).values.clone())
+    }
+
+    #[test]
+    fn mutated_engine_answers_like_a_fresh_rebuild() {
+        let (ds, agg) = setup(300, 17);
+        let engine = AsrsEngine::builder(ds.clone(), agg.clone())
+            .build_index(16, 16)
+            .build()
+            .unwrap();
+        // A mutation run: interior appends (incremental), one exterior
+        // append (geometry rebuild), removals.
+        let a = engine.append(object_at(&ds, 9000, 40.0, 45.0)).unwrap();
+        assert_eq!(a.index, crate::mutate::IndexMaintenance::Incremental);
+        assert_eq!(a.generation, 1);
+        let bbox = ds.bounding_box().unwrap();
+        let b = engine
+            .append(object_at(&ds, 9001, bbox.max_x + 25.0, bbox.max_y + 5.0))
+            .unwrap();
+        assert_eq!(
+            b.index,
+            crate::mutate::IndexMaintenance::Rebuilt,
+            "an append outside the padded box must rebuild the index"
+        );
+        engine.remove(7).unwrap();
+        engine.remove(123).unwrap();
+        assert_eq!(engine.generation(), 4);
+
+        // A fresh engine over the equivalent final dataset.
+        let rebuilt = AsrsEngine::builder((*engine.dataset()).clone(), agg)
+            .build_index(16, 16)
+            .build()
+            .unwrap();
+        let req = QueryRequest::similar(query());
+        let m = engine.submit(&req).unwrap();
+        let r = rebuilt.submit(&req).unwrap();
+        assert_eq!(
+            serde::json::to_string(&m.stats_stripped()),
+            serde::json::to_string(&r.stats_stripped()),
+            "mutated and rebuilt engines must answer byte-identically"
+        );
+        // The statistics the planner reads agree too.
+        assert_eq!(engine.statistics(), rebuilt.statistics());
+    }
+
+    #[test]
+    fn stamped_cache_keys_make_stale_hits_impossible() {
+        let (ds, agg) = setup(250, 23);
+        let engine = AsrsEngine::builder(ds.clone(), agg.clone())
+            .build_index(16, 16)
+            .cache_capacity(64)
+            .build()
+            .unwrap();
+        let req = QueryRequest::similar(query());
+        let before = engine.submit(&req).unwrap();
+        let warm = engine.submit(&req).unwrap();
+        assert_eq!(before, warm);
+        assert_eq!(engine.cache_stats().unwrap().hits, 1);
+
+        // Mutate: the very point the optimum sat on may change; whatever
+        // the answer now is, it must come from generation 1, not from the
+        // generation-0 cache entry.
+        engine.append(object_at(&ds, 9000, 17.0, 16.0)).unwrap();
+        let after = engine.submit(&req).unwrap();
+        let rebuilt = AsrsEngine::builder((*engine.dataset()).clone(), agg)
+            .build_index(16, 16)
+            .build()
+            .unwrap();
+        assert_eq!(
+            serde::json::to_string(&after.stats_stripped()),
+            serde::json::to_string(&rebuilt.submit(&req).unwrap().stats_stripped()),
+            "a post-mutation submission must reflect the new generation"
+        );
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!(
+            stats.hits, 1,
+            "the post-mutation submission must not hit the stale entry"
+        );
+        // And the new generation's entry replays too.
+        let again = engine.submit(&req).unwrap();
+        assert_eq!(after, again);
+        assert_eq!(engine.cache_stats().unwrap().hits, 2);
+    }
+
+    #[test]
+    fn ttl_appends_expire_on_sweep() {
+        let (ds, agg) = setup(120, 31);
+        let engine = AsrsEngine::builder(ds.clone(), agg).build().unwrap();
+        engine
+            .append_with_ttl(object_at(&ds, 9000, 30.0, 30.0), Duration::ZERO)
+            .unwrap();
+        engine
+            .append_with_ttl(object_at(&ds, 9001, 31.0, 31.0), Duration::from_secs(3600))
+            .unwrap();
+        assert_eq!(engine.dataset().len(), 122);
+        assert_eq!(engine.mutation_stats().pending_ttl, 2);
+        let receipts = engine.sweep_expired().unwrap();
+        assert_eq!(receipts.len(), 1, "only the zero-TTL object is due");
+        assert_eq!(receipts[0].kind, "expire");
+        assert_eq!(receipts[0].id, 9000);
+        assert_eq!(engine.dataset().len(), 121);
+        assert!(engine.dataset().contains_id(9001));
+        let stats = engine.mutation_stats();
+        assert_eq!(stats.expiries, 1);
+        assert_eq!(stats.pending_ttl, 1);
+        // A second sweep finds nothing due.
+        assert!(engine.sweep_expired().unwrap().is_empty());
+        // An object removed by the caller before its deadline is skipped
+        // silently when the deadline arrives.
+        engine
+            .append_with_ttl(object_at(&ds, 9002, 32.0, 32.0), Duration::ZERO)
+            .unwrap();
+        engine.remove(9002).unwrap();
+        assert!(engine.sweep_expired().unwrap().is_empty());
+    }
+
+    #[test]
+    fn absurd_ttls_never_panic_or_poison_the_mutator() {
+        // Regression test: `Instant::now() + Duration::from_millis(u64::MAX)`
+        // used to overflow-panic while the mutation mutex was held,
+        // poisoning every later mutation AND the /metrics snapshot.  An
+        // unrepresentable deadline now simply never expires.
+        let (ds, agg) = setup(60, 43);
+        let engine = AsrsEngine::builder(ds.clone(), agg).build().unwrap();
+        engine
+            .append_with_ttl(
+                object_at(&ds, 9000, 20.0, 20.0),
+                Duration::from_millis(u64::MAX),
+            )
+            .unwrap();
+        assert!(engine.sweep_expired().unwrap().is_empty());
+        // The mutator is alive and well.
+        engine.append(object_at(&ds, 9001, 21.0, 21.0)).unwrap();
+        engine.remove(9001).unwrap();
+        assert_eq!(engine.mutation_stats().generation, 3);
+        assert!(engine.dataset().contains_id(9000));
+    }
+
+    #[test]
+    fn a_reused_id_is_never_killed_by_a_stale_ttl() {
+        // Regression test: TTL heap entries used to match by id alone, so
+        // removing a TTL'd object and re-appending a *permanent* object
+        // under the same id let the stale deadline silently delete the new
+        // object on the next sweep.
+        let (ds, agg) = setup(60, 47);
+        let engine = AsrsEngine::builder(ds.clone(), agg).build().unwrap();
+        engine
+            .append_with_ttl(object_at(&ds, 9000, 20.0, 20.0), Duration::ZERO)
+            .unwrap();
+        engine.remove(9000).unwrap();
+        engine.append(object_at(&ds, 9000, 22.0, 22.0)).unwrap();
+        // The zero-TTL deadline has long passed, but it belonged to the
+        // removed arming — the permanent re-append must survive the sweep.
+        assert!(engine.sweep_expired().unwrap().is_empty());
+        assert!(engine.dataset().contains_id(9000));
+        assert_eq!(engine.mutation_stats().pending_ttl, 0);
+
+        // Re-arming the same id replaces the old deadline cleanly too.
+        engine.remove(9000).unwrap();
+        engine
+            .append_with_ttl(object_at(&ds, 9000, 23.0, 23.0), Duration::ZERO)
+            .unwrap();
+        let receipts = engine.sweep_expired().unwrap();
+        assert_eq!(receipts.len(), 1);
+        assert_eq!(receipts[0].id, 9000);
+        assert!(!engine.dataset().contains_id(9000));
+    }
+
+    #[test]
+    fn legacy_max_rs_honours_the_cost_ceiling() {
+        // Regression test: the legacy max_rs/max_rs_selective shims used
+        // to bypass the admission gate that submit/search/top-k enforce.
+        let (ds, agg) = setup(200, 53);
+        let engine = AsrsEngine::builder(ds, agg)
+            .cost_ceiling(1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.max_rs(RegionSize::new(10.0, 10.0)),
+            Err(AsrsError::CostCeilingExceeded { .. })
+        ));
+        assert!(matches!(
+            engine.max_rs_selective(RegionSize::new(10.0, 10.0), Selection::cat_equals(0, 1)),
+            Err(AsrsError::CostCeilingExceeded { .. })
+        ));
+        assert!(matches!(
+            engine.search(&query()),
+            Err(AsrsError::CostCeilingExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn mutation_errors_are_reported_as_values() {
+        let (ds, agg) = setup(80, 37);
+        let engine = AsrsEngine::builder(ds.clone(), agg).build().unwrap();
+        // Duplicate id.
+        assert_eq!(
+            engine.append(object_at(&ds, 5, 10.0, 10.0)).unwrap_err(),
+            AsrsError::DuplicateObjectId { id: 5 }
+        );
+        // Unknown id.
+        assert_eq!(
+            engine.remove(424242).unwrap_err(),
+            AsrsError::UnknownObjectId { id: 424242 }
+        );
+        // Schema violation.
+        let bad = asrs_data::SpatialObject::new(
+            9000,
+            asrs_geo::Point::new(1.0, 1.0),
+            vec![asrs_data::AttrValue::Cat(99)],
+        );
+        assert!(matches!(engine.append(bad), Err(AsrsError::Schema(_))));
+        // Nothing was applied.
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.dataset().len(), 80);
+        assert_eq!(engine.mutation_log().total(), 0);
+    }
+
+    #[test]
+    fn rebuild_threshold_caps_incremental_drift() {
+        let (ds, agg) = setup(40, 41);
+        let engine = AsrsEngine::builder(ds.clone(), agg)
+            .build_index(8, 8)
+            .mutation_policy(crate::mutate::MutationPolicy {
+                index_rebuild_fraction: 0.1, // 40 objects → budget of 4
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let mut kinds = Vec::new();
+        for i in 0..5 {
+            let r = engine
+                .append(object_at(&ds, 9000 + i, 30.0 + i as f64, 40.0))
+                .unwrap();
+            kinds.push(r.index);
+        }
+        use crate::mutate::IndexMaintenance::{Incremental, Rebuilt};
+        assert_eq!(
+            kinds,
+            vec![Incremental, Incremental, Incremental, Incremental, Rebuilt],
+            "the fifth delta must cross the 10% budget and rebuild"
+        );
+        let stats = engine.mutation_stats();
+        assert_eq!(stats.incremental_index_updates, 4);
+        assert_eq!(stats.index_rebuilds, 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! `From`, so `?` composes across layers.
 
 use crate::query::QueryError;
+use asrs_data::SchemaError;
 use std::fmt;
 use std::time::Duration;
 
@@ -145,6 +146,32 @@ pub enum AsrsError {
         /// Name of the operation it cannot run.
         operation: &'static str,
     },
+    /// An appended object does not conform to the dataset schema.
+    Schema(SchemaError),
+    /// An appended object carries an id that already exists in the dataset.
+    /// Mutable engines enforce id uniqueness so removal-by-id stays
+    /// unambiguous.
+    DuplicateObjectId {
+        /// The colliding id.
+        id: u64,
+    },
+    /// A removal referenced an id no object carries.
+    UnknownObjectId {
+        /// The missing id.
+        id: u64,
+    },
+    /// The planner's cost estimate for the chosen backend exceeds the
+    /// engine's admission ceiling (see
+    /// [`Planner::cost_ceiling`](crate::Planner::cost_ceiling)); the
+    /// request was rejected *before* execution.  Servers map this to
+    /// HTTP 429.
+    CostCeilingExceeded {
+        /// Estimated work of the chosen backend, in the planner's abstract
+        /// rectangle-visit units.
+        estimated: f64,
+        /// The configured admission ceiling, in the same units.
+        ceiling: f64,
+    },
     /// An engine-internal failure that is a bug rather than bad input —
     /// most notably a panicking batch worker, which is caught and reported
     /// per query instead of aborting the process (a serving engine must
@@ -181,6 +208,20 @@ impl fmt::Display for AsrsError {
             AsrsError::BackendUnsupported { backend, operation } => {
                 write!(f, "backend {backend} cannot execute {operation} requests")
             }
+            AsrsError::Schema(e) => write!(f, "object violates the dataset schema: {e}"),
+            AsrsError::DuplicateObjectId { id } => {
+                write!(f, "an object with id {id} already exists in the dataset")
+            }
+            AsrsError::UnknownObjectId { id } => {
+                write!(f, "no object with id {id} exists in the dataset")
+            }
+            AsrsError::CostCeilingExceeded { estimated, ceiling } => {
+                write!(
+                    f,
+                    "estimated cost {estimated:.3e} exceeds the admission ceiling {ceiling:.3e}; \
+                     request rejected before execution"
+                )
+            }
             AsrsError::Internal { message } => {
                 write!(f, "internal engine error: {message}")
             }
@@ -193,8 +234,15 @@ impl std::error::Error for AsrsError {
         match self {
             AsrsError::Query(e) => Some(e),
             AsrsError::Config(e) => Some(e),
+            AsrsError::Schema(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SchemaError> for AsrsError {
+    fn from(e: SchemaError) -> Self {
+        AsrsError::Schema(e)
     }
 }
 

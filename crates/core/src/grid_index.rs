@@ -14,15 +14,42 @@
 
 use crate::error::{AsrsError, ConfigError};
 use asrs_aggregator::CompositeAggregator;
-use asrs_data::Dataset;
+use asrs_data::{Dataset, SpatialObject};
 use asrs_geo::{GridSpec, Rect};
 
 /// The grid index: suffix-cumulative statistics vectors over an
 /// `s_x × s_y` grid.
+///
+/// # Incremental maintenance
+///
+/// Besides the one-shot [`GridIndex::build`], the index supports
+/// *incremental* maintenance under dataset mutations:
+/// [`GridIndex::update_append`] folds one appended object into its cell and
+/// [`GridIndex::update_remove`] re-derives the removed object's cell from
+/// the surviving objects.  Both then refresh the suffix tables with the
+/// same deterministic sweep `build` runs, so an incrementally maintained
+/// index is **bit-identical** to one rebuilt from scratch over the mutated
+/// dataset — provided the grid geometry still matches
+/// ([`GridIndex::space_matches`]); when a mutation moves the dataset's
+/// padded bounding box, callers must rebuild instead (the generational
+/// engine in [`engine`](crate::AsrsEngine) does exactly that).
+///
+/// The bit-identity argument: per cell, `build` accumulates object
+/// contributions in dataset order.  An appended object is last in dataset
+/// order, so adding its contribution to the existing cell sums reproduces
+/// the rebuild's addition order; a removal re-accumulates the affected cell
+/// from the surviving objects in dataset order, which *is* the rebuild's
+/// order.  The suffix sweep is a pure function of the per-cell table, so
+/// identical cells imply identical suffix tables.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     spec: GridSpec,
     stats_dim: usize,
+    /// Per-cell statistics: entry `(i, j)` holds the statistics of the
+    /// objects located in cell `(i, j)`; the last row/column (the lattice
+    /// padding) is identically zero.  This is the table incremental
+    /// maintenance edits; `suffix` is derived from it.
+    base: Vec<f64>,
     /// Suffix sums: entry `(i, j)` (with `i ∈ 0..=cols`, `j ∈ 0..=rows`)
     /// holds the statistics of all objects located in cells
     /// `[i.., j..)`; the last row/column is identically zero.
@@ -60,20 +87,41 @@ impl GridIndex {
         let spec = GridSpec::new(bbox, cols, rows);
         let dims = aggregator.stats_dim();
         let width = cols + 1;
-        let mut suffix = vec![0.0; width * (rows + 1) * dims];
+        let mut base = vec![0.0; width * (rows + 1) * dims];
         let mut contrib = vec![0.0; dims];
-        // Per-cell accumulation.
+        // Per-cell accumulation, in dataset order (the order incremental
+        // maintenance reproduces — see the type-level documentation).
         for o in dataset.objects() {
             let cell = spec.clamped_cell_of_point(&o.location);
             contrib.iter_mut().for_each(|v| *v = 0.0);
             aggregator.accumulate_object(o, &mut contrib);
-            let base = (cell.row * width + cell.col) * dims;
+            let at = (cell.row * width + cell.col) * dims;
             for (k, v) in contrib.iter().enumerate() {
-                suffix[base + k] += v;
+                base[at + k] += v;
             }
         }
-        // Suffix sums along columns (right to left) then rows (top to
-        // bottom): S[i][j] = cell[i][j] + S[i+1][j] + S[i][j+1] − S[i+1][j+1].
+        let mut index = Self {
+            spec,
+            stats_dim: dims,
+            suffix: vec![0.0; base.len()],
+            base,
+            objects_indexed: dataset.len(),
+        };
+        index.recompute_suffix();
+        Ok(index)
+    }
+
+    /// Refreshes the suffix tables from the per-cell table: suffix sums
+    /// along columns (right to left) then rows (top to bottom),
+    /// `S[i][j] = cell[i][j] + S[i+1][j] + S[i][j+1] − S[i+1][j+1]`.
+    /// Deterministic in the per-cell table alone, which is what makes
+    /// incrementally maintained and freshly built indexes bit-identical.
+    fn recompute_suffix(&mut self) {
+        let cols = self.spec.cols();
+        let rows = self.spec.rows();
+        let dims = self.stats_dim;
+        let width = cols + 1;
+        self.suffix.copy_from_slice(&self.base);
         for row in (0..rows).rev() {
             for col in (0..cols).rev() {
                 let cur = (row * width + col) * dims;
@@ -81,16 +129,81 @@ impl GridIndex {
                 let up = ((row + 1) * width + col) * dims;
                 let diag = ((row + 1) * width + col + 1) * dims;
                 for k in 0..dims {
-                    suffix[cur + k] += suffix[right + k] + suffix[up + k] - suffix[diag + k];
+                    self.suffix[cur + k] +=
+                        self.suffix[right + k] + self.suffix[up + k] - self.suffix[diag + k];
                 }
             }
         }
-        Ok(Self {
-            spec,
-            stats_dim: dims,
-            suffix,
-            objects_indexed: dataset.len(),
-        })
+    }
+
+    /// Whether the grid geometry this index was built over still matches
+    /// `dataset` — i.e. a fresh [`GridIndex::build`] over `dataset` would
+    /// lay the identical grid.  When this returns `false` after a mutation
+    /// (an append outside the padded bounding box, or a removal that shrank
+    /// it), incremental maintenance would diverge from a rebuild and the
+    /// caller must rebuild instead.
+    pub fn space_matches(&self, dataset: &Dataset) -> bool {
+        dataset.relative_padded_bounding_box(0.5, 1.0).as_ref() == Some(self.spec.space())
+    }
+
+    /// Incrementally folds one appended object into the index.
+    ///
+    /// The object must already be part of the dataset the index describes
+    /// (appended at the tail), and the grid geometry must still match
+    /// ([`GridIndex::space_matches`]); under those conditions the updated
+    /// index is bit-identical to a fresh build over the mutated dataset.
+    /// Cost: one cell update plus the `O(cols · rows · dims)` suffix sweep
+    /// — independent of the dataset size.
+    pub fn update_append(&mut self, object: &SpatialObject, aggregator: &CompositeAggregator) {
+        debug_assert_eq!(aggregator.stats_dim(), self.stats_dim);
+        let cell = self.spec.clamped_cell_of_point(&object.location);
+        let width = self.spec.cols() + 1;
+        let mut contrib = vec![0.0; self.stats_dim];
+        aggregator.accumulate_object(object, &mut contrib);
+        let at = (cell.row * width + cell.col) * self.stats_dim;
+        for (k, v) in contrib.iter().enumerate() {
+            self.base[at + k] += v;
+        }
+        self.objects_indexed += 1;
+        self.recompute_suffix();
+    }
+
+    /// Incrementally removes one object from the index.
+    ///
+    /// `removed` is the object that was taken out and `dataset` the
+    /// dataset *after* the removal; the removed object's cell is
+    /// re-accumulated from the surviving objects in dataset order (exactly
+    /// the order a rebuild would use — floating-point subtraction cannot
+    /// undo an addition bit-exactly, so the cell is re-derived rather than
+    /// decremented).  The grid geometry must still match
+    /// ([`GridIndex::space_matches`]).  Cost: one `O(n)` scan for the
+    /// affected cell plus the suffix sweep.
+    pub fn update_remove(
+        &mut self,
+        removed: &SpatialObject,
+        dataset: &Dataset,
+        aggregator: &CompositeAggregator,
+    ) {
+        debug_assert_eq!(aggregator.stats_dim(), self.stats_dim);
+        let cell = self.spec.clamped_cell_of_point(&removed.location);
+        let width = self.spec.cols() + 1;
+        let at = (cell.row * width + cell.col) * self.stats_dim;
+        self.base[at..at + self.stats_dim]
+            .iter_mut()
+            .for_each(|v| *v = 0.0);
+        let mut contrib = vec![0.0; self.stats_dim];
+        for o in dataset.objects() {
+            if self.spec.clamped_cell_of_point(&o.location) != cell {
+                continue;
+            }
+            contrib.iter_mut().for_each(|v| *v = 0.0);
+            aggregator.accumulate_object(o, &mut contrib);
+            for (k, v) in contrib.iter().enumerate() {
+                self.base[at + k] += v;
+            }
+        }
+        self.objects_indexed = self.objects_indexed.saturating_sub(1);
+        self.recompute_suffix();
     }
 
     /// The geometric grid specification of the index.
@@ -116,7 +229,8 @@ impl GridIndex {
     /// Approximate memory footprint of the index in bytes (the paper's
     /// Table 1 "index size" column).
     pub fn memory_bytes(&self) -> usize {
-        self.suffix.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Self>()
+        (self.suffix.len() + self.base.len()) * std::mem::size_of::<f64>()
+            + std::mem::size_of::<Self>()
     }
 
     #[inline]
@@ -343,6 +457,88 @@ mod tests {
         for (a, b) in direct.iter().zip(&index.total_stats()) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn incremental_appends_are_bit_identical_to_a_rebuild() {
+        let (ds, agg) = setup();
+        let mut mutated = ds.clone();
+        let mut index = GridIndex::build(&ds, &agg, 12, 12).unwrap();
+        let bbox = ds.bounding_box().unwrap();
+        // Append a run of objects strictly inside the extent (the geometry
+        // stays put, so incremental maintenance applies).
+        for i in 0..20u64 {
+            let f = i as f64 / 19.0;
+            let object = asrs_data::SpatialObject::new(
+                10_000 + i,
+                asrs_geo::Point::new(
+                    bbox.min_x + bbox.width() * (0.05 + 0.9 * f),
+                    bbox.min_y + bbox.height() * (0.95 - 0.9 * f),
+                ),
+                ds.object(i as usize % ds.len()).values.clone(),
+            );
+            mutated.append(object.clone()).unwrap();
+            assert!(index.space_matches(&mutated));
+            index.update_append(&object, &agg);
+        }
+        let rebuilt = GridIndex::build(&mutated, &agg, 12, 12).unwrap();
+        assert_eq!(index.objects_indexed(), rebuilt.objects_indexed());
+        assert_eq!(index.spec(), rebuilt.spec());
+        for (a, b) in index.suffix.iter().zip(&rebuilt.suffix) {
+            assert_eq!(a.to_bits(), b.to_bits(), "suffix tables must match bitwise");
+        }
+        for (a, b) in index.base.iter().zip(&rebuilt.base) {
+            assert_eq!(a.to_bits(), b.to_bits(), "cell tables must match bitwise");
+        }
+    }
+
+    #[test]
+    fn incremental_removals_are_bit_identical_to_a_rebuild() {
+        let (ds, agg) = setup();
+        let mut mutated = ds.clone();
+        let mut index = GridIndex::build(&ds, &agg, 10, 14).unwrap();
+        // Remove a scatter of interior objects; skip any whose removal
+        // would shrink the bounding box (those demand a rebuild and are
+        // exercised by `space_matches`).
+        let mut removed_count = 0;
+        for id in [3u64, 57, 123, 200, 310, 399, 42, 271] {
+            let mut probe = mutated.clone();
+            let Some(removed) = probe.remove_by_id(id) else {
+                continue;
+            };
+            if !index.space_matches(&probe) {
+                continue;
+            }
+            mutated = probe;
+            index.update_remove(&removed, &mutated, &agg);
+            removed_count += 1;
+        }
+        assert!(removed_count >= 4, "the sweep must actually remove objects");
+        let rebuilt = GridIndex::build(&mutated, &agg, 10, 14).unwrap();
+        assert_eq!(index.objects_indexed(), rebuilt.objects_indexed());
+        for (a, b) in index.suffix.iter().zip(&rebuilt.suffix) {
+            assert_eq!(a.to_bits(), b.to_bits(), "suffix tables must match bitwise");
+        }
+    }
+
+    #[test]
+    fn space_matches_detects_geometry_changes() {
+        let (ds, agg) = setup();
+        let index = GridIndex::build(&ds, &agg, 8, 8).unwrap();
+        assert!(index.space_matches(&ds));
+        let mut grown = ds.clone();
+        let bbox = ds.bounding_box().unwrap();
+        grown
+            .append(asrs_data::SpatialObject::new(
+                99_999,
+                asrs_geo::Point::new(bbox.max_x + 10.0, bbox.max_y + 10.0),
+                ds.object(0).values.clone(),
+            ))
+            .unwrap();
+        assert!(
+            !index.space_matches(&grown),
+            "an append outside the box must demand a rebuild"
+        );
     }
 
     #[test]

@@ -1,24 +1,29 @@
 //! [`EngineHandle`]: cheap, cloneable, thread-safe access to an engine.
 
 use crate::cache::CacheStats;
-use crate::engine::EngineCore;
+use crate::engine::{EngineCore, EngineShared};
 use crate::error::AsrsError;
+use crate::mutate::{MutationReceipt, MutationStats};
 use crate::planner::{EngineStatistics, ExecutionPlan};
 use crate::query::AsrsQuery;
 use crate::request::{QueryRequest, QueryResponse};
 use crate::result::SearchResult;
 use asrs_aggregator::CompositeAggregator;
-use asrs_data::Dataset;
+use asrs_data::{Dataset, MutationLog, SpatialObject};
 use asrs_geo::Rect;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A cheap `Clone + Send + Sync` handle to an [`AsrsEngine`](crate::AsrsEngine).
 ///
-/// The handle shares the engine's immutable core (dataset, aggregator,
-/// index, configuration, planner) behind an [`Arc`], so cloning costs one
-/// reference-count increment and every clone can
-/// [`submit`](EngineHandle::submit) concurrently from its own thread — the
-/// serving topology the ROADMAP's multi-user north star needs:
+/// The handle shares the engine's generational state behind an [`Arc`], so
+/// cloning costs one reference-count increment and every clone can
+/// [`submit`](EngineHandle::submit) — and mutate, via
+/// [`append`](EngineHandle::append) / [`remove`](EngineHandle::remove) —
+/// concurrently from its own thread.  Queries snapshot the generation
+/// current at submission and are never disturbed by concurrent mutations;
+/// mutations serialize among themselves.  This is the serving topology the
+/// ROADMAP's multi-user north star needs:
 ///
 /// ```
 /// use asrs_core::{AsrsEngine, QueryRequest};
@@ -56,24 +61,29 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EngineHandle {
-    core: Arc<EngineCore>,
+    shared: Arc<EngineShared>,
 }
 
 impl EngineHandle {
-    pub(crate) fn new(core: Arc<EngineCore>) -> Self {
-        Self { core }
+    pub(crate) fn new(shared: Arc<EngineShared>) -> Self {
+        Self { shared }
+    }
+
+    /// Snapshots the current generation's core.
+    fn core(&self) -> Arc<EngineCore> {
+        self.shared.load()
     }
 
     /// Plans and executes a declarative [`QueryRequest`] (see
     /// [`AsrsEngine::submit`](crate::AsrsEngine::submit)).
     pub fn submit(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
-        self.core.submit(request)
+        self.core().submit(request)
     }
 
     /// Plans `request` without executing it (see
     /// [`AsrsEngine::plan`](crate::AsrsEngine::plan)).
     pub fn plan(&self, request: &QueryRequest) -> Result<ExecutionPlan, AsrsError> {
-        self.core.plan(request)
+        self.core().plan(request)
     }
 
     /// Answers a batch with one `Result` per query (see
@@ -82,53 +92,100 @@ impl EngineHandle {
         &self,
         queries: &[AsrsQuery],
     ) -> Result<Vec<Result<SearchResult, AsrsError>>, AsrsError> {
-        self.core.batch_results(queries)
+        self.core().batch_results(queries)
+    }
+
+    /// The current generation number (see
+    /// [`AsrsEngine::generation`](crate::AsrsEngine::generation)).
+    pub fn generation(&self) -> u64 {
+        self.core().generation
+    }
+
+    /// Appends an object, producing a new generation (see
+    /// [`AsrsEngine::append`](crate::AsrsEngine::append)).
+    pub fn append(&self, object: SpatialObject) -> Result<MutationReceipt, AsrsError> {
+        crate::mutate::append(&self.shared, object, None)
+    }
+
+    /// Appends an object that expires after `ttl` (see
+    /// [`AsrsEngine::append_with_ttl`](crate::AsrsEngine::append_with_ttl)).
+    pub fn append_with_ttl(
+        &self,
+        object: SpatialObject,
+        ttl: Duration,
+    ) -> Result<MutationReceipt, AsrsError> {
+        crate::mutate::append(&self.shared, object, Some(ttl))
+    }
+
+    /// Removes the object with id `id` (see
+    /// [`AsrsEngine::remove`](crate::AsrsEngine::remove)).
+    pub fn remove(&self, id: u64) -> Result<MutationReceipt, AsrsError> {
+        crate::mutate::remove(&self.shared, id)
+    }
+
+    /// Expires every TTL'd object whose deadline has passed (see
+    /// [`AsrsEngine::sweep_expired`](crate::AsrsEngine::sweep_expired)).
+    pub fn sweep_expired(&self) -> Result<Vec<MutationReceipt>, AsrsError> {
+        crate::mutate::sweep_expired(&self.shared)
+    }
+
+    /// A snapshot of the bounded mutation log.
+    pub fn mutation_log(&self) -> MutationLog {
+        crate::mutate::log_snapshot(&self.shared)
+    }
+
+    /// Mutation counters for observability (served by `/metrics`).
+    pub fn mutation_stats(&self) -> MutationStats {
+        crate::mutate::stats_snapshot(&self.shared)
     }
 
     /// Counters of the shared query-result cache, or `None` when the
     /// engine was built without one (see
     /// [`EngineBuilder::cache_capacity`](crate::EngineBuilder::cache_capacity)).
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.core.cache_stats()
+        self.core().cache_stats()
     }
 
-    /// The shared dataset.
-    pub fn dataset(&self) -> &Dataset {
-        &self.core.dataset
+    /// The current generation's dataset (the returned [`Arc`] pins that
+    /// generation's snapshot).
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&self.core().dataset)
     }
 
     /// The shared composite aggregator.
-    pub fn aggregator(&self) -> &CompositeAggregator {
-        &self.core.aggregator
+    pub fn aggregator(&self) -> Arc<CompositeAggregator> {
+        Arc::clone(&self.core().aggregator)
     }
 
-    /// The dataset/index statistics the planner decides from.
-    pub fn statistics(&self) -> &EngineStatistics {
-        &self.core.statistics
+    /// The current generation's dataset/index statistics.
+    pub fn statistics(&self) -> EngineStatistics {
+        self.core().statistics.clone()
     }
 
     /// Number of shards of a sharded engine, `0` for a single engine.
     pub fn shard_count(&self) -> usize {
-        self.core.shards.as_ref().map_or(0, |s| s.len())
+        self.core().shards.as_ref().map_or(0, |s| s.len())
     }
 
     /// Per-shard scattered-execution counts, in shard order (`None` for a
     /// single engine).  The server's `/metrics` endpoint serves these.
     pub fn shard_request_counts(&self) -> Option<Vec<u64>> {
-        self.core.shards.as_ref().map(|s| s.request_counts())
+        self.core().shards.as_ref().map(|s| s.request_counts())
     }
 
     /// Per-shard planner statistics, in shard order (`None` for a single
     /// engine).
     pub fn shard_statistics(&self) -> Option<Vec<EngineStatistics>> {
-        self.core.shards.as_ref().map(|s| s.statistics())
+        self.core().shards.as_ref().map(|s| s.statistics())
     }
 
-    /// Builds a query-by-example from a real region of the shared dataset.
+    /// Builds a query-by-example from a real region of the current
+    /// generation's dataset.
     pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {
+        let core = self.core();
         Ok(AsrsQuery::from_example_region(
-            &self.core.dataset,
-            &self.core.aggregator,
+            &core.dataset,
+            &core.aggregator,
             example,
         )?)
     }
@@ -192,12 +249,35 @@ mod tests {
     #[test]
     fn handle_outlives_the_engine() {
         let handle = engine().handle();
-        // The engine was dropped above; the Arc keeps the core alive.
+        // The engine was dropped above; the Arc keeps the shared state
+        // alive.
         assert_eq!(handle.dataset().len(), 250);
         assert!(handle.statistics().index.is_some());
         let query = handle
             .query_from_example(&Rect::new(0.0, 0.0, 10.0, 10.0))
             .unwrap();
         assert!(handle.submit(&QueryRequest::similar(query)).is_ok());
+    }
+
+    #[test]
+    fn mutations_through_a_handle_are_visible_to_every_clone() {
+        let engine = engine();
+        let writer = engine.handle();
+        let reader = engine.handle();
+        assert_eq!(reader.generation(), 0);
+        let id = writer.dataset().next_id();
+        let template = writer.dataset().object(0).clone();
+        let receipt = writer
+            .append(asrs_data::SpatialObject::new(
+                id,
+                asrs_geo::Point::new(50.0, 50.0),
+                template.values.clone(),
+            ))
+            .unwrap();
+        assert_eq!(receipt.generation, 1);
+        assert_eq!(reader.generation(), 1, "clones see the new generation");
+        assert_eq!(engine.generation(), 1, "the engine facade does too");
+        assert_eq!(reader.dataset().len(), 251);
+        assert!(reader.mutation_stats().appends == 1);
     }
 }

@@ -61,6 +61,26 @@
 //! statistics, including [`SearchStats::shards_touched`] /
 //! [`SearchStats::shards_pruned`], describe the decomposition that ran).
 //!
+//! # Mutability and generations
+//!
+//! The engine is *generational*: [`AsrsEngine::append`] /
+//! [`AsrsEngine::append_with_ttl`] / [`AsrsEngine::remove`] /
+//! [`AsrsEngine::sweep_expired`] apply a mutation and publish a new
+//! immutable core stamped with the next generation number.  Queries
+//! snapshot the generation current at submission and finish on it
+//! undisturbed (an epoch swap built from `std` locks); the query-result
+//! cache is shared across generations with generation-stamped keys
+//! ([`RequestKey::stamped`]), so a stale hit is structurally impossible.
+//! Grid indexes are maintained *incrementally* — one cell edit plus a
+//! suffix-table sweep per mutation, bit-identical to a fresh build — with
+//! a rebuild fallback when the grid geometry moves or the accumulated
+//! delta crosses [`MutationPolicy::index_rebuild_fraction`]; sharded
+//! engines route each mutation to its owning shard and re-partition on
+//! imbalance.  The end-to-end guarantee, enforced by
+//! `tests/mutation_parity.rs`: after any mutation sequence, responses are
+//! **byte-identical** to those of a fresh engine rebuilt from the
+//! equivalent final dataset, for shard counts {1, 2, 4}, cache enabled.
+//!
 //! # The engine facade
 //!
 //! [`AsrsEngine`] owns the dataset and aggregator, optionally builds a
@@ -129,6 +149,7 @@ mod gi_ds;
 mod grid_index;
 mod handle;
 mod maxrs;
+mod mutate;
 mod naive;
 mod planner;
 mod query;
@@ -148,6 +169,7 @@ pub use gi_ds::GiDsSearch;
 pub use grid_index::GridIndex;
 pub use handle::EngineHandle;
 pub use maxrs::{MaxRsResult, MaxRsSearch};
+pub use mutate::{IndexMaintenance, MutationPolicy, MutationReceipt, MutationStats};
 pub use naive::NaiveSearch;
 pub use planner::{
     CostEstimate, EngineStatistics, ExecutionPlan, IndexStatistics, PlanReason, Planner,

@@ -1,0 +1,615 @@
+//! Generational mutation machinery: append / remove / TTL expiry with
+//! incremental index maintenance and rebuild-equivalence guarantees.
+//!
+//! # The epoch-swap model
+//!
+//! An [`AsrsEngine`](crate::AsrsEngine) and all its
+//! [`EngineHandle`](crate::EngineHandle)s share one
+//! [`EngineShared`](crate::engine::EngineShared): the current generation's
+//! immutable [`EngineCore`](crate::engine::EngineCore) behind a read lock,
+//! plus the mutation state behind a mutex.  A query snapshots the current
+//! core (one `Arc` clone) and runs on it to completion; a mutation takes
+//! the mutation mutex, assembles a complete successor core off to the
+//! side, and publishes it with a single pointer swap.  In-flight queries
+//! therefore finish on the generation they started on — no torn reads, no
+//! locks on the query path beyond the snapshot.
+//!
+//! # Rebuild equivalence
+//!
+//! The invariant every mutation upholds: the published core is
+//! *semantically identical* to the core a fresh
+//! [`EngineBuilder`](crate::EngineBuilder) would produce from the final
+//! dataset — identical object vector (appends go to the tail, removals
+//! shift without reordering), bit-identical grid indexes (see
+//! [`GridIndex::update_append`](crate::GridIndex::update_append) /
+//! [`GridIndex::update_remove`](crate::GridIndex::update_remove), with a
+//! rebuild fallback whenever the padded grid geometry moves or the applied
+//! delta crosses [`MutationPolicy::index_rebuild_fraction`]), and planner
+//! statistics recaptured per generation.  `tests/mutation_parity.rs`
+//! enforces the consequence end-to-end: query responses from a mutated
+//! engine are byte-identical to a fresh engine rebuilt from the equivalent
+//! final dataset, for shard counts {1, 2, 4}, cache enabled.
+//!
+//! Sharded engines route an append to the shard whose region contains the
+//! object (removals to the shard holding the id) and maintain only that
+//! shard's sub-core — untouched shards are shared with the previous
+//! generation via `Arc`.  A mutation that leaves the partition's extent or
+//! unbalances a shard past [`MutationPolicy::shard_imbalance_factor`]
+//! triggers a full re-partition instead.  Shard layout never affects
+//! answers (the scatter-gather guarantee of PR 4), so routing and
+//! re-partitioning are pure performance decisions.
+//!
+//! # Cache invalidation
+//!
+//! The query-result cache is shared across generations; every key is
+//! stamped with the generation that computed the entry
+//! ([`RequestKey::stamped`](crate::RequestKey::stamped)).  A mutation
+//! therefore *invalidates nothing* — it simply moves the engine to a key
+//! space no stale entry can inhabit, and superseded entries age out
+//! through LRU eviction.
+
+use crate::engine::{EngineCore, EngineShared, IndexUpkeep};
+use crate::error::AsrsError;
+use crate::grid_index::GridIndex;
+use crate::planner::{EngineStatistics, IndexStatistics};
+use crate::shard::{build_shard_set, EngineShard, ShardSet};
+use asrs_aggregator::CompositeAggregator;
+use asrs_data::{Dataset, Mutation, MutationLog, SpatialObject};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Thresholds governing how a mutable engine maintains itself; set via
+/// [`EngineBuilder::mutation_policy`](crate::EngineBuilder::mutation_policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationPolicy {
+    /// Fraction of the index's build-time object count that may be applied
+    /// as incremental deltas before the next mutation forces a full index
+    /// rebuild (amortising floating-point-drift-free but per-mutation
+    /// suffix sweeps into one bulk build).  Incremental maintenance and
+    /// rebuilds produce bit-identical indexes, so this is purely a
+    /// performance knob.  Default 0.25.
+    pub index_rebuild_fraction: f64,
+    /// A shard whose object count exceeds this factor times the fair share
+    /// (`n / shards`) after an append triggers a full re-partition.
+    /// Default 4.0.
+    pub shard_imbalance_factor: f64,
+    /// How many recent mutations the in-memory log retains.  Default 256.
+    pub log_retention: usize,
+}
+
+impl Default for MutationPolicy {
+    fn default() -> Self {
+        Self {
+            index_rebuild_fraction: 0.25,
+            shard_imbalance_factor: 4.0,
+            log_retention: 256,
+        }
+    }
+}
+
+/// What happened to the engine's index(es) when a mutation was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum IndexMaintenance {
+    /// The engine maintains no index (or the mutation touched an unindexed
+    /// shard).
+    NotIndexed,
+    /// The affected index absorbed the delta incrementally: one cell edit
+    /// plus a suffix-table sweep, no rescan of the dataset.
+    Incremental,
+    /// The affected index was rebuilt from scratch — the grid geometry
+    /// moved, the accumulated delta crossed the rebuild threshold, or a
+    /// previously empty (hence unindexed) dataset/shard gained its first
+    /// object.
+    Rebuilt,
+    /// The index was dropped because the dataset emptied.
+    Dropped,
+}
+
+/// The outcome of one applied mutation, stamped with the generation it
+/// produced.  Serialized verbatim by the server's `POST /append` and
+/// `DELETE /objects/{id}` responses.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MutationReceipt {
+    /// `"append"`, `"remove"` or `"expire"`.
+    pub kind: String,
+    /// Id of the affected object.
+    pub id: u64,
+    /// Generation of the engine state after the mutation.
+    pub generation: u64,
+    /// Objects in the dataset after the mutation.
+    pub object_count: usize,
+    /// How the index(es) were maintained.
+    pub index: IndexMaintenance,
+    /// Whether the mutation triggered a full shard re-partition.
+    pub repartitioned: bool,
+}
+
+/// Mutation counters for observability, served by `/metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MutationStats {
+    /// Current engine generation.
+    pub generation: u64,
+    /// Objects currently in the dataset.
+    pub object_count: usize,
+    /// Lifetime appends.
+    pub appends: u64,
+    /// Lifetime caller-initiated removals.
+    pub removes: u64,
+    /// Lifetime TTL expiries.
+    pub expiries: u64,
+    /// Index deltas absorbed incrementally.
+    pub incremental_index_updates: u64,
+    /// Full index rebuilds (geometry moves, threshold crossings, first
+    /// objects).
+    pub index_rebuilds: u64,
+    /// Full shard re-partitions.
+    pub repartitions: u64,
+    /// TTL'd objects whose deadline has not passed yet.
+    pub pending_ttl: usize,
+}
+
+/// A TTL deadline; min-heap via `Reverse`.  The token ties the entry to
+/// one specific arming (see [`MutationState::ttl_armed`]).
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct TtlEntry {
+    deadline: Instant,
+    id: u64,
+    token: u64,
+}
+
+/// The serialized-mutator side of [`EngineShared`]: everything mutations
+/// read-modify-write outside the published cores.
+#[derive(Debug)]
+pub(crate) struct MutationState {
+    log: MutationLog,
+    ttl: BinaryHeap<Reverse<TtlEntry>>,
+    /// The *armed* TTLs: object id → the token of its latest arming.  A
+    /// heap entry only expires an object while its token is still the
+    /// armed one — any removal disarms the id, so a later re-append under
+    /// the same id can never be killed by a stale deadline (the heap is
+    /// never searched, entries just lose their token and fall through on
+    /// pop).
+    ttl_armed: std::collections::HashMap<u64, u64>,
+    /// Monotonic token source for [`MutationState::ttl_armed`].
+    ttl_token: u64,
+    /// Incremental deltas applied to the top-level index since its last
+    /// full build (the numerator of the rebuild-fraction check).
+    mutations_since_index_build: usize,
+    /// Object count when the top-level index was last fully built (the
+    /// denominator of the rebuild-fraction check).
+    objects_at_index_build: usize,
+    incremental_updates: u64,
+    index_rebuilds: u64,
+    repartitions: u64,
+}
+
+impl MutationState {
+    pub(crate) fn for_core(core: &EngineCore) -> Self {
+        Self {
+            log: MutationLog::new(core.policy.log_retention),
+            ttl: BinaryHeap::new(),
+            ttl_armed: std::collections::HashMap::new(),
+            ttl_token: 0,
+            mutations_since_index_build: 0,
+            objects_at_index_build: core.dataset.len(),
+            incremental_updates: 0,
+            index_rebuilds: 0,
+            repartitions: 0,
+        }
+    }
+}
+
+/// What a mutation did to the dataset, borrowed for the maintenance paths.
+#[derive(Debug, Clone, Copy)]
+enum Delta<'a> {
+    Append(&'a SpatialObject),
+    Remove(&'a SpatialObject),
+}
+
+/// Applies an append (optionally TTL'd) and publishes the new generation.
+pub(crate) fn append(
+    shared: &EngineShared,
+    object: SpatialObject,
+    ttl: Option<Duration>,
+) -> Result<MutationReceipt, AsrsError> {
+    let mut state = shared.mutator.lock().expect("mutation lock poisoned");
+    let core = shared.load();
+    if core.dataset.contains_id(object.id) {
+        return Err(AsrsError::DuplicateObjectId { id: object.id });
+    }
+    let mut dataset = (*core.dataset).clone();
+    dataset.append(object.clone())?;
+    let receipt = publish(
+        shared,
+        &mut state,
+        &core,
+        dataset,
+        Delta::Append(&object),
+        "append",
+        object.id,
+    )?;
+    if let Some(ttl) = ttl {
+        // `checked_add` keeps absurd TTLs (u64::MAX ms ≈ 584 million
+        // years) from panicking while the mutation mutex is held — an
+        // unrepresentable deadline simply never expires, which is what it
+        // means.
+        if let Some(deadline) = Instant::now().checked_add(ttl) {
+            state.ttl_token += 1;
+            let token = state.ttl_token;
+            state.ttl_armed.insert(object.id, token);
+            state.ttl.push(Reverse(TtlEntry {
+                deadline,
+                id: object.id,
+                token,
+            }));
+        }
+    }
+    Ok(receipt)
+}
+
+/// Applies a removal and publishes the new generation.  Any pending TTL on
+/// the id is disarmed — a later re-append under the same id starts with a
+/// clean slate.
+pub(crate) fn remove(shared: &EngineShared, id: u64) -> Result<MutationReceipt, AsrsError> {
+    let mut state = shared.mutator.lock().expect("mutation lock poisoned");
+    let core = shared.load();
+    let mut dataset = (*core.dataset).clone();
+    let removed = dataset
+        .remove_by_id(id)
+        .ok_or(AsrsError::UnknownObjectId { id })?;
+    let receipt = publish(
+        shared,
+        &mut state,
+        &core,
+        dataset,
+        Delta::Remove(&removed),
+        "remove",
+        id,
+    )?;
+    state.ttl_armed.remove(&id);
+    Ok(receipt)
+}
+
+/// Expires every TTL'd object whose deadline has passed.  A popped heap
+/// entry only fires while its token is still the armed one for its id:
+/// ids removed by a caller (or re-appended since) were disarmed and fall
+/// through without touching the dataset.
+pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt>, AsrsError> {
+    let mut state = shared.mutator.lock().expect("mutation lock poisoned");
+    let now = Instant::now();
+    let mut receipts = Vec::new();
+    loop {
+        let due = matches!(state.ttl.peek(), Some(Reverse(entry)) if entry.deadline <= now);
+        if !due {
+            break;
+        }
+        let entry = state.ttl.pop().expect("peeked entry exists").0;
+        if state.ttl_armed.get(&entry.id) != Some(&entry.token) {
+            continue;
+        }
+        state.ttl_armed.remove(&entry.id);
+        let core = shared.load();
+        let mut dataset = (*core.dataset).clone();
+        let Some(removed) = dataset.remove_by_id(entry.id) else {
+            continue;
+        };
+        receipts.push(publish(
+            shared,
+            &mut state,
+            &core,
+            dataset,
+            Delta::Remove(&removed),
+            "expire",
+            entry.id,
+        )?);
+    }
+    Ok(receipts)
+}
+
+/// A snapshot of the bounded mutation log.
+pub(crate) fn log_snapshot(shared: &EngineShared) -> MutationLog {
+    shared
+        .mutator
+        .lock()
+        .expect("mutation lock poisoned")
+        .log
+        .clone()
+}
+
+/// A snapshot of the mutation counters.
+pub(crate) fn stats_snapshot(shared: &EngineShared) -> MutationStats {
+    let state = shared.mutator.lock().expect("mutation lock poisoned");
+    let core = shared.load();
+    MutationStats {
+        generation: core.generation,
+        object_count: core.dataset.len(),
+        appends: state.log.appends,
+        removes: state.log.removes,
+        expiries: state.log.expiries,
+        incremental_index_updates: state.incremental_updates,
+        index_rebuilds: state.index_rebuilds,
+        repartitions: state.repartitions,
+        pending_ttl: state.ttl_armed.len(),
+    }
+}
+
+/// Assembles the successor core for `dataset` (the post-mutation dataset)
+/// and publishes it.  Called with the mutation mutex held.
+fn publish(
+    shared: &EngineShared,
+    state: &mut MutationState,
+    core: &Arc<EngineCore>,
+    dataset: Dataset,
+    delta: Delta<'_>,
+    kind: &'static str,
+    id: u64,
+) -> Result<MutationReceipt, AsrsError> {
+    let generation = core.generation + 1;
+    let mut index_maintenance = IndexMaintenance::NotIndexed;
+    let mut repartitioned = false;
+
+    // Top-level index upkeep: unsharded engines, and sharded engines that
+    // serve statistics from an attached whole-dataset index.
+    let index: Option<Arc<GridIndex>> = match core.upkeep {
+        IndexUpkeep::PerEngine { cols, rows } => {
+            let (next, how) = maintain_index(
+                core.index.as_deref(),
+                &dataset,
+                &core.aggregator,
+                cols,
+                rows,
+                delta,
+                state,
+                Some(&core.policy),
+            )?;
+            index_maintenance = how;
+            next.map(Arc::new)
+        }
+        IndexUpkeep::None | IndexUpkeep::PerShard { .. } => None,
+    };
+
+    // Shard upkeep: route the delta to the owning shard, or re-partition
+    // when the layout no longer fits.
+    let shards: Option<ShardSet> = match &core.shards {
+        None => None,
+        Some(set) => {
+            let needs_repartition = match delta {
+                Delta::Append(object) => match owning_shard_for_point(set, object) {
+                    None => true,
+                    Some(owner) => {
+                        let new_len = set.shards[owner].core.dataset.len() + 1;
+                        let fair = (dataset.len() as f64 / set.len() as f64).max(1.0);
+                        new_len as f64 > core.policy.shard_imbalance_factor * fair
+                    }
+                },
+                Delta::Remove(_) => false,
+            };
+            if needs_repartition {
+                repartitioned = true;
+                state.repartitions += 1;
+                // A re-partition rebuilds every populated shard's index
+                // from scratch inside `build_shard_set`; the receipt and
+                // the rebuild counter must say so.
+                if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
+                    index_maintenance = IndexMaintenance::Rebuilt;
+                    state.index_rebuilds += 1;
+                }
+                Some(build_shard_set(
+                    &dataset,
+                    &core.aggregator,
+                    &core.config,
+                    core.strategy,
+                    &core.planner,
+                    core.upkeep,
+                    set.len(),
+                    generation,
+                    &core.policy,
+                )?)
+            } else {
+                let (set, how) = update_shard_set(core, set, delta, generation, state)?;
+                if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
+                    index_maintenance = how;
+                }
+                Some(set)
+            }
+        }
+    };
+
+    // Statistics are recaptured per generation, mirroring the builder
+    // paths exactly so mutated and rebuilt engines plan identically.
+    let mut statistics = EngineStatistics::capture(&dataset, index.as_deref());
+    if let IndexUpkeep::PerShard { cols, rows } = core.upkeep {
+        statistics.index = if dataset.is_empty() {
+            None
+        } else {
+            Some(IndexStatistics::virtual_for(&dataset, cols, rows)?)
+        };
+    }
+    if let Some(set) = &shards {
+        statistics.shards = Some(set.fan_out());
+    }
+
+    let object_count = dataset.len();
+    let next = EngineCore {
+        generation,
+        dataset: Arc::new(dataset),
+        aggregator: Arc::clone(&core.aggregator),
+        config: core.config.clone(),
+        strategy: core.strategy,
+        index,
+        upkeep: core.upkeep,
+        planner: core.planner.clone(),
+        statistics,
+        cache: core.cache.clone(),
+        policy: core.policy.clone(),
+        shards,
+    };
+    shared.swap(Arc::new(next));
+
+    let logged = match (kind, delta) {
+        (_, Delta::Append(object)) => Mutation::Append {
+            object: object.clone(),
+        },
+        ("expire", Delta::Remove(_)) => Mutation::Expire { id },
+        (_, Delta::Remove(_)) => Mutation::Remove { id },
+    };
+    state.log.record(generation, logged);
+
+    Ok(MutationReceipt {
+        kind: kind.to_string(),
+        id,
+        generation,
+        object_count,
+        index: index_maintenance,
+        repartitioned,
+    })
+}
+
+/// Maintains one grid index under `delta`: incremental when the grid
+/// geometry still matches (and, with a rebuild budget, while the
+/// accumulated delta stays within it), a full rebuild otherwise.  Both
+/// paths produce bit-identical indexes (see [`GridIndex`]); the choice is
+/// performance.
+///
+/// `policy` is `Some` for the engine's whole-dataset index — the
+/// rebuild-fraction budget and its bookkeeping apply — and `None` for
+/// per-shard indexes, which never affect answers (the scatter searches
+/// the full instance) and only honour the geometry check.
+#[allow(clippy::too_many_arguments)]
+fn maintain_index(
+    current: Option<&GridIndex>,
+    dataset: &Dataset,
+    aggregator: &CompositeAggregator,
+    cols: usize,
+    rows: usize,
+    delta: Delta<'_>,
+    state: &mut MutationState,
+    policy: Option<&MutationPolicy>,
+) -> Result<(Option<GridIndex>, IndexMaintenance), AsrsError> {
+    if dataset.is_empty() {
+        // Nothing left to index; a fresh builder over the empty dataset
+        // would refuse to build one too.
+        return Ok((None, IndexMaintenance::Dropped));
+    }
+    let within_budget = match policy {
+        Some(policy) => {
+            let budget = (policy.index_rebuild_fraction
+                * state.objects_at_index_build.max(1) as f64)
+                .ceil() as usize;
+            state.mutations_since_index_build < budget.max(1)
+        }
+        None => true,
+    };
+    if let Some(idx) = current {
+        if within_budget && idx.space_matches(dataset) {
+            let mut next = idx.clone();
+            match delta {
+                Delta::Append(object) => next.update_append(object, aggregator),
+                Delta::Remove(object) => next.update_remove(object, dataset, aggregator),
+            }
+            if policy.is_some() {
+                state.mutations_since_index_build += 1;
+            }
+            state.incremental_updates += 1;
+            return Ok((Some(next), IndexMaintenance::Incremental));
+        }
+    }
+    let next = GridIndex::build(dataset, aggregator, cols, rows)?;
+    if policy.is_some() {
+        state.mutations_since_index_build = 0;
+        state.objects_at_index_build = dataset.len();
+    }
+    state.index_rebuilds += 1;
+    Ok((Some(next), IndexMaintenance::Rebuilt))
+}
+
+/// The shard an appended object routes to, honouring the partitioner's
+/// tie rule for cut-line points: `SpatialPartition` assigns an object
+/// sitting exactly on a cut to the *at-or-above* (right/upper) side, so a
+/// containing region whose max edge passes through the point does not own
+/// it — unless no other region does, which only happens on the partition
+/// extent's own max edges (and for the zero-area regions of degenerate
+/// partitions), where any containing region is fine.
+fn owning_shard_for_point(set: &ShardSet, object: &SpatialObject) -> Option<usize> {
+    let p = &object.location;
+    set.shards
+        .iter()
+        .position(|s| s.region.contains_point(p) && p.x < s.region.max_x && p.y < s.region.max_y)
+        .or_else(|| set.shards.iter().position(|s| s.region.contains_point(p)))
+}
+
+/// Applies `delta` to the owning shard's sub-core, sharing every untouched
+/// shard with the previous generation.  Returns the new shard table and
+/// what happened to the owning shard's index.
+fn update_shard_set(
+    core: &EngineCore,
+    set: &ShardSet,
+    delta: Delta<'_>,
+    generation: u64,
+    state: &mut MutationState,
+) -> Result<(ShardSet, IndexMaintenance), AsrsError> {
+    let owner = match delta {
+        Delta::Append(object) => owning_shard_for_point(set, object),
+        Delta::Remove(object) => set
+            .shards
+            .iter()
+            .position(|s| s.core.dataset.contains_id(object.id)),
+    };
+    let mut how = IndexMaintenance::NotIndexed;
+    let mut shards = Vec::with_capacity(set.len());
+    for (i, shard) in set.shards.iter().enumerate() {
+        let new_core = if Some(i) == owner {
+            let mut sub = (*shard.core.dataset).clone();
+            match delta {
+                Delta::Append(object) => sub.append(object.clone())?,
+                Delta::Remove(object) => {
+                    sub.remove_by_id(object.id);
+                }
+            }
+            let index = match core.upkeep {
+                IndexUpkeep::PerShard { cols, rows } => {
+                    let (next, shard_how) = maintain_index(
+                        shard.core.index.as_deref(),
+                        &sub,
+                        &core.aggregator,
+                        cols,
+                        rows,
+                        delta,
+                        state,
+                        None,
+                    )?;
+                    how = shard_how;
+                    next.map(Arc::new)
+                }
+                _ => None,
+            };
+            let statistics = EngineStatistics::capture(&sub, index.as_deref());
+            Arc::new(EngineCore {
+                generation,
+                dataset: Arc::new(sub),
+                aggregator: Arc::clone(&shard.core.aggregator),
+                config: shard.core.config.clone(),
+                strategy: shard.core.strategy,
+                index,
+                upkeep: shard.core.upkeep,
+                planner: shard.core.planner.clone(),
+                statistics,
+                cache: None,
+                policy: shard.core.policy.clone(),
+                shards: None,
+            })
+        } else {
+            Arc::clone(&shard.core)
+        };
+        shards.push(EngineShard {
+            region: shard.region,
+            core: new_core,
+            requests: AtomicU64::new(shard.requests.load(Ordering::Relaxed)),
+        });
+    }
+    Ok((ShardSet { shards }, how))
+}

@@ -199,9 +199,34 @@ pub struct ExecutionPlan {
     pub budget_ms: Option<u64>,
     /// Scatter fan-out of a sharded engine, when planning for one.
     pub fan_out: Option<ShardFanOut>,
+    /// Estimated work of the *chosen* backend (the admission-control
+    /// input), in the same abstract units as [`CostEstimate`].
+    pub chosen_cost: f64,
+    /// The admission ceiling in force, if any (see
+    /// [`Planner::cost_ceiling`]).
+    pub cost_ceiling: Option<f64>,
 }
 
 impl ExecutionPlan {
+    /// Admission control: rejects the plan when the chosen backend's cost
+    /// estimate exceeds the engine's configured ceiling.  Executors call
+    /// this *before* running the plan, so an extent-spanning query is
+    /// turned away at the door (HTTP 429 at the serving layer) instead of
+    /// starving the worker pool.  Planning itself never fails on the
+    /// ceiling — `/explain` can still show *why* a request would be
+    /// rejected.
+    pub fn admit(&self) -> Result<(), crate::AsrsError> {
+        match self.cost_ceiling {
+            Some(ceiling) if self.chosen_cost > ceiling => {
+                Err(crate::AsrsError::CostCeilingExceeded {
+                    estimated: self.chosen_cost,
+                    ceiling,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// A human-readable summary of the choice and the estimated work.
     pub fn explain(&self) -> String {
         let mut out = format!(
@@ -230,6 +255,17 @@ impl ExecutionPlan {
             out.push_str(&format!(
                 "; fan-out: scatter over {} of {} shards",
                 fan_out.populated, fan_out.shards
+            ));
+        }
+        if let Some(ceiling) = self.cost_ceiling {
+            let verdict = if self.chosen_cost > ceiling {
+                "REJECTED"
+            } else {
+                "admitted"
+            };
+            out.push_str(&format!(
+                "; admission: chosen ≈ {:.3e} vs ceiling {:.3e} → {}",
+                self.chosen_cost, ceiling, verdict
             ));
         }
         match self.budget_ms {
@@ -307,6 +343,14 @@ pub struct Planner {
     /// Default 0.5: at that size, pruning bounds computed per index cell
     /// overlap on more than half the extent and rarely discard anything.
     pub span_threshold: f64,
+    /// Admission ceiling on the chosen backend's cost estimate, in the
+    /// abstract rectangle-visit units of [`CostEstimate`]; a request whose
+    /// estimate exceeds it is rejected with
+    /// [`AsrsError::CostCeilingExceeded`](crate::AsrsError::CostCeilingExceeded)
+    /// *before* execution (the serving layer answers HTTP 429).  `None`
+    /// (the default) admits everything — backpressure alone bounds load.
+    /// See [`EngineBuilder::cost_ceiling`](crate::EngineBuilder::cost_ceiling).
+    pub cost_ceiling: Option<f64>,
 }
 
 impl Default for Planner {
@@ -314,6 +358,7 @@ impl Default for Planner {
         Self {
             naive_max_objects: 16,
             span_threshold: 0.5,
+            cost_ceiling: None,
         }
     }
 }
@@ -408,6 +453,11 @@ impl Planner {
             }
         };
 
+        let chosen_cost = match backend {
+            Backend::DsSearch => estimates.ds_search,
+            Backend::GiDs => estimates.gi_ds.unwrap_or(estimates.ds_search),
+            Backend::Naive => estimates.naive,
+        };
         Ok(ExecutionPlan {
             backend,
             reason,
@@ -416,6 +466,8 @@ impl Planner {
             span_ratio,
             budget_ms,
             fan_out: stats.shards,
+            chosen_cost,
+            cost_ceiling: self.cost_ceiling,
         })
     }
 
@@ -605,6 +657,56 @@ mod tests {
                 operation: "max-rs"
             }
         );
+    }
+
+    #[test]
+    fn cost_ceiling_rejects_expensive_plans_before_execution() {
+        let planner = Planner {
+            cost_ceiling: Some(1.0),
+            ..Planner::default()
+        };
+        let plan = planner
+            .plan(
+                &stats(500, true),
+                Strategy::Auto,
+                &similar(RegionSize::new(4.0, 4.0)),
+            )
+            .unwrap();
+        // Planning itself succeeds (so /explain can justify the verdict)…
+        assert!(plan.chosen_cost > 1.0);
+        assert_eq!(plan.cost_ceiling, Some(1.0));
+        assert!(plan.explain().contains("REJECTED"), "{}", plan.explain());
+        // …but admission fails.
+        assert!(matches!(
+            plan.admit(),
+            Err(crate::AsrsError::CostCeilingExceeded { .. })
+        ));
+
+        // A generous ceiling admits.
+        let generous = Planner {
+            cost_ceiling: Some(1e18),
+            ..Planner::default()
+        };
+        let plan = generous
+            .plan(
+                &stats(500, true),
+                Strategy::Auto,
+                &similar(RegionSize::new(4.0, 4.0)),
+            )
+            .unwrap();
+        assert!(plan.admit().is_ok());
+        assert!(plan.explain().contains("admitted"), "{}", plan.explain());
+
+        // No ceiling: everything admits, explain stays quiet about it.
+        let plan = Planner::default()
+            .plan(
+                &stats(500, true),
+                Strategy::Auto,
+                &similar(RegionSize::new(4.0, 4.0)),
+            )
+            .unwrap();
+        assert!(plan.admit().is_ok());
+        assert!(!plan.explain().contains("admission"));
     }
 
     #[test]

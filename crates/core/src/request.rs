@@ -284,6 +284,23 @@ impl QueryRequest {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RequestKey(Vec<u8>);
 
+impl RequestKey {
+    /// Stamps the key with an engine generation, producing the composite
+    /// key a *mutable* engine caches under.
+    ///
+    /// The generation is prepended to the canonical fingerprint, so the
+    /// same request submitted before and after a mutation maps to two
+    /// disjoint keys — a stale hit is structurally impossible rather than
+    /// merely invalidated.  Entries of superseded generations age out of
+    /// the cache through normal LRU eviction.
+    pub fn stamped(mut self, generation: u64) -> RequestKey {
+        let mut bytes = Vec::with_capacity(self.0.len() + 8);
+        bytes.extend_from_slice(&generation.to_le_bytes());
+        bytes.append(&mut self.0);
+        RequestKey(bytes)
+    }
+}
+
 /// Collapses `-0.0`/`+0.0` and all NaN payloads; every other value keeps
 /// its exact bit pattern.
 fn canonical_f64_bits(v: f64) -> u64 {
@@ -608,6 +625,20 @@ mod tests {
         assert_eq!(
             QueryRequest::similar(nan_a).cache_key(),
             QueryRequest::similar(nan_b).cache_key()
+        );
+    }
+
+    #[test]
+    fn generation_stamps_separate_otherwise_equal_keys() {
+        let req = QueryRequest::similar(query());
+        let g0 = req.cache_key().stamped(0);
+        let g1 = req.cache_key().stamped(1);
+        assert_ne!(g0, g1, "different generations must never collide");
+        assert_eq!(g0, req.cache_key().stamped(0), "stamping is deterministic");
+        // Stamping must not conflate different requests of one generation.
+        assert_ne!(
+            QueryRequest::top_k(query(), 2).cache_key().stamped(3),
+            QueryRequest::top_k(query(), 4).cache_key().stamped(3)
         );
     }
 

@@ -80,8 +80,10 @@ pub(crate) struct EngineShard {
     /// The shard's own core: sub-dataset, per-shard grid index, per-shard
     /// statistics.  Never itself sharded, never caching (the query-result
     /// cache lives at the top level so its keys stay shard-count
-    /// independent).
-    pub(crate) core: EngineCore,
+    /// independent).  Behind an [`Arc`] so a mutation that touches one
+    /// shard shares the untouched siblings with the previous generation
+    /// instead of cloning them.
+    pub(crate) core: Arc<EngineCore>,
     /// Scattered executions this shard participated in (serving metrics).
     pub(crate) requests: AtomicU64,
 }
@@ -118,6 +120,99 @@ impl ShardSet {
     pub(crate) fn regions(&self) -> Vec<Rect> {
         self.shards.iter().map(|s| s.region).collect()
     }
+
+    /// The fan-out description surfaced by plans and `/metrics`.
+    pub(crate) fn fan_out(&self) -> crate::planner::ShardFanOut {
+        crate::planner::ShardFanOut {
+            shards: self.len(),
+            populated: self
+                .shards
+                .iter()
+                .filter(|s| !s.core.dataset.is_empty())
+                .count(),
+        }
+    }
+}
+
+/// Builds the shard table for `dataset`: spatial partition, one sub-core
+/// per region, and — when `upkeep` asks for per-shard indexes — one grid
+/// index per populated shard, built in parallel.  Shared by
+/// [`EngineBuilder::shards`](crate::EngineBuilder::shards) and the
+/// generational mutation path (which re-partitions through this function
+/// whenever a mutation unbalances the layout or leaves the extent).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_shard_set(
+    dataset: &Dataset,
+    aggregator: &Arc<CompositeAggregator>,
+    config: &SearchConfig,
+    strategy: crate::engine::Strategy,
+    planner: &crate::planner::Planner,
+    upkeep: crate::engine::IndexUpkeep,
+    n: usize,
+    generation: u64,
+    policy: &crate::mutate::MutationPolicy,
+) -> Result<ShardSet, AsrsError> {
+    let build_granularity = match upkeep {
+        crate::engine::IndexUpkeep::PerShard { cols, rows } => Some((cols, rows)),
+        _ => None,
+    };
+    let partition = asrs_data::SpatialPartition::build(dataset, n);
+    let subs = partition.sub_datasets(dataset);
+
+    // Per-shard index builds are independent; fan them out (on multi-core
+    // hosts n small builds finish in a fraction of one whole-dataset
+    // build's wall clock).
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let shard_indexes: Vec<Option<crate::grid_index::GridIndex>> = match build_granularity {
+        None => subs.iter().map(|_| None).collect(),
+        Some((cols, rows)) => parallel_map(subs.len(), workers, |i| {
+            if subs[i].is_empty() {
+                Ok(None)
+            } else {
+                crate::grid_index::GridIndex::build(&subs[i], aggregator, cols, rows).map(Some)
+            }
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?,
+    };
+
+    // The per-shard cores carry each shard's sub-dataset, index and
+    // statistics.  Today they power per-shard planner statistics,
+    // `/metrics` fan-out accounting and the fan-out estimate in
+    // `explain()`; the scatter executor itself still searches the shared
+    // full instance (exactness over shard-local indexes needs halo-aware
+    // summary tables — a noted ROADMAP follow-up).
+    let shards: Vec<EngineShard> = subs
+        .into_iter()
+        .zip(shard_indexes)
+        .zip(partition.regions().iter().copied())
+        .map(|((sub, shard_index), region)| {
+            let shard_statistics =
+                crate::planner::EngineStatistics::capture(&sub, shard_index.as_ref());
+            EngineShard {
+                region,
+                core: Arc::new(EngineCore {
+                    generation,
+                    dataset: Arc::new(sub),
+                    aggregator: Arc::clone(aggregator),
+                    config: config.clone(),
+                    strategy,
+                    index: shard_index.map(Arc::new),
+                    upkeep: crate::engine::IndexUpkeep::None,
+                    planner: planner.clone(),
+                    statistics: shard_statistics,
+                    cache: None,
+                    policy: policy.clone(),
+                    shards: None,
+                }),
+                requests: AtomicU64::new(0),
+            }
+        })
+        .collect();
+
+    Ok(ShardSet { shards })
 }
 
 /// The anchor slab shard `region` is responsible for: the region extended

@@ -75,6 +75,72 @@ impl Dataset {
         &self.objects[idx]
     }
 
+    /// Appends `object` at the tail of the dataset, validating it against
+    /// the schema.
+    ///
+    /// Appending preserves the order of existing objects, so a dataset
+    /// grown by appends is byte-identical (objects and their order) to a
+    /// dataset constructed from the final object vector in one go — the
+    /// property the generational engine's rebuild-equivalence guarantee
+    /// rests on.  The bounding box is maintained incrementally (a union
+    /// with the new location, no rescan).
+    ///
+    /// Id uniqueness is *not* checked here (a dataset is allowed to carry
+    /// duplicate ids, and several seed datasets do); the engine layer
+    /// enforces uniqueness for mutable engines, where removal-by-id must be
+    /// unambiguous.
+    pub fn append(&mut self, object: SpatialObject) -> Result<(), SchemaError> {
+        self.schema.validate_values(&object.values)?;
+        let location = object.location;
+        self.objects.push(object);
+        self.bbox_cache = Some(match self.bbox_cache {
+            Some(bbox) => Rect::new(
+                bbox.min_x.min(location.x),
+                bbox.min_y.min(location.y),
+                bbox.max_x.max(location.x),
+                bbox.max_y.max(location.y),
+            ),
+            None => Rect::new(location.x, location.y, location.x, location.y),
+        });
+        Ok(())
+    }
+
+    /// Removes the first object whose id equals `id`, returning it, or
+    /// `None` when no object matches.
+    ///
+    /// Removal preserves the relative order of the remaining objects
+    /// (`Vec::remove` semantics), so the surviving object vector equals the
+    /// one a fresh dataset built without the removed object would hold —
+    /// again the rebuild-equivalence property.  The bounding box is
+    /// recomputed only when the removed location sat on the old boundary.
+    pub fn remove_by_id(&mut self, id: u64) -> Option<SpatialObject> {
+        let idx = self.objects.iter().position(|o| o.id == id)?;
+        let removed = self.objects.remove(idx);
+        let on_boundary = self.bbox_cache.is_some_and(|bbox| {
+            let p = removed.location;
+            p.x == bbox.min_x || p.x == bbox.max_x || p.y == bbox.min_y || p.y == bbox.max_y
+        });
+        if on_boundary {
+            self.bbox_cache = self.compute_bbox();
+        }
+        Some(removed)
+    }
+
+    /// Returns `true` when any object carries `id`.
+    pub fn contains_id(&self, id: u64) -> bool {
+        self.objects.iter().any(|o| o.id == id)
+    }
+
+    /// The smallest id strictly greater than every id in the dataset
+    /// (`0` when empty) — a convenient id source for appended objects.
+    pub fn next_id(&self) -> u64 {
+        self.objects
+            .iter()
+            .map(|o| o.id)
+            .max()
+            .map_or(0, |max| max + 1)
+    }
+
     fn compute_bbox(&self) -> Option<Rect> {
         Rect::mbr_of_points(self.objects.iter().map(|o| o.location))
     }
@@ -347,6 +413,76 @@ mod tests {
         assert_eq!(ds.observed_categories(0), vec![0, 1, 2]);
         assert_eq!(ds.numeric_extent(1), Some((10.0, 40.0)));
         assert_eq!(ds.numeric_extent(0), None);
+    }
+
+    #[test]
+    fn append_validates_and_grows_the_bounding_box() {
+        let mut ds = dataset();
+        let bad = SpatialObject::new(
+            9,
+            Point::new(0.0, 0.0),
+            vec![AttrValue::Cat(9), AttrValue::Num(1.0)],
+        );
+        assert!(ds.append(bad).is_err());
+        assert_eq!(ds.len(), 4, "a rejected append must not change anything");
+
+        let outside = SpatialObject::new(
+            9,
+            Point::new(-3.0, 7.0),
+            vec![AttrValue::Cat(1), AttrValue::Num(5.0)],
+        );
+        ds.append(outside).unwrap();
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.bounding_box().unwrap(), Rect::new(-3.0, 0.0, 4.0, 7.0));
+        assert_eq!(ds.next_id(), 10);
+        assert!(ds.contains_id(9));
+
+        // Appending from empty seeds the box at the point itself.
+        let mut empty = Dataset::new_unchecked(Schema::empty(), vec![]);
+        empty
+            .append(SpatialObject::new(0, Point::new(2.0, 3.0), vec![]))
+            .unwrap();
+        assert_eq!(empty.bounding_box().unwrap(), Rect::new(2.0, 3.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn remove_by_id_preserves_order_and_shrinks_the_box() {
+        let mut ds = dataset();
+        // Object 2 at (2, 5) defines max_y.
+        let removed = ds.remove_by_id(2).unwrap();
+        assert_eq!(removed.location, Point::new(2.0, 5.0));
+        assert_eq!(ds.bounding_box().unwrap(), Rect::new(0.0, 0.0, 4.0, 3.0));
+        let ids: Vec<u64> = ds.iter().map(|(_, o)| o.id).collect();
+        assert_eq!(ids, vec![0, 1, 3], "remaining order must be preserved");
+        assert!(ds.remove_by_id(2).is_none());
+        assert!(!ds.contains_id(2));
+    }
+
+    #[test]
+    fn mutated_dataset_equals_a_fresh_rebuild() {
+        // The rebuild-equivalence property: the same mutation sequence
+        // applied to a dataset leaves an object vector identical to one
+        // constructed directly from the surviving objects.
+        let mut mutated = dataset();
+        mutated
+            .append(SpatialObject::new(
+                10,
+                Point::new(1.5, 2.5),
+                vec![AttrValue::Cat(2), AttrValue::Num(55.0)],
+            ))
+            .unwrap();
+        mutated.remove_by_id(1).unwrap();
+        mutated
+            .append(SpatialObject::new(
+                11,
+                Point::new(3.5, 0.5),
+                vec![AttrValue::Cat(0), AttrValue::Num(5.0)],
+            ))
+            .unwrap();
+
+        let rebuilt = Dataset::new(mutated.schema().clone(), mutated.objects().to_vec()).unwrap();
+        assert_eq!(&rebuilt, &mutated);
+        assert_eq!(rebuilt.bounding_box(), mutated.bounding_box());
     }
 
     #[test]

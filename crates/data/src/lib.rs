@@ -9,8 +9,12 @@
 //!   price, rating, number of visits).
 //! * [`AttrValue`] — a single attribute value.
 //! * [`SpatialObject`] — a location plus one value per schema attribute.
-//! * [`Dataset`] — an immutable collection of objects sharing a schema, with
-//!   bounding-box, sampling and region-extraction helpers.
+//! * [`Dataset`] — a collection of objects sharing a schema, with
+//!   bounding-box, sampling and region-extraction helpers plus
+//!   order-preserving [`Dataset::append`] / [`Dataset::remove_by_id`]
+//!   mutators (the substrate of the generational engine in `asrs-core`).
+//! * [`Mutation`] / [`MutationLog`] — serializable dataset deltas and the
+//!   bounded log of what a generational engine applied.
 //! * [`SpatialPartition`] — longest-axis recursive spatial partitioning of a
 //!   dataset into `n` shard regions (the data layout of the sharded engine).
 //! * [`io`] — a small CSV-like text format for saving and loading datasets.
@@ -24,12 +28,14 @@
 mod dataset;
 pub mod gen;
 pub mod io;
+mod mutation;
 mod object;
 mod partition;
 mod schema;
 mod value;
 
 pub use dataset::{Dataset, DatasetBuilder};
+pub use mutation::{LoggedMutation, Mutation, MutationLog};
 pub use object::SpatialObject;
 pub use partition::SpatialPartition;
 pub use schema::{AttributeDef, AttributeKind, Schema, SchemaError};

@@ -17,8 +17,15 @@
 //! * `GET /explain` — runs the cost-based planner without executing and
 //!   reports the chosen backend, the reason, and the work estimates (the
 //!   request travels in the body, like `/query`).
-//! * `GET /metrics` — request counters, cache hit/miss counters and the
-//!   merged [`SearchStats`](asrs_core::SearchStats) of every query served.
+//! * `POST /append` — appends a spatial object (optionally TTL'd via
+//!   `ttl_ms`) to the live engine, returning the
+//!   [`MutationReceipt`](asrs_core::MutationReceipt) with the new
+//!   generation; 409 for a duplicate id, 400 for a schema violation.
+//! * `DELETE /objects/{id}` — removes an object by id (404 when absent).
+//! * `POST /sweep` — expires every TTL'd object whose deadline passed.
+//! * `GET /metrics` — request counters, cache hit/miss counters, the
+//!   engine generation with its mutation counters, and the merged
+//!   [`SearchStats`](asrs_core::SearchStats) of every query served.
 //! * `GET /healthz` — liveness.
 //!
 //! ```no_run

@@ -1,7 +1,7 @@
 //! Server-side observability: request counters plus the merged
 //! [`SearchStats`] of every executed query, snapshotted by `GET /metrics`.
 
-use asrs_core::{CacheStats, SearchStats};
+use asrs_core::{CacheStats, MutationStats, SearchStats};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -16,6 +16,9 @@ pub struct ServerMetrics {
     queries_ok: AtomicU64,
     queries_client_error: AtomicU64,
     queries_server_error: AtomicU64,
+    mutations_ok: AtomicU64,
+    mutations_client_error: AtomicU64,
+    mutations_server_error: AtomicU64,
     plans_explained: AtomicU64,
     protocol_errors: AtomicU64,
     search: Mutex<SearchStats>,
@@ -29,9 +32,24 @@ impl ServerMetrics {
             queries_ok: AtomicU64::new(0),
             queries_client_error: AtomicU64::new(0),
             queries_server_error: AtomicU64::new(0),
+            mutations_ok: AtomicU64::new(0),
+            mutations_client_error: AtomicU64::new(0),
+            mutations_server_error: AtomicU64::new(0),
             plans_explained: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             search: Mutex::new(SearchStats::new()),
+        }
+    }
+
+    pub(crate) fn record_mutation_ok(&self) {
+        self.mutations_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_mutation_error(&self, status: u16) {
+        if status >= 500 {
+            self.mutations_server_error.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.mutations_client_error.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -68,11 +86,13 @@ impl ServerMetrics {
     /// `search.cache_hits` / `search.cache_misses`, keeping the whole
     /// search-side story in one [`SearchStats`] value.  `shard_requests`
     /// carries the engine's per-shard scattered-execution counts when the
-    /// engine is sharded.
+    /// engine is sharded; `mutations` the generational engine's mutation
+    /// counters (generation number included).
     pub(crate) fn snapshot(
         &self,
         cache: Option<CacheStats>,
         shard_requests: Option<Vec<u64>>,
+        mutations: MutationStats,
     ) -> MetricsSnapshot {
         let mut search = self.search.lock().expect("metrics mutex poisoned").clone();
         let cache = cache.map(|c| {
@@ -92,14 +112,19 @@ impl ServerMetrics {
         });
         MetricsSnapshot {
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            generation: mutations.generation,
             requests_total: self.requests_total.load(Ordering::Relaxed),
             queries_ok: self.queries_ok.load(Ordering::Relaxed),
             queries_client_error: self.queries_client_error.load(Ordering::Relaxed),
             queries_server_error: self.queries_server_error.load(Ordering::Relaxed),
+            mutations_ok: self.mutations_ok.load(Ordering::Relaxed),
+            mutations_client_error: self.mutations_client_error.load(Ordering::Relaxed),
+            mutations_server_error: self.mutations_server_error.load(Ordering::Relaxed),
             plans_explained: self.plans_explained.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             cache,
             shards,
+            mutations,
             search,
         }
     }
@@ -136,6 +161,9 @@ pub struct CacheSnapshot {
 pub struct MetricsSnapshot {
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
+    /// Current engine generation (0 until the first mutation; mirrors
+    /// `mutations.generation`).
+    pub generation: u64,
     /// Every request routed, any endpoint.
     pub requests_total: u64,
     /// `/query` requests answered 200.
@@ -144,6 +172,13 @@ pub struct MetricsSnapshot {
     pub queries_client_error: u64,
     /// `/query` requests answered 5xx.
     pub queries_server_error: u64,
+    /// Mutation requests (`/append`, `DELETE /objects/{id}`, `/sweep`)
+    /// answered 200.
+    pub mutations_ok: u64,
+    /// Mutation requests answered 4xx.
+    pub mutations_client_error: u64,
+    /// Mutation requests answered 5xx.
+    pub mutations_server_error: u64,
     /// `/explain` requests answered.
     pub plans_explained: u64,
     /// Connections dropped for malformed framing.
@@ -152,6 +187,10 @@ pub struct MetricsSnapshot {
     pub cache: Option<CacheSnapshot>,
     /// Per-shard request counters (absent on single-engine deployments).
     pub shards: Option<ShardsSnapshot>,
+    /// Generational-engine mutation counters: generation number, applied
+    /// appends/removals/expiries, incremental index updates vs rebuilds,
+    /// shard re-partitions, pending TTLs.
+    pub mutations: MutationStats,
     /// Merged statistics of every successful query; `cache_hits` /
     /// `cache_misses` mirror the cache counters above.
     pub search: SearchStats,

@@ -11,7 +11,8 @@
 use crate::http::{self, HttpRequest};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use asrs_core::{AsrsError, EngineHandle, QueryRequest};
-use serde::Serialize;
+use asrs_data::SpatialObject;
+use serde::{Deserialize, Serialize};
 use std::io::{self, BufReader};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -138,6 +139,7 @@ impl ServerHandle {
         self.shared.metrics.snapshot(
             self.shared.engine.cache_stats(),
             self.shared.engine.shard_request_counts(),
+            self.shared.engine.mutation_stats(),
         )
     }
 
@@ -284,15 +286,28 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
         // /explain answers GET for symmetry with /metrics, but the request
         // payload travels in the body either way.
         ("GET" | "POST", "/explain") => handle_explain(shared, &request.body),
+        ("POST", "/append") => handle_append(shared, &request.body),
+        ("DELETE", p) if p.strip_prefix("/objects/").is_some() => {
+            handle_delete(shared, p.strip_prefix("/objects/").unwrap_or(""))
+        }
+        ("POST", "/sweep") => handle_sweep(shared),
         ("GET", "/metrics") => (
             200,
             serde::json::to_string(&shared.metrics.snapshot(
                 shared.engine.cache_stats(),
                 shared.engine.shard_request_counts(),
+                shared.engine.mutation_stats(),
             )),
         ),
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
-        (_, "/query" | "/explain" | "/metrics" | "/healthz") => (
+        (_, "/query" | "/explain" | "/metrics" | "/healthz" | "/append" | "/sweep") => (
+            405,
+            error_body(
+                "method-not-allowed",
+                &format!("{} does not accept {}", path, request.method),
+            ),
+        ),
+        (_, p) if p.starts_with("/objects/") => (
             405,
             error_body(
                 "method-not-allowed",
@@ -332,6 +347,88 @@ fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
     }
 }
 
+/// The `POST /append` payload: the object to insert plus an optional
+/// time-to-live in milliseconds (expired objects are removed by
+/// `POST /sweep`).
+#[derive(Debug, Deserialize)]
+struct AppendBody {
+    object: SpatialObject,
+    ttl_ms: Option<u64>,
+}
+
+fn handle_append(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let parsed: Result<AppendBody, String> = std::str::from_utf8(body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| serde::json::from_str(text).map_err(|e| e.to_string()));
+    let append = match parsed {
+        Ok(append) => append,
+        Err(message) => {
+            shared.metrics.record_mutation_error(400);
+            return (400, error_body("invalid-json", &message));
+        }
+    };
+    let result = match append.ttl_ms {
+        Some(ms) => shared
+            .engine
+            .append_with_ttl(append.object, Duration::from_millis(ms)),
+        None => shared.engine.append(append.object),
+    };
+    match result {
+        Ok(receipt) => {
+            shared.metrics.record_mutation_ok();
+            (200, serde::json::to_string(&receipt))
+        }
+        Err(error) => {
+            let (status, kind) = status_for(&error);
+            shared.metrics.record_mutation_error(status);
+            (status, error_body(kind, &error.to_string()))
+        }
+    }
+}
+
+fn handle_delete(shared: &Shared, id: &str) -> (u16, String) {
+    let Ok(id) = id.parse::<u64>() else {
+        shared.metrics.record_mutation_error(400);
+        return (
+            400,
+            error_body("invalid-object-id", &format!("{id:?} is not a u64 id")),
+        );
+    };
+    match shared.engine.remove(id) {
+        Ok(receipt) => {
+            shared.metrics.record_mutation_ok();
+            (200, serde::json::to_string(&receipt))
+        }
+        Err(error) => {
+            let (status, kind) = status_for(&error);
+            shared.metrics.record_mutation_error(status);
+            (status, error_body(kind, &error.to_string()))
+        }
+    }
+}
+
+fn handle_sweep(shared: &Shared) -> (u16, String) {
+    match shared.engine.sweep_expired() {
+        Ok(receipts) => {
+            shared.metrics.record_mutation_ok();
+            (
+                200,
+                serde::json::to_string(&SweepBody { expired: receipts }),
+            )
+        }
+        Err(error) => {
+            let (status, kind) = status_for(&error);
+            shared.metrics.record_mutation_error(status);
+            (status, error_body(kind, &error.to_string()))
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct SweepBody {
+    expired: Vec<asrs_core::MutationReceipt>,
+}
+
 fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
     let request = match parse_request_body(body) {
         Ok(request) => request,
@@ -362,11 +459,16 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
 }
 
 /// Maps an engine error to its HTTP status and a stable machine-readable
-/// kind: 408 for a spent budget, 500 for engine-internal failures, 400 for
-/// everything the client phrased wrong.
+/// kind: 408 for a spent budget, 429 for a breached admission ceiling,
+/// 404/409 for mutations addressing the wrong id, 500 for engine-internal
+/// failures, 400 for everything the client phrased wrong.
 pub fn status_for(error: &AsrsError) -> (u16, &'static str) {
     match error {
         AsrsError::DeadlineExceeded { .. } => (408, "deadline-exceeded"),
+        AsrsError::CostCeilingExceeded { .. } => (429, "cost-ceiling-exceeded"),
+        AsrsError::UnknownObjectId { .. } => (404, "unknown-object-id"),
+        AsrsError::DuplicateObjectId { .. } => (409, "duplicate-object-id"),
+        AsrsError::Schema(_) => (400, "schema-violation"),
         AsrsError::Internal { .. } => (500, "internal"),
         AsrsError::Query(_) => (400, "invalid-query"),
         AsrsError::Config(_) => (400, "invalid-config"),

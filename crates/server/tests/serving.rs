@@ -92,6 +92,130 @@ fn smoke_boot_round_trip_clean_shutdown() {
 }
 
 #[test]
+fn mutation_endpoints_append_remove_sweep_and_report_generations() {
+    let engine = engine(64);
+    let server = start(&engine);
+    let addr = server.addr();
+    let mut client = HttpClient::connect(addr).unwrap();
+
+    // The pre-mutation answer to a fixed request (also warms the cache).
+    let request = QueryRequest::similar(sample_query(2));
+    let body = serde::json::to_string(&request);
+    let (status, before) = client.request("POST", "/query", &body).unwrap();
+    assert_eq!(status, 200);
+
+    // Append a valid object near the extent's middle.
+    let template = engine.dataset().object(0).clone();
+    let object = asrs_data::SpatialObject::new(
+        100_000,
+        asrs_geo::Point::new(50.0, 50.0),
+        template.values.clone(),
+    );
+    let append = format!("{{\"object\":{}}}", serde::json::to_string(&object));
+    let (status, receipt) = client.request("POST", "/append", &append).unwrap();
+    assert_eq!(status, 200, "{receipt}");
+    assert!(receipt.contains("\"generation\":1"), "{receipt}");
+    assert!(receipt.contains("\"kind\":\"append\""), "{receipt}");
+
+    // A duplicate id is a 409.
+    let (status, body409) = client.request("POST", "/append", &append).unwrap();
+    assert_eq!(status, 409, "{body409}");
+    assert!(body409.contains("duplicate-object-id"), "{body409}");
+
+    // The same query now answers from generation 1 — and must equal a
+    // fresh engine rebuilt from the mutated dataset, not the stale cache.
+    let (status, after) = client.request("POST", "/query", &body).unwrap();
+    assert_eq!(status, 200);
+    let rebuilt = AsrsEngine::builder((*engine.dataset()).clone(), (*engine.aggregator()).clone())
+        .build_index(20, 20)
+        .build()
+        .unwrap();
+    let after_response: QueryResponse = serde::json::from_str(&after).unwrap();
+    let rebuilt_response = rebuilt.submit(&request).unwrap();
+    assert_eq!(
+        serde::json::to_string(&after_response.stats_stripped()),
+        serde::json::to_string(&rebuilt_response.stats_stripped()),
+        "post-append response must match a rebuilt engine"
+    );
+    let _ = before;
+
+    // DELETE removes by id; a second DELETE of the same id is a 404.
+    let (status, receipt) = client.request("DELETE", "/objects/100000", "").unwrap();
+    assert_eq!(status, 200, "{receipt}");
+    assert!(receipt.contains("\"generation\":2"), "{receipt}");
+    let (status, missing) = client.request("DELETE", "/objects/100000", "").unwrap();
+    assert_eq!(status, 404, "{missing}");
+    assert!(missing.contains("unknown-object-id"), "{missing}");
+    let (status, bad) = client
+        .request("DELETE", "/objects/not-a-number", "")
+        .unwrap();
+    assert_eq!(status, 400, "{bad}");
+
+    // TTL'd append + sweep: a zero TTL expires on the next sweep.
+    let ttl_append = format!(
+        "{{\"object\":{},\"ttl_ms\":0}}",
+        serde::json::to_string(&asrs_data::SpatialObject::new(
+            100_001,
+            asrs_geo::Point::new(51.0, 51.0),
+            template.values.clone(),
+        ))
+    );
+    let (status, _) = client.request("POST", "/append", &ttl_append).unwrap();
+    assert_eq!(status, 200);
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let (status, swept) = client.request("POST", "/sweep", "").unwrap();
+    assert_eq!(status, 200, "{swept}");
+    assert!(swept.contains("\"kind\":\"expire\""), "{swept}");
+    assert!(swept.contains("\"id\":100001"), "{swept}");
+
+    // /metrics reports the generation and the mutation counters.
+    let (status, metrics) = client.request("GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"generation\":4"), "{metrics}");
+    assert!(metrics.contains("\"appends\":2"), "{metrics}");
+    assert!(metrics.contains("\"removes\":1"), "{metrics}");
+    assert!(metrics.contains("\"expiries\":1"), "{metrics}");
+    assert!(metrics.contains("\"mutations_ok\":4"), "{metrics}");
+    assert!(
+        metrics.contains("\"mutations_client_error\":3"),
+        "{metrics}"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn admission_ceiling_maps_to_http_429() {
+    let ds = UniformGenerator::default().generate(400, 78);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    let engine = AsrsEngine::builder(ds, agg)
+        .build_index(20, 20)
+        .cost_ceiling(1.0) // everything costs more than one rectangle visit
+        .build()
+        .unwrap();
+    let server = start(&engine);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let request = QueryRequest::similar(sample_query(1));
+    let (status, body) = client
+        .request("POST", "/query", &serde::json::to_string(&request))
+        .unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("cost-ceiling-exceeded"), "{body}");
+    // /explain still answers (planning never fails on the ceiling) and
+    // names the rejection.
+    let (status, body) = client
+        .request("GET", "/explain", &serde::json::to_string(&request))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("REJECTED"), "{body}");
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn engine_errors_map_to_http_statuses() {
     let engine = engine(0);
     let server = start(&engine);

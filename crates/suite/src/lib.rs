@@ -18,17 +18,18 @@ pub mod prelude {
     pub use asrs_core::{
         AsrsEngine, AsrsError, AsrsQuery, Backend, Budget, CacheStats, ConfigError, CostEstimate,
         DsSearch, EngineBuilder, EngineHandle, EngineStatistics, ExecutionPlan, GiDsSearch,
-        GridIndex, IndexStatistics, MaxRsResult, MaxRsSearch, NaiveSearch, PlanReason, Planner,
-        QueryCache, QueryError, QueryOutcome, QueryRequest, QueryResponse, RequestKey,
-        SearchAlgorithm, SearchConfig, SearchResult, SearchStats, ShardFanOut, Strategy,
+        GridIndex, IndexMaintenance, IndexStatistics, MaxRsResult, MaxRsSearch, MutationPolicy,
+        MutationReceipt, MutationStats, NaiveSearch, PlanReason, Planner, QueryCache, QueryError,
+        QueryOutcome, QueryRequest, QueryResponse, RequestKey, SearchAlgorithm, SearchConfig,
+        SearchResult, SearchStats, ShardFanOut, Strategy,
     };
     pub use asrs_data::gen::{
         CityGenerator, CityMap, ClusteredGenerator, District, PoiSynGenerator, TweetGenerator,
         UniformGenerator, CITY_CATEGORIES, WEEKDAY_LABELS,
     };
     pub use asrs_data::{
-        AttrValue, AttributeDef, AttributeKind, Dataset, DatasetBuilder, Schema, SpatialObject,
-        SpatialPartition,
+        AttrValue, AttributeDef, AttributeKind, Dataset, DatasetBuilder, LoggedMutation, Mutation,
+        MutationLog, Schema, SpatialObject, SpatialPartition,
     };
     pub use asrs_geo::{Accuracy, GridSpec, Point, Rect, RegionSize};
     pub use asrs_server::{

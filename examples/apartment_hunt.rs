@@ -110,7 +110,8 @@ fn main() {
 
     // Compare against the sweep-line baseline, plugged in as an external
     // backend (external backends bypass the planner by design).
-    let baseline = SweepBase::new(engine.dataset(), engine.aggregator());
+    let (base_ds, base_agg) = (engine.dataset(), engine.aggregator());
+    let baseline = SweepBase::new(&base_ds, &base_agg);
     let base_result = engine.search_with(&baseline, &query).unwrap();
     println!(
         "\nsweep-line baseline distance: {:.3} (DS-Search took {:?})",

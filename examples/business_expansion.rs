@@ -53,7 +53,7 @@ fn main() {
     // Sanity check against a direct recomputation over the returned region.
     let recomputed = engine
         .aggregator()
-        .aggregate_region(engine.dataset(), &result.region);
+        .aggregate_region(&engine.dataset(), &result.region);
     assert!((recomputed[0] - result.representation[0]).abs() < 1e-6);
     assert!((recomputed[1] - result.representation[1]).abs() < 1e-6);
     println!("representation verified against a direct recount ✓");

@@ -67,7 +67,7 @@ fn main() {
     //    uniform data (that is what the grid index is for), so compare on
     //    a 1,500-object sample.
     let sample = UniformGenerator::default().generate(1_500, 42);
-    let sample_engine = AsrsEngine::builder(sample, engine.aggregator().clone())
+    let sample_engine = AsrsEngine::builder(sample, (*engine.aggregator()).clone())
         .build_index(64, 64)
         .build()
         .expect("valid configuration");

@@ -170,7 +170,8 @@ fn sweep_baseline_plugs_in_as_an_external_backend() {
     let engine = AsrsEngine::builder(ds.clone(), agg.clone())
         .build()
         .unwrap();
-    let sweep = SweepBase::new(engine.dataset(), engine.aggregator());
+    let (sweep_ds, sweep_agg) = (engine.dataset(), engine.aggregator());
+    let sweep = SweepBase::new(&sweep_ds, &sweep_agg);
     for query in &queries {
         let via_engine = engine.search_with(&sweep, query).unwrap();
         let direct = engine.search(query).unwrap();

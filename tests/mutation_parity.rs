@@ -1,0 +1,427 @@
+//! Differential parity harness for the generational mutable engine.
+//!
+//! The mutation machinery promises *rebuild equivalence*: after any
+//! interleaving of appends, removals, TTL expiries and queries, the
+//! engine's responses are **byte-identical** to those of a fresh engine
+//! built from the equivalent final dataset — for the unsharded engine and
+//! for shard counts {1, 2, 4}, with the query-result cache enabled on the
+//! mutated engine (generation-stamped keys make stale hits structurally
+//! impossible, so warm submissions must replay the *current* generation's
+//! answer, never a superseded one).
+//!
+//! The comparison form is the same one `tests/shard_parity.rs`
+//! established for space: [`QueryResponse::stats_stripped`] serialized to
+//! JSON and compared as raw bytes.  Statistics are exempt (they describe
+//! the execution that ran: a mutated engine's shard layout legitimately
+//! differs from a re-partitioned rebuild's, and shard layout never affects
+//! answers).
+
+use asrs_suite::prelude::*;
+
+/// Shard configurations under test: the classic single engine plus the
+/// scatter-gather engine at 1, 2 and 4 shards.
+const SHARD_CONFIGS: [usize; 4] = [0, 1, 2, 4];
+
+/// A tiny seeded LCG so the interleavings sweep deterministically without
+/// depending on the vendored rand API.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// A categorical workload (count-vector statistics — the paper's primary
+/// aggregator family).
+fn categorical_workload(n: usize, seed: u64) -> (Dataset, CompositeAggregator) {
+    let ds = UniformGenerator::default().generate(n, seed);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    (ds, agg)
+}
+
+/// A float-sum workload: sum and average aggregators over a numeric
+/// attribute whose values are dyadic rationals (multiples of 0.25), so
+/// statistics sums are exact in any accumulation order and byte parity is
+/// meaningful for the float-sum pipeline too (the Kahan-compensated
+/// accumulation keeps ill-conditioned sums order-independent as well, but
+/// a parity *test* should not gamble on conditioning).
+fn float_sum_workload(n: usize, seed: u64) -> (Dataset, CompositeAggregator) {
+    let schema = Schema::new(vec![
+        AttributeDef::new("category", AttributeKind::categorical(3)),
+        AttributeDef::new("weight", AttributeKind::numeric(-64.0, 64.0)),
+    ]);
+    let mut lcg = Lcg::new(seed);
+    let mut b = DatasetBuilder::new(schema);
+    for _ in 0..n {
+        let x = lcg.in_range(0.0, 100.0);
+        let y = lcg.in_range(0.0, 100.0);
+        let weight = (lcg.in_range(-64.0, 64.0) * 4.0).round() / 4.0;
+        let cat = lcg.pick(3) as u32;
+        b.push(x, y, vec![AttrValue::Cat(cat), AttrValue::Num(weight)]);
+    }
+    let ds = b.build().unwrap();
+    let agg = CompositeAggregator::builder(ds.schema())
+        .sum("weight", Selection::All)
+        .average("weight", Selection::cat_equals(0, 1))
+        .build()
+        .unwrap();
+    (ds, agg)
+}
+
+/// A pool of requests spanning the operation surface, seeded.
+fn request_pool(ds: &Dataset, agg: &CompositeAggregator, seed: u64) -> Vec<QueryRequest> {
+    let dim = agg.feature_dim();
+    let bbox = ds.bounding_box().expect("non-empty dataset");
+    let mut lcg = Lcg::new(seed);
+    let mut query = |frac: f64| -> AsrsQuery {
+        let size = RegionSize::new(
+            (bbox.width() * frac).max(1e-3),
+            (bbox.height() * frac * lcg.in_range(0.6, 1.4)).max(1e-3),
+        );
+        let target: Vec<f64> = (0..dim).map(|_| lcg.in_range(-2.0, 6.0)).collect();
+        AsrsQuery::new(size, FeatureVector::new(target), Weights::uniform(dim))
+    };
+    let small = query(0.08);
+    let medium = query(0.22);
+    let straddling = query(0.5);
+    vec![
+        QueryRequest::similar(small.clone()),
+        QueryRequest::similar(straddling.clone()),
+        QueryRequest::top_k(medium.clone(), 3),
+        QueryRequest::batch(vec![small, medium.clone()]),
+        QueryRequest::approximate(medium, 0.25),
+        QueryRequest::max_rs(RegionSize::new(
+            (bbox.width() / 9.0).max(0.5),
+            (bbox.height() / 11.0).max(0.5),
+        )),
+    ]
+}
+
+fn canonical_bytes(response: &QueryResponse) -> String {
+    serde::json::to_string(&response.stats_stripped())
+}
+
+fn build_engine(ds: Dataset, agg: CompositeAggregator, shards: usize, cache: usize) -> AsrsEngine {
+    let mut builder = AsrsEngine::builder(ds, agg)
+        .build_index(12, 12)
+        .cache_capacity(cache);
+    if shards > 0 {
+        builder = builder.shards(shards);
+    }
+    builder.build().unwrap()
+}
+
+/// One mutation drawn from the seeded stream.  Appends stay inside the
+/// original extent most of the time (incremental index maintenance), leave
+/// it occasionally (geometry rebuild / shard re-partition), and sometimes
+/// carry a zero TTL followed by a sweep (expiry path).
+fn apply_random_mutation(
+    engine: &AsrsEngine,
+    lcg: &mut Lcg,
+    bbox: &Rect,
+    live_ids: &mut Vec<u64>,
+    next_id: &mut u64,
+    template: &SpatialObject,
+) {
+    match lcg.pick(10) {
+        // Removal (when anything is removable).
+        0 | 1 if !live_ids.is_empty() => {
+            let idx = lcg.pick(live_ids.len());
+            let id = live_ids.swap_remove(idx);
+            engine.remove(id).unwrap();
+        }
+        // TTL'd append + immediate sweep: exercises the expiry path.
+        2 => {
+            let id = *next_id;
+            *next_id += 1;
+            let object = SpatialObject::new(
+                id,
+                Point::new(
+                    bbox.min_x + bbox.width() * lcg.next_f64(),
+                    bbox.min_y + bbox.height() * lcg.next_f64(),
+                ),
+                template.values.clone(),
+            );
+            engine
+                .append_with_ttl(object, std::time::Duration::ZERO)
+                .unwrap();
+            let receipts = engine.sweep_expired().unwrap();
+            assert_eq!(receipts.len(), 1, "the zero-TTL object expires at once");
+            assert_eq!(receipts[0].kind, "expire");
+        }
+        // Rare exterior append: moves the bounding box, forcing the
+        // geometry-rebuild (and, sharded, the re-partition) path.
+        3 => {
+            let id = *next_id;
+            *next_id += 1;
+            let object = SpatialObject::new(
+                id,
+                Point::new(bbox.max_x + 1.0 + lcg.next_f64() * 5.0, bbox.min_y - 1.0),
+                template.values.clone(),
+            );
+            engine.append(object).unwrap();
+            live_ids.push(id);
+        }
+        // Interior append: the common case, incremental maintenance.
+        _ => {
+            let id = *next_id;
+            *next_id += 1;
+            let object = SpatialObject::new(
+                id,
+                Point::new(
+                    bbox.min_x + bbox.width() * lcg.next_f64(),
+                    bbox.min_y + bbox.height() * lcg.next_f64(),
+                ),
+                template.values.clone(),
+            );
+            engine.append(object).unwrap();
+            live_ids.push(id);
+        }
+    }
+}
+
+/// The tentpole assertion: after every checkpoint of a seeded
+/// append/remove/expire interleaving, the mutated engine (cache enabled)
+/// answers byte-identically to a fresh engine rebuilt from the equivalent
+/// final dataset — for the unsharded engine and shard counts {1, 2, 4} —
+/// and warm resubmissions replay the current generation, never a stale
+/// one.
+#[test]
+fn mutated_engines_answer_like_fresh_rebuilds() {
+    let workloads: [(&str, (Dataset, CompositeAggregator)); 2] = [
+        ("categorical", categorical_workload(160, 11)),
+        ("float-sum", float_sum_workload(140, 23)),
+    ];
+    for (name, (ds, agg)) in workloads {
+        let bbox = ds.bounding_box().unwrap();
+        let template = ds.object(0).clone();
+        for shards in SHARD_CONFIGS {
+            let engine = build_engine(ds.clone(), agg.clone(), shards, 64);
+            let mut lcg = Lcg::new(1000 + shards as u64);
+            let mut live_ids: Vec<u64> = Vec::new();
+            let mut next_id = 1_000_000u64;
+            let mut generation_floor = 0u64;
+            for checkpoint in 0..3 {
+                for _ in 0..8 {
+                    apply_random_mutation(
+                        &engine,
+                        &mut lcg,
+                        &bbox,
+                        &mut live_ids,
+                        &mut next_id,
+                        &template,
+                    );
+                }
+                assert!(
+                    engine.generation() > generation_floor,
+                    "every mutation bumps the generation"
+                );
+                generation_floor = engine.generation();
+
+                // Fresh engine from the equivalent final dataset (same
+                // builder settings, same shard count; no cache needed —
+                // byte identity is on stripped responses).
+                let rebuilt = build_engine((*engine.dataset()).clone(), agg.clone(), shards, 0);
+                for request in request_pool(&engine.dataset(), &agg, 77 + checkpoint) {
+                    let expected = canonical_bytes(&rebuilt.submit(&request).unwrap());
+                    let cold = canonical_bytes(&engine.submit(&request).unwrap());
+                    assert_eq!(
+                        cold,
+                        expected,
+                        "{name}, shards {shards}, checkpoint {checkpoint}, \
+                         {}: mutated engine diverged from rebuild",
+                        request.operation_name()
+                    );
+                    // Warm resubmission: the cache may only replay the
+                    // *current* generation's response.
+                    let warm = canonical_bytes(&engine.submit(&request).unwrap());
+                    assert_eq!(
+                        warm,
+                        expected,
+                        "{name}, shards {shards}, checkpoint {checkpoint}, \
+                         {}: warm submission replayed a stale generation",
+                        request.operation_name()
+                    );
+                }
+                // Unsharded engines must also agree on the planner inputs
+                // (sharded layouts legitimately differ from a fresh
+                // partition, but shard layout never affects answers).
+                if shards == 0 {
+                    assert_eq!(engine.statistics(), rebuilt.statistics(), "{name}");
+                }
+            }
+            // The interleaving exercised the incremental path.
+            let stats = engine.mutation_stats();
+            assert!(
+                stats.incremental_index_updates > 0,
+                "{name}, shards {shards}: no incremental maintenance ran: {stats:?}"
+            );
+            assert_eq!(
+                stats.generation,
+                stats.appends + stats.removes + stats.expiries,
+                "every applied mutation is one generation"
+            );
+        }
+    }
+}
+
+/// Re-partition triggers: an append outside the partition extent and an
+/// imbalance past the policy factor must both re-partition — and parity
+/// with a rebuild must survive the re-partition.
+#[test]
+fn repartition_triggers_fire_and_keep_parity() {
+    let (ds, agg) = categorical_workload(120, 31);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.object(0).clone();
+
+    // Exterior append re-partitions.
+    let engine = build_engine(ds.clone(), agg.clone(), 3, 16);
+    let receipt = engine
+        .append(SpatialObject::new(
+            900_000,
+            Point::new(bbox.max_x + 30.0, bbox.max_y + 30.0),
+            template.values.clone(),
+        ))
+        .unwrap();
+    assert!(
+        receipt.repartitioned,
+        "an append outside the partition extent must re-partition"
+    );
+
+    // Imbalance re-partitions: a tight factor plus a stream of appends
+    // into one corner.
+    let tight = AsrsEngine::builder(ds.clone(), agg.clone())
+        .build_index(12, 12)
+        .shards(4)
+        .mutation_policy(MutationPolicy {
+            shard_imbalance_factor: 1.2,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
+    let mut repartitioned = false;
+    for i in 0..40 {
+        let receipt = tight
+            .append(SpatialObject::new(
+                910_000 + i,
+                Point::new(
+                    bbox.min_x + bbox.width() * 0.05,
+                    bbox.min_y + bbox.height() * 0.05,
+                ),
+                template.values.clone(),
+            ))
+            .unwrap();
+        repartitioned |= receipt.repartitioned;
+    }
+    assert!(
+        repartitioned,
+        "40 corner appends at factor 1.2 must unbalance some shard"
+    );
+    assert!(tight.mutation_stats().repartitions >= 1);
+
+    // Parity survives both re-partitions.
+    for (engine, label) in [(&engine, "exterior"), (&tight, "imbalance")] {
+        let rebuilt = build_engine(
+            (*engine.dataset()).clone(),
+            agg.clone(),
+            engine.shard_count(),
+            0,
+        );
+        for request in request_pool(&engine.dataset(), &agg, 5) {
+            assert_eq!(
+                canonical_bytes(&engine.submit(&request).unwrap()),
+                canonical_bytes(&rebuilt.submit(&request).unwrap()),
+                "{label}: {}",
+                request.operation_name()
+            );
+        }
+    }
+}
+
+/// Mutating down to (and back up from) the empty dataset must not wedge
+/// the engine: the index is dropped when the last object leaves and
+/// rebuilt when the first one returns, and parity holds throughout.
+#[test]
+fn draining_and_refilling_the_dataset_keeps_parity() {
+    let schema = Schema::new(vec![AttributeDef::new(
+        "category",
+        AttributeKind::categorical(2),
+    )]);
+    let mut b = DatasetBuilder::new(schema);
+    for i in 0..6 {
+        b.push(
+            i as f64 * 7.0,
+            (i % 3) as f64 * 5.0,
+            vec![AttrValue::Cat(i % 2)],
+        );
+    }
+    let ds = b.build().unwrap();
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    let engine = build_engine(ds.clone(), agg.clone(), 0, 8);
+
+    // Drain everything.
+    for id in 0..6 {
+        engine.remove(id).unwrap();
+    }
+    assert_eq!(engine.dataset().len(), 0);
+    assert!(engine.index().is_none(), "the index is dropped when empty");
+    let query = AsrsQuery::new(
+        RegionSize::new(2.0, 2.0),
+        FeatureVector::new(vec![1.0, 1.0]),
+        Weights::uniform(2),
+    );
+    // The empty engine still answers (the empty-region candidate).
+    let response = engine
+        .submit(&QueryRequest::similar(query.clone()))
+        .unwrap();
+    assert_eq!(response.best().unwrap().distance, 2.0);
+
+    // Refill: the index comes back and parity holds.
+    for i in 0..5u64 {
+        engine
+            .append(SpatialObject::new(
+                100 + i,
+                Point::new(3.0 + i as f64 * 4.0, 2.0 + i as f64),
+                vec![AttrValue::Cat((i % 2) as u32)],
+            ))
+            .unwrap();
+    }
+    assert!(engine.index().is_some(), "the index returns with the data");
+    let rebuilt = build_engine((*engine.dataset()).clone(), agg, 0, 0);
+    assert_eq!(
+        canonical_bytes(
+            &engine
+                .submit(&QueryRequest::similar(query.clone()))
+                .unwrap()
+        ),
+        canonical_bytes(&rebuilt.submit(&QueryRequest::similar(query)).unwrap()),
+    );
+    assert_eq!(engine.statistics(), rebuilt.statistics());
+}
