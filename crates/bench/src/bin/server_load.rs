@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! server_load [--smoke] [--objects N] [--clients C] [--requests R]
-//!             [--cache N] [--shards S] [--append-every A] [--rate R]
+//!             [--cache N] [--shards S] [--append-every A] [--rate R[,R2,..]]
+//!             [--persist-dir PATH] [--boot-bench] [--boot-objects N]
 //!             [--out PATH]
 //! ```
 //!
@@ -31,7 +32,26 @@
 //! latency is measured from the schedule, not from the actual send —
 //! closed-loop latencies silently pause the clock while the server makes
 //! the client wait (coordinated omission), so they understate
-//! latency-under-saturation; the open-loop numbers do not.
+//! latency-under-saturation; the open-loop numbers do not.  A
+//! comma-separated list (`--rate 100,200,400`) sweeps the offered rate and
+//! emits one row per point — the latency-vs-offered-rate curve.
+//!
+//! `--persist-dir PATH` boots every phase's engine through the
+//! `asrs-persist` subsystem (snapshot + write-ahead log under `PATH`),
+//! attaches the handle to the server (so `POST /snapshot` and the
+//! persistence counters in `/metrics` are live), and smoke-checks both.
+//!
+//! `--boot-bench` adds a boot-time row: a live engine serves a stream of
+//! acknowledged mutations and checkpoints, then its current state is
+//! recovered two ways — a snapshot boot, and a build-from-scratch that
+//! re-parses the text file, rebuilds the index, and re-applies every
+//! mutation the snapshot folded in.  The row reports both durations,
+//! their ratio, and a bit-identity check between the two engines (full
+//! response parity is also replayed at ≤100k objects).  At 1M+ objects
+//! the snapshot boot must win by ≥10×.
+//! `--boot-objects N` sizes the boot-bench dataset independently of the
+//! serving phases, so one invocation can serve at 10k objects and still
+//! measure boot time at 1M.
 //!
 //! Cache metrics are reported per phase: the cache-identity probe that
 //! precedes the measured run warms the cache, so the steady-state hit rate
@@ -48,6 +68,7 @@ use asrs_bench::report::Table;
 use asrs_bench::workloads::Workload;
 use asrs_core::{AsrsEngine, QueryRequest};
 use asrs_geo::RegionSize;
+use asrs_persist::PersistExt;
 use asrs_server::{AsrsServer, HttpClient, ServerConfig};
 use serde::Serialize;
 use std::net::SocketAddr;
@@ -63,8 +84,15 @@ struct Args {
     shards: usize,
     /// Issue one append per client after every N queries (0 = read-only).
     append_every: usize,
-    /// Open-loop aggregate request rate in req/s (0 = closed loop).
-    rate: usize,
+    /// Open-loop aggregate request rates in req/s (empty = closed loop
+    /// only; several values sweep the offered-rate axis).
+    rates: Vec<usize>,
+    /// Boot every phase through the persistence subsystem rooted here.
+    persist_dir: Option<String>,
+    /// Measure boot-from-snapshot vs build-from-scratch.
+    boot_bench: bool,
+    /// Dataset size for the boot bench; defaults to `objects`.
+    boot_objects: Option<usize>,
     out: String,
 }
 
@@ -78,7 +106,10 @@ impl Args {
             cache_capacity: 1024,
             shards: 0,
             append_every: 0,
-            rate: 0,
+            rates: Vec::new(),
+            persist_dir: None,
+            boot_bench: false,
+            boot_objects: None,
             out: "BENCH_server.json".to_string(),
         };
         let mut it = std::env::args().skip(1);
@@ -96,13 +127,29 @@ impl Args {
                 "--cache" => args.cache_capacity = num("--cache"),
                 "--shards" => args.shards = num("--shards"),
                 "--append-every" => args.append_every = num("--append-every"),
-                "--rate" => args.rate = num("--rate"),
+                "--rate" => {
+                    let list = it.next().expect("--rate expects a number or comma list");
+                    args.rates = list
+                        .split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .unwrap_or_else(|_| panic!("--rate got {v:?}, want a number"))
+                        })
+                        .collect();
+                }
+                "--persist-dir" => {
+                    args.persist_dir = Some(it.next().expect("--persist-dir expects a path"));
+                }
+                "--boot-bench" => args.boot_bench = true,
+                "--boot-objects" => args.boot_objects = Some(num("--boot-objects")),
                 "--out" => args.out = it.next().expect("--out expects a path"),
                 other => panic!("unknown flag {other:?}"),
             }
         }
         if args.smoke {
             args.objects = args.objects.min(2_000);
+            args.boot_objects = args.boot_objects.map(|n| n.min(2_000));
             args.clients = args.clients.min(2);
             args.requests_per_client = args.requests_per_client.min(20);
         }
@@ -274,13 +321,14 @@ struct BenchReport {
 }
 
 /// Runs one measured serving phase (build → probe → load → metrics →
-/// shutdown) with the given shard count (`0` = classic single engine) and
-/// mutation mix (`append_every` queries per append, `0` = read-only).
-fn run_phase(args: &Args, shards: usize, append_every: usize) -> BenchReport {
+/// shutdown) with the given shard count (`0` = classic single engine),
+/// mutation mix (`append_every` queries per append, `0` = read-only), and
+/// offered rate (`0` = closed loop).
+fn run_phase(args: &Args, shards: usize, append_every: usize, rate: usize) -> BenchReport {
     let workload = Workload::Tweet;
     eprintln!(
-        "building engine: {} objects, cache capacity {}, shards {}, append-every {} ...",
-        args.objects, args.cache_capacity, shards, append_every
+        "building engine: {} objects, cache capacity {}, shards {}, append-every {}, rate {} ...",
+        args.objects, args.cache_capacity, shards, append_every, rate
     );
     let dataset = workload.dataset(args.objects, 42);
     let aggregator = workload.aggregator(&dataset);
@@ -290,17 +338,51 @@ fn run_phase(args: &Args, shards: usize, append_every: usize) -> BenchReport {
     if shards > 0 {
         builder = builder.shards(shards);
     }
-    let engine = builder.build().expect("engine builds");
+    // With a persistence root every phase gets its own subdirectory (the
+    // phases differ in shard count, and a snapshot from one would be
+    // rejected when restored into the other's topology).
+    let (engine, persist) = match &args.persist_dir {
+        Some(root) => {
+            let dir = format!("{root}/phase-s{shards}-a{append_every}-r{rate}");
+            let persistent = builder
+                .persist_dir(&dir)
+                .build()
+                .expect("persistent engine boots");
+            let (engine, handle, boot) = persistent.into_parts();
+            eprintln!(
+                "persistence at {dir}: cold_start={} replayed={}",
+                boot.cold_start, boot.replayed_entries
+            );
+            (engine, Some(handle))
+        }
+        None => (builder.build().expect("engine builds"), None),
+    };
     let pool = request_pool(workload, &engine);
     let bodies: Vec<String> = pool.iter().map(serde::json::to_string).collect();
 
     let config = ServerConfig::default();
     let server_workers = config.workers;
-    let server = AsrsServer::bind(engine.handle(), "127.0.0.1:0", config)
-        .and_then(AsrsServer::start)
-        .expect("server starts");
+    let mut server =
+        AsrsServer::bind(engine.handle(), "127.0.0.1:0", config).expect("server binds");
+    if let Some(handle) = &persist {
+        server = server.with_persistence(handle.clone());
+    }
+    let server = server.start().expect("server starts");
     let addr = server.addr();
     eprintln!("serving on http://{addr}");
+
+    // Persistence smoke: POST /snapshot must answer 200 and the metrics
+    // payload must carry the persistence counters.
+    if persist.is_some() {
+        let mut probe = HttpClient::connect(addr).expect("snapshot client connects");
+        let (status, body) = probe.request("POST", "/snapshot", "").expect("snapshot");
+        assert_eq!(status, 200, "POST /snapshot must answer 200: {body}");
+        let (_, metrics) = probe.request("GET", "/metrics", "").expect("metrics");
+        assert!(
+            metrics.contains("\"persistence\":{"),
+            "metrics must expose persistence counters"
+        );
+    }
 
     // Cache identity check: the same request issued cold and warm must
     // produce byte-identical response bodies (acceptance criterion).
@@ -348,8 +430,8 @@ fn run_phase(args: &Args, shards: usize, append_every: usize) -> BenchReport {
     // Open-loop schedule: the aggregate rate splits evenly across clients
     // and every client's clock starts at the same instant.
     let open_loop_start = Instant::now();
-    let per_client_interval_s = if args.rate > 0 {
-        Some(args.clients as f64 / args.rate as f64)
+    let per_client_interval_s = if rate > 0 {
+        Some(args.clients as f64 / rate as f64)
     } else {
         None
     };
@@ -419,7 +501,7 @@ fn run_phase(args: &Args, shards: usize, append_every: usize) -> BenchReport {
         cache_capacity: args.cache_capacity,
         shards,
         append_every,
-        open_loop_rate_rps: args.rate,
+        open_loop_rate_rps: rate,
         server_workers,
         requests_total: args.clients * args.requests_per_client,
         mutations_applied,
@@ -542,22 +624,301 @@ fn check_phase(report: &BenchReport) -> bool {
     ok
 }
 
+/// The boot-time row: recover the engine's *current* state — the seed
+/// dataset plus every acknowledged mutation — two ways and time both.
+///
+/// * **Boot from snapshot**: what a `--persist-dir` server does after a
+///   restart.  The background compaction pump keeps the latest snapshot
+///   current, so boot reads one file, restores dataset columns and index
+///   base tables without re-indexing, and replays the (empty) WAL tail.
+/// * **Build from scratch**: what a server without persistence must do
+///   to reach the same state — re-parse the dataset text file, rebuild
+///   the index, then re-apply all `mutations_folded` acknowledged
+///   mutations one by one.  There is no other path to the mutated state,
+///   and each mutation publishes a full generation (the PR 5 write
+///   path), which is exactly the work the snapshot folds in for free.
+///
+/// Recovery fidelity: the booted engine must match the rebuilt engine
+/// **bit for bit** — same generation, identical object vectors, identical
+/// index base tables (the suffix table is a pure function of the base) —
+/// per shard where applicable.  Up to 100k objects the check additionally
+/// replays the full mixed request pool on both engines and compares the
+/// responses byte-for-byte (`stats_stripped`); past that scale a single
+/// similar-region search runs for minutes on clustered data (the ROADMAP
+/// AQP item), so the bit-level state check carries the parity claim.
+#[derive(Debug, Serialize)]
+struct BootBenchReport {
+    benchmark: String,
+    smoke: bool,
+    objects: usize,
+    /// Acknowledged mutations folded into the snapshot, which the
+    /// build-from-scratch side must re-apply one generation at a time.
+    mutations_folded: u64,
+    /// Snapshot file size in bytes.
+    snapshot_bytes: u64,
+    /// Parse the text dataset + build the engine (index included) +
+    /// re-apply the `mutations_folded` mutations.
+    rebuild_ms: f64,
+    /// Boot from the snapshot (read + restore, no re-indexing, empty WAL
+    /// tail).
+    boot_from_snapshot_ms: f64,
+    /// `rebuild_ms / boot_from_snapshot_ms`.
+    speedup: f64,
+    /// The restored engine is bit-identical to the rebuilt one (and, at
+    /// ≤100k objects, answers the request pool byte-identically).
+    boot_byte_identical: bool,
+}
+
+/// One recorded live mutation, re-applied verbatim by the rebuild side.
+enum RecordedMutation {
+    Append(asrs_data::SpatialObject),
+    Remove(u64),
+}
+
+/// Bit-level equality of two exported engine images: generation, object
+/// vectors, and index base tables (whole-dataset and per shard).
+fn states_identical(a: &asrs_core::EngineState, b: &asrs_core::EngineState) -> bool {
+    fn index_eq(x: Option<&asrs_core::GridIndex>, y: Option<&asrs_core::GridIndex>) -> bool {
+        match (x, y) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                x.granularity() == y.granularity()
+                    && x.spec().space() == y.spec().space()
+                    && x.stats_dim() == y.stats_dim()
+                    && x.objects_indexed() == y.objects_indexed()
+                    && x.base_table() == y.base_table()
+            }
+            _ => false,
+        }
+    }
+    a.generation == b.generation
+        && *a.dataset == *b.dataset
+        && index_eq(a.index.as_deref(), b.index.as_deref())
+        && match (&a.shards, &b.shards) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|(s, t)| {
+                        s.region == t.region
+                            && *s.dataset == *t.dataset
+                            && index_eq(s.index.as_deref(), t.index.as_deref())
+                    })
+            }
+            _ => false,
+        }
+}
+
+fn run_boot_bench(args: &Args) -> BootBenchReport {
+    let workload = Workload::Tweet;
+    let objects = args.boot_objects.unwrap_or(args.objects);
+    let mutations: u64 = if args.smoke { 4 } else { 64 };
+    eprintln!("boot bench: generating {objects} objects ...");
+    let dataset = workload.dataset(objects, 42);
+    let schema = dataset.schema().clone();
+    let bbox = dataset
+        .bounding_box()
+        .expect("boot bench dataset is non-empty");
+
+    let scratch = match &args.persist_dir {
+        Some(root) => std::path::PathBuf::from(root).join("boot-bench"),
+        None => std::env::temp_dir().join(format!("asrs-boot-bench-{}", std::process::id())),
+    };
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch directory");
+    let text_path = scratch.join("dataset.txt");
+    asrs_data::io::save(&dataset, &text_path).expect("dataset saved");
+
+    // Live phase (untimed): a persistent engine seeds its cold snapshot,
+    // then serves a stream of acknowledged mutations — appends spread over
+    // the extent with an occasional removal, every one fsync'd to the WAL.
+    let snap_dir = scratch.join("persist");
+    // Scale the grid with the dataset: ~16 objects per cell keeps index
+    // pruning effective (a 32×32 grid at 1M objects averages ~1000 objects
+    // per cell, which defeats the GI-DS bounds and degrades every
+    // verification query to a near-naive scan).
+    let side = ((objects as f64).sqrt() / 4.0).clamp(32.0, 256.0) as usize;
+    let builder = |ds: asrs_data::Dataset| {
+        let aggregator = workload.aggregator(&ds);
+        AsrsEngine::builder(ds, aggregator)
+            .build_index(side, side)
+            .cache_capacity(args.cache_capacity)
+    };
+    let live = builder(dataset)
+        .persist_dir(&snap_dir)
+        .build()
+        .expect("live engine boots cold");
+    let template = live.engine().dataset().object(0).values.clone();
+    let mut recorded: Vec<RecordedMutation> = Vec::new();
+    eprintln!("boot bench: applying {mutations} acknowledged mutations ...");
+    for i in 0..mutations {
+        if i % 8 == 7 {
+            // Remove the append from two steps ago (always present).
+            let id = 900_000_000 + i - 2;
+            live.engine().remove(id).expect("live remove");
+            recorded.push(RecordedMutation::Remove(id));
+        } else {
+            let f = (i as f64 + 0.5) / mutations as f64;
+            let object = asrs_data::SpatialObject::new(
+                900_000_000 + i,
+                asrs_geo::Point::new(
+                    bbox.min_x + f * (bbox.max_x - bbox.min_x),
+                    bbox.min_y + (1.0 - f) * (bbox.max_y - bbox.min_y),
+                ),
+                template.clone(),
+            );
+            live.engine().append(object.clone()).expect("live append");
+            recorded.push(RecordedMutation::Append(object));
+        }
+    }
+    let generation = live.engine().generation();
+    assert_eq!(generation, mutations, "every mutation publishes once");
+    // Steady state: the compaction pump folds the tail into a snapshot
+    // (here forced explicitly) and truncates the log.
+    let snapshot = live.snapshot().expect("checkpoint");
+    let snapshot_bytes = snapshot.bytes;
+    drop(live); // crash
+
+    // Boot side (timed): restore the snapshot.  The seed dataset is an
+    // empty shell (schema only) — a real boot has no objects in hand, and
+    // the restore path never reads the seed.
+    let empty = asrs_data::Dataset::new_unchecked(schema, Vec::new());
+    let started = Instant::now();
+    let booted = builder(empty)
+        .persist_dir(&snap_dir)
+        .build()
+        .expect("engine boots from snapshot");
+    let boot_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let boot = booted.boot();
+    assert!(!boot.cold_start, "the checkpoint snapshot must be used");
+    assert_eq!(boot.replayed_entries, 0, "the checkpoint compacted the log");
+    assert_eq!(booted.engine().generation(), generation);
+    eprintln!("boot bench: snapshot boot took {boot_ms:.0} ms, rebuilding from scratch ...");
+
+    // Rebuild side (timed): parse the text file, build the index, re-apply
+    // every acknowledged mutation.
+    let started = Instant::now();
+    let reloaded = asrs_data::io::load(&text_path).expect("dataset loads");
+    let rebuilt = builder(reloaded).build().expect("engine rebuilds");
+    for mutation in &recorded {
+        match mutation {
+            RecordedMutation::Append(object) => rebuilt.append(object.clone()),
+            RecordedMutation::Remove(id) => rebuilt.remove(*id),
+        }
+        .expect("replayed mutation");
+    }
+    let rebuild_ms = started.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(rebuilt.generation(), generation);
+    eprintln!("boot bench: rebuild took {rebuild_ms:.0} ms, verifying bit-identity ...");
+
+    // Bit-level identity always; response byte-identity while queries are
+    // tractable (see the struct docs).
+    let mut boot_byte_identical =
+        states_identical(&rebuilt.export_state(), &booted.engine().export_state());
+    if boot_byte_identical && objects <= 100_000 {
+        let pool = request_pool(workload, &rebuilt);
+        boot_byte_identical = pool.iter().all(|request| {
+            let a = rebuilt.submit(request).expect("rebuilt engine answers");
+            let b = booted
+                .engine()
+                .submit(request)
+                .expect("booted engine answers");
+            serde::json::to_string(&a.stats_stripped())
+                == serde::json::to_string(&b.stats_stripped())
+        });
+    }
+
+    if args.persist_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    BootBenchReport {
+        benchmark: "server_boot".to_string(),
+        smoke: args.smoke,
+        objects,
+        mutations_folded: mutations,
+        snapshot_bytes,
+        rebuild_ms,
+        boot_from_snapshot_ms: boot_ms,
+        speedup: rebuild_ms / boot_ms.max(1e-9),
+        boot_byte_identical,
+    }
+}
+
+fn print_boot_report(report: &BootBenchReport) {
+    let mut table = Table::new(
+        &format!("Boot time at {} objects", report.objects),
+        &["metric", "value"],
+    );
+    table.row(vec![
+        format!(
+            "rebuild (parse + index + {} mutations)",
+            report.mutations_folded
+        ),
+        format!("{:.0} ms", report.rebuild_ms),
+    ]);
+    table.row(vec![
+        "boot from snapshot".into(),
+        format!("{:.0} ms", report.boot_from_snapshot_ms),
+    ]);
+    table.row(vec!["speedup".into(), format!("{:.1}x", report.speedup)]);
+    table.row(vec![
+        "snapshot size".into(),
+        format!(
+            "{:.1} MiB",
+            report.snapshot_bytes as f64 / (1024.0 * 1024.0)
+        ),
+    ]);
+    table.row(vec![
+        "bit-identical recovery".into(),
+        report.boot_byte_identical.to_string(),
+    ]);
+    table.print();
+}
+
+fn check_boot(report: &BootBenchReport) -> bool {
+    let mut ok = true;
+    if !report.boot_byte_identical {
+        eprintln!("FAIL: the booted engine is not bit-identical to the rebuilt engine");
+        ok = false;
+    }
+    // The ≥10x acceptance bar is pinned to the 1M-object row; small smoke
+    // datasets boot in microseconds where the ratio is mostly noise.
+    if report.objects >= 1_000_000 && report.speedup < 10.0 {
+        eprintln!(
+            "FAIL: boot from snapshot must beat rebuild by >=10x at 1M objects (got {:.1}x)",
+            report.speedup
+        );
+        ok = false;
+    }
+    ok
+}
+
 fn main() {
     let args = Args::parse();
-    let mut reports: Vec<BenchReport> = vec![run_phase(&args, 0, 0)];
+    let mut reports: Vec<BenchReport> = vec![run_phase(&args, 0, 0, 0)];
     if args.shards > 0 {
-        reports.push(run_phase(&args, args.shards, 0));
+        reports.push(run_phase(&args, args.shards, 0, 0));
     }
     if args.append_every > 0 {
         // The mutation row: same workload, same shard setting as the last
         // read-only phase, with live appends interleaved.
-        reports.push(run_phase(&args, args.shards, args.append_every));
+        reports.push(run_phase(&args, args.shards, args.append_every, 0));
     }
+    // The offered-rate sweep: one open-loop row per requested rate.
+    for &rate in &args.rates {
+        reports.push(run_phase(&args, args.shards, 0, rate));
+    }
+    let boot = args.boot_bench.then(|| run_boot_bench(&args));
 
-    let json = if reports.len() == 1 {
-        serde::json::to_string(&reports[0])
+    // The file holds one object for the single-row legacy shape, otherwise
+    // an array; the boot row (a different shape) is appended to the array.
+    let mut rows: Vec<String> = reports.iter().map(serde::json::to_string).collect();
+    if let Some(boot) = &boot {
+        rows.push(serde::json::to_string(boot));
+    }
+    let json = if rows.len() == 1 {
+        rows.pop().expect("one row")
     } else {
-        serde::json::to_string(&reports)
+        format!("[{}]", rows.join(","))
     };
     std::fs::write(&args.out, json).expect("report written");
 
@@ -566,7 +927,11 @@ fn main() {
         print_report(report);
         ok &= check_phase(report);
     }
-    if reports.len() == 2 {
+    if let Some(boot) = &boot {
+        print_boot_report(boot);
+        ok &= check_boot(boot);
+    }
+    if reports.len() >= 2 && reports[1].shards > 0 {
         let (unsharded, sharded) = (&reports[0], &reports[1]);
         println!(
             "sharded x{} vs unsharded throughput: {:.0} vs {:.0} req/s ({:+.1}%)",

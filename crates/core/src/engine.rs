@@ -64,9 +64,9 @@ use crate::query::AsrsQuery;
 use crate::request::{Backend, QueryOutcome, QueryRequest, QueryResponse};
 use crate::result::SearchResult;
 use asrs_aggregator::{CompositeAggregator, Selection};
-use asrs_data::{Dataset, MutationLog, SpatialObject};
+use asrs_data::{Dataset, Mutation, MutationLog, SpatialObject};
 use asrs_geo::{Rect, RegionSize};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// An interchangeable ASRS search backend.
@@ -551,6 +551,197 @@ impl EngineBuilder {
             shards: Some(shard_set),
         }))
     }
+
+    /// Reassembles an engine from a persisted [`EngineState`] instead of
+    /// building from the seed dataset — no partitioning, no index builds.
+    ///
+    /// The builder's *settings* (aggregator, configuration, strategy,
+    /// planner, cache capacity, shard count, index granularity, mutation
+    /// policy) still apply; its seed dataset is ignored in favour of
+    /// `state`.  The restored engine is byte-identical in responses to the
+    /// engine the state was exported from: datasets keep their object
+    /// order, index tables are carried over verbatim, and planner
+    /// statistics are recaptured by the same code paths
+    /// [`EngineBuilder::build`] and the mutation publisher run.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Persistence`] when `state` does not fit the builder's
+    /// settings (shard-count or index-granularity mismatch, an index whose
+    /// statistics layout disagrees with the aggregator, an attached-index
+    /// builder), plus the validation errors of [`EngineBuilder::build`].
+    pub fn build_restored(self, state: EngineState) -> Result<AsrsEngine, AsrsError> {
+        use crate::planner::IndexStatistics;
+
+        self.config.validate()?;
+        if matches!(self.index, IndexSpec::Attach(_)) {
+            return Err(AsrsError::Persistence {
+                message: "cannot restore into a builder with an attached index; \
+                          use build_index(cols, rows) matching the persisted granularity"
+                    .to_string(),
+            });
+        }
+        let restored_shards = state.shards.as_ref().map_or(0, Vec::len);
+        if restored_shards != self.shards {
+            return Err(AsrsError::Persistence {
+                message: format!(
+                    "persisted image has {} shard(s), builder requests {}",
+                    restored_shards, self.shards
+                ),
+            });
+        }
+        let build_granularity = match self.index {
+            IndexSpec::Build { cols, rows } => Some((cols, rows)),
+            _ => None,
+        };
+        let check_index = |index: &GridIndex, what: &str| -> Result<(), AsrsError> {
+            if index.stats_dim() != self.aggregator.stats_dim() {
+                return Err(AsrsError::IndexMismatch {
+                    index_dims: index.stats_dim(),
+                    aggregator_dims: self.aggregator.stats_dim(),
+                });
+            }
+            match build_granularity {
+                Some(granularity) if index.granularity() == granularity => Ok(()),
+                Some((cols, rows)) => Err(AsrsError::Persistence {
+                    message: format!(
+                        "persisted {} index is {}x{}, builder requests {}x{}",
+                        what,
+                        index.granularity().0,
+                        index.granularity().1,
+                        cols,
+                        rows
+                    ),
+                }),
+                None => Err(AsrsError::Persistence {
+                    message: format!(
+                        "persisted image carries a {} index, but the builder requests none",
+                        what
+                    ),
+                }),
+            }
+        };
+        if self.strategy == Strategy::GiDs && build_granularity.is_none() {
+            return Err(AsrsError::IndexRequired { strategy: "gi-ds" });
+        }
+
+        if self.shards == 0 {
+            if let Some(index) = state.index.as_deref() {
+                check_index(index, "whole-dataset")?;
+            } else if build_granularity.is_some() && !state.dataset.is_empty() {
+                return Err(AsrsError::Persistence {
+                    message: "builder requests an index, persisted image has none".to_string(),
+                });
+            }
+            // Upkeep follows the builder's request, exactly as a mutated
+            // engine keeps its granularity even while the index is dropped
+            // on an emptied dataset.
+            let upkeep = match build_granularity {
+                Some((cols, rows)) => IndexUpkeep::PerEngine { cols, rows },
+                None => IndexUpkeep::None,
+            };
+            let statistics = EngineStatistics::capture(&state.dataset, state.index.as_deref());
+            let cache =
+                (self.cache_capacity > 0).then(|| Arc::new(QueryCache::new(self.cache_capacity)));
+            return Ok(AsrsEngine::from_core(EngineCore {
+                generation: state.generation,
+                dataset: state.dataset,
+                aggregator: Arc::new(self.aggregator),
+                config: self.config,
+                strategy: self.strategy,
+                index: state.index,
+                upkeep,
+                planner: self.planner,
+                statistics,
+                cache,
+                policy: self.mutation_policy,
+                shards: None,
+            }));
+        }
+
+        // Sharded restore: rebuild the shard table from the persisted
+        // regions, sub-datasets and per-shard indexes, mirroring
+        // `build_shard_set`'s core assembly (and the mutation publisher's
+        // statistics refresh) exactly.
+        let upkeep = match build_granularity {
+            Some((cols, rows)) => IndexUpkeep::PerShard { cols, rows },
+            None => IndexUpkeep::None,
+        };
+        let mut statistics = EngineStatistics::capture(&state.dataset, None);
+        if let Some((cols, rows)) = build_granularity {
+            statistics.index = if state.dataset.is_empty() {
+                None
+            } else {
+                Some(IndexStatistics::virtual_for(&state.dataset, cols, rows)?)
+            };
+        }
+        let aggregator = Arc::new(self.aggregator);
+        let shard_states = state.shards.expect("count checked above");
+        let mut shards = Vec::with_capacity(shard_states.len());
+        for shard in shard_states {
+            if let Some(index) = shard.index.as_deref() {
+                if index.stats_dim() != aggregator.stats_dim() {
+                    return Err(AsrsError::IndexMismatch {
+                        index_dims: index.stats_dim(),
+                        aggregator_dims: aggregator.stats_dim(),
+                    });
+                }
+                match build_granularity {
+                    Some(granularity) if index.granularity() == granularity => {}
+                    _ => {
+                        return Err(AsrsError::Persistence {
+                            message: "persisted shard index granularity disagrees with the builder"
+                                .to_string(),
+                        })
+                    }
+                }
+            } else if build_granularity.is_some() && !shard.dataset.is_empty() {
+                return Err(AsrsError::Persistence {
+                    message: "builder requests per-shard indexes, a populated persisted shard \
+                              has none"
+                        .to_string(),
+                });
+            }
+            let shard_statistics =
+                EngineStatistics::capture(&shard.dataset, shard.index.as_deref());
+            shards.push(crate::shard::EngineShard {
+                region: shard.region,
+                core: Arc::new(EngineCore {
+                    generation: state.generation,
+                    dataset: shard.dataset,
+                    aggregator: Arc::clone(&aggregator),
+                    config: self.config.clone(),
+                    strategy: self.strategy,
+                    index: shard.index,
+                    upkeep: IndexUpkeep::None,
+                    planner: self.planner.clone(),
+                    statistics: shard_statistics,
+                    cache: None,
+                    policy: self.mutation_policy.clone(),
+                    shards: None,
+                }),
+                requests: std::sync::atomic::AtomicU64::new(0),
+            });
+        }
+        let shard_set = crate::shard::ShardSet { shards };
+        statistics.shards = Some(shard_set.fan_out());
+        let cache =
+            (self.cache_capacity > 0).then(|| Arc::new(QueryCache::new(self.cache_capacity)));
+        Ok(AsrsEngine::from_core(EngineCore {
+            generation: state.generation,
+            dataset: state.dataset,
+            aggregator,
+            config: self.config,
+            strategy: self.strategy,
+            index: None,
+            upkeep,
+            planner: self.planner,
+            statistics,
+            cache,
+            policy: self.mutation_policy,
+            shards: Some(shard_set),
+        }))
+    }
 }
 
 /// One immutable *generation* of an engine: dataset, aggregator, index,
@@ -599,6 +790,11 @@ pub(crate) struct EngineCore {
 pub(crate) struct EngineShared {
     current: RwLock<Arc<EngineCore>>,
     pub(crate) mutator: Mutex<MutationState>,
+    /// Durability hook: when attached (see
+    /// [`AsrsEngine::attach_durability`]), every mutation is handed to the
+    /// sink *before* its generation is published — a failing sink aborts
+    /// the mutation, so no acknowledged write can outrun its log record.
+    pub(crate) durability: OnceLock<Arc<dyn DurabilitySink>>,
 }
 
 impl EngineShared {
@@ -607,6 +803,7 @@ impl EngineShared {
         Self {
             current: RwLock::new(Arc::new(core)),
             mutator: Mutex::new(state),
+            durability: OnceLock::new(),
         }
     }
 
@@ -620,6 +817,83 @@ impl EngineShared {
     /// generation they snapshotted.
     pub(crate) fn swap(&self, core: Arc<EngineCore>) {
         *self.current.write().expect("engine epoch lock poisoned") = core;
+    }
+}
+
+/// A write-ahead durability hook for the generational mutation path.
+///
+/// When a sink is attached ([`AsrsEngine::attach_durability`]), every
+/// mutation calls [`DurabilitySink::log_mutation`] with the generation it
+/// is about to publish and the mutation record, *before* the generation
+/// becomes visible to queries.  A sink that returns an error aborts the
+/// mutation — the caller sees the error, the engine stays on the previous
+/// generation — so an acknowledged write is always on durable storage
+/// first.  `asrs-persist` implements this trait with an fsync'd,
+/// CRC-framed write-ahead log.
+pub trait DurabilitySink: Send + Sync + std::fmt::Debug {
+    /// Records one mutation about to be published as `generation`.
+    ///
+    /// # Errors
+    ///
+    /// Any error vetoes the mutation; implementations should return
+    /// [`AsrsError::Persistence`].
+    fn log_mutation(&self, generation: u64, mutation: &Mutation) -> Result<(), AsrsError>;
+}
+
+/// One shard of an exported engine image (see [`EngineState`]).
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    /// The partition region this shard owns.
+    pub region: Rect,
+    /// The shard's sub-dataset (objects in shard order).
+    pub dataset: Arc<Dataset>,
+    /// The shard's grid index, when the engine builds per-shard indexes.
+    pub index: Option<Arc<GridIndex>>,
+}
+
+/// A point-in-time image of one engine generation, sufficient to
+/// reassemble a byte-identical engine without re-indexing.
+///
+/// [`AsrsEngine::export_state`] captures it from the current generation's
+/// immutable core — an `Arc` snapshot, so exporting never stalls queries
+/// or mutations — and [`EngineBuilder::build_restored`] turns it back
+/// into an engine.  The round trip preserves response bytes: the dataset
+/// keeps its object order, indexes are carried table-for-table, planner
+/// statistics are recaptured by the exact code path the original build
+/// ran, and the restored engine resumes at [`EngineState::generation`] so
+/// generation-stamped cache keys and WAL records stay aligned.
+#[derive(Debug, Clone)]
+pub struct EngineState {
+    /// Generation the image was captured at.
+    pub generation: u64,
+    /// The full dataset, in insertion order.
+    pub dataset: Arc<Dataset>,
+    /// The whole-dataset grid index, if the engine maintains one.
+    pub index: Option<Arc<GridIndex>>,
+    /// Per-shard regions, sub-datasets and indexes of a sharded engine
+    /// (`None` on single-core engines), in shard order.
+    pub shards: Option<Vec<ShardState>>,
+}
+
+/// Captures an [`EngineState`] from the current generation (shared by
+/// [`AsrsEngine::export_state`] and
+/// [`EngineHandle::export_state`](crate::EngineHandle::export_state)).
+pub(crate) fn export_state(shared: &EngineShared) -> EngineState {
+    let core = shared.load();
+    EngineState {
+        generation: core.generation,
+        dataset: Arc::clone(&core.dataset),
+        index: core.index.clone(),
+        shards: core.shards.as_ref().map(|set| {
+            set.shards
+                .iter()
+                .map(|shard| ShardState {
+                    region: shard.region,
+                    dataset: Arc::clone(&shard.core.dataset),
+                    index: shard.core.index.clone(),
+                })
+                .collect()
+        }),
     }
 }
 
@@ -1037,6 +1311,35 @@ impl AsrsEngine {
     /// incremented by every applied mutation.
     pub fn generation(&self) -> u64 {
         self.core().generation
+    }
+
+    /// Captures a point-in-time [`EngineState`] of the current generation.
+    ///
+    /// The export is a handful of `Arc` clones over the generation's
+    /// immutable core — it never stalls queries or mutations, which is
+    /// what lets `asrs-persist` snapshot a serving engine in the
+    /// background.  Mutations applied after the call are not part of the
+    /// image (they are the WAL's job).
+    pub fn export_state(&self) -> EngineState {
+        export_state(&self.shared)
+    }
+
+    /// Attaches the write-ahead [`DurabilitySink`] every subsequent
+    /// mutation must go through (see the trait documentation for the
+    /// ordering guarantee).  Attach *after* replaying any recovery log —
+    /// replayed mutations must not be re-appended to it.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Persistence`] when a sink is already attached; the
+    /// sink is installed for the lifetime of the engine.
+    pub fn attach_durability(&self, sink: Arc<dyn DurabilitySink>) -> Result<(), AsrsError> {
+        self.shared
+            .durability
+            .set(sink)
+            .map_err(|_| AsrsError::Persistence {
+                message: "a durability sink is already attached to this engine".to_string(),
+            })
     }
 
     /// The current generation's dataset.  The returned [`Arc`] pins that

@@ -172,6 +172,15 @@ pub enum AsrsError {
         /// The configured admission ceiling, in the same units.
         ceiling: f64,
     },
+    /// A durability operation failed: a snapshot or write-ahead-log file
+    /// could not be read, written or validated, or a persisted image does
+    /// not match the engine configuration it is being restored into.
+    /// Mutations refuse to publish when their WAL append fails, so a
+    /// persistent engine never acknowledges a write it could lose.
+    Persistence {
+        /// Human-readable description of the failure.
+        message: String,
+    },
     /// An engine-internal failure that is a bug rather than bad input —
     /// most notably a panicking batch worker, which is caught and reported
     /// per query instead of aborting the process (a serving engine must
@@ -221,6 +230,9 @@ impl fmt::Display for AsrsError {
                     "estimated cost {estimated:.3e} exceeds the admission ceiling {ceiling:.3e}; \
                      request rejected before execution"
                 )
+            }
+            AsrsError::Persistence { message } => {
+                write!(f, "persistence failure: {message}")
             }
             AsrsError::Internal { message } => {
                 write!(f, "internal engine error: {message}")

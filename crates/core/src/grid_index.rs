@@ -206,6 +206,57 @@ impl GridIndex {
         self.recompute_suffix();
     }
 
+    /// The per-cell statistics table, for persistence.
+    ///
+    /// Together with the grid specification, the statistics dimensionality
+    /// and the object count, this table fully determines the index: the
+    /// suffix tables are a deterministic pure function of it, recomputed by
+    /// [`GridIndex::from_base_table`].  Persisting only the base table
+    /// halves the on-disk footprint while keeping the restored index
+    /// bit-identical to the original.
+    pub fn base_table(&self) -> &[f64] {
+        &self.base
+    }
+
+    /// Reassembles an index from its persisted parts, recomputing the
+    /// suffix tables with the same deterministic sweep [`GridIndex::build`]
+    /// runs — the result is bit-identical to the index the base table was
+    /// taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`AsrsError::Persistence`] when the table length does not match the
+    /// grid geometry times the statistics dimensionality.
+    pub fn from_base_table(
+        spec: GridSpec,
+        stats_dim: usize,
+        objects_indexed: usize,
+        base: Vec<f64>,
+    ) -> Result<Self, AsrsError> {
+        let expected = (spec.cols() + 1) * (spec.rows() + 1) * stats_dim;
+        if base.len() != expected {
+            return Err(AsrsError::Persistence {
+                message: format!(
+                    "index base table has {} entries, grid {}x{} with {} stats dims needs {}",
+                    base.len(),
+                    spec.cols(),
+                    spec.rows(),
+                    stats_dim,
+                    expected
+                ),
+            });
+        }
+        let mut index = Self {
+            spec,
+            stats_dim,
+            suffix: vec![0.0; base.len()],
+            base,
+            objects_indexed,
+        };
+        index.recompute_suffix();
+        Ok(index)
+    }
+
     /// The geometric grid specification of the index.
     pub fn spec(&self) -> &GridSpec {
         &self.spec

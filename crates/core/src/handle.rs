@@ -179,6 +179,15 @@ impl EngineHandle {
         self.core().shards.as_ref().map(|s| s.statistics())
     }
 
+    /// Captures a point-in-time [`EngineState`](crate::EngineState) of the
+    /// current generation (see
+    /// [`AsrsEngine::export_state`](crate::AsrsEngine::export_state)) —
+    /// a handful of `Arc` clones, so background snapshotting never stalls
+    /// the serving path.
+    pub fn export_state(&self) -> crate::EngineState {
+        crate::engine::export_state(&self.shared)
+    }
+
     /// Builds a query-by-example from a real region of the current
     /// generation's dataset.
     pub fn query_from_example(&self, example: &Rect) -> Result<AsrsQuery, AsrsError> {

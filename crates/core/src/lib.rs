@@ -163,7 +163,9 @@ pub use budget::Budget;
 pub use cache::{CacheStats, QueryCache};
 pub use config::SearchConfig;
 pub use ds_search::DsSearch;
-pub use engine::{AsrsEngine, EngineBuilder, SearchAlgorithm, Strategy};
+pub use engine::{
+    AsrsEngine, DurabilitySink, EngineBuilder, EngineState, SearchAlgorithm, ShardState, Strategy,
+};
 pub use error::{AsrsError, ConfigError};
 pub use gi_ds::GiDsSearch;
 pub use grid_index::GridIndex;

@@ -448,8 +448,6 @@ fn publish(
         policy: core.policy.clone(),
         shards,
     };
-    shared.swap(Arc::new(next));
-
     let logged = match (kind, delta) {
         (_, Delta::Append(object)) => Mutation::Append {
             object: object.clone(),
@@ -457,6 +455,14 @@ fn publish(
         ("expire", Delta::Remove(_)) => Mutation::Expire { id },
         (_, Delta::Remove(_)) => Mutation::Remove { id },
     };
+    // Write-ahead: the durability sink must accept the mutation *before*
+    // the generation becomes visible.  A sink failure aborts the mutation
+    // — the assembled core is dropped, the engine stays on `core`, and the
+    // caller sees the error instead of an acknowledgement the log lost.
+    if let Some(sink) = shared.durability.get() {
+        sink.log_mutation(generation, &logged)?;
+    }
+    shared.swap(Arc::new(next));
     state.log.record(generation, logged);
 
     Ok(MutationReceipt {

@@ -18,6 +18,9 @@
 //! * [`SpatialPartition`] — longest-axis recursive spatial partitioning of a
 //!   dataset into `n` shard regions (the data layout of the sharded engine).
 //! * [`io`] — a small CSV-like text format for saving and loading datasets.
+//! * [`columnar`] — a bit-exact binary column-oriented encoding of datasets
+//!   and mutations (the byte substrate of the `asrs-persist` snapshot and
+//!   write-ahead-log formats).
 //! * [`gen`] — synthetic workload generators reproducing the statistical
 //!   shape of the paper's datasets (Tweet, POISyn, and the Singapore POI
 //!   case-study city), plus uniform and clustered baseline generators.
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod columnar;
 mod dataset;
 pub mod gen;
 pub mod io;

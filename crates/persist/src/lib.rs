@@ -1,0 +1,37 @@
+//! Durability for the ASRS engine: crash-safe persistence with instant
+//! boot.
+//!
+//! Two cooperating mechanisms:
+//!
+//! * **Columnar snapshots** ([`snapshot`]) — a versioned, checksummed file
+//!   capturing one engine generation: the dataset's columns plus the grid
+//!   index base tables, per shard.  Loading one restores the engine
+//!   *without re-indexing*, so boot cost is file-read cost; the restored
+//!   engine answers every query byte-identically to the one that wrote
+//!   the snapshot.
+//! * **A write-ahead log** ([`wal`]) — length-prefixed, CRC-framed
+//!   mutation records, fsync'd *before* the engine publishes the mutated
+//!   generation.  A crash loses at most the unacknowledged tail, which is
+//!   detected and truncated on the next open.
+//!
+//! [`store`] ties them together: [`PersistExt::persist_dir`] turns an
+//! `EngineBuilder` into a [`PersistentBuilder`] whose `build` restores
+//! snapshot + log, and whose [`PersistHandle`] keeps later mutations
+//! durable and schedules log compaction.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+pub mod error;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::PersistError;
+pub use snapshot::{load_latest, read_snapshot, write_snapshot, SnapshotFile};
+pub use store::{
+    BootReport, PersistExt, PersistHandle, PersistStats, PersistentBuilder, PersistentEngine,
+    SnapshotReport,
+};
+pub use wal::{Wal, WalEntry, WalRecovery};

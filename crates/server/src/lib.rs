@@ -23,10 +23,23 @@
 //!   generation; 409 for a duplicate id, 400 for a schema violation.
 //! * `DELETE /objects/{id}` — removes an object by id (404 when absent).
 //! * `POST /sweep` — expires every TTL'd object whose deadline passed.
+//!   A background maintenance thread also sweeps on a configurable
+//!   cadence ([`ServerConfig::sweep_interval`]), so TTL'd objects expire
+//!   without any client driving `/sweep`.
+//! * `POST /snapshot` — persists the engine's current generation
+//!   immediately when the server was started with a persistence handle
+//!   ([`AsrsServer::with_persistence`]); 409 otherwise.  The maintenance
+//!   thread also snapshots automatically once the write-ahead log outgrows
+//!   its compaction threshold.
 //! * `GET /metrics` — request counters, cache hit/miss counters, the
-//!   engine generation with its mutation counters, and the merged
+//!   engine generation with its mutation counters, sweeper and
+//!   persistence counters, and the merged
 //!   [`SearchStats`](asrs_core::SearchStats) of every query served.
 //! * `GET /healthz` — liveness.
+//!
+//! Queries that arrive without a budget can be given a server-side one
+//! ([`ServerConfig::query_deadline`]), turning pathologically slow
+//! requests into 408 responses instead of pinned pool workers.
 //!
 //! ```no_run
 //! use asrs_core::AsrsEngine;
@@ -55,5 +68,5 @@ mod metrics;
 mod server;
 
 pub use http::HttpClient;
-pub use metrics::{CacheSnapshot, MetricsSnapshot, ShardsSnapshot};
+pub use metrics::{CacheSnapshot, MetricsSnapshot, ShardsSnapshot, SweeperSnapshot};
 pub use server::{status_for, AsrsServer, ServerConfig, ServerHandle};

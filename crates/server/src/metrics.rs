@@ -2,6 +2,7 @@
 //! [`SearchStats`] of every executed query, snapshotted by `GET /metrics`.
 
 use asrs_core::{CacheStats, MutationStats, SearchStats};
+use asrs_persist::PersistStats;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -93,6 +94,8 @@ impl ServerMetrics {
         cache: Option<CacheStats>,
         shard_requests: Option<Vec<u64>>,
         mutations: MutationStats,
+        sweeper: Option<SweeperSnapshot>,
+        persistence: Option<PersistStats>,
     ) -> MetricsSnapshot {
         let mut search = self.search.lock().expect("metrics mutex poisoned").clone();
         let cache = cache.map(|c| {
@@ -125,9 +128,30 @@ impl ServerMetrics {
             cache,
             shards,
             mutations,
+            sweeper,
+            persistence,
             search,
         }
     }
+}
+
+/// Background maintenance-thread counters, as served by `/metrics`
+/// (absent when the server runs with `sweep_interval: None`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweeperSnapshot {
+    /// Configured sweep cadence in milliseconds.
+    pub interval_ms: u64,
+    /// Completed background sweeps.
+    pub sweeps: u64,
+    /// TTL'd objects expired by those sweeps.
+    pub swept_objects: u64,
+    /// Sweeps that failed (the engine refused the mutation).
+    pub sweep_errors: u64,
+    /// Background snapshots taken because the write-ahead log outgrew its
+    /// compaction threshold.
+    pub snapshots_taken: u64,
+    /// Background snapshots that failed.
+    pub snapshot_errors: u64,
 }
 
 /// Per-shard serving counters of a sharded engine, as served by `/metrics`.
@@ -187,6 +211,11 @@ pub struct MetricsSnapshot {
     pub cache: Option<CacheSnapshot>,
     /// Per-shard request counters (absent on single-engine deployments).
     pub shards: Option<ShardsSnapshot>,
+    /// Background maintenance-thread counters (absent when the sweeper is
+    /// disabled).
+    pub sweeper: Option<SweeperSnapshot>,
+    /// Snapshot/WAL counters (absent without a persistence directory).
+    pub persistence: Option<PersistStats>,
     /// Generational-engine mutation counters: generation number, applied
     /// appends/removals/expiries, incremental index updates vs rebuilds,
     /// shard re-partitions, pending TTLs.

@@ -9,17 +9,18 @@
 //! kernel's TCP backlog instead of ballooning memory in user space.
 
 use crate::http::{self, HttpRequest};
-use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::metrics::{MetricsSnapshot, ServerMetrics, SweeperSnapshot};
 use asrs_core::{AsrsError, EngineHandle, QueryRequest};
 use asrs_data::SpatialObject;
+use asrs_persist::PersistHandle;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufReader};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sizing of the serving topology.
 #[derive(Debug, Clone)]
@@ -39,6 +40,18 @@ pub struct ServerConfig {
     /// bounds individual syscalls, so without this a client trickling one
     /// byte per timeout window could pin a pool worker indefinitely.
     pub request_deadline: Duration,
+    /// Cadence of the background maintenance thread, which expires TTL'd
+    /// objects (`sweep_expired`) and takes persistence snapshots when the
+    /// write-ahead log outgrows its compaction threshold.  `None` disables
+    /// the thread; clients must then `POST /sweep` (and `POST /snapshot`)
+    /// themselves.  Defaults to every 500 ms.
+    pub sweep_interval: Option<Duration>,
+    /// Server-side execution deadline applied to `/query` requests that do
+    /// not carry their own budget: the request is submitted with this
+    /// budget, so a query that cannot finish in time answers 408 instead
+    /// of pinning a pool worker.  A client-supplied budget always wins.
+    /// `None` (the default) leaves budget-less queries unbounded.
+    pub query_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +65,8 @@ impl Default for ServerConfig {
             backlog: workers * 4,
             read_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(30),
+            sweep_interval: Some(Duration::from_millis(500)),
+            query_deadline: None,
         }
     }
 }
@@ -63,6 +78,7 @@ pub struct AsrsServer {
     listener: TcpListener,
     engine: EngineHandle,
     config: ServerConfig,
+    persist: Option<Arc<PersistHandle>>,
 }
 
 impl AsrsServer {
@@ -77,7 +93,17 @@ impl AsrsServer {
             listener: TcpListener::bind(addr)?,
             engine,
             config,
+            persist: None,
         })
+    }
+
+    /// Attaches the engine's persistence handle: enables `POST /snapshot`,
+    /// surfaces the WAL/snapshot counters under `/metrics`, and lets the
+    /// maintenance thread snapshot in the background when the write-ahead
+    /// log outgrows its compaction threshold.
+    pub fn with_persistence(mut self, persist: Arc<PersistHandle>) -> Self {
+        self.persist = Some(persist);
+        self
     }
 
     /// The bound address (useful after binding port 0).
@@ -85,7 +111,8 @@ impl AsrsServer {
         self.listener.local_addr()
     }
 
-    /// Spawns the acceptor and worker threads and starts serving.
+    /// Spawns the acceptor, worker, and maintenance threads and starts
+    /// serving.
     pub fn start(self) -> io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -94,6 +121,9 @@ impl AsrsServer {
             shutdown: AtomicBool::new(false),
             read_timeout: self.config.read_timeout,
             request_deadline: self.config.request_deadline,
+            query_deadline: self.config.query_deadline,
+            persist: self.persist,
+            sweeper: self.config.sweep_interval.map(SweeperState::new),
         });
         let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
             sync_channel(self.config.backlog.max(1));
@@ -110,6 +140,12 @@ impl AsrsServer {
         threads.push(std::thread::spawn(move || {
             accept_loop(&acceptor_shared, &listener, tx);
         }));
+        if shared.sweeper.is_some() {
+            let sweeper_shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                maintenance_loop(&sweeper_shared)
+            }));
+        }
 
         Ok(ServerHandle {
             addr,
@@ -136,11 +172,7 @@ impl ServerHandle {
 
     /// A metrics snapshot, as `GET /metrics` would serve it.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(
-            self.shared.engine.cache_stats(),
-            self.shared.engine.shard_request_counts(),
-            self.shared.engine.mutation_stats(),
-        )
+        full_metrics(&self.shared)
     }
 
     /// Stops accepting, drains queued connections, and joins every thread.
@@ -185,6 +217,95 @@ struct Shared {
     shutdown: AtomicBool,
     read_timeout: Duration,
     request_deadline: Duration,
+    query_deadline: Option<Duration>,
+    persist: Option<Arc<PersistHandle>>,
+    sweeper: Option<SweeperState>,
+}
+
+/// Counters of the background maintenance thread.
+#[derive(Debug)]
+struct SweeperState {
+    interval: Duration,
+    sweeps: AtomicU64,
+    swept_objects: AtomicU64,
+    sweep_errors: AtomicU64,
+    snapshots_taken: AtomicU64,
+    snapshot_errors: AtomicU64,
+}
+
+impl SweeperState {
+    fn new(interval: Duration) -> Self {
+        Self {
+            interval,
+            sweeps: AtomicU64::new(0),
+            swept_objects: AtomicU64::new(0),
+            sweep_errors: AtomicU64::new(0),
+            snapshots_taken: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> SweeperSnapshot {
+        SweeperSnapshot {
+            interval_ms: self.interval.as_millis() as u64,
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            swept_objects: self.swept_objects.load(Ordering::Relaxed),
+            sweep_errors: self.sweep_errors.load(Ordering::Relaxed),
+            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+            snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Granularity of the maintenance thread's shutdown poll: sleeps are
+/// chopped into slices this long so a long sweep interval cannot delay
+/// shutdown by more than one slice.
+const MAINTENANCE_POLL: Duration = Duration::from_millis(50);
+
+/// The background maintenance loop: every `sweep_interval`, expire TTL'd
+/// objects, and — when persistence is attached and its write-ahead log has
+/// outgrown the compaction threshold — snapshot the current generation.
+/// Both run off the request path: queries and mutations never wait on a
+/// sweep or a snapshot (snapshots serialize an `Arc`'d immutable
+/// generation).
+fn maintenance_loop(shared: &Shared) {
+    let Some(sweeper) = shared.sweeper.as_ref() else {
+        return;
+    };
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(MAINTENANCE_POLL.min(sweeper.interval));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if last.elapsed() < sweeper.interval {
+            continue;
+        }
+        last = Instant::now();
+        match shared.engine.sweep_expired() {
+            Ok(receipts) => {
+                sweeper.sweeps.fetch_add(1, Ordering::Relaxed);
+                sweeper
+                    .swept_objects
+                    .fetch_add(receipts.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                sweeper.sweep_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(persist) = shared.persist.as_ref() {
+            if persist.snapshot_due() {
+                match persist.snapshot_now(&shared.engine.export_state()) {
+                    Ok(_) => {
+                        sweeper.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        sweeper.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
 }
 
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream>) {
@@ -291,16 +412,13 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
             handle_delete(shared, p.strip_prefix("/objects/").unwrap_or(""))
         }
         ("POST", "/sweep") => handle_sweep(shared),
-        ("GET", "/metrics") => (
-            200,
-            serde::json::to_string(&shared.metrics.snapshot(
-                shared.engine.cache_stats(),
-                shared.engine.shard_request_counts(),
-                shared.engine.mutation_stats(),
-            )),
-        ),
+        ("POST", "/snapshot") => handle_snapshot(shared),
+        ("GET", "/metrics") => (200, serde::json::to_string(&full_metrics(shared))),
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
-        (_, "/query" | "/explain" | "/metrics" | "/healthz" | "/append" | "/sweep") => (
+        (
+            _,
+            "/query" | "/explain" | "/metrics" | "/healthz" | "/append" | "/sweep" | "/snapshot",
+        ) => (
             405,
             error_body(
                 "method-not-allowed",
@@ -321,19 +439,38 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
     }
 }
 
+/// Assembles the full `/metrics` payload from every counter source.
+fn full_metrics(shared: &Shared) -> MetricsSnapshot {
+    shared.metrics.snapshot(
+        shared.engine.cache_stats(),
+        shared.engine.shard_request_counts(),
+        shared.engine.mutation_stats(),
+        shared.sweeper.as_ref().map(SweeperState::snapshot),
+        shared.persist.as_ref().map(|p| p.stats()),
+    )
+}
+
 fn parse_request_body(body: &[u8]) -> Result<QueryRequest, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     serde::json::from_str(text).map_err(|e| e.to_string())
 }
 
 fn handle_query(shared: &Shared, body: &[u8]) -> (u16, String) {
-    let request = match parse_request_body(body) {
+    let mut request = match parse_request_body(body) {
         Ok(request) => request,
         Err(message) => {
             shared.metrics.record_query_error(400);
             return (400, error_body("invalid-json", &message));
         }
     };
+    // The server-side deadline backstops clients that sent no budget of
+    // their own; the engine's budget machinery then turns an over-long
+    // query into `DeadlineExceeded`, which maps to 408 below.
+    if let Some(deadline) = shared.query_deadline {
+        if request.budget_ms().is_none() {
+            request = request.with_budget_ms(deadline.as_millis().max(1) as u64);
+        }
+    }
     match shared.engine.submit(&request) {
         Ok(response) => {
             shared.metrics.record_query_ok(&response.stats);
@@ -429,6 +566,25 @@ struct SweepBody {
     expired: Vec<asrs_core::MutationReceipt>,
 }
 
+/// `POST /snapshot`: persist the engine's current generation immediately
+/// (the background thread otherwise snapshots only when the WAL outgrows
+/// its threshold).  409 when the server runs without persistence.
+fn handle_snapshot(shared: &Shared) -> (u16, String) {
+    let Some(persist) = shared.persist.as_ref() else {
+        return (
+            409,
+            error_body(
+                "persistence-not-configured",
+                "the server was started without a persistence directory",
+            ),
+        );
+    };
+    match persist.snapshot_now(&shared.engine.export_state()) {
+        Ok(report) => (200, serde::json::to_string(&report)),
+        Err(error) => (500, error_body("persistence", &error.to_string())),
+    }
+}
+
 fn handle_explain(shared: &Shared, body: &[u8]) -> (u16, String) {
     let request = match parse_request_body(body) {
         Ok(request) => request,
@@ -469,6 +625,7 @@ pub fn status_for(error: &AsrsError) -> (u16, &'static str) {
         AsrsError::UnknownObjectId { .. } => (404, "unknown-object-id"),
         AsrsError::DuplicateObjectId { .. } => (409, "duplicate-object-id"),
         AsrsError::Schema(_) => (400, "schema-violation"),
+        AsrsError::Persistence { .. } => (500, "persistence"),
         AsrsError::Internal { .. } => (500, "internal"),
         AsrsError::Query(_) => (400, "invalid-query"),
         AsrsError::Config(_) => (400, "invalid-config"),

@@ -32,9 +32,13 @@ pub mod prelude {
         MutationLog, Schema, SpatialObject, SpatialPartition,
     };
     pub use asrs_geo::{Accuracy, GridSpec, Point, Rect, RegionSize};
+    pub use asrs_persist::{
+        BootReport, PersistError, PersistExt, PersistHandle, PersistStats, PersistentBuilder,
+        PersistentEngine, SnapshotFile, SnapshotReport, Wal, WalEntry, WalRecovery,
+    };
     pub use asrs_server::{
         AsrsServer, CacheSnapshot, HttpClient, MetricsSnapshot, ServerConfig, ServerHandle,
-        ShardsSnapshot,
+        ShardsSnapshot, SweeperSnapshot,
     };
 }
 

@@ -1,7 +1,10 @@
 //! Serving smoke: boot the HTTP server, drive one of every endpoint over a
 //! real socket, and shut down cleanly.
 //!
-//! Run with `cargo run --example serve --release`.
+//! Run with `cargo run --example serve --release`.  Pass
+//! `--persist-dir <path>` to boot the engine through the persistence
+//! subsystem: a snapshot + write-ahead log live in that directory, and the
+//! server exposes `POST /snapshot` plus persistence counters in `/metrics`.
 //!
 //! This is the example CI uses as its server smoke step: it exercises the
 //! whole serving path — bind, worker pool, JSON round trip, query-result
@@ -10,7 +13,31 @@
 
 use asrs_suite::prelude::*;
 
+/// The engine, either plain or booted through the persistence subsystem.
+enum Boot {
+    Plain(AsrsEngine),
+    Durable(PersistentEngine),
+}
+
+impl Boot {
+    fn engine(&self) -> &AsrsEngine {
+        match self {
+            Boot::Plain(engine) => engine,
+            Boot::Durable(persistent) => persistent.engine(),
+        }
+    }
+}
+
 fn main() {
+    let mut cli = std::env::args().skip(1);
+    let mut persist_dir: Option<String> = None;
+    while let Some(arg) = cli.next() {
+        match arg.as_str() {
+            "--persist-dir" => persist_dir = Some(cli.next().expect("--persist-dir needs a path")),
+            other => panic!("unknown flag {other:?} (supported: --persist-dir <path>)"),
+        }
+    }
+
     // An engine with a grid index and a query-result cache, shared with the
     // server through a cheap `EngineHandle`.
     let dataset = UniformGenerator::default().generate(5_000, 42);
@@ -18,15 +45,32 @@ fn main() {
         .distribution("category", Selection::All)
         .build()
         .expect("schema has a 'category' attribute");
-    let engine = AsrsEngine::builder(dataset, aggregator)
+    let builder = AsrsEngine::builder(dataset, aggregator)
         .build_index(64, 64)
-        .cache_capacity(256)
-        .build()
-        .expect("valid configuration");
+        .cache_capacity(256);
+    let boot = match &persist_dir {
+        Some(dir) => {
+            let persistent = builder
+                .persist_dir(dir)
+                .build()
+                .expect("persistent engine boots");
+            let report = persistent.boot();
+            println!(
+                "persistence: {dir} (cold_start={}, replayed {} WAL frames)",
+                report.cold_start, report.replayed_entries
+            );
+            Boot::Durable(persistent)
+        }
+        None => Boot::Plain(builder.build().expect("valid configuration")),
+    };
+    let engine = boot.engine();
 
-    let server = AsrsServer::bind(engine.handle(), "127.0.0.1:0", ServerConfig::default())
-        .and_then(AsrsServer::start)
+    let mut server = AsrsServer::bind(engine.handle(), "127.0.0.1:0", ServerConfig::default())
         .expect("server binds an ephemeral port");
+    if let Boot::Durable(persistent) = &boot {
+        server = server.with_persistence(persistent.persist().clone());
+    }
+    let server = server.start().expect("server starts");
     println!("serving on http://{}", server.addr());
 
     let mut client = HttpClient::connect(server.addr()).expect("client connects");
@@ -82,6 +126,15 @@ fn main() {
         .expect("garbage round trip");
     assert_eq!(status, 400);
     println!("error statuses map correctly (408 deadline, 400 malformed) ✓");
+
+    // With persistence configured, a snapshot can be forced over HTTP.
+    if matches!(boot, Boot::Durable(_)) {
+        let (status, body) = client
+            .request("POST", "/snapshot", "")
+            .expect("snapshot round-trips");
+        assert_eq!(status, 200, "{body}");
+        println!("POST /snapshot ✓");
+    }
 
     drop(client);
     server.shutdown();

@@ -1,0 +1,439 @@
+//! Crash-recovery parity harness for the persistence subsystem.
+//!
+//! The promise under test: an engine that dies — cleanly or mid-write —
+//! and is reopened from its snapshot + write-ahead log answers
+//! **byte-identically** to an engine that survived the same mutation
+//! history in memory.  Same comparison form as `tests/mutation_parity.rs`
+//! ([`QueryResponse::stats_stripped`] serialized to JSON, compared as raw
+//! bytes), same shard sweep {0, 1, 2, 4}, query-result cache enabled on
+//! the persistent engine throughout (generation stamping must hold across
+//! a reboot: the restored engine resumes at the crashed engine's
+//! generation, so warm hits can never replay a pre-crash answer for a
+//! post-crash state).
+//!
+//! Every append the engine acknowledged is fsync'd to the log *before*
+//! its generation publishes, so dropping the engine loses nothing; the
+//! torn-tail test covers the harsher case of a frame cut mid-write, which
+//! must cost exactly the unacknowledged mutation and nothing else.
+
+use asrs_suite::prelude::*;
+use std::path::PathBuf;
+
+/// Shard configurations under test: the classic single engine plus the
+/// scatter-gather engine at 1, 2 and 4 shards.
+const SHARD_CONFIGS: [usize; 4] = [0, 1, 2, 4];
+
+/// A tiny seeded LCG so the interleavings sweep deterministically without
+/// depending on the vendored rand API.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+fn workload(n: usize, seed: u64) -> (Dataset, CompositeAggregator) {
+    let ds = UniformGenerator::default().generate(n, seed);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    (ds, agg)
+}
+
+/// A pool of requests spanning the operation surface, seeded.
+fn request_pool(ds: &Dataset, agg: &CompositeAggregator, seed: u64) -> Vec<QueryRequest> {
+    let dim = agg.feature_dim();
+    let bbox = ds.bounding_box().expect("non-empty dataset");
+    let mut lcg = Lcg::new(seed);
+    let mut query = |frac: f64| -> AsrsQuery {
+        let size = RegionSize::new(
+            (bbox.width() * frac).max(1e-3),
+            (bbox.height() * frac * lcg.in_range(0.6, 1.4)).max(1e-3),
+        );
+        let target: Vec<f64> = (0..dim).map(|_| lcg.in_range(-2.0, 6.0)).collect();
+        AsrsQuery::new(size, FeatureVector::new(target), Weights::uniform(dim))
+    };
+    let small = query(0.08);
+    let medium = query(0.25);
+    vec![
+        QueryRequest::similar(small.clone()),
+        QueryRequest::top_k(medium.clone(), 3),
+        QueryRequest::batch(vec![small, medium.clone()]),
+        QueryRequest::approximate(medium, 0.25),
+        QueryRequest::max_rs(RegionSize::new(
+            (bbox.width() / 9.0).max(0.5),
+            (bbox.height() / 11.0).max(0.5),
+        )),
+    ]
+}
+
+fn canonical_bytes(response: &QueryResponse) -> String {
+    serde::json::to_string(&response.stats_stripped())
+}
+
+fn engine_builder(
+    ds: Dataset,
+    agg: CompositeAggregator,
+    shards: usize,
+    cache: usize,
+) -> EngineBuilder {
+    let mut builder = AsrsEngine::builder(ds, agg)
+        .build_index(12, 12)
+        .cache_capacity(cache);
+    if shards > 0 {
+        builder = builder.shards(shards);
+    }
+    builder
+}
+
+fn temp_dir(tag: &str, shards: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "asrs-recovery-{tag}-s{shards}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One deterministic mutation drawn from the seeded stream, applied to
+/// *both* engines (the persistent one and the in-memory survivor).
+fn apply_mutation_to_both(
+    persistent: &AsrsEngine,
+    survivor: &AsrsEngine,
+    lcg: &mut Lcg,
+    bbox: &Rect,
+    live_ids: &mut Vec<u64>,
+    next_id: &mut u64,
+    template: &SpatialObject,
+) {
+    match lcg.pick(8) {
+        0 | 1 if !live_ids.is_empty() => {
+            let idx = lcg.pick(live_ids.len());
+            let id = live_ids.swap_remove(idx);
+            persistent.remove(id).unwrap();
+            survivor.remove(id).unwrap();
+        }
+        // Zero-TTL append + immediate sweep: the expiry travels the WAL as
+        // an `Expire` frame and must replay as its outcome (a removal).
+        2 => {
+            let id = *next_id;
+            *next_id += 1;
+            let object = SpatialObject::new(
+                id,
+                Point::new(
+                    bbox.min_x + bbox.width() * lcg.next_f64(),
+                    bbox.min_y + bbox.height() * lcg.next_f64(),
+                ),
+                template.values.clone(),
+            );
+            for engine in [persistent, survivor] {
+                engine
+                    .append_with_ttl(object.clone(), std::time::Duration::ZERO)
+                    .unwrap();
+                let receipts = engine.sweep_expired().unwrap();
+                assert_eq!(receipts.len(), 1, "the zero-TTL object expires at once");
+            }
+        }
+        _ => {
+            let id = *next_id;
+            *next_id += 1;
+            let object = SpatialObject::new(
+                id,
+                Point::new(
+                    bbox.min_x + bbox.width() * lcg.next_f64(),
+                    bbox.min_y + bbox.height() * lcg.next_f64(),
+                ),
+                template.values.clone(),
+            );
+            persistent.append(object.clone()).unwrap();
+            survivor.append(object).unwrap();
+            live_ids.push(id);
+        }
+    }
+}
+
+fn assert_engines_agree(
+    reopened: &AsrsEngine,
+    survivor: &AsrsEngine,
+    agg: &CompositeAggregator,
+    seed: u64,
+    context: &str,
+) {
+    assert_eq!(
+        reopened.generation(),
+        survivor.generation(),
+        "{context}: the reopened engine must resume at the survivor's generation"
+    );
+    assert_eq!(
+        reopened.dataset().objects(),
+        survivor.dataset().objects(),
+        "{context}: datasets diverged"
+    );
+    for request in request_pool(&reopened.dataset(), agg, seed) {
+        let expected = canonical_bytes(&survivor.submit(&request).unwrap());
+        let cold = canonical_bytes(&reopened.submit(&request).unwrap());
+        assert_eq!(
+            cold,
+            expected,
+            "{context}, {}: reopened engine diverged from the survivor",
+            request.operation_name()
+        );
+        // Warm resubmission through the reopened engine's cache.
+        let warm = canonical_bytes(&reopened.submit(&request).unwrap());
+        assert_eq!(
+            warm,
+            expected,
+            "{context}, {}: warm submission replayed a stale generation",
+            request.operation_name()
+        );
+    }
+}
+
+/// The tentpole assertion: drop the persistent engine at every checkpoint
+/// of a seeded interleaving, reopen from snapshot + WAL, and require
+/// byte-identical responses vs an engine that survived the same history in
+/// memory — across shard counts {0, 1, 2, 4}, with a mid-stream snapshot
+/// so later checkpoints recover from snapshot *plus* log tail.
+#[test]
+fn crashed_engines_reopen_byte_identical_to_survivors() {
+    for shards in SHARD_CONFIGS {
+        let (ds, agg) = workload(150, 41);
+        let bbox = ds.bounding_box().unwrap();
+        let template = ds.object(0).clone();
+        let dir = temp_dir("crash", shards);
+
+        let survivor = engine_builder(ds.clone(), agg.clone(), shards, 0)
+            .build()
+            .unwrap();
+        let mut persistent = engine_builder(ds.clone(), agg.clone(), shards, 64)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+        assert!(persistent.boot().cold_start);
+
+        let mut lcg = Lcg::new(7000 + shards as u64);
+        let mut live_ids: Vec<u64> = Vec::new();
+        let mut next_id = 2_000_000u64;
+        for checkpoint in 0..3 {
+            for _ in 0..6 {
+                apply_mutation_to_both(
+                    persistent.engine(),
+                    &survivor,
+                    &mut lcg,
+                    &bbox,
+                    &mut live_ids,
+                    &mut next_id,
+                    &template,
+                );
+            }
+            // Mid-stream snapshot at the second checkpoint: recovery after
+            // it must stack the WAL tail on top of the newer snapshot.
+            if checkpoint == 1 {
+                let report = persistent.snapshot().unwrap();
+                assert_eq!(report.generation, persistent.engine().generation());
+                assert_eq!(report.wal_entries, 0, "snapshot compacts the log");
+            }
+
+            // "Kill" the engine (drop it) and reopen from disk.  Every
+            // acknowledged mutation was fsync'd before its generation
+            // published, so the reopened engine must not lose any of them.
+            drop(persistent);
+            persistent = engine_builder(ds.clone(), agg.clone(), shards, 64)
+                .persist_dir(&dir)
+                .build()
+                .unwrap();
+            assert!(!persistent.boot().cold_start);
+            assert_engines_agree(
+                persistent.engine(),
+                &survivor,
+                &agg,
+                90 + checkpoint,
+                &format!("shards {shards}, checkpoint {checkpoint}"),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A WAL frame cut mid-write (the crash artifact fsync cannot prevent)
+/// must cost exactly the torn mutation: the reopened engine matches a
+/// survivor that never applied it, and keeps accepting mutations.
+#[test]
+fn torn_wal_tail_loses_only_the_unacknowledged_mutation() {
+    for shards in [0usize, 2] {
+        let (ds, agg) = workload(120, 43);
+        let bbox = ds.bounding_box().unwrap();
+        let template = ds.object(0).clone();
+        let dir = temp_dir("torn", shards);
+
+        let survivor = engine_builder(ds.clone(), agg.clone(), shards, 0)
+            .build()
+            .unwrap();
+        let persistent = engine_builder(ds.clone(), agg.clone(), shards, 32)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+
+        // Three mutations applied to both, one more applied only to the
+        // persistent engine — its frame is then torn in half on disk.
+        let mut lcg = Lcg::new(99);
+        let mut ids = Vec::new();
+        for i in 0..4u64 {
+            let object = SpatialObject::new(
+                3_000_000 + i,
+                Point::new(bbox.min_x + 1.0 + i as f64, bbox.min_y + 2.0 + i as f64),
+                template.values.clone(),
+            );
+            persistent.engine().append(object.clone()).unwrap();
+            if i < 3 {
+                survivor.append(object).unwrap();
+                ids.push(3_000_000 + i);
+            }
+        }
+        let _ = lcg.next_u64();
+        drop(persistent);
+
+        let wal_path = dir.join("wal.log");
+        let full = std::fs::metadata(&wal_path).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
+        file.set_len(full - 7).unwrap();
+        drop(file);
+
+        let reopened = engine_builder(ds.clone(), agg.clone(), shards, 32)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+        assert_eq!(
+            reopened.boot().replayed_entries,
+            3,
+            "shards {shards}: the torn fourth frame must not replay"
+        );
+        assert!(reopened.boot().wal_truncated_bytes > 0);
+        assert_engines_agree(
+            reopened.engine(),
+            &survivor,
+            &agg,
+            7,
+            &format!("shards {shards}, torn tail"),
+        );
+
+        // The log is live again after the truncation.
+        let object = SpatialObject::new(
+            3_000_100,
+            Point::new(bbox.min_x + 9.0, bbox.min_y + 9.0),
+            template.values.clone(),
+        );
+        reopened.engine().append(object.clone()).unwrap();
+        survivor.append(object).unwrap();
+        assert_eq!(
+            reopened.engine().generation(),
+            survivor.generation(),
+            "shards {shards}: post-recovery mutations stay aligned"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Snapshot round-trip without any WAL tail: snapshot a mutated engine,
+/// reopen, and require byte identity plus zero replayed frames (the boot
+/// must come from the snapshot alone, not a rebuild).
+#[test]
+fn snapshot_round_trip_restores_without_replay() {
+    for shards in SHARD_CONFIGS {
+        let (ds, agg) = workload(140, 47);
+        let bbox = ds.bounding_box().unwrap();
+        let template = ds.object(0).clone();
+        let dir = temp_dir("roundtrip", shards);
+
+        let survivor = engine_builder(ds.clone(), agg.clone(), shards, 0)
+            .build()
+            .unwrap();
+        let persistent = engine_builder(ds.clone(), agg.clone(), shards, 64)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+        let mut lcg = Lcg::new(1234);
+        let mut live_ids = Vec::new();
+        let mut next_id = 4_000_000u64;
+        for _ in 0..10 {
+            apply_mutation_to_both(
+                persistent.engine(),
+                &survivor,
+                &mut lcg,
+                &bbox,
+                &mut live_ids,
+                &mut next_id,
+                &template,
+            );
+        }
+        persistent.snapshot().unwrap();
+        drop(persistent);
+
+        let reopened = engine_builder(ds.clone(), agg.clone(), shards, 64)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+        assert_eq!(
+            reopened.boot().replayed_entries,
+            0,
+            "shards {shards}: a fresh snapshot leaves nothing to replay"
+        );
+        assert_eq!(
+            reopened.boot().snapshot_generation,
+            Some(survivor.generation())
+        );
+        assert_engines_agree(
+            reopened.engine(),
+            &survivor,
+            &agg,
+            11,
+            &format!("shards {shards}, round trip"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Restore refuses a topology change: a snapshot taken at one shard count
+/// must not silently restore into a builder configured for another.
+#[test]
+fn restore_rejects_a_mismatched_shard_count() {
+    let (ds, agg) = workload(100, 53);
+    let dir = temp_dir("mismatch", 2);
+    let persistent = engine_builder(ds.clone(), agg.clone(), 2, 0)
+        .persist_dir(&dir)
+        .build()
+        .unwrap();
+    drop(persistent);
+    match engine_builder(ds, agg, 4, 0).persist_dir(&dir).build() {
+        Err(PersistError::Engine(AsrsError::Persistence { message })) => {
+            assert!(message.contains("shard"), "{message}");
+        }
+        other => panic!("expected a shard-count rejection, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
