@@ -26,6 +26,7 @@
 //!
 //! [`Schema`]: asrs_data::Schema
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,268 @@
+//! The `asrs-fsck` fixture corpus: every class of on-disk damage the
+//! verifier claims to detect, manufactured deliberately and checked for
+//! the right category *and* the right process exit code.
+//!
+//! The corpus runs the real binary (`CARGO_BIN_EXE_asrs-fsck`), so the
+//! CLI surface — JSON on stdout, summaries on stderr, the 0/1/2/3 exit
+//! contract — is under test, not just the library functions.
+
+use asrs_aggregator::{CompositeAggregator, Selection};
+use asrs_audit::{check_dir, check_snapshot_file, FsckCategory, Severity};
+use asrs_core::AsrsEngine;
+use asrs_data::columnar;
+use asrs_data::gen::UniformGenerator;
+use asrs_data::{AttrValue, SpatialObject};
+use asrs_geo::Point;
+use asrs_persist::crc::crc32;
+use asrs_persist::PersistExt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asrs-fsck-fixture-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn object(id: u64) -> SpatialObject {
+    SpatialObject::new(
+        id,
+        Point::new(20.0 + id as f64 % 17.0, 80.0 - id as f64 % 5.0),
+        vec![AttrValue::Cat(id as u32 % 4)],
+    )
+}
+
+/// Builds a healthy persistence directory: a snapshotted engine plus a
+/// few WAL frames, the way the recovery suite leaves them.
+fn healthy_dir(tag: &str, shards: usize, mutations: u64) -> PathBuf {
+    let dir = temp_dir(tag);
+    let ds = UniformGenerator::default().generate(160, 11);
+    let agg = CompositeAggregator::builder(ds.schema())
+        .distribution("category", Selection::All)
+        .build()
+        .unwrap();
+    let mut builder = AsrsEngine::builder(ds, agg).build_index(8, 8);
+    if shards > 0 {
+        builder = builder.shards(shards);
+    }
+    let p = builder.persist_dir(&dir).build().unwrap();
+    for id in 0..mutations {
+        p.engine().append(object(2000 + id)).unwrap();
+    }
+    dir
+}
+
+fn snapshot_path(dir: &Path) -> PathBuf {
+    fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "snap"))
+        .expect("a snapshot exists")
+}
+
+/// Runs the real asrs-fsck binary over `dirs` and returns (exit code,
+/// stdout).
+fn run_fsck(dirs: &[&Path]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_asrs-fsck"))
+        .arg("--quiet")
+        .args(dirs)
+        .output()
+        .expect("asrs-fsck runs");
+    (
+        output.status.code().expect("fsck exits normally"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn healthy_directories_exit_zero_with_a_clean_json_report() {
+    let unsharded = healthy_dir("ok0", 0, 3);
+    let sharded = healthy_dir("ok3", 3, 5);
+    let (code, stdout) = run_fsck(&[&unsharded, &sharded]);
+    assert_eq!(code, 0, "healthy directories must pass: {stdout}");
+    assert!(stdout.contains("\"errors\":0"), "{stdout}");
+    assert!(stdout.contains("\"warnings\":0"), "{stdout}");
+    let _ = fs::remove_dir_all(&unsharded);
+    let _ = fs::remove_dir_all(&sharded);
+}
+
+#[test]
+fn a_flipped_crc_byte_in_a_snapshot_is_a_checksum_error() {
+    let dir = healthy_dir("crcflip", 0, 0);
+    let snap = snapshot_path(&dir);
+    // Flip one bit of the stored CRC itself — the payload is pristine,
+    // only the trailer lies.
+    let mut bytes = fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(&snap, &bytes).unwrap();
+
+    let report = check_dir(&dir).unwrap();
+    let categories: Vec<_> = report
+        .all_findings()
+        .into_iter()
+        .map(|f| f.category)
+        .collect();
+    assert!(
+        categories.contains(&FsckCategory::ChecksumMismatch),
+        "{categories:?}"
+    );
+
+    let (code, stdout) = run_fsck(&[&dir]);
+    assert_eq!(code, 1, "corruption must exit nonzero: {stdout}");
+    assert!(stdout.contains("ChecksumMismatch"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_truncated_wal_frame_is_a_torn_tail_warning() {
+    let dir = healthy_dir("torn", 0, 4);
+    let wal = dir.join("wal.log");
+    let full = fs::metadata(&wal).unwrap().len();
+    let f = fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(full - 7).unwrap();
+    drop(f);
+
+    let report = check_dir(&dir).unwrap();
+    let torn: Vec<_> = report
+        .all_findings()
+        .into_iter()
+        .filter(|f| f.category == FsckCategory::TornTail)
+        .collect();
+    assert_eq!(torn.len(), 1);
+    assert_eq!(torn[0].severity, Severity::Warning);
+    assert_eq!(
+        report.replayable_frames, 3,
+        "the torn frame is not replayable"
+    );
+
+    let (code, stdout) = run_fsck(&[&dir]);
+    assert_eq!(code, 2, "warnings exit 2: {stdout}");
+    assert!(stdout.contains("TornTail"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_generation_gap_in_the_wal_is_a_contiguity_error() {
+    let dir = healthy_dir("gap", 0, 1);
+    {
+        let (wal, _) = asrs_persist::Wal::open(&dir.join("wal.log")).unwrap();
+        wal.append(40, &asrs_data::Mutation::Remove { id: 2000 })
+            .unwrap();
+    }
+    let report = check_dir(&dir).unwrap();
+    let categories: Vec<_> = report
+        .all_findings()
+        .into_iter()
+        .map(|f| f.category)
+        .collect();
+    assert!(
+        categories.contains(&FsckCategory::GenerationGap)
+            || categories.contains(&FsckCategory::GenerationDiscontinuity),
+        "{categories:?}"
+    );
+
+    let (code, stdout) = run_fsck(&[&dir]);
+    assert_eq!(code, 1, "a history gap is corruption: {stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_out_of_bounds_shard_position_is_detected_inside_a_valid_envelope() {
+    // Build the snapshot payload by hand: a real dataset, no index, one
+    // shard whose single object position points far past the columns.
+    // The framing (magic, version, CRC) is *valid* — only the content is
+    // poisoned, so nothing but the payload bounds check can catch it.
+    let dir = temp_dir("oob");
+    fs::create_dir_all(&dir).unwrap();
+    let ds = UniformGenerator::default().generate(50, 23);
+
+    let mut payload = Vec::new();
+    columnar::put_u64(&mut payload, 0); // generation
+    columnar::encode_dataset(&ds, &mut payload);
+    columnar::put_u8(&mut payload, 0); // no top-level index
+    columnar::put_u8(&mut payload, 1); // sharded
+    columnar::put_u64(&mut payload, 1); // one shard
+    for v in [0.0, 0.0, 100.0, 100.0] {
+        columnar::put_f64(&mut payload, v); // shard region
+    }
+    columnar::put_u64(&mut payload, 1); // one object in the shard
+    columnar::put_u64(&mut payload, 999_999); // position out of bounds
+    columnar::put_u8(&mut payload, 0); // no shard index
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"ASNP");
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let snap = dir.join(format!("snapshot-{:016x}.snap", 0));
+    fs::write(&snap, &bytes).unwrap();
+
+    let check = check_snapshot_file(&snap).unwrap();
+    assert!(!check.loadable());
+    assert_eq!(check.findings.len(), 1);
+    assert_eq!(
+        check.findings[0].category,
+        FsckCategory::ShardPositionOutOfBounds
+    );
+
+    let (code, stdout) = run_fsck(&[&dir]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("ShardPositionOutOfBounds"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_foreign_snapshot_file_is_a_bad_magic_error() {
+    let dir = healthy_dir("magic", 0, 0);
+    let snap = snapshot_path(&dir);
+    let mut bytes = fs::read(&snap).unwrap();
+    bytes[..4].copy_from_slice(b"NOPE");
+    fs::write(&snap, &bytes).unwrap();
+
+    let check = check_snapshot_file(&snap).unwrap();
+    assert_eq!(check.findings[0].category, FsckCategory::BadMagic);
+    let (code, _) = run_fsck(&[&dir]);
+    assert_eq!(code, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_future_format_version_is_a_bad_version_error() {
+    let dir = healthy_dir("version", 0, 0);
+    let snap = snapshot_path(&dir);
+    let mut bytes = fs::read(&snap).unwrap();
+    bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+    fs::write(&snap, &bytes).unwrap();
+
+    let check = check_snapshot_file(&snap).unwrap();
+    assert_eq!(check.findings[0].category, FsckCategory::BadVersion);
+    let (code, _) = run_fsck(&[&dir]);
+    assert_eq!(code, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_three() {
+    let output = Command::new(env!("CARGO_BIN_EXE_asrs-fsck"))
+        .output()
+        .expect("asrs-fsck runs");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "no directories is a usage error"
+    );
+
+    let missing = temp_dir("missing"); // never created
+    let output = Command::new(env!("CARGO_BIN_EXE_asrs-fsck"))
+        .arg(&missing)
+        .output()
+        .expect("asrs-fsck runs");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "unreadable directory is environmental"
+    );
+}

@@ -21,6 +21,7 @@
 //! [`AsrsEngine::search_with`](asrs_core::AsrsEngine::search_with) as an
 //! interchangeable backend next to DS-Search, GI-DS and the naive oracle.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

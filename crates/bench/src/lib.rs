@@ -8,6 +8,7 @@
 //! laptop-friendly cardinalities; `EXPERIMENTS.md` documents the mapping
 //! and records measured results next to the paper's.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,513 @@
+//! Deep invariant auditing of an engine generation.
+//!
+//! The engine's correctness rests on structural invariants that normal
+//! operation only exercises indirectly: the grid index's suffix tables
+//! must be the deterministic sweep of its base table, an incrementally
+//! maintained index must be bit-identical to a fresh build, shard
+//! partitions must stay disjoint-and-covering, planner statistics must
+//! describe the dataset they were captured from, and every cache key's
+//! generation stamp must refer to a generation that exists.  A violation
+//! of any of these would surface — much later — as a wrong answer or a
+//! byte-parity test failure with no pointer back to the corrupting step.
+//!
+//! [`audit_core`] checks them all *directly* against one immutable
+//! [`EngineCore`] and reports every violation as an [`AuditFinding`].
+//! Debug builds run it after every mutation publish (see
+//! [`mutate`](crate::mutate)), so the whole mutation-parity and
+//! persistence-recovery suites execute under continuous audit; release
+//! builds compile the hook out.  Callers can audit on demand through
+//! [`AsrsEngine::audit`](crate::AsrsEngine::audit) /
+//! [`EngineHandle::audit`](crate::EngineHandle::audit), and a serving
+//! engine exposes the report as `GET /audit`.
+
+use crate::engine::{EngineCore, EngineShared, IndexUpkeep};
+use crate::grid_index::GridIndex;
+use crate::planner::{EngineStatistics, IndexStatistics};
+use asrs_data::Dataset;
+use asrs_geo::Rect;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One violated invariant: which check tripped and what it saw.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AuditFinding {
+    /// Stable identifier of the violated check (e.g.
+    /// `"index-suffix-table"`, `"shard-cover"`).
+    pub check: &'static str,
+    /// Human-readable description of the observed violation.
+    pub detail: String,
+}
+
+/// The outcome of one audit run over one engine generation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AuditReport {
+    /// Generation of the audited core.
+    pub generation: u64,
+    /// Number of invariant checks that ran (a check skipped because its
+    /// subject is absent — no index, no shards, no cache — is not
+    /// counted).
+    pub checks_run: usize,
+    /// Every violated invariant; empty for a healthy core.
+    pub findings: Vec<AuditFinding>,
+}
+
+impl AuditReport {
+    /// Whether every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Collects check outcomes while the audit walks the core.
+struct Auditor {
+    checks_run: usize,
+    findings: Vec<AuditFinding>,
+}
+
+impl Auditor {
+    fn check(&mut self, check: &'static str, ok: bool, detail: impl FnOnce() -> String) {
+        self.checks_run += 1;
+        if !ok {
+            self.findings.push(AuditFinding {
+                check,
+                detail: detail(),
+            });
+        }
+    }
+}
+
+/// Audits every structural invariant of one engine generation.
+///
+/// The checks, by subject:
+///
+/// * **dataset** — the cached bounding box equals a fresh fold over the
+///   objects, bitwise.
+/// * **statistics** — the planner statistics equal a fresh recapture by
+///   the same code path the builder and the mutation publisher run
+///   (object count, extent, index statistics — virtual for per-shard
+///   upkeep — and shard fan-out).
+/// * **index** (when attached, top-level and per shard) — the statistics
+///   dimensionality matches the aggregator, the object count matches the
+///   dataset, the suffix table equals the deterministic sweep of the base
+///   table bitwise, and — while the grid geometry still matches the
+///   dataset — the whole index equals a fresh
+///   [`GridIndex::build`] bitwise (the incremental-maintenance
+///   guarantee).
+/// * **shards** (when sharded) — every dataset object lives in exactly
+///   one shard (cover + disjointness), every shard object lies inside its
+///   shard's region with interior points routed to that same shard (the
+///   cut-line tie rule), no shard holds an object the dataset lacks, and
+///   no shard core's generation exceeds the published generation.
+/// * **cache** (when attached) — every stored key's generation stamp
+///   refers to this or an earlier generation.  Meaningful when no
+///   mutation publishes concurrently; the facade methods hold the
+///   mutation lock for exactly that reason.
+///
+/// Audits the current generation with mutations paused: the mutation
+/// lock is held for the duration, so no successor generation can publish
+/// — and no query can stamp a newer cache key — while the audit reads.
+/// Queries themselves are never blocked (they only snapshot the core).
+pub(crate) fn audit_shared(shared: &EngineShared) -> AuditReport {
+    let _mutations_paused = shared.mutator.lock().expect("mutation lock poisoned"); // lint:allow(poisoned mutation lock is unrecoverable)
+    audit_core(&shared.load())
+}
+
+pub(crate) fn audit_core(core: &EngineCore) -> AuditReport {
+    let mut audit = Auditor {
+        checks_run: 0,
+        findings: Vec::new(),
+    };
+
+    audit_dataset(&mut audit, &core.dataset);
+    audit_statistics(&mut audit, core);
+    if let Some(index) = core.index.as_deref() {
+        audit_index(&mut audit, index, &core.dataset, core, "");
+    }
+    if let Some(set) = &core.shards {
+        audit_shards(&mut audit, core, set);
+    }
+    if let Some(cache) = &core.cache {
+        let stale: Vec<u64> = cache
+            .stamped_generations()
+            .into_iter()
+            .filter(|g| *g > core.generation)
+            .collect();
+        audit.check("cache-generation-stamps", stale.is_empty(), || {
+            format!(
+                "cache holds {} key(s) stamped past generation {} (first: {})",
+                stale.len(),
+                core.generation,
+                stale[0]
+            )
+        });
+    }
+
+    AuditReport {
+        generation: core.generation,
+        checks_run: audit.checks_run,
+        findings: audit.findings,
+    }
+}
+
+/// Recomputes the dataset bounding box from the objects and compares it
+/// bitwise with the cached one.
+fn audit_dataset(audit: &mut Auditor, dataset: &Dataset) {
+    let recomputed = recompute_bounding_box(dataset);
+    let cached = dataset.bounding_box();
+    audit.check(
+        "dataset-bounding-box",
+        rect_options_bit_equal(recomputed.as_ref(), cached.as_ref()),
+        || format!("cached bounding box {cached:?} != recomputed {recomputed:?}"),
+    );
+}
+
+fn recompute_bounding_box(dataset: &Dataset) -> Option<Rect> {
+    let mut objects = dataset.objects().iter();
+    let first = objects.next()?;
+    let mut rect = Rect::new(
+        first.location.x,
+        first.location.y,
+        first.location.x,
+        first.location.y,
+    );
+    for o in objects {
+        rect.min_x = rect.min_x.min(o.location.x);
+        rect.min_y = rect.min_y.min(o.location.y);
+        rect.max_x = rect.max_x.max(o.location.x);
+        rect.max_y = rect.max_y.max(o.location.y);
+    }
+    Some(rect)
+}
+
+fn rect_options_bit_equal(a: Option<&Rect>, b: Option<&Rect>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => {
+            a.min_x.to_bits() == b.min_x.to_bits()
+                && a.min_y.to_bits() == b.min_y.to_bits()
+                && a.max_x.to_bits() == b.max_x.to_bits()
+                && a.max_y.to_bits() == b.max_y.to_bits()
+        }
+        _ => false,
+    }
+}
+
+/// Recaptures the planner statistics by the same code path the builders
+/// and the mutation publisher run, and compares them with the stored ones.
+fn audit_statistics(audit: &mut Auditor, core: &EngineCore) {
+    let mut expected = EngineStatistics::capture(&core.dataset, core.index.as_deref());
+    if let IndexUpkeep::PerShard { cols, rows } = core.upkeep {
+        expected.index = if core.dataset.is_empty() {
+            None
+        } else {
+            match IndexStatistics::virtual_for(&core.dataset, cols, rows) {
+                Ok(stats) => Some(stats),
+                Err(err) => {
+                    audit.check("statistics-recapture", false, || {
+                        format!("virtual index statistics failed to recompute: {err}")
+                    });
+                    return;
+                }
+            }
+        };
+    }
+    if let Some(set) = &core.shards {
+        expected.shards = Some(set.fan_out());
+    }
+    audit.check("statistics-recapture", expected == core.statistics, || {
+        format!(
+            "stored statistics {:?} != recaptured {:?}",
+            core.statistics, expected
+        )
+    });
+}
+
+/// Audits one grid index against the dataset it summarises.  `scope`
+/// prefixes the detail messages (`""` for the top-level index, a shard
+/// label for per-shard indexes).
+fn audit_index(
+    audit: &mut Auditor,
+    index: &GridIndex,
+    dataset: &Dataset,
+    core: &EngineCore,
+    scope: &str,
+) {
+    audit.check(
+        "index-stats-dim",
+        index.stats_dim() == core.aggregator.stats_dim(),
+        || {
+            format!(
+                "{scope}index carries {} statistics dims, aggregator needs {}",
+                index.stats_dim(),
+                core.aggregator.stats_dim()
+            )
+        },
+    );
+    audit.check(
+        "index-object-count",
+        index.objects_indexed() == dataset.len(),
+        || {
+            format!(
+                "{scope}index summarises {} objects, dataset holds {}",
+                index.objects_indexed(),
+                dataset.len()
+            )
+        },
+    );
+
+    // The suffix table must be the deterministic sweep of the base table.
+    // `from_base_table` runs exactly that sweep, so reassembling the index
+    // from its own base table must reproduce the suffix table bitwise —
+    // geometry match or not.
+    match GridIndex::from_base_table(
+        index.spec().clone(),
+        index.stats_dim(),
+        index.objects_indexed(),
+        index.base_table().to_vec(),
+    ) {
+        Ok(swept) => audit.check(
+            "index-suffix-table",
+            tables_bit_equal(index.suffix_table(), swept.suffix_table()),
+            || format!("{scope}suffix table diverges from the sweep of its base table"),
+        ),
+        Err(err) => audit.check("index-suffix-table", false, || {
+            format!("{scope}base table failed to reassemble: {err}")
+        }),
+    }
+
+    // While the grid geometry still matches the dataset, the maintained
+    // index must equal a fresh build bitwise (the incremental-maintenance
+    // guarantee; a geometry move obliges the *next* mutation to rebuild,
+    // so a mismatched geometry is not itself a violation).
+    if index.space_matches(dataset) {
+        let (cols, rows) = index.granularity();
+        match GridIndex::build(dataset, &core.aggregator, cols, rows) {
+            Ok(fresh) => {
+                audit.check(
+                    "index-rebuild-identity",
+                    tables_bit_equal(index.base_table(), fresh.base_table())
+                        && tables_bit_equal(index.suffix_table(), fresh.suffix_table()),
+                    || format!("{scope}maintained index diverges bitwise from a fresh build"),
+                );
+            }
+            Err(err) => audit.check("index-rebuild-identity", false, || {
+                format!("{scope}fresh index build failed during audit: {err}")
+            }),
+        }
+    }
+}
+
+fn tables_bit_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Audits the shard table: partition cover/disjointness, region
+/// ownership, generation monotonicity and the per-shard indexes.
+fn audit_shards(audit: &mut Auditor, core: &EngineCore, set: &crate::shard::ShardSet) {
+    // Generation monotonicity: a shard core is either carried over from an
+    // earlier generation (untouched by the mutations since) or rebuilt at
+    // the current one — never from the future.
+    let ahead: Vec<usize> = set
+        .shards
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.core.generation > core.generation)
+        .map(|(i, _)| i)
+        .collect();
+    audit.check("shard-generations", ahead.is_empty(), || {
+        format!(
+            "shard(s) {:?} carry generations past the published {}",
+            ahead, core.generation
+        )
+    });
+
+    // Cover + disjointness by object id: every dataset object in exactly
+    // one shard, no shard object missing from the dataset.
+    let mut owner_of: HashMap<u64, usize> = HashMap::new();
+    let mut duplicated = Vec::new();
+    let mut foreign = Vec::new();
+    for (i, shard) in set.shards.iter().enumerate() {
+        for o in shard.core.dataset.objects() {
+            if owner_of.insert(o.id, i).is_some() {
+                duplicated.push(o.id);
+            }
+            if !core.dataset.contains_id(o.id) {
+                foreign.push(o.id);
+            }
+        }
+    }
+    audit.check("shard-disjointness", duplicated.is_empty(), || {
+        format!("object id(s) {duplicated:?} live in more than one shard")
+    });
+    audit.check("shard-no-foreign-objects", foreign.is_empty(), || {
+        format!("shard object id(s) {foreign:?} are absent from the dataset")
+    });
+    let missing: Vec<u64> = core
+        .dataset
+        .objects()
+        .iter()
+        .filter(|o| !owner_of.contains_key(&o.id))
+        .map(|o| o.id)
+        .collect();
+    audit.check("shard-cover", missing.is_empty(), || {
+        format!("dataset object id(s) {missing:?} belong to no shard")
+    });
+
+    // Region ownership: every shard object lies inside its shard's
+    // region, and an object strictly interior to the region routes back
+    // to that same shard (cut-line points may legitimately be owned by a
+    // neighbour under the at-or-above tie rule, so only interior points
+    // pin the owner uniquely).
+    let mut outside = Vec::new();
+    let mut misrouted = Vec::new();
+    for (i, shard) in set.shards.iter().enumerate() {
+        for o in shard.core.dataset.objects() {
+            let p = &o.location;
+            if !shard.region.contains_point(p) {
+                outside.push(o.id);
+                continue;
+            }
+            let interior = p.x > shard.region.min_x
+                && p.x < shard.region.max_x
+                && p.y > shard.region.min_y
+                && p.y < shard.region.max_y;
+            if interior && crate::mutate::owning_shard_for_point(set, o) != Some(i) {
+                misrouted.push(o.id);
+            }
+        }
+    }
+    audit.check("shard-region-containment", outside.is_empty(), || {
+        format!("object id(s) {outside:?} lie outside their shard's region")
+    });
+    audit.check("shard-routing", misrouted.is_empty(), || {
+        format!("interior object id(s) {misrouted:?} route to a different shard than the one holding them")
+    });
+
+    for (i, shard) in set.shards.iter().enumerate() {
+        if let Some(index) = shard.core.index.as_deref() {
+            audit_index(
+                audit,
+                index,
+                &shard.core.dataset,
+                core,
+                &format!("shard {i}: "),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AsrsEngine;
+    use asrs_aggregator::{CompositeAggregator, Selection};
+    use asrs_data::gen::UniformGenerator;
+
+    fn engine(n: usize, shards: usize, index: bool, cache: usize) -> AsrsEngine {
+        let ds = UniformGenerator::default().generate(n, 7);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let mut b = AsrsEngine::builder(ds, agg).cache_capacity(cache);
+        if index {
+            b = b.build_index(12, 12);
+        }
+        if shards > 0 {
+            b = b.shards(shards);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fresh_engines_audit_clean_in_every_configuration() {
+        for (shards, index, cache) in [
+            (0, false, 0),
+            (0, true, 16),
+            (1, true, 16),
+            (3, true, 0),
+            (4, false, 8),
+        ] {
+            let engine = engine(250, shards, index, cache);
+            let report = engine.audit();
+            assert!(
+                report.is_clean(),
+                "shards={shards} index={index} cache={cache}: {:?}",
+                report.findings
+            );
+            assert!(report.checks_run >= 2);
+            assert_eq!(report.generation, 0);
+        }
+    }
+
+    #[test]
+    fn mutated_engines_stay_clean_under_audit() {
+        let engine = engine(200, 2, true, 32);
+        let bbox = engine.dataset().bounding_box().unwrap();
+        for i in 0..10u64 {
+            let f = i as f64 / 9.0;
+            engine
+                .append(asrs_data::SpatialObject::new(
+                    50_000 + i,
+                    asrs_geo::Point::new(
+                        bbox.min_x + bbox.width() * (0.1 + 0.8 * f),
+                        bbox.min_y + bbox.height() * (0.9 - 0.8 * f),
+                    ),
+                    engine.dataset().object(0).values.clone(),
+                ))
+                .unwrap();
+        }
+        engine.remove(50_003).unwrap();
+        let report = engine.audit();
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.generation, 11);
+    }
+
+    #[test]
+    fn a_corrupted_suffix_table_is_detected() {
+        let ds = UniformGenerator::default().generate(150, 3);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::build(&ds, &agg, 8, 8).unwrap();
+        let mut broken = index.clone();
+        broken.corrupt_suffix_for_test(0, 1.0);
+        let engine = AsrsEngine::builder(ds, agg).index(broken).build().unwrap();
+        let report = engine.audit();
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.check == "index-suffix-table"),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn a_stale_object_count_is_detected() {
+        let ds = UniformGenerator::default().generate(150, 3);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let index = GridIndex::from_base_table(
+            GridIndex::build(&ds, &agg, 8, 8).unwrap().spec().clone(),
+            agg.stats_dim(),
+            ds.len() + 5,
+            GridIndex::build(&ds, &agg, 8, 8)
+                .unwrap()
+                .base_table()
+                .to_vec(),
+        )
+        .unwrap();
+        let engine = AsrsEngine::builder(ds, agg).index(index).build().unwrap();
+        let report = engine.audit();
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == "index-object-count"));
+    }
+}

@@ -163,10 +163,13 @@ impl BestSet {
         if self.entries.len() >= self.capacity {
             let y0 = *ys
                 .first()
+                // lint:allow(axis_reps always yields >= 1 representative for a non-degenerate range; an empty list is a snapper bug worth a loud stop)
                 .expect("axis_reps yields at least one representative");
             let x0 = *xs
                 .first()
+                // lint:allow(axis_reps always yields >= 1 representative for a non-degenerate range; an empty list is a snapper bug worth a loud stop)
                 .expect("axis_reps yields at least one representative");
+            // lint:allow(entries.len() >= capacity >= 1 inside this branch, so last() cannot be None)
             let worst = self.entries.last().expect("capacity >= 1");
             // Equal anchors always carry equal distances (a cell's
             // covering determines both), so a region that cannot precede
@@ -193,6 +196,7 @@ impl BestSet {
                 return;
             }
         } else if self.entries.len() >= self.capacity {
+            // lint:allow(entries.len() >= capacity >= 1 inside this branch, so last() cannot be None)
             let worst = self.entries.last().expect("capacity >= 1");
             if !precedes(distance, &anchor, worst.distance, &worst.anchor) {
                 return;

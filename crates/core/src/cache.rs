@@ -60,6 +60,7 @@ impl Shard {
         let shared_key = self
             .order
             .remove(&entry.last_used)
+            // lint:allow(entries and order are updated together under one lock; a missing stamp is a cache-coherence bug worth a loud stop)
             .expect("every entry has a recency stamp");
         self.order.insert(clock, shared_key);
         entry.last_used = clock;
@@ -84,10 +85,12 @@ impl Shard {
             let (&stamp, _) = self
                 .order
                 .first_key_value()
+                // lint:allow(the loop condition guarantees entries is non-empty, and order mirrors entries under the same lock)
                 .expect("shard over capacity implies at least one entry");
             let lru = self
                 .order
                 .remove(&stamp)
+                // lint:allow(the stamp was read from order one line above under the same lock)
                 .expect("stamp was just observed in the index");
             self.entries.remove(&lru);
         }
@@ -163,11 +166,13 @@ impl QueryCache {
     /// Looks up a response, refreshing its recency and counting the
     /// hit/miss.
     pub fn get(&self, key: &RequestKey) -> Option<QueryResponse> {
+        // A poisoned shard (a panicking peer mid-update) simply stops
+        // serving hits: a cache may always degrade to doing nothing.
         let found = self
             .shard_of(key)
             .lock()
-            .expect("cache shard poisoned")
-            .touch(key);
+            .ok()
+            .and_then(|mut shard| shard.touch(key));
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -178,10 +183,27 @@ impl QueryCache {
     /// Stores a response, evicting the shard's least recently used entry
     /// when the shard is full.
     pub fn insert(&self, key: RequestKey, response: QueryResponse) {
-        self.shard_of(&key)
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, response, self.per_shard_capacity);
+        if let Ok(mut shard) = self.shard_of(&key).lock() {
+            shard.insert(key, response, self.per_shard_capacity);
+        }
+    }
+
+    /// The generation stamps of every stored key, for the invariant
+    /// auditor (an engine-owned cache only ever stores
+    /// [`RequestKey::stamped`](crate::RequestKey::stamped) keys).  Keys
+    /// too short to carry a stamp are skipped.
+    pub(crate) fn stamped_generations(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.lock().ok())
+            .flat_map(|shard| {
+                shard
+                    .entries
+                    .keys()
+                    .filter_map(|k| k.generation_stamp())
+                    .collect::<Vec<u64>>()
+            })
+            .collect()
     }
 
     /// Current counters and occupancy.
@@ -192,7 +214,8 @@ impl QueryCache {
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+                .filter_map(|s| s.lock().ok())
+                .map(|shard| shard.entries.len())
                 .sum(),
             capacity: self.capacity,
         }

@@ -257,6 +257,18 @@ impl GridIndex {
         Ok(index)
     }
 
+    /// The derived suffix table, for invariant auditing: the auditor
+    /// re-sweeps the base table and compares against this, bitwise.
+    pub(crate) fn suffix_table(&self) -> &[f64] {
+        &self.suffix
+    }
+
+    /// Test-only corruption hook for the auditor's negative tests.
+    #[cfg(test)]
+    pub(crate) fn corrupt_suffix_for_test(&mut self, at: usize, delta: f64) {
+        self.suffix[at] += delta;
+    }
+
     /// The geometric grid specification of the index.
     pub fn spec(&self) -> &GridSpec {
         &self.spec

@@ -146,6 +146,13 @@ impl EngineHandle {
         self.core().cache_stats()
     }
 
+    /// Runs the deep invariant audit over the current generation (see
+    /// [`AsrsEngine::audit`](crate::AsrsEngine::audit)).  The server's
+    /// `GET /audit` endpoint serves this report.
+    pub fn audit(&self) -> crate::AuditReport {
+        crate::audit::audit_shared(&self.shared)
+    }
+
     /// The current generation's dataset (the returned [`Arc`] pins that
     /// generation's snapshot).
     pub fn dataset(&self) -> Arc<Dataset> {

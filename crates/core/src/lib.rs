@@ -132,10 +132,12 @@
 //! assert!(top.results()[0].distance <= best.distance + 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod asp;
+mod audit;
 mod best;
 mod budget;
 mod cache;
@@ -159,6 +161,7 @@ pub(crate) mod shard;
 mod split;
 mod stats;
 
+pub use audit::{AuditFinding, AuditReport};
 pub use budget::Budget;
 pub use cache::{CacheStats, QueryCache};
 pub use config::SearchConfig;

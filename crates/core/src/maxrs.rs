@@ -115,6 +115,7 @@ impl<'a> MaxRsSearch<'a> {
                 selection: self.selection.clone(),
             }],
         )
+        // lint:allow(CompositeAggregator::new only rejects selections referencing unknown attributes; Count with the dataset's own schema cannot fail)
         .expect("a count aggregator is valid for every schema");
         let target = self.dataset.len() as f64 + 1.0;
         let query = AsrsQuery::new(

@@ -216,6 +216,7 @@ pub(crate) fn append(
     object: SpatialObject,
     ttl: Option<Duration>,
 ) -> Result<MutationReceipt, AsrsError> {
+    // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let core = shared.load();
     if core.dataset.contains_id(object.id) {
@@ -255,6 +256,7 @@ pub(crate) fn append(
 /// the id is disarmed — a later re-append under the same id starts with a
 /// clean slate.
 pub(crate) fn remove(shared: &EngineShared, id: u64) -> Result<MutationReceipt, AsrsError> {
+    // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let core = shared.load();
     let mut dataset = (*core.dataset).clone();
@@ -279,6 +281,7 @@ pub(crate) fn remove(shared: &EngineShared, id: u64) -> Result<MutationReceipt, 
 /// ids removed by a caller (or re-appended since) were disarmed and fall
 /// through without touching the dataset.
 pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt>, AsrsError> {
+    // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let now = Instant::now();
     let mut receipts = Vec::new();
@@ -287,7 +290,9 @@ pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt
         if !due {
             break;
         }
-        let entry = state.ttl.pop().expect("peeked entry exists").0;
+        let Some(entry) = state.ttl.pop().map(|e| e.0) else {
+            break;
+        };
         if state.ttl_armed.get(&entry.id) != Some(&entry.token) {
             continue;
         }
@@ -315,6 +320,7 @@ pub(crate) fn log_snapshot(shared: &EngineShared) -> MutationLog {
     shared
         .mutator
         .lock()
+        // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
         .expect("mutation lock poisoned")
         .log
         .clone()
@@ -322,6 +328,7 @@ pub(crate) fn log_snapshot(shared: &EngineShared) -> MutationLog {
 
 /// A snapshot of the mutation counters.
 pub(crate) fn stats_snapshot(shared: &EngineShared) -> MutationStats {
+    // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let state = shared.mutator.lock().expect("mutation lock poisoned");
     let core = shared.load();
     MutationStats {
@@ -455,6 +462,20 @@ fn publish(
         ("expire", Delta::Remove(_)) => Mutation::Expire { id },
         (_, Delta::Remove(_)) => Mutation::Remove { id },
     };
+    // Debug builds audit every assembled successor before it publishes:
+    // the whole mutation-parity and persistence-recovery suites therefore
+    // run under continuous invariant audit, while release builds compile
+    // the hook out entirely.
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::audit::audit_core(&next);
+        debug_assert!(
+            report.is_clean(),
+            "invariant audit failed publishing generation {generation} ({kind} of {id}): {:#?}",
+            report.findings
+        );
+    }
+
     // Write-ahead: the durability sink must accept the mutation *before*
     // the generation becomes visible.  A sink failure aborts the mutation
     // — the assembled core is dropped, the engine stays on `core`, and the
@@ -540,7 +561,7 @@ fn maintain_index(
 /// it — unless no other region does, which only happens on the partition
 /// extent's own max edges (and for the zero-area regions of degenerate
 /// partitions), where any containing region is fine.
-fn owning_shard_for_point(set: &ShardSet, object: &SpatialObject) -> Option<usize> {
+pub(crate) fn owning_shard_for_point(set: &ShardSet, object: &SpatialObject) -> Option<usize> {
     let p = &object.location;
     set.shards
         .iter()

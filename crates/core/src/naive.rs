@@ -136,9 +136,9 @@ impl<'a> NaiveSearch<'a> {
             ys.push(r.rect.min_y);
             ys.push(r.rect.max_y);
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup();
-        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        ys.sort_by(f64::total_cmp);
         ys.dedup();
 
         // Probe abscissae: midpoints of consecutive distinct coordinates

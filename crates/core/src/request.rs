@@ -253,6 +253,7 @@ impl QueryRequest {
             QueryRequest::Approximate { .. } => "approximate",
             QueryRequest::MaxRs { .. } => "max-rs",
             QueryRequest::MaxRsSelective { .. } => "max-rs-selective",
+            // lint:allow(operation() strips every Configured envelope before this match; the arm is statically dead)
             QueryRequest::Configured { .. } => unreachable!("operation() peels envelopes"),
         }
     }
@@ -267,6 +268,7 @@ impl QueryRequest {
             | QueryRequest::Approximate { query, .. } => Some(query.size),
             QueryRequest::Batch { queries } => batch_planning_size(queries),
             QueryRequest::MaxRs { size } | QueryRequest::MaxRsSelective { size, .. } => Some(*size),
+            // lint:allow(operation() strips every Configured envelope before this match; the arm is statically dead)
             QueryRequest::Configured { .. } => unreachable!("operation() peels envelopes"),
         }
     }
@@ -298,6 +300,15 @@ impl RequestKey {
         bytes.extend_from_slice(&generation.to_le_bytes());
         bytes.append(&mut self.0);
         RequestKey(bytes)
+    }
+
+    /// The generation a [`RequestKey::stamped`] key was stamped with —
+    /// the stamp is the key's first eight little-endian bytes.  `None`
+    /// for a key too short to carry one (an unstamped key of a tiny
+    /// request); the invariant auditor treats those as unstamped.
+    pub(crate) fn generation_stamp(&self) -> Option<u64> {
+        let bytes: [u8; 8] = self.0.get(..8)?.try_into().ok()?;
+        Some(u64::from_le_bytes(bytes))
     }
 }
 

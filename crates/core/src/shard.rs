@@ -382,7 +382,11 @@ where
                 if i >= count {
                     return;
                 }
-                *slots[i].lock().expect("parallel_map slot poisoned") = Some(task(i));
+                // A slot holds one Option; overwriting it is safe even if
+                // a sibling worker poisoned the mutex.
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(task(i));
             }));
         }
         for handle in handles {
@@ -395,7 +399,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("parallel_map slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                // lint:allow(the join loop above resume_unwinds worker panics, so reaching here means every index was claimed and filled)
                 .expect("every stolen task fills its slot")
         })
         .collect()
@@ -440,6 +445,7 @@ impl EngineCore {
                 QueryOutcome::MaxRs(self.sharded_max_rs(*size, selection.clone(), budget)?)
             }
             QueryRequest::Configured { .. } => {
+                // lint:allow(operation() strips every Configured envelope before dispatch; this arm is statically dead)
                 unreachable!("operation() peels Configured envelopes")
             }
         };
@@ -449,6 +455,7 @@ impl EngineCore {
     fn shard_set(&self) -> &ShardSet {
         self.shards
             .as_ref()
+            // lint:allow(every caller dispatches here only after checking core.shards is Some; a miss is a routing bug worth a loud stop)
             .expect("sharded execution requires a shard set")
     }
 

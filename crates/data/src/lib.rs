@@ -25,6 +25,7 @@
 //!   shape of the paper's datasets (Tweet, POISyn, and the Singapore POI
 //!   case-study city), plus uniform and clustered baseline generators.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

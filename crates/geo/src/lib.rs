@@ -19,6 +19,7 @@
 //! The crate is dependency-light and purely computational so that it can be
 //! unit- and property-tested exhaustively.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,811 @@
+//! Offline structural verification of a persistence directory — the
+//! `fsck` of the ASRS on-disk formats.
+//!
+//! Everything here is **read-only** and engine-free: no engine is booted,
+//! no file is truncated or rewritten (unlike [`Wal::open`](crate::Wal),
+//! which repairs torn tails in place).  That makes the checks safe to run
+//! against the live directory of a serving process, against a backup, or
+//! from the `asrs-fsck` binary in CI.
+//!
+//! Three layers of verification, mirroring what a real boot would do:
+//!
+//! 1. **Per-snapshot** ([`check_snapshot_file`]) — fixed framing, magic,
+//!    version, payload CRC-32, then a full payload decode through the same
+//!    [`decode_payload`](crate::snapshot) the boot path uses, which
+//!    enforces column lengths, index base-table shape and shard-position
+//!    bounds.  The generation in the file name must match the one in the
+//!    payload.
+//! 2. **Per-WAL** ([`check_wal_file`]) — header magic/version, then a
+//!    frame-by-frame walk distinguishing a *torn tail* (an incomplete
+//!    final frame: the expected crash artifact, a warning) from *corrupt
+//!    frames* (checksum or decode failure in the middle of the log: real
+//!    damage, an error), plus in-log generation contiguity.
+//! 3. **Cross-file** ([`check_dir`]) — the directory as a whole: simulate
+//!    the boot plan (newest loadable snapshot, replayable WAL suffix) and
+//!    flag a WAL that disagrees with snapshot history, exactly as
+//!    [`PersistentBuilder::build`](crate::PersistentBuilder) would reject
+//!    it.  Stale temporary files and foreign files are warnings.
+//!
+//! Reports serialize to JSON for machines and summarize for humans.
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::{snapshot, wal};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// How bad one finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Severity {
+    /// Expected artifacts of a crash or interruption; boot recovers from
+    /// these silently (torn WAL tail, leftover temporary file).
+    Warning,
+    /// Structural damage boot either skips over (a corrupt snapshot) or
+    /// refuses outright (inconsistent generation history).
+    Error,
+}
+
+/// What kind of damage a finding describes.  The variant set is the
+/// machine-readable contract of the `asrs-fsck` binary; tests assert on
+/// these, not on detail strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FsckCategory {
+    /// File shorter than its fixed framing.
+    Truncated,
+    /// The leading magic bytes are not the format's.
+    BadMagic,
+    /// The format version is one this build cannot read.
+    BadVersion,
+    /// A stored CRC-32 does not match the recomputed one.
+    ChecksumMismatch,
+    /// A snapshot shard references an object position outside the main
+    /// dataset's columns.
+    ShardPositionOutOfBounds,
+    /// Bytes remain after the payload fully decoded.
+    TrailingBytes,
+    /// The payload does not decode as its declared version.
+    PayloadDecode,
+    /// The payload decoded but the engine-side constructors rejected it
+    /// (e.g. an index base table whose length disagrees with its grid).
+    StateRejected,
+    /// A snapshot's file name claims a different generation than its
+    /// payload.
+    GenerationMismatch,
+    /// An incomplete final WAL frame — the expected crash artifact.
+    TornTail,
+    /// A complete WAL frame that fails its checksum or does not decode.
+    CorruptFrame,
+    /// A frame declares a payload beyond the format's size ceiling.
+    OversizedFrame,
+    /// Generations inside the WAL are not contiguous.
+    GenerationGap,
+    /// The WAL's replayable suffix does not continue where the newest
+    /// loadable snapshot ends.
+    GenerationDiscontinuity,
+    /// A leftover `*.tmp` file from an interrupted atomic write.
+    StaleTempFile,
+    /// A file the persistence subsystem does not recognize.
+    ForeignFile,
+}
+
+/// One problem found in one file (or in the directory as a whole).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FsckFinding {
+    /// File the finding is about (file name for per-file findings, the
+    /// directory path for cross-file ones).
+    pub file: String,
+    /// Machine-readable damage category.
+    pub category: FsckCategory,
+    /// Whether boot recovers from this silently or not.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl FsckFinding {
+    fn new(file: &str, category: FsckCategory, severity: Severity, detail: String) -> Self {
+        FsckFinding {
+            file: file.to_string(),
+            category,
+            severity,
+            detail,
+        }
+    }
+}
+
+/// Verification result for one snapshot file.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SnapshotCheck {
+    /// The file's name.
+    pub file: String,
+    /// Generation parsed from the file name (`None` for a malformed name).
+    pub name_generation: Option<u64>,
+    /// Generation stored in the payload, when it decoded.
+    pub payload_generation: Option<u64>,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Everything wrong with the file (empty for a healthy snapshot).
+    pub findings: Vec<FsckFinding>,
+}
+
+impl SnapshotCheck {
+    /// Whether boot's [`load_latest`](crate::load_latest) would restore
+    /// from this file.
+    pub fn loadable(&self) -> bool {
+        !self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+}
+
+/// Verification result for the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WalCheck {
+    /// The file's name.
+    pub file: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Intact frames, in log order.
+    pub frames: u64,
+    /// The generation of each intact frame, in log order.
+    pub generations: Vec<u64>,
+    /// Bytes of torn tail a boot would truncate (0 for a clean shutdown).
+    pub torn_tail_bytes: u64,
+    /// Everything wrong with the log (empty for a healthy one).
+    pub findings: Vec<FsckFinding>,
+}
+
+/// Verification result for a whole persistence directory.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FsckReport {
+    /// The directory that was checked.
+    pub directory: String,
+    /// Per-snapshot results, oldest generation first.
+    pub snapshots: Vec<SnapshotCheck>,
+    /// The WAL's result, `None` when no log exists yet.
+    pub wal: Option<WalCheck>,
+    /// The generation boot would restore from disk (0 for a cold start).
+    pub boot_generation: u64,
+    /// `true` when no loadable snapshot exists.
+    pub cold_start: bool,
+    /// WAL frames boot would replay on top of the restored snapshot.
+    pub replayable_frames: u64,
+    /// The generation the engine would reach after replay.
+    pub final_generation: u64,
+    /// Directory-level and cross-file findings.
+    pub findings: Vec<FsckFinding>,
+    /// Total [`Severity::Error`] findings across every section.
+    pub errors: usize,
+    /// Total [`Severity::Warning`] findings across every section.
+    pub warnings: usize,
+}
+
+impl FsckReport {
+    /// No findings of any severity.
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0 && self.warnings == 0
+    }
+
+    /// At least one [`Severity::Error`] finding.
+    pub fn has_errors(&self) -> bool {
+        self.errors > 0
+    }
+
+    /// Every finding across every section, for uniform iteration.
+    pub fn all_findings(&self) -> Vec<&FsckFinding> {
+        self.snapshots
+            .iter()
+            .flat_map(|s| s.findings.iter())
+            .chain(self.wal.iter().flat_map(|w| w.findings.iter()))
+            .chain(self.findings.iter())
+            .collect()
+    }
+
+    /// A short human-readable account, one line per finding.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} snapshot(s), wal {}, boot generation {}{}, {} replayable frame(s) -> generation {}",
+            self.directory,
+            self.snapshots.len(),
+            match &self.wal {
+                Some(w) => format!("{} frame(s)", w.frames),
+                None => "absent".to_string(),
+            },
+            self.boot_generation,
+            if self.cold_start { " (cold start)" } else { "" },
+            self.replayable_frames,
+            self.final_generation,
+        );
+        for finding in self.all_findings() {
+            let _ = writeln!(
+                out,
+                "  {} {}: {:?}: {}",
+                match finding.severity {
+                    Severity::Error => "ERROR",
+                    Severity::Warning => "WARN ",
+                },
+                finding.file,
+                finding.category,
+                finding.detail
+            );
+        }
+        if self.is_clean() {
+            let _ = writeln!(out, "  clean");
+        }
+        out
+    }
+}
+
+fn file_label(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Structurally verifies one snapshot file without booting an engine.
+///
+/// Only I/O failures are `Err`; structural damage comes back as findings
+/// inside the [`SnapshotCheck`].
+pub fn check_snapshot_file(path: &Path) -> Result<SnapshotCheck, PersistError> {
+    let bytes = fs::read(path).map_err(|e| PersistError::io("read snapshot", path, e))?;
+    let file = file_label(path);
+    let name_generation = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(snapshot::parse_generation);
+    let mut check = SnapshotCheck {
+        file: file.clone(),
+        name_generation,
+        payload_generation: None,
+        bytes: bytes.len() as u64,
+        findings: Vec::new(),
+    };
+
+    // Framing layers are checked in order; once one fails, the layers
+    // beneath it are meaningless, so the walk stops there.
+    if bytes.len() < 12 {
+        check.findings.push(FsckFinding::new(
+            &file,
+            FsckCategory::Truncated,
+            Severity::Error,
+            format!(
+                "{} bytes, shorter than the 12-byte fixed framing",
+                bytes.len()
+            ),
+        ));
+        return Ok(check);
+    }
+    if bytes[..4] != snapshot::MAGIC {
+        check.findings.push(FsckFinding::new(
+            &file,
+            FsckCategory::BadMagic,
+            Severity::Error,
+            format!(
+                "magic {:02x?} is not ASNP ({:02x?})",
+                &bytes[..4],
+                snapshot::MAGIC
+            ),
+        ));
+        return Ok(check);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != snapshot::VERSION {
+        check.findings.push(FsckFinding::new(
+            &file,
+            FsckCategory::BadVersion,
+            Severity::Error,
+            format!(
+                "format version {version}; this build reads version {}",
+                snapshot::VERSION
+            ),
+        ));
+        return Ok(check);
+    }
+    let payload = &bytes[8..bytes.len() - 4];
+    let tail = bytes.len() - 4;
+    let stored = u32::from_le_bytes([
+        bytes[tail],
+        bytes[tail + 1],
+        bytes[tail + 2],
+        bytes[tail + 3],
+    ]);
+    let computed = crc32(payload);
+    if stored != computed {
+        check.findings.push(FsckFinding::new(
+            &file,
+            FsckCategory::ChecksumMismatch,
+            Severity::Error,
+            format!("payload CRC-32 stored {stored:08x}, computed {computed:08x}"),
+        ));
+        return Ok(check);
+    }
+
+    // The checksum verifies, so the payload is what was written; now the
+    // content itself must decode.  This is the exact decoder the boot path
+    // runs, so every column-length and shard-position bound it enforces is
+    // enforced here.
+    match snapshot::decode_payload(payload, path) {
+        Ok(state) => {
+            check.payload_generation = Some(state.generation);
+            if name_generation != Some(state.generation) {
+                check.findings.push(FsckFinding::new(
+                    &file,
+                    FsckCategory::GenerationMismatch,
+                    Severity::Error,
+                    format!(
+                        "file name claims generation {:?}, payload holds {}",
+                        name_generation, state.generation
+                    ),
+                ));
+            }
+        }
+        Err(PersistError::Corrupt { message, .. }) => {
+            let category = if message.contains("out of range") {
+                FsckCategory::ShardPositionOutOfBounds
+            } else if message.contains("trailing payload bytes") {
+                FsckCategory::TrailingBytes
+            } else {
+                FsckCategory::PayloadDecode
+            };
+            check
+                .findings
+                .push(FsckFinding::new(&file, category, Severity::Error, message));
+        }
+        Err(other) => {
+            check.findings.push(FsckFinding::new(
+                &file,
+                FsckCategory::StateRejected,
+                Severity::Error,
+                other.to_string(),
+            ));
+        }
+    }
+    Ok(check)
+}
+
+/// Structurally verifies a write-ahead log **without repairing it** —
+/// unlike [`Wal::open`](crate::Wal), which truncates torn tails in place,
+/// this never writes.
+pub fn check_wal_file(path: &Path) -> Result<WalCheck, PersistError> {
+    let bytes = fs::read(path).map_err(|e| PersistError::io("read WAL", path, e))?;
+    let file = file_label(path);
+    let mut check = WalCheck {
+        file: file.clone(),
+        bytes: bytes.len() as u64,
+        frames: 0,
+        generations: Vec::new(),
+        torn_tail_bytes: 0,
+        findings: Vec::new(),
+    };
+
+    if bytes.len() < wal::HEADER_LEN as usize {
+        check.findings.push(FsckFinding::new(
+            &file,
+            FsckCategory::Truncated,
+            Severity::Error,
+            format!("{} bytes, shorter than the 8-byte header", bytes.len()),
+        ));
+        return Ok(check);
+    }
+    if bytes[..4] != wal::MAGIC {
+        check.findings.push(FsckFinding::new(
+            &file,
+            FsckCategory::BadMagic,
+            Severity::Error,
+            format!(
+                "magic {:02x?} is not ASWL ({:02x?})",
+                &bytes[..4],
+                wal::MAGIC
+            ),
+        ));
+        return Ok(check);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != wal::VERSION {
+        check.findings.push(FsckFinding::new(
+            &file,
+            FsckCategory::BadVersion,
+            Severity::Error,
+            format!(
+                "format version {version}; this build reads version {}",
+                wal::VERSION
+            ),
+        ));
+        return Ok(check);
+    }
+
+    // Frame walk.  The one format-level subtlety: a frame that simply
+    // *stops early* (short header or short payload at end-of-file) is a
+    // torn tail — the artifact of crashing mid-append, which recovery
+    // truncates silently — while a frame that is fully present but wrong
+    // (checksum, decode) is damage recovery cannot explain.  The walk
+    // stops at the first of either, because nothing after an undamaged
+    // frame boundary can be trusted.
+    let mut at = wal::HEADER_LEN as usize;
+    loop {
+        let rest = &bytes[at..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < 8 {
+            check.torn_tail_bytes = rest.len() as u64;
+            check.findings.push(FsckFinding::new(
+                &file,
+                FsckCategory::TornTail,
+                Severity::Warning,
+                format!(
+                    "{} dangling byte(s) at offset {at}: a frame header cut short mid-append",
+                    rest.len()
+                ),
+            ));
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let stored_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > wal::MAX_FRAME_LEN {
+            check.findings.push(FsckFinding::new(
+                &file,
+                FsckCategory::OversizedFrame,
+                Severity::Error,
+                format!(
+                    "frame at offset {at} declares a {len}-byte payload, over the {}-byte ceiling; {} byte(s) unreachable",
+                    wal::MAX_FRAME_LEN,
+                    rest.len()
+                ),
+            ));
+            break;
+        }
+        if rest.len() < 8 + len as usize {
+            check.torn_tail_bytes = rest.len() as u64;
+            check.findings.push(FsckFinding::new(
+                &file,
+                FsckCategory::TornTail,
+                Severity::Warning,
+                format!(
+                    "incomplete final frame at offset {at}: {} of {} byte(s) present",
+                    rest.len(),
+                    8 + len as usize
+                ),
+            ));
+            break;
+        }
+        let payload = &rest[8..8 + len as usize];
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            check.findings.push(FsckFinding::new(
+                &file,
+                FsckCategory::CorruptFrame,
+                Severity::Error,
+                format!(
+                    "frame at offset {at} fails its checksum (stored {stored_crc:08x}, computed {computed:08x}); {} byte(s) unreachable",
+                    rest.len()
+                ),
+            ));
+            break;
+        }
+        let Some(entry) = wal::decode_entry(payload) else {
+            check.findings.push(FsckFinding::new(
+                &file,
+                FsckCategory::CorruptFrame,
+                Severity::Error,
+                format!(
+                    "frame at offset {at} passes its checksum but its payload does not decode; {} byte(s) unreachable",
+                    rest.len()
+                ),
+            ));
+            break;
+        };
+        if let Some(&previous) = check.generations.last() {
+            if entry.generation != previous + 1 {
+                check.findings.push(FsckFinding::new(
+                    &file,
+                    FsckCategory::GenerationGap,
+                    Severity::Error,
+                    format!(
+                        "generation jumps from {previous} to {} at frame {}",
+                        entry.generation, check.frames
+                    ),
+                ));
+            }
+        }
+        check.generations.push(entry.generation);
+        check.frames += 1;
+        at += 8 + len as usize;
+    }
+    Ok(check)
+}
+
+/// The name of the write-ahead log file, as the store lays it out.
+const WAL_FILE: &str = "wal.log";
+
+/// Verifies a whole persistence directory: every snapshot, the WAL, and
+/// the cross-file consistency a boot depends on.
+///
+/// `Err` only for I/O failures (unreadable directory or file); all
+/// structural findings live in the report.  A missing directory is an
+/// I/O error — fsck on a path that does not exist is a caller mistake,
+/// not an empty-but-healthy store.
+pub fn check_dir(dir: &Path) -> Result<FsckReport, PersistError> {
+    let dir_label = dir.display().to_string();
+    let mut snapshots = Vec::new();
+    let mut findings = Vec::new();
+    let mut wal_check = None;
+
+    let entries =
+        fs::read_dir(dir).map_err(|e| PersistError::io("list persistence directory", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io("list persistence directory", dir, e))?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == WAL_FILE {
+            wal_check = Some(check_wal_file(&path)?);
+        } else if snapshot::parse_generation(&name).is_some() {
+            snapshots.push(check_snapshot_file(&path)?);
+        } else if name.ends_with(".tmp") {
+            findings.push(FsckFinding::new(
+                &name,
+                FsckCategory::StaleTempFile,
+                Severity::Warning,
+                "leftover temporary file from an interrupted atomic write".to_string(),
+            ));
+        } else {
+            findings.push(FsckFinding::new(
+                &name,
+                FsckCategory::ForeignFile,
+                Severity::Warning,
+                "not a snapshot, write-ahead log or temporary file".to_string(),
+            ));
+        }
+    }
+    snapshots.sort_by_key(|s| s.name_generation);
+
+    // The boot plan: restore the newest loadable snapshot (damaged ones
+    // are skipped, as load_latest skips them), then replay WAL frames past
+    // it.  Frames at or below the boot generation are redundant leftovers
+    // of a crash between snapshot and compaction; past that the log must
+    // continue exactly where the snapshot ends.
+    let boot_generation = snapshots
+        .iter()
+        .filter(|s| s.loadable())
+        .filter_map(|s| s.payload_generation)
+        .max();
+    let cold_start = boot_generation.is_none();
+    let boot_generation = boot_generation.unwrap_or(0);
+
+    let mut at = boot_generation;
+    let mut replayable = 0u64;
+    if let Some(wal) = &wal_check {
+        for &generation in &wal.generations {
+            if generation <= at {
+                continue;
+            }
+            if generation != at + 1 {
+                findings.push(FsckFinding::new(
+                    &wal.file,
+                    FsckCategory::GenerationDiscontinuity,
+                    Severity::Error,
+                    format!(
+                        "WAL jumps from generation {at} to {generation}; a snapshot or log segment is missing"
+                    ),
+                ));
+                break;
+            }
+            at = generation;
+            replayable += 1;
+        }
+    }
+
+    let all = snapshots
+        .iter()
+        .flat_map(|s| s.findings.iter())
+        .chain(wal_check.iter().flat_map(|w| w.findings.iter()))
+        .chain(findings.iter());
+    let (mut errors, mut warnings) = (0, 0);
+    for finding in all {
+        match finding.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+    }
+
+    Ok(FsckReport {
+        directory: dir_label,
+        snapshots,
+        wal: wal_check,
+        boot_generation,
+        cold_start,
+        replayable_frames: replayable,
+        final_generation: at,
+        findings,
+        errors,
+        warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PersistExt;
+    use asrs_aggregator::{CompositeAggregator, Selection};
+    use asrs_core::AsrsEngine;
+    use asrs_data::gen::UniformGenerator;
+    use asrs_data::{AttrValue, Mutation, SpatialObject};
+    use asrs_geo::Point;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("asrs-fsck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn object(id: u64) -> SpatialObject {
+        SpatialObject::new(
+            id,
+            Point::new(30.0 + id as f64 % 13.0, 70.0 - id as f64 % 9.0),
+            vec![AttrValue::Cat(id as u32 % 4)],
+        )
+    }
+
+    fn populated_dir(tag: &str, shards: usize, mutations: u64) -> PathBuf {
+        let dir = temp_dir(tag);
+        let ds = UniformGenerator::default().generate(150, 3);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let mut builder = AsrsEngine::builder(ds, agg).build_index(8, 8);
+        if shards > 0 {
+            builder = builder.shards(shards);
+        }
+        let p = builder.persist_dir(&dir).build().unwrap();
+        for id in 0..mutations {
+            p.engine().append(object(1000 + id)).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn a_healthy_directory_is_clean() {
+        for shards in [0usize, 3] {
+            let dir = populated_dir(&format!("healthy{shards}"), shards, 4);
+            let report = check_dir(&dir).unwrap();
+            assert!(report.is_clean(), "{}", report.summary());
+            assert!(!report.cold_start);
+            assert_eq!(report.boot_generation, 0);
+            assert_eq!(report.replayable_frames, 4);
+            assert_eq!(report.final_generation, 4);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn a_flipped_snapshot_byte_is_a_checksum_mismatch() {
+        let dir = populated_dir("snapcrc", 0, 0);
+        let snap = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "snap"))
+            .unwrap();
+        let mut bytes = fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&snap, &bytes).unwrap();
+
+        let check = check_snapshot_file(&snap).unwrap();
+        assert!(!check.loadable());
+        assert_eq!(check.findings.len(), 1);
+        assert_eq!(check.findings[0].category, FsckCategory::ChecksumMismatch);
+
+        // Directory-level: the only snapshot is unloadable, so boot is a
+        // cold start and the report carries the error.
+        let report = check_dir(&dir).unwrap();
+        assert!(report.has_errors());
+        assert!(report.cold_start);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_torn_wal_tail_is_a_warning_not_an_error() {
+        let dir = populated_dir("torn", 0, 3);
+        let wal_path = dir.join(WAL_FILE);
+        let full = fs::metadata(&wal_path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(full - 5).unwrap();
+        drop(f);
+
+        let check = check_wal_file(&wal_path).unwrap();
+        assert_eq!(check.frames, 2, "the torn third frame does not count");
+        assert!(check.torn_tail_bytes > 0);
+        assert_eq!(check.findings.len(), 1);
+        assert_eq!(check.findings[0].category, FsckCategory::TornTail);
+        assert_eq!(check.findings[0].severity, Severity::Warning);
+
+        let report = check_dir(&dir).unwrap();
+        assert!(!report.has_errors());
+        assert_eq!(report.warnings, 1);
+        assert_eq!(report.replayable_frames, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_mid_log_bitflip_is_a_corrupt_frame() {
+        let dir = populated_dir("bitrot", 0, 3);
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = fs::read(&wal_path).unwrap();
+        let first_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let second_payload_at = 8 + 8 + first_len + 8;
+        bytes[second_payload_at + 4] ^= 0x20;
+        fs::write(&wal_path, &bytes).unwrap();
+
+        let check = check_wal_file(&wal_path).unwrap();
+        assert_eq!(check.frames, 1, "only the intact prefix counts");
+        assert_eq!(check.findings.len(), 1);
+        assert_eq!(check.findings[0].category, FsckCategory::CorruptFrame);
+        assert_eq!(check.findings[0].severity, Severity::Error);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_generation_discontinuity_is_flagged_like_boot_would() {
+        let dir = populated_dir("gap", 0, 1);
+        // Append a far-future frame directly: generation 9 after 1.
+        {
+            let (wal, _) = crate::Wal::open(&dir.join(WAL_FILE)).unwrap();
+            wal.append(9, &Mutation::Remove { id: 1000 }).unwrap();
+        }
+        let report = check_dir(&dir).unwrap();
+        assert!(report.has_errors(), "{}", report.summary());
+        let discontinuities: Vec<_> = report
+            .all_findings()
+            .into_iter()
+            .filter(|f| {
+                matches!(
+                    f.category,
+                    FsckCategory::GenerationGap | FsckCategory::GenerationDiscontinuity
+                )
+            })
+            .collect();
+        assert!(!discontinuities.is_empty());
+        // Replay stops at the jump: only the contiguous frame counts.
+        assert_eq!(report.replayable_frames, 1);
+        assert_eq!(report.final_generation, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_and_temp_files_are_warnings() {
+        let dir = populated_dir("foreign", 0, 0);
+        fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        fs::write(dir.join("snapshot-00.snap.tmp"), b"half").unwrap();
+        let report = check_dir(&dir).unwrap();
+        assert!(!report.has_errors());
+        assert_eq!(report.warnings, 2);
+        let categories: Vec<_> = report.findings.iter().map(|f| f.category).collect();
+        assert!(categories.contains(&FsckCategory::ForeignFile));
+        assert!(categories.contains(&FsckCategory::StaleTempFile));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_never_modifies_the_directory() {
+        let dir = populated_dir("readonly", 2, 2);
+        // Tear the WAL tail; fsck must report it but leave it in place.
+        let wal_path = dir.join(WAL_FILE);
+        let full = fs::metadata(&wal_path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let before = fs::read(&wal_path).unwrap();
+        let report = check_dir(&dir).unwrap();
+        assert_eq!(report.warnings, 1);
+        assert_eq!(fs::read(&wal_path).unwrap(), before, "fsck is read-only");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -24,11 +24,16 @@
 
 pub mod crc;
 pub mod error;
+pub mod fsck;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use error::PersistError;
+pub use fsck::{
+    check_dir, check_snapshot_file, check_wal_file, FsckCategory, FsckFinding, FsckReport,
+    Severity, SnapshotCheck, WalCheck,
+};
 pub use snapshot::{load_latest, read_snapshot, write_snapshot, SnapshotFile};
 pub use store::{
     BootReport, PersistExt, PersistHandle, PersistStats, PersistentBuilder, PersistentEngine,

@@ -43,9 +43,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// File magic of the snapshot format.
-const MAGIC: [u8; 4] = *b"ASNP";
+pub(crate) const MAGIC: [u8; 4] = *b"ASNP";
 /// Current format version.
-const VERSION: u32 = 1;
+pub(crate) const VERSION: u32 = 1;
 
 /// A snapshot file on disk.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +65,7 @@ fn file_name(generation: u64) -> String {
 
 /// Parses a generation out of a snapshot file name, `None` for foreign
 /// files.
-fn parse_generation(name: &str) -> Option<u64> {
+pub(crate) fn parse_generation(name: &str) -> Option<u64> {
     let hex = name.strip_prefix("snapshot-")?.strip_suffix(".snap")?;
     u64::from_str_radix(hex, 16).ok()
 }
@@ -167,7 +167,7 @@ fn encode_payload(state: &EngineState) -> Result<Vec<u8>, PersistError> {
 }
 
 /// Deserializes a version-1 payload back into an [`EngineState`].
-fn decode_payload(payload: &[u8], path: &Path) -> Result<EngineState, PersistError> {
+pub(crate) fn decode_payload(payload: &[u8], path: &Path) -> Result<EngineState, PersistError> {
     let decode = |e: asrs_data::columnar::ColumnarError| PersistError::corrupt(path, e.to_string());
     let mut reader = Reader::new(payload);
     let generation = reader.u64().map_err(decode)?;
@@ -268,7 +268,7 @@ pub fn read_snapshot(path: &Path) -> Result<EngineState, PersistError> {
     if bytes[..4] != MAGIC {
         return Err(PersistError::corrupt(path, "bad magic"));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
     if version != VERSION {
         return Err(PersistError::corrupt(
             path,
@@ -276,7 +276,13 @@ pub fn read_snapshot(path: &Path) -> Result<EngineState, PersistError> {
         ));
     }
     let payload = &bytes[8..bytes.len() - 4];
-    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let tail = bytes.len() - 4;
+    let stored = u32::from_le_bytes([
+        bytes[tail],
+        bytes[tail + 1],
+        bytes[tail + 2],
+        bytes[tail + 3],
+    ]);
     let computed = crc32(payload);
     if stored != computed {
         return Err(PersistError::corrupt(

@@ -137,7 +137,12 @@ impl PersistHandle {
         self.wal.compact(written.generation)?;
         snapshot::prune_older_than(&self.dir, written.generation)?;
         {
-            let mut counters = self.counters.lock().expect("persist counters poisoned");
+            // Counters are plain data; a poisoned lock (a panicking peer
+            // thread) cannot leave them half-updated in a harmful way.
+            let mut counters = self
+                .counters
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             counters.snapshot_generation = Some(written.generation);
             counters.snapshot_bytes = Some(written.bytes);
             counters.snapshots_written += 1;
@@ -158,7 +163,10 @@ impl PersistHandle {
 
     /// Current persistence counters.
     pub fn stats(&self) -> PersistStats {
-        let counters = self.counters.lock().expect("persist counters poisoned");
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         PersistStats {
             directory: self.dir.display().to_string(),
             snapshot_generation: counters.snapshot_generation,

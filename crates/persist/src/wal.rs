@@ -32,14 +32,14 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// File magic of the write-ahead log.
-const MAGIC: [u8; 4] = *b"ASWL";
+pub(crate) const MAGIC: [u8; 4] = *b"ASWL";
 /// Current format version.
-const VERSION: u32 = 1;
+pub(crate) const VERSION: u32 = 1;
 /// Bytes before the first frame.
-const HEADER_LEN: u64 = 8;
+pub(crate) const HEADER_LEN: u64 = 8;
 /// Ceiling on a single frame payload; anything larger is framing damage,
 /// not a real record (a mutation is one object, not a dataset).
-const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+pub(crate) const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
 
 /// One replayable record recovered from the log.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,7 +87,7 @@ fn encode_entry(generation: u64, mutation: &Mutation) -> Vec<u8> {
 }
 
 /// Decodes one frame payload.
-fn decode_entry(payload: &[u8]) -> Option<WalEntry> {
+pub(crate) fn decode_entry(payload: &[u8]) -> Option<WalEntry> {
     let mut reader = Reader::new(payload);
     let generation = reader.u64().ok()?;
     let mutation = columnar::decode_mutation(&mut reader).ok()?;
@@ -110,8 +110,8 @@ fn scan_frames(bytes: &[u8]) -> (Vec<WalEntry>, u64) {
         if rest.len() < 8 {
             break;
         }
-        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
-        let stored_crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let stored_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
         if len > MAX_FRAME_LEN || rest.len() < 8 + len as usize {
             break;
         }
@@ -177,7 +177,7 @@ impl Wal {
         if bytes.len() < HEADER_LEN as usize || bytes[..4] != MAGIC {
             return Err(PersistError::corrupt(path, "bad WAL header"));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
         if version != VERSION {
             return Err(PersistError::corrupt(
                 path,
@@ -222,6 +222,7 @@ impl Wal {
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
 
+        // lint:allow(a poisoned WAL lock means a writer died mid-append; reusing the file handle could interleave a torn frame with a live one)
         let mut inner = self.inner.lock().expect("WAL lock poisoned");
         inner
             .file
@@ -237,6 +238,7 @@ impl Wal {
     /// keep_after` (atomically, via a temporary file).  Called after a
     /// snapshot makes the older prefix redundant.
     pub fn compact(&self, keep_after: u64) -> Result<(), PersistError> {
+        // lint:allow(a poisoned WAL lock means a writer died mid-append; compacting over unknown file state could drop durable frames)
         let mut inner = self.inner.lock().expect("WAL lock poisoned");
 
         // Re-scan the current file under the lock: the in-memory handle
@@ -291,6 +293,7 @@ impl Wal {
 
     /// Number of frames currently in the log.
     pub fn len(&self) -> u64 {
+        // lint:allow(poisoned WAL counters are untrustworthy; propagate the panic rather than report a wrong durable count)
         self.inner.lock().expect("WAL lock poisoned").entries
     }
 
@@ -301,6 +304,7 @@ impl Wal {
 
     /// Current file size in bytes (header included).
     pub fn bytes(&self) -> u64 {
+        // lint:allow(poisoned WAL counters are untrustworthy; propagate the panic rather than report a wrong durable count)
         self.inner.lock().expect("WAL lock poisoned").bytes
     }
 

@@ -60,6 +60,7 @@
 //! runtime to vendor, no framework to audit, and the whole serving path
 //! stays debuggable with a thread dump.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

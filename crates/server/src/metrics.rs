@@ -60,9 +60,11 @@ impl ServerMetrics {
 
     pub(crate) fn record_query_ok(&self, stats: &SearchStats) {
         self.queries_ok.fetch_add(1, Ordering::Relaxed);
+        // Metrics are plain counters; recover a poisoned lock rather than
+        // let observability take the serving thread down.
         self.search
             .lock()
-            .expect("metrics mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .merge(stats);
     }
 
@@ -97,7 +99,11 @@ impl ServerMetrics {
         sweeper: Option<SweeperSnapshot>,
         persistence: Option<PersistStats>,
     ) -> MetricsSnapshot {
-        let mut search = self.search.lock().expect("metrics mutex poisoned").clone();
+        let mut search = self
+            .search
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         let cache = cache.map(|c| {
             search.cache_hits = c.hits;
             search.cache_misses = c.misses;

@@ -335,7 +335,14 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream
 
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
     loop {
-        let stream = match rx.lock().expect("worker queue poisoned").recv() {
+        // A poisoned queue lock means a sibling worker panicked holding
+        // it; exiting is the same shutdown path as a closed channel.  The
+        // guard is released before serving so workers dequeue in parallel.
+        let received = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let stream = match received {
             Ok(stream) => stream,
             Err(_) => return,
         };
@@ -414,10 +421,12 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
         ("POST", "/sweep") => handle_sweep(shared),
         ("POST", "/snapshot") => handle_snapshot(shared),
         ("GET", "/metrics") => (200, serde::json::to_string(&full_metrics(shared))),
+        ("GET", "/audit") => handle_audit(shared),
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
         (
             _,
-            "/query" | "/explain" | "/metrics" | "/healthz" | "/append" | "/sweep" | "/snapshot",
+            "/query" | "/explain" | "/metrics" | "/audit" | "/healthz" | "/append" | "/sweep"
+            | "/snapshot",
         ) => (
             405,
             error_body(
@@ -569,6 +578,16 @@ struct SweepBody {
 /// `POST /snapshot`: persist the engine's current generation immediately
 /// (the background thread otherwise snapshots only when the WAL outgrows
 /// its threshold).  409 when the server runs without persistence.
+/// `GET /audit`: run the deep invariant audit over the current generation.
+/// 200 with the report when every check passes; 500 with the same report
+/// when any invariant is violated, so probes and dashboards can alert on
+/// status alone while operators read the findings.
+fn handle_audit(shared: &Shared) -> (u16, String) {
+    let report = shared.engine.audit();
+    let status = if report.is_clean() { 200 } else { 500 };
+    (status, serde::json::to_string(&report))
+}
+
 fn handle_snapshot(shared: &Shared) -> (u16, String) {
     let Some(persist) = shared.persist.as_ref() else {
         return (

@@ -356,3 +356,23 @@ fn uncached_responses_agree_modulo_wall_clock() {
     drop(client);
     server.shutdown();
 }
+
+#[test]
+fn audit_endpoint_reports_clean_state_over_the_wire() {
+    let engine = engine(16);
+    let server = start(&engine);
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let (status, body) = client.request("GET", "/audit", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"findings\":[]"), "body: {body}");
+    assert!(body.contains("\"generation\""), "body: {body}");
+    assert!(body.contains("\"checks_run\""), "body: {body}");
+
+    // The auditor only reads; only GET is routed.
+    let (status, _) = client.request("POST", "/audit", "").unwrap();
+    assert_eq!(status, 405);
+
+    drop(client);
+    server.shutdown();
+}

@@ -5,6 +5,7 @@
 //! [`prelude`], so examples and integration tests can start with a single
 //! `use asrs_suite::prelude::*;`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
