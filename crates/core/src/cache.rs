@@ -20,12 +20,13 @@
 //! aggregate snapshots such as a serving `/metrics` endpoint).
 
 use crate::request::{QueryResponse, RequestKey};
+use crate::sync::Mutex;
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Number of independently locked shards.  A fixed power of two keeps the
 /// key → shard mapping a cheap mask; 16 shards already make lock collisions

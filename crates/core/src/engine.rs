@@ -63,10 +63,11 @@ use crate::planner::{EngineStatistics, ExecutionPlan, Planner};
 use crate::query::AsrsQuery;
 use crate::request::{Backend, QueryOutcome, QueryRequest, QueryResponse};
 use crate::result::SearchResult;
+use crate::sync::{Mutex, RwLock};
 use asrs_aggregator::{CompositeAggregator, Selection};
 use asrs_data::{Dataset, Mutation, MutationLog, SpatialObject};
 use asrs_geo::{Rect, RegionSize};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// An interchangeable ASRS search backend.

@@ -22,8 +22,12 @@ use std::time::Duration;
 /// [`append`](EngineHandle::append) / [`remove`](EngineHandle::remove) —
 /// concurrently from its own thread.  Queries snapshot the generation
 /// current at submission and are never disturbed by concurrent mutations;
-/// mutations serialize among themselves.  This is the serving topology the
-/// ROADMAP's multi-user north star needs:
+/// mutations serialize among themselves on `engine.mutator` (the handle
+/// itself takes no locks — every acquisition it triggers is listed in
+/// `crates/interlock/LOCK_ORDER.md`, and the protocol is exhaustively
+/// schedule-checked by `cargo test -p asrs-core --features model`).
+/// This is the serving topology the ROADMAP's multi-user north star
+/// needs:
 ///
 /// ```
 /// use asrs_core::{AsrsEngine, QueryRequest};

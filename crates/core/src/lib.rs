@@ -160,6 +160,7 @@ mod result;
 pub(crate) mod shard;
 mod split;
 mod stats;
+pub mod sync;
 
 pub use audit::{AuditFinding, AuditReport};
 pub use budget::Budget;

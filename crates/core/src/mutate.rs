@@ -216,6 +216,7 @@ pub(crate) fn append(
     object: SpatialObject,
     ttl: Option<Duration>,
 ) -> Result<MutationReceipt, AsrsError> {
+    // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
     // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let core = shared.load();
@@ -256,6 +257,7 @@ pub(crate) fn append(
 /// the id is disarmed — a later re-append under the same id starts with a
 /// clean slate.
 pub(crate) fn remove(shared: &EngineShared, id: u64) -> Result<MutationReceipt, AsrsError> {
+    // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
     // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let core = shared.load();
@@ -281,6 +283,7 @@ pub(crate) fn remove(shared: &EngineShared, id: u64) -> Result<MutationReceipt, 
 /// ids removed by a caller (or re-appended since) were disarmed and fall
 /// through without touching the dataset.
 pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt>, AsrsError> {
+    // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
     // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let now = Instant::now();

@@ -64,11 +64,12 @@ use crate::query::AsrsQuery;
 use crate::request::{QueryOutcome, QueryRequest, QueryResponse};
 use crate::result::SearchResult;
 use crate::stats::SearchStats;
+use crate::sync::Mutex;
 use asrs_aggregator::{CompositeAggregator, Selection};
 use asrs_data::Dataset;
 use asrs_geo::{Rect, RegionSize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One shard of a sharded engine: its partition region and the core built

@@ -1,0 +1,1209 @@
+//! Deterministic-schedule model checking for the engine's lock protocol.
+//!
+//! This module only compiles under `--features model`.  It provides
+//! API-compatible [`Mutex`] / [`RwLock`] wrappers whose acquire and
+//! release operations are *yield points*: when a lock operation happens
+//! on a thread registered with an active [`Explorer`] run, the thread
+//! parks and a controller decides which thread proceeds next.  The
+//! explorer then enumerates **every** interleaving of those yield points
+//! (bounded by [`Explorer::max_schedules`] / [`Explorer::max_steps`]),
+//! checking each schedule for:
+//!
+//! * **deadlock** — no parked thread's pending operation can be granted;
+//! * **lock-order cycles** — an acquisition edge `A → B` observed in any
+//!   schedule while `B → A` was observed earlier (same run or a previous
+//!   one) is a potential deadlock even if no explored schedule hung;
+//! * **undeclared edges** — when a declared order
+//!   ([`Explorer::declared_order`], generated from the committed
+//!   `crates/interlock/LOCK_ORDER.md` manifest) is provided, any edge
+//!   between *named* locks outside the declaration fails the run;
+//! * **blocking while holding a lock** — [`blocking`] marks a blocking
+//!   region (I/O, `recv`, serving a request); entering one while holding
+//!   a lock not allow-listed via [`Explorer::allow_blocking`] is the
+//!   dynamic form of the interlock pass's guard-across-blocking check —
+//!   the exact shape of the PR 7 worker-queue bug;
+//! * **in-thread assertions** — [`check`] failures abort the run and
+//!   report the full schedule trace.
+//!
+//! Any violation aborts the exploration and is reported with the
+//! deterministic schedule trace that produced it, so a failure is
+//! replayable by construction.  Code running on threads *not* registered
+//! with an active run (the rest of the test suite under
+//! `--features model`) passes straight through to `std::sync`.
+//!
+//! The runner is cooperative, not preemptive: only lock operations and
+//! explicit [`blocking`] calls are yield points, which is exactly the
+//! granularity the static interlock pass reasons at — the two layers
+//! verify the same protocol contract.
+
+#![cfg(feature = "model")]
+// The wrapper types mirror `std::sync`; their std-shaped methods
+// (`new`, `lock`, `read`, `write`, `into_inner`) keep std's semantics
+// and are not re-documented here.
+#![allow(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, LockResult, PoisonError, Weak};
+
+type StdMutex<T> = std::sync::Mutex<T>;
+
+/// Thread identifier inside one run (spawn order).
+type Tid = usize;
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct ThreadCtx {
+    run: Arc<RunShared>,
+    /// `None` on the controller thread (it may create locks but its own
+    /// operations pass through).
+    tid: Option<Tid>,
+}
+
+/// Silent unwind token: a thread being torn down after a violation (or a
+/// run abort) unwinds with this payload via `resume_unwind`, which skips
+/// the panic hook — no stderr noise for schedules the explorer kills on
+/// purpose.
+struct AbortToken;
+
+/// Silent unwind token carrying a failed [`check`] message.
+struct CheckFailed(String);
+
+/// What kind of rule a schedule broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No parked thread's pending lock operation could be granted.
+    Deadlock,
+    /// Acquisition edges `A → B` and `B → A` were both observed.
+    OrderCycle,
+    /// An edge between named locks is missing from the declared order.
+    UndeclaredEdge,
+    /// A blocking region was entered while holding a non-allow-listed
+    /// lock.
+    BlockingWhileLocked,
+    /// An in-thread [`check`] failed.
+    Assertion,
+    /// A model thread panicked.
+    ThreadPanic,
+    /// The per-schedule step bound was exceeded (livelock guard).
+    BoundExceeded,
+    /// The [`Run::finally`] cross-schedule invariant failed.
+    FinalCheck,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::OrderCycle => "lock-order cycle",
+            ViolationKind::UndeclaredEdge => "undeclared lock-order edge",
+            ViolationKind::BlockingWhileLocked => "blocking while holding a lock",
+            ViolationKind::Assertion => "assertion failed",
+            ViolationKind::ThreadPanic => "thread panicked",
+            ViolationKind::BoundExceeded => "schedule bound exceeded",
+            ViolationKind::FinalCheck => "final check failed",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A schedule that broke a rule, with the deterministic trace that
+/// reproduces it.
+#[derive(Debug)]
+pub struct ModelViolation {
+    pub kind: ViolationKind,
+    pub message: String,
+    /// Granted yield points, in schedule order, up to the violation.
+    pub trace: Vec<String>,
+    /// 1-based index of the schedule within the exploration.
+    pub schedule: usize,
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} (schedule {})",
+            self.kind, self.message, self.schedule
+        )?;
+        writeln!(f, "schedule trace:")?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ModelViolation {}
+
+/// Summary of a completed (violation-free) exploration.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// Whether every schedule within the bound was explored (`false`
+    /// when [`Explorer::max_schedules`] cut the search short).
+    pub exhausted: bool,
+    /// Deepest schedule in yield points.
+    pub max_depth: usize,
+    /// Every acquisition-order edge observed across all schedules,
+    /// sorted; the dynamic counterpart of the interlock manifest.
+    pub edges: Vec<(String, String)>,
+}
+
+enum Status {
+    /// Parked (waiting to be granted its pending action) or starting up.
+    Waiting,
+    /// Currently executing between yield points.
+    Running,
+    Finished,
+}
+
+struct ThreadState {
+    name: String,
+    status: Status,
+    /// Held locks as (lock id, write-mode), acquisition order.
+    held: Vec<(usize, bool)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+struct LockState {
+    name: String,
+    kind: LockKind,
+    writer: Option<Tid>,
+    readers: Vec<Tid>,
+}
+
+#[derive(Clone)]
+enum Action {
+    Acquire { lock: usize, write: bool },
+    Release { lock: usize, write: bool },
+    Blocking(String),
+}
+
+enum Turn {
+    Controller,
+    Thread(Tid),
+}
+
+struct Sched {
+    turn: Turn,
+    aborted: bool,
+    threads: Vec<ThreadState>,
+    locks: Vec<LockState>,
+    pending: Vec<Option<Action>>,
+    trace: Vec<String>,
+}
+
+struct RunShared {
+    sched: StdMutex<Sched>,
+    cv: Condvar,
+}
+
+impl RunShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Collects the threads (and an optional final invariant) of one
+/// schedule; handed to the scenario closure by [`Explorer::explore`].
+#[derive(Default)]
+pub struct Run {
+    threads: Vec<(String, Box<dyn FnOnce() + Send>)>,
+    finally: Option<Box<dyn FnOnce() -> Result<(), String>>>,
+}
+
+impl Run {
+    /// Registers one model thread.  Threads are scheduled in
+    /// registration order; names appear in schedule traces.
+    pub fn thread<F: FnOnce() + Send + 'static>(&mut self, name: &str, f: F) {
+        self.threads.push((name.to_string(), Box::new(f)));
+    }
+
+    /// Registers an invariant evaluated by the controller after all
+    /// threads of a schedule finished; `Err` aborts the exploration with
+    /// a [`ViolationKind::FinalCheck`].
+    pub fn finally<F: FnOnce() -> Result<(), String> + 'static>(&mut self, f: F) {
+        self.finally = Some(Box::new(f));
+    }
+}
+
+/// In-thread model assertion: a failure aborts the schedule silently and
+/// surfaces as a [`ViolationKind::Assertion`] with the full trace.
+pub fn check(condition: bool, message: impl FnOnce() -> String) {
+    if !condition {
+        resume_unwind(Box::new(CheckFailed(message())));
+    }
+}
+
+/// Marks a blocking region (I/O, `recv`, serving a response) as a yield
+/// point.  Entering one while holding any lock not allow-listed via
+/// [`Explorer::allow_blocking`] is a violation — the dynamic analog of
+/// the interlock pass's guard-across-blocking check.  A no-op outside an
+/// active run.
+pub fn blocking(label: &str) {
+    let Some(ctx) = current_model_ctx() else {
+        return;
+    };
+    if !yield_act(&ctx, Action::Blocking(label.to_string())) {
+        resume_unwind(Box::new(AbortToken));
+    }
+}
+
+fn current_model_ctx() -> Option<ThreadCtx> {
+    CTX.with(|c| c.borrow().clone())
+        .filter(|ctx| ctx.tid.is_some())
+}
+
+/// Parks the current model thread with `action` pending and waits to be
+/// granted.  Returns `false` when the run was aborted instead.
+fn yield_act(ctx: &ThreadCtx, action: Action) -> bool {
+    let tid = ctx.tid.expect("yield_act on a non-model thread");
+    let mut s = ctx.run.lock();
+    if s.aborted {
+        return false;
+    }
+    s.pending[tid] = Some(action);
+    s.threads[tid].status = Status::Waiting;
+    // Hand the turn back only if this thread holds it.  A thread
+    // announcing its `Start` has never been granted the turn; blindly
+    // writing `Controller` here could stomp a grant the controller just
+    // made to another thread and wedge the handshake.
+    if matches!(s.turn, Turn::Thread(t) if t == tid) {
+        s.turn = Turn::Controller;
+    }
+    ctx.run.cv.notify_all();
+    loop {
+        if s.aborted {
+            return false;
+        }
+        if matches!(s.turn, Turn::Thread(t) if t == tid) {
+            break;
+        }
+        s = ctx.run.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+    }
+    s.threads[tid].status = Status::Running;
+    true
+}
+
+/// Registration of a model-managed lock with the run that created it.
+struct Registration {
+    run: Weak<RunShared>,
+    id: usize,
+}
+
+impl Registration {
+    /// The run + current thread id when this lock op must be scheduled:
+    /// the lock belongs to an alive run and the current thread is one of
+    /// that run's model threads.  Everything else passes through.
+    fn managed(&self) -> Option<(ThreadCtx, usize)> {
+        let run = self.run.upgrade()?;
+        let ctx = current_model_ctx()?;
+        if !Arc::ptr_eq(&ctx.run, &run) {
+            return None;
+        }
+        Some((ctx, self.id))
+    }
+}
+
+fn register_lock(kind: LockKind, name: Option<&str>) -> Option<Registration> {
+    let ctx = CTX.with(|c| c.borrow().clone())?;
+    let mut s = ctx.run.lock();
+    let id = s.locks.len();
+    let name = name.map(str::to_string).unwrap_or_else(|| {
+        format!(
+            "#{}-{id}",
+            if kind == LockKind::Mutex {
+                "mutex"
+            } else {
+                "rwlock"
+            }
+        )
+    });
+    s.locks.push(LockState {
+        name,
+        kind,
+        writer: None,
+        readers: Vec::new(),
+    });
+    Some(Registration {
+        run: Arc::downgrade(&ctx.run),
+        id,
+    })
+}
+
+/// Announces an acquisition and parks until granted; aborts the thread
+/// silently when the run was killed.
+fn scheduled_acquire(ctx: &ThreadCtx, id: usize, write: bool) {
+    if !yield_act(ctx, Action::Acquire { lock: id, write }) {
+        resume_unwind(Box::new(AbortToken));
+    }
+}
+
+/// Announces a release and parks until granted.  Never unwinds (it runs
+/// from guard drops, possibly during an abort unwind): on abort it
+/// simply returns and the real guard drops.
+fn scheduled_release(reg: &ReleaseOnDrop) {
+    let ctx = ThreadCtx {
+        run: Arc::clone(&reg.run),
+        tid: Some(reg.tid),
+    };
+    let _ = yield_act(
+        &ctx,
+        Action::Release {
+            lock: reg.id,
+            write: reg.write,
+        },
+    );
+}
+
+/// Drop payload carried by guards of managed acquisitions.
+struct ReleaseOnDrop {
+    run: Arc<RunShared>,
+    tid: Tid,
+    id: usize,
+    write: bool,
+}
+
+impl Drop for ReleaseOnDrop {
+    fn drop(&mut self) {
+        scheduled_release(self);
+    }
+}
+
+fn release_payload(ctx: &ThreadCtx, id: usize, write: bool) -> ReleaseOnDrop {
+    ReleaseOnDrop {
+        run: Arc::clone(&ctx.run),
+        tid: ctx.tid.expect("managed acquire on a non-model thread"),
+        id,
+        write,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lock wrappers
+// ---------------------------------------------------------------------------
+
+/// Model-aware drop-in for `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    reg: Option<Registration>,
+    inner: StdMutex<T>,
+}
+
+/// Guard of [`Mutex::lock`]; releasing it is a scheduler yield point
+/// inside a model run.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Declaration order is load-bearing: the scheduler must grant the
+    // release *before* the real lock frees, so `release` drops first.
+    _release: Option<ReleaseOnDrop>,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            reg: register_lock(LockKind::Mutex, None),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// A mutex with a stable name in traces, manifests and declared
+    /// orders (model builds only; production code uses [`Mutex::new`]
+    /// and gets an auto-generated name).
+    pub fn named(name: &str, value: T) -> Self {
+        Self {
+            reg: register_lock(LockKind::Mutex, Some(name)),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let managed = self.reg.as_ref().and_then(Registration::managed);
+        let release = managed.map(|(ctx, id)| {
+            scheduled_acquire(&ctx, id, true);
+            release_payload(&ctx, id, true)
+        });
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard {
+                _release: release,
+                inner,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                _release: release,
+                inner: poisoned.into_inner(),
+            })),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Model-aware drop-in for `std::sync::RwLock`.
+pub struct RwLock<T: ?Sized> {
+    reg: Option<Registration>,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Guard of [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _release: Option<ReleaseOnDrop>,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Guard of [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _release: Option<ReleaseOnDrop>,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            reg: register_lock(LockKind::RwLock, None),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// A named rwlock (see [`Mutex::named`]).
+    pub fn named(name: &str, value: T) -> Self {
+        Self {
+            reg: register_lock(LockKind::RwLock, Some(name)),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let managed = self.reg.as_ref().and_then(Registration::managed);
+        let release = managed.map(|(ctx, id)| {
+            scheduled_acquire(&ctx, id, false);
+            release_payload(&ctx, id, false)
+        });
+        match self.inner.read() {
+            Ok(inner) => Ok(RwLockReadGuard {
+                _release: release,
+                inner,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RwLockReadGuard {
+                _release: release,
+                inner: poisoned.into_inner(),
+            })),
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let managed = self.reg.as_ref().and_then(Registration::managed);
+        let release = managed.map(|(ctx, id)| {
+            scheduled_acquire(&ctx, id, true);
+            release_payload(&ctx, id, true)
+        });
+        match self.inner.write() {
+            Ok(inner) => Ok(RwLockWriteGuard {
+                _release: release,
+                inner,
+            }),
+            Err(poisoned) => Err(PoisonError::new(RwLockWriteGuard {
+                _release: release,
+                inner: poisoned.into_inner(),
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+/// Bounded-exhaustive schedule explorer.
+///
+/// ```ignore
+/// let report = Explorer::new()
+///     .declared_order(&[("engine.mutator", "engine.epoch")])
+///     .explore(|run| {
+///         let state = Arc::new(Protocol::new());
+///         let s = Arc::clone(&state);
+///         run.thread("mutator", move || s.mutate());
+///         let s = Arc::clone(&state);
+///         run.thread("reader", move || s.read());
+///     })?;
+/// assert!(report.exhausted);
+/// ```
+pub struct Explorer {
+    max_schedules: usize,
+    max_steps: usize,
+    declared: Option<BTreeMap<String, Vec<String>>>,
+    blocking_allowed: Vec<(String, String)>,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome the controller reports for one schedule.
+struct RunOutcome {
+    /// Number of enabled threads at every decision point.
+    branching: Vec<usize>,
+    violation: Option<ModelViolation>,
+}
+
+impl Explorer {
+    pub fn new() -> Self {
+        Self {
+            max_schedules: 200_000,
+            max_steps: 10_000,
+            declared: None,
+            blocking_allowed: Vec::new(),
+        }
+    }
+
+    /// Caps the number of schedules; exceeding it ends the exploration
+    /// with `exhausted: false` instead of an error.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n.max(1);
+        self
+    }
+
+    /// Caps yield points per schedule (livelock guard).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n.max(1);
+        self
+    }
+
+    /// Declares the allowed acquisition-order edges between *named*
+    /// locks (generate them from `crates/interlock/LOCK_ORDER.md`).  Any
+    /// observed edge between named locks outside this set is a
+    /// violation; edges involving auto-named (`#mutex-N`) locks are
+    /// exempt but still feed cycle detection.
+    pub fn declared_order(mut self, edges: &[(&str, &str)]) -> Self {
+        let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (from, to) in edges {
+            map.entry((*from).to_string())
+                .or_default()
+                .push((*to).to_string());
+        }
+        self.declared = Some(map);
+        self
+    }
+
+    /// Allows holding `lock` across [`blocking`] regions labelled
+    /// `label` (the model analog of `// interlock:allow`).
+    pub fn allow_blocking(mut self, label: &str, lock: &str) -> Self {
+        self.blocking_allowed
+            .push((label.to_string(), lock.to_string()));
+        self
+    }
+
+    /// Runs `scenario` under every schedule within the bounds.  The
+    /// scenario is re-invoked per schedule and must be deterministic:
+    /// build fresh state, register threads via [`Run::thread`], assert
+    /// protocol invariants via [`check`] / [`Run::finally`].
+    pub fn explore<S: Fn(&mut Run)>(
+        &self,
+        scenario: S,
+    ) -> Result<ModelReport, Box<ModelViolation>> {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        let mut max_depth = 0usize;
+        // Acquisition edges observed across every schedule so far:
+        // (from, to) -> human-readable first-sighting description.
+        let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
+        loop {
+            if schedules >= self.max_schedules {
+                return Ok(ModelReport {
+                    schedules,
+                    exhausted: false,
+                    max_depth,
+                    edges: edges.into_keys().collect(),
+                });
+            }
+            schedules += 1;
+            let outcome = self.run_schedule(&scenario, &prefix, schedules, &mut edges);
+            if let Some(violation) = outcome.violation {
+                return Err(Box::new(violation));
+            }
+            max_depth = max_depth.max(outcome.branching.len());
+            // Depth-first advance: bump the deepest decision that still
+            // has an unexplored alternative, truncate the rest.
+            let taken: Vec<usize> = (0..outcome.branching.len())
+                .map(|i| prefix.get(i).copied().unwrap_or(0))
+                .collect();
+            let mut advanced = false;
+            for i in (0..taken.len()).rev() {
+                if taken[i] + 1 < outcome.branching[i] {
+                    prefix = taken[..=i].to_vec();
+                    prefix[i] += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Ok(ModelReport {
+                    schedules,
+                    exhausted: true,
+                    max_depth,
+                    edges: edges.into_keys().collect(),
+                });
+            }
+        }
+    }
+
+    /// Executes one schedule following `prefix` (choice 0 beyond it).
+    fn run_schedule<S: Fn(&mut Run)>(
+        &self,
+        scenario: &S,
+        prefix: &[usize],
+        schedule: usize,
+        edges: &mut BTreeMap<(String, String), String>,
+    ) -> RunOutcome {
+        let shared = Arc::new(RunShared {
+            sched: StdMutex::new(Sched {
+                turn: Turn::Controller,
+                aborted: false,
+                threads: Vec::new(),
+                locks: Vec::new(),
+                pending: Vec::new(),
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+
+        // The controller registers itself so locks created inside the
+        // scenario closure attach to this run; its tid stays `None` so
+        // its own lock operations pass through.
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(ThreadCtx {
+                run: Arc::clone(&shared),
+                tid: None,
+            });
+        });
+        let mut run = Run::default();
+        scenario(&mut run);
+
+        {
+            let mut s = shared.lock();
+            for (name, _) in &run.threads {
+                s.threads.push(ThreadState {
+                    name: name.clone(),
+                    status: Status::Waiting,
+                    held: Vec::new(),
+                });
+                s.pending.push(None);
+            }
+        }
+
+        let mut handles = Vec::with_capacity(run.threads.len());
+        for (tid, (name, body)) in run.threads.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("model-{name}"))
+                    .spawn(move || {
+                        CTX.with(|c| {
+                            *c.borrow_mut() = Some(ThreadCtx {
+                                run: Arc::clone(&shared),
+                                tid: Some(tid),
+                            });
+                        });
+                        // No start-up yield: the thread runs free until
+                        // its first lock operation parks it.  Start
+                        // orderings are behaviorally identical prefixes,
+                        // so scheduling them would only multiply the
+                        // tree with duplicate schedules.
+                        let outcome = catch_unwind(AssertUnwindSafe(body));
+                        let mut s = shared.lock();
+                        s.threads[tid].status = Status::Finished;
+                        s.pending[tid] = None;
+                        if let Err(payload) = outcome {
+                            if payload.downcast_ref::<AbortToken>().is_none() {
+                                let (kind, message) = match payload.downcast_ref::<CheckFailed>() {
+                                    Some(failed) => (ViolationKind::Assertion, failed.0.clone()),
+                                    None => {
+                                        (ViolationKind::ThreadPanic, panic_text(payload.as_ref()))
+                                    }
+                                };
+                                if !s.aborted {
+                                    let name = s.threads[tid].name.clone();
+                                    abort_with(
+                                        &mut s,
+                                        kind,
+                                        format!("{name}: {message}"),
+                                        schedule,
+                                    );
+                                }
+                            }
+                        }
+                        // Same stomp guard as in `yield_act`: only a
+                        // thread that holds the turn hands it back.
+                        if matches!(s.turn, Turn::Thread(t) if t == tid) {
+                            s.turn = Turn::Controller;
+                        }
+                        drop(s);
+                        shared.cv.notify_all();
+                    })
+                    .expect("spawn model thread"),
+            );
+        }
+
+        let outcome = self.drive(&shared, prefix, schedule, edges, run.finally);
+        CTX.with(|c| *c.borrow_mut() = None);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        outcome
+    }
+
+    /// The controller: grants one enabled pending action per decision
+    /// point until all threads finish, a rule breaks, or the step bound
+    /// trips.
+    fn drive(
+        &self,
+        shared: &Arc<RunShared>,
+        prefix: &[usize],
+        schedule: usize,
+        edges: &mut BTreeMap<(String, String), String>,
+        finally: Option<Box<dyn FnOnce() -> Result<(), String>>>,
+    ) -> RunOutcome {
+        let mut branching = Vec::new();
+        let mut s = shared.lock();
+        loop {
+            // Wait until it is the controller's turn *and* every
+            // unfinished thread has parked with a pending action (at run
+            // start threads are still announcing themselves).
+            loop {
+                let ready = matches!(s.turn, Turn::Controller)
+                    && s.pending
+                        .iter()
+                        .zip(&s.threads)
+                        .all(|(p, t)| p.is_some() || matches!(t.status, Status::Finished));
+                if ready {
+                    break;
+                }
+                s = shared.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+            }
+            if let Some(mut violation) = s.take_violation() {
+                violation.schedule = schedule;
+                drop(s);
+                shared.cv.notify_all();
+                return RunOutcome {
+                    branching,
+                    violation: Some(violation),
+                };
+            }
+            if s.threads
+                .iter()
+                .all(|t| matches!(t.status, Status::Finished))
+            {
+                drop(s);
+                let violation = finally.and_then(|f| {
+                    f().err().map(|message| ModelViolation {
+                        kind: ViolationKind::FinalCheck,
+                        message,
+                        trace: shared.lock().trace.clone(),
+                        schedule,
+                    })
+                });
+                return RunOutcome {
+                    branching,
+                    violation,
+                };
+            }
+
+            let enabled: Vec<Tid> = (0..s.threads.len())
+                .filter(|&tid| {
+                    s.pending[tid]
+                        .as_ref()
+                        .is_some_and(|action| s.enabled(action))
+                })
+                .collect();
+            if enabled.is_empty() {
+                let violation = self.deadlock_violation(&mut s, schedule);
+                s.aborted = true;
+                drop(s);
+                shared.cv.notify_all();
+                return RunOutcome {
+                    branching,
+                    violation: Some(violation),
+                };
+            }
+            if branching.len() >= self.max_steps {
+                let violation = abort_with(
+                    &mut s,
+                    ViolationKind::BoundExceeded,
+                    format!("schedule exceeded {} yield points", self.max_steps),
+                    schedule,
+                );
+                drop(s);
+                shared.cv.notify_all();
+                return RunOutcome {
+                    branching,
+                    violation: Some(violation),
+                };
+            }
+
+            let choice = prefix.get(branching.len()).copied().unwrap_or(0);
+            branching.push(enabled.len());
+            let tid = enabled[choice.min(enabled.len() - 1)];
+            let action = s.pending[tid]
+                .take()
+                .expect("granted thread has a pending action");
+            if let Some(violation) = self.apply(&mut s, tid, &action, schedule, edges) {
+                s.aborted = true;
+                drop(s);
+                shared.cv.notify_all();
+                return RunOutcome {
+                    branching,
+                    violation: Some(violation),
+                };
+            }
+            s.turn = Turn::Thread(tid);
+            shared.cv.notify_all();
+            // Loop re-waits for the controller's turn.
+        }
+    }
+
+    /// Applies a granted action to the model lock state and runs the
+    /// discipline checks.
+    fn apply(
+        &self,
+        s: &mut Sched,
+        tid: Tid,
+        action: &Action,
+        schedule: usize,
+        edges: &mut BTreeMap<(String, String), String>,
+    ) -> Option<ModelViolation> {
+        let thread = s.threads[tid].name.clone();
+        match action {
+            Action::Blocking(label) => {
+                s.trace.push(format!("{thread}: blocking({label})"));
+                let offending: Vec<String> = s.threads[tid]
+                    .held
+                    .iter()
+                    .map(|&(id, _)| s.locks[id].name.clone())
+                    .filter(|name| {
+                        !self
+                            .blocking_allowed
+                            .iter()
+                            .any(|(l, n)| l == label && n == name)
+                    })
+                    .collect();
+                if offending.is_empty() {
+                    None
+                } else {
+                    Some(violation_from(
+                        s,
+                        ViolationKind::BlockingWhileLocked,
+                        format!(
+                            "{thread} entered blocking region `{label}` holding [{}]",
+                            offending.join(", ")
+                        ),
+                        schedule,
+                    ))
+                }
+            }
+            Action::Acquire { lock, write } => {
+                let name = s.locks[*lock].name.clone();
+                let mode = if *write { "acquire" } else { "acquire-read" };
+                s.trace.push(format!("{thread}: {mode}({name})"));
+                let held_before: Vec<usize> =
+                    s.threads[tid].held.iter().map(|&(id, _)| id).collect();
+                if *write {
+                    s.locks[*lock].writer = Some(tid);
+                } else {
+                    s.locks[*lock].readers.push(tid);
+                }
+                s.threads[tid].held.push((*lock, *write));
+                for held in held_before {
+                    if held == *lock {
+                        continue;
+                    }
+                    let from = s.locks[held].name.clone();
+                    let edge = (from.clone(), name.clone());
+                    if !edges.contains_key(&edge) {
+                        // A path name -> ... -> from in the accumulated
+                        // graph plus this new from -> name edge closes a
+                        // cycle: both orders are reachable.
+                        if let Some(path) = find_path(edges, &name, &from) {
+                            return Some(violation_from(
+                                s,
+                                ViolationKind::OrderCycle,
+                                format!(
+                                    "{thread} acquires {name} while holding {from}, but the \
+                                     reverse order {} was already observed",
+                                    path.join(" -> ")
+                                ),
+                                schedule,
+                            ));
+                        }
+                        if let Some(declared) = &self.declared {
+                            let named = !from.starts_with('#') && !name.starts_with('#');
+                            let ok = declared
+                                .get(&from)
+                                .is_some_and(|tos| tos.iter().any(|t| t == &name));
+                            if named && !ok {
+                                return Some(violation_from(
+                                    s,
+                                    ViolationKind::UndeclaredEdge,
+                                    format!(
+                                        "{thread} acquires {name} while holding {from}: edge \
+                                         `{from} -> {name}` is not in the declared lock order \
+                                         (regenerate LOCK_ORDER.md if this nesting is intended)"
+                                    ),
+                                    schedule,
+                                ));
+                            }
+                        }
+                        edges.insert(edge, format!("{thread} in schedule {schedule}"));
+                    }
+                }
+                None
+            }
+            Action::Release { lock, write } => {
+                let name = s.locks[*lock].name.clone();
+                s.trace.push(format!("{thread}: release({name})"));
+                if *write {
+                    s.locks[*lock].writer = None;
+                } else if let Some(at) = s.locks[*lock].readers.iter().position(|&r| r == tid) {
+                    s.locks[*lock].readers.remove(at);
+                }
+                if let Some(at) = s.threads[tid]
+                    .held
+                    .iter()
+                    .rposition(|&(id, w)| id == *lock && w == *write)
+                {
+                    s.threads[tid].held.remove(at);
+                }
+                None
+            }
+        }
+    }
+
+    fn deadlock_violation(&self, s: &mut Sched, schedule: usize) -> ModelViolation {
+        let mut waiting = Vec::new();
+        for (tid, thread) in s.threads.iter().enumerate() {
+            if let Some(Action::Acquire { lock, write }) = &s.pending[tid] {
+                let holder = holders(s, *lock);
+                waiting.push(format!(
+                    "{} waits for {}{} held by [{}]",
+                    thread.name,
+                    s.locks[*lock].name,
+                    if *write { "" } else { " (read)" },
+                    holder.join(", ")
+                ));
+            }
+        }
+        violation_from(
+            s,
+            ViolationKind::Deadlock,
+            format!("no schedulable thread: {}", waiting.join("; ")),
+            schedule,
+        )
+    }
+}
+
+fn holders(s: &Sched, lock: usize) -> Vec<String> {
+    let state = &s.locks[lock];
+    let mut out = Vec::new();
+    if let Some(w) = state.writer {
+        out.push(s.threads[w].name.clone());
+    }
+    for &r in &state.readers {
+        out.push(s.threads[r].name.clone());
+    }
+    out
+}
+
+fn violation_from(
+    s: &Sched,
+    kind: ViolationKind,
+    message: String,
+    schedule: usize,
+) -> ModelViolation {
+    ModelViolation {
+        kind,
+        message,
+        trace: s.trace.clone(),
+        schedule,
+    }
+}
+
+/// Records a violation raised from a model thread (panic/assert paths)
+/// and aborts the run.
+fn abort_with(
+    s: &mut Sched,
+    kind: ViolationKind,
+    message: String,
+    schedule: usize,
+) -> ModelViolation {
+    s.aborted = true;
+    let violation = violation_from(s, kind, message, schedule);
+    s.stash_violation(&violation);
+    violation
+}
+
+impl Sched {
+    fn enabled(&self, action: &Action) -> bool {
+        match action {
+            Action::Release { .. } | Action::Blocking(_) => true,
+            Action::Acquire { lock, write } => {
+                let state = &self.locks[*lock];
+                match (state.kind, write) {
+                    (_, true) => state.writer.is_none() && state.readers.is_empty(),
+                    (_, false) => state.writer.is_none(),
+                }
+            }
+        }
+    }
+
+    /// Thread-raised violations travel through the trace buffer (the
+    /// thread cannot return one to the controller directly): stashed as
+    /// a sentinel trace entry, recovered by the controller.
+    fn stash_violation(&mut self, violation: &ModelViolation) {
+        self.trace
+            .push(format!("\u{0}{}\u{0}{}", violation.kind, violation.message));
+    }
+
+    fn take_violation(&mut self) -> Option<ModelViolation> {
+        let at = self.trace.iter().position(|l| l.starts_with('\u{0}'))?;
+        let line = self.trace.remove(at);
+        let mut parts = line.trim_start_matches('\u{0}').splitn(2, '\u{0}');
+        let kind_text = parts.next().unwrap_or_default().to_string();
+        let message = parts.next().unwrap_or_default().to_string();
+        let kind = match kind_text.as_str() {
+            "assertion failed" => ViolationKind::Assertion,
+            _ => ViolationKind::ThreadPanic,
+        };
+        Some(ModelViolation {
+            kind,
+            message,
+            trace: self.trace.clone(),
+            schedule: 0,
+        })
+    }
+}
+
+/// BFS path `from -> ... -> to` through the accumulated edge graph.
+fn find_path(
+    edges: &BTreeMap<(String, String), String>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(vec![from.to_string()]);
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(from.to_string());
+    while let Some(path) = queue.pop_front() {
+        let last = path.last().cloned().unwrap_or_default();
+        if last == to {
+            return Some(path);
+        }
+        for (a, b) in edges.keys() {
+            if a == &last && seen.insert(b.clone()) {
+                let mut next = path.clone();
+                next.push(b.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+fn panic_text(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

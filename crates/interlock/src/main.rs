@@ -1,0 +1,102 @@
+//! Standalone entry point for the lock-order pass.
+//!
+//! `cargo run -p asrs-lint` invokes the same analysis as part of the
+//! repo's single lint entry point; this binary exists for fixture tests
+//! and for running the pass against an arbitrary tree:
+//!
+//! ```text
+//! asrs-interlock [ROOT] [--update-lock-order]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates/core/src/lib.rs").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--update-lock-order" => update = true,
+            "--help" | "-h" => {
+                println!("usage: asrs-interlock [ROOT] [--update-lock-order]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("asrs-interlock: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(workspace_root) else {
+        eprintln!("asrs-interlock: could not locate the workspace root (crates/core/src/lib.rs)");
+        return ExitCode::from(2);
+    };
+
+    if update {
+        return match asrs_interlock::update_manifest(&root) {
+            Ok(_) => {
+                println!(
+                    "asrs-interlock: wrote {}",
+                    root.join(asrs_interlock::MANIFEST_PATH).display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("asrs-interlock: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match asrs_interlock::analyze(&root) {
+        Ok(report) => {
+            println!(
+                "asrs-interlock: {} locks, {} sites, {} edges, {} allow(s) used (budget {})",
+                report.lock_count,
+                report.site_count,
+                report.edge_count,
+                report.allows_used,
+                asrs_interlock::ALLOW_BUDGET
+            );
+            if report.findings.is_empty() {
+                println!("asrs-interlock: lock graph clean");
+                ExitCode::SUCCESS
+            } else {
+                for finding in &report.findings {
+                    println!(
+                        "{}:{}: [{}] {}",
+                        finding.file.display(),
+                        finding.line,
+                        finding.category,
+                        finding.message
+                    );
+                }
+                println!("asrs-interlock: {} finding(s)", report.findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("asrs-interlock: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Fixture corpus for the static lock-order pass: each seeded bug tree
+//! must be flagged with the right category, and the real workspace must
+//! come up clean through the actual `asrs-interlock` binary.
+
+use asrs_interlock::{analyze, Category, Report};
+use std::path::{Path, PathBuf};
+
+/// Builds a throwaway workspace skeleton holding one `crates/core`
+/// source file, runs the analysis over it, and tears it down.
+fn analyze_fixture(test_name: &str, engine_rs: &str) -> Report {
+    let root = std::env::temp_dir().join(format!(
+        "asrs-interlock-fixture-{}-{test_name}",
+        std::process::id()
+    ));
+    let src = root.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("create fixture tree");
+    std::fs::write(src.join("engine.rs"), engine_rs).expect("write fixture");
+    let report = analyze(&root).expect("fixture analysis");
+    std::fs::remove_dir_all(&root).expect("remove fixture tree");
+    report
+}
+
+fn categories(report: &Report) -> Vec<Category> {
+    report.findings.iter().map(|f| f.category).collect()
+}
+
+#[test]
+fn seeded_ab_ba_cycle_is_flagged_as_order_cycle() {
+    let report = analyze_fixture(
+        "ab-ba",
+        r#"
+pub struct S {
+    a: std::sync::Mutex<u64>,
+    b: std::sync::Mutex<u64>,
+}
+
+impl S {
+    pub fn forward(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn backward(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#,
+    );
+    assert!(
+        categories(&report).contains(&Category::OrderCycle),
+        "expected an order-cycle finding, got {:?}",
+        report.findings
+    );
+    let cycle = report
+        .findings
+        .iter()
+        .find(|f| f.category == Category::OrderCycle)
+        .expect("cycle finding");
+    assert!(
+        cycle.message.contains("core.engine.a") && cycle.message.contains("core.engine.b"),
+        "cycle should name both locks: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn seeded_guard_across_fsync_is_flagged_as_blocking_hold() {
+    let report = analyze_fixture(
+        "fsync",
+        r#"
+pub struct W {
+    inner: std::sync::Mutex<std::fs::File>,
+}
+
+impl W {
+    pub fn append(&self, frame: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut file = self.inner.lock().unwrap();
+        file.write_all(frame)?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+"#,
+    );
+    let blocking: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.category == Category::BlockingHold)
+        .collect();
+    assert!(
+        !blocking.is_empty(),
+        "expected blocking-hold findings, got {:?}",
+        report.findings
+    );
+    assert!(
+        blocking.iter().any(|f| f.message.contains("sync_data")),
+        "the fsync should be named: {blocking:?}"
+    );
+}
+
+#[test]
+fn seeded_stale_guard_scope_is_flagged() {
+    // The PR 7 worker-queue shape: the guard's last use is the dequeue,
+    // but its scope stretches across serving (blocking I/O) below.
+    let report = analyze_fixture(
+        "stale-scope",
+        r#"
+pub struct Q {
+    queue: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Q {
+    pub fn worker(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        let mut guard = self.queue.lock().unwrap();
+        let job = guard.pop();
+        if let Some(job) = job {
+            out.write_all(&job.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+"#,
+    );
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.category == Category::StaleScope)
+        .collect();
+    assert!(
+        !stale.is_empty(),
+        "expected a stale-guard-scope finding, got {:?}",
+        report.findings
+    );
+    assert!(
+        stale[0].message.contains("guard `guard`"),
+        "should name the binding: {}",
+        stale[0].message
+    );
+}
+
+#[test]
+fn allow_escape_suppresses_and_unused_allow_is_flagged() {
+    let report = analyze_fixture(
+        "allows",
+        r#"
+pub struct W {
+    inner: std::sync::Mutex<std::fs::File>,
+}
+
+impl W {
+    pub fn append(&self, frame: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        // interlock:allow(the fsync is the critical section)
+        let mut file = self.inner.lock().unwrap();
+        file.write_all(frame)?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    pub fn harmless(&self) -> usize {
+        // interlock:allow(nothing here actually blocks)
+        let file = self.inner.lock().unwrap();
+        let _ = &*file;
+        0
+    }
+}
+"#,
+    );
+    assert!(
+        !categories(&report).contains(&Category::BlockingHold),
+        "the allow must suppress the fsync hold: {:?}",
+        report.findings
+    );
+    let budget: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.category == Category::AllowBudget)
+        .collect();
+    assert_eq!(
+        budget.len(),
+        1,
+        "the unused allow must be flagged: {:?}",
+        report.findings
+    );
+    assert!(budget[0].message.contains("suppresses nothing"));
+    assert_eq!(report.allows_used, 1);
+}
+
+/// The workspace root, from this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn real_tree_is_clean_through_the_real_binary() {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_asrs-interlock"))
+        .arg(workspace_root())
+        .output()
+        .expect("run asrs-interlock");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "the committed tree must pass its own lock-order gate:\n{stdout}"
+    );
+    assert!(stdout.contains("lock graph clean"), "{stdout}");
+}
+
+#[test]
+fn committed_manifest_matches_regenerated_graph() {
+    let root = workspace_root();
+    let report = analyze(&root).expect("analyze workspace");
+    let committed = std::fs::read_to_string(root.join(asrs_interlock::MANIFEST_PATH))
+        .expect("read committed LOCK_ORDER.md");
+    assert_eq!(
+        committed, report.manifest,
+        "LOCK_ORDER.md is stale; run `cargo run -p asrs-lint -- --update-lock-order`"
+    );
+}

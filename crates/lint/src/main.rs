@@ -15,9 +15,17 @@
 //! 3. **Exhaustive error mapping**: every `AsrsError` variant must appear
 //!    in the server's `status_for` HTTP mapping, so a new engine error
 //!    can never fall through to a default arm with the wrong status.
+//! 4. **Lock-order discipline** (via `asrs-interlock`): every `Mutex` /
+//!    `RwLock` acquisition in the serving stack must fit the committed
+//!    acquisition-order manifest `crates/interlock/LOCK_ORDER.md` — no
+//!    order cycles, no guards held across blocking I/O or `publish`
+//!    without a budgeted `// interlock:allow(reason)`, no guard scopes
+//!    outliving their last use.  `--update-lock-order` regenerates the
+//!    manifest after a reviewed protocol change.
 //!
-//! Zero dependencies (std only), so `cargo run -p asrs-lint` works in the
-//! most minimal CI image.  Exit code 0 when clean, 1 with findings.
+//! No external dependencies (std plus the first-party `asrs-interlock`
+//! analysis library), so `cargo run -p asrs-lint` works in the most
+//! minimal CI image.  Exit code 0 when clean, 1 with findings.
 
 #![forbid(unsafe_code)]
 
@@ -52,6 +60,7 @@ const CRATES: &[&str] = &[
     "crates/baseline",
     "crates/persist",
     "crates/audit",
+    "crates/interlock",
     "crates/lint",
     "crates/bench",
     "crates/server",
@@ -303,6 +312,16 @@ fn run(root: &Path) -> Result<(Vec<Finding>, String), String> {
         for file in files {
             let source = std::fs::read_to_string(&file)
                 .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            // The deterministic-schedule checker only compiles under
+            // `--features model` and asserts by design; panic freedom
+            // is a serving-stack policy, not a test-harness one.
+            if source
+                .lines()
+                .take(60)
+                .any(|l| l.trim() == "#![cfg(feature = \"model\")]")
+            {
+                continue;
+            }
             let (mut found, allows) = scan_panic_tokens(&file, &source);
             findings.append(&mut found);
             total_allows += allows;
@@ -388,6 +407,25 @@ fn run(root: &Path) -> Result<(Vec<Finding>, String), String> {
         variants.len()
     );
 
+    // Rule 4: lock-order discipline (asrs-interlock).
+    let report = asrs_interlock::analyze(root)?;
+    for finding in report.findings {
+        findings.push(Finding {
+            file: finding.file,
+            line: finding.line,
+            message: format!("[{}] {}", finding.category, finding.message),
+        });
+    }
+    let _ = writeln!(
+        summary,
+        "lock-order: {} locks, {} sites, {} edges, {}/{} interlock:allow escapes used",
+        report.lock_count,
+        report.site_count,
+        report.edge_count,
+        report.allows_used,
+        asrs_interlock::ALLOW_BUDGET
+    );
+
     Ok((findings, summary))
 }
 
@@ -400,6 +438,22 @@ fn main() -> ExitCode {
             eprintln!("asrs-lint: not inside the ASRS workspace");
             return ExitCode::from(2);
         }
+    }
+
+    if std::env::args().any(|a| a == "--update-lock-order") {
+        return match asrs_interlock::update_manifest(&root) {
+            Ok(_) => {
+                println!(
+                    "asrs-lint: wrote {}",
+                    root.join(asrs_interlock::MANIFEST_PATH).display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("asrs-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     match run(&root) {

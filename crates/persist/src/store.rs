@@ -38,12 +38,13 @@
 use crate::error::PersistError;
 use crate::snapshot::{self, SnapshotFile};
 use crate::wal::Wal;
+use asrs_core::sync::Mutex;
 use asrs_core::{AsrsEngine, AsrsError, DurabilitySink, EngineBuilder, EngineState};
 use asrs_data::Mutation;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// File name of the write-ahead log inside the persistence directory.
 const WAL_FILE: &str = "wal.log";
@@ -163,18 +164,29 @@ impl PersistHandle {
 
     /// Current persistence counters.
     pub fn stats(&self) -> PersistStats {
-        let counters = self
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Copy the counters in a tight block so the guard is not held
+        // while `Wal::len`/`Wal::bytes` take the WAL lock (keeps
+        // `store.counters` a leaf in LOCK_ORDER.md).
+        let (snapshot_generation, snapshot_bytes, snapshots_written, replayed_on_boot) = {
+            let counters = self
+                .counters
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (
+                counters.snapshot_generation,
+                counters.snapshot_bytes,
+                counters.snapshots_written,
+                counters.replayed_on_boot,
+            )
+        };
         PersistStats {
             directory: self.dir.display().to_string(),
-            snapshot_generation: counters.snapshot_generation,
-            snapshot_bytes: counters.snapshot_bytes,
-            snapshots_written: counters.snapshots_written,
+            snapshot_generation,
+            snapshot_bytes,
+            snapshots_written,
             wal_entries: self.wal.len(),
             wal_bytes: self.wal.bytes(),
-            replayed_on_boot: counters.replayed_on_boot,
+            replayed_on_boot,
             compaction_threshold: self.compaction_threshold,
             snapshot_due: self.snapshot_due.load(Ordering::Acquire),
         }

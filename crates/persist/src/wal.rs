@@ -24,12 +24,12 @@
 use crate::crc::crc32;
 use crate::error::PersistError;
 use crate::snapshot::sync_dir;
+use asrs_core::sync::Mutex;
 use asrs_data::columnar::{self, Reader};
 use asrs_data::Mutation;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 /// File magic of the write-ahead log.
 pub(crate) const MAGIC: [u8; 4] = *b"ASWL";
@@ -222,6 +222,7 @@ impl Wal {
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
 
+        // interlock:allow(the write+fsync under the WAL lock IS the durability critical section)
         // lint:allow(a poisoned WAL lock means a writer died mid-append; reusing the file handle could interleave a torn frame with a live one)
         let mut inner = self.inner.lock().expect("WAL lock poisoned");
         inner
@@ -238,6 +239,7 @@ impl Wal {
     /// keep_after` (atomically, via a temporary file).  Called after a
     /// snapshot makes the older prefix redundant.
     pub fn compact(&self, keep_after: u64) -> Result<(), PersistError> {
+        // interlock:allow(compaction rewrites and atomically replaces the log file; appends must stall until the new inode is live)
         // lint:allow(a poisoned WAL lock means a writer died mid-append; compacting over unknown file state could drop durable frames)
         let mut inner = self.inner.lock().expect("WAL lock poisoned");
 

@@ -1,11 +1,11 @@
 //! Server-side observability: request counters plus the merged
 //! [`SearchStats`] of every executed query, snapshotted by `GET /metrics`.
 
+use asrs_core::sync::Mutex;
 use asrs_core::{CacheStats, MutationStats, SearchStats};
 use asrs_persist::PersistStats;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Live counters, updated lock-free on the request path (the merged search

@@ -10,6 +10,7 @@
 
 use crate::http::{self, HttpRequest};
 use crate::metrics::{MetricsSnapshot, ServerMetrics, SweeperSnapshot};
+use asrs_core::sync::Mutex;
 use asrs_core::{AsrsError, EngineHandle, QueryRequest};
 use asrs_data::SpatialObject;
 use asrs_persist::PersistHandle;
@@ -18,7 +19,7 @@ use std::io::{self, BufReader};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -338,6 +339,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
         // A poisoned queue lock means a sibling worker panicked holding
         // it; exiting is the same shutdown path as a closed channel.  The
         // guard is released before serving so workers dequeue in parallel.
+        // interlock:allow(blocking recv is the worker's idle wait; the guard spans only the dequeue, never the serve)
         let received = match rx.lock() {
             Ok(guard) => guard.recv(),
             Err(_) => return,
