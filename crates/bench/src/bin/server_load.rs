@@ -9,9 +9,9 @@
 //!
 //! ```text
 //! server_load [--smoke] [--objects N] [--clients C] [--requests R]
-//!             [--cache N] [--shards S] [--append-every A] [--rate R[,R2,..]]
-//!             [--persist-dir PATH] [--boot-bench] [--boot-objects N]
-//!             [--out PATH]
+//!             [--cache N] [--shards S] [--append-every A] [--batch B]
+//!             [--rate R[,R2,..]] [--persist-dir PATH] [--boot-bench]
+//!             [--boot-objects N] [--out PATH]
 //! ```
 //!
 //! Without `--shards` one row is written (a single JSON object, as
@@ -24,7 +24,15 @@
 //! a `POST /append` (a fresh object with a unique id) after every `A`
 //! queries, so the measured window spans live generational mutations —
 //! cache hit rate under churn, mutation throughput and the final engine
-//! generation are reported.
+//! generation are reported.  A second mixed row repeats the run with
+//! `POST /append_batch` payloads of `--batch B` objects (default 16) in
+//! place of the solo appends, measuring the bulk-ingest path: one commit
+//! (one generation, one WAL fsync) per payload.
+//!
+//! The worker pool is sized from `--clients` (never below the config
+//! default), so a C-client run is actually served by ≥ C workers — the
+//! committed open-loop sweep once ran every client against a single
+//! worker, which measured the queue, not the engine.
 //!
 //! `--rate R` switches the generator from closed-loop (send, wait, send)
 //! to **open-loop** (constant aggregate rate of `R` requests/second split
@@ -84,6 +92,8 @@ struct Args {
     shards: usize,
     /// Issue one append per client after every N queries (0 = read-only).
     append_every: usize,
+    /// Objects per `/append_batch` payload in the bulk-ingest row.
+    batch: usize,
     /// Open-loop aggregate request rates in req/s (empty = closed loop
     /// only; several values sweep the offered-rate axis).
     rates: Vec<usize>,
@@ -106,6 +116,7 @@ impl Args {
             cache_capacity: 1024,
             shards: 0,
             append_every: 0,
+            batch: 16,
             rates: Vec::new(),
             persist_dir: None,
             boot_bench: false,
@@ -127,6 +138,7 @@ impl Args {
                 "--cache" => args.cache_capacity = num("--cache"),
                 "--shards" => args.shards = num("--shards"),
                 "--append-every" => args.append_every = num("--append-every"),
+                "--batch" => args.batch = num("--batch"),
                 "--rate" => {
                     let list = it.next().expect("--rate expects a number or comma list");
                     args.rates = list
@@ -206,6 +218,11 @@ struct ClientPlan<'a> {
     /// (0 = read-only client).
     append_every: usize,
     append_bodies: Vec<String>,
+    /// Mutation endpoint the append bodies target: `/append` (one object
+    /// per request) or `/append_batch` (`append_objects` per request).
+    append_path: &'static str,
+    /// Objects each accepted append request ingests.
+    append_objects: usize,
     /// Open-loop schedule: request `i` is *due* at `start + i · interval`,
     /// and its latency is measured from that due time.  `None` = closed
     /// loop (latency from the actual send).
@@ -237,7 +254,7 @@ fn drive_client(plan: ClientPlan<'_>) -> ClientOutcome {
         let (path, body) = if is_append {
             let body = &plan.append_bodies[next_append];
             next_append += 1;
-            ("/append", body)
+            (plan.append_path, body)
         } else {
             (
                 "/query",
@@ -248,7 +265,7 @@ fn drive_client(plan: ClientPlan<'_>) -> ClientOutcome {
         match client.request("POST", path, body) {
             Ok((200, _)) => {
                 if is_append {
-                    outcome.mutations_applied += 1;
+                    outcome.mutations_applied += plan.append_objects;
                 } else {
                     let from = scheduled.unwrap_or(started);
                     outcome.latencies_us.push(from.elapsed().as_micros() as u64);
@@ -292,6 +309,10 @@ struct BenchReport {
     shards: usize,
     /// One append per client after every N queries (0 = read-only phase).
     append_every: usize,
+    /// Objects per mutation request: 0 = read-only phase, 1 = solo
+    /// `POST /append`, >1 = `POST /append_batch` payloads of this size
+    /// (each one atomic commit — one generation, one WAL fsync).
+    ingest_batch_size: usize,
     /// Open-loop aggregate request rate in req/s (0 = closed loop); when
     /// set, latencies are measured from the schedule, so queueing delay
     /// under saturation is included (no coordinated omission).
@@ -322,13 +343,20 @@ struct BenchReport {
 
 /// Runs one measured serving phase (build → probe → load → metrics →
 /// shutdown) with the given shard count (`0` = classic single engine),
-/// mutation mix (`append_every` queries per append, `0` = read-only), and
-/// offered rate (`0` = closed loop).
-fn run_phase(args: &Args, shards: usize, append_every: usize, rate: usize) -> BenchReport {
+/// mutation mix (`append_every` queries per append, `0` = read-only;
+/// `batch` > 1 switches the appends to `/append_batch` payloads of that
+/// many objects), and offered rate (`0` = closed loop).
+fn run_phase(
+    args: &Args,
+    shards: usize,
+    append_every: usize,
+    batch: usize,
+    rate: usize,
+) -> BenchReport {
     let workload = Workload::Tweet;
     eprintln!(
-        "building engine: {} objects, cache capacity {}, shards {}, append-every {}, rate {} ...",
-        args.objects, args.cache_capacity, shards, append_every, rate
+        "building engine: {} objects, cache capacity {}, shards {}, append-every {} (x{}), rate {} ...",
+        args.objects, args.cache_capacity, shards, append_every, batch.max(1), rate
     );
     let dataset = workload.dataset(args.objects, 42);
     let aggregator = workload.aggregator(&dataset);
@@ -360,7 +388,12 @@ fn run_phase(args: &Args, shards: usize, append_every: usize, rate: usize) -> Be
     let pool = request_pool(workload, &engine);
     let bodies: Vec<String> = pool.iter().map(serde::json::to_string).collect();
 
-    let config = ServerConfig::default();
+    // Size the worker pool from the client count (never below the config
+    // default): a C-client load otherwise serializes behind however many
+    // workers `available_parallelism` happened to report — the committed
+    // open-loop sweep once measured 4 clients against 1 worker.
+    let mut config = ServerConfig::default();
+    config.workers = config.workers.max(args.clients);
     let server_workers = config.workers;
     let mut server =
         AsrsServer::bind(engine.handle(), "127.0.0.1:0", config).expect("server binds");
@@ -404,6 +437,16 @@ fn run_phase(args: &Args, shards: usize, append_every: usize, rate: usize) -> Be
     // extent, attribute values copied from a real object (schema-valid).
     let template = engine.dataset().object(0).values.clone();
     let bbox = engine.dataset().bounding_box().expect("non-empty dataset");
+    let fresh_object = |client: usize, seq: usize| -> asrs_data::SpatialObject {
+        let id = 10_000_000 + (client as u64) * 100_000 + seq as u64;
+        let f = ((client * 131 + seq * 17) % 97) as f64 / 97.0;
+        let g = ((client * 29 + seq * 43) % 89) as f64 / 89.0;
+        asrs_data::SpatialObject::new(
+            id,
+            asrs_geo::Point::new(bbox.min_x + bbox.width() * f, bbox.min_y + bbox.height() * g),
+            template.clone(),
+        )
+    };
     let append_bodies_for = |client: usize| -> Vec<String> {
         if append_every == 0 {
             return Vec::new();
@@ -411,18 +454,20 @@ fn run_phase(args: &Args, shards: usize, append_every: usize, rate: usize) -> Be
         let count = args.requests_per_client / append_every + 1;
         (0..count)
             .map(|j| {
-                let id = 10_000_000 + (client as u64) * 100_000 + j as u64;
-                let f = ((client * 131 + j * 17) % 97) as f64 / 97.0;
-                let g = ((client * 29 + j * 43) % 89) as f64 / 89.0;
-                let object = asrs_data::SpatialObject::new(
-                    id,
-                    asrs_geo::Point::new(
-                        bbox.min_x + bbox.width() * f,
-                        bbox.min_y + bbox.height() * g,
-                    ),
-                    template.clone(),
-                );
-                format!("{{\"object\":{}}}", serde::json::to_string(&object))
+                if batch > 1 {
+                    let items: Vec<String> = (0..batch)
+                        .map(|b| {
+                            let object = fresh_object(client, j * batch + b);
+                            format!("{{\"object\":{}}}", serde::json::to_string(&object))
+                        })
+                        .collect();
+                    format!("{{\"items\":[{}]}}", items.join(","))
+                } else {
+                    format!(
+                        "{{\"object\":{}}}",
+                        serde::json::to_string(&fresh_object(client, j))
+                    )
+                }
             })
             .collect()
     };
@@ -450,6 +495,8 @@ fn run_phase(args: &Args, shards: usize, append_every: usize, rate: usize) -> Be
                         requests: args.requests_per_client,
                         append_every,
                         append_bodies,
+                        append_path: if batch > 1 { "/append_batch" } else { "/append" },
+                        append_objects: batch.max(1),
                         schedule: per_client_interval_s.map(|s| (open_loop_start, s)),
                     })
                 })
@@ -501,6 +548,7 @@ fn run_phase(args: &Args, shards: usize, append_every: usize, rate: usize) -> Be
         cache_capacity: args.cache_capacity,
         shards,
         append_every,
+        ingest_batch_size: if append_every > 0 { batch.max(1) } else { 0 },
         open_loop_rate_rps: rate,
         server_workers,
         requests_total: args.clients * args.requests_per_client,
@@ -539,7 +587,14 @@ fn print_report(report: &BenchReport) {
         "Serving load (mixed workload over HTTP/1.1 keep-alive)".to_string()
     };
     if report.append_every > 0 {
-        label.push_str(&format!(" + 1 append per {} queries", report.append_every));
+        if report.ingest_batch_size > 1 {
+            label.push_str(&format!(
+                " + 1 batch of {} per {} queries (/append_batch)",
+                report.ingest_batch_size, report.append_every
+            ));
+        } else {
+            label.push_str(&format!(" + 1 append per {} queries", report.append_every));
+        }
     }
     if report.open_loop_rate_rps > 0 {
         label.push_str(&format!(
@@ -613,9 +668,16 @@ fn check_phase(report: &BenchReport) -> bool {
             eprintln!("FAIL: the mixed phase applied no mutation");
             ok = false;
         }
-        if report.final_generation < report.mutations_applied as u64 {
+        // Group commit folds concurrent mutations (and whole /append_batch
+        // payloads) into one published generation, so the generation counts
+        // *batches*: it must move, and it can never exceed the object count.
+        if report.final_generation == 0 {
+            eprintln!("FAIL: mutations were applied but the generation never moved");
+            ok = false;
+        }
+        if report.final_generation > report.mutations_applied as u64 {
             eprintln!(
-                "FAIL: generation {} < mutations {}",
+                "FAIL: generation {} > mutations {} (more publishes than objects ingested)",
                 report.final_generation, report.mutations_applied
             );
             ok = false;
@@ -894,18 +956,22 @@ fn check_boot(report: &BootBenchReport) -> bool {
 
 fn main() {
     let args = Args::parse();
-    let mut reports: Vec<BenchReport> = vec![run_phase(&args, 0, 0, 0)];
+    let mut reports: Vec<BenchReport> = vec![run_phase(&args, 0, 0, 0, 0)];
     if args.shards > 0 {
-        reports.push(run_phase(&args, args.shards, 0, 0));
+        reports.push(run_phase(&args, args.shards, 0, 0, 0));
     }
     if args.append_every > 0 {
-        // The mutation row: same workload, same shard setting as the last
-        // read-only phase, with live appends interleaved.
-        reports.push(run_phase(&args, args.shards, args.append_every, 0));
+        // The mutation rows: same workload, same shard setting as the last
+        // read-only phase, with live appends interleaved — once with solo
+        // `/append` requests, once with `/append_batch` payloads.
+        reports.push(run_phase(&args, args.shards, args.append_every, 1, 0));
+        if args.batch > 1 {
+            reports.push(run_phase(&args, args.shards, args.append_every, args.batch, 0));
+        }
     }
     // The offered-rate sweep: one open-loop row per requested rate.
     for &rate in &args.rates {
-        reports.push(run_phase(&args, args.shards, 0, rate));
+        reports.push(run_phase(&args, args.shards, 0, 0, rate));
     }
     let boot = args.boot_bench.then(|| run_boot_bench(&args));
 

@@ -793,6 +793,13 @@ pub(crate) struct EngineCore {
 pub(crate) struct EngineShared {
     current: RwLock<Arc<EngineCore>>,
     pub(crate) mutator: Mutex<MutationState>,
+    /// The group-commit queue (`engine.commit_queue`): mutations enqueue
+    /// their commit group here before blocking on the mutator, and
+    /// whichever caller wins the mutator drains *everything* pending into
+    /// one published generation (see the `mutate` module docs).  Acquired
+    /// either alone (to enqueue) or under the mutator (to drain/deposit),
+    /// never across a blocking operation.
+    pub(crate) commit_queue: Mutex<crate::mutate::CommitQueue>,
     /// Durability hook: when attached (see
     /// [`AsrsEngine::attach_durability`]), every mutation is handed to the
     /// sink *before* its generation is published — a failing sink aborts
@@ -806,6 +813,7 @@ impl EngineShared {
         Self {
             current: RwLock::new(Arc::new(core)),
             mutator: Mutex::new(state),
+            commit_queue: Mutex::new(crate::mutate::CommitQueue::default()),
             durability: OnceLock::new(),
         }
     }
@@ -852,6 +860,24 @@ pub trait DurabilitySink: Send + Sync + std::fmt::Debug {
     /// Any error vetoes the mutation; implementations should return
     /// [`AsrsError::Persistence`].
     fn log_mutation(&self, generation: u64, mutation: &Mutation) -> Result<(), AsrsError>;
+
+    /// Records a whole group-committed batch about to be published as
+    /// `generation` — every mutation of the batch shares that one
+    /// generation number.  Implementations should make the entire batch
+    /// durable with **one** fsync; the default forwards frame by frame to
+    /// [`DurabilitySink::log_mutation`], which is correct but syncs per
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Any error vetoes the whole batch; implementations should return
+    /// [`AsrsError::Persistence`].
+    fn log_batch(&self, generation: u64, mutations: &[Mutation]) -> Result<(), AsrsError> {
+        for mutation in mutations {
+            self.log_mutation(generation, mutation)?;
+        }
+        Ok(())
+    }
 }
 
 /// One shard of an exported engine image (see [`EngineState`]).
@@ -1425,9 +1451,45 @@ impl AsrsEngine {
         crate::mutate::remove(&self.shared, id)
     }
 
-    /// Removes every TTL'd object whose deadline has passed, producing one
-    /// new generation per expired object; returns their receipts (empty
-    /// when nothing was due).
+    /// Appends a whole payload of objects (each with an optional TTL) as
+    /// **one atomic commit**: one published generation, one WAL fsync,
+    /// one receipt per object — all sharing the batch's generation.
+    ///
+    /// # Errors
+    ///
+    /// Validation is all-or-nothing: a duplicate id
+    /// ([`AsrsError::DuplicateObjectId`], duplicates *within* the payload
+    /// included) or schema violation ([`AsrsError::Schema`]) anywhere in
+    /// the payload rejects the entire payload without touching the
+    /// dataset.
+    pub fn append_batch(
+        &self,
+        items: Vec<(SpatialObject, Option<Duration>)>,
+    ) -> Result<Vec<MutationReceipt>, AsrsError> {
+        crate::mutate::append_batch(&self.shared, items)
+    }
+
+    /// Applies a replayed WAL batch — every mutation of one logged
+    /// generation — as one atomic commit producing exactly one generation.
+    /// Used by `asrs-persist` during boot replay; `Expire` records apply
+    /// as plain removals.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AsrsEngine::append_batch`] /
+    /// [`AsrsEngine::remove`]: the whole batch is rejected when any record
+    /// fails validation.
+    pub fn apply_mutations(
+        &self,
+        mutations: &[Mutation],
+    ) -> Result<Vec<MutationReceipt>, AsrsError> {
+        crate::mutate::apply_batch(&self.shared, mutations)
+    }
+
+    /// Removes every TTL'd object whose deadline has passed, coalescing
+    /// the whole sweep into **one** new generation (and one WAL fsync);
+    /// returns one receipt per expired object (empty when nothing was
+    /// due).
     pub fn sweep_expired(&self) -> Result<Vec<MutationReceipt>, AsrsError> {
         crate::mutate::sweep_expired(&self.shared)
     }

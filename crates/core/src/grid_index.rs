@@ -54,7 +54,25 @@ pub struct GridIndex {
     /// holds the statistics of all objects located in cells
     /// `[i.., j..)`; the last row/column is identically zero.
     suffix: Vec<f64>,
+    /// Per-cell membership, in dataset order within each cell: who is in
+    /// the cell and what they contributed to its statistics.  Lets
+    /// [`GridIndex::update_remove`] re-derive the affected cell from its
+    /// own members (`O(cell)`) instead of rescanning the whole dataset
+    /// (`O(n)`).  `None` on an index restored from a persisted base table
+    /// — the table alone cannot say who contributed what — in which case
+    /// the first removal materialises the lists with one dataset pass.
+    members: Option<Vec<Vec<CellMember>>>,
     objects_indexed: usize,
+}
+
+/// One object's entry in its cell's membership list: its id and the
+/// statistics vector it contributed (the exact bits
+/// [`GridIndex::build`] folded in, so re-summing a cell from its members
+/// in list order reproduces the rebuild's additions bit-for-bit).
+#[derive(Debug, Clone)]
+struct CellMember {
+    id: u64,
+    contribution: Vec<f64>,
 }
 
 impl GridIndex {
@@ -88,6 +106,7 @@ impl GridIndex {
         let dims = aggregator.stats_dim();
         let width = cols + 1;
         let mut base = vec![0.0; width * (rows + 1) * dims];
+        let mut members: Vec<Vec<CellMember>> = vec![Vec::new(); width * (rows + 1)];
         let mut contrib = vec![0.0; dims];
         // Per-cell accumulation, in dataset order (the order incremental
         // maintenance reproduces — see the type-level documentation).
@@ -99,12 +118,17 @@ impl GridIndex {
             for (k, v) in contrib.iter().enumerate() {
                 base[at + k] += v;
             }
+            members[cell.row * width + cell.col].push(CellMember {
+                id: o.id,
+                contribution: contrib.clone(),
+            });
         }
         let mut index = Self {
             spec,
             stats_dim: dims,
             suffix: vec![0.0; base.len()],
             base,
+            members: Some(members),
             objects_indexed: dataset.len(),
         };
         index.recompute_suffix();
@@ -164,6 +188,14 @@ impl GridIndex {
         for (k, v) in contrib.iter().enumerate() {
             self.base[at + k] += v;
         }
+        if let Some(members) = &mut self.members {
+            // Appends land at the dataset tail, so pushing keeps each
+            // cell's list in dataset order.
+            members[cell.row * width + cell.col].push(CellMember {
+                id: object.id,
+                contribution: contrib,
+            });
+        }
         self.objects_indexed += 1;
         self.recompute_suffix();
     }
@@ -172,12 +204,14 @@ impl GridIndex {
     ///
     /// `removed` is the object that was taken out and `dataset` the
     /// dataset *after* the removal; the removed object's cell is
-    /// re-accumulated from the surviving objects in dataset order (exactly
-    /// the order a rebuild would use — floating-point subtraction cannot
-    /// undo an addition bit-exactly, so the cell is re-derived rather than
-    /// decremented).  The grid geometry must still match
-    /// ([`GridIndex::space_matches`]).  Cost: one `O(n)` scan for the
-    /// affected cell plus the suffix sweep.
+    /// re-accumulated from the surviving members' stored contributions in
+    /// dataset order (exactly the additions a rebuild would run —
+    /// floating-point subtraction cannot undo an addition bit-exactly, so
+    /// the cell is re-derived rather than decremented).  The grid geometry
+    /// must still match ([`GridIndex::space_matches`]).  Cost: `O(cell)`
+    /// via the membership lists plus the suffix sweep; an index restored
+    /// from a persisted base table pays one `O(n)` pass on its first
+    /// removal to materialise the lists.
     pub fn update_remove(
         &mut self,
         removed: &SpatialObject,
@@ -187,18 +221,39 @@ impl GridIndex {
         debug_assert_eq!(aggregator.stats_dim(), self.stats_dim);
         let cell = self.spec.clamped_cell_of_point(&removed.location);
         let width = self.spec.cols() + 1;
-        let at = (cell.row * width + cell.col) * self.stats_dim;
+        let slot = cell.row * width + cell.col;
+        let members = match &mut self.members {
+            Some(members) => {
+                // Dropping the removed member keeps the survivors in
+                // dataset order (dataset removals shift, never reorder).
+                members[slot].retain(|m| m.id != removed.id);
+                members
+            }
+            None => {
+                // Restored index: one dataset pass rebuilds every cell's
+                // list.  `dataset` is post-removal, so the fresh lists
+                // already exclude the removed object.
+                let mut fresh: Vec<Vec<CellMember>> =
+                    vec![Vec::new(); width * (self.spec.rows() + 1)];
+                let mut contrib = vec![0.0; self.stats_dim];
+                for o in dataset.objects() {
+                    let c = self.spec.clamped_cell_of_point(&o.location);
+                    contrib.iter_mut().for_each(|v| *v = 0.0);
+                    aggregator.accumulate_object(o, &mut contrib);
+                    fresh[c.row * width + c.col].push(CellMember {
+                        id: o.id,
+                        contribution: contrib.clone(),
+                    });
+                }
+                self.members.insert(fresh)
+            }
+        };
+        let at = slot * self.stats_dim;
         self.base[at..at + self.stats_dim]
             .iter_mut()
             .for_each(|v| *v = 0.0);
-        let mut contrib = vec![0.0; self.stats_dim];
-        for o in dataset.objects() {
-            if self.spec.clamped_cell_of_point(&o.location) != cell {
-                continue;
-            }
-            contrib.iter_mut().for_each(|v| *v = 0.0);
-            aggregator.accumulate_object(o, &mut contrib);
-            for (k, v) in contrib.iter().enumerate() {
+        for member in &members[slot] {
+            for (k, v) in member.contribution.iter().enumerate() {
                 self.base[at + k] += v;
             }
         }
@@ -251,6 +306,9 @@ impl GridIndex {
             stats_dim,
             suffix: vec![0.0; base.len()],
             base,
+            // The base table cannot say which object contributed what;
+            // the first removal materialises the lists from the dataset.
+            members: None,
             objects_indexed,
         };
         index.recompute_suffix();
@@ -292,7 +350,21 @@ impl GridIndex {
     /// Approximate memory footprint of the index in bytes (the paper's
     /// Table 1 "index size" column).
     pub fn memory_bytes(&self) -> usize {
+        let member_bytes = self.members.as_ref().map_or(0, |members| {
+            members
+                .iter()
+                .map(|cell| {
+                    cell.len() * std::mem::size_of::<CellMember>()
+                        + cell
+                            .iter()
+                            .map(|m| m.contribution.len() * std::mem::size_of::<f64>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+                + members.len() * std::mem::size_of::<Vec<CellMember>>()
+        });
         (self.suffix.len() + self.base.len()) * std::mem::size_of::<f64>()
+            + member_bytes
             + std::mem::size_of::<Self>()
     }
 

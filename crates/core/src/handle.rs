@@ -127,6 +127,16 @@ impl EngineHandle {
         crate::mutate::remove(&self.shared, id)
     }
 
+    /// Appends a whole payload as one atomic commit — one generation, one
+    /// WAL fsync, one receipt per object (see
+    /// [`AsrsEngine::append_batch`](crate::AsrsEngine::append_batch)).
+    pub fn append_batch(
+        &self,
+        items: Vec<(SpatialObject, Option<Duration>)>,
+    ) -> Result<Vec<MutationReceipt>, AsrsError> {
+        crate::mutate::append_batch(&self.shared, items)
+    }
+
     /// Expires every TTL'd object whose deadline has passed (see
     /// [`AsrsEngine::sweep_expired`](crate::AsrsEngine::sweep_expired)).
     pub fn sweep_expired(&self) -> Result<Vec<MutationReceipt>, AsrsError> {

@@ -14,6 +14,28 @@
 //! therefore finish on the generation they started on — no torn reads, no
 //! locks on the query path beyond the snapshot.
 //!
+//! # Group commit
+//!
+//! Mutations do not race for the mutator directly: each caller first
+//! enqueues its *commit group* (one op for [`append`]/[`remove`], a whole
+//! payload for [`append_batch`]) on the commit queue
+//! (`engine.commit_queue`), then blocks on the mutator.  Whoever acquires
+//! the mutator drains **every** pending group — its own plus any enqueued
+//! by callers still blocked behind it — applies them all to a single
+//! successor core, writes all their WAL frames with **one fsync**, and
+//! publishes **one** generation.  The receipts of the folded groups are
+//! deposited under their tickets; when a blocked caller finally gets the
+//! mutator it finds its receipts waiting and returns without touching the
+//! engine.  Coalescing therefore happens exactly under contention: an
+//! uncontended mutation drains only itself and publishes a batch of one,
+//! preserving the historical one-generation-per-mutation behaviour of
+//! sequential callers.  [`sweep_expired`] is a batch leader too: one sweep
+//! folds every due expiry *and* every pending group into one generation.
+//!
+//! Each group is atomic — it is validated in full against the evolving id
+//! set before the dataset is touched, and an invalid group fails alone
+//! while its batch-mates still commit.
+//!
 //! # Rebuild equivalence
 //!
 //! The invariant every mutation upholds: the published core is
@@ -25,10 +47,14 @@
 //! [`GridIndex::update_remove`](crate::GridIndex::update_remove), with a
 //! rebuild fallback whenever the padded grid geometry moves or the applied
 //! delta crosses [`MutationPolicy::index_rebuild_fraction`]), and planner
-//! statistics recaptured per generation.  `tests/mutation_parity.rs`
-//! enforces the consequence end-to-end: query responses from a mutated
-//! engine are byte-identical to a fresh engine rebuilt from the equivalent
-//! final dataset, for shard counts {1, 2, 4}, cache enabled.
+//! statistics recaptured per generation.  A coalesced batch applies its
+//! ops *in serialization order* through the exact per-delta maintenance a
+//! sequence of solo mutations would run, so batching never changes
+//! answers.  `tests/mutation_parity.rs` enforces the consequence
+//! end-to-end: query responses from a mutated engine are byte-identical to
+//! a fresh engine rebuilt from the equivalent final dataset, for shard
+//! counts {1, 2, 4}, cache enabled — batched and sequential application
+//! alike.
 //!
 //! Sharded engines route an append to the shard whose region contains the
 //! object (removals to the shard holding the id) and maintain only that
@@ -52,12 +78,12 @@ use crate::engine::{EngineCore, EngineShared, IndexUpkeep};
 use crate::error::AsrsError;
 use crate::grid_index::GridIndex;
 use crate::planner::{EngineStatistics, IndexStatistics};
-use crate::shard::{build_shard_set, EngineShard, ShardSet};
+use crate::shard::{build_shard_set, ShardSet};
 use asrs_aggregator::CompositeAggregator;
 use asrs_data::{Dataset, Mutation, MutationLog, SpatialObject};
 use serde::Serialize;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -110,28 +136,36 @@ pub enum IndexMaintenance {
 }
 
 /// The outcome of one applied mutation, stamped with the generation it
-/// produced.  Serialized verbatim by the server's `POST /append` and
-/// `DELETE /objects/{id}` responses.
+/// produced.  Serialized verbatim by the server's `POST /append`,
+/// `POST /append_batch` and `DELETE /objects/{id}` responses.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MutationReceipt {
     /// `"append"`, `"remove"` or `"expire"`.
     pub kind: String,
     /// Id of the affected object.
     pub id: u64,
-    /// Generation of the engine state after the mutation.
+    /// Generation of the engine state after the mutation.  Mutations
+    /// coalesced into one group commit share a generation.
     pub generation: u64,
-    /// Objects in the dataset after the mutation.
+    /// Objects in the dataset after this mutation applied (within a
+    /// coalesced batch: after this op's position in serialization order).
     pub object_count: usize,
-    /// How the index(es) were maintained.
+    /// How the index(es) were maintained for this op.
     pub index: IndexMaintenance,
-    /// Whether the mutation triggered a full shard re-partition.
+    /// Whether this op triggered a full shard re-partition.
     pub repartitioned: bool,
+    /// How many mutations were folded into the published generation —
+    /// 1 for an uncontended mutation, more when concurrent mutations (or a
+    /// bulk `append_batch`) coalesced into one commit.
+    pub batch: usize,
 }
 
 /// Mutation counters for observability, served by `/metrics`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MutationStats {
-    /// Current engine generation.
+    /// Current engine generation.  With group commit this counts *published
+    /// batches*, so it is at most (and under contention less than) the sum
+    /// of the applied-mutation counters below.
     pub generation: u64,
     /// Objects currently in the dataset.
     pub object_count: usize,
@@ -203,91 +237,187 @@ impl MutationState {
     }
 }
 
-/// What a mutation did to the dataset, borrowed for the maintenance paths.
-#[derive(Debug, Clone, Copy)]
-enum Delta<'a> {
-    Append(&'a SpatialObject),
-    Remove(&'a SpatialObject),
+/// One mutation inside a commit group.
+#[derive(Debug, Clone)]
+pub(crate) enum BatchOp {
+    /// Append `object`; a TTL arms after the batch publishes.
+    Append {
+        object: SpatialObject,
+        ttl: Option<Duration>,
+    },
+    /// Caller-initiated removal of the object with this id.
+    Remove { id: u64 },
+    /// TTL-expiry removal of the object with this id.  Live sweeps feed
+    /// expiries into the batch directly; this variant carries *replayed*
+    /// expiries (WAL recovery), which skip the TTL bookkeeping.
+    Expire { id: u64 },
 }
 
-/// Applies an append (optionally TTL'd) and publishes the new generation.
+/// A group of mutations committed atomically under one queue ticket:
+/// either every op applies — all sharing the published generation — or
+/// none does and the caller gets the group's error.  Solo mutations are
+/// groups of one.
+#[derive(Debug)]
+struct PendingGroup {
+    ticket: u64,
+    ops: Vec<BatchOp>,
+}
+
+/// The group-commit queue behind `EngineShared::commit_queue`
+/// (lock identity `engine.commit_queue`).
+///
+/// Lock order: a caller enqueues while holding **only** this lock, then
+/// releases it before blocking on `engine.mutator`; the batch leader
+/// re-acquires it *under* the mutator to drain and to deposit — so the one
+/// acquisition-order edge is `engine.mutator → engine.commit_queue`, and
+/// the queue lock is never held across publish, fsync or any other
+/// blocking operation.
+#[derive(Debug, Default)]
+pub(crate) struct CommitQueue {
+    next_ticket: u64,
+    pending: Vec<PendingGroup>,
+    /// Receipts (or errors) of groups another mutator folded into its
+    /// batch, keyed by ticket, awaiting pickup by their blocked callers.
+    deposits: HashMap<u64, Result<Vec<MutationReceipt>, AsrsError>>,
+}
+
+impl CommitQueue {
+    fn enqueue(&mut self, ops: Vec<BatchOp>) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.pending.push(PendingGroup { ticket, ops });
+        ticket
+    }
+}
+
+/// Applies an append (optionally TTL'd) through the group commit and
+/// returns its receipt.
 pub(crate) fn append(
     shared: &EngineShared,
     object: SpatialObject,
     ttl: Option<Duration>,
 ) -> Result<MutationReceipt, AsrsError> {
+    sole(commit(shared, vec![BatchOp::Append { object, ttl }])?)
+}
+
+/// Applies a removal through the group commit and returns its receipt.
+/// Any pending TTL on the id is disarmed — a later re-append under the
+/// same id starts with a clean slate.
+pub(crate) fn remove(shared: &EngineShared, id: u64) -> Result<MutationReceipt, AsrsError> {
+    sole(commit(shared, vec![BatchOp::Remove { id }])?)
+}
+
+/// Applies a whole payload of appends as **one atomic commit group**: one
+/// published generation, one WAL fsync, all-or-nothing validation (a
+/// duplicate or schema-violating object fails the entire payload without
+/// touching the dataset).  Returns one receipt per object, all sharing the
+/// batch's generation.
+pub(crate) fn append_batch(
+    shared: &EngineShared,
+    items: Vec<(SpatialObject, Option<Duration>)>,
+) -> Result<Vec<MutationReceipt>, AsrsError> {
+    commit(
+        shared,
+        items
+            .into_iter()
+            .map(|(object, ttl)| BatchOp::Append { object, ttl })
+            .collect(),
+    )
+}
+
+/// Applies a replayed WAL batch — every mutation of one logged generation
+/// — as one atomic commit group producing exactly one generation, so a
+/// recovered engine's generation counter lands where the log says it
+/// should.  Replayed `Expire` records apply as plain removals (there is no
+/// armed TTL state at boot).
+pub(crate) fn apply_batch(
+    shared: &EngineShared,
+    mutations: &[Mutation],
+) -> Result<Vec<MutationReceipt>, AsrsError> {
+    commit(
+        shared,
+        mutations
+            .iter()
+            .map(|m| match m {
+                Mutation::Append { object } => BatchOp::Append {
+                    object: object.clone(),
+                    ttl: None,
+                },
+                Mutation::Remove { id } => BatchOp::Remove { id: *id },
+                Mutation::Expire { id } => BatchOp::Expire { id: *id },
+            })
+            .collect(),
+    )
+}
+
+fn sole(receipts: Vec<MutationReceipt>) -> Result<MutationReceipt, AsrsError> {
+    match receipts.into_iter().next() {
+        Some(receipt) => Ok(receipt),
+        None => Err(AsrsError::Internal {
+            message: "single-mutation commit returned no receipt".to_string(),
+        }),
+    }
+}
+
+/// Commits one group through the group-commit queue (see the module
+/// documentation): enqueue, block on the mutator, then either pick up the
+/// receipts a faster leader deposited or drain everything pending and
+/// publish one batch.
+pub(crate) fn commit(
+    shared: &EngineShared,
+    ops: Vec<BatchOp>,
+) -> Result<Vec<MutationReceipt>, AsrsError> {
+    if ops.is_empty() {
+        return Ok(Vec::new());
+    }
+    let ticket = {
+        // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
+        let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
+        queue.enqueue(ops)
+    };
     // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
     // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
-    let core = shared.load();
-    if core.dataset.contains_id(object.id) {
-        return Err(AsrsError::DuplicateObjectId { id: object.id });
-    }
-    let mut dataset = (*core.dataset).clone();
-    dataset.append(object.clone())?;
-    let receipt = publish(
-        shared,
-        &mut state,
-        &core,
-        dataset,
-        Delta::Append(&object),
-        "append",
-        object.id,
-    )?;
-    if let Some(ttl) = ttl {
-        // `checked_add` keeps absurd TTLs (u64::MAX ms ≈ 584 million
-        // years) from panicking while the mutation mutex is held — an
-        // unrepresentable deadline simply never expires, which is what it
-        // means.
-        if let Some(deadline) = Instant::now().checked_add(ttl) {
-            state.ttl_token += 1;
-            let token = state.ttl_token;
-            state.ttl_armed.insert(object.id, token);
-            state.ttl.push(Reverse(TtlEntry {
-                deadline,
-                id: object.id,
-                token,
-            }));
+    let drained = {
+        // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
+        let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
+        if let Some(result) = queue.deposits.remove(&ticket) {
+            // A faster mutator folded this group into its batch while we
+            // were blocked; the engine is already past our commit.
+            return result;
+        }
+        std::mem::take(&mut queue.pending)
+    };
+    let (_, outcomes) = publish(shared, &mut state, Vec::new(), drained);
+    let mut own = Err(AsrsError::Internal {
+        message: format!("group commit lost ticket {ticket}"),
+    });
+    // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
+    let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
+    for (t, result) in outcomes {
+        if t == ticket {
+            own = result;
+        } else {
+            queue.deposits.insert(t, result);
         }
     }
-    Ok(receipt)
+    drop(queue);
+    own
 }
 
-/// Applies a removal and publishes the new generation.  Any pending TTL on
-/// the id is disarmed — a later re-append under the same id starts with a
-/// clean slate.
-pub(crate) fn remove(shared: &EngineShared, id: u64) -> Result<MutationReceipt, AsrsError> {
-    // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
-    // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
-    let mut state = shared.mutator.lock().expect("mutation lock poisoned");
-    let core = shared.load();
-    let mut dataset = (*core.dataset).clone();
-    let removed = dataset
-        .remove_by_id(id)
-        .ok_or(AsrsError::UnknownObjectId { id })?;
-    let receipt = publish(
-        shared,
-        &mut state,
-        &core,
-        dataset,
-        Delta::Remove(&removed),
-        "remove",
-        id,
-    )?;
-    state.ttl_armed.remove(&id);
-    Ok(receipt)
-}
-
-/// Expires every TTL'd object whose deadline has passed.  A popped heap
-/// entry only fires while its token is still the armed one for its id:
-/// ids removed by a caller (or re-appended since) were disarmed and fall
-/// through without touching the dataset.
+/// Expires every TTL'd object whose deadline has passed — as **one**
+/// published generation and one WAL fsync for the whole sweep.  A popped
+/// heap entry only fires while its token is still the armed one for its
+/// id: ids removed by a caller (or re-appended since) were disarmed and
+/// fall through without touching the dataset.  The sweep is itself a batch
+/// leader: any commit groups enqueued behind the mutator are folded into
+/// the sweep's generation.
 pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt>, AsrsError> {
     // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
     // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let now = Instant::now();
-    let mut receipts = Vec::new();
+    let mut expiries = Vec::new();
     loop {
         let due = matches!(state.ttl.peek(), Some(Reverse(entry)) if entry.deadline <= now);
         if !due {
@@ -300,22 +430,24 @@ pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt
             continue;
         }
         state.ttl_armed.remove(&entry.id);
-        let core = shared.load();
-        let mut dataset = (*core.dataset).clone();
-        let Some(removed) = dataset.remove_by_id(entry.id) else {
-            continue;
-        };
-        receipts.push(publish(
-            shared,
-            &mut state,
-            &core,
-            dataset,
-            Delta::Remove(&removed),
-            "expire",
-            entry.id,
-        )?);
+        expiries.push(entry.id);
     }
-    Ok(receipts)
+    let drained = {
+        // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
+        let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
+        std::mem::take(&mut queue.pending)
+    };
+    if expiries.is_empty() && drained.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (expired, outcomes) = publish(shared, &mut state, expiries, drained);
+    // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
+    let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
+    for (t, result) in outcomes {
+        queue.deposits.insert(t, result);
+    }
+    drop(queue);
+    expired
 }
 
 /// A snapshot of the bounded mutation log.
@@ -347,87 +479,287 @@ pub(crate) fn stats_snapshot(shared: &EngineShared) -> MutationStats {
     }
 }
 
-/// Assembles the successor core for `dataset` (the post-mutation dataset)
-/// and publishes it.  Called with the mutation mutex held.
+/// One accepted op in serialization order: provenance (`None` = sweep
+/// expiry, `Some(i)` = the i-th drained group) plus the op itself.
+type PlannedOp = (Option<usize>, BatchOp);
+
+/// Everything a successfully applied batch produced, pending the
+/// WAL-then-swap commit point.
+struct AssembledBatch {
+    next: EngineCore,
+    receipts: Vec<(Option<usize>, MutationReceipt)>,
+    logged: Vec<Mutation>,
+    /// TTLs to arm once the batch is published: `(id, ttl)`.
+    arm: Vec<(u64, Duration)>,
+    /// Ids whose pending TTL a caller-removal disarms.
+    disarm: Vec<u64>,
+}
+
+/// Applies the sweep's expiries and every drained group to **one**
+/// successor core and publishes it: the group-commit fold.  Called with
+/// the mutation mutex held.
+///
+/// Expiries serialize *before* the groups (the sweep popped them before
+/// draining), so a queued re-append of an expired id lands after its
+/// expiry.  Each group is validated in full against the evolving id set
+/// before the dataset is touched; an invalid group fails alone — its
+/// batch-mates still commit.  A failure *after* validation (index rebuild,
+/// statistics capture, WAL write) aborts the whole batch: nothing
+/// publishes and every participant sees that error.
+///
+/// Returns the expiries' own outcome plus one `(ticket, outcome)` pair per
+/// drained group.
 fn publish(
     shared: &EngineShared,
     state: &mut MutationState,
-    core: &Arc<EngineCore>,
-    dataset: Dataset,
-    delta: Delta<'_>,
-    kind: &'static str,
-    id: u64,
-) -> Result<MutationReceipt, AsrsError> {
-    let generation = core.generation + 1;
-    let mut index_maintenance = IndexMaintenance::NotIndexed;
-    let mut repartitioned = false;
+    expiries: Vec<u64>,
+    groups: Vec<PendingGroup>,
+) -> (
+    Result<Vec<MutationReceipt>, AsrsError>,
+    Vec<(u64, Result<Vec<MutationReceipt>, AsrsError>)>,
+) {
+    let core = shared.load();
 
-    // Top-level index upkeep: unsharded engines, and sharded engines that
-    // serve statistics from an attached whole-dataset index.
-    let index: Option<Arc<GridIndex>> = match core.upkeep {
-        IndexUpkeep::PerEngine { cols, rows } => {
-            let (next, how) = maintain_index(
-                core.index.as_deref(),
-                &dataset,
-                &core.aggregator,
-                cols,
-                rows,
-                delta,
-                state,
-                Some(&core.policy),
-            )?;
-            index_maintenance = how;
-            next.map(Arc::new)
+    // Validation pass: replay the batch against the current id set so a
+    // group is accepted or rejected in full before anything applies.
+    let mut live: HashSet<u64> = core.dataset.objects().iter().map(|o| o.id).collect();
+    let mut plan: Vec<PlannedOp> = Vec::new();
+    for id in expiries {
+        // A disarmed-and-vanished id falls through receipt-less, exactly
+        // as the per-object sweep used to skip it.
+        if live.remove(&id) {
+            plan.push((None, BatchOp::Expire { id }));
         }
-        IndexUpkeep::None | IndexUpkeep::PerShard { .. } => None,
-    };
-
-    // Shard upkeep: route the delta to the owning shard, or re-partition
-    // when the layout no longer fits.
-    let shards: Option<ShardSet> = match &core.shards {
-        None => None,
-        Some(set) => {
-            let needs_repartition = match delta {
-                Delta::Append(object) => match owning_shard_for_point(set, object) {
-                    None => true,
-                    Some(owner) => {
-                        let new_len = set.shards[owner].core.dataset.len() + 1;
-                        let fair = (dataset.len() as f64 / set.len() as f64).max(1.0);
-                        new_len as f64 > core.policy.shard_imbalance_factor * fair
+    }
+    let mut verdicts: Vec<(u64, Result<(), AsrsError>)> = Vec::with_capacity(groups.len());
+    for (slot, group) in groups.into_iter().enumerate() {
+        let mut added: Vec<u64> = Vec::new();
+        let mut dropped: Vec<u64> = Vec::new();
+        let mut error: Option<AsrsError> = None;
+        for op in &group.ops {
+            match op {
+                BatchOp::Append { object, .. } => {
+                    if live.contains(&object.id) {
+                        error = Some(AsrsError::DuplicateObjectId { id: object.id });
+                        break;
                     }
-                },
-                Delta::Remove(_) => false,
-            };
-            if needs_repartition {
-                repartitioned = true;
-                state.repartitions += 1;
-                // A re-partition rebuilds every populated shard's index
-                // from scratch inside `build_shard_set`; the receipt and
-                // the rebuild counter must say so.
-                if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
-                    index_maintenance = IndexMaintenance::Rebuilt;
-                    state.index_rebuilds += 1;
+                    if let Err(e) = core.dataset.schema().validate_values(&object.values) {
+                        error = Some(e.into());
+                        break;
+                    }
+                    live.insert(object.id);
+                    added.push(object.id);
                 }
-                Some(build_shard_set(
-                    &dataset,
-                    &core.aggregator,
-                    &core.config,
-                    core.strategy,
-                    &core.planner,
-                    core.upkeep,
-                    set.len(),
-                    generation,
-                    &core.policy,
-                )?)
-            } else {
-                let (set, how) = update_shard_set(core, set, delta, generation, state)?;
-                if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
-                    index_maintenance = how;
+                BatchOp::Remove { id } | BatchOp::Expire { id } => {
+                    if !live.remove(id) {
+                        error = Some(AsrsError::UnknownObjectId { id: *id });
+                        break;
+                    }
+                    dropped.push(*id);
                 }
-                Some(set)
             }
         }
+        match error {
+            Some(e) => {
+                // Roll the rejected group's tentative id edits back so the
+                // groups behind it validate against the true state.
+                for id in added {
+                    live.remove(&id);
+                }
+                for id in dropped {
+                    live.insert(id);
+                }
+                verdicts.push((group.ticket, Err(e)));
+            }
+            None => {
+                for op in group.ops {
+                    plan.push((Some(slot), op));
+                }
+                verdicts.push((group.ticket, Ok(())));
+            }
+        }
+    }
+
+    if plan.is_empty() {
+        // Every group failed validation (or there was nothing to do): the
+        // engine stays on `core`, no generation publishes.
+        let outcomes = verdicts
+            .into_iter()
+            .map(|(t, v)| (t, v.map(|()| Vec::new())))
+            .collect();
+        return (Ok(Vec::new()), outcomes);
+    }
+
+    let generation = core.generation + 1;
+    let assembled = match assemble(&core, state, plan, generation) {
+        Ok(assembled) => assembled,
+        Err(e) => return fail_batch(verdicts, e),
     };
+
+    // Write-ahead: the durability sink must accept the whole batch —
+    // every frame, one fsync — *before* the generation becomes visible.
+    // A sink failure aborts the batch: the assembled core is dropped, the
+    // engine stays on `core`, and every participant sees the error
+    // instead of an acknowledgement the log lost.
+    if let Some(sink) = shared.durability.get() {
+        if let Err(e) = sink.log_batch(generation, &assembled.logged) {
+            return fail_batch(verdicts, e);
+        }
+    }
+    shared.swap(Arc::new(assembled.next));
+    for logged in assembled.logged {
+        state.log.record(generation, logged);
+    }
+    for id in assembled.disarm {
+        state.ttl_armed.remove(&id);
+    }
+    for (id, ttl) in assembled.arm {
+        // `checked_add` keeps absurd TTLs (u64::MAX ms ≈ 584 million
+        // years) from panicking while the mutation mutex is held — an
+        // unrepresentable deadline simply never expires, which is what it
+        // means.
+        if let Some(deadline) = Instant::now().checked_add(ttl) {
+            state.ttl_token += 1;
+            let token = state.ttl_token;
+            state.ttl_armed.insert(id, token);
+            state.ttl.push(Reverse(TtlEntry {
+                deadline,
+                id,
+                token,
+            }));
+        }
+    }
+
+    // Distribute the receipts back to their groups.
+    let mut expired: Vec<MutationReceipt> = Vec::new();
+    let mut per_group: Vec<Vec<MutationReceipt>> = Vec::new();
+    per_group.resize_with(verdicts.len(), Vec::new);
+    for (slot, receipt) in assembled.receipts {
+        match slot {
+            None => expired.push(receipt),
+            Some(slot) => per_group[slot].push(receipt),
+        }
+    }
+    let outcomes = verdicts
+        .into_iter()
+        .enumerate()
+        .map(|(slot, (ticket, verdict))| {
+            (
+                ticket,
+                verdict.map(|()| std::mem::take(&mut per_group[slot])),
+            )
+        })
+        .collect();
+    (Ok(expired), outcomes)
+}
+
+/// Batch-level failure: every group that passed validation fails with the
+/// batch's error; groups that failed validation keep their own.
+fn fail_batch(
+    verdicts: Vec<(u64, Result<(), AsrsError>)>,
+    error: AsrsError,
+) -> (
+    Result<Vec<MutationReceipt>, AsrsError>,
+    Vec<(u64, Result<Vec<MutationReceipt>, AsrsError>)>,
+) {
+    let outcomes = verdicts
+        .into_iter()
+        .map(|(t, v)| {
+            (
+                t,
+                match v {
+                    Ok(()) => Err(error.clone()),
+                    Err(e) => Err(e),
+                },
+            )
+        })
+        .collect();
+    (Err(error), outcomes)
+}
+
+/// Applies the validated plan to a single successor core: one dataset
+/// clone, per-op index/shard maintenance in serialization order (exactly
+/// what a sequence of solo mutations would run, so batched and sequential
+/// application are bit-identical), then one statistics capture and one
+/// core assembly.
+fn assemble(
+    core: &Arc<EngineCore>,
+    state: &mut MutationState,
+    plan: Vec<PlannedOp>,
+    generation: u64,
+) -> Result<AssembledBatch, AsrsError> {
+    let batch = plan.len();
+    let mut dataset = (*core.dataset).clone();
+    let mut index: Option<Arc<GridIndex>> = core.index.clone();
+    let mut shards: Option<ShardSet> = core.shards.as_ref().map(ShardSet::carry_over);
+    let mut receipts: Vec<(Option<usize>, MutationReceipt)> = Vec::with_capacity(batch);
+    let mut logged: Vec<Mutation> = Vec::with_capacity(batch);
+    let mut arm: Vec<(u64, Duration)> = Vec::new();
+    let mut disarm: Vec<u64> = Vec::new();
+
+    for (slot, op) in plan {
+        let (kind, id, how, repartitioned) = match op {
+            BatchOp::Append { object, ttl } => {
+                dataset.append(object.clone())?;
+                let (how, repartitioned) = fold_delta(
+                    core,
+                    state,
+                    &dataset,
+                    &mut index,
+                    &mut shards,
+                    Delta::Append(&object),
+                    generation,
+                )?;
+                if let Some(ttl) = ttl {
+                    arm.push((object.id, ttl));
+                }
+                let id = object.id;
+                logged.push(Mutation::Append { object });
+                ("append", id, how, repartitioned)
+            }
+            BatchOp::Remove { id } => {
+                let removed = take_by_id(&mut dataset, id)?;
+                let (how, repartitioned) = fold_delta(
+                    core,
+                    state,
+                    &dataset,
+                    &mut index,
+                    &mut shards,
+                    Delta::Remove(&removed),
+                    generation,
+                )?;
+                disarm.push(id);
+                logged.push(Mutation::Remove { id });
+                ("remove", id, how, repartitioned)
+            }
+            BatchOp::Expire { id } => {
+                let removed = take_by_id(&mut dataset, id)?;
+                let (how, repartitioned) = fold_delta(
+                    core,
+                    state,
+                    &dataset,
+                    &mut index,
+                    &mut shards,
+                    Delta::Remove(&removed),
+                    generation,
+                )?;
+                logged.push(Mutation::Expire { id });
+                ("expire", id, how, repartitioned)
+            }
+        };
+        receipts.push((
+            slot,
+            MutationReceipt {
+                kind: kind.to_string(),
+                id,
+                generation,
+                object_count: dataset.len(),
+                index: how,
+                repartitioned,
+                batch,
+            },
+        ));
+    }
 
     // Statistics are recaptured per generation, mirroring the builder
     // paths exactly so mutated and rebuilt engines plan identically.
@@ -443,7 +775,6 @@ fn publish(
         statistics.shards = Some(set.fan_out());
     }
 
-    let object_count = dataset.len();
     let next = EngineCore {
         generation,
         dataset: Arc::new(dataset),
@@ -458,13 +789,6 @@ fn publish(
         policy: core.policy.clone(),
         shards,
     };
-    let logged = match (kind, delta) {
-        (_, Delta::Append(object)) => Mutation::Append {
-            object: object.clone(),
-        },
-        ("expire", Delta::Remove(_)) => Mutation::Expire { id },
-        (_, Delta::Remove(_)) => Mutation::Remove { id },
-    };
     // Debug builds audit every assembled successor before it publishes:
     // the whole mutation-parity and persistence-recovery suites therefore
     // run under continuous invariant audit, while release builds compile
@@ -474,29 +798,113 @@ fn publish(
         let report = crate::audit::audit_core(&next);
         debug_assert!(
             report.is_clean(),
-            "invariant audit failed publishing generation {generation} ({kind} of {id}): {:#?}",
+            "invariant audit failed publishing generation {generation} (batch of {batch}): {:#?}",
             report.findings
         );
     }
-
-    // Write-ahead: the durability sink must accept the mutation *before*
-    // the generation becomes visible.  A sink failure aborts the mutation
-    // — the assembled core is dropped, the engine stays on `core`, and the
-    // caller sees the error instead of an acknowledgement the log lost.
-    if let Some(sink) = shared.durability.get() {
-        sink.log_mutation(generation, &logged)?;
-    }
-    shared.swap(Arc::new(next));
-    state.log.record(generation, logged);
-
-    Ok(MutationReceipt {
-        kind: kind.to_string(),
-        id,
-        generation,
-        object_count,
-        index: index_maintenance,
-        repartitioned,
+    Ok(AssembledBatch {
+        next,
+        receipts,
+        logged,
+        arm,
+        disarm,
     })
+}
+
+/// Removes a validated id from the working dataset; its absence at this
+/// point is an engine bug, not caller input.
+fn take_by_id(dataset: &mut Dataset, id: u64) -> Result<SpatialObject, AsrsError> {
+    dataset.remove_by_id(id).ok_or(AsrsError::Internal {
+        message: format!("validated id {id} vanished from the working dataset"),
+    })
+}
+
+/// What a mutation did to the dataset, borrowed for the maintenance paths.
+#[derive(Debug, Clone, Copy)]
+enum Delta<'a> {
+    Append(&'a SpatialObject),
+    Remove(&'a SpatialObject),
+}
+
+/// Folds one delta into the working index and shard table — the per-op
+/// maintenance step of a batch, identical to what one solo mutation used
+/// to run.  `dataset` is the working dataset *after* the delta applied.
+/// Returns what happened to the index(es) and whether the delta
+/// re-partitioned.
+fn fold_delta(
+    core: &EngineCore,
+    state: &mut MutationState,
+    dataset: &Dataset,
+    index: &mut Option<Arc<GridIndex>>,
+    shards: &mut Option<ShardSet>,
+    delta: Delta<'_>,
+    generation: u64,
+) -> Result<(IndexMaintenance, bool), AsrsError> {
+    let mut index_maintenance = IndexMaintenance::NotIndexed;
+    let mut repartitioned = false;
+
+    // Top-level index upkeep: unsharded engines, and sharded engines that
+    // serve statistics from an attached whole-dataset index.
+    if let IndexUpkeep::PerEngine { cols, rows } = core.upkeep {
+        let (next, how) = maintain_index(
+            index.as_deref(),
+            dataset,
+            &core.aggregator,
+            cols,
+            rows,
+            delta,
+            state,
+            Some(&core.policy),
+        )?;
+        index_maintenance = how;
+        *index = next.map(Arc::new);
+    }
+
+    // Shard upkeep: route the delta to the owning shard, or re-partition
+    // when the layout no longer fits.
+    if let Some(set) = shards.take() {
+        let needs_repartition = match delta {
+            Delta::Append(object) => match owning_shard_for_point(&set, object) {
+                None => true,
+                Some(owner) => {
+                    let new_len = set.shards[owner].core.dataset.len() + 1;
+                    let fair = (dataset.len() as f64 / set.len() as f64).max(1.0);
+                    new_len as f64 > core.policy.shard_imbalance_factor * fair
+                }
+            },
+            Delta::Remove(_) => false,
+        };
+        let next = if needs_repartition {
+            repartitioned = true;
+            state.repartitions += 1;
+            // A re-partition rebuilds every populated shard's index
+            // from scratch inside `build_shard_set`; the receipt and
+            // the rebuild counter must say so.
+            if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
+                index_maintenance = IndexMaintenance::Rebuilt;
+                state.index_rebuilds += 1;
+            }
+            build_shard_set(
+                dataset,
+                &core.aggregator,
+                &core.config,
+                core.strategy,
+                &core.planner,
+                core.upkeep,
+                set.len(),
+                generation,
+                &core.policy,
+            )?
+        } else {
+            let (next, how) = update_shard_set(core, &set, delta, generation, state)?;
+            if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
+                index_maintenance = how;
+            }
+            next
+        };
+        *shards = Some(next);
+    }
+    Ok((index_maintenance, repartitioned))
 }
 
 /// Maintains one grid index under `delta`: incremental when the grid
@@ -635,7 +1043,7 @@ fn update_shard_set(
         } else {
             Arc::clone(&shard.core)
         };
-        shards.push(EngineShard {
+        shards.push(crate::shard::EngineShard {
             region: shard.region,
             core: new_core,
             requests: AtomicU64::new(shard.requests.load(Ordering::Relaxed)),

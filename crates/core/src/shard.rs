@@ -101,6 +101,24 @@ impl ShardSet {
         self.shards.len()
     }
 
+    /// A working copy for a group-commit batch: every shard core is
+    /// `Arc`-shared with `self` (an untouched shard costs one refcount),
+    /// serving counters carried over.  The batch's per-op shard
+    /// maintenance then replaces only the cores its deltas touch.
+    pub(crate) fn carry_over(&self) -> Self {
+        Self {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| EngineShard {
+                    region: s.region,
+                    core: Arc::clone(&s.core),
+                    requests: AtomicU64::new(s.requests.load(Ordering::Relaxed)),
+                })
+                .collect(),
+        }
+    }
+
     /// Per-shard scattered-execution counts, in shard order.
     pub(crate) fn request_counts(&self) -> Vec<u64> {
         self.shards

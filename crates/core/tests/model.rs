@@ -87,6 +87,7 @@ fn protocol_explorer() -> Explorer {
             ("engine.mutator", "engine.epoch"),
             ("engine.mutator", "cache.shard"),
             ("engine.mutator", "persist.wal"),
+            ("engine.mutator", "engine.commit_queue"),
         ])
         .allow_blocking("fsync", "persist.wal")
         .allow_blocking("fsync", "engine.mutator")
@@ -129,6 +130,117 @@ fn publish_read_cache_audit_protocol_is_schedule_clean() {
         report.schedules > 100,
         "expected a non-trivial schedule space, got {}",
         report.schedules
+    );
+    for (from, to) in &report.edges {
+        assert_eq!(from, "engine.mutator", "unexpected edge {from} -> {to}");
+    }
+}
+
+/// The group-commit deposit protocol, distilled from
+/// `crates/core/src/mutate.rs::commit`: every committer enqueues its
+/// ticket under `engine.commit_queue` *alone*, then takes the mutator;
+/// whoever wins first drains the queue, publishes **one** generation for
+/// the whole batch, and deposits receipts for the tickets it folded in —
+/// all before releasing the mutator.  Model invariants: a committer that
+/// finds no deposit must find its own ticket in its drain (no lost
+/// tickets), every published batch is exactly one epoch bump, and every
+/// queue acquisition nests inside the declared
+/// `engine.mutator -> engine.commit_queue` edge or happens lock-free.
+#[test]
+fn group_commit_deposit_protocol_is_schedule_clean() {
+    struct Queue {
+        pending: Vec<u64>,
+        deposits: Vec<u64>,
+    }
+    struct BatchState {
+        epoch: RwLock<u64>,
+        mutator: Mutex<u64>,
+        queue: Mutex<Queue>,
+    }
+    impl BatchState {
+        fn commit(&self, ticket: u64) {
+            {
+                let mut q = self.queue.lock().expect("queue");
+                q.pending.push(ticket);
+            }
+            let mut applied = self.mutator.lock().expect("mutator");
+            let drained = {
+                let mut q = self.queue.lock().expect("queue");
+                if let Some(at) = q.deposits.iter().position(|&t| t == ticket) {
+                    // A leader folded this mutation into its batch and
+                    // deposited the receipt before releasing the mutator.
+                    q.deposits.remove(at);
+                    return;
+                }
+                std::mem::take(&mut q.pending)
+            };
+            model::check(drained.contains(&ticket), || {
+                format!("leader drained a batch that lost its own ticket {ticket}")
+            });
+            {
+                let mut gen = self.epoch.write().expect("epoch");
+                model::check(*gen <= *applied, || {
+                    format!("generation {} ran ahead of applied count {}", *gen, *applied)
+                });
+                *gen += 1;
+            }
+            *applied += drained.len() as u64;
+            let mut q = self.queue.lock().expect("queue");
+            for t in drained {
+                if t != ticket {
+                    q.deposits.push(t);
+                }
+            }
+        }
+    }
+
+    let report = protocol_explorer()
+        .explore(|run| {
+            let state = Arc::new(BatchState {
+                epoch: RwLock::named("engine.epoch", 0),
+                mutator: Mutex::named("engine.mutator", 0),
+                queue: Mutex::named(
+                    "engine.commit_queue",
+                    Queue {
+                        pending: Vec::new(),
+                        deposits: Vec::new(),
+                    },
+                ),
+            });
+            for (name, ticket) in [("committer-a", 1u64), ("committer-b", 2u64)] {
+                let s = Arc::clone(&state);
+                run.thread(name, move || s.commit(ticket));
+            }
+            run.finally(move || {
+                let q = state.queue.lock().expect("queue");
+                if !q.pending.is_empty() {
+                    return Err(format!("{} tickets never drained", q.pending.len()));
+                }
+                if !q.deposits.is_empty() {
+                    return Err(format!("{} receipts never collected", q.deposits.len()));
+                }
+                let batches = *state.epoch.read().expect("epoch");
+                let applied = *state.mutator.lock().expect("mutator");
+                if applied != 2 {
+                    return Err(format!("expected 2 applied mutations, got {applied}"));
+                }
+                if batches == 0 || batches > applied {
+                    return Err(format!(
+                        "published {batches} generations for {applied} mutations"
+                    ));
+                }
+                Ok(())
+            });
+        })
+        .unwrap_or_else(|violation| panic!("{violation}"));
+    assert!(report.exhausted, "schedule space should exhaust");
+    assert!(
+        report
+            .edges
+            .iter()
+            .any(|(from, to)| from == "engine.mutator" && to == "engine.commit_queue"),
+        "the deposit/drain edge must be exercised: {:?}",
+        report.edges
     );
     for (from, to) in &report.edges {
         assert_eq!(from, "engine.mutator", "unexpected edge {from} -> {to}");

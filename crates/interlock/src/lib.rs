@@ -62,6 +62,7 @@ pub const LOCK_ALIASES: &[(&str, &str, &str)] = &[
     ("core/src/engine.rs", "current", "engine.epoch"),
     ("core/src/engine.rs", "mutator", "engine.mutator"),
     ("core/src/mutate.rs", "mutator", "engine.mutator"),
+    ("core/src/mutate.rs", "commit_queue", "engine.commit_queue"),
     ("core/src/audit.rs", "mutator", "engine.mutator"),
     ("core/src/engine.rs", "slots", "engine.batch_slot"),
     ("core/src/cache.rs", "shard_of", "cache.shard"),
@@ -84,6 +85,23 @@ pub const CALL_OVERRIDES: &[(&str, &str, Option<&str>)] = &[
         "persist/src/store.rs",
         "append",
         Some("append@crates/persist/src/wal.rs"),
+    ),
+    // `mutate::publish` calls the attached sink's `log_batch`; the name is
+    // ambiguous between the trait default (engine.rs) and the real
+    // batched-fsync impl (store.rs) — pin it to the impl so the
+    // `engine.mutator → persist.wal` edge stays on the graph.
+    (
+        "core/src/mutate.rs",
+        "log_batch",
+        Some("log_batch@crates/persist/src/store.rs"),
+    ),
+    // `PersistHandle::log_batch` forwards to `Wal::append_batch`; the bare
+    // name is ambiguous with the engine/mutate/handle batch-append
+    // methods.
+    (
+        "persist/src/store.rs",
+        "append_batch",
+        Some("append_batch@crates/persist/src/wal.rs"),
     ),
 ];
 

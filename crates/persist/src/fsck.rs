@@ -498,7 +498,10 @@ pub fn check_wal_file(path: &Path) -> Result<WalCheck, PersistError> {
             break;
         };
         if let Some(&previous) = check.generations.last() {
-            if entry.generation != previous + 1 {
+            // Equal generations are a group-committed batch (several
+            // frames, one fsync, one published generation); only an
+            // actual jump is a gap.
+            if entry.generation != previous && entry.generation != previous + 1 {
                 check.findings.push(FsckFinding::new(
                     &file,
                     FsckCategory::GenerationGap,
@@ -581,7 +584,14 @@ pub fn check_dir(dir: &Path) -> Result<FsckReport, PersistError> {
     let mut replayable = 0u64;
     if let Some(wal) = &wal_check {
         for &generation in &wal.generations {
-            if generation <= at {
+            if generation <= boot_generation {
+                continue;
+            }
+            // A group-committed batch is a run of consecutive frames
+            // sharing one generation; every frame of the run past the
+            // boot generation replays into that one generation.
+            if generation == at {
+                replayable += 1;
                 continue;
             }
             if generation != at + 1 {
@@ -749,6 +759,35 @@ mod tests {
         assert_eq!(check.findings.len(), 1);
         assert_eq!(check.findings[0].category, FsckCategory::CorruptFrame);
         assert_eq!(check.findings[0].severity, Severity::Error);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_committed_batches_are_clean() {
+        // Two solo frames, then a run of four frames sharing one generation
+        // (a group-committed batch fsync'd in one shot) — fsck must read
+        // the run as one replayable generation, not a discontinuity.
+        let dir = populated_dir("batch", 0, 2);
+        {
+            let (wal, _) = crate::Wal::open(&dir.join(WAL_FILE)).unwrap();
+            let batch: Vec<Mutation> = (0..4u64)
+                .map(|i| Mutation::Append {
+                    object: object(2000 + i),
+                })
+                .collect();
+            wal.append_batch(3, &batch).unwrap();
+        }
+        let report = check_dir(&dir).unwrap();
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(report.replayable_frames, 6, "all six frames replay");
+        assert_eq!(
+            report.final_generation, 3,
+            "the four-frame run folds into one generation"
+        );
+
+        let check = check_wal_file(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(check.frames, 6);
+        assert!(check.findings.is_empty(), "equal generations are no gap");
         let _ = fs::remove_dir_all(&dir);
     }
 

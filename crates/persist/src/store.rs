@@ -208,6 +208,16 @@ impl DurabilitySink for PersistHandle {
         }
         Ok(())
     }
+
+    fn log_batch(&self, generation: u64, mutations: &[Mutation]) -> Result<(), AsrsError> {
+        self.wal
+            .append_batch(generation, mutations)
+            .map_err(PersistError::into_asrs)?;
+        if self.wal.len() >= self.compaction_threshold {
+            self.snapshot_due.store(true, Ordering::Release);
+        }
+        Ok(())
+    }
 }
 
 /// An engine bundled with its persistence handle and boot report.
@@ -297,33 +307,43 @@ impl PersistentBuilder {
         // or below the boot generation are redundant (a crash between
         // snapshot and compaction leaves them behind) and are skipped;
         // past that, generations must be contiguous or the log and
-        // snapshot disagree about history.
+        // snapshot disagree about history.  A group-committed batch is a
+        // run of consecutive frames sharing one generation; the run
+        // replays as one atomic batch so the recovered engine's generation
+        // counter lands exactly where the log says it should.
         let mut replayed = 0u64;
         let wal_path = wal.path().to_path_buf();
-        for entry in &recovery.entries {
+        let mut i = 0;
+        while i < recovery.entries.len() {
+            let generation = recovery.entries[i].generation;
+            let mut end = i + 1;
+            while end < recovery.entries.len() && recovery.entries[end].generation == generation {
+                end += 1;
+            }
             let at = engine.generation();
-            if entry.generation <= at {
+            if generation <= at {
+                i = end;
                 continue;
             }
-            if entry.generation != at + 1 {
+            if generation != at + 1 {
                 return Err(PersistError::corrupt(
                     &wal_path,
                     format!(
-                        "WAL jumps from generation {at} to {}; a snapshot or log segment is missing",
-                        entry.generation
+                        "WAL jumps from generation {at} to {generation}; a snapshot or log segment is missing"
                     ),
                 ));
             }
-            let receipt = match &entry.mutation {
-                Mutation::Append { object } => engine.append(object.clone()),
-                Mutation::Remove { id } => engine.remove(*id),
-                // TTLs are not durable (they are wall-clock relative); an
-                // expiry that made it to the log replays as its outcome.
-                Mutation::Expire { id } => engine.remove(*id),
-            }
-            .map_err(PersistError::Engine)?;
-            debug_assert_eq!(receipt.generation, entry.generation);
-            replayed += 1;
+            // TTLs are not durable (they are wall-clock relative); an
+            // expiry that made it to the log replays as its outcome — the
+            // engine applies `Expire` records as plain removals.
+            let batch: Vec<Mutation> = recovery.entries[i..end]
+                .iter()
+                .map(|e| e.mutation.clone())
+                .collect();
+            let receipts = engine.apply_mutations(&batch).map_err(PersistError::Engine)?;
+            debug_assert!(receipts.iter().all(|r| r.generation == generation));
+            replayed += (end - i) as u64;
+            i = end;
         }
 
         let boot = BootReport {

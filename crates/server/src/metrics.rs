@@ -20,6 +20,8 @@ pub struct ServerMetrics {
     mutations_ok: AtomicU64,
     mutations_client_error: AtomicU64,
     mutations_server_error: AtomicU64,
+    batch_ingests: AtomicU64,
+    batch_objects: AtomicU64,
     plans_explained: AtomicU64,
     protocol_errors: AtomicU64,
     search: Mutex<SearchStats>,
@@ -36,6 +38,8 @@ impl ServerMetrics {
             mutations_ok: AtomicU64::new(0),
             mutations_client_error: AtomicU64::new(0),
             mutations_server_error: AtomicU64::new(0),
+            batch_ingests: AtomicU64::new(0),
+            batch_objects: AtomicU64::new(0),
             plans_explained: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             search: Mutex::new(SearchStats::new()),
@@ -56,6 +60,11 @@ impl ServerMetrics {
 
     pub(crate) fn record_request(&self) {
         self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch_ingest(&self, objects: u64) {
+        self.batch_ingests.fetch_add(1, Ordering::Relaxed);
+        self.batch_objects.fetch_add(objects, Ordering::Relaxed);
     }
 
     pub(crate) fn record_query_ok(&self, stats: &SearchStats) {
@@ -129,6 +138,8 @@ impl ServerMetrics {
             mutations_ok: self.mutations_ok.load(Ordering::Relaxed),
             mutations_client_error: self.mutations_client_error.load(Ordering::Relaxed),
             mutations_server_error: self.mutations_server_error.load(Ordering::Relaxed),
+            batch_ingests: self.batch_ingests.load(Ordering::Relaxed),
+            batch_objects: self.batch_objects.load(Ordering::Relaxed),
             plans_explained: self.plans_explained.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             cache,
@@ -202,13 +213,18 @@ pub struct MetricsSnapshot {
     pub queries_client_error: u64,
     /// `/query` requests answered 5xx.
     pub queries_server_error: u64,
-    /// Mutation requests (`/append`, `DELETE /objects/{id}`, `/sweep`)
-    /// answered 200.
+    /// Mutation requests (`/append`, `/append_batch`,
+    /// `DELETE /objects/{id}`, `/sweep`) answered 200.
     pub mutations_ok: u64,
     /// Mutation requests answered 4xx.
     pub mutations_client_error: u64,
     /// Mutation requests answered 5xx.
     pub mutations_server_error: u64,
+    /// `/append_batch` payloads accepted (each is one atomic commit — one
+    /// published generation regardless of payload size).
+    pub batch_ingests: u64,
+    /// Objects ingested through accepted `/append_batch` payloads.
+    pub batch_objects: u64,
     /// `/explain` requests answered.
     pub plans_explained: u64,
     /// Connections dropped for malformed framing.

@@ -417,6 +417,7 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
         // payload travels in the body either way.
         ("GET" | "POST", "/explain") => handle_explain(shared, &request.body),
         ("POST", "/append") => handle_append(shared, &request.body),
+        ("POST", "/append_batch") => handle_append_batch(shared, &request.body),
         ("DELETE", p) if p.strip_prefix("/objects/").is_some() => {
             handle_delete(shared, p.strip_prefix("/objects/").unwrap_or(""))
         }
@@ -427,8 +428,8 @@ fn route(shared: &Shared, request: &HttpRequest) -> (u16, String) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string()),
         (
             _,
-            "/query" | "/explain" | "/metrics" | "/audit" | "/healthz" | "/append" | "/sweep"
-            | "/snapshot",
+            "/query" | "/explain" | "/metrics" | "/audit" | "/healthz" | "/append"
+            | "/append_batch" | "/sweep" | "/snapshot",
         ) => (
             405,
             error_body(
@@ -525,6 +526,51 @@ fn handle_append(shared: &Shared, body: &[u8]) -> (u16, String) {
         Ok(receipt) => {
             shared.metrics.record_mutation_ok();
             (200, serde::json::to_string(&receipt))
+        }
+        Err(error) => {
+            let (status, kind) = status_for(&error);
+            shared.metrics.record_mutation_error(status);
+            (status, error_body(kind, &error.to_string()))
+        }
+    }
+}
+
+/// The `POST /append_batch` payload: a whole batch of appends (each with
+/// its optional TTL) committed atomically — one published generation, one
+/// WAL fsync, all-or-nothing validation.
+#[derive(Debug, Deserialize)]
+struct AppendBatchBody {
+    items: Vec<AppendBody>,
+}
+
+/// The `POST /append_batch` response: one receipt per appended object,
+/// all sharing the batch's generation.
+#[derive(Debug, Serialize)]
+struct AppendBatchReceipts {
+    receipts: Vec<asrs_core::MutationReceipt>,
+}
+
+fn handle_append_batch(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let parsed: Result<AppendBatchBody, String> = std::str::from_utf8(body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| serde::json::from_str(text).map_err(|e| e.to_string()));
+    let batch = match parsed {
+        Ok(batch) => batch,
+        Err(message) => {
+            shared.metrics.record_mutation_error(400);
+            return (400, error_body("invalid-json", &message));
+        }
+    };
+    let items: Vec<_> = batch
+        .items
+        .into_iter()
+        .map(|a| (a.object, a.ttl_ms.map(Duration::from_millis)))
+        .collect();
+    match shared.engine.append_batch(items) {
+        Ok(receipts) => {
+            shared.metrics.record_mutation_ok();
+            shared.metrics.record_batch_ingest(receipts.len() as u64);
+            (200, serde::json::to_string(&AppendBatchReceipts { receipts }))
         }
         Err(error) => {
             let (status, kind) = status_for(&error);

@@ -362,6 +362,273 @@ fn repartition_triggers_fire_and_keep_parity() {
     }
 }
 
+/// A whole `append_batch` payload commits as **one** generation: every
+/// receipt shares the generation and reports the folded-batch size, the
+/// generation counter moves by exactly one, and the batched engine answers
+/// byte-identically to both a rebuild and an engine that applied the same
+/// appends one by one.
+#[test]
+fn append_batch_is_one_generation_and_matches_sequential_application() {
+    let (ds, agg) = categorical_workload(120, 47);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.object(0).clone();
+    for shards in SHARD_CONFIGS {
+        let batched = build_engine(ds.clone(), agg.clone(), shards, 32);
+        let sequential = build_engine(ds.clone(), agg.clone(), shards, 0);
+        let mut lcg = Lcg::new(4000 + shards as u64);
+        let objects: Vec<SpatialObject> = (0..17u64)
+            .map(|i| {
+                SpatialObject::new(
+                    700_000 + i,
+                    Point::new(
+                        bbox.min_x + bbox.width() * lcg.next_f64(),
+                        bbox.min_y + bbox.height() * lcg.next_f64(),
+                    ),
+                    template.values.clone(),
+                )
+            })
+            .collect();
+
+        let before = batched.generation();
+        let receipts = batched
+            .append_batch(objects.iter().map(|o| (o.clone(), None)).collect())
+            .unwrap();
+        assert_eq!(receipts.len(), objects.len());
+        assert_eq!(
+            batched.generation(),
+            before + 1,
+            "shards {shards}: one payload, one published generation"
+        );
+        for (i, receipt) in receipts.iter().enumerate() {
+            assert_eq!(receipt.generation, before + 1);
+            assert_eq!(receipt.batch, objects.len());
+            assert_eq!(receipt.kind, "append");
+            assert_eq!(receipt.object_count, ds.len() + i + 1);
+        }
+
+        for object in &objects {
+            sequential.append(object.clone()).unwrap();
+        }
+        assert_eq!(
+            sequential.generation(),
+            before + objects.len() as u64,
+            "the solo path still publishes one generation per mutation"
+        );
+
+        let rebuilt = build_engine((*batched.dataset()).clone(), agg.clone(), shards, 0);
+        for request in request_pool(&batched.dataset(), &agg, 9) {
+            let expected = canonical_bytes(&rebuilt.submit(&request).unwrap());
+            assert_eq!(
+                canonical_bytes(&batched.submit(&request).unwrap()),
+                expected,
+                "shards {shards}, {}: batched engine diverged from rebuild",
+                request.operation_name()
+            );
+            assert_eq!(
+                canonical_bytes(&sequential.submit(&request).unwrap()),
+                expected,
+                "shards {shards}, {}: sequential engine diverged from batched",
+                request.operation_name()
+            );
+        }
+        if shards == 0 {
+            assert_eq!(batched.statistics(), rebuilt.statistics());
+        }
+    }
+}
+
+/// Batch validation is all-or-nothing: a duplicate or schema-breaking
+/// object anywhere in an `append_batch` payload rejects the entire payload
+/// without publishing a generation or touching the dataset.
+#[test]
+fn append_batch_validation_is_atomic() {
+    let (ds, agg) = categorical_workload(60, 51);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.object(0).clone();
+    let existing_id = ds.object(0).id;
+    let engine = build_engine(ds.clone(), agg, 0, 0);
+    let fresh = |id: u64| {
+        SpatialObject::new(
+            id,
+            Point::new(bbox.min_x + 1.0, bbox.min_y + 1.0),
+            template.values.clone(),
+        )
+    };
+
+    // A collision with a live object rejects the payload.
+    let err = engine
+        .append_batch(vec![
+            (fresh(800_000), None),
+            (fresh(existing_id), None),
+            (fresh(800_001), None),
+        ])
+        .unwrap_err();
+    assert!(matches!(err, AsrsError::DuplicateObjectId { id } if id == existing_id));
+
+    // So does a collision *within* the payload.
+    let err = engine
+        .append_batch(vec![(fresh(800_002), None), (fresh(800_002), None)])
+        .unwrap_err();
+    assert!(matches!(err, AsrsError::DuplicateObjectId { id } if id == 800_002));
+
+    assert_eq!(engine.generation(), 0, "no generation published");
+    assert_eq!(engine.dataset().len(), ds.len(), "no object landed");
+
+    // The same ids are free for a clean retry.
+    let receipts = engine
+        .append_batch(vec![(fresh(800_000), None), (fresh(800_002), None)])
+        .unwrap();
+    assert_eq!(receipts.len(), 2);
+    assert_eq!(engine.generation(), 1);
+}
+
+/// A sweep with several due TTLs publishes **one** generation for the
+/// whole sweep (the old path published one per expired object), and
+/// parity with a rebuild survives it.
+#[test]
+fn a_sweep_expires_everything_in_one_generation() {
+    let (ds, agg) = categorical_workload(80, 53);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.object(0).clone();
+    for shards in SHARD_CONFIGS {
+        let engine = build_engine(ds.clone(), agg.clone(), shards, 16);
+        for i in 0..5u64 {
+            engine
+                .append_with_ttl(
+                    SpatialObject::new(
+                        850_000 + i,
+                        Point::new(
+                            bbox.min_x + bbox.width() * 0.2 * (i as f64 + 0.5),
+                            bbox.min_y + bbox.height() * 0.5,
+                        ),
+                        template.values.clone(),
+                    ),
+                    std::time::Duration::ZERO,
+                )
+                .unwrap();
+        }
+        let before = engine.generation();
+        let receipts = engine.sweep_expired().unwrap();
+        assert_eq!(receipts.len(), 5, "shards {shards}: all five TTLs expire");
+        assert_eq!(
+            engine.generation(),
+            before + 1,
+            "shards {shards}: one sweep, one generation"
+        );
+        for receipt in &receipts {
+            assert_eq!(receipt.kind, "expire");
+            assert_eq!(receipt.generation, before + 1);
+            assert_eq!(receipt.batch, 5);
+        }
+        assert_eq!(engine.mutation_stats().expiries, 5);
+
+        let rebuilt = build_engine((*engine.dataset()).clone(), agg.clone(), shards, 0);
+        for request in request_pool(&engine.dataset(), &agg, 13) {
+            assert_eq!(
+                canonical_bytes(&engine.submit(&request).unwrap()),
+                canonical_bytes(&rebuilt.submit(&request).unwrap()),
+                "shards {shards}, {}: post-sweep divergence",
+                request.operation_name()
+            );
+        }
+    }
+}
+
+/// Concurrent mutators coalesce: handles hammering appends and removals
+/// from several threads produce receipts whose generations can fold many
+/// mutations into one batch, every caller still gets its own receipt, and
+/// the final engine answers byte-identically to a rebuild of its final
+/// dataset.  Coalescing is scheduling-dependent, so the test retries a few
+/// seeded rounds until it observes a folded batch (in practice the first
+/// round has them).
+#[test]
+fn concurrent_mutations_coalesce_and_keep_parity() {
+    let (ds, agg) = categorical_workload(100, 61);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.object(0).clone();
+    let engine = build_engine(ds.clone(), agg.clone(), 2, 32);
+    let mut saw_folded_batch = false;
+
+    for round in 0..50u64 {
+        let threads = 4;
+        let per_thread = 24;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+        let before = engine.generation();
+        let mut joins = Vec::new();
+        for t in 0..threads as u64 {
+            let handle = engine.handle();
+            let barrier = std::sync::Arc::clone(&barrier);
+            let template = template.clone();
+            let bbox = bbox;
+            joins.push(std::thread::spawn(move || {
+                let mut lcg = Lcg::new(9000 + round * 31 + t);
+                let mut mine: Vec<u64> = Vec::new();
+                let mut max_batch = 1usize;
+                barrier.wait();
+                for i in 0..per_thread {
+                    let receipt = if !mine.is_empty() && lcg.pick(4) == 0 {
+                        let id = mine.swap_remove(lcg.pick(mine.len()));
+                        handle.remove(id).unwrap()
+                    } else {
+                        let id = 1_000_000 + round * 10_000 + t * 1_000 + i;
+                        let object = SpatialObject::new(
+                            id,
+                            Point::new(
+                                bbox.min_x + bbox.width() * lcg.next_f64(),
+                                bbox.min_y + bbox.height() * lcg.next_f64(),
+                            ),
+                            template.values.clone(),
+                        );
+                        let receipt = handle.append(object).unwrap();
+                        mine.push(id);
+                        receipt
+                    };
+                    assert!(receipt.generation > before);
+                    assert!(receipt.batch >= 1);
+                    max_batch = max_batch.max(receipt.batch);
+                }
+                // Leave this thread's survivors in place for the parity
+                // check; report the largest fold observed.
+                max_batch
+            }));
+        }
+        let mut mutations_applied = 0u64;
+        for join in joins {
+            let max_batch = join.join().unwrap();
+            saw_folded_batch |= max_batch > 1;
+            mutations_applied += per_thread;
+        }
+        let published = engine.generation() - before;
+        assert!(
+            published >= 1 && published <= mutations_applied,
+            "round {round}: {published} generations for {mutations_applied} mutations"
+        );
+        if saw_folded_batch {
+            break;
+        }
+    }
+    assert!(
+        saw_folded_batch,
+        "50 rounds of 4-thread contention never coalesced a batch"
+    );
+
+    let stats = engine.mutation_stats();
+    assert!(
+        stats.generation <= stats.appends + stats.removes + stats.expiries,
+        "coalescing can only fold generations, never mint extras: {stats:?}"
+    );
+
+    let rebuilt = build_engine((*engine.dataset()).clone(), agg.clone(), 2, 0);
+    for request in request_pool(&engine.dataset(), &agg, 21) {
+        assert_eq!(
+            canonical_bytes(&engine.submit(&request).unwrap()),
+            canonical_bytes(&rebuilt.submit(&request).unwrap()),
+            "{}: concurrent-mutation engine diverged from rebuild",
+            request.operation_name()
+        );
+    }
+}
+
 /// Mutating down to (and back up from) the empty dataset must not wedge
 /// the engine: the index is dropped when the last object leaves and
 /// rebuilt when the first one returns, and parity holds throughout.

@@ -418,6 +418,189 @@ fn snapshot_round_trip_restores_without_replay() {
     }
 }
 
+/// Group-committed batches must survive a crash: a history containing
+/// `append_batch` payloads and a multi-expiry sweep — several WAL frames
+/// per generation — reopens byte-identical to the in-memory survivor,
+/// with the generation counter landing on the *batch* count, not the
+/// frame count.
+#[test]
+fn batched_generations_replay_as_batches() {
+    for shards in SHARD_CONFIGS {
+        let (ds, agg) = workload(130, 59);
+        let bbox = ds.bounding_box().unwrap();
+        let template = ds.object(0).clone();
+        let dir = temp_dir("batched", shards);
+
+        let survivor = engine_builder(ds.clone(), agg.clone(), shards, 0)
+            .build()
+            .unwrap();
+        let persistent = engine_builder(ds.clone(), agg.clone(), shards, 64)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+
+        let mut lcg = Lcg::new(5500 + shards as u64);
+        let mut frames = 0u64;
+        // Two bulk payloads, an interleaved solo append, and a sweep that
+        // expires three TTLs at once — four published generations, many
+        // more WAL frames.
+        for round in 0..2u64 {
+            let payload: Vec<(SpatialObject, Option<std::time::Duration>)> = (0..6u64)
+                .map(|i| {
+                    (
+                        SpatialObject::new(
+                            5_000_000 + round * 100 + i,
+                            Point::new(
+                                bbox.min_x + bbox.width() * lcg.next_f64(),
+                                bbox.min_y + bbox.height() * lcg.next_f64(),
+                            ),
+                            template.values.clone(),
+                        ),
+                        None,
+                    )
+                })
+                .collect();
+            for engine in [persistent.engine(), &survivor] {
+                let receipts = engine.append_batch(payload.clone()).unwrap();
+                assert_eq!(receipts.len(), 6);
+            }
+            frames += 6;
+        }
+        for i in 0..3u64 {
+            let object = SpatialObject::new(
+                5_000_500 + i,
+                Point::new(
+                    bbox.min_x + bbox.width() * 0.25 * (i as f64 + 0.5),
+                    bbox.min_y + bbox.height() * 0.4,
+                ),
+                template.values.clone(),
+            );
+            for engine in [persistent.engine(), &survivor] {
+                engine
+                    .append_with_ttl(object.clone(), std::time::Duration::ZERO)
+                    .unwrap();
+            }
+            frames += 1;
+        }
+        for engine in [persistent.engine(), &survivor] {
+            let receipts = engine.sweep_expired().unwrap();
+            assert_eq!(receipts.len(), 3, "all three TTLs expire in one sweep");
+        }
+        frames += 3;
+        assert_eq!(
+            persistent.engine().generation(),
+            survivor.generation(),
+            "shards {shards}: both engines publish the same batch count"
+        );
+        assert!(
+            persistent.engine().generation() < frames,
+            "shards {shards}: batches fold more than one frame per generation"
+        );
+
+        drop(persistent);
+        let reopened = engine_builder(ds.clone(), agg.clone(), shards, 64)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+        assert_eq!(
+            reopened.boot().replayed_entries,
+            frames,
+            "shards {shards}: every frame of every batch replays"
+        );
+        assert_engines_agree(
+            reopened.engine(),
+            &survivor,
+            &agg,
+            17,
+            &format!("shards {shards}, batched history"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The harshest batch-crash window: the WAL holds a whole batch — written
+/// and fsync'd as one run of same-generation frames — but the engine died
+/// before publishing it.  Reboot must replay the run as one atomic batch,
+/// landing exactly one generation ahead, byte-identical to a survivor
+/// that committed the batch normally.
+#[test]
+fn a_kill_between_batch_fsync_and_publish_replays_the_whole_batch() {
+    for shards in [0usize, 2] {
+        let (ds, agg) = workload(110, 67);
+        let bbox = ds.bounding_box().unwrap();
+        let template = ds.object(0).clone();
+        let dir = temp_dir("fsync-gap", shards);
+
+        let survivor = engine_builder(ds.clone(), agg.clone(), shards, 0)
+            .build()
+            .unwrap();
+        let persistent = engine_builder(ds.clone(), agg.clone(), shards, 32)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+
+        // Two acknowledged solo mutations, then the crash.
+        let mut payload = Vec::new();
+        for i in 0..2u64 {
+            let object = SpatialObject::new(
+                6_000_000 + i,
+                Point::new(bbox.min_x + 2.0 + i as f64, bbox.min_y + 3.0),
+                template.values.clone(),
+            );
+            persistent.engine().append(object.clone()).unwrap();
+            survivor.append(object).unwrap();
+        }
+        for i in 0..4u64 {
+            payload.push(SpatialObject::new(
+                6_000_100 + i,
+                Point::new(
+                    bbox.min_x + bbox.width() * 0.2 * (i as f64 + 0.5),
+                    bbox.min_y + bbox.height() * 0.6,
+                ),
+                template.values.clone(),
+            ));
+        }
+        let at = persistent.engine().generation();
+        drop(persistent);
+
+        // Re-create the exact on-disk state of a mutator killed after the
+        // batch fsync but before the epoch swap: the log gains one fsync'd
+        // run of same-generation frames that no published core reflects.
+        let (wal, _) = Wal::open(&dir.join("wal.log")).unwrap();
+        let mutations: Vec<Mutation> = payload
+            .iter()
+            .map(|o| Mutation::Append { object: o.clone() })
+            .collect();
+        wal.append_batch(at + 1, &mutations).unwrap();
+        drop(wal);
+
+        // The survivor commits the same batch the normal way.
+        let receipts = survivor
+            .append_batch(payload.iter().map(|o| (o.clone(), None)).collect())
+            .unwrap();
+        assert_eq!(receipts.len(), 4);
+        assert_eq!(survivor.generation(), at + 1);
+
+        let reopened = engine_builder(ds.clone(), agg.clone(), shards, 32)
+            .persist_dir(&dir)
+            .build()
+            .unwrap();
+        assert_eq!(
+            reopened.boot().boot_generation,
+            at + 1,
+            "shards {shards}: the whole run replays as one generation"
+        );
+        assert_engines_agree(
+            reopened.engine(),
+            &survivor,
+            &agg,
+            19,
+            &format!("shards {shards}, fsync-publish gap"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Restore refuses a topology change: a snapshot taken at one shard count
 /// must not silently restore into a builder configured for another.
 #[test]
