@@ -417,7 +417,7 @@ pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt
     // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
     let mut state = shared.mutator.lock().expect("mutation lock poisoned");
     let now = Instant::now();
-    let mut expiries = Vec::new();
+    let mut popped: Vec<TtlEntry> = Vec::new();
     loop {
         let due = matches!(state.ttl.peek(), Some(Reverse(entry)) if entry.deadline <= now);
         if !due {
@@ -430,17 +430,30 @@ pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt
             continue;
         }
         state.ttl_armed.remove(&entry.id);
-        expiries.push(entry.id);
+        popped.push(entry);
     }
     let drained = {
         // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
         let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
         std::mem::take(&mut queue.pending)
     };
-    if expiries.is_empty() && drained.is_empty() {
+    if popped.is_empty() && drained.is_empty() {
         return Ok(Vec::new());
     }
+    let expiries = popped.iter().map(|e| e.id).collect();
     let (expired, outcomes) = publish(shared, &mut state, expiries, drained);
+    if expired.is_err() {
+        // A batch-level failure (WAL veto, assembly error) published
+        // nothing: put every popped deadline back — token, heap entry and
+        // all — so the next sweep retries these expiries.  Dropping them
+        // here would leave the objects live but unexpirable forever.
+        // Nothing re-armed concurrently (the mutator is held throughout),
+        // so reinstating the original tokens is exact.
+        for entry in popped {
+            state.ttl_armed.insert(entry.id, entry.token);
+            state.ttl.push(Reverse(entry));
+        }
+    }
     // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
     let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
     for (t, result) in outcomes {
@@ -483,16 +496,97 @@ pub(crate) fn stats_snapshot(shared: &EngineShared) -> MutationStats {
 /// expiry, `Some(i)` = the i-th drained group) plus the op itself.
 type PlannedOp = (Option<usize>, BatchOp);
 
+/// One TTL bookkeeping action, recorded during assembly **in
+/// serialization order** and replayed in that same order once the batch
+/// publishes.  Order matters: when contention coalesces `append(id, ttl)`
+/// before `remove(id)` into one batch, the disarm must win (sequentially
+/// the remove would disarm the TTL) — and when a remove precedes a
+/// re-append-with-TTL, the arm must win.  A single ordered list makes
+/// both fall out of replay; separate arm/disarm sets cannot express the
+/// difference.
+#[derive(Debug)]
+enum TtlEvent {
+    /// An appended object arms a deadline.
+    Arm { id: u64, ttl: Duration },
+    /// A caller-removal disarms whatever deadline the id had pending.
+    Disarm { id: u64 },
+}
+
+/// Working copy of the index/shard maintenance counters a batch evolves
+/// while assembling its successor core.  Ops within a batch read the
+/// evolving values (the rebuild-fraction budget is cumulative), but the
+/// durable [`MutationState`] only absorbs the draft at the commit point —
+/// a batch aborted by a WAL veto leaves the published counters (and the
+/// rebuild budget) exactly as they were, so `/metrics` never records
+/// rebuilds or repartitions that no generation shipped.
+#[derive(Debug, Clone, Copy)]
+struct CounterDraft {
+    mutations_since_index_build: usize,
+    objects_at_index_build: usize,
+    incremental_updates: u64,
+    index_rebuilds: u64,
+    repartitions: u64,
+}
+
+impl CounterDraft {
+    fn from_state(state: &MutationState) -> Self {
+        Self {
+            mutations_since_index_build: state.mutations_since_index_build,
+            objects_at_index_build: state.objects_at_index_build,
+            incremental_updates: state.incremental_updates,
+            index_rebuilds: state.index_rebuilds,
+            repartitions: state.repartitions,
+        }
+    }
+}
+
+/// The evolving id set a batch is validated against.  Multi-op batches
+/// materialize every live id once up front and replay their edits on the
+/// set; the solo variant — one op in the whole batch, the uncontended
+/// common case — delegates membership straight to
+/// [`Dataset::contains_id`] and skips the O(n) scan plus the n-sized
+/// allocation.  Solo edits deliberately record nothing: with a single op
+/// there is no later membership query (nor an earlier-op rollback) that
+/// could observe them.
+enum LiveIds<'a> {
+    Solo(&'a Dataset),
+    Set(HashSet<u64>),
+}
+
+impl LiveIds<'_> {
+    fn contains(&self, id: u64) -> bool {
+        match self {
+            LiveIds::Solo(dataset) => dataset.contains_id(id),
+            LiveIds::Set(set) => set.contains(&id),
+        }
+    }
+
+    fn insert(&mut self, id: u64) {
+        if let LiveIds::Set(set) = self {
+            set.insert(id);
+        }
+    }
+
+    /// Removes `id`, reporting whether it was live.
+    fn remove(&mut self, id: u64) -> bool {
+        match self {
+            LiveIds::Solo(dataset) => dataset.contains_id(id),
+            LiveIds::Set(set) => set.remove(&id),
+        }
+    }
+}
+
 /// Everything a successfully applied batch produced, pending the
 /// WAL-then-swap commit point.
 struct AssembledBatch {
     next: EngineCore,
     receipts: Vec<(Option<usize>, MutationReceipt)>,
     logged: Vec<Mutation>,
-    /// TTLs to arm once the batch is published: `(id, ttl)`.
-    arm: Vec<(u64, Duration)>,
-    /// Ids whose pending TTL a caller-removal disarms.
-    disarm: Vec<u64>,
+    /// TTL bookkeeping actions in serialization order (see [`TtlEvent`]).
+    ttl_events: Vec<TtlEvent>,
+    /// The maintenance counters as this batch evolved them; folded into
+    /// [`MutationState`] only after the WAL accepts the batch.
+    counters: CounterDraft,
 }
 
 /// Applies the sweep's expiries and every drained group to **one**
@@ -522,12 +616,18 @@ fn publish(
 
     // Validation pass: replay the batch against the current id set so a
     // group is accepted or rejected in full before anything applies.
-    let mut live: HashSet<u64> = core.dataset.objects().iter().map(|o| o.id).collect();
+    // Only a genuine multi-op batch pays for materializing the id set.
+    let total_ops = expiries.len() + groups.iter().map(|g| g.ops.len()).sum::<usize>();
+    let mut live = if total_ops > 1 {
+        LiveIds::Set(core.dataset.objects().iter().map(|o| o.id).collect())
+    } else {
+        LiveIds::Solo(core.dataset.as_ref())
+    };
     let mut plan: Vec<PlannedOp> = Vec::new();
     for id in expiries {
         // A disarmed-and-vanished id falls through receipt-less, exactly
         // as the per-object sweep used to skip it.
-        if live.remove(&id) {
+        if live.remove(id) {
             plan.push((None, BatchOp::Expire { id }));
         }
     }
@@ -539,7 +639,7 @@ fn publish(
         for op in &group.ops {
             match op {
                 BatchOp::Append { object, .. } => {
-                    if live.contains(&object.id) {
+                    if live.contains(object.id) {
                         error = Some(AsrsError::DuplicateObjectId { id: object.id });
                         break;
                     }
@@ -551,7 +651,7 @@ fn publish(
                     added.push(object.id);
                 }
                 BatchOp::Remove { id } | BatchOp::Expire { id } => {
-                    if !live.remove(id) {
+                    if !live.remove(*id) {
                         error = Some(AsrsError::UnknownObjectId { id: *id });
                         break;
                     }
@@ -564,7 +664,7 @@ fn publish(
                 // Roll the rejected group's tentative id edits back so the
                 // groups behind it validate against the true state.
                 for id in added {
-                    live.remove(&id);
+                    live.remove(id);
                 }
                 for id in dropped {
                     live.insert(id);
@@ -610,23 +710,42 @@ fn publish(
     for logged in assembled.logged {
         state.log.record(generation, logged);
     }
-    for id in assembled.disarm {
-        state.ttl_armed.remove(&id);
-    }
-    for (id, ttl) in assembled.arm {
-        // `checked_add` keeps absurd TTLs (u64::MAX ms ≈ 584 million
-        // years) from panicking while the mutation mutex is held — an
-        // unrepresentable deadline simply never expires, which is what it
-        // means.
-        if let Some(deadline) = Instant::now().checked_add(ttl) {
-            state.ttl_token += 1;
-            let token = state.ttl_token;
-            state.ttl_armed.insert(id, token);
-            state.ttl.push(Reverse(TtlEntry {
-                deadline,
-                id,
-                token,
-            }));
+    let CounterDraft {
+        mutations_since_index_build,
+        objects_at_index_build,
+        incremental_updates,
+        index_rebuilds,
+        repartitions,
+    } = assembled.counters;
+    state.mutations_since_index_build = mutations_since_index_build;
+    state.objects_at_index_build = objects_at_index_build;
+    state.incremental_updates = incremental_updates;
+    state.index_rebuilds = index_rebuilds;
+    state.repartitions = repartitions;
+    // Replay the TTL bookkeeping in serialization order, so whichever of
+    // an arm/disarm pair for the same id came later in the batch wins —
+    // exactly the armed set sequential solo mutations would leave.
+    for event in assembled.ttl_events {
+        match event {
+            TtlEvent::Disarm { id } => {
+                state.ttl_armed.remove(&id);
+            }
+            TtlEvent::Arm { id, ttl } => {
+                // `checked_add` keeps absurd TTLs (u64::MAX ms ≈ 584
+                // million years) from panicking while the mutation mutex
+                // is held — an unrepresentable deadline simply never
+                // expires, which is what it means.
+                if let Some(deadline) = Instant::now().checked_add(ttl) {
+                    state.ttl_token += 1;
+                    let token = state.ttl_token;
+                    state.ttl_armed.insert(id, token);
+                    state.ttl.push(Reverse(TtlEntry {
+                        deadline,
+                        id,
+                        token,
+                    }));
+                }
+            }
         }
     }
 
@@ -684,7 +803,7 @@ fn fail_batch(
 /// core assembly.
 fn assemble(
     core: &Arc<EngineCore>,
-    state: &mut MutationState,
+    state: &MutationState,
     plan: Vec<PlannedOp>,
     generation: u64,
 ) -> Result<AssembledBatch, AsrsError> {
@@ -694,8 +813,8 @@ fn assemble(
     let mut shards: Option<ShardSet> = core.shards.as_ref().map(ShardSet::carry_over);
     let mut receipts: Vec<(Option<usize>, MutationReceipt)> = Vec::with_capacity(batch);
     let mut logged: Vec<Mutation> = Vec::with_capacity(batch);
-    let mut arm: Vec<(u64, Duration)> = Vec::new();
-    let mut disarm: Vec<u64> = Vec::new();
+    let mut ttl_events: Vec<TtlEvent> = Vec::new();
+    let mut counters = CounterDraft::from_state(state);
 
     for (slot, op) in plan {
         let (kind, id, how, repartitioned) = match op {
@@ -703,7 +822,7 @@ fn assemble(
                 dataset.append(object.clone())?;
                 let (how, repartitioned) = fold_delta(
                     core,
-                    state,
+                    &mut counters,
                     &dataset,
                     &mut index,
                     &mut shards,
@@ -711,7 +830,7 @@ fn assemble(
                     generation,
                 )?;
                 if let Some(ttl) = ttl {
-                    arm.push((object.id, ttl));
+                    ttl_events.push(TtlEvent::Arm { id: object.id, ttl });
                 }
                 let id = object.id;
                 logged.push(Mutation::Append { object });
@@ -721,22 +840,25 @@ fn assemble(
                 let removed = take_by_id(&mut dataset, id)?;
                 let (how, repartitioned) = fold_delta(
                     core,
-                    state,
+                    &mut counters,
                     &dataset,
                     &mut index,
                     &mut shards,
                     Delta::Remove(&removed),
                     generation,
                 )?;
-                disarm.push(id);
+                ttl_events.push(TtlEvent::Disarm { id });
                 logged.push(Mutation::Remove { id });
                 ("remove", id, how, repartitioned)
             }
             BatchOp::Expire { id } => {
+                // No TTL event: a live sweep already disarmed the id when
+                // it popped the deadline, and replayed expiries (WAL
+                // recovery) have no armed state to touch.
                 let removed = take_by_id(&mut dataset, id)?;
                 let (how, repartitioned) = fold_delta(
                     core,
-                    state,
+                    &mut counters,
                     &dataset,
                     &mut index,
                     &mut shards,
@@ -806,8 +928,8 @@ fn assemble(
         next,
         receipts,
         logged,
-        arm,
-        disarm,
+        ttl_events,
+        counters,
     })
 }
 
@@ -833,7 +955,7 @@ enum Delta<'a> {
 /// re-partitioned.
 fn fold_delta(
     core: &EngineCore,
-    state: &mut MutationState,
+    counters: &mut CounterDraft,
     dataset: &Dataset,
     index: &mut Option<Arc<GridIndex>>,
     shards: &mut Option<ShardSet>,
@@ -853,7 +975,7 @@ fn fold_delta(
             cols,
             rows,
             delta,
-            state,
+            counters,
             Some(&core.policy),
         )?;
         index_maintenance = how;
@@ -876,13 +998,13 @@ fn fold_delta(
         };
         let next = if needs_repartition {
             repartitioned = true;
-            state.repartitions += 1;
+            counters.repartitions += 1;
             // A re-partition rebuilds every populated shard's index
             // from scratch inside `build_shard_set`; the receipt and
             // the rebuild counter must say so.
             if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
                 index_maintenance = IndexMaintenance::Rebuilt;
-                state.index_rebuilds += 1;
+                counters.index_rebuilds += 1;
             }
             build_shard_set(
                 dataset,
@@ -896,7 +1018,7 @@ fn fold_delta(
                 &core.policy,
             )?
         } else {
-            let (next, how) = update_shard_set(core, &set, delta, generation, state)?;
+            let (next, how) = update_shard_set(core, &set, delta, generation, counters)?;
             if matches!(core.upkeep, IndexUpkeep::PerShard { .. }) {
                 index_maintenance = how;
             }
@@ -925,7 +1047,7 @@ fn maintain_index(
     cols: usize,
     rows: usize,
     delta: Delta<'_>,
-    state: &mut MutationState,
+    counters: &mut CounterDraft,
     policy: Option<&MutationPolicy>,
 ) -> Result<(Option<GridIndex>, IndexMaintenance), AsrsError> {
     if dataset.is_empty() {
@@ -936,9 +1058,9 @@ fn maintain_index(
     let within_budget = match policy {
         Some(policy) => {
             let budget = (policy.index_rebuild_fraction
-                * state.objects_at_index_build.max(1) as f64)
+                * counters.objects_at_index_build.max(1) as f64)
                 .ceil() as usize;
-            state.mutations_since_index_build < budget.max(1)
+            counters.mutations_since_index_build < budget.max(1)
         }
         None => true,
     };
@@ -950,18 +1072,18 @@ fn maintain_index(
                 Delta::Remove(object) => next.update_remove(object, dataset, aggregator),
             }
             if policy.is_some() {
-                state.mutations_since_index_build += 1;
+                counters.mutations_since_index_build += 1;
             }
-            state.incremental_updates += 1;
+            counters.incremental_updates += 1;
             return Ok((Some(next), IndexMaintenance::Incremental));
         }
     }
     let next = GridIndex::build(dataset, aggregator, cols, rows)?;
     if policy.is_some() {
-        state.mutations_since_index_build = 0;
-        state.objects_at_index_build = dataset.len();
+        counters.mutations_since_index_build = 0;
+        counters.objects_at_index_build = dataset.len();
     }
-    state.index_rebuilds += 1;
+    counters.index_rebuilds += 1;
     Ok((Some(next), IndexMaintenance::Rebuilt))
 }
 
@@ -988,7 +1110,7 @@ fn update_shard_set(
     set: &ShardSet,
     delta: Delta<'_>,
     generation: u64,
-    state: &mut MutationState,
+    counters: &mut CounterDraft,
 ) -> Result<(ShardSet, IndexMaintenance), AsrsError> {
     let owner = match delta {
         Delta::Append(object) => owning_shard_for_point(set, object),
@@ -1017,7 +1139,7 @@ fn update_shard_set(
                         cols,
                         rows,
                         delta,
-                        state,
+                        counters,
                         None,
                     )?;
                     how = shard_how;
@@ -1050,4 +1172,159 @@ fn update_shard_set(
         });
     }
     Ok((ShardSet { shards }, how))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DurabilitySink;
+    use crate::AsrsEngine;
+    use asrs_aggregator::Selection;
+    use asrs_data::gen::UniformGenerator;
+    use std::sync::atomic::AtomicBool;
+
+    fn test_engine(n: usize) -> (AsrsEngine, SpatialObject) {
+        let ds = UniformGenerator::default().generate(n, 7);
+        let agg = CompositeAggregator::builder(ds.schema())
+            .distribution("category", Selection::All)
+            .build()
+            .unwrap();
+        let template = ds.object(0).clone();
+        let engine = AsrsEngine::builder(ds, agg)
+            .build_index(8, 8)
+            .build()
+            .unwrap();
+        (engine, template)
+    }
+
+    fn fresh(template: &SpatialObject, id: u64) -> SpatialObject {
+        let mut object = template.clone();
+        object.id = id;
+        object
+    }
+
+    /// A durability sink that can be told to veto batches, standing in
+    /// for a WAL whose fsync fails.
+    #[derive(Debug)]
+    struct TogglingSink {
+        fail: AtomicBool,
+    }
+
+    impl DurabilitySink for TogglingSink {
+        fn log_mutation(&self, _generation: u64, _mutation: &Mutation) -> Result<(), AsrsError> {
+            if self.fail.load(Ordering::SeqCst) {
+                Err(AsrsError::Internal {
+                    message: "sink vetoed".to_string(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// A batch coalescing `append(id, ttl)` before `remove(id)` must
+    /// leave the id disarmed, exactly as sequential application would —
+    /// not armed with a stale deadline that later expires a re-appended
+    /// live object.
+    #[test]
+    fn coalesced_arm_then_remove_leaves_id_disarmed() {
+        let (engine, template) = test_engine(60);
+        let receipts = commit(
+            &engine.shared,
+            vec![
+                BatchOp::Append {
+                    object: fresh(&template, 1_000),
+                    ttl: Some(Duration::from_millis(1)),
+                },
+                BatchOp::Remove { id: 1_000 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(receipts.len(), 2);
+        assert_eq!(engine.mutation_stats().pending_ttl, 0);
+
+        // Re-append the id without a TTL; the old deadline must not fire.
+        engine.append(fresh(&template, 1_000)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(engine.sweep_expired().unwrap().is_empty());
+        assert!(engine.dataset().contains_id(1_000));
+    }
+
+    /// The mirror ordering: remove-then-re-append-with-TTL in one batch
+    /// must leave the *new* deadline armed.
+    #[test]
+    fn coalesced_remove_then_arm_leaves_id_armed() {
+        let (engine, template) = test_engine(60);
+        engine
+            .append_with_ttl(fresh(&template, 1_001), Duration::from_secs(3600))
+            .unwrap();
+        commit(
+            &engine.shared,
+            vec![
+                BatchOp::Remove { id: 1_001 },
+                BatchOp::Append {
+                    object: fresh(&template, 1_001),
+                    ttl: Some(Duration::from_millis(1)),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(engine.mutation_stats().pending_ttl, 1);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(engine.sweep_expired().unwrap().len(), 1);
+        assert!(!engine.dataset().contains_id(1_001));
+    }
+
+    /// A WAL veto during a sweep publishes nothing; the popped deadlines
+    /// must be re-armed so the next sweep retries them instead of leaving
+    /// the objects live-but-unexpirable.
+    #[test]
+    fn failed_sweep_rearms_popped_deadlines() {
+        let (engine, template) = test_engine(60);
+        let sink = Arc::new(TogglingSink {
+            fail: AtomicBool::new(false),
+        });
+        engine.attach_durability(Arc::clone(&sink) as _).unwrap();
+        engine
+            .append_with_ttl(fresh(&template, 2_000), Duration::from_millis(1))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        sink.fail.store(true, Ordering::SeqCst);
+        assert!(engine.sweep_expired().is_err());
+        // The deadline survived the aborted batch…
+        assert_eq!(engine.mutation_stats().pending_ttl, 1);
+        assert!(engine.dataset().contains_id(2_000));
+        // …and fires once the log recovers.
+        sink.fail.store(false, Ordering::SeqCst);
+        assert_eq!(engine.sweep_expired().unwrap().len(), 1);
+        assert!(!engine.dataset().contains_id(2_000));
+    }
+
+    /// An aborted batch must not move the durable maintenance counters
+    /// (or the rebuild budget): `/metrics` records only what published.
+    #[test]
+    fn aborted_batch_leaves_counters_untouched() {
+        let (engine, template) = test_engine(60);
+        let sink = Arc::new(TogglingSink {
+            fail: AtomicBool::new(false),
+        });
+        engine.attach_durability(Arc::clone(&sink) as _).unwrap();
+        engine.append(fresh(&template, 3_000)).unwrap();
+        let before = engine.mutation_stats();
+        sink.fail.store(true, Ordering::SeqCst);
+        assert!(engine.append(fresh(&template, 3_001)).is_err());
+        let after = engine.mutation_stats();
+        assert_eq!(after.generation, before.generation);
+        assert_eq!(
+            after.incremental_index_updates,
+            before.incremental_index_updates
+        );
+        assert_eq!(after.index_rebuilds, before.index_rebuilds);
+        assert_eq!(after.repartitions, before.repartitions);
+        sink.fail.store(false, Ordering::SeqCst);
+        engine.append(fresh(&template, 3_001)).unwrap();
+        assert!(
+            engine.mutation_stats().incremental_index_updates > before.incremental_index_updates
+        );
+    }
 }
