@@ -405,7 +405,6 @@ impl CompositeAggregator {
         self.aggregate(
             dataset
                 .objects()
-                .iter()
                 .filter(|o| region.strictly_contains_point(&o.location)),
         )
     }
@@ -641,7 +640,7 @@ mod tests {
         let ds = example_dataset();
         let agg = example_aggregator();
         assert_eq!(agg.feature_dim(), 5);
-        let rep = agg.aggregate(ds.objects().iter());
+        let rep = agg.aggregate(ds.objects());
         assert_eq!(rep.as_slice(), &[2.0, 1.0, 1.0, 1.0, 1.75]);
     }
 
@@ -652,7 +651,7 @@ mod tests {
             .sum("price", Selection::cat_equals(0, 0))
             .build()
             .unwrap();
-        let rep = agg.aggregate(ds.objects().iter());
+        let rep = agg.aggregate(ds.objects());
         assert_eq!(rep.as_slice(), &[3.5]);
     }
 
@@ -679,9 +678,9 @@ mod tests {
     fn stats_are_additive() {
         let ds = example_dataset();
         let agg = example_aggregator();
-        let all = agg.stats_of(ds.objects().iter());
-        let first = agg.stats_of(ds.objects().iter().take(2));
-        let rest = agg.stats_of(ds.objects().iter().skip(2));
+        let all = agg.stats_of(ds.objects());
+        let first = agg.stats_of(ds.objects().take(2));
+        let rest = agg.stats_of(ds.objects().skip(2));
         let summed: Vec<f64> = first.iter().zip(&rest).map(|(a, b)| a + b).collect();
         for (a, b) in all.iter().zip(&summed) {
             assert!((a - b).abs() < 1e-12);
@@ -747,19 +746,21 @@ mod tests {
     fn feature_bounds_contain_all_intermediate_sets() {
         let ds = example_dataset();
         let agg = example_aggregator();
-        let objects = ds.objects();
+        let objects: Vec<&SpatialObject> = ds.objects().collect();
         // Mandatory set: first 2 objects; optional: remaining 3.
-        let lower_stats = agg.stats_of(objects.iter().take(2));
-        let upper_stats = agg.stats_of(objects.iter());
+        let lower_stats = agg.stats_of(objects.iter().copied().take(2));
+        let upper_stats = agg.stats_of(objects.iter().copied());
         let (lo, hi) = agg.feature_bounds(&lower_stats, &upper_stats);
         // Check every subset S with L ⊆ S ⊆ U (8 subsets of the optional 3).
         for mask in 0..8u32 {
             let subset: Vec<&SpatialObject> = objects
                 .iter()
+                .copied()
                 .take(2)
                 .chain(
                     objects
                         .iter()
+                        .copied()
                         .skip(2)
                         .enumerate()
                         .filter(|(i, _)| mask & (1 << i) != 0)
@@ -826,7 +827,7 @@ mod tests {
             .count(Selection::cat_equals(0, 0))
             .build()
             .unwrap();
-        let rep = agg.aggregate(ds.objects().iter());
+        let rep = agg.aggregate(ds.objects());
         assert_eq!(rep.as_slice(), &[2.0]);
     }
 
@@ -834,10 +835,10 @@ mod tests {
     fn lower_bound_distance_wrapper_is_consistent() {
         let ds = example_dataset();
         let agg = example_aggregator();
-        let query = agg.aggregate(ds.objects().iter());
+        let query = agg.aggregate(ds.objects());
         let weights = Weights::uniform(agg.feature_dim());
-        let lower_stats = agg.stats_of(ds.objects().iter().take(3));
-        let upper_stats = agg.stats_of(ds.objects().iter());
+        let lower_stats = agg.stats_of(ds.objects().take(3));
+        let upper_stats = agg.stats_of(ds.objects());
         let lb = agg.lower_bound_distance(
             &query,
             &lower_stats,

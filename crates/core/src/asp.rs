@@ -55,7 +55,6 @@ impl AspInstance {
     ) -> Self {
         let rects: Vec<RectObject> = dataset
             .objects()
-            .iter()
             .enumerate()
             .map(|(idx, o)| RectObject {
                 rect: Rect::from_top_right(o.location, size),
@@ -87,6 +86,42 @@ impl AspInstance {
             accuracy,
             size,
         }
+    }
+
+    /// Appends one rectangle without refreshing the derived fields.
+    ///
+    /// Part of the incremental probe-context maintenance in the cache
+    /// carry-forward pass: a dataset append puts the object at the end of
+    /// iteration order, so pushing its rectangle (with the next object
+    /// index) and then calling [`AspInstance::refresh`] reproduces exactly
+    /// what [`AspInstance::build`] would construct from the grown dataset.
+    pub(crate) fn push_rect(&mut self, rect: RectObject) {
+        self.rects.push(rect);
+    }
+
+    /// Recomputes the space and accuracy after [`AspInstance::push_rect`]
+    /// calls, mirroring [`AspInstance::build`] fold-for-fold: the same MBR
+    /// iteration order and the same floor clamping.  `xs`/`ys` must hold
+    /// the edge coordinates of every rectangle (duplicates included; order
+    /// is irrelevant — the estimator sorts internally).
+    pub(crate) fn refresh(
+        &mut self,
+        accuracy_override: Option<Accuracy>,
+        accuracy_floor: f64,
+        xs: &[f64],
+        ys: &[f64],
+    ) {
+        self.space = Rect::mbr_of(self.rects.iter().map(|r| r.rect));
+        self.accuracy = match accuracy_override {
+            Some(acc) => acc,
+            None => {
+                let floor = Accuracy::new(
+                    accuracy_floor.max(f64::MIN_POSITIVE),
+                    accuracy_floor.max(f64::MIN_POSITIVE),
+                );
+                Accuracy::from_edge_coordinates(xs, ys, floor)
+            }
+        };
     }
 
     /// The rectangle objects.
@@ -183,6 +218,28 @@ impl EdgeSnapper {
         ys.sort_by(f64::total_cmp);
         ys.dedup();
         Self { xs, ys }
+    }
+
+    /// Builds a snapper from edge-coordinate arrays already sorted by
+    /// `total_cmp` (duplicates allowed) — the incrementally maintained
+    /// arrays of the carry-probe cache.  Same multiset, same sort order,
+    /// same dedup as [`EdgeSnapper::from_asp`], hence bit-identical edges.
+    pub(crate) fn from_sorted_edges(xs: &[f64], ys: &[f64]) -> Self {
+        let mut xs = xs.to_vec();
+        xs.dedup();
+        let mut ys = ys.to_vec();
+        ys.dedup();
+        Self { xs, ys }
+    }
+
+    /// Bitwise equality of the edge arrays: the debug-build check that an
+    /// incrementally maintained snapper matches a fresh build.
+    #[cfg(debug_assertions)]
+    pub(crate) fn bits_eq(&self, other: &Self) -> bool {
+        let eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        eq(&self.xs, &other.xs) && eq(&self.ys, &other.ys)
     }
 
     /// The canonical representative of the arrangement cell containing `p`.
@@ -298,7 +355,6 @@ mod tests {
             let region = Rect::from_bottom_left(p, size);
             let inside: Vec<u32> = ds
                 .objects()
-                .iter()
                 .enumerate()
                 .filter(|(_, o)| region.strictly_contains_point(&o.location))
                 .map(|(i, _)| i as u32)

@@ -127,9 +127,10 @@ pub(crate) fn audit_core(core: &EngineCore) -> AuditReport {
         audit_shards(&mut audit, core, set);
     }
     if let Some(cache) = &core.cache {
-        let stale: Vec<u64> = cache
-            .stamped_generations()
-            .into_iter()
+        let provenance = cache.stamp_provenance();
+        let stale: Vec<u64> = provenance
+            .iter()
+            .map(|p| p.stamp)
             .filter(|g| *g > core.generation)
             .collect();
         audit.check("cache-generation-stamps", stale.is_empty(), || {
@@ -138,6 +139,24 @@ pub(crate) fn audit_core(core: &EngineCore) -> AuditReport {
                 stale.len(),
                 core.generation,
                 stale[0]
+            )
+        });
+        // A carried entry must have been proven at a generation strictly
+        // before the one it is stamped with ("stamped N+1, proven at N"):
+        // equal or newer provenance would mean the entry skipped the
+        // publish that was supposed to prove it.
+        let bad_carries: Vec<String> = provenance
+            .iter()
+            .filter_map(|p| {
+                let proven = p.carried_from?;
+                (proven >= p.stamp).then(|| format!("stamped {} proven at {proven}", p.stamp))
+            })
+            .collect();
+        audit.check("cache-carry-provenance", bad_carries.is_empty(), || {
+            format!(
+                "{} carried cache entr(ies) with provenance not before their stamp (first: {})",
+                bad_carries.len(),
+                bad_carries[0]
             )
         });
     }
@@ -162,7 +181,7 @@ fn audit_dataset(audit: &mut Auditor, dataset: &Dataset) {
 }
 
 fn recompute_bounding_box(dataset: &Dataset) -> Option<Rect> {
-    let mut objects = dataset.objects().iter();
+    let mut objects = dataset.objects();
     let first = objects.next()?;
     let mut rect = Rect::new(
         first.location.x,
@@ -345,7 +364,6 @@ fn audit_shards(audit: &mut Auditor, core: &EngineCore, set: &crate::shard::Shar
     let missing: Vec<u64> = core
         .dataset
         .objects()
-        .iter()
         .filter(|o| !owner_of.contains_key(&o.id))
         .map(|o| o.id)
         .collect();

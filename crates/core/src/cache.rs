@@ -18,8 +18,31 @@
 //! engine-wide and surfaced through [`CacheStats`] (and from there into
 //! [`SearchStats::cache_hits`](crate::SearchStats::cache_hits) on
 //! aggregate snapshots such as a serving `/metrics` endpoint).
+//!
+//! # Single-flight miss coalescing
+//!
+//! Concurrent identical misses on the same key share one computation
+//! through [`QueryCache::compute_coalesced`]: the first arrival (the
+//! *leader*) registers an in-flight slot, computes while holding it, and
+//! publishes the result; later arrivals (*waiters*) block on the slot and
+//! clone whatever the leader produced — a success **or** an error, which
+//! therefore propagates to every coalesced caller.  A leader that panics
+//! poisons its slot; waiters detect the poison and degrade to independent
+//! misses, so coalescing can only ever save work, never lose answers.
+//! Lock order: `cache.inflight → cache.flight_slot → cache.shard`.
+//!
+//! # Cross-generation carry-forward
+//!
+//! Entries remember their originating request, so the mutation publish
+//! path can *prove* that a commit batch cannot have changed an entry's
+//! answer and re-stamp it to the next generation
+//! ([`QueryCache::carry`]) instead of letting it age out.  A carried
+//! entry records the generation it was proven at
+//! ([`StampProvenance::carried_from`]) so the invariant auditor can check
+//! the "stamped N+1, proven at N" contract.
 
-use crate::request::{QueryResponse, RequestKey};
+use crate::error::AsrsError;
+use crate::request::{QueryRequest, QueryResponse, RequestKey};
 use crate::sync::Mutex;
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
@@ -37,6 +60,14 @@ const SHARD_COUNT: usize = 16;
 struct Entry {
     response: QueryResponse,
     last_used: u64,
+    /// The originating request, kept so a publish can re-prove the entry
+    /// against the successor generation (carry-forward).  `None` for
+    /// entries stored through the request-less [`QueryCache::insert`].
+    request: Option<Arc<QueryRequest>>,
+    /// The generation this entry was last *proven unchanged* at when it
+    /// was carried forward instead of recomputed; `None` for entries the
+    /// engine actually computed.
+    carried_from: Option<u64>,
 }
 
 /// Keys are shared between the entry map and the recency index behind an
@@ -68,7 +99,14 @@ impl Shard {
         Some(entry.response.clone())
     }
 
-    fn insert(&mut self, key: RequestKey, response: QueryResponse, capacity: usize) {
+    fn insert(
+        &mut self,
+        key: RequestKey,
+        response: QueryResponse,
+        request: Option<Arc<QueryRequest>>,
+        carried_from: Option<u64>,
+        capacity: usize,
+    ) {
         self.clock += 1;
         let clock = self.clock;
         let key = Arc::new(key);
@@ -77,6 +115,8 @@ impl Shard {
             Entry {
                 response,
                 last_used: clock,
+                request,
+                carried_from,
             },
         ) {
             self.order.remove(&replaced.last_used);
@@ -96,6 +136,67 @@ impl Shard {
             self.entries.remove(&lru);
         }
     }
+
+    /// Removes an entry, keeping the recency index coherent.
+    fn remove(&mut self, key: &RequestKey) -> Option<Entry> {
+        let entry = self.entries.remove(key)?;
+        self.order.remove(&entry.last_used);
+        Some(entry)
+    }
+}
+
+/// One leader's result slot: waiters block on the inner mutex until the
+/// leader (who holds it for the whole computation) publishes.
+#[derive(Debug, Default)]
+struct InFlight {
+    slot: Mutex<Option<Result<QueryResponse, AsrsError>>>,
+}
+
+/// Removes a leader's in-flight registration when its computation ends —
+/// on success, on error, *and* on panic (the drop runs during unwinding),
+/// so a dead flight never pins its key in the table.
+struct ClearFlight<'a> {
+    cache: &'a QueryCache,
+    key: &'a RequestKey,
+    flight: &'a Arc<InFlight>,
+}
+
+impl Drop for ClearFlight<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut table) = self.cache.inflight.lock() {
+            if table
+                .get(self.key)
+                .is_some_and(|f| Arc::ptr_eq(f, self.flight))
+            {
+                table.remove(self.key);
+            }
+        }
+    }
+}
+
+/// A stored key's generation stamp plus carry provenance, for the
+/// invariant auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StampProvenance {
+    /// The generation the key is stamped with.
+    pub stamp: u64,
+    /// The generation the entry was proven at when carried forward
+    /// (`None` for computed entries).  Sound carries have
+    /// `carried_from < stamp`.
+    pub carried_from: Option<u64>,
+}
+
+/// A carry-forward candidate: an entry of the just-retired generation
+/// that still knows its originating request, handed to the publish path
+/// for re-proving against the successor core.
+#[derive(Debug, Clone)]
+pub(crate) struct CarryCandidate {
+    /// The entry's current (old-generation) stamped key.
+    pub key: RequestKey,
+    /// The originating request.
+    pub request: Arc<QueryRequest>,
+    /// The stored response (what a carried hit would serve verbatim).
+    pub response: QueryResponse,
 }
 
 /// A point-in-time snapshot of the cache counters, serialized into the
@@ -110,6 +211,15 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum number of entries the cache retains.
     pub capacity: usize,
+    /// Misses that blocked on another caller's in-flight computation and
+    /// shared its result instead of recomputing.
+    pub coalesced_waits: u64,
+    /// Entries re-stamped to a successor generation because a commit
+    /// batch provably could not change their answer.
+    pub carried_forward: u64,
+    /// Carry-forward attempts rejected by the byte-identity proof path —
+    /// each one is a soundness near-miss worth investigating.
+    pub carry_proof_failures: u64,
 }
 
 impl CacheStats {
@@ -130,14 +240,21 @@ impl CacheStats {
 /// readers on different shards never contend; each shard evicts its least
 /// recently used entry when full.  A hit returns the stored response
 /// verbatim, so cached and freshly computed answers are byte-identical on
-/// the wire.
+/// the wire.  Misses can be coalesced (see
+/// [`QueryCache::compute_coalesced`]) and entries can survive generation
+/// bumps when a publish proves them unchanged (see [`QueryCache::carry`]).
 #[derive(Debug)]
 pub struct QueryCache {
     shards: Vec<Mutex<Shard>>,
+    /// Single-flight table: stamped key → the leader's in-flight slot.
+    inflight: Mutex<HashMap<RequestKey, Arc<InFlight>>>,
     per_shard_capacity: usize,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced_waits: AtomicU64,
+    carried_forward: AtomicU64,
+    carry_proof_failures: AtomicU64,
 }
 
 impl QueryCache {
@@ -151,10 +268,14 @@ impl QueryCache {
         let per_shard_capacity = capacity.div_ceil(SHARD_COUNT).max(1);
         Self {
             shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            inflight: Mutex::new(HashMap::new()),
             per_shard_capacity,
             capacity: per_shard_capacity * SHARD_COUNT,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+            carried_forward: AtomicU64::new(0),
+            carry_proof_failures: AtomicU64::new(0),
         }
     }
 
@@ -182,27 +303,215 @@ impl QueryCache {
     }
 
     /// Stores a response, evicting the shard's least recently used entry
-    /// when the shard is full.
+    /// when the shard is full.  Entries stored this way carry no request
+    /// and therefore never qualify for carry-forward; the engine's submit
+    /// path stores through [`QueryCache::compute_coalesced`] instead.
     pub fn insert(&self, key: RequestKey, response: QueryResponse) {
         if let Ok(mut shard) = self.shard_of(&key).lock() {
-            shard.insert(key, response, self.per_shard_capacity);
+            shard.insert(key, response, None, None, self.per_shard_capacity);
         }
     }
 
-    /// The generation stamps of every stored key, for the invariant
-    /// auditor (an engine-owned cache only ever stores
+    /// Computes a missed response exactly once across concurrent callers.
+    ///
+    /// The first caller for `key` becomes the leader: it runs `run` while
+    /// holding the flight's result slot, stores a successful response
+    /// (remembering `request` for carry-forward) and publishes the result
+    /// — success or error — to every waiter blocked on the slot.  Waiters
+    /// clone the leader's result without recomputing; a poisoned slot
+    /// (the leader panicked) or a poisoned table degrades a caller to an
+    /// ordinary independent miss.
+    pub(crate) fn compute_coalesced<F>(
+        &self,
+        key: RequestKey,
+        request: &QueryRequest,
+        run: F,
+    ) -> Result<QueryResponse, AsrsError>
+    where
+        F: FnOnce() -> Result<QueryResponse, AsrsError>,
+    {
+        let mut table = match self.inflight.lock() {
+            Ok(table) => table,
+            // Poisoned table: single-flight is unavailable, but a cache
+            // may always degrade to independent misses.
+            Err(_) => return self.compute_independent(key, request, run),
+        };
+        if let Some(existing) = table.get(&key) {
+            let flight = Arc::clone(existing);
+            drop(table);
+            return self.wait_for_leader(flight, key, request, run);
+        }
+        let flight = Arc::new(InFlight::default());
+        table.insert(key.clone(), Arc::clone(&flight));
+        // Deregister on every exit — including a panic inside `run`, so a
+        // dead flight never pins the key.  Declared before the slot guard:
+        // it must run *after* the slot is released (poisoned or filled),
+        // never while holding it.
+        let clear = ClearFlight {
+            cache: self,
+            key: &key,
+            flight: &flight,
+        };
+        // Take the result slot before the table is released so no waiter
+        // can observe an unheld empty slot (uncontended: the flight was
+        // created two lines up).
+        let mut slot = match flight.slot.lock() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        drop(table);
+        let result = run();
+        if let Ok(response) = &result {
+            if let Ok(mut shard) = self.shard_of(&key).lock() {
+                shard.insert(
+                    key.clone(),
+                    response.clone(),
+                    Some(Arc::new(request.clone())),
+                    None,
+                    self.per_shard_capacity,
+                );
+            }
+        }
+        *slot = Some(result.clone());
+        drop(slot);
+        drop(clear);
+        result
+    }
+
+    /// Blocks on a leader's result slot and shares its outcome; degrades
+    /// to an independent miss when the leader died without publishing.
+    fn wait_for_leader<F>(
+        &self,
+        flight: Arc<InFlight>,
+        key: RequestKey,
+        request: &QueryRequest,
+        run: F,
+    ) -> Result<QueryResponse, AsrsError>
+    where
+        F: FnOnce() -> Result<QueryResponse, AsrsError>,
+    {
+        if let Ok(slot) = flight.slot.lock() {
+            if let Some(result) = slot.as_ref() {
+                self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                return result.clone();
+            }
+        }
+        // The leader panicked (poisoned slot) or never published.  Clear
+        // the dead flight if it still owns the key, then miss normally.
+        if let Ok(mut table) = self.inflight.lock() {
+            if table.get(&key).is_some_and(|f| Arc::ptr_eq(f, &flight)) {
+                table.remove(&key);
+            }
+        }
+        self.compute_independent(key, request, run)
+    }
+
+    /// An un-coalesced miss: compute, store on success.
+    fn compute_independent<F>(
+        &self,
+        key: RequestKey,
+        request: &QueryRequest,
+        run: F,
+    ) -> Result<QueryResponse, AsrsError>
+    where
+        F: FnOnce() -> Result<QueryResponse, AsrsError>,
+    {
+        let response = run()?;
+        if let Ok(mut shard) = self.shard_of(&key).lock() {
+            shard.insert(
+                key,
+                response.clone(),
+                Some(Arc::new(request.clone())),
+                None,
+                self.per_shard_capacity,
+            );
+        }
+        Ok(response)
+    }
+
+    /// Collects the entries stamped exactly `generation` that still know
+    /// their originating request — the carry-forward candidates a publish
+    /// re-proves against the successor core.  Entries with older stamps
+    /// were already missed by readers of the retiring generation and are
+    /// left to age out.
+    pub(crate) fn carry_candidates(&self, generation: u64) -> Vec<CarryCandidate> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let Ok(shard) = shard.lock() else { continue };
+            for (key, entry) in &shard.entries {
+                if key.generation_stamp() != Some(generation) {
+                    continue;
+                }
+                let Some(request) = &entry.request else {
+                    continue;
+                };
+                out.push(CarryCandidate {
+                    key: (**key).clone(),
+                    request: Arc::clone(request),
+                    response: entry.response.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Re-stamps a proven entry from `old_key` to `new_key`, recording
+    /// that it was proven at generation `proven_at`.  The entry keeps its
+    /// originating request, so it can be proven and carried again by
+    /// later publishes.  Returns `false` when the entry aged out between
+    /// candidate collection and the carry (nothing is inserted then —
+    /// carrying must never resurrect evicted data).
+    pub(crate) fn carry(&self, old_key: &RequestKey, new_key: RequestKey, proven_at: u64) -> bool {
+        let entry = {
+            let Ok(mut shard) = self.shard_of(old_key).lock() else {
+                return false;
+            };
+            let Some(entry) = shard.remove(old_key) else {
+                return false;
+            };
+            entry
+        };
+        if let Ok(mut shard) = self.shard_of(&new_key).lock() {
+            shard.insert(
+                new_key,
+                entry.response,
+                entry.request,
+                Some(proven_at),
+                self.per_shard_capacity,
+            );
+            self.carried_forward.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Records a carry-forward attempt rejected by the byte-identity
+    /// proof path (debug builds are the only caller — release builds
+    /// trust the predicate and compile the recompute out).
+    #[cfg(debug_assertions)]
+    pub(crate) fn note_carry_proof_failure(&self) {
+        self.carry_proof_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The generation stamp and carry provenance of every stored key, for
+    /// the invariant auditor (an engine-owned cache only ever stores
     /// [`RequestKey::stamped`](crate::RequestKey::stamped) keys).  Keys
     /// too short to carry a stamp are skipped.
-    pub(crate) fn stamped_generations(&self) -> Vec<u64> {
+    pub(crate) fn stamp_provenance(&self) -> Vec<StampProvenance> {
         self.shards
             .iter()
             .filter_map(|s| s.lock().ok())
             .flat_map(|shard| {
                 shard
                     .entries
-                    .keys()
-                    .filter_map(|k| k.generation_stamp())
-                    .collect::<Vec<u64>>()
+                    .iter()
+                    .filter_map(|(key, entry)| {
+                        key.generation_stamp().map(|stamp| StampProvenance {
+                            stamp,
+                            carried_from: entry.carried_from,
+                        })
+                    })
+                    .collect::<Vec<StampProvenance>>()
             })
             .collect()
     }
@@ -219,6 +528,9 @@ impl QueryCache {
                 .map(|shard| shard.entries.len())
                 .sum(),
             capacity: self.capacity,
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            carried_forward: self.carried_forward.load(Ordering::Relaxed),
+            carry_proof_failures: self.carry_proof_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -232,6 +544,7 @@ mod tests {
     use crate::stats::SearchStats;
     use asrs_aggregator::{FeatureVector, Weights};
     use asrs_geo::{Point, Rect, RegionSize};
+    use std::sync::atomic::AtomicUsize;
 
     fn request(i: u32) -> QueryRequest {
         QueryRequest::similar(AsrsQuery::new(
@@ -326,5 +639,144 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 8 * 32);
         assert!(stats.entries <= stats.capacity);
+    }
+
+    #[test]
+    fn coalesced_leader_computes_once_and_waiters_share_the_result() {
+        let cache = Arc::new(QueryCache::new(64));
+        let req = request(1);
+        let key = req.cache_key().stamped(3);
+        let computes = AtomicUsize::new(0);
+        // A barrier makes every thread race into compute_coalesced while
+        // the key is cold; the leader's slow computation keeps the flight
+        // open long enough for the rest to register as waiters.
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                let req = &req;
+                let key = key.clone();
+                let computes = &computes;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let got = cache
+                        .compute_coalesced(key, req, || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(response(7.0))
+                        })
+                        .unwrap();
+                    assert_eq!(got, response(7.0));
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            computes.load(Ordering::SeqCst) as u64 + stats.coalesced_waits,
+            8,
+            "every caller either computed or coalesced"
+        );
+        assert!(
+            stats.coalesced_waits > 0,
+            "with an open flight at the barrier, some caller must have coalesced"
+        );
+        // The flight table must be empty again.
+        assert!(cache.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn coalesced_errors_propagate_to_every_waiter() {
+        let cache = QueryCache::new(8);
+        let req = request(2);
+        let key = req.cache_key().stamped(1);
+        let err = cache
+            .compute_coalesced(key.clone(), &req, || {
+                Err(AsrsError::Internal {
+                    message: "boom".to_string(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, AsrsError::Internal { .. }));
+        // Errors are not cached: the next lookup misses.
+        assert!(cache.get(&key).is_none());
+        assert!(cache.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn leader_panic_degrades_waiters_to_independent_misses() {
+        let cache = Arc::new(QueryCache::new(64));
+        let req = request(3);
+        let key = req.cache_key().stamped(2);
+        let entered = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let leader = scope.spawn({
+                let cache = Arc::clone(&cache);
+                let req = req.clone();
+                let key = key.clone();
+                let entered = &entered;
+                move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cache.compute_coalesced(key, &req, || {
+                            entered.wait();
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            panic!("leader died");
+                        })
+                    }));
+                    assert!(result.is_err(), "the leader must observe its own panic");
+                }
+            });
+            entered.wait();
+            // The flight is open and its leader is doomed; this waiter must
+            // fall back to computing independently.
+            let got = cache
+                .compute_coalesced(key.clone(), &req, || Ok(response(9.0)))
+                .unwrap();
+            assert_eq!(got, response(9.0));
+            leader.join().unwrap();
+        });
+        assert_eq!(cache.get(&key), Some(response(9.0)));
+        assert!(cache.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn carry_restamps_an_entry_with_provenance() {
+        let cache = QueryCache::new(8);
+        let req = request(4);
+        let old_key = req.cache_key().stamped(5);
+        cache
+            .compute_coalesced(old_key.clone(), &req, || Ok(response(1.5)))
+            .unwrap();
+        let candidates = cache.carry_candidates(5);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].key, old_key);
+        assert_eq!(candidates[0].response, response(1.5));
+
+        let new_key = req.cache_key().stamped(6);
+        assert!(cache.carry(&old_key, new_key.clone(), 5));
+        assert!(cache.get(&old_key).is_none(), "old stamp must be gone");
+        assert_eq!(cache.get(&new_key), Some(response(1.5)));
+        assert_eq!(cache.stats().carried_forward, 1);
+        let provenance = cache.stamp_provenance();
+        assert_eq!(provenance.len(), 1);
+        assert_eq!(provenance[0].stamp, 6);
+        assert_eq!(provenance[0].carried_from, Some(5));
+
+        // A carried entry keeps its request, so it is a candidate again at
+        // the new generation.
+        assert_eq!(cache.carry_candidates(6).len(), 1);
+        // Carrying a vanished key is refused.
+        assert!(!cache.carry(&old_key, req.cache_key().stamped(7), 6));
+    }
+
+    #[test]
+    fn requestless_inserts_are_not_carry_candidates() {
+        let cache = QueryCache::new(8);
+        let key = request(5).cache_key().stamped(4);
+        cache.insert(key, response(2.0));
+        assert!(cache.carry_candidates(4).is_empty());
+        let provenance = cache.stamp_provenance();
+        assert_eq!(provenance.len(), 1);
+        assert_eq!(provenance[0].carried_from, None);
     }
 }

@@ -990,9 +990,10 @@ impl EngineCore {
         if let Some(hit) = cache.get(&key) {
             return Ok(hit);
         }
-        let response = self.execute(request)?;
-        cache.insert(key, response.clone());
-        Ok(response)
+        // Single-flight: concurrent identical cold lookups share one
+        // computation; the cache remembers the request so a later publish
+        // can prove the entry unchanged and carry it across generations.
+        cache.compute_coalesced(key, request, || self.execute(request))
     }
 
     /// Counters of the attached query-result cache, if any.
@@ -1000,7 +1001,7 @@ impl EngineCore {
         self.cache.as_deref().map(QueryCache::stats)
     }
 
-    fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
+    pub(crate) fn execute(&self, request: &QueryRequest) -> Result<QueryResponse, AsrsError> {
         let plan = self.plan(request)?;
         plan.admit()?;
         if self.shards.is_some() {
@@ -2208,11 +2209,17 @@ mod tests {
     fn ttl_appends_expire_on_sweep() {
         let (ds, agg) = setup(120, 31);
         let engine = AsrsEngine::builder(ds.clone(), agg).build().unwrap();
+        // One batch arms both TTLs: a *later* commit would piggyback the
+        // already-due zero-TTL expiry (see `commit` in mutate.rs), and this
+        // test exercises the timer-sweep path specifically.
         engine
-            .append_with_ttl(object_at(&ds, 9000, 30.0, 30.0), Duration::ZERO)
-            .unwrap();
-        engine
-            .append_with_ttl(object_at(&ds, 9001, 31.0, 31.0), Duration::from_secs(3600))
+            .append_batch(vec![
+                (object_at(&ds, 9000, 30.0, 30.0), Some(Duration::ZERO)),
+                (
+                    object_at(&ds, 9001, 31.0, 31.0),
+                    Some(Duration::from_secs(3600)),
+                ),
+            ])
             .unwrap();
         assert_eq!(engine.dataset().len(), 122);
         assert_eq!(engine.mutation_stats().pending_ttl, 2);

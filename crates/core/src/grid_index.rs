@@ -483,7 +483,7 @@ mod tests {
     fn total_stats_match_direct_aggregation() {
         let (ds, agg) = setup();
         let index = GridIndex::build(&ds, &agg, 16, 16).unwrap();
-        let direct = agg.stats_of(ds.objects().iter());
+        let direct = agg.stats_of(ds.objects());
         let indexed = index.total_stats();
         for (a, b) in direct.iter().zip(&indexed) {
             assert!((a - b).abs() < 1e-6, "direct {a} vs indexed {b}");
@@ -499,7 +499,7 @@ mod tests {
         let spec = index.spec().clone();
         // Check a handful of sub-blocks against a direct recount.
         for (c0, c1, r0, r1) in [(0, 10, 0, 10), (2, 7, 3, 9), (0, 1, 0, 1), (5, 5, 2, 8)] {
-            let expected = agg.stats_of(ds.objects().iter().filter(|o| {
+            let expected = agg.stats_of(ds.objects().filter(|o| {
                 let cell = spec.clamped_cell_of_point(&o.location);
                 cell.col >= c0 && cell.col < c1 && cell.row >= r0 && cell.row < r1
             }));
@@ -522,7 +522,6 @@ mod tests {
         let upper = index.stats_of_cells_overlapping(&region);
         let exact = agg.stats_of(
             ds.objects()
-                .iter()
                 .filter(|o| region.strictly_contains_point(&o.location)),
         );
         // For count-like slots (the distribution counts), lower ≤ exact ≤
@@ -579,7 +578,6 @@ mod tests {
         let spec = index.spec().clone();
         let distinct_cols: std::collections::HashSet<usize> = ds
             .objects()
-            .iter()
             .map(|o| spec.clamped_cell_of_point(&o.location).col)
             .collect();
         assert!(
@@ -588,7 +586,7 @@ mod tests {
             distinct_cols.len()
         );
         // And the summaries stay correct.
-        let direct = agg.stats_of(ds.objects().iter());
+        let direct = agg.stats_of(ds.objects());
         for (a, b) in direct.iter().zip(&index.total_stats()) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -695,7 +693,7 @@ mod tests {
             .unwrap();
         let index = GridIndex::build(&ds, &agg, 20, 20).unwrap();
         let total = index.total_stats();
-        let direct = agg.stats_of(ds.objects().iter());
+        let direct = agg.stats_of(ds.objects());
         for (a, b) in direct.iter().zip(&total) {
             assert!((a - b).abs() < 1e-6);
         }

@@ -141,6 +141,7 @@ mod audit;
 mod best;
 mod budget;
 mod cache;
+mod carry;
 mod config;
 mod discretize;
 mod drop_condition;

@@ -81,6 +81,7 @@ use crate::planner::{EngineStatistics, IndexStatistics};
 use crate::shard::{build_shard_set, ShardSet};
 use asrs_aggregator::CompositeAggregator;
 use asrs_data::{Dataset, Mutation, MutationLog, SpatialObject};
+use asrs_geo::Point;
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -219,6 +220,10 @@ pub(crate) struct MutationState {
     incremental_updates: u64,
     index_rebuilds: u64,
     repartitions: u64,
+    /// Per-size probe contexts the carry-forward pass reuses across
+    /// publishes (see [`carry`](crate::carry)); mutator-guarded like the
+    /// rest of this state.
+    carry_probes: crate::carry::CarryProbes,
 }
 
 impl MutationState {
@@ -233,6 +238,7 @@ impl MutationState {
             incremental_updates: 0,
             index_rebuilds: 0,
             repartitions: 0,
+            carry_probes: crate::carry::CarryProbes::default(),
         }
     }
 }
@@ -388,7 +394,29 @@ pub(crate) fn commit(
         }
         std::mem::take(&mut queue.pending)
     };
-    let (_, outcomes) = publish(shared, &mut state, Vec::new(), drained);
+    // Piggyback: while write traffic flows, due TTL expiries ride the
+    // application's commit batches — same generation, same WAL fsync —
+    // instead of waiting for the sweeper's next timer tick.  They
+    // serialize before the drained groups, exactly as a sweep leader
+    // orders them.  Ids the batch's own operations reference are left
+    // for the sweeper: expiring them here would fail a caller's
+    // `remove(id)` (or let a duplicate `append(id)` through) that was
+    // valid when issued.  The expiry receipts have no caller to go to;
+    // the mutation log records the expiries all the same.
+    let referenced: HashSet<u64> = drained
+        .iter()
+        .flat_map(|group| group.ops.iter())
+        .map(|op| match op {
+            BatchOp::Append { object, .. } => object.id,
+            BatchOp::Remove { id } | BatchOp::Expire { id } => *id,
+        })
+        .collect();
+    let popped = pop_due_expiries(&mut state, &referenced);
+    let expiries = popped.iter().map(|e| e.id).collect();
+    let (expired, outcomes) = publish(shared, &mut state, expiries, drained);
+    if expired.is_err() {
+        reinstate_popped(&mut state, popped);
+    }
     let mut own = Err(AsrsError::Internal {
         message: format!("group commit lost ticket {ticket}"),
     });
@@ -405,19 +433,21 @@ pub(crate) fn commit(
     own
 }
 
-/// Expires every TTL'd object whose deadline has passed — as **one**
-/// published generation and one WAL fsync for the whole sweep.  A popped
-/// heap entry only fires while its token is still the armed one for its
-/// id: ids removed by a caller (or re-appended since) were disarmed and
-/// fall through without touching the dataset.  The sweep is itself a batch
-/// leader: any commit groups enqueued behind the mutator are folded into
-/// the sweep's generation.
-pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt>, AsrsError> {
-    // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
-    // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
-    let mut state = shared.mutator.lock().expect("mutation lock poisoned");
+/// Pops every armed TTL entry whose deadline has passed, disarming each.
+/// Must run under the mutation mutex; a popped entry is *owed* an expiry —
+/// either the caller publishes it or it must be reinstated with
+/// [`reinstate_popped`].  Entries whose token is no longer the armed one
+/// for their id (removed or re-appended since) fall through silently.
+///
+/// Entries whose id is in `exclude` are left armed for a later sweep: a
+/// commit batch must not expire an id its own operations reference —
+/// expiries serialize *before* the drained groups, so piggybacking one
+/// would make the caller's `remove(id)` deterministically fail on an
+/// object that was live when the caller issued it.
+fn pop_due_expiries(state: &mut MutationState, exclude: &HashSet<u64>) -> Vec<TtlEntry> {
     let now = Instant::now();
     let mut popped: Vec<TtlEntry> = Vec::new();
+    let mut deferred: Vec<TtlEntry> = Vec::new();
     loop {
         let due = matches!(state.ttl.peek(), Some(Reverse(entry)) if entry.deadline <= now);
         if !due {
@@ -429,9 +459,45 @@ pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt
         if state.ttl_armed.get(&entry.id) != Some(&entry.token) {
             continue;
         }
+        if exclude.contains(&entry.id) {
+            // Still armed; goes back on the heap once the scan is done
+            // (re-pushing inside the loop would pop it right back).
+            deferred.push(entry);
+            continue;
+        }
         state.ttl_armed.remove(&entry.id);
         popped.push(entry);
     }
+    for entry in deferred {
+        state.ttl.push(Reverse(entry));
+    }
+    popped
+}
+
+/// Puts popped-but-unpublished deadlines back — token, heap entry and all
+/// — so the next sweep retries them.  Dropping them would leave the
+/// objects live but unexpirable forever.  Nothing re-armed concurrently
+/// (the mutator is held throughout), so reinstating the original tokens
+/// is exact.
+fn reinstate_popped(state: &mut MutationState, popped: Vec<TtlEntry>) {
+    for entry in popped {
+        state.ttl_armed.insert(entry.id, entry.token);
+        state.ttl.push(Reverse(entry));
+    }
+}
+
+/// Expires every TTL'd object whose deadline has passed — as **one**
+/// published generation and one WAL fsync for the whole sweep.  A popped
+/// heap entry only fires while its token is still the armed one for its
+/// id: ids removed by a caller (or re-appended since) were disarmed and
+/// fall through without touching the dataset.  The sweep is itself a batch
+/// leader: any commit groups enqueued behind the mutator are folded into
+/// the sweep's generation.
+pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt>, AsrsError> {
+    // interlock:allow(the mutator is defined as held across publish: it serializes the epoch swap and WAL append)
+    // lint:allow(a poisoned mutation lock means a mutator died mid-publish; the TTL/log state is unknowable and continuing could corrupt history)
+    let mut state = shared.mutator.lock().expect("mutation lock poisoned");
+    let popped = pop_due_expiries(&mut state, &HashSet::new());
     let drained = {
         // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
         let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
@@ -444,15 +510,8 @@ pub(crate) fn sweep_expired(shared: &EngineShared) -> Result<Vec<MutationReceipt
     let (expired, outcomes) = publish(shared, &mut state, expiries, drained);
     if expired.is_err() {
         // A batch-level failure (WAL veto, assembly error) published
-        // nothing: put every popped deadline back — token, heap entry and
-        // all — so the next sweep retries these expiries.  Dropping them
-        // here would leave the objects live but unexpirable forever.
-        // Nothing re-armed concurrently (the mutator is held throughout),
-        // so reinstating the original tokens is exact.
-        for entry in popped {
-            state.ttl_armed.insert(entry.id, entry.token);
-            state.ttl.push(Reverse(entry));
-        }
+        // nothing: reinstate the deadlines for the next sweep.
+        reinstate_popped(&mut state, popped);
     }
     // lint:allow(a poisoned commit queue means a mutator died mid-deposit; continuing could lose or double-deliver receipts)
     let mut queue = shared.commit_queue.lock().expect("commit queue poisoned");
@@ -587,6 +646,17 @@ struct AssembledBatch {
     /// The maintenance counters as this batch evolved them; folded into
     /// [`MutationState`] only after the WAL accepts the batch.
     counters: CounterDraft,
+    /// Location of every object the batch appended or removed — the
+    /// influence-window inputs of the cache carry-forward pass
+    /// (see [`carry`](crate::carry)).
+    touched: Vec<Point>,
+    /// Whether any delta re-partitioned the shard layout (disqualifies
+    /// the whole batch from carry-forward).
+    repartitioned: bool,
+    /// Whether every op in the batch (piggybacked expiries included) was
+    /// an append — the precondition for extending the carry pass's probe
+    /// contexts incrementally instead of rebuilding them.
+    append_only: bool,
 }
 
 /// Applies the sweep's expiries and every drained group to **one**
@@ -619,7 +689,7 @@ fn publish(
     // Only a genuine multi-op batch pays for materializing the id set.
     let total_ops = expiries.len() + groups.iter().map(|g| g.ops.len()).sum::<usize>();
     let mut live = if total_ops > 1 {
-        LiveIds::Set(core.dataset.objects().iter().map(|o| o.id).collect())
+        LiveIds::Set(core.dataset.objects().map(|o| o.id).collect())
     } else {
         LiveIds::Solo(core.dataset.as_ref())
     };
@@ -706,7 +776,27 @@ fn publish(
             return fail_batch(verdicts, e);
         }
     }
-    shared.swap(Arc::new(assembled.next));
+    let next = Arc::new(assembled.next);
+    // Carry-forward pass: re-stamp every cache entry the batch provably
+    // did not affect to the successor generation (see the `carry` module
+    // docs).  Runs after the WAL accepted the batch — nothing can abort
+    // the publish past this point, so a re-stamped entry can never name a
+    // generation that fails to appear — and *before* the swap, so by the
+    // time readers can see the new generation its surviving entries are
+    // already re-stamped: no cold window for the pass's duration.  A
+    // reader still on the old generation may miss an entry the pass just
+    // moved; that is an ordinary cold miss, never a stale hit.  The
+    // mutation mutex is held throughout, so two publishes cannot re-stamp
+    // one generation's entries concurrently.
+    crate::carry::carry_forward(
+        &core,
+        &next,
+        &assembled.touched,
+        assembled.repartitioned,
+        assembled.append_only,
+        &mut state.carry_probes,
+    );
+    shared.swap(Arc::clone(&next));
     for logged in assembled.logged {
         state.log.record(generation, logged);
     }
@@ -815,10 +905,14 @@ fn assemble(
     let mut logged: Vec<Mutation> = Vec::with_capacity(batch);
     let mut ttl_events: Vec<TtlEvent> = Vec::new();
     let mut counters = CounterDraft::from_state(state);
+    let mut touched: Vec<Point> = Vec::with_capacity(batch);
+    let mut any_repartitioned = false;
+    let mut append_only = true;
 
     for (slot, op) in plan {
         let (kind, id, how, repartitioned) = match op {
             BatchOp::Append { object, ttl } => {
+                touched.push(object.location);
                 dataset.append(object.clone())?;
                 let (how, repartitioned) = fold_delta(
                     core,
@@ -837,7 +931,9 @@ fn assemble(
                 ("append", id, how, repartitioned)
             }
             BatchOp::Remove { id } => {
+                append_only = false;
                 let removed = take_by_id(&mut dataset, id)?;
+                touched.push(removed.location);
                 let (how, repartitioned) = fold_delta(
                     core,
                     &mut counters,
@@ -855,7 +951,9 @@ fn assemble(
                 // No TTL event: a live sweep already disarmed the id when
                 // it popped the deadline, and replayed expiries (WAL
                 // recovery) have no armed state to touch.
+                append_only = false;
                 let removed = take_by_id(&mut dataset, id)?;
+                touched.push(removed.location);
                 let (how, repartitioned) = fold_delta(
                     core,
                     &mut counters,
@@ -869,6 +967,7 @@ fn assemble(
                 ("expire", id, how, repartitioned)
             }
         };
+        any_repartitioned |= repartitioned;
         receipts.push((
             slot,
             MutationReceipt {
@@ -930,6 +1029,9 @@ fn assemble(
         logged,
         ttl_events,
         counters,
+        touched,
+        repartitioned: any_repartitioned,
+        append_only,
     })
 }
 

@@ -5,7 +5,8 @@
 //! These tests drive distilled replicas of the engine's concurrency
 //! protocol — the mutator-publish epoch swap, reader snapshot +
 //! generation-stamped cache insert, auditor mutation-pause, WAL append
-//! under the mutator, and the server worker queue — through *every*
+//! under the mutator, the cache's single-flight in-flight-slot handoff,
+//! and the server worker queue — through *every*
 //! interleaving of their lock operations via
 //! [`asrs_core::sync::model::Explorer`].  The declared lock orders here
 //! mirror `crates/interlock/LOCK_ORDER.md`; a protocol change that adds
@@ -88,6 +89,9 @@ fn protocol_explorer() -> Explorer {
             ("engine.mutator", "cache.shard"),
             ("engine.mutator", "persist.wal"),
             ("engine.mutator", "engine.commit_queue"),
+            ("cache.inflight", "cache.flight_slot"),
+            ("cache.inflight", "cache.shard"),
+            ("cache.flight_slot", "cache.shard"),
         ])
         .allow_blocking("fsync", "persist.wal")
         .allow_blocking("fsync", "engine.mutator")
@@ -244,6 +248,120 @@ fn group_commit_deposit_protocol_is_schedule_clean() {
     );
     for (from, to) in &report.edges {
         assert_eq!(from, "engine.mutator", "unexpected edge {from} -> {to}");
+    }
+}
+
+/// The single-flight miss-coalescing protocol, distilled from
+/// `crates/core/src/cache.rs::compute_coalesced` / `wait_for_leader`:
+/// the first cold caller (the leader) registers an in-flight slot in the
+/// table and — before releasing the table — takes the slot; later
+/// arrivals (waiters) find the flight in the table, release the table,
+/// and block on the slot for the leader's published result.  The
+/// load-bearing ordering is exactly the declared
+/// `cache.inflight -> cache.flight_slot -> cache.shard` chain: because
+/// the leader acquires the slot *while still holding the table*, no
+/// waiter can ever observe an unheld empty slot, and because the leader
+/// stores into the cache shard *while holding the slot*, the shard is
+/// written by the time any waiter shares the result.  A caller that
+/// arrives after the leader cleared the flight re-leads and must
+/// recompute the identical value.
+#[test]
+fn single_flight_slot_protocol_is_schedule_clean() {
+    struct Flight {
+        slot: Mutex<Option<u64>>,
+    }
+    struct CacheState {
+        inflight: Mutex<Option<Arc<Flight>>>,
+        shard: Mutex<Option<u64>>,
+    }
+    impl CacheState {
+        fn new() -> Self {
+            Self {
+                inflight: Mutex::named("cache.inflight", None),
+                shard: Mutex::named("cache.shard", None),
+            }
+        }
+
+        fn submit(&self) {
+            let mut table = self.inflight.lock().expect("table");
+            if let Some(flight) = table.as_ref() {
+                let flight = Arc::clone(flight);
+                drop(table);
+                // Waiter: the leader took the slot before the table was
+                // released, so this acquisition can only succeed once
+                // the result is published.
+                let slot = flight.slot.lock().expect("slot");
+                model::check(slot.is_some(), || {
+                    "waiter observed an unheld empty slot: the leader must take the slot before releasing the table".to_string()
+                });
+                model::check(*slot == Some(42), || {
+                    format!("waiter shared a wrong result: {:?}", *slot)
+                });
+                return;
+            }
+            // Leader: register the flight, then take its slot while the
+            // table is still held.
+            let flight = Arc::new(Flight {
+                slot: Mutex::named("cache.flight_slot", None),
+            });
+            *table = Some(Arc::clone(&flight));
+            let mut slot = flight.slot.lock().expect("slot");
+            drop(table);
+            let value = 42; // the deterministic recompute
+            {
+                let mut shard = self.shard.lock().expect("shard");
+                if let Some(cached) = *shard {
+                    // A fully completed earlier flight may have cached
+                    // already; a re-lead must agree with it.
+                    model::check(cached == value, || {
+                        format!("re-lead computed {value} != cached {cached}")
+                    });
+                }
+                *shard = Some(value);
+            }
+            *slot = Some(value);
+            drop(slot);
+            // ClearFlight: deregister only after the slot is released.
+            let mut table = self.inflight.lock().expect("table");
+            *table = None;
+        }
+    }
+
+    let report = protocol_explorer()
+        .explore(|run| {
+            let state = Arc::new(CacheState::new());
+            for name in ["caller-a", "caller-b"] {
+                let s = Arc::clone(&state);
+                run.thread(name, move || s.submit());
+            }
+            run.finally(move || {
+                match *state.shard.lock().expect("shard") {
+                    Some(42) => Ok(()),
+                    other => Err(format!("final cache entry {other:?}, expected Some(42)")),
+                }
+            });
+        })
+        .unwrap_or_else(|violation| panic!("{violation}"));
+    assert!(report.exhausted);
+    assert!(
+        report.schedules > 10,
+        "expected a non-trivial schedule space, got {}",
+        report.schedules
+    );
+    for edge in [
+        ("cache.inflight", "cache.flight_slot"),
+        ("cache.flight_slot", "cache.shard"),
+    ] {
+        assert!(
+            report
+                .edges
+                .iter()
+                .any(|(from, to)| (from.as_str(), to.as_str()) == edge),
+            "the {} -> {} edge must be exercised: {:?}",
+            edge.0,
+            edge.1,
+            report.edges
+        );
     }
 }
 

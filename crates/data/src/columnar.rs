@@ -177,21 +177,20 @@ fn read_value(reader: &mut Reader<'_>) -> Result<AttrValue, ColumnarError> {
 /// does).
 pub fn encode_dataset(dataset: &Dataset, out: &mut Vec<u8>) {
     put_str(out, &serde::json::to_string(dataset.schema()));
-    let objects = dataset.objects();
-    put_u64(out, objects.len() as u64);
-    for o in objects {
+    put_u64(out, dataset.len() as u64);
+    for o in dataset.objects() {
         put_u64(out, o.id);
     }
-    for o in objects {
+    for o in dataset.objects() {
         put_f64(out, o.location.x);
     }
-    for o in objects {
+    for o in dataset.objects() {
         put_f64(out, o.location.y);
     }
     let arity = dataset.schema().len();
     put_u32(out, arity as u32);
     for attr in 0..arity {
-        for o in objects {
+        for o in dataset.objects() {
             put_value(out, &o.values[attr]);
         }
     }
@@ -311,7 +310,7 @@ mod tests {
             encode_dataset(&dataset, &mut bytes);
             let decoded = decode_dataset(&mut Reader::new(&bytes)).unwrap();
             assert_eq!(decoded.schema(), dataset.schema());
-            assert_eq!(decoded.objects(), dataset.objects());
+            assert!(decoded.objects().eq(dataset.objects()));
         }
     }
 

@@ -1,18 +1,52 @@
 //! Datasets: collections of spatial objects sharing a schema.
+//!
+//! # Chunked persistent columns
+//!
+//! A [`Dataset`] stores its objects as a list of immutable, `Arc`-shared
+//! *chunks* rather than one flat vector.  Cloning a dataset therefore
+//! costs one reference count per chunk — never a byte copy of the
+//! objects — which is what lets the generational mutation path assemble a
+//! successor dataset per commit batch without copying the whole column:
+//!
+//! * [`Dataset::append`] pushes into the tail chunk when it is uniquely
+//!   owned and under the chunk-size cap, copies only the (bounded) tail
+//!   chunk when it is shared, and starts a fresh chunk once the tail is
+//!   full — the large seed chunks are never touched;
+//! * [`Dataset::remove_by_id`] copy-on-writes only the chunk owning the
+//!   removed object.
+//!
+//! The chunk layout is an implementation detail: equality
+//! ([`PartialEq`]), iteration order, indexing ([`Dataset::object`]) and
+//! the serialized form (`{schema, objects}`) are all layout-independent,
+//! so two datasets holding the same objects in the same order compare and
+//! serialize identically no matter how their mutation histories chunked
+//! them.
 
 use crate::{AttrValue, Schema, SchemaError, SpatialObject};
 use asrs_geo::{Point, Rect};
-use serde::{Deserialize, Serialize};
+use serde::{map_get, DeError, Deserialize, Serialize, Value};
+use std::sync::Arc;
+
+/// Once the tail chunk reaches this many objects, appends start a fresh
+/// chunk instead of growing (or copy-on-writing) it.  The cap bounds the
+/// bytes a mutation batch can copy: a shared tail is cloned at most this
+/// large, and everything older is shared by reference.
+const CHUNK_CAP: usize = 1024;
 
 /// An immutable collection of spatial objects with a common schema.
 ///
 /// `Dataset` is the input `O` of the ASRS problem (Definition 4).  It owns
-/// its objects; the search algorithms hold a shared reference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// its objects; the search algorithms hold a shared reference.  Objects
+/// live in `Arc`-shared chunks (see the module documentation), so cloning
+/// a dataset is cheap and mutation helpers copy at most one chunk.
+#[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
-    objects: Vec<SpatialObject>,
-    #[serde(skip)]
+    chunks: Vec<Arc<Vec<SpatialObject>>>,
+    /// `starts[i]` is the dataset position of chunk `i`'s first object;
+    /// kept strictly increasing with `starts[0] == 0` when non-empty.
+    starts: Vec<usize>,
+    len: usize,
     bbox_cache: Option<Rect>,
 }
 
@@ -22,13 +56,7 @@ impl Dataset {
         for o in &objects {
             schema.validate_values(&o.values)?;
         }
-        let mut ds = Self {
-            schema,
-            objects,
-            bbox_cache: None,
-        };
-        ds.bbox_cache = ds.compute_bbox();
-        Ok(ds)
+        Ok(Self::new_unchecked(schema, objects))
     }
 
     /// Creates a dataset without validating objects.
@@ -36,9 +64,20 @@ impl Dataset {
     /// Intended for generators that construct values known to conform to the
     /// schema; external inputs should use [`Dataset::new`].
     pub fn new_unchecked(schema: Schema, objects: Vec<SpatialObject>) -> Self {
+        let len = objects.len();
+        let (chunks, starts) = if objects.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            // The seed column is one chunk: it is never copied again
+            // (appends grow past it, removals copy-on-write at most one
+            // chunk), so splitting it here would only add indirection.
+            (vec![Arc::new(objects)], vec![0])
+        };
         let mut ds = Self {
             schema,
-            objects,
+            chunks,
+            starts,
+            len,
             bbox_cache: None,
         };
         ds.bbox_cache = ds.compute_bbox();
@@ -51,28 +90,35 @@ impl Dataset {
         &self.schema
     }
 
-    /// The objects.
+    /// Iterates over the objects in dataset (insertion) order.
     #[inline]
-    pub fn objects(&self) -> &[SpatialObject] {
-        &self.objects
+    pub fn objects(&self) -> impl Iterator<Item = &SpatialObject> + Clone + '_ {
+        self.chunks.iter().flat_map(|c| c.iter())
     }
 
     /// Number of objects.
     #[inline]
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.len
     }
 
     /// Returns `true` when the dataset holds no object.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.len == 0
     }
 
     /// The object with position `idx` in the dataset.
     #[inline]
     pub fn object(&self, idx: usize) -> &SpatialObject {
-        &self.objects[idx]
+        if let [chunk] = self.chunks.as_slice() {
+            return &chunk[idx];
+        }
+        let c = match self.starts.binary_search(&idx) {
+            Ok(c) => c,
+            Err(c) => c - 1,
+        };
+        &self.chunks[c][idx - self.starts[c]]
     }
 
     /// Appends `object` at the tail of the dataset, validating it against
@@ -85,6 +131,10 @@ impl Dataset {
     /// rests on.  The bounding box is maintained incrementally (a union
     /// with the new location, no rescan).
     ///
+    /// Cost: a fresh or uniquely owned tail chunk grows in place; a tail
+    /// chunk shared with another dataset clone is copied, but only up to
+    /// the chunk-size cap — the chunks before it are shared untouched.
+    ///
     /// Id uniqueness is *not* checked here (a dataset is allowed to carry
     /// duplicate ids, and several seed datasets do); the engine layer
     /// enforces uniqueness for mutable engines, where removal-by-id must be
@@ -92,7 +142,24 @@ impl Dataset {
     pub fn append(&mut self, object: SpatialObject) -> Result<(), SchemaError> {
         self.schema.validate_values(&object.values)?;
         let location = object.location;
-        self.objects.push(object);
+        match self.chunks.last_mut() {
+            Some(tail) if tail.len() < CHUNK_CAP => {
+                if let Some(tail) = Arc::get_mut(tail) {
+                    tail.push(object);
+                } else {
+                    // Shared tail: copy-on-write the one (bounded) chunk.
+                    let mut copy = Vec::with_capacity((tail.len() + 1).min(CHUNK_CAP));
+                    copy.extend_from_slice(tail);
+                    copy.push(object);
+                    *tail = Arc::new(copy);
+                }
+            }
+            _ => {
+                self.starts.push(self.len);
+                self.chunks.push(Arc::new(vec![object]));
+            }
+        }
+        self.len += 1;
         self.bbox_cache = Some(match self.bbox_cache {
             Some(bbox) => Rect::new(
                 bbox.min_x.min(location.x),
@@ -108,14 +175,25 @@ impl Dataset {
     /// Removes the first object whose id equals `id`, returning it, or
     /// `None` when no object matches.
     ///
-    /// Removal preserves the relative order of the remaining objects
-    /// (`Vec::remove` semantics), so the surviving object vector equals the
-    /// one a fresh dataset built without the removed object would hold —
-    /// again the rebuild-equivalence property.  The bounding box is
-    /// recomputed only when the removed location sat on the old boundary.
+    /// Removal preserves the relative order of the remaining objects, so
+    /// the surviving object sequence equals the one a fresh dataset built
+    /// without the removed object would hold — again the
+    /// rebuild-equivalence property.  Only the chunk owning the removed
+    /// object is copied; the bounding box is recomputed only when the
+    /// removed location sat on the old boundary.
     pub fn remove_by_id(&mut self, id: u64) -> Option<SpatialObject> {
-        let idx = self.objects.iter().position(|o| o.id == id)?;
-        let removed = self.objects.remove(idx);
+        let (chunk_idx, inner_idx) = self.chunks.iter().enumerate().find_map(|(ci, chunk)| {
+            chunk.iter().position(|o| o.id == id).map(|oi| (ci, oi))
+        })?;
+        let removed = if self.chunks[chunk_idx].len() == 1 {
+            let chunk = self.chunks.remove(chunk_idx);
+            chunk.first().cloned()?
+        } else {
+            let chunk = Arc::make_mut(&mut self.chunks[chunk_idx]);
+            chunk.remove(inner_idx)
+        };
+        self.rebuild_starts();
+        self.len -= 1;
         let on_boundary = self.bbox_cache.is_some_and(|bbox| {
             let p = removed.location;
             p.x == bbox.min_x || p.x == bbox.max_x || p.y == bbox.min_y || p.y == bbox.max_y
@@ -126,23 +204,33 @@ impl Dataset {
         Some(removed)
     }
 
+    /// Recomputes the `starts` prefix sums from the chunk lengths — the
+    /// one authoritative derivation, run after any structural edit.
+    fn rebuild_starts(&mut self) {
+        let mut at = 0;
+        self.starts.clear();
+        for chunk in &self.chunks {
+            self.starts.push(at);
+            at += chunk.len();
+        }
+    }
+
     /// Returns `true` when any object carries `id`.
     pub fn contains_id(&self, id: u64) -> bool {
-        self.objects.iter().any(|o| o.id == id)
+        self.objects().any(|o| o.id == id)
     }
 
     /// The smallest id strictly greater than every id in the dataset
     /// (`0` when empty) — a convenient id source for appended objects.
     pub fn next_id(&self) -> u64 {
-        self.objects
-            .iter()
+        self.objects()
             .map(|o| o.id)
             .max()
             .map_or(0, |max| max + 1)
     }
 
     fn compute_bbox(&self) -> Option<Rect> {
-        Rect::mbr_of_points(self.objects.iter().map(|o| o.location))
+        Rect::mbr_of_points(self.objects().map(|o| o.location))
     }
 
     /// The minimum bounding rectangle of all object locations, or `None` for
@@ -182,24 +270,21 @@ impl Dataset {
     /// Returns the objects strictly inside `region` (open containment, as in
     /// Lemma 1 of the paper).
     pub fn objects_strictly_in(&self, region: &Rect) -> Vec<&SpatialObject> {
-        self.objects
-            .iter()
+        self.objects()
             .filter(|o| region.strictly_contains_point(&o.location))
             .collect()
     }
 
     /// Returns the objects inside `region` including its boundary.
     pub fn objects_in(&self, region: &Rect) -> Vec<&SpatialObject> {
-        self.objects
-            .iter()
+        self.objects()
             .filter(|o| region.contains_point(&o.location))
             .collect()
     }
 
     /// Counts the objects strictly inside `region`.
     pub fn count_strictly_in(&self, region: &Rect) -> usize {
-        self.objects
-            .iter()
+        self.objects()
             .filter(|o| region.strictly_contains_point(&o.location))
             .count()
     }
@@ -207,7 +292,7 @@ impl Dataset {
     /// Returns a dataset containing only the first `n` objects (the paper's
     /// "extract 1 million objects from Tweet" style of sub-sampling).
     pub fn take_prefix(&self, n: usize) -> Dataset {
-        let objects: Vec<SpatialObject> = self.objects.iter().take(n).cloned().collect();
+        let objects: Vec<SpatialObject> = self.objects().take(n).cloned().collect();
         Dataset::new_unchecked(self.schema.clone(), objects)
     }
 
@@ -217,8 +302,7 @@ impl Dataset {
     pub fn quantized(&self, quantum: f64) -> Dataset {
         assert!(quantum > 0.0, "quantum must be positive");
         let objects = self
-            .objects
-            .iter()
+            .objects()
             .map(|o| {
                 let x = (o.location.x / quantum).round() * quantum;
                 let y = (o.location.y / quantum).round() * quantum;
@@ -230,17 +314,13 @@ impl Dataset {
 
     /// Iterates over `(index, object)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &SpatialObject)> {
-        self.objects.iter().enumerate()
+        self.objects().enumerate()
     }
 
     /// Collects the distinct values of a categorical attribute that actually
     /// occur in the dataset.
     pub fn observed_categories(&self, attr: usize) -> Vec<u32> {
-        let mut seen: Vec<u32> = self
-            .objects
-            .iter()
-            .filter_map(|o| o.cat_value(attr))
-            .collect();
+        let mut seen: Vec<u32> = self.objects().filter_map(|o| o.cat_value(attr)).collect();
         seen.sort_unstable();
         seen.dedup();
         seen
@@ -248,9 +328,43 @@ impl Dataset {
 
     /// Computes the observed minimum and maximum of a numeric attribute.
     pub fn numeric_extent(&self, attr: usize) -> Option<(f64, f64)> {
-        let mut it = self.objects.iter().filter_map(|o| o.num_value(attr));
+        let mut it = self.objects().filter_map(|o| o.num_value(attr));
         let first = it.next()?;
         Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+}
+
+/// Equality is chunk-layout independent: two datasets are equal when they
+/// hold the same schema and the same objects in the same order (and hence
+/// the same bounding box), no matter how mutation history chunked them.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.schema == other.schema && self.objects().eq(other.objects())
+    }
+}
+
+/// Serializes as `{schema, objects}` — the flat-vector shape the derive
+/// produced before chunking, so persisted/JSON forms are unchanged.
+impl Serialize for Dataset {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("schema".to_string(), self.schema.to_value()),
+            (
+                "objects".to_string(),
+                Value::Seq(self.objects().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "Dataset", v))?;
+        let schema = Schema::from_value(map_get(entries, "schema"))?;
+        let objects = Vec::<SpatialObject>::from_value(map_get(entries, "objects"))?;
+        Ok(Dataset::new_unchecked(schema, objects))
     }
 }
 
@@ -461,7 +575,7 @@ mod tests {
     #[test]
     fn mutated_dataset_equals_a_fresh_rebuild() {
         // The rebuild-equivalence property: the same mutation sequence
-        // applied to a dataset leaves an object vector identical to one
+        // applied to a dataset leaves an object sequence identical to one
         // constructed directly from the surviving objects.
         let mut mutated = dataset();
         mutated
@@ -480,7 +594,11 @@ mod tests {
             ))
             .unwrap();
 
-        let rebuilt = Dataset::new(mutated.schema().clone(), mutated.objects().to_vec()).unwrap();
+        let rebuilt = Dataset::new(
+            mutated.schema().clone(),
+            mutated.objects().cloned().collect(),
+        )
+        .unwrap();
         assert_eq!(&rebuilt, &mutated);
         assert_eq!(rebuilt.bounding_box(), mutated.bounding_box());
     }
@@ -492,5 +610,72 @@ mod tests {
         assert_eq!(ids, vec![0, 1, 2, 3]);
         assert!(!ds.is_empty());
         assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn clones_share_chunks_and_appends_copy_at_most_the_tail() {
+        // A cloned dataset shares every chunk by reference; appending to
+        // the clone leaves the original untouched (copy-on-write).
+        let ds = dataset();
+        let mut clone = ds.clone();
+        clone
+            .append(SpatialObject::new(
+                7,
+                Point::new(0.5, 0.5),
+                vec![AttrValue::Cat(1), AttrValue::Num(1.0)],
+            ))
+            .unwrap();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(clone.len(), 5);
+        let ids: Vec<u64> = ds.objects().map(|o| o.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+
+        // Removal from a clone copies only the owning chunk.
+        let mut removing = ds.clone();
+        removing.remove_by_id(0).unwrap();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(removing.len(), 3);
+        assert_eq!(removing.object(0).id, 1);
+    }
+
+    #[test]
+    fn chunk_layout_does_not_affect_equality_or_indexing() {
+        // Grow a dataset object-by-object through cloned snapshots (the
+        // generational engine's access pattern), then compare with a flat
+        // single-chunk build of the same objects.
+        let mut grown = Dataset::new_unchecked(Schema::empty(), vec![]);
+        for i in 0..(super::CHUNK_CAP * 2 + 17) {
+            let snapshot = grown.clone(); // force shared tails
+            grown
+                .append(SpatialObject::new(
+                    i as u64,
+                    Point::new(i as f64, -(i as f64)),
+                    vec![],
+                ))
+                .unwrap();
+            drop(snapshot);
+        }
+        let flat = Dataset::new_unchecked(Schema::empty(), grown.objects().cloned().collect());
+        assert_eq!(grown, flat);
+        assert!(grown.chunks.len() > 1, "growth must have chunked");
+        assert_eq!(flat.chunks.len(), 1);
+        for idx in [0, 1, super::CHUNK_CAP - 1, super::CHUNK_CAP, grown.len() - 1] {
+            assert_eq!(grown.object(idx).id, flat.object(idx).id);
+        }
+        assert_eq!(grown.bounding_box(), flat.bounding_box());
+
+        // Removal keeps positions consistent across the chunk boundary.
+        let mut pruned = grown.clone();
+        pruned.remove_by_id(3).unwrap();
+        assert_eq!(pruned.object(3).id, 4);
+        assert_eq!(pruned.object(super::CHUNK_CAP).id, (super::CHUNK_CAP + 1) as u64);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_objects_and_box() {
+        let ds = dataset();
+        let back = Dataset::from_value(&ds.to_value()).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.bounding_box(), ds.bounding_box());
     }
 }

@@ -136,7 +136,7 @@ mod tests {
         assert_eq!(ds.len(), 500);
         let bbox = ds.bounding_box().unwrap();
         assert!(g.bbox.expanded(1e-7, 1e-7).contains_rect(&bbox));
-        for o in ds.objects().iter().take(50) {
+        for o in ds.objects().take(50) {
             let snapped = (o.x() / 1e-8).round() * 1e-8;
             assert!((o.x() - snapped).abs() < 1e-12);
         }

@@ -242,7 +242,7 @@ mod tests {
         let parsed = from_str(&text).unwrap();
         assert_eq!(parsed.len(), ds.len());
         assert_eq!(parsed.schema(), ds.schema());
-        for (a, b) in parsed.objects().iter().zip(ds.objects()) {
+        for (a, b) in parsed.objects().zip(ds.objects()) {
             assert_eq!(a, b);
         }
     }

@@ -67,6 +67,9 @@ pub const LOCK_ALIASES: &[(&str, &str, &str)] = &[
     ("core/src/engine.rs", "slots", "engine.batch_slot"),
     ("core/src/cache.rs", "shard_of", "cache.shard"),
     ("core/src/cache.rs", "s", "cache.shard"),
+    ("core/src/cache.rs", "shard", "cache.shard"),
+    ("core/src/cache.rs", "inflight", "cache.inflight"),
+    ("core/src/cache.rs", "slot", "cache.flight_slot"),
     ("core/src/shard.rs", "slots", "shard.scatter_slot"),
     ("server/src/server.rs", "rx", "server.worker_queue"),
     ("server/src/metrics.rs", "search", "server.metrics"),
@@ -717,6 +720,48 @@ fn let_binding(text: &str) -> Option<String> {
     Some(name)
 }
 
+/// Whether the `let <name> = match <recv>.lock() { ... }` opened at
+/// `idx` hands the mutex guard through to its binding: some arm is a
+/// bare `pat => pat` pass-through or recovers a poisoned guard with
+/// `into_inner()`.  Arms that map the guard to a derived value mean the
+/// binding holds data, not the lock.
+fn match_yields_guard(logicals: &[Logical], idx: usize, open_depth: i64) -> bool {
+    for later in logicals.iter().skip(idx + 1) {
+        if later.depth_before <= open_depth {
+            break;
+        }
+        if later.text.contains("into_inner()") {
+            return true;
+        }
+        // A bare pass-through arm — `Ok(name) => name,` — anywhere in
+        // the (joined) arm text: the identifier after `=>` is exactly
+        // the one the pattern before it bound.
+        let mut rest = later.text.as_str();
+        while let Some(at) = rest.find("=>") {
+            let pattern = &rest[..at];
+            let pattern_tail = pattern.rsplit(',').next().unwrap_or(pattern);
+            let after = rest[at + 2..].trim_start();
+            let name: String = after.chars().take_while(|&c| is_ident_char(c)).collect();
+            let terminated = matches!(
+                after[name.len()..].trim_start().chars().next(),
+                None | Some(',') | Some('}')
+            );
+            if !name.is_empty()
+                && !matches!(name.as_str(), "return" | "break" | "continue")
+                && terminated
+                && find_word(pattern_tail, &name).is_some()
+            {
+                return true;
+            }
+            rest = &rest[at + 2..];
+        }
+        if later.depth_after <= open_depth {
+            break;
+        }
+    }
+    false
+}
+
 struct Analysis<'a> {
     _phantom: std::marker::PhantomData<&'a ()>,
     files: Vec<FileScan>,
@@ -1041,7 +1086,27 @@ fn collect_guards(analysis: &Analysis<'_>, file_idx: usize) -> Vec<Guard> {
                     GuardShape::Statement
                 }
             } else if opens_block {
-                GuardShape::Block
+                // `let guard = match recv.lock() { ... }`: when an arm
+                // hands the guard through (a bare `pat => pat` arm or a
+                // poison-recovering `into_inner()`), the binding IS the
+                // guard and outlives the match — a Block extent would end
+                // it at the match close and hide every later acquisition
+                // (the shape of the cache's in-flight slot protocol).
+                // Arms that reduce the guard to a value (e.g.
+                // `Ok(guard) => guard.recv()`) stay Block.
+                match &binding {
+                    Some(name)
+                        if find_word(&logical.text, "match").is_some()
+                            && match_yields_guard(
+                                &file.logicals,
+                                idx,
+                                logical.depth_before,
+                            ) =>
+                    {
+                        GuardShape::Named { name: name.clone() }
+                    }
+                    _ => GuardShape::Block,
+                }
             } else {
                 GuardShape::Statement
             };
@@ -1061,7 +1126,14 @@ fn collect_guards(analysis: &Analysis<'_>, file_idx: usize) -> Vec<Guard> {
                     for (j, later) in file.logicals.iter().enumerate().skip(idx + 1) {
                         end = j;
                         if let GuardShape::Named { name } = &shape {
-                            if later.text.contains(&format!("drop({name})")) {
+                            // A `drop(guard)` ends the extent only at the
+                            // declaration's own nesting depth: inside a
+                            // nested branch it precedes an early exit and
+                            // the guard stays held on the fallthrough
+                            // path.
+                            if later.text.contains(&format!("drop({name})"))
+                                && later.depth_before <= logical.depth_before
+                            {
                                 break;
                             }
                         }
@@ -1412,3 +1484,4 @@ mod tests {
         assert_eq!(extract_allow(" plain comment"), None);
     }
 }
+

@@ -39,4 +39,4 @@ pub use store::{
     BootReport, PersistExt, PersistHandle, PersistStats, PersistentBuilder, PersistentEngine,
     SnapshotReport,
 };
-pub use wal::{Wal, WalEntry, WalRecovery};
+pub use wal::{Wal, WalEntry, WalRecovery, FSYNC_BUCKET_BOUNDS_US};

@@ -137,15 +137,17 @@ fn encode_payload(state: &EngineState) -> Result<Vec<u8>, PersistError> {
             columnar::put_u8(&mut out, 1);
             columnar::put_u64(&mut out, shards.len() as u64);
             // Shard objects are stored as positions into the main columns.
-            let objects = state.dataset.objects();
-            let by_id: HashMap<u64, usize> =
-                objects.iter().enumerate().map(|(i, o)| (o.id, i)).collect();
+            let by_id: HashMap<u64, usize> = state
+                .dataset
+                .iter()
+                .map(|(i, o)| (o.id, i))
+                .collect();
             for shard in shards {
                 put_rect(&mut out, &shard.region);
                 columnar::put_u64(&mut out, shard.dataset.len() as u64);
                 for o in shard.dataset.objects() {
                     let position = match by_id.get(&o.id) {
-                        Some(&i) if objects[i] == *o => i,
+                        Some(&i) if *state.dataset.object(i) == *o => i,
                         // Defensive: an id collision or divergent copy
                         // would silently snapshot the wrong object.
                         _ => {
@@ -177,7 +179,6 @@ pub(crate) fn decode_payload(payload: &[u8], path: &Path) -> Result<EngineState,
         None
     } else {
         let count = reader.u64().map_err(decode)? as usize;
-        let objects = dataset.objects();
         let mut shards = Vec::with_capacity(count);
         for _ in 0..count {
             let region = read_rect(&mut reader).map_err(decode)?;
@@ -185,13 +186,13 @@ pub(crate) fn decode_payload(payload: &[u8], path: &Path) -> Result<EngineState,
             let mut shard_objects = Vec::with_capacity(len);
             for _ in 0..len {
                 let position = reader.u64().map_err(decode)? as usize;
-                let object = objects.get(position).ok_or_else(|| {
-                    PersistError::corrupt(
+                if position >= dataset.len() {
+                    return Err(PersistError::corrupt(
                         path,
                         format!("shard object position {position} out of range"),
-                    )
-                })?;
-                shard_objects.push(object.clone());
+                    ));
+                }
+                shard_objects.push(dataset.object(position).clone());
             }
             let shard_dataset = Arc::new(asrs_data::Dataset::new_unchecked(
                 dataset.schema().clone(),
@@ -388,7 +389,7 @@ mod tests {
             let (loaded, file) = load_latest(&dir).unwrap().expect("one snapshot");
             assert_eq!(file, written);
             assert_eq!(loaded.generation, state.generation);
-            assert_eq!(loaded.dataset.objects(), state.dataset.objects());
+            assert!(loaded.dataset.objects().eq(state.dataset.objects()));
             match (&loaded.index, &state.index) {
                 (Some(a), Some(b)) => assert_eq!(a.base_table(), b.base_table()),
                 (None, None) => {}
@@ -401,7 +402,7 @@ mod tests {
             if let (Some(a), Some(b)) = (&loaded.shards, &state.shards) {
                 for (x, y) in a.iter().zip(b) {
                     assert_eq!(x.region, y.region);
-                    assert_eq!(x.dataset.objects(), y.dataset.objects());
+                    assert!(x.dataset.objects().eq(y.dataset.objects()));
                     assert_eq!(
                         x.index.as_ref().map(|i| i.base_table().to_vec()),
                         y.index.as_ref().map(|i| i.base_table().to_vec())

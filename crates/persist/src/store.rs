@@ -101,6 +101,15 @@ pub struct PersistStats {
     /// Whether the log has outgrown the threshold and a snapshot is
     /// pending.
     pub snapshot_due: bool,
+    /// Durable WAL appends (each one `write + fsync` critical section;
+    /// a group-committed batch counts once).
+    pub fsyncs: u64,
+    /// Total microseconds spent in those critical sections.
+    pub fsync_total_us: u64,
+    /// Latency histogram bucket counts, one per
+    /// [`crate::wal::FSYNC_BUCKET_BOUNDS_US`] bound plus a trailing
+    /// overflow bucket.
+    pub fsync_latency_us: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -179,6 +188,7 @@ impl PersistHandle {
                 counters.replayed_on_boot,
             )
         };
+        let (fsyncs, fsync_total_us, fsync_latency_us) = self.wal.fsync_latency();
         PersistStats {
             directory: self.dir.display().to_string(),
             snapshot_generation,
@@ -189,6 +199,9 @@ impl PersistHandle {
             replayed_on_boot,
             compaction_threshold: self.compaction_threshold,
             snapshot_due: self.snapshot_due.load(Ordering::Acquire),
+            fsyncs,
+            fsync_total_us,
+            fsync_latency_us,
         }
     }
 

@@ -30,6 +30,8 @@ use asrs_data::Mutation;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// File magic of the write-ahead log.
 pub(crate) const MAGIC: [u8; 4] = *b"ASWL";
@@ -68,6 +70,34 @@ struct WalInner {
     bytes: u64,
 }
 
+/// Upper bounds (microseconds, inclusive) of the fsync-latency histogram
+/// buckets; one implicit overflow bucket follows the last bound.  Shared
+/// by [`Wal::fsync_latency`] and the server's `/metrics` rendering.
+pub const FSYNC_BUCKET_BOUNDS_US: [u64; 10] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000];
+
+/// Lock-free fsync-latency counters: one bucket per
+/// [`FSYNC_BUCKET_BOUNDS_US`] bound plus an overflow bucket, with total
+/// count and accumulated microseconds for deriving a mean.
+#[derive(Debug, Default)]
+struct FsyncLatency {
+    buckets: [AtomicU64; FSYNC_BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl FsyncLatency {
+    fn record(&self, micros: u64) {
+        let slot = FSYNC_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(FSYNC_BUCKET_BOUNDS_US.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
 /// An append-only, fsync'd mutation log.
 ///
 /// All methods take `&self`; appends serialise on an internal mutex, which
@@ -76,6 +106,7 @@ struct WalInner {
 pub struct Wal {
     path: PathBuf,
     inner: Mutex<WalInner>,
+    fsync_latency: FsyncLatency,
 }
 
 /// Encodes one frame payload.
@@ -160,6 +191,7 @@ impl Wal {
                     entries: 0,
                     bytes: HEADER_LEN,
                 }),
+                fsync_latency: FsyncLatency::default(),
             };
             return Ok((
                 wal,
@@ -202,6 +234,7 @@ impl Wal {
                 entries: entries.len() as u64,
                 bytes: good_len,
             }),
+            fsync_latency: FsyncLatency::default(),
         };
         Ok((
             wal,
@@ -225,11 +258,14 @@ impl Wal {
         // interlock:allow(the write+fsync under the WAL lock IS the durability critical section)
         // lint:allow(a poisoned WAL lock means a writer died mid-append; reusing the file handle could interleave a torn frame with a live one)
         let mut inner = self.inner.lock().expect("WAL lock poisoned");
+        let started = Instant::now();
         inner
             .file
             .write_all(&frame)
             .and_then(|()| inner.file.sync_data())
             .map_err(|e| PersistError::io("append to WAL", &self.path, e))?;
+        self.fsync_latency
+            .record(started.elapsed().as_micros() as u64);
         inner.entries += 1;
         inner.bytes += frame.len() as u64;
         Ok(())
@@ -257,11 +293,14 @@ impl Wal {
         // interlock:allow(the write+fsync under the WAL lock IS the durability critical section)
         // lint:allow(a poisoned WAL lock means a writer died mid-append; reusing the file handle could interleave a torn frame with a live one)
         let mut inner = self.inner.lock().expect("WAL lock poisoned");
+        let started = Instant::now();
         inner
             .file
             .write_all(&frames)
             .and_then(|()| inner.file.sync_data())
             .map_err(|e| PersistError::io("append batch to WAL", &self.path, e))?;
+        self.fsync_latency
+            .record(started.elapsed().as_micros() as u64);
         inner.entries += mutations.len() as u64;
         inner.bytes += frames.len() as u64;
         Ok(())
@@ -334,6 +373,23 @@ impl Wal {
     /// Whether the log holds no frames.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The durable-append latency counters: `(count, total_us, buckets)`,
+    /// where `buckets` has one count per [`FSYNC_BUCKET_BOUNDS_US`] bound
+    /// plus a trailing overflow bucket.  Each recorded value times one
+    /// `write + fsync` critical section (solo or batch — group commit
+    /// amortisation shows up as fewer, not faster, fsyncs).
+    pub fn fsync_latency(&self) -> (u64, u64, Vec<u64>) {
+        (
+            self.fsync_latency.count.load(Ordering::Relaxed),
+            self.fsync_latency.total_us.load(Ordering::Relaxed),
+            self.fsync_latency
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        )
     }
 
     /// Current file size in bytes (header included).

@@ -2,11 +2,16 @@
 //! [`SearchStats`] of every executed query, snapshotted by `GET /metrics`.
 
 use asrs_core::sync::Mutex;
-use asrs_core::{CacheStats, MutationStats, SearchStats};
-use asrs_persist::PersistStats;
+use asrs_core::{CacheStats, MutationReceipt, MutationStats, SearchStats};
+use asrs_persist::{PersistStats, FSYNC_BUCKET_BOUNDS_US};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Upper bounds (inclusive) of the commit-batch-size histogram buckets —
+/// how many mutations each published generation folded together — with an
+/// implicit overflow bucket after the last bound.
+const COMMIT_BATCH_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
 /// Live counters, updated lock-free on the request path (the merged search
 /// statistics take a short mutex — they are a dozen additions).
@@ -24,6 +29,16 @@ pub struct ServerMetrics {
     batch_objects: AtomicU64,
     plans_explained: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Commit-batch-size histogram: one bucket per
+    /// [`COMMIT_BATCH_BOUNDS`] bound plus an overflow bucket.
+    commit_batch_buckets: [AtomicU64; COMMIT_BATCH_BOUNDS.len() + 1],
+    commit_batches: AtomicU64,
+    commit_ops: AtomicU64,
+    /// Newest generation already recorded in the batch histogram: a group
+    /// commit hands every participating request receipts stamped with the
+    /// *same* generation, and the batch must be counted once, not once
+    /// per caller.
+    last_commit_generation: AtomicU64,
     search: Mutex<SearchStats>,
 }
 
@@ -42,6 +57,10 @@ impl ServerMetrics {
             batch_objects: AtomicU64::new(0),
             plans_explained: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            commit_batch_buckets: Default::default(),
+            commit_batches: AtomicU64::new(0),
+            commit_ops: AtomicU64::new(0),
+            last_commit_generation: AtomicU64::new(0),
             search: Mutex::new(SearchStats::new()),
         }
     }
@@ -65,6 +84,41 @@ impl ServerMetrics {
     pub(crate) fn record_batch_ingest(&self, objects: u64) {
         self.batch_ingests.fetch_add(1, Ordering::Relaxed);
         self.batch_objects.fetch_add(objects, Ordering::Relaxed);
+    }
+
+    /// Records the published commit batch behind `receipts` in the
+    /// batch-size histogram, exactly once per generation: every receipt of
+    /// one group commit carries the same `generation` and the same `batch`
+    /// size, and concurrent callers race to claim the generation with a
+    /// compare-exchange.
+    pub(crate) fn record_commit(&self, receipts: &[MutationReceipt]) {
+        let Some(first) = receipts.first() else {
+            return;
+        };
+        let generation = first.generation;
+        let mut seen = self.last_commit_generation.load(Ordering::Relaxed);
+        loop {
+            if generation <= seen {
+                return;
+            }
+            match self.last_commit_generation.compare_exchange_weak(
+                seen,
+                generation,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => seen = actual,
+            }
+        }
+        let batch = first.batch as u64;
+        let slot = COMMIT_BATCH_BOUNDS
+            .iter()
+            .position(|&bound| batch <= bound)
+            .unwrap_or(COMMIT_BATCH_BOUNDS.len());
+        self.commit_batch_buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.commit_batches.fetch_add(1, Ordering::Relaxed);
+        self.commit_ops.fetch_add(batch, Ordering::Relaxed);
     }
 
     pub(crate) fn record_query_ok(&self, stats: &SearchStats) {
@@ -122,11 +176,30 @@ impl ServerMetrics {
                 misses: c.misses,
                 entries: c.entries as u64,
                 capacity: c.capacity as u64,
+                coalesced_waits: c.coalesced_waits,
+                carried_forward: c.carried_forward,
+                carry_proof_failures: c.carry_proof_failures,
             }
         });
         let shards = shard_requests.map(|requests| ShardsSnapshot {
             shard_count: requests.len() as u64,
             requests,
+        });
+        let commit_batch_sizes = HistogramSnapshot {
+            bounds: COMMIT_BATCH_BOUNDS.to_vec(),
+            counts: self
+                .commit_batch_buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.commit_batches.load(Ordering::Relaxed),
+            sum: self.commit_ops.load(Ordering::Relaxed),
+        };
+        let fsync_latency_us = persistence.as_ref().map(|p| HistogramSnapshot {
+            bounds: FSYNC_BUCKET_BOUNDS_US.to_vec(),
+            counts: p.fsync_latency_us.clone(),
+            count: p.fsyncs,
+            sum: p.fsync_total_us,
         });
         MetricsSnapshot {
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -142,6 +215,8 @@ impl ServerMetrics {
             batch_objects: self.batch_objects.load(Ordering::Relaxed),
             plans_explained: self.plans_explained.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            commit_batch_sizes,
+            fsync_latency_us,
             cache,
             shards,
             mutations,
@@ -164,6 +239,11 @@ pub struct SweeperSnapshot {
     pub swept_objects: u64,
     /// Sweeps that failed (the engine refused the mutation).
     pub sweep_errors: u64,
+    /// Timer ticks that skipped the sweep because write traffic had
+    /// advanced the generation since the previous tick — application
+    /// commit batches piggyback due expiries, so the timer sweep would
+    /// have found nothing due.
+    pub sweeps_skipped: u64,
     /// Background snapshots taken because the write-ahead log outgrew its
     /// compaction threshold.
     pub snapshots_taken: u64,
@@ -195,6 +275,30 @@ pub struct CacheSnapshot {
     pub entries: u64,
     /// Maximum entries retained.
     pub capacity: u64,
+    /// Misses that blocked on another caller's identical in-flight
+    /// computation and shared its result (single-flight coalescing).
+    pub coalesced_waits: u64,
+    /// Entries re-stamped to a successor generation because a commit
+    /// batch provably could not change their answer (carry-forward).
+    pub carried_forward: u64,
+    /// Carry-forward attempts rejected by the byte-identity proof path.
+    pub carry_proof_failures: u64,
+}
+
+/// A fixed-bucket histogram as served by `/metrics`: `counts[i]` holds the
+/// observations `≤ bounds[i]`, with one trailing overflow bucket
+/// (`counts.len() == bounds.len() + 1`); `count`/`sum` give totals for
+/// deriving a mean.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (overflow bucket last).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
 }
 
 /// The `GET /metrics` payload.
@@ -229,6 +333,12 @@ pub struct MetricsSnapshot {
     pub plans_explained: u64,
     /// Connections dropped for malformed framing.
     pub protocol_errors: u64,
+    /// Histogram of mutations folded per published generation — the
+    /// group-commit amortisation factor under concurrent write load.
+    pub commit_batch_sizes: HistogramSnapshot,
+    /// Histogram of WAL `write + fsync` critical-section latencies in
+    /// microseconds (absent without a persistence directory).
+    pub fsync_latency_us: Option<HistogramSnapshot>,
     /// Engine query-result cache counters (absent without a cache).
     pub cache: Option<CacheSnapshot>,
     /// Per-shard request counters (absent on single-engine deployments).

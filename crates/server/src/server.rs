@@ -230,6 +230,7 @@ struct SweeperState {
     sweeps: AtomicU64,
     swept_objects: AtomicU64,
     sweep_errors: AtomicU64,
+    sweeps_skipped: AtomicU64,
     snapshots_taken: AtomicU64,
     snapshot_errors: AtomicU64,
 }
@@ -241,6 +242,7 @@ impl SweeperState {
             sweeps: AtomicU64::new(0),
             swept_objects: AtomicU64::new(0),
             sweep_errors: AtomicU64::new(0),
+            sweeps_skipped: AtomicU64::new(0),
             snapshots_taken: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
         }
@@ -252,6 +254,7 @@ impl SweeperState {
             sweeps: self.sweeps.load(Ordering::Relaxed),
             swept_objects: self.swept_objects.load(Ordering::Relaxed),
             sweep_errors: self.sweep_errors.load(Ordering::Relaxed),
+            sweeps_skipped: self.sweeps_skipped.load(Ordering::Relaxed),
             snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
             snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
         }
@@ -269,11 +272,20 @@ const MAINTENANCE_POLL: Duration = Duration::from_millis(50);
 /// Both run off the request path: queries and mutations never wait on a
 /// sweep or a snapshot (snapshots serialize an `Arc`'d immutable
 /// generation).
+///
+/// The timer sweep yields to write traffic: every application commit
+/// batch pops the then-due TTL expiries and folds them into its own
+/// generation (see `asrs_core::mutate`), so when the generation advanced
+/// since the previous tick the expiries already rode those batches and
+/// the tick skips its sweep.  The timer only fires on quiet intervals —
+/// its original job — which keeps an append-heavy server from paying a
+/// redundant mutator acquisition (and publish) every `sweep_interval`.
 fn maintenance_loop(shared: &Shared) {
     let Some(sweeper) = shared.sweeper.as_ref() else {
         return;
     };
     let mut last = Instant::now();
+    let mut last_generation = shared.engine.generation();
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(MAINTENANCE_POLL.min(sweeper.interval));
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -283,6 +295,13 @@ fn maintenance_loop(shared: &Shared) {
             continue;
         }
         last = Instant::now();
+        let generation = shared.engine.generation();
+        if generation != last_generation {
+            last_generation = generation;
+            sweeper.sweeps_skipped.fetch_add(1, Ordering::Relaxed);
+            maybe_snapshot(shared, sweeper);
+            continue;
+        }
         match shared.engine.sweep_expired() {
             Ok(receipts) => {
                 sweeper.sweeps.fetch_add(1, Ordering::Relaxed);
@@ -294,15 +313,23 @@ fn maintenance_loop(shared: &Shared) {
                 sweeper.sweep_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
-        if let Some(persist) = shared.persist.as_ref() {
-            if persist.snapshot_due() {
-                match persist.snapshot_now(&shared.engine.export_state()) {
-                    Ok(_) => {
-                        sweeper.snapshots_taken.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        sweeper.snapshot_errors.fetch_add(1, Ordering::Relaxed);
-                    }
+        last_generation = shared.engine.generation();
+        maybe_snapshot(shared, sweeper);
+    }
+}
+
+/// Snapshot the current generation when the write-ahead log has outgrown
+/// the compaction threshold.  Runs on every maintenance tick, whether or
+/// not the tick swept.
+fn maybe_snapshot(shared: &Shared, sweeper: &SweeperState) {
+    if let Some(persist) = shared.persist.as_ref() {
+        if persist.snapshot_due() {
+            match persist.snapshot_now(&shared.engine.export_state()) {
+                Ok(_) => {
+                    sweeper.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    sweeper.snapshot_errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -525,6 +552,7 @@ fn handle_append(shared: &Shared, body: &[u8]) -> (u16, String) {
     match result {
         Ok(receipt) => {
             shared.metrics.record_mutation_ok();
+            shared.metrics.record_commit(std::slice::from_ref(&receipt));
             (200, serde::json::to_string(&receipt))
         }
         Err(error) => {
@@ -570,6 +598,7 @@ fn handle_append_batch(shared: &Shared, body: &[u8]) -> (u16, String) {
         Ok(receipts) => {
             shared.metrics.record_mutation_ok();
             shared.metrics.record_batch_ingest(receipts.len() as u64);
+            shared.metrics.record_commit(&receipts);
             (200, serde::json::to_string(&AppendBatchReceipts { receipts }))
         }
         Err(error) => {
@@ -591,6 +620,7 @@ fn handle_delete(shared: &Shared, id: &str) -> (u16, String) {
     match shared.engine.remove(id) {
         Ok(receipt) => {
             shared.metrics.record_mutation_ok();
+            shared.metrics.record_commit(std::slice::from_ref(&receipt));
             (200, serde::json::to_string(&receipt))
         }
         Err(error) => {
@@ -605,6 +635,7 @@ fn handle_sweep(shared: &Shared) -> (u16, String) {
     match shared.engine.sweep_expired() {
         Ok(receipts) => {
             shared.metrics.record_mutation_ok();
+            shared.metrics.record_commit(&receipts);
             (
                 200,
                 serde::json::to_string(&SweepBody { expired: receipts }),

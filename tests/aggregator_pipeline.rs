@@ -125,7 +125,7 @@ fn f2_style_query_finds_popular_highly_rated_regions() {
     let rep = agg.aggregate_region(&ds, &result.region);
     // The selected region must have an above-average rating and a
     // substantial number of visits.
-    let global_avg_rating = agg.aggregate(ds.objects().iter())[agg.feature_dim() - 1];
+    let global_avg_rating = agg.aggregate(ds.objects())[agg.feature_dim() - 1];
     assert!(
         rep[1] >= global_avg_rating,
         "region rating {} should be at least the global average {}",

@@ -492,21 +492,28 @@ fn a_sweep_expires_everything_in_one_generation() {
     let template = ds.object(0).clone();
     for shards in SHARD_CONFIGS {
         let engine = build_engine(ds.clone(), agg.clone(), shards, 16);
-        for i in 0..5u64 {
-            engine
-                .append_with_ttl(
-                    SpatialObject::new(
-                        850_000 + i,
-                        Point::new(
-                            bbox.min_x + bbox.width() * 0.2 * (i as f64 + 0.5),
-                            bbox.min_y + bbox.height() * 0.5,
-                        ),
-                        template.values.clone(),
-                    ),
-                    std::time::Duration::ZERO,
-                )
-                .unwrap();
-        }
+        // Arm all five in one batch: armed sequentially, each later commit
+        // would piggyback the earlier (already-due) expiries and leave
+        // nothing for the sweep under test.
+        engine
+            .append_batch(
+                (0..5u64)
+                    .map(|i| {
+                        (
+                            SpatialObject::new(
+                                850_000 + i,
+                                Point::new(
+                                    bbox.min_x + bbox.width() * 0.2 * (i as f64 + 0.5),
+                                    bbox.min_y + bbox.height() * 0.5,
+                                ),
+                                template.values.clone(),
+                            ),
+                            Some(std::time::Duration::ZERO),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap();
         let before = engine.generation();
         let receipts = engine.sweep_expired().unwrap();
         assert_eq!(receipts.len(), 5, "shards {shards}: all five TTLs expire");
@@ -528,6 +535,78 @@ fn a_sweep_expires_everything_in_one_generation() {
                 canonical_bytes(&engine.submit(&request).unwrap()),
                 canonical_bytes(&rebuilt.submit(&request).unwrap()),
                 "shards {shards}, {}: post-sweep divergence",
+                request.operation_name()
+            );
+        }
+    }
+}
+
+/// While write traffic flows, due TTL expiries ride application commit
+/// batches: an append issued after a zero-TTL deadline has passed folds
+/// the expiry into its own generation — no explicit sweep — and parity
+/// with a rebuild survives.  The expiry serializes before the append, so
+/// the caller's receipt reports the combined batch.
+#[test]
+fn an_application_commit_piggybacks_due_expiries() {
+    let (ds, agg) = categorical_workload(80, 57);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.object(0).clone();
+    for shards in SHARD_CONFIGS {
+        let engine = build_engine(ds.clone(), agg.clone(), shards, 16);
+        engine
+            .append_with_ttl(
+                SpatialObject::new(
+                    860_000,
+                    Point::new(
+                        bbox.min_x + bbox.width() * 0.3,
+                        bbox.min_y + bbox.height() * 0.4,
+                    ),
+                    template.values.clone(),
+                ),
+                std::time::Duration::ZERO,
+            )
+            .unwrap();
+        assert_eq!(
+            engine.mutation_stats().expiries,
+            0,
+            "shards {shards}: arming a TTL survives its own commit"
+        );
+        let before = engine.generation();
+        let receipt = engine
+            .append(SpatialObject::new(
+                860_001,
+                Point::new(
+                    bbox.min_x + bbox.width() * 0.6,
+                    bbox.min_y + bbox.height() * 0.6,
+                ),
+                template.values.clone(),
+            ))
+            .unwrap();
+        assert_eq!(
+            engine.generation(),
+            before + 1,
+            "shards {shards}: expiry + append publish one generation"
+        );
+        assert_eq!(
+            receipt.batch, 2,
+            "shards {shards}: the due expiry rode the append's batch"
+        );
+        assert_eq!(
+            engine.mutation_stats().expiries,
+            1,
+            "shards {shards}: the append's commit expired the due object"
+        );
+        assert!(
+            !engine.dataset().iter().any(|(_, o)| o.id == 860_000),
+            "shards {shards}: the expired object left the dataset"
+        );
+
+        let rebuilt = build_engine((*engine.dataset()).clone(), agg.clone(), shards, 0);
+        for request in request_pool(&engine.dataset(), &agg, 17) {
+            assert_eq!(
+                canonical_bytes(&engine.submit(&request).unwrap()),
+                canonical_bytes(&rebuilt.submit(&request).unwrap()),
+                "shards {shards}, {}: post-piggyback divergence",
                 request.operation_name()
             );
         }
@@ -691,4 +770,271 @@ fn draining_and_refilling_the_dataset_keeps_parity() {
         canonical_bytes(&rebuilt.submit(&QueryRequest::similar(query)).unwrap()),
     );
     assert_eq!(engine.statistics(), rebuilt.statistics());
+}
+
+/// The churn half of the parity promise: under a mixed read/append
+/// interleaving the cache *carries* provably unaffected entries across
+/// generations (see `asrs-core`'s `carry` module), and every carried hit
+/// must still be byte-identical to a cold recomputation against a fresh
+/// rebuild.  Debug builds additionally prove every individual carry by
+/// recomputation before it becomes servable; this test is the release-mode
+/// enforcement of the same obligation — `cargo test --release` runs the
+/// exact comparison the debug proof path performs.
+#[test]
+fn churn_carried_hits_are_byte_identical_to_cold_recompute() {
+    let mut total_carried = 0u64;
+    for (name, (ds, agg)) in [
+        ("categorical", categorical_workload(400, 71)),
+        ("float-sum", float_sum_workload(260, 72)),
+    ] {
+        for shards in SHARD_CONFIGS {
+            let engine = build_engine(ds.clone(), agg.clone(), shards, 64);
+            let bbox = ds.bounding_box().unwrap();
+            let template = ds.objects().next().unwrap().clone();
+            let requests = request_pool(&ds, &agg, 73);
+            let mut lcg = Lcg::new(7000 + shards as u64);
+            let mut next_id = 5_000_000u64;
+            // Warm the cache, then interleave one interior append per full
+            // read pass — the mixed-row cadence of the server bench.
+            for request in &requests {
+                engine.submit(request).unwrap();
+            }
+            for _ in 0..12 {
+                let object = SpatialObject::new(
+                    next_id,
+                    Point::new(
+                        bbox.min_x + bbox.width() * lcg.in_range(0.05, 0.95),
+                        bbox.min_y + bbox.height() * lcg.in_range(0.05, 0.95),
+                    ),
+                    template.values.clone(),
+                );
+                next_id += 1;
+                engine.append(object).unwrap();
+                let rebuilt = build_engine((*engine.dataset()).clone(), agg.clone(), shards, 0);
+                for request in &requests {
+                    assert_eq!(
+                        canonical_bytes(&engine.submit(request).unwrap()),
+                        canonical_bytes(&rebuilt.submit(request).unwrap()),
+                        "{name}, shards {shards}, {}: churned engine diverged \
+                         from cold rebuild",
+                        request.operation_name()
+                    );
+                }
+            }
+            let stats = engine.cache_stats().unwrap();
+            assert_eq!(
+                stats.carry_proof_failures, 0,
+                "{name}, shards {shards}: the carry predicate accepted an \
+                 entry the byte-identity proof rejected: {stats:?}"
+            );
+            if shards == 0 {
+                // Carry-forward is gated to canonical sharded cores.
+                assert_eq!(stats.carried_forward, 0, "{name}: {stats:?}");
+            }
+            total_carried += stats.carried_forward;
+        }
+    }
+    assert!(
+        total_carried > 0,
+        "the churn interleavings never exercised a carry — the suite \
+         proves nothing about carried hits"
+    );
+}
+
+/// A stampede of identical cold queries coalesces onto one in-flight
+/// computation: every caller gets a byte-identical response and at least
+/// one follower waited on the leader's slot instead of recomputing.
+#[test]
+fn a_stampede_of_identical_cold_queries_coalesces() {
+    let (ds, agg) = categorical_workload(600, 81);
+    let bbox = ds.bounding_box().unwrap();
+    let dim = agg.feature_dim();
+    // Unsharded engine with the exhaustive oracle forced: the computation
+    // is orders of magnitude longer than the in-flight table handoff, so
+    // the barrier-released followers find the leader's flight in place.
+    let engine = build_engine(ds, agg, 0, 16);
+    let query = AsrsQuery::new(
+        RegionSize::new(bbox.width() * 0.3, bbox.height() * 0.3),
+        FeatureVector::new(vec![2.0; dim]),
+        Weights::uniform(dim),
+    );
+    let request = QueryRequest::top_k(query, 3).with_backend(Backend::Naive);
+    let threads = 8;
+    let barrier = std::sync::Barrier::new(threads);
+    let bytes: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    canonical_bytes(&engine.submit(&request).unwrap())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in &bytes[1..] {
+        assert_eq!(b, &bytes[0], "stampede callers diverged");
+    }
+    let stats = engine.cache_stats().unwrap();
+    assert!(
+        stats.coalesced_waits >= 1,
+        "no caller coalesced onto the in-flight computation: {stats:?}"
+    );
+}
+
+/// The carry predicate's negative space: an append *inside* a reported
+/// result region changes that entry's answer, so the publish pass must
+/// reject the carry and the next submission must recompute cold.
+#[test]
+fn an_append_inside_a_reported_region_rejects_the_carry() {
+    let (ds, agg) = categorical_workload(500, 91);
+    let bbox = ds.bounding_box().unwrap();
+    let dim = agg.feature_dim();
+    let template = ds.objects().next().unwrap().clone();
+    let engine = build_engine(ds, agg.clone(), 2, 16);
+    let query = AsrsQuery::new(
+        RegionSize::new(bbox.width() * 0.12, bbox.height() * 0.12),
+        FeatureVector::new(vec![4.0; dim]),
+        Weights::uniform(dim),
+    );
+    let request = QueryRequest::similar(query);
+    let cold = engine.submit(&request).unwrap();
+    let region = cold.best().unwrap().region;
+    // Strictly inside the reported region *and* the dataset extent, so
+    // the only carry gate this append can trip is the region check.
+    let p = Point::new(
+        (region.min_x + region.max_x) / 2.0,
+        (region.min_y + region.max_y) / 2.0,
+    );
+    assert!(
+        region.strictly_contains_point(&p) && bbox.strictly_contains_point(&p),
+        "seed produced a region center outside the extent; re-seed the test"
+    );
+    engine
+        .append(SpatialObject::new(9_999_999, p, template.values.clone()))
+        .unwrap();
+    assert_eq!(
+        engine.dataset().bounding_box(),
+        Some(bbox),
+        "the interior append must not move the bounding box"
+    );
+    let stats = engine.cache_stats().unwrap();
+    assert_eq!(
+        stats.carried_forward, 0,
+        "an entry whose reported region absorbed the append was carried: {stats:?}"
+    );
+    let misses_before = stats.misses;
+    let warm = engine.submit(&request).unwrap();
+    let stats = engine.cache_stats().unwrap();
+    assert_eq!(
+        stats.misses,
+        misses_before + 1,
+        "the rejected entry must recompute cold: {stats:?}"
+    );
+    let rebuilt = build_engine((*engine.dataset()).clone(), agg, 2, 0);
+    assert_eq!(
+        canonical_bytes(&warm),
+        canonical_bytes(&rebuilt.submit(&request).unwrap()),
+        "post-append recomputation diverged from a fresh rebuild"
+    );
+}
+
+/// The MaxRS arm of the carry predicate: through the MaxRS → ASRS
+/// reduction, a cached densest-region answer survives an append whose
+/// influence window cannot reach the reported count, and the carried hit
+/// serves bytes identical to a cold rebuild's answer.
+#[test]
+fn a_maxrs_entry_carries_across_a_distant_append() {
+    let (ds, agg) = categorical_workload(500, 95);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.objects().next().unwrap().clone();
+    let engine = build_engine(ds, agg.clone(), 2, 16);
+    let request = QueryRequest::max_rs(RegionSize::new(
+        (bbox.width() / 9.0).max(0.5),
+        (bbox.height() / 11.0).max(0.5),
+    ));
+    let cold = engine.submit(&request).unwrap();
+    let region = cold.max_rs().unwrap().region;
+    // An interior corner append: far from the dense winner, so its
+    // influence window cannot hold a competitive candidate, and the
+    // bounding box stays put (no batch-level rejection).
+    let p = Point::new(
+        bbox.min_x + bbox.width() * 0.02,
+        bbox.min_y + bbox.height() * 0.02,
+    );
+    assert!(
+        !region.contains_point(&p),
+        "seed placed the densest region at the corner; re-seed the test"
+    );
+    engine
+        .append(SpatialObject::new(9_999_998, p, template.values.clone()))
+        .unwrap();
+    assert_eq!(engine.dataset().bounding_box(), Some(bbox));
+    let stats = engine.cache_stats().unwrap();
+    assert_eq!(
+        stats.carried_forward, 1,
+        "the distant append must carry the MaxRS entry: {stats:?}"
+    );
+    let hits_before = stats.hits;
+    let warm = engine.submit(&request).unwrap();
+    let stats = engine.cache_stats().unwrap();
+    assert_eq!(
+        stats.hits,
+        hits_before + 1,
+        "the carried MaxRS entry must serve a hit: {stats:?}"
+    );
+    let rebuilt = build_engine((*engine.dataset()).clone(), agg, 2, 0);
+    assert_eq!(
+        canonical_bytes(&warm),
+        canonical_bytes(&rebuilt.submit(&request).unwrap()),
+        "carried MaxRS hit diverged from a cold rebuild"
+    );
+}
+
+/// The MaxRS arm's negative space: an append inside the reported densest
+/// region raises its count, so the carry must be rejected and the next
+/// submission recomputes cold — finding the improved answer.
+#[test]
+fn an_append_inside_the_maxrs_region_rejects_the_carry() {
+    let (ds, agg) = categorical_workload(500, 97);
+    let bbox = ds.bounding_box().unwrap();
+    let template = ds.objects().next().unwrap().clone();
+    let engine = build_engine(ds, agg.clone(), 2, 16);
+    let request = QueryRequest::max_rs(RegionSize::new(
+        (bbox.width() / 9.0).max(0.5),
+        (bbox.height() / 11.0).max(0.5),
+    ));
+    let cold = engine.submit(&request).unwrap();
+    let result = cold.max_rs().unwrap();
+    let p = Point::new(
+        (result.region.min_x + result.region.max_x) / 2.0,
+        (result.region.min_y + result.region.max_y) / 2.0,
+    );
+    assert!(
+        result.region.strictly_contains_point(&p) && bbox.strictly_contains_point(&p),
+        "seed produced a winner region on the extent edge; re-seed the test"
+    );
+    engine
+        .append(SpatialObject::new(9_999_997, p, template.values.clone()))
+        .unwrap();
+    assert_eq!(engine.dataset().bounding_box(), Some(bbox));
+    let stats = engine.cache_stats().unwrap();
+    assert_eq!(
+        stats.carried_forward, 0,
+        "an entry whose region absorbed the append was carried: {stats:?}"
+    );
+    let misses_before = stats.misses;
+    let warm = engine.submit(&request).unwrap();
+    let stats = engine.cache_stats().unwrap();
+    assert_eq!(stats.misses, misses_before + 1, "must recompute cold: {stats:?}");
+    assert!(
+        warm.max_rs().unwrap().count >= result.count,
+        "the interior append cannot lower the densest count"
+    );
+    let rebuilt = build_engine((*engine.dataset()).clone(), agg, 2, 0);
+    assert_eq!(
+        canonical_bytes(&warm),
+        canonical_bytes(&rebuilt.submit(&request).unwrap()),
+        "post-append recomputation diverged from a fresh rebuild"
+    );
 }

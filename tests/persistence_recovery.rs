@@ -186,9 +186,8 @@ fn assert_engines_agree(
         survivor.generation(),
         "{context}: the reopened engine must resume at the survivor's generation"
     );
-    assert_eq!(
-        reopened.dataset().objects(),
-        survivor.dataset().objects(),
+    assert!(
+        reopened.dataset().objects().eq(survivor.dataset().objects()),
         "{context}: datasets diverged"
     );
     for request in request_pool(&reopened.dataset(), agg, seed) {
@@ -466,22 +465,29 @@ fn batched_generations_replay_as_batches() {
             }
             frames += 6;
         }
-        for i in 0..3u64 {
-            let object = SpatialObject::new(
-                5_000_500 + i,
-                Point::new(
-                    bbox.min_x + bbox.width() * 0.25 * (i as f64 + 0.5),
-                    bbox.min_y + bbox.height() * 0.4,
-                ),
-                template.values.clone(),
-            );
-            for engine in [persistent.engine(), &survivor] {
-                engine
-                    .append_with_ttl(object.clone(), std::time::Duration::ZERO)
-                    .unwrap();
-            }
-            frames += 1;
+        // One batch arms all three TTLs: armed by separate commits, each
+        // later commit would piggyback the earlier (already-due) expiries
+        // and leave the sweep below with only one.
+        let ttl_payload: Vec<(SpatialObject, Option<std::time::Duration>)> = (0..3u64)
+            .map(|i| {
+                (
+                    SpatialObject::new(
+                        5_000_500 + i,
+                        Point::new(
+                            bbox.min_x + bbox.width() * 0.25 * (i as f64 + 0.5),
+                            bbox.min_y + bbox.height() * 0.4,
+                        ),
+                        template.values.clone(),
+                    ),
+                    Some(std::time::Duration::ZERO),
+                )
+            })
+            .collect();
+        for engine in [persistent.engine(), &survivor] {
+            let receipts = engine.append_batch(ttl_payload.clone()).unwrap();
+            assert_eq!(receipts.len(), 3);
         }
+        frames += 3;
         for engine in [persistent.engine(), &survivor] {
             let receipts = engine.sweep_expired().unwrap();
             assert_eq!(receipts.len(), 3, "all three TTLs expire in one sweep");
